@@ -1,0 +1,55 @@
+//! Weighted sparse aggregation: the server-side hot loop of every round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluefl_tensor::SparseUpdate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 100_000;
+
+fn client_updates(k: usize, density: f64) -> Vec<SparseUpdate> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..k)
+        .map(|_| {
+            let mut pairs: Vec<(u32, f32)> = Vec::new();
+            for i in 0..D as u32 {
+                if rng.gen::<f64>() < density {
+                    pairs.push((i, rng.gen_range(-1.0..1.0)));
+                }
+            }
+            SparseUpdate::from_pairs(D, pairs)
+        })
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for k in [10usize, 30, 100] {
+        let updates = client_updates(k, 0.2);
+        group.bench_with_input(BenchmarkId::new("weighted_sum", k), &updates, |b, us| {
+            b.iter(|| {
+                let mut acc = vec![0.0f32; D];
+                for (i, u) in us.iter().enumerate() {
+                    u.add_scaled_into(&mut acc, 1.0 / (i + 1) as f32);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_partial_download(c: &mut Criterion) {
+    // Client-side: overwriting stale positions from a partial download.
+    let update = &client_updates(1, 0.5)[0];
+    c.bench_function("apply_partial_download_50pct", |b| {
+        b.iter(|| {
+            let mut model = vec![1.0f32; D];
+            update.apply(&mut model);
+            black_box(model)
+        })
+    });
+}
+
+criterion_group!(benches, bench_aggregate, bench_apply_partial_download);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bitmask algebra at model scale (the shared mask `M_t` is a d-bit map).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gluefl_tensor::BitMask;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 1_000_000;
+
+fn random_mask(seed: u64, density: f64) -> BitMask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BitMask::from_indices(D, (0..D).filter(|_| rng.gen::<f64>() < density))
+}
+
+fn bench_mask_ops(c: &mut Criterion) {
+    let a = random_mask(1, 0.16);
+    let b = random_mask(2, 0.16);
+    let mut group = c.benchmark_group("mask_ops");
+    group.bench_function("or", |bch| bch.iter(|| black_box(a.or(&b))));
+    group.bench_function("and", |bch| bch.iter(|| black_box(a.and(&b))));
+    group.bench_function("not", |bch| bch.iter(|| black_box(a.not())));
+    group.bench_function("overlap", |bch| bch.iter(|| black_box(a.overlap(&b))));
+    group.bench_function("count_ones", |bch| bch.iter(|| black_box(a.count_ones())));
+    group.bench_function("iter_ones_sum", |bch| {
+        bch.iter(|| black_box(a.iter_ones().sum::<usize>()))
+    });
+    group.finish();
+}
+
+fn bench_mask_apply(c: &mut Criterion) {
+    let a = random_mask(3, 0.16);
+    let mut rng = StdRng::seed_from_u64(4);
+    let dense: Vec<f32> = (0..D).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c.bench_function("mask_apply_to_dense", |bch| {
+        bch.iter(|| {
+            let mut v = dense.clone();
+            a.apply_to(&mut v);
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mask_ops, bench_mask_apply);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end simulated round latency, per strategy.
+//!
+//! This is the wall-clock cost of *running the simulator*, not the
+//! simulated round time; it bounds how fast experiments sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+use gluefl_compress::ApfConfig;
+
+fn cfg(strategy: StrategyConfig) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.05,
+        1_000_000, // never exhausted by the bench
+        42,
+    );
+    cfg.model.hidden = vec![32];
+    cfg.dataset.feature_dim = 16;
+    cfg.dataset.classes = 10;
+    cfg.dataset.test_samples = 100;
+    cfg.eval_every = u32::MAX;
+    cfg.availability = None;
+    cfg
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let strategies: Vec<(&str, StrategyConfig)> = vec![
+        ("fedavg", StrategyConfig::FedAvg),
+        ("stc", StrategyConfig::Stc { q: 0.2 }),
+        ("apf", StrategyConfig::Apf { config: ApfConfig::default() }),
+        (
+            "gluefl",
+            StrategyConfig::GlueFl(GlueFlParams::paper_default(30, DatasetModel::ShuffleNet)),
+        ),
+    ];
+    let mut group = c.benchmark_group("simulated_round");
+    group.sample_size(20);
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            let mut sim = Simulation::new(cfg(s.clone()));
+            b.iter(|| black_box(sim.step()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Client sampling cost at cross-device population sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluefl_sampling::{MdSampler, StickySampler, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_draw");
+    for n in [10_000usize, 100_000] {
+        let uniform = UniformSampler::new(n);
+        group.bench_with_input(BenchmarkId::new("uniform_k100", n), &uniform, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(s.draw(&mut rng, 100, None)));
+        });
+        let md = MdSampler::uniform(n);
+        group.bench_with_input(BenchmarkId::new("multinomial_k100", n), &md, |b, s| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(s.draw(&mut rng, 100)));
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let sticky = StickySampler::new(n, 400, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sticky_c80_f20", n), &sticky, |b, s| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(s.draw(&mut rng, 80, 20, None)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sticky_round_trip(c: &mut Criterion) {
+    // Draw + rebalance, the full per-round sampler cost.
+    let n = 100_000;
+    c.bench_function("sticky_draw_and_rebalance_n100k", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = StickySampler::new(n, 400, &mut rng);
+        b.iter(|| {
+            let draw = sampler.draw(&mut rng, 80, 20, None);
+            sampler.rebalance(&mut rng, &draw.sticky, &draw.fresh);
+            black_box(draw.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_samplers, bench_sticky_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Diagnostic: isolate GlueFL convergence behaviour across ablation arms.
+//!
+//! Not part of the paper reproduction — a debugging tool that prints
+//! accuracy trajectories for GlueFL variants side by side.
+
+use gluefl_compress::CompensationMode;
+use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let k_floor: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let mut base = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        StrategyConfig::FedAvg,
+        scale,
+        rounds,
+        7,
+    );
+    base.round_size = base.round_size.max(k_floor);
+    base.eval_every = 10;
+    base.target_accuracy = None;
+    let k = base.round_size;
+    let p = GlueFlParams::paper_default(k, DatasetModel::ShuffleNet);
+
+    let mut arms: Vec<(String, StrategyConfig)> = vec![
+        ("fedavg".into(), StrategyConfig::FedAvg),
+        ("stc".into(), StrategyConfig::Stc { q: 0.2 }),
+        ("gluefl-rec".into(), StrategyConfig::GlueFl(p.clone())),
+    ];
+    let mut none = p.clone();
+    none.compensation = CompensationMode::None;
+    arms.push(("gluefl-none".into(), StrategyConfig::GlueFl(none)));
+    let mut equal = p.clone();
+    equal.equal_weights = true;
+    arms.push(("gluefl-equal".into(), StrategyConfig::GlueFl(equal)));
+    let mut eq_none = p.clone();
+    eq_none.equal_weights = true;
+    eq_none.compensation = CompensationMode::None;
+    arms.push(("gluefl-eq-none".into(), StrategyConfig::GlueFl(eq_none)));
+
+    println!(
+        "N={} K={} C={} S={} rounds={rounds}",
+        base.dataset.clients, k, p.sticky_draw, p.sticky_group
+    );
+    print!("{:>8}", "round");
+    for (name, _) in &arms {
+        print!(" {name:>14}");
+    }
+    println!();
+
+    let results: Vec<Vec<(u32, f64)>> = arms
+        .iter()
+        .map(|(_, s)| {
+            let mut cfg = base.clone();
+            cfg.strategy = s.clone();
+            let r = Simulation::new(cfg).run();
+            r.rounds
+                .iter()
+                .filter_map(|rec| rec.accuracy.map(|a| (rec.round, a)))
+                .collect()
+        })
+        .collect();
+    let evals = results[0].len();
+    for e in 0..evals {
+        print!("{:>8}", results[0][e].0);
+        for r in &results {
+            print!(" {:>13.1}%", r[e].1 * 100.0);
+        }
+        println!();
+    }
+}

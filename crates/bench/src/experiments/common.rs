@@ -1,0 +1,279 @@
+//! Shared experiment plumbing: configs, strategy sets, common targets.
+
+use crate::ExptOpts;
+use gluefl_compress::ApfConfig;
+use gluefl_core::{GlueFlParams, RunResult, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+
+/// Builds the scaled paper setup for `(dataset, model, strategy)`.
+///
+/// Evaluation every round for smooth accuracy-vs-bandwidth curves; target
+/// accuracy left unset (experiments derive a common achievable target
+/// post-hoc, matching the paper's "highest achievable by all approaches"
+/// rule).
+#[must_use]
+pub fn setup(
+    dataset: DatasetProfile,
+    model: DatasetModel,
+    strategy: StrategyConfig,
+    opts: &ExptOpts,
+) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(dataset, model, strategy, opts.scale, opts.rounds, opts.seed);
+    cfg.eval_every = 5;
+    cfg.target_accuracy = None;
+    cfg
+}
+
+/// The paper's four Table-2 strategies for a given round size and model.
+#[must_use]
+pub fn paper_strategies(k: usize, model: DatasetModel) -> Vec<StrategyConfig> {
+    let q = match model {
+        DatasetModel::ShuffleNet => 0.20,
+        DatasetModel::MobileNet | DatasetModel::ResNet34 => 0.30,
+    };
+    vec![
+        StrategyConfig::FedAvg,
+        StrategyConfig::Stc { q },
+        StrategyConfig::Apf { config: ApfConfig::default() },
+        StrategyConfig::GlueFl(GlueFlParams::paper_default(k, model)),
+    ]
+}
+
+/// Runs one configuration and returns its result.
+#[must_use]
+pub fn run_config(cfg: SimConfig) -> RunResult {
+    Simulation::new(cfg).run()
+}
+
+/// The paper's reporting rule (§5.1 / Table 2 caption): the target is the
+/// highest accuracy achievable by *all* approaches. We take the minimum
+/// over runs of each run's best 5-eval rolling mean, scaled slightly down
+/// (0.98) so every run crosses it robustly.
+#[must_use]
+pub fn common_target(results: &[RunResult]) -> f64 {
+    let mut target = f64::INFINITY;
+    for r in results {
+        let mut best: f64 = 0.0;
+        let mut window: Vec<f64> = Vec::new();
+        for rec in &r.rounds {
+            if let Some(a) = rec.accuracy {
+                window.push(a);
+                // Rolling mean over (up to) the last 5 evaluations.
+                let w = &window[window.len().saturating_sub(5)..];
+                best = best.max(w.iter().sum::<f64>() / w.len() as f64);
+            }
+        }
+        target = target.min(best);
+    }
+    (target * 0.98).max(0.0)
+}
+
+/// Re-derives at-target metrics for every run against a common target.
+#[must_use]
+pub fn with_target(results: Vec<RunResult>, target: f64) -> Vec<RunResult> {
+    results
+        .into_iter()
+        .map(|r| RunResult::from_rounds(r.strategy.clone(), r.rounds, Some(target)))
+        .collect()
+}
+
+/// Bytes → display gigabytes, optionally re-scaled to the paper's model
+/// size (`reference_params / simulated_params`).
+#[must_use]
+pub fn display_gb(bytes: u64, cfg: &SimConfig, sim_dim: usize, opts: &ExptOpts) -> f64 {
+    let factor = if opts.paper_scale {
+        cfg.model.paper_scale_factor(sim_dim)
+    } else {
+        1.0
+    };
+    bytes as f64 * factor / 1e9
+}
+
+/// Seconds → display hours.
+#[must_use]
+pub fn hours(secs: f64) -> f64 {
+    secs / 3600.0
+}
+
+/// One arm of a sensitivity sweep (Figures 5–8, 10, 11).
+#[derive(Debug, Clone)]
+pub struct SweepArm {
+    /// Display label, e.g. `"GlueFL (S = 4K)"`.
+    pub label: String,
+    /// The configuration this arm runs.
+    pub strategy: StrategyConfig,
+}
+
+/// Runs a figure-style sensitivity sweep on `(dataset, model)`:
+/// every arm plus a FedAvg reference, under identical randomness. Prints
+/// a summary table (downstream GB at the common target, final accuracy)
+/// and writes the full accuracy-vs-cumulative-downstream curves to
+/// `<figure>_<dataset>.csv`.
+pub fn run_sweep(
+    figure: &str,
+    dataset: DatasetProfile,
+    model: DatasetModel,
+    arms: &[SweepArm],
+    opts: &crate::ExptOpts,
+) {
+    let mut all_arms = vec![SweepArm {
+        label: "FedAvg".into(),
+        strategy: StrategyConfig::FedAvg,
+    }];
+    all_arms.extend(arms.iter().cloned());
+
+    let results: Vec<RunResult> = all_arms
+        .iter()
+        .map(|arm| {
+            let cfg = setup(dataset, model, arm.strategy.clone(), opts);
+            run_config(cfg)
+        })
+        .collect();
+    let target = common_target(&results);
+    let results = with_target(results, target);
+
+    let mut table = crate::Table::new([
+        "arm", "DV@target (GB)", "reached", "final acc", "total DV (GB)",
+    ]);
+    let mut csv = String::from("arm,cum_down_gb,accuracy\n");
+    let cfg0 = setup(dataset, model, StrategyConfig::FedAvg, opts);
+    let sim_dim = {
+        let mut rng = gluefl_tensor::rng::seeded_rng(opts.seed, "sweep-dim", 0);
+        cfg0.model
+            .build(cfg0.dataset.feature_dim, cfg0.dataset.classes, &mut rng)
+            .num_params()
+    };
+    for (arm, r) in all_arms.iter().zip(&results) {
+        for (bytes, acc) in r.accuracy_curve() {
+            csv.push_str(&format!(
+                "{},{:.5},{:.4}\n",
+                arm.label,
+                display_gb(bytes, &cfg0, sim_dim, opts),
+                acc
+            ));
+        }
+        table.row([
+            arm.label.clone(),
+            format!(
+                "{:.3}",
+                display_gb(r.at_target.down_bytes, &cfg0, sim_dim, opts)
+            ),
+            if r.target_round.is_some() { "yes".into() } else { "no".to_owned() },
+            format!("{:.1}%", r.total.accuracy * 100.0),
+            format!("{:.3}", display_gb(r.total.down_bytes, &cfg0, sim_dim, opts)),
+        ]);
+    }
+    println!(
+        "\n{} on {} / {} — common target {:.1}%",
+        figure,
+        dataset.name(),
+        model.name(),
+        target * 100.0
+    );
+    println!("{}", table.render());
+    // Terminal rendition of the paper's accuracy-vs-bandwidth panel.
+    let chart_series: Vec<crate::plot::Series> = all_arms
+        .iter()
+        .zip(&results)
+        .map(|(arm, r)| {
+            crate::plot::Series::new(
+                arm.label.clone(),
+                r.accuracy_curve()
+                    .into_iter()
+                    .map(|(bytes, acc)| (display_gb(bytes, &cfg0, sim_dim, opts), acc))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        crate::plot::render(&chart_series, 72, 16, "cumulative downstream (GB)", "accuracy")
+    );
+    crate::write_csv(
+        &opts.out_dir,
+        &format!("{figure}_{}.csv", dataset.name()),
+        &csv,
+    );
+}
+
+/// The two (dataset, model) pairs the paper's sensitivity studies use:
+/// FEMNIST/ShuffleNet and Google Speech/ResNet-34 (§5.3). In `--quick`
+/// mode only the first pair runs.
+#[must_use]
+pub fn sensitivity_pairs(opts: &crate::ExptOpts) -> Vec<(DatasetProfile, DatasetModel)> {
+    if opts.quick {
+        vec![(DatasetProfile::Femnist, DatasetModel::ShuffleNet)]
+    } else {
+        vec![
+            (DatasetProfile::Femnist, DatasetModel::ShuffleNet),
+            (DatasetProfile::GoogleSpeech, DatasetModel::ResNet34),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gluefl_core::RoundRecord;
+
+    fn result_with_accs(name: &str, accs: &[f64]) -> RunResult {
+        let rounds: Vec<RoundRecord> = accs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| RoundRecord {
+                round: i as u32,
+                accuracy: Some(a),
+                ..Default::default()
+            })
+            .collect();
+        RunResult::from_rounds(name, rounds, None)
+    }
+
+    #[test]
+    fn common_target_takes_min_of_best_rolling() {
+        let a = result_with_accs("a", &[0.1, 0.2, 0.5, 0.5, 0.5, 0.5, 0.5]);
+        let b = result_with_accs("b", &[0.1, 0.2, 0.8, 0.8, 0.8, 0.8, 0.8]);
+        let t = common_target(&[a, b]);
+        // a's best rolling mean: last 5 = (0.2+0.5·4)/5 ... best window is
+        // [0.5;5]/5 = 0.5 → wait, rounds: windows end at each eval;
+        // best for a is 0.5 (the all-0.5 window). Scaled by 0.98.
+        assert!((t - 0.5 * 0.98).abs() < 0.03);
+    }
+
+    #[test]
+    fn with_target_recomputes_target_round() {
+        let a = result_with_accs("a", &[0.1, 0.2, 0.5, 0.5, 0.5, 0.5, 0.5]);
+        assert!(a.target_round.is_none());
+        let out = with_target(vec![a], 0.3);
+        assert!(out[0].target_round.is_some());
+    }
+
+    #[test]
+    fn strategies_match_model_ratios() {
+        let s = paper_strategies(30, DatasetModel::ShuffleNet);
+        assert_eq!(s.len(), 4);
+        match &s[1] {
+            StrategyConfig::Stc { q } => assert!((q - 0.20).abs() < 1e-12),
+            other => panic!("expected STC, got {other:?}"),
+        }
+        let s = paper_strategies(30, DatasetModel::ResNet34);
+        match &s[3] {
+            StrategyConfig::GlueFl(p) => assert!((p.q - 0.30).abs() < 1e-12),
+            other => panic!("expected GlueFL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_units() {
+        let opts = ExptOpts::default();
+        let cfg = setup(
+            DatasetProfile::Femnist,
+            DatasetModel::ShuffleNet,
+            StrategyConfig::FedAvg,
+            &opts,
+        );
+        assert!((display_gb(2_000_000_000, &cfg, 1000, &opts) - 2.0).abs() < 1e-9);
+        assert!((hours(7200.0) - 2.0).abs() < 1e-12);
+    }
+}

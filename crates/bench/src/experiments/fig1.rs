@@ -1,0 +1,71 @@
+//! Figure 1: client bandwidth distribution (scatter + CDF).
+//!
+//! The paper plots M-Lab NDT measurements for North America (June 2022):
+//! a down/up scatter and the marginal CDFs, highlighting that ≈20% of
+//! devices have ≤10 Mbps download. We regenerate both panels from the
+//! calibrated `MlabEdge` sampler.
+
+use crate::{write_csv, ExptOpts, Table};
+use gluefl_net::{cdf, NetworkProfile};
+use gluefl_tensor::rng::seeded_rng;
+
+/// Runs the experiment.
+///
+/// # Errors
+/// Never fails; the `Result` matches the dispatcher's signature.
+pub fn run(opts: &ExptOpts) -> Result<(), String> {
+    let n = if opts.quick { 1_000 } else { 5_000 };
+    let mut rng = seeded_rng(opts.seed, "fig1", 0);
+    let links = NetworkProfile::MlabEdge.sample_links(&mut rng, n);
+
+    // Panel (a): scatter sample.
+    let mut scatter = String::from("down_mbps,up_mbps\n");
+    for l in &links {
+        scatter.push_str(&format!("{:.3},{:.3}\n", l.down_mbps, l.up_mbps));
+    }
+    write_csv(&opts.out_dir, "fig1a_scatter.csv", &scatter);
+
+    // Panel (b): CDFs.
+    let downs: Vec<f64> = links.iter().map(|l| l.down_mbps).collect();
+    let ups: Vec<f64> = links.iter().map(|l| l.up_mbps).collect();
+    let (dx, dp) = cdf(&downs);
+    let (ux, up) = cdf(&ups);
+    let mut cdf_csv = String::from("kind,mbps,cum_prob\n");
+    for (x, p) in dx.iter().zip(&dp) {
+        cdf_csv.push_str(&format!("download,{x:.3},{p:.5}\n"));
+    }
+    for (x, p) in ux.iter().zip(&up) {
+        cdf_csv.push_str(&format!("upload,{x:.3},{p:.5}\n"));
+    }
+    write_csv(&opts.out_dir, "fig1b_cdf.csv", &cdf_csv);
+
+    // Console summary: key percentiles the paper's narrative relies on.
+    let pct = |v: &[f64], p: f64| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        s[((s.len() - 1) as f64 * p) as usize]
+    };
+    let frac_below = |v: &[f64], x: f64| {
+        v.iter().filter(|&&b| b <= x).count() as f64 / v.len() as f64
+    };
+    let mut t = Table::new(["metric", "download", "upload"]);
+    for (label, p) in [("p10 (Mbps)", 0.1), ("p50 (Mbps)", 0.5), ("p90 (Mbps)", 0.9)] {
+        t.row([
+            label.to_owned(),
+            format!("{:.1}", pct(&downs, p)),
+            format!("{:.1}", pct(&ups, p)),
+        ]);
+    }
+    t.row([
+        "P(≤10 Mbps)".to_owned(),
+        format!("{:.1}%", 100.0 * frac_below(&downs, 10.0)),
+        format!("{:.1}%", 100.0 * frac_below(&ups, 10.0)),
+    ]);
+    println!("Figure 1: edge bandwidth distribution ({n} clients)");
+    println!("{}", t.render());
+    println!(
+        "paper check: ~20% of devices have ≤10 Mbps download → measured {:.1}%",
+        100.0 * frac_below(&downs, 10.0)
+    );
+    Ok(())
+}

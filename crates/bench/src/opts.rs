@@ -1,0 +1,131 @@
+//! Command-line options shared by all experiments.
+
+use std::path::PathBuf;
+
+/// Options accepted by every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExptOpts {
+    /// Communication rounds per run.
+    pub rounds: u32,
+    /// Fraction of the paper's client population to simulate.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Report bandwidth at paper-scale model sizes (multiply by
+    /// `reference_params / simulated_params`).
+    pub paper_scale: bool,
+    /// Quick mode: fewer rounds / smaller sweeps for smoke testing.
+    pub quick: bool,
+}
+
+impl Default for ExptOpts {
+    fn default() -> Self {
+        Self {
+            rounds: 150,
+            scale: 0.1,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+            paper_scale: false,
+            quick: false,
+        }
+    }
+}
+
+impl ExptOpts {
+    /// Parses `--rounds N --scale F --seed N --out DIR --paper-scale
+    /// --quick` from raw arguments.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending flag or value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--rounds" => {
+                    opts.rounds = next_value(&mut it, "--rounds")?;
+                    if opts.rounds == 0 {
+                        return Err("--rounds must be positive".into());
+                    }
+                }
+                "--scale" => {
+                    opts.scale = next_value(&mut it, "--scale")?;
+                    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                        return Err("--scale must be in (0,1]".into());
+                    }
+                }
+                "--seed" => opts.seed = next_value(&mut it, "--seed")?,
+                "--out" => {
+                    opts.out_dir =
+                        PathBuf::from(it.next().ok_or("--out needs a value")?.clone());
+                }
+                "--paper-scale" => opts.paper_scale = true,
+                "--quick" => {
+                    opts.quick = true;
+                    opts.rounds = opts.rounds.min(20);
+                    opts.scale = opts.scale.min(0.02);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn next_value<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExptOpts, String> {
+        let v: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        ExptOpts::parse(&v)
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, ExptOpts::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--rounds", "99", "--scale", "0.5", "--seed", "7", "--out", "/tmp/x",
+            "--paper-scale",
+        ])
+        .unwrap();
+        assert_eq!(o.rounds, 99);
+        assert!((o.scale - 0.5).abs() < 1e-12);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert!(o.paper_scale);
+    }
+
+    #[test]
+    fn quick_caps_rounds_and_scale() {
+        let o = parse(&["--quick"]).unwrap();
+        assert!(o.rounds <= 20);
+        assert!(o.scale <= 0.02);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--rounds", "zero"]).is_err());
+        assert!(parse(&["--rounds", "0"]).is_err());
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--rounds"]).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Terminal line charts for experiment output.
+//!
+//! The paper's sensitivity figures are accuracy-vs-cumulative-downstream
+//! curves; the harness renders the same series as compact ASCII charts so
+//! the *shape* (who converges faster per byte, where curves cross) is
+//! visible without leaving the terminal. Full-resolution data always goes
+//! to CSV alongside.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series; points are sorted by x.
+    #[must_use]
+    pub fn new(label: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Linear interpolation of y at `x` (clamped to the series' range).
+    #[must_use]
+    pub fn sample(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        let i = pts.partition_point(|p| p.0 < x);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        if (x1 - x0).abs() < f64::EPSILON {
+            return Some(y1);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+}
+
+/// Renders multiple series in one character grid with a legend.
+///
+/// Each series is drawn with its own glyph (`*`, `o`, `+`, …); later
+/// series overwrite earlier ones where they collide. Axes are labelled
+/// with the data ranges.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_bench::plot::{render, Series};
+/// let s = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+/// let chart = render(&[s], 40, 10, "x", "y");
+/// assert!(chart.contains("a"));
+/// assert!(chart.lines().count() > 10);
+/// ```
+#[must_use]
+pub fn render(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Dense sampling across columns using interpolation keeps lines
+        // visually continuous even with few points.
+        #[allow(clippy::needless_range_loop)] // col drives both x and grid
+        for col in 0..width {
+            let x = x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
+            if x < s.points[0].0 || x > s.points[s.points.len() - 1].0 {
+                continue;
+            }
+            if let Some(y) = s.sample(x) {
+                let row_f = (y - y_min) / (y_max - y_min) * (height - 1) as f64;
+                let row = height - 1 - (row_f.round() as usize).min(height - 1);
+                grid[row][col] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for (r, row) in grid.iter().enumerate() {
+        let y_tick = if r == 0 {
+            format!("{y_max:>8.3}")
+        } else if r == height - 1 {
+            format!("{y_min:>8.3}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("{y_tick} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let x_lo = format!("{x_min:.3}");
+    let x_hi = format!("{x_max:.3} {x_label}");
+    out.push_str(&format!(
+        "{} +{}\n{} {x_lo:<width$}{x_hi}\n",
+        " ".repeat(8),
+        "-".repeat(width),
+        " ".repeat(8),
+        width = width.saturating_sub(6),
+    ));
+    out.push_str("legend: ");
+    for (si, s) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} {}", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_sorts_points() {
+        let s = Series::new("x", vec![(2.0, 1.0), (0.0, 0.0), (1.0, 0.5)]);
+        assert_eq!(s.points[0], (0.0, 0.0));
+        assert_eq!(s.points[2], (2.0, 1.0));
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let s = Series::new("x", vec![(0.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(s.sample(5.0), Some(5.0));
+        assert_eq!(s.sample(-1.0), Some(0.0)); // clamp left
+        assert_eq!(s.sample(99.0), Some(10.0)); // clamp right
+        assert_eq!(Series::new("e", vec![]).sample(0.0), None);
+    }
+
+    #[test]
+    fn render_contains_axes_and_legend() {
+        let a = Series::new("alpha", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("beta", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let chart = render(&[a, b], 40, 12, "GB", "accuracy");
+        assert!(chart.contains("legend: * alpha  o beta"));
+        assert!(chart.contains("accuracy"));
+        assert!(chart.contains("GB"));
+        // Both extremes appear as tick labels.
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+    }
+
+    #[test]
+    fn increasing_series_renders_monotonically() {
+        let s = Series::new("up", (0..20).map(|i| (f64::from(i), f64::from(i))).collect());
+        let chart = render(&[s], 30, 10, "", "");
+        // The glyph in the first data row (top) must be to the right of
+        // the glyph in the last data row (bottom).
+        let rows: Vec<&str> = chart.lines().skip(1).take(10).collect();
+        let top_col = rows[0].find('*').unwrap();
+        let bottom_col = rows[9].find('*').unwrap();
+        assert!(top_col > bottom_col, "top {top_col} vs bottom {bottom_col}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render(&[], 40, 10, "", ""), "(no data)\n");
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(0.0, 0.5), (1.0, 0.5)]);
+        let chart = render(&[s], 30, 8, "", "");
+        assert!(chart.contains('*'));
+    }
+}

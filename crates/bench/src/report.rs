@@ -1,0 +1,151 @@
+//! Table formatting and CSV output.
+
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned text table for paper-style output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format_table(&self.header, &self.rows)
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = self.header.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Column-aligns `rows` under `header` with a separator line.
+#[must_use]
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        #[allow(clippy::needless_range_loop)] // i indexes widths and cells
+        for i in 0..cols {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let cell = cells.get(i).map_or("", String::as_str);
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let mut out = fmt_row(header);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `content` to `dir/name`, creating the directory if needed.
+///
+/// # Panics
+/// Panics if the filesystem refuses (experiments treat this as fatal).
+pub fn write_csv(dir: &Path, name: &str, content: &str) {
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(name);
+    fs::write(&path, content).expect("write CSV file");
+    println!("  wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn write_csv_creates_dir() {
+        let dir = std::env::temp_dir().join("gluefl-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_csv(&dir, "x.csv", "a\n");
+        assert_eq!(std::fs::read_to_string(dir.join("x.csv")).unwrap(), "a\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

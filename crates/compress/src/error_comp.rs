@@ -1,0 +1,248 @@
+//! Error compensation with sticky-sampling re-scaling (§3.3, Eq. 7).
+
+use std::collections::HashMap;
+
+/// The paper's Figure-11 ablation arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompensationMode {
+    /// No error feedback: compression residuals are dropped.
+    None,
+    /// Classic error feedback: `Δ ← Δ + h^{φ(t)}` (no re-scaling).
+    Raw,
+    /// GlueFL's re-scaled compensation (Equation 7):
+    /// `Δ ← Δ + (ν^{φ(t)}/ν^t)·h^{φ(t)}`, making the carried-over residual
+    /// consistent with the aggregation weight the client has *now*.
+    #[default]
+    Rescaled,
+}
+
+impl std::str::FromStr for CompensationMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CompensationMode::None),
+            "ec" | "raw" => Ok(CompensationMode::Raw),
+            "rec" | "rescaled" => Ok(CompensationMode::Rescaled),
+            other => Err(format!("unknown compensation mode '{other}' (none|ec|rec)")),
+        }
+    }
+}
+
+/// Per-client compensation memory held by the framework.
+///
+/// For each client the compensator remembers the residual `h` of the last
+/// round the client participated in (`Δ` minus what was actually sent)
+/// together with the aggregation weight `ν` applied that round. On the
+/// client's next participation, [`ErrorCompensator::apply`] adds the
+/// (optionally re-scaled) residual into the new delta before compression,
+/// and [`ErrorCompensator::record`] stores the new residual.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_compress::{CompensationMode, ErrorCompensator};
+/// let mut ec = ErrorCompensator::new(CompensationMode::Rescaled, 4);
+/// let mut delta = vec![1.0f32, 0.0, 0.0, 0.0];
+/// ec.apply(7, &mut delta, 2.0); // first round: no memory, no change
+/// assert_eq!(delta, vec![1.0, 0.0, 0.0, 0.0]);
+/// // Suppose compression kept only half of it:
+/// ec.record(7, &delta, &[0.5, 0.0, 0.0, 0.0], 2.0);
+/// let mut next = vec![0.0f32; 4];
+/// ec.apply(7, &mut next, 4.0); // re-scaled by ν_old/ν_new = 0.5
+/// assert_eq!(next, vec![0.25, 0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorCompensator {
+    mode: CompensationMode,
+    dim: usize,
+    memory: HashMap<usize, ClientMemory>,
+}
+
+#[derive(Debug, Clone)]
+struct ClientMemory {
+    residual: Vec<f32>,
+    weight: f64,
+}
+
+impl ErrorCompensator {
+    /// Creates a compensator for `dim`-dimensional deltas.
+    #[must_use]
+    pub fn new(mode: CompensationMode, dim: usize) -> Self {
+        Self {
+            mode,
+            dim,
+            memory: HashMap::new(),
+        }
+    }
+
+    /// The configured mode.
+    #[must_use]
+    pub fn mode(&self) -> CompensationMode {
+        self.mode
+    }
+
+    /// Number of clients with stored residuals.
+    #[must_use]
+    pub fn tracked_clients(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Adds the client's carried-over residual into `delta` before
+    /// compression. `current_weight` is the aggregation weight `ν^t_i`
+    /// that will be applied to this client this round.
+    ///
+    /// No-op in [`CompensationMode::None`] or when the client has no
+    /// stored residual.
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != dim` or `current_weight <= 0` (when a
+    /// residual exists and re-scaling is enabled).
+    pub fn apply(&mut self, client: usize, delta: &mut [f32], current_weight: f64) {
+        assert_eq!(delta.len(), self.dim, "delta dimension mismatch");
+        if self.mode == CompensationMode::None {
+            return;
+        }
+        let Some(mem) = self.memory.get(&client) else {
+            return;
+        };
+        let scale = match self.mode {
+            CompensationMode::None => unreachable!("handled above"),
+            CompensationMode::Raw => 1.0,
+            CompensationMode::Rescaled => {
+                assert!(current_weight > 0.0, "aggregation weight must be positive");
+                (mem.weight / current_weight) as f32
+            }
+        };
+        for (d, h) in delta.iter_mut().zip(&mem.residual) {
+            *d += scale * h;
+        }
+    }
+
+    /// Stores the new residual `h = Δ − sent` for the client, along with
+    /// the weight used this round. No-op in [`CompensationMode::None`].
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length from `dim`.
+    pub fn record(&mut self, client: usize, delta: &[f32], sent_dense: &[f32], weight: f64) {
+        assert_eq!(delta.len(), self.dim, "delta dimension mismatch");
+        assert_eq!(sent_dense.len(), self.dim, "sent dimension mismatch");
+        if self.mode == CompensationMode::None {
+            return;
+        }
+        let residual: Vec<f32> = delta
+            .iter()
+            .zip(sent_dense)
+            .map(|(d, s)| d - s)
+            .collect();
+        self.memory.insert(client, ClientMemory { residual, weight });
+    }
+
+    /// Drops a client's stored residual (e.g. when it leaves the
+    /// population).
+    pub fn forget(&mut self, client: usize) {
+        self.memory.remove(&client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_mode_is_inert() {
+        let mut ec = ErrorCompensator::new(CompensationMode::None, 3);
+        ec.record(0, &[1.0, 1.0, 1.0], &[0.0, 0.0, 0.0], 1.0);
+        assert_eq!(ec.tracked_clients(), 0);
+        let mut d = vec![2.0f32, 2.0, 2.0];
+        ec.apply(0, &mut d, 1.0);
+        assert_eq!(d, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn raw_mode_adds_residual_unscaled() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 2);
+        ec.record(1, &[1.0, -1.0], &[0.25, 0.0], 5.0);
+        let mut d = vec![0.0f32, 0.0];
+        ec.apply(1, &mut d, 0.5); // weights ignored in Raw mode
+        assert_eq!(d, vec![0.75, -1.0]);
+    }
+
+    #[test]
+    fn rescaled_mode_uses_weight_ratio() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Rescaled, 1);
+        // residual 1.0 stored with ν=6.
+        ec.record(2, &[1.0], &[0.0], 6.0);
+        let mut d = vec![0.0f32];
+        ec.apply(2, &mut d, 3.0); // ν_old/ν_new = 2
+        assert_eq!(d, vec![2.0]);
+    }
+
+    #[test]
+    fn first_participation_has_no_compensation() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Rescaled, 2);
+        let mut d = vec![1.0f32, 2.0];
+        ec.apply(9, &mut d, 1.0);
+        assert_eq!(d, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_telescopes_to_exact_sum() {
+        // Invariant of error feedback: sent_total + residual == delta_total.
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 4);
+        let mut sent_total = [0.0f64; 4];
+        let mut delta_total = [0.0f64; 4];
+        let deltas = [
+            vec![1.0f32, -2.0, 0.5, 0.0],
+            vec![0.5f32, 1.0, -0.25, 2.0],
+            vec![-1.0f32, 0.0, 1.0, 1.0],
+        ];
+        for delta in &deltas {
+            let mut d = delta.clone();
+            ec.apply(0, &mut d, 1.0);
+            // "Compression": keep only the first two coordinates.
+            let sent = vec![d[0], d[1], 0.0, 0.0];
+            ec.record(0, &d, &sent, 1.0);
+            for i in 0..4 {
+                sent_total[i] += f64::from(sent[i]);
+                delta_total[i] += f64::from(delta[i]);
+            }
+        }
+        // After the last round, residual = delta_total - sent_total.
+        let mut probe = vec![0.0f32; 4];
+        ec.apply(0, &mut probe, 1.0);
+        for i in 0..4 {
+            assert!(
+                (f64::from(probe[i]) - (delta_total[i] - sent_total[i])).abs() < 1e-5,
+                "coordinate {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_removes_memory() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 1);
+        ec.record(3, &[1.0], &[0.0], 1.0);
+        assert_eq!(ec.tracked_clients(), 1);
+        ec.forget(3);
+        let mut d = vec![0.0f32];
+        ec.apply(3, &mut d, 1.0);
+        assert_eq!(d, vec![0.0]);
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!("none".parse::<CompensationMode>().unwrap(), CompensationMode::None);
+        assert_eq!("ec".parse::<CompensationMode>().unwrap(), CompensationMode::Raw);
+        assert_eq!("rec".parse::<CompensationMode>().unwrap(), CompensationMode::Rescaled);
+        assert!("x".parse::<CompensationMode>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 2);
+        let mut d = vec![0.0f32; 3];
+        ec.apply(0, &mut d, 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! GlueFL's gradual mask shifting (§3.2, Algorithm 3).
+//!
+//! The server holds a *shared mask* `M_t` with ratio `q_shr < q`. Each
+//! round:
+//!
+//! 1. clients send (a) the values of their delta under `M_t` (positions
+//!    are already known to the server — zero position bytes) and (b) their
+//!    top `q − q_shr` coordinates *outside* `M_t` ([`client_split`]);
+//! 2. the server aggregates both parts, updates the model, and *shifts*
+//!    the mask to the top `q_shr` coordinates of the combined aggregate
+//!    ([`shift_mask`]), so consecutive model updates overlap in at least
+//!    `q_shr·d` positions;
+//! 3. every `I` rounds the mask is *regenerated* from the unique part only
+//!    ([`regenerate_mask`], §3.3), letting newly-unstable parameters enter
+//!    the mask wholesale.
+
+use crate::stc::keep_count;
+use gluefl_tensor::{top_k_abs_masked, BitMask, SparseUpdate, TopKScope};
+
+/// A client's two-part masked upload (Algorithm 3 lines 16–17).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSplit {
+    /// `Δ̃_shr = M_t ⊙ Δ`: values under the shared mask (dense w.r.t. the
+    /// mask, so the upload needs no position bytes).
+    pub shared: SparseUpdate,
+    /// `Δ̃_uni = top_{q−q_shr}(¬M_t ⊙ Δ)`: locally-important coordinates
+    /// outside the mask (uploaded with explicit positions).
+    pub unique: SparseUpdate,
+}
+
+impl ClientSplit {
+    /// Total uploaded payload bytes: mask-aligned values plus explicit
+    /// sparse coordinates.
+    #[must_use]
+    pub fn upload_bytes(&self) -> u64 {
+        self.shared.wire_cost_known_mask().total_bytes()
+            + self.unique.wire_cost().total_bytes()
+    }
+}
+
+/// Splits a client delta against the shared mask: dense values under
+/// `mask` plus the `unique_k` largest-magnitude coordinates outside it.
+///
+/// # Panics
+/// Panics if `delta.len() != mask.len()`.
+///
+/// # Example
+/// ```
+/// use gluefl_compress::mask_shift::client_split;
+/// use gluefl_tensor::BitMask;
+/// let delta = vec![1.0, -7.0, 2.0, 0.5];
+/// let mask = BitMask::from_indices(4, [0usize]);
+/// let split = client_split(&delta, &mask, 2);
+/// assert_eq!(split.shared.indices(), &[0]);
+/// assert_eq!(split.unique.indices(), &[1, 2]);
+/// ```
+#[must_use]
+pub fn client_split(delta: &[f32], mask: &BitMask, unique_k: usize) -> ClientSplit {
+    assert_eq!(delta.len(), mask.len(), "delta/mask length mismatch");
+    let shared = SparseUpdate::from_dense_masked(delta, mask);
+    let idx = top_k_abs_masked(delta, unique_k, TopKScope::Outside(mask));
+    let unique = SparseUpdate::gather(delta, &idx);
+    ClientSplit { shared, unique }
+}
+
+/// Server-side mask shift (Algorithm 3 line 26): the next shared mask is
+/// the top `q_shr` of the *combined* aggregated update `Δ̃_shr + Δ̃_uni`.
+///
+/// `eligible` restricts which positions may enter the mask (used to keep
+/// BatchNorm statistics out of masks; pass `None` to allow everything).
+///
+/// # Panics
+/// Panics if `q_shr` is outside `[0, 1]` or `eligible` has a different
+/// length.
+#[must_use]
+pub fn shift_mask(combined: &[f32], q_shr: f64, eligible: Option<&BitMask>) -> BitMask {
+    let k = keep_count(combined.len(), q_shr);
+    let idx = match eligible {
+        Some(e) => {
+            assert_eq!(e.len(), combined.len(), "eligible mask length mismatch");
+            top_k_abs_masked(combined, k, TopKScope::Inside(e))
+        }
+        None => top_k_abs_masked(combined, k, TopKScope::All),
+    };
+    BitMask::from_indices(combined.len(), idx)
+}
+
+/// Mask regeneration (§3.3): rebuild the shared mask from the *unique*
+/// aggregate only, as if `q_shr = 0` that round — the mask is re-seeded
+/// from fresh locally-important coordinates rather than shifted.
+///
+/// # Panics
+/// Same contract as [`shift_mask`].
+#[must_use]
+pub fn regenerate_mask(
+    unique_aggregate: &[f32],
+    q_shr: f64,
+    eligible: Option<&BitMask>,
+) -> BitMask {
+    shift_mask(unique_aggregate, q_shr, eligible)
+}
+
+/// Lower bound on the overlap of two consecutive *model updates* under
+/// mask shifting: both rounds' updates cover the shared mask, so they
+/// overlap in at least `q_shr·d` positions (§3.2, last paragraph).
+///
+/// Returns `round(q_shr · dim)` — useful for assertions and planning.
+#[must_use]
+pub fn min_update_overlap(dim: usize, q_shr: f64) -> usize {
+    keep_count(dim, q_shr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta() -> Vec<f32> {
+        vec![5.0, -0.1, 3.0, 0.2, -4.0, 0.3, 0.1, 2.0]
+    }
+
+    #[test]
+    fn split_partitions_support() {
+        let d = delta();
+        let mask = BitMask::from_indices(8, [0usize, 2]);
+        let s = client_split(&d, &mask, 3);
+        // shared support == mask; unique disjoint from mask.
+        assert_eq!(s.shared.support(), mask);
+        assert_eq!(s.unique.support().overlap(&mask), 0);
+        assert_eq!(s.unique.nnz(), 3);
+    }
+
+    #[test]
+    fn split_unique_takes_largest_outside() {
+        let d = delta();
+        let mask = BitMask::from_indices(8, [0usize, 2]);
+        let s = client_split(&d, &mask, 2);
+        // Outside mask: |-4.0| at 4 and |2.0| at 7 dominate.
+        assert_eq!(s.unique.indices(), &[4, 7]);
+    }
+
+    #[test]
+    fn split_with_zero_unique() {
+        let d = delta();
+        let mask = BitMask::from_indices(8, [1usize]);
+        let s = client_split(&d, &mask, 0);
+        assert!(s.unique.is_empty());
+        assert_eq!(s.shared.nnz(), 1);
+    }
+
+    #[test]
+    fn upload_bytes_counts_known_mask_values_without_positions() {
+        let d = delta();
+        let mask = BitMask::from_indices(8, [0usize, 2, 4]);
+        let s = client_split(&d, &mask, 1);
+        // shared: 3 values × 4B (+header); unique: 1 value + positions.
+        assert_eq!(s.shared.wire_cost_known_mask().payload_bytes(), 12);
+        assert!(s.unique.wire_cost().position_bytes > 0);
+        assert!(s.upload_bytes() >= 12 + 4);
+    }
+
+    #[test]
+    fn shift_selects_top_qshr_of_combined() {
+        let combined = vec![0.1f32, 9.0, 0.2, -8.0, 0.3, 7.0, 0.4, -6.0];
+        let m = shift_mask(&combined, 0.25, None);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn consecutive_masks_overlap_when_values_persist() {
+        // If the combined aggregate barely changes, the shifted mask is
+        // nearly identical round over round.
+        let base: Vec<f32> = (0..100).map(|i| ((i * 37) % 100) as f32 / 10.0).collect();
+        let m1 = shift_mask(&base, 0.2, None);
+        let mut drifted = base.clone();
+        for v in drifted.iter_mut().take(5) {
+            *v += 0.01;
+        }
+        let m2 = shift_mask(&drifted, 0.2, None);
+        assert!(m1.overlap(&m2) >= 18, "overlap {}", m1.overlap(&m2));
+    }
+
+    #[test]
+    fn eligible_restriction_is_respected() {
+        let combined = vec![9.0f32, 8.0, 7.0, 6.0];
+        let eligible = BitMask::from_indices(4, [2usize, 3]);
+        let m = shift_mask(&combined, 0.5, Some(&eligible));
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn regenerate_uses_unique_aggregate() {
+        let unique_agg = vec![0.0f32, 0.0, 5.0, 4.0, 0.0, 0.0];
+        let m = regenerate_mask(&unique_agg, 1.0 / 3.0, None);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn min_overlap_formula() {
+        assert_eq!(min_update_overlap(1000, 0.16), 160);
+        assert_eq!(min_update_overlap(10, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta/mask length mismatch")]
+    fn split_length_mismatch_panics() {
+        let _ = client_split(&[1.0], &BitMask::zeros(2), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for compression invariants.
+
+use gluefl_compress::mask_shift::{client_split, min_update_overlap, shift_mask};
+use gluefl_compress::stc::{keep_count, sparsify, TernaryUpdate};
+use gluefl_compress::{CompensationMode, ErrorCompensator};
+use gluefl_tensor::BitMask;
+use proptest::prelude::*;
+
+fn delta_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 1..300)
+}
+
+proptest! {
+    /// keep_count is monotone in q and bounded by dim.
+    #[test]
+    fn keep_count_monotone(dim in 0usize..10_000, q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(keep_count(dim, lo) <= keep_count(dim, hi));
+        prop_assert!(keep_count(dim, hi) <= dim);
+    }
+
+    /// Sparsify keeps exactly keep_count coordinates and its support is a
+    /// subset of the original nonzeros whenever enough nonzeros exist.
+    #[test]
+    fn sparsify_cardinality(delta in delta_vec(), q in 0.0f64..=1.0) {
+        let u = sparsify(&delta, q);
+        prop_assert_eq!(u.nnz(), keep_count(delta.len(), q));
+    }
+
+    /// Ternary quantization preserves support and signs; dequantized
+    /// magnitudes all equal μ ≥ 0.
+    #[test]
+    fn ternary_preserves_signs(delta in delta_vec(), q in 0.01f64..=1.0) {
+        let u = sparsify(&delta, q);
+        let t = TernaryUpdate::quantize(&u);
+        let back = t.dequantize();
+        prop_assert_eq!(back.indices(), u.indices());
+        prop_assert!(t.mu >= 0.0);
+        for (orig, quant) in u.values().iter().zip(back.values()) {
+            if *orig != 0.0 && t.mu > 0.0 {
+                prop_assert_eq!(orig.signum(), quant.signum());
+            }
+            prop_assert!((quant.abs() - t.mu).abs() < 1e-6);
+        }
+    }
+
+    /// Quantization never increases the wire size.
+    #[test]
+    fn ternary_never_costs_more(delta in delta_vec(), q in 0.01f64..=1.0) {
+        let u = sparsify(&delta, q);
+        let t = TernaryUpdate::quantize(&u);
+        prop_assert!(t.wire_cost().total_bytes() <= u.wire_cost().total_bytes() + 4);
+    }
+
+    /// client_split: shared ∪ unique supports are disjoint, shared support
+    /// equals the mask, and reconstruction agrees with the inputs.
+    #[test]
+    fn client_split_partition(delta in delta_vec(),
+                              mask_bits in proptest::collection::vec(any::<bool>(), 1..300),
+                              k in 0usize..50) {
+        let n = delta.len().min(mask_bits.len());
+        let delta = &delta[..n];
+        let mask = BitMask::from_indices(n, (0..n).filter(|&i| mask_bits[i]));
+        let split = client_split(delta, &mask, k);
+        prop_assert_eq!(split.shared.support(), mask.clone());
+        prop_assert_eq!(split.unique.support().overlap(&mask), 0);
+        // Unique cardinality: min(k, positions outside the mask).
+        let outside = n - mask.count_ones();
+        prop_assert_eq!(split.unique.nnz(), k.min(outside));
+        // Values are copied verbatim.
+        for (i, v) in split.shared.iter().chain(split.unique.iter()) {
+            prop_assert_eq!(v, delta[i]);
+        }
+    }
+
+    /// shift_mask density equals keep_count(q_shr) and respects the
+    /// eligibility restriction.
+    #[test]
+    fn shift_mask_density(delta in delta_vec(), q_shr in 0.0f64..=1.0,
+                          elig_bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let n = delta.len().min(elig_bits.len());
+        let delta = &delta[..n];
+        let eligible = BitMask::from_indices(n, (0..n).filter(|&i| elig_bits[i]));
+        let m = shift_mask(delta, q_shr, Some(&eligible));
+        let want = keep_count(n, q_shr).min(eligible.count_ones());
+        prop_assert_eq!(m.count_ones(), want);
+        prop_assert_eq!(m.and_not(&eligible).count_ones(), 0, "mask escaped eligibility");
+        prop_assert_eq!(min_update_overlap(n, q_shr), keep_count(n, q_shr));
+    }
+
+    /// Error-feedback invariant: at any point, total-sent + residual ==
+    /// total-delta, for arbitrary delta/compression sequences (Raw mode).
+    #[test]
+    fn error_feedback_telescopes(
+        deltas in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 8), 1..12),
+        kept_low in 0usize..8) {
+        let dim = 8;
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, dim);
+        let mut sent_total = vec![0.0f64; dim];
+        let mut delta_total = vec![0.0f64; dim];
+        for delta in &deltas {
+            let mut d = delta.clone();
+            ec.apply(0, &mut d, 1.0);
+            // "Compression": keep an arbitrary prefix of coordinates.
+            let mut sent = vec![0.0f32; dim];
+            sent[..kept_low].copy_from_slice(&d[..kept_low]);
+            ec.record(0, &d, &sent, 1.0);
+            for i in 0..dim {
+                sent_total[i] += f64::from(sent[i]);
+                delta_total[i] += f64::from(delta[i]);
+            }
+        }
+        let mut probe = vec![0.0f32; dim];
+        ec.apply(0, &mut probe, 1.0);
+        for i in 0..dim {
+            let residual = f64::from(probe[i]);
+            prop_assert!(
+                (residual - (delta_total[i] - sent_total[i])).abs() < 1e-3,
+                "coordinate {}: residual {} vs ledger {}",
+                i, residual, delta_total[i] - sent_total[i]
+            );
+        }
+    }
+
+    /// Rescaled compensation: aggregation-weighted contribution of the
+    /// residual is invariant to the weight at re-injection time.
+    #[test]
+    fn rescaled_compensation_weight_invariance(
+        residual in -5.0f32..5.0, w_old in 0.1f64..10.0, w_new in 0.1f64..10.0) {
+        let mut ec = ErrorCompensator::new(CompensationMode::Rescaled, 1);
+        ec.record(0, &[residual], &[0.0], w_old);
+        let mut d = vec![0.0f32];
+        ec.apply(0, &mut d, w_new);
+        // Server-side contribution: ν_new · re-scaled residual == ν_old · h.
+        let contribution = w_new * f64::from(d[0]);
+        prop_assert!((contribution - w_old * f64::from(residual)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,57 @@
+//! The GlueFL federated-learning framework.
+//!
+//! A pure-Rust reproduction of *GlueFL: Reconciling Client Sampling and
+//! Model Masking for Bandwidth Efficient Federated Learning* (He et al.,
+//! MLSys 2023). This crate ties the workspace's substrates — synthetic
+//! non-IID datasets ([`gluefl_data`]), a flat-parameter neural net
+//! ([`gluefl_ml`]), compression/masking ([`gluefl_compress`]), client
+//! sampling ([`gluefl_sampling`]), and network simulation
+//! ([`gluefl_net`]) — into a deterministic round-by-round simulator with
+//! four strategies:
+//!
+//! | Strategy | Sampling | Compression |
+//! |---|---|---|
+//! | [`strategies::FedAvgStrategy`] | uniform | none (dense) |
+//! | [`strategies::StcStrategy`] | uniform | top-`q` both sides + error feedback |
+//! | [`strategies::ApfStrategy`] | uniform | adaptive parameter freezing |
+//! | [`strategies::GlueFlStrategy`] | sticky (§3.1) | mask shifting (§3.2) + regeneration + REC (§3.3) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gluefl_core::{SimConfig, Simulation, StrategyConfig};
+//! use gluefl_data::DatasetProfile;
+//! use gluefl_ml::DatasetModel;
+//!
+//! // A miniature FEMNIST/ShuffleNet run (2% of paper scale, 3 rounds).
+//! let mut cfg = SimConfig::paper_setup(
+//!     DatasetProfile::Femnist,
+//!     DatasetModel::ShuffleNet,
+//!     StrategyConfig::Stc { q: 0.2 },
+//!     0.02,
+//!     3,
+//!     42,
+//! );
+//! cfg.model.hidden = vec![8];           // shrink for the doctest
+//! cfg.dataset.feature_dim = 8;
+//! cfg.dataset.classes = 4;
+//! cfg.dataset.test_samples = 40;
+//! let result = Simulation::new(cfg).run();
+//! assert_eq!(result.rounds.len(), 3);
+//! assert!(result.total.down_bytes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod simulator;
+mod staleness;
+pub mod strategies;
+pub mod theory;
+
+pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
+pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
+pub use simulator::{run_strategy, Simulation};
+pub use staleness::StalenessTracker;

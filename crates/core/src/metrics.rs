@@ -1,0 +1,285 @@
+//! Per-round and per-run metrics, mirroring the paper's Table 2 columns.
+
+/// One round's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Downstream bytes this round (all invited clients).
+    pub down_bytes: u64,
+    /// Upstream bytes this round (all invited clients).
+    pub up_bytes: u64,
+    /// Wall-clock seconds of the round (slowest kept client).
+    pub round_secs: f64,
+    /// Download seconds of the slowest kept client (the paper's DT
+    /// contribution: "we pick the slowest client in each round and sum up
+    /// their download time", §5.1).
+    pub slowest_download_secs: f64,
+    /// Upload seconds of the slowest kept client.
+    pub slowest_upload_secs: f64,
+    /// Compute seconds of the slowest kept client.
+    pub slowest_compute_secs: f64,
+    /// Mean download seconds over kept clients.
+    pub mean_download_secs: f64,
+    /// Mean upload seconds over kept clients.
+    pub mean_upload_secs: f64,
+    /// Mean compute seconds over kept clients.
+    pub mean_compute_secs: f64,
+    /// Test accuracy (top-1 or top-5 per config), if evaluated this round.
+    pub accuracy: Option<f64>,
+    /// Test loss, if evaluated this round.
+    pub loss: Option<f64>,
+    /// Number of clients invited (incl. over-commitment).
+    pub invited: usize,
+    /// Number of client updates kept.
+    pub kept: usize,
+    /// Positions changed by this round's aggregate update.
+    pub changed_positions: usize,
+}
+
+/// Accumulated results of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+    /// Round at which the 5-eval rolling-mean accuracy first reached the
+    /// target (paper §5.1 reporting rule), if it did.
+    pub target_round: Option<u32>,
+    /// Cumulative metrics *at the target round* (or at the end if the
+    /// target was not reached).
+    pub at_target: CumulativeMetrics,
+    /// Cumulative metrics over the full run.
+    pub total: CumulativeMetrics,
+}
+
+/// The DV / TV / DT / TT numbers of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CumulativeMetrics {
+    /// Downstream volume in bytes (Table 2's DV).
+    pub down_bytes: u64,
+    /// Total volume in bytes (Table 2's TV = DV + upstream).
+    pub total_bytes: u64,
+    /// Download time in seconds (Table 2's DT: sum of slowest download).
+    pub download_secs: f64,
+    /// Total training time in seconds (Table 2's TT).
+    pub total_secs: f64,
+    /// Rounds included.
+    pub rounds: u32,
+    /// Final (rolling-mean) accuracy at this point.
+    pub accuracy: f64,
+}
+
+impl RunResult {
+    /// Builds a result from round records, computing target-time metrics
+    /// with the paper's 5-evaluation rolling mean rule.
+    #[must_use]
+    pub fn from_rounds(
+        strategy: impl Into<String>,
+        rounds: Vec<RoundRecord>,
+        target_accuracy: Option<f64>,
+    ) -> Self {
+        let mut rolling: Vec<f64> = Vec::new();
+        let mut target_round: Option<u32> = None;
+        if let Some(target) = target_accuracy {
+            for r in &rounds {
+                if let Some(acc) = r.accuracy {
+                    rolling.push(acc);
+                    let window = &rolling[rolling.len().saturating_sub(5)..];
+                    let mean = window.iter().sum::<f64>() / window.len() as f64;
+                    if rolling.len() >= 5 && mean >= target && target_round.is_none() {
+                        target_round = Some(r.round);
+                    }
+                }
+            }
+        }
+        let total = Self::accumulate(&rounds, u32::MAX);
+        let at_target = match target_round {
+            Some(t) => Self::accumulate(&rounds, t),
+            None => total,
+        };
+        Self {
+            strategy: strategy.into(),
+            rounds,
+            target_round,
+            at_target,
+            total,
+        }
+    }
+
+    fn accumulate(rounds: &[RoundRecord], up_to_round: u32) -> CumulativeMetrics {
+        let mut m = CumulativeMetrics::default();
+        let mut recent: Vec<f64> = Vec::new();
+        for r in rounds {
+            if r.round > up_to_round {
+                break;
+            }
+            m.down_bytes += r.down_bytes;
+            m.total_bytes += r.down_bytes + r.up_bytes;
+            m.download_secs += r.slowest_download_secs;
+            m.total_secs += r.round_secs;
+            m.rounds += 1;
+            if let Some(acc) = r.accuracy {
+                recent.push(acc);
+            }
+        }
+        let window = &recent[recent.len().saturating_sub(5)..];
+        if !window.is_empty() {
+            m.accuracy = window.iter().sum::<f64>() / window.len() as f64;
+        }
+        m
+    }
+
+    /// Cumulative downstream bytes after each round — the x-axis of the
+    /// paper's Figures 5–8, 10, 11.
+    #[must_use]
+    pub fn cumulative_down_bytes(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.rounds
+            .iter()
+            .map(|r| {
+                acc += r.down_bytes;
+                acc
+            })
+            .collect()
+    }
+
+    /// `(cumulative_down_bytes, accuracy)` pairs at evaluation rounds —
+    /// one series of the accuracy-vs-bandwidth plots.
+    #[must_use]
+    pub fn accuracy_curve(&self) -> Vec<(u64, f64)> {
+        let mut acc_bytes = 0u64;
+        let mut out = Vec::new();
+        for r in &self.rounds {
+            acc_bytes += r.down_bytes;
+            if let Some(a) = r.accuracy {
+                out.push((acc_bytes, a));
+            }
+        }
+        out
+    }
+
+    /// Writes the per-round records as CSV (header + one line per round).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "round,down_bytes,up_bytes,round_secs,slowest_download_secs,\
+             slowest_upload_secs,slowest_compute_secs,accuracy,loss,invited,kept,changed\n",
+        );
+        for r in &self.rounds {
+            s.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
+                r.round,
+                r.down_bytes,
+                r.up_bytes,
+                r.round_secs,
+                r.slowest_download_secs,
+                r.slowest_upload_secs,
+                r.slowest_compute_secs,
+                r.accuracy.map_or(String::new(), |a| format!("{a:.4}")),
+                r.loss.map_or(String::new(), |l| format!("{l:.4}")),
+                r.invited,
+                r.kept,
+                r.changed_positions,
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u32, down: u64, up: u64, acc: Option<f64>) -> RoundRecord {
+        RoundRecord {
+            round,
+            down_bytes: down,
+            up_bytes: up,
+            round_secs: 1.0,
+            slowest_download_secs: 0.5,
+            accuracy: acc,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let r = RunResult::from_rounds(
+            "test",
+            vec![record(0, 100, 50, None), record(1, 200, 70, None)],
+            None,
+        );
+        assert_eq!(r.total.down_bytes, 300);
+        assert_eq!(r.total.total_bytes, 420);
+        assert_eq!(r.total.rounds, 2);
+        assert!((r.total.download_secs - 1.0).abs() < 1e-12);
+        assert!((r.total.total_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_uses_five_eval_rolling_mean() {
+        // Single high spike must NOT trigger the target; a sustained
+        // plateau must.
+        let mut rounds = Vec::new();
+        let accs = [0.1, 0.9, 0.1, 0.1, 0.1, 0.8, 0.8, 0.8, 0.8, 0.8];
+        for (i, &a) in accs.iter().enumerate() {
+            rounds.push(record(i as u32, 10, 5, Some(a)));
+        }
+        let r = RunResult::from_rounds("t", rounds, Some(0.75));
+        // Rolling means over the trailing 5 evals: idx4: 0.26, idx5: 0.4,
+        // idx6: 0.52, idx7: 0.66, idx8: 0.66, idx9: 0.8 ← first ≥ 0.75.
+        assert_eq!(r.target_round, Some(9));
+        assert_eq!(r.at_target.rounds, 10);
+        assert_eq!(r.at_target.down_bytes, 100);
+    }
+
+    #[test]
+    fn target_not_reached_falls_back_to_total() {
+        let rounds = vec![record(0, 10, 5, Some(0.2)); 6]
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.round = i as u32;
+                r
+            })
+            .collect();
+        let r = RunResult::from_rounds("t", rounds, Some(0.99));
+        assert_eq!(r.target_round, None);
+        assert_eq!(r.at_target, r.total);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone() {
+        let r = RunResult::from_rounds(
+            "t",
+            vec![record(0, 5, 0, None), record(1, 7, 0, None), record(2, 1, 0, None)],
+            None,
+        );
+        assert_eq!(r.cumulative_down_bytes(), vec![5, 12, 13]);
+    }
+
+    #[test]
+    fn accuracy_curve_pairs_bytes_with_evals() {
+        let r = RunResult::from_rounds(
+            "t",
+            vec![
+                record(0, 5, 0, None),
+                record(1, 7, 0, Some(0.3)),
+                record(2, 2, 0, Some(0.5)),
+            ],
+            None,
+        );
+        assert_eq!(r.accuracy_curve(), vec![(12, 0.3), (14, 0.5)]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = RunResult::from_rounds("t", vec![record(0, 1, 2, Some(0.5))], None);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("round,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().contains("0.5000"));
+    }
+}

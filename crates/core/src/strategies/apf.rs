@@ -1,0 +1,202 @@
+//! APF: Adaptive Parameter Freezing as a server masking strategy
+//! (Chen et al. 2021; the paper's parameter-freezing baseline).
+
+use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
+use gluefl_compress::{Apf, ApfConfig};
+use gluefl_sampling::{ClientId, UniformSampler};
+use gluefl_tensor::SparseUpdate;
+use rand::rngs::StdRng;
+
+/// APF with uniform sampling: the server maintains a per-parameter freeze
+/// state; each round only *active* (unfrozen) parameters are trained,
+/// uploaded (values aligned to the known active mask), aggregated, and
+/// synchronised. The active mask itself is broadcast as a bitmap.
+#[derive(Debug)]
+pub struct ApfStrategy {
+    sampler: UniformSampler,
+    k: usize,
+    oc: f64,
+    weights: Vec<f64>,
+    apf: Apf,
+    dim: usize,
+}
+
+impl ApfStrategy {
+    /// Creates the strategy over `dim` flat parameters.
+    ///
+    /// BN statistics need no special casing here: they receive zero
+    /// "update" signal from the strategy's viewpoint and [`Apf`] never
+    /// freezes a zero-signal parameter.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        k: usize,
+        oc: f64,
+        weights: Vec<f64>,
+        config: ApfConfig,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(weights.len(), n, "weights length must equal population");
+        Self {
+            sampler: UniformSampler::new(n),
+            k,
+            oc,
+            weights,
+            apf: Apf::new(dim, config),
+            dim,
+        }
+    }
+
+    /// Fraction of parameters currently frozen (observability hook).
+    #[must_use]
+    pub fn frozen_fraction(&self) -> f64 {
+        self.apf.frozen_fraction()
+    }
+}
+
+impl Strategy for ApfStrategy {
+    fn name(&self) -> String {
+        "apf".into()
+    }
+
+    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+        let invites = (self.k as f64 * self.oc).round() as usize;
+        RoundPlan {
+            sticky_invites: Vec::new(),
+            fresh_invites: self.sampler.draw(rng, invites, Some(available)),
+            keep_sticky: 0,
+            keep_fresh: self.k,
+        }
+    }
+
+    fn client_weight(&self, id: ClientId, _group: Group) -> f64 {
+        self.sampler.population() as f64 / self.k as f64 * self.weights[id]
+    }
+
+    fn mask_download_bytes(&self, _round: u32) -> u64 {
+        // The active mask is shipped as a bitmap with each sync.
+        bitmap_bytes(self.dim)
+    }
+
+    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+        // Clients freeze the frozen parameters locally, so their deltas
+        // are zero there; the upload carries only active positions, whose
+        // identities the server already knows (known-mask encoding).
+        let active = self.apf.active_mask();
+        let sparse = SparseUpdate::from_dense_masked(delta, &active);
+        Upload::KnownMask(sparse)
+    }
+
+    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        for (id, group, upload) in kept {
+            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
+        }
+        // Frozen positions must not move even if numerical noise crept in.
+        let active = self.apf.active_mask();
+        active.apply_to(&mut acc);
+        self.apf.observe(&acc);
+        acc
+    }
+
+    fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn cfg() -> ApfConfig {
+        ApfConfig {
+            threshold: 0.1,
+            ema_beta: 0.9,
+            initial_period: 2,
+            max_period: 8,
+            warmup_rounds: 3,
+        }
+    }
+
+    fn strategy() -> ApfStrategy {
+        ApfStrategy::new(10, 3, 1.0, vec![0.1; 10], cfg(), 6)
+    }
+
+    #[test]
+    fn everything_active_initially() {
+        let mut s = strategy();
+        let mut delta = vec![1.0f32; 6];
+        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        match up {
+            Upload::KnownMask(u) => assert_eq!(u.nnz(), 6),
+            other => panic!("expected known-mask upload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oscillating_positions_get_frozen_and_uploads_shrink() {
+        let mut s = strategy();
+        // Positions 0..3 oscillate; 3..6 move steadily.
+        for r in 0..20 {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let kept: Vec<(ClientId, Group, Upload)> = (0..3)
+                .map(|id| {
+                    let mut delta = vec![0.0f32; 6];
+                    for (j, d) in delta.iter_mut().enumerate() {
+                        *d = if j < 3 { sign * 0.5 } else { 0.5 };
+                    }
+                    let up = s.compress(r, id, Group::Fresh, &mut delta);
+                    (id, Group::Fresh, up)
+                })
+                .collect();
+            let _ = s.aggregate(r, &kept);
+        }
+        assert!(s.frozen_fraction() > 0.0, "nothing froze");
+        // Steady positions must still be active.
+        let mut probe = vec![1.0f32; 6];
+        let up = s.compress(99, 0, Group::Fresh, &mut probe);
+        match up {
+            Upload::KnownMask(u) => {
+                assert!(u.indices().contains(&4) && u.indices().contains(&5));
+                assert!(u.nnz() < 6, "no position was dropped");
+            }
+            other => panic!("expected known-mask upload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_positions_do_not_change_in_aggregate() {
+        let mut s = strategy();
+        // Freeze positions 0..3 as above. The mask relevant to round r is
+        // the one in force *before* aggregation advances the APF state.
+        for r in 0..20 {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let active_before = s.apf.active_mask();
+            let kept: Vec<(ClientId, Group, Upload)> = (0..3)
+                .map(|id| {
+                    let mut delta =
+                        vec![sign * 0.5, sign * 0.5, sign * 0.5, 0.5, 0.5, 0.5];
+                    let up = s.compress(r, id, Group::Fresh, &mut delta);
+                    (id, Group::Fresh, up)
+                })
+                .collect();
+            let agg = s.aggregate(r, &kept);
+            for (j, v) in agg.iter().enumerate() {
+                if !active_before.get(j) {
+                    assert_eq!(*v, 0.0, "frozen position {j} changed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_bitmap_is_charged_per_sync() {
+        let s = strategy();
+        assert_eq!(s.mask_download_bytes(0), 1 + 16); // ceil(6/8) + header
+    }
+
+    #[test]
+    fn weight_matches_fedavg_rule() {
+        let s = strategy();
+        assert!((s.client_weight(2, Group::Fresh) - 10.0 / 3.0 * 0.1).abs() < 1e-12);
+    }
+}

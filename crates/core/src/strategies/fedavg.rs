@@ -1,0 +1,161 @@
+//! FedAvg with uniform client sampling (McMahan et al. 2017; §2.1).
+
+use super::{Group, RoundPlan, Strategy, Upload};
+use gluefl_sampling::{ClientId, UniformSampler};
+use rand::rngs::StdRng;
+
+/// The no-compression baseline: uniform sampling, dense uploads, dense
+/// aggregation `w ← w + (N/K)·Σ p_i Δ_i` (Equation 2).
+#[derive(Debug)]
+pub struct FedAvgStrategy {
+    sampler: UniformSampler,
+    k: usize,
+    oc: f64,
+    weights: Vec<f64>,
+    dim: usize,
+}
+
+impl FedAvgStrategy {
+    /// Creates the strategy for `n` clients, round size `k`, over-commit
+    /// factor `oc`, importance weights `p_i`, and model dimension `dim`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, oc: f64, weights: Vec<f64>, dim: usize) -> Self {
+        assert_eq!(weights.len(), n, "weights length must equal population");
+        Self {
+            sampler: UniformSampler::new(n),
+            k,
+            oc,
+            weights,
+            dim,
+        }
+    }
+}
+
+impl Strategy for FedAvgStrategy {
+    fn name(&self) -> String {
+        "fedavg".into()
+    }
+
+    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+        let invites = (self.k as f64 * self.oc).round() as usize;
+        RoundPlan {
+            sticky_invites: Vec::new(),
+            fresh_invites: self.sampler.draw(rng, invites, Some(available)),
+            keep_sticky: 0,
+            keep_fresh: self.k,
+        }
+    }
+
+    fn client_weight(&self, id: ClientId, _group: Group) -> f64 {
+        // Equation 2: (N/K)·p_i.
+        self.sampler.population() as f64 / self.k as f64 * self.weights[id]
+    }
+
+    fn mask_download_bytes(&self, _round: u32) -> u64 {
+        0
+    }
+
+    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+        Upload::Dense(delta.to_vec())
+    }
+
+    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        for (id, group, upload) in kept {
+            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
+        }
+        acc
+    }
+
+    fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn strategy() -> FedAvgStrategy {
+        FedAvgStrategy::new(20, 4, 1.25, vec![0.05; 20], 8)
+    }
+
+    #[test]
+    fn plan_invites_oc_times_k() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        assert_eq!(plan.fresh_invites.len(), 5);
+        assert_eq!(plan.keep_fresh, 4);
+        assert!(plan.sticky_invites.is_empty());
+    }
+
+    #[test]
+    fn weight_is_n_over_k_times_p() {
+        let s = strategy();
+        assert!((s.client_weight(3, Group::Fresh) - 20.0 / 4.0 * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_weighted_mean_of_dense() {
+        let mut s = strategy();
+        // Two clients with opposite unit deltas and equal weights: the
+        // aggregate is zero.
+        let kept = vec![
+            (0usize, Group::Fresh, Upload::Dense(vec![1.0; 8])),
+            (1usize, Group::Fresh, Upload::Dense(vec![-1.0; 8])),
+        ];
+        let agg = s.aggregate(0, &kept);
+        assert!(agg.iter().all(|v| v.abs() < 1e-9));
+        // One client: agg = weight · delta.
+        let kept = vec![(2usize, Group::Fresh, Upload::Dense(vec![2.0; 8]))];
+        let agg = s.aggregate(0, &kept);
+        let w = s.client_weight(2, Group::Fresh) as f32;
+        assert!(agg.iter().all(|v| (*v - 2.0 * w).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expected_aggregate_is_unbiased_over_sampling() {
+        // Monte Carlo check of E[Δ] = Σ p_i Δ_i for uniform sampling with
+        // (N/K)p_i weights: client i's delta is e_i (indicator), so the
+        // expected aggregate at position i must approach p_i.
+        let n = 10;
+        let k = 3;
+        let weights = vec![1.0 / n as f64; n];
+        let mut s = FedAvgStrategy::new(n, k, 1.0, weights.clone(), n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut acc = vec![0.0f64; n];
+        for _ in 0..trials {
+            let plan = s.plan_round(0, &mut rng, &[true; 10]);
+            let kept: Vec<(ClientId, Group, Upload)> = plan
+                .fresh_invites
+                .iter()
+                .map(|&id| {
+                    let mut delta = vec![0.0f32; n];
+                    delta[id] = 1.0;
+                    (id, Group::Fresh, Upload::Dense(delta))
+                })
+                .collect();
+            let agg = s.aggregate(0, &kept);
+            for (a, g) in acc.iter_mut().zip(&agg) {
+                *a += f64::from(*g);
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - 0.1).abs() < 0.01,
+                "position {i}: mean {mean} vs expected 0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_upload_and_no_mask_bytes() {
+        let mut s = strategy();
+        let mut delta = vec![1.0f32; 8];
+        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        assert_eq!(up.bytes(), 8 * 4 + 16);
+        assert_eq!(s.mask_download_bytes(0), 0);
+    }
+}

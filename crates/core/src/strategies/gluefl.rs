@@ -1,0 +1,472 @@
+//! GlueFL: sticky sampling + mask shifting (Algorithm 3).
+
+use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
+use crate::config::GlueFlParams;
+use gluefl_compress::mask_shift::{shift_mask, ClientSplit};
+use gluefl_compress::stc::keep_count;
+use gluefl_compress::ErrorCompensator;
+use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
+use gluefl_sampling::{sticky_weights, ClientId, StickySampler};
+use gluefl_tensor::{top_k_abs_masked, BitMask, SparseUpdate, TopKScope};
+use rand::rngs::StdRng;
+
+/// The paper's framework: sticky sampling (§3.1) for client selection,
+/// mask shifting (§3.2) for compression, with shared-mask regeneration and
+/// re-scaled error compensation (§3.3).
+#[derive(Debug)]
+pub struct GlueFlStrategy {
+    sampler: StickySampler,
+    params: GlueFlParams,
+    k: usize,
+    oc: f64,
+    oc_strategy: OcStrategy,
+    weights: Vec<f64>,
+    /// Current shared mask `M_t` (⊆ trainable positions).
+    shared_mask: BitMask,
+    /// Positions that may never be masked/selected (BN statistics).
+    stats_excluded: BitMask,
+    /// Number of trainable positions (base for `q` ratios).
+    trainable: usize,
+    dim: usize,
+    ec: ErrorCompensator,
+}
+
+impl GlueFlStrategy {
+    /// Creates the strategy. The initial shared mask is a random
+    /// `q_shr`-fraction of trainable positions (before the first round
+    /// there is no update signal to select by).
+    ///
+    /// # Panics
+    /// Panics if the sticky configuration is inconsistent
+    /// (`C > S`, `S > N`, `C > K`, or `q_shr > q`).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        n: usize,
+        k: usize,
+        oc: f64,
+        oc_strategy: OcStrategy,
+        weights: Vec<f64>,
+        params: GlueFlParams,
+        trainable: usize,
+        dim: usize,
+        stats_excluded: BitMask,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(weights.len(), n, "weights length must equal population");
+        assert!(
+            params.q_shr <= params.q,
+            "q_shr {} must not exceed q {}",
+            params.q_shr,
+            params.q
+        );
+        assert!(
+            params.sticky_draw <= params.sticky_group
+                && params.sticky_group <= n
+                && params.sticky_draw <= k,
+            "invalid sticky configuration"
+        );
+        let sampler = StickySampler::new(n, params.sticky_group, rng);
+        // Random initial mask over trainable positions.
+        let k_mask = keep_count(trainable, params.q_shr);
+        let eligible: Vec<usize> = (0..dim).filter(|&i| !stats_excluded.get(i)).collect();
+        let mut picked = eligible;
+        use rand::seq::SliceRandom;
+        let (sel, _) = picked.partial_shuffle(rng, k_mask);
+        let shared_mask = BitMask::from_indices(dim, sel.iter().copied());
+        let ec = ErrorCompensator::new(params.compensation, dim);
+        Self {
+            sampler,
+            params,
+            k,
+            oc,
+            oc_strategy,
+            weights,
+            shared_mask,
+            stats_excluded,
+            trainable,
+            dim,
+            ec,
+        }
+    }
+
+    /// The current shared mask `M_t`.
+    #[must_use]
+    pub fn shared_mask(&self) -> &BitMask {
+        &self.shared_mask
+    }
+
+    /// The sticky sampler (for inspection in tests/experiments).
+    #[must_use]
+    pub fn sampler(&self) -> &StickySampler {
+        &self.sampler
+    }
+
+    /// Whether `round` is a shared-mask regeneration round (§3.3).
+    #[must_use]
+    pub fn is_regen_round(&self, round: u32) -> bool {
+        match self.params.regen_interval {
+            Some(i) => round > 0 && round.is_multiple_of(i),
+            None => false,
+        }
+    }
+
+    /// Per-client unique top-k for this round: `q − q_shr` normally, the
+    /// full `q` on regeneration rounds (where the shared mask is unused).
+    fn unique_keep(&self, round: u32) -> usize {
+        if self.is_regen_round(round) {
+            keep_count(self.trainable, self.params.q)
+        } else {
+            keep_count(self.trainable, self.params.q - self.params.q_shr)
+        }
+    }
+}
+
+impl Strategy for GlueFlStrategy {
+    fn name(&self) -> String {
+        if self.params.equal_weights {
+            "gluefl-equal".into()
+        } else {
+            "gluefl".into()
+        }
+    }
+
+    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+        let plan = oc_plan(self.k, self.params.sticky_draw, self.oc, self.oc_strategy);
+        let draw = self.sampler.draw(
+            rng,
+            plan.sticky_invites,
+            plan.fresh_invites,
+            Some(available),
+        );
+        RoundPlan {
+            sticky_invites: draw.sticky,
+            fresh_invites: draw.fresh,
+            keep_sticky: plan.keep_sticky,
+            keep_fresh: plan.keep_fresh,
+        }
+    }
+
+    fn client_weight(&self, id: ClientId, group: Group) -> f64 {
+        if self.params.equal_weights {
+            return 1.0 / self.k as f64;
+        }
+        let w = sticky_weights(
+            self.sampler.population(),
+            self.params.sticky_group,
+            self.params.sticky_draw,
+            self.k,
+        );
+        let factor = match group {
+            Group::Sticky => w.sticky_factor,
+            Group::Fresh => w.fresh_factor,
+        };
+        factor * self.weights[id]
+    }
+
+    fn mask_download_bytes(&self, _round: u32) -> u64 {
+        // The shared mask M_t travels as a bitmap with each sync
+        // (Algorithm 3 line 7).
+        bitmap_bytes(self.dim)
+    }
+
+    fn compress(&mut self, round: u32, id: ClientId, group: Group, delta: &mut [f32]) -> Upload {
+        let weight = self.client_weight(id, group);
+        // Re-scaled error compensation (Equation 7).
+        self.ec.apply(id, delta, weight);
+
+        let regen = self.is_regen_round(round);
+        let unique_k = self.unique_keep(round);
+        // Shared part: values under M_t (empty on regeneration rounds).
+        let shared = if regen {
+            SparseUpdate::empty(self.dim)
+        } else {
+            SparseUpdate::from_dense_masked(delta, &self.shared_mask)
+        };
+        // Unique part: top-(q−q_shr) outside M_t ∪ stats.
+        let scope_mask = if regen {
+            self.stats_excluded.clone()
+        } else {
+            self.shared_mask.or(&self.stats_excluded)
+        };
+        let idx = top_k_abs_masked(delta, unique_k, TopKScope::Outside(&scope_mask));
+        let unique = SparseUpdate::gather(delta, &idx);
+
+        // Residual: h = Δ − (Δ̃_shr + Δ̃_uni).
+        let mut sent = shared.to_dense();
+        unique.apply(&mut sent);
+        self.ec.record(id, delta, &sent, weight);
+
+        Upload::MaskSplit(ClientSplit { shared, unique })
+    }
+
+    fn aggregate(&mut self, round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
+        let mut shr_acc = vec![0.0f32; self.dim];
+        let mut uni_acc = vec![0.0f32; self.dim];
+        for (id, group, upload) in kept {
+            let w = self.client_weight(*id, *group) as f32;
+            match upload {
+                Upload::MaskSplit(split) => {
+                    split.shared.add_scaled_into(&mut shr_acc, w);
+                    split.unique.add_scaled_into(&mut uni_acc, w);
+                }
+                other => panic!("GlueFL aggregate received non-split upload {other:?}"),
+            }
+        }
+        // Δ̃_uni = top_{q−q_shr} of the weighted unique aggregate (line 23).
+        let unique_k = self.unique_keep(round);
+        let idx = top_k_abs_masked(&uni_acc, unique_k, TopKScope::Outside(&self.stats_excluded));
+        let uni_top = SparseUpdate::gather(&uni_acc, &idx);
+
+        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24).
+        let mut combined = shr_acc;
+        uni_top.add_scaled_into(&mut combined, 1.0);
+
+        // Mask update (line 26 / §3.3 regeneration).
+        let eligible = self.stats_excluded.not();
+        self.shared_mask = if self.is_regen_round(round) {
+            // Regenerate from the unique aggregate only.
+            shift_mask(&uni_top.to_dense(), self.params.q_shr, Some(&eligible))
+        } else {
+            shift_mask(&combined, self.params.q_shr, Some(&eligible))
+        };
+        combined
+    }
+
+    fn finish_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        kept_sticky: &[ClientId],
+        kept_fresh: &[ClientId],
+    ) {
+        self.sampler.rebalance(rng, kept_sticky, kept_fresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gluefl_compress::CompensationMode;
+    use rand::SeedableRng;
+
+    fn params() -> GlueFlParams {
+        GlueFlParams {
+            q: 0.3,
+            q_shr: 0.2,
+            sticky_group: 8,
+            sticky_draw: 3,
+            regen_interval: Some(5),
+            compensation: CompensationMode::Rescaled,
+            equal_weights: false,
+        }
+    }
+
+    fn strategy(seed: u64) -> GlueFlStrategy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GlueFlStrategy::new(
+            20,
+            4,
+            1.0,
+            OcStrategy::Proportional,
+            vec![0.05; 20],
+            params(),
+            20,
+            20,
+            BitMask::zeros(20),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn initial_mask_has_qshr_density() {
+        let s = strategy(0);
+        assert_eq!(s.shared_mask().count_ones(), 4); // 20% of 20
+    }
+
+    #[test]
+    fn plan_draws_sticky_and_fresh() {
+        let mut s = strategy(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        assert_eq!(plan.sticky_invites.len(), 3);
+        assert_eq!(plan.fresh_invites.len(), 1);
+        assert_eq!(plan.keep_sticky, 3);
+        assert_eq!(plan.keep_fresh, 1);
+        assert!(plan
+            .sticky_invites
+            .iter()
+            .all(|&c| s.sampler().is_sticky(c)));
+    }
+
+    #[test]
+    fn weights_are_inverse_propensity() {
+        let s = strategy(3);
+        // ν_s = (S/C)·p = (8/3)·0.05; ν_r = ((N−S)/(K−C))·p = 12·0.05.
+        assert!((s.client_weight(0, Group::Sticky) - 8.0 / 3.0 * 0.05).abs() < 1e-12);
+        assert!((s.client_weight(0, Group::Fresh) - 12.0 * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_weights_variant() {
+        let mut p = params();
+        p.equal_weights = true;
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = GlueFlStrategy::new(
+            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
+            BitMask::zeros(20), &mut rng,
+        );
+        assert_eq!(s.name(), "gluefl-equal");
+        assert_eq!(s.client_weight(0, Group::Sticky), 0.25);
+        assert_eq!(s.client_weight(0, Group::Fresh), 0.25);
+    }
+
+    #[test]
+    fn compress_splits_along_mask() {
+        let mut s = strategy(5);
+        let mask = s.shared_mask().clone();
+        let mut delta: Vec<f32> = (0..20).map(|i| i as f32 - 10.0).collect();
+        let up = s.compress(1, 0, Group::Sticky, &mut delta);
+        match up {
+            Upload::MaskSplit(split) => {
+                assert_eq!(split.shared.support(), mask);
+                assert_eq!(split.unique.support().overlap(&mask), 0);
+                // q−q_shr = 10% of 20 = 2 unique coordinates.
+                assert_eq!(split.unique.nnz(), 2);
+            }
+            other => panic!("expected mask split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regen_round_sends_no_shared_part() {
+        let mut s = strategy(6);
+        assert!(s.is_regen_round(5));
+        assert!(!s.is_regen_round(4));
+        assert!(!s.is_regen_round(0)); // round 0 never regenerates
+        let mut delta: Vec<f32> = (0..20).map(|i| (i as f32) * 0.1).collect();
+        let up = s.compress(5, 0, Group::Sticky, &mut delta);
+        match up {
+            Upload::MaskSplit(split) => {
+                assert!(split.shared.is_empty());
+                // Full q = 30% of 20 = 6 coordinates.
+                assert_eq!(split.unique.nnz(), 6);
+            }
+            other => panic!("expected mask split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_updates_mask_to_top_qshr_of_combined() {
+        let mut s = strategy(7);
+        let mut delta: Vec<f32> = (0..20).map(|i| if i < 6 { 10.0 } else { 0.01 }).collect();
+        let up = s.compress(1, 0, Group::Sticky, &mut delta.clone());
+        let _ = up;
+        let up = s.compress(1, 1, Group::Sticky, &mut delta);
+        let agg = s.aggregate(1, &[(1, Group::Sticky, up)]);
+        assert_eq!(agg.len(), 20);
+        // New mask has q_shr density.
+        assert_eq!(s.shared_mask().count_ones(), 4);
+    }
+
+    #[test]
+    fn consecutive_update_overlap_at_least_qshr() {
+        // The support of round t+1's combined update always contains
+        // M_{t+1}, which was chosen from round t's combined update —
+        // so consecutive supports overlap in ≥ q_shr·d positions as long
+        // as clients keep sending the shared part. (Regeneration rounds
+        // intentionally break this, so disable them here.)
+        let mut p = params();
+        p.regen_interval = None;
+        let mut init_rng = StdRng::seed_from_u64(8);
+        let mut s = GlueFlStrategy::new(
+            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
+            BitMask::zeros(20), &mut init_rng,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut prev_support: Option<BitMask> = None;
+        for round in 1..6u32 {
+            // Three sticky clients with pseudo-random deltas.
+            let kept: Vec<(ClientId, Group, Upload)> = (0..3)
+                .map(|id| {
+                    use rand::Rng;
+                    let mut delta: Vec<f32> =
+                        (0..20).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let up = s.compress(round, id, Group::Sticky, &mut delta);
+                    (id, Group::Sticky, up)
+                })
+                .collect();
+            let agg = s.aggregate(round, &kept);
+            let support = BitMask::from_indices(
+                20,
+                agg.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i),
+            );
+            if let Some(prev) = &prev_support {
+                let overlap = prev.overlap(&support);
+                assert!(
+                    overlap >= 4,
+                    "round {round}: overlap {overlap} below q_shr·d = 4"
+                );
+            }
+            prev_support = Some(support);
+        }
+    }
+
+    #[test]
+    fn rescaled_compensation_survives_group_switch() {
+        let mut s = strategy(10);
+        // Client 0 participates as Fresh (weight 12·0.05 = 0.6), residual
+        // recorded; later participates as Sticky (weight 8/3·0.05 ≈ 0.133).
+        // Craft a delta where one coordinate is dropped: make 3 positions
+        // outside the mask large, so top-2 keeps the two largest.
+        let mask = s.shared_mask().clone();
+        let outside: Vec<usize> = (0..20).filter(|&i| !mask.get(i)).collect();
+        let mut d = vec![0.0f32; 20];
+        d[outside[0]] = 5.0;
+        d[outside[1]] = 4.0;
+        d[outside[2]] = 3.0; // dropped by top-2 → residual
+        let _ = s.compress(1, 0, Group::Fresh, &mut d);
+        // Next round, zero delta: compensation should re-inject the
+        // residual scaled by ν_fresh/ν_sticky = 0.6/0.1333... = 4.5.
+        let mut d2 = vec![0.0f32; 20];
+        let up = s.compress(2, 0, Group::Sticky, &mut d2);
+        match up {
+            Upload::MaskSplit(split) => {
+                let dense = {
+                    let mut v = split.shared.to_dense();
+                    split.unique.apply(&mut v);
+                    v
+                };
+                let expected = 3.0 * (0.6 / (8.0 / 3.0 * 0.05));
+                assert!(
+                    (dense[outside[2]] - expected as f32).abs() < 1e-3,
+                    "residual {} vs expected {expected}",
+                    dense[outside[2]]
+                );
+            }
+            other => panic!("expected mask split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_round_rebalances_sticky_group() {
+        let mut s = strategy(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        s.finish_round(0, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
+        assert_eq!(s.sampler().group_size(), 8);
+        assert!(plan.fresh_invites.iter().all(|&c| s.sampler().is_sticky(c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "q_shr")]
+    fn rejects_qshr_above_q() {
+        let mut p = params();
+        p.q_shr = 0.5;
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = GlueFlStrategy::new(
+            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
+            BitMask::zeros(20), &mut rng,
+        );
+    }
+}

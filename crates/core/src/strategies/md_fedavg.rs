@@ -1,0 +1,181 @@
+//! FedAvg with multinomial (MD) client sampling (Li et al. 2020a).
+
+use super::{Group, RoundPlan, Strategy, Upload};
+use gluefl_sampling::{ClientId, MdSampler};
+use rand::rngs::StdRng;
+
+/// FedAvg where each round's `K` participants are drawn i.i.d. from the
+/// multinomial distribution over importance weights `p_i` (§6, "Client
+/// sampling"). A client drawn `m` times contributes with weight `m/K`,
+/// which keeps the aggregate unbiased: `E[Δ] = Σ p_i Δ_i`.
+///
+/// Over-commitment is not applied: MD sampling is a statistical baseline
+/// and every drawn update is kept (duplicates collapse into one invitation
+/// with multiplicity).
+#[derive(Debug)]
+pub struct MdFedAvgStrategy {
+    sampler: MdSampler,
+    k: usize,
+    dim: usize,
+    /// Per-client draw multiplicity for the current round.
+    multiplicity: Vec<u32>,
+}
+
+impl MdFedAvgStrategy {
+    /// Creates the strategy for importance weights `p_i` (need not be
+    /// normalised) and model dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if the weights are not a valid distribution.
+    #[must_use]
+    pub fn new(weights: Vec<f64>, k: usize, dim: usize) -> Self {
+        let n = weights.len();
+        Self {
+            sampler: MdSampler::new(weights).expect("valid client weights"),
+            k,
+            dim,
+            multiplicity: vec![0; n],
+        }
+    }
+}
+
+impl Strategy for MdFedAvgStrategy {
+    fn name(&self) -> String {
+        "md-fedavg".into()
+    }
+
+    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+        self.multiplicity.fill(0);
+        let mut drawn = 0usize;
+        let mut attempts = 0usize;
+        // Rejection-sample against availability (equivalent to MD sampling
+        // over the online sub-population, re-normalised).
+        while drawn < self.k && attempts < self.k * 200 {
+            attempts += 1;
+            let id = self.sampler.draw(rng, 1)[0];
+            if available[id] {
+                self.multiplicity[id] += 1;
+                drawn += 1;
+            }
+        }
+        let invites: Vec<ClientId> = self
+            .multiplicity
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0)
+            .map(|(i, _)| i)
+            .collect();
+        RoundPlan {
+            sticky_invites: Vec::new(),
+            keep_fresh: invites.len(),
+            fresh_invites: invites,
+            keep_sticky: 0,
+        }
+    }
+
+    fn client_weight(&self, id: ClientId, _group: Group) -> f64 {
+        f64::from(self.multiplicity[id]) / self.k as f64
+    }
+
+    fn mask_download_bytes(&self, _round: u32) -> u64 {
+        0
+    }
+
+    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+        Upload::Dense(delta.to_vec())
+    }
+
+    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        for (id, group, upload) in kept {
+            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
+        }
+        acc
+    }
+
+    fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn strategy() -> MdFedAvgStrategy {
+        // Client 3 has triple the weight of the others.
+        let mut w = vec![1.0; 12];
+        w[3] = 3.0;
+        MdFedAvgStrategy::new(w, 4, 6)
+    }
+
+    #[test]
+    fn plan_draws_k_with_multiplicity() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = s.plan_round(0, &mut rng, &[true; 12]);
+        let total: u32 = s.multiplicity.iter().sum();
+        assert_eq!(total, 4);
+        assert_eq!(plan.keep_fresh, plan.fresh_invites.len());
+        assert!(plan.fresh_invites.len() <= 4);
+    }
+
+    #[test]
+    fn weights_sum_to_one_per_round() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(1);
+        for round in 0..50 {
+            let plan = s.plan_round(round, &mut rng, &[true; 12]);
+            let total: f64 = plan
+                .fresh_invites
+                .iter()
+                .map(|&id| s.client_weight(id, Group::Fresh))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "round {round}: {total}");
+        }
+    }
+
+    #[test]
+    fn heavy_clients_drawn_more_often() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = [0u32; 12];
+        for round in 0..4000 {
+            let _ = s.plan_round(round, &mut rng, &[true; 12]);
+            for (i, &m) in s.multiplicity.iter().enumerate() {
+                hits[i] += m;
+            }
+        }
+        // Client 3 holds 3/14 of the mass; others 1/14 each.
+        let f3 = f64::from(hits[3]) / f64::from(hits.iter().sum::<u32>());
+        assert!((f3 - 3.0 / 14.0).abs() < 0.02, "client 3 frequency {f3}");
+    }
+
+    #[test]
+    fn respects_availability() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut avail = vec![true; 12];
+        avail[3] = false;
+        for round in 0..20 {
+            let plan = s.plan_round(round, &mut rng, &avail);
+            assert!(!plan.fresh_invites.contains(&3), "round {round}");
+        }
+    }
+
+    #[test]
+    fn aggregate_uses_multiplicity_weights() {
+        let mut s = strategy();
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = s.plan_round(0, &mut rng, &[true; 12]);
+        let kept: Vec<(ClientId, Group, Upload)> = plan
+            .fresh_invites
+            .iter()
+            .map(|&id| (id, Group::Fresh, Upload::Dense(vec![1.0f32; 6])))
+            .collect();
+        let agg = s.aggregate(0, &kept);
+        // Weights sum to 1, every delta is all-ones → aggregate all-ones.
+        for v in agg {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The four training strategies of the paper's evaluation.
+//!
+//! Every strategy implements [`Strategy`], the seam between the generic
+//! round simulator ([`crate::Simulation`]) and algorithm-specific
+//! behaviour: who is invited, how client deltas are compressed, how
+//! uploads are aggregated, and what bookkeeping happens between rounds.
+//!
+//! Strategies operate on *trainable* positions only — BatchNorm statistics
+//! are zeroed in the deltas they see and are aggregated separately by the
+//! simulator with the Appendix-D plain-mean rule.
+
+mod apf;
+mod fedavg;
+mod gluefl;
+mod md_fedavg;
+mod stc;
+
+pub use apf::ApfStrategy;
+pub use fedavg::FedAvgStrategy;
+pub use gluefl::GlueFlStrategy;
+pub use md_fedavg::MdFedAvgStrategy;
+pub use stc::StcStrategy;
+
+use crate::config::{SimConfig, StrategyConfig};
+use gluefl_compress::mask_shift::ClientSplit;
+use gluefl_sampling::ClientId;
+use gluefl_tensor::wire::HEADER_BYTES;
+use gluefl_tensor::SparseUpdate;
+use rand::rngs::StdRng;
+
+/// Which pool a participant was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// The sticky group `S` (GlueFL only).
+    Sticky,
+    /// The non-sticky remainder (or the whole population for uniform
+    /// strategies).
+    Fresh,
+}
+
+/// One round's invitation plan.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// Invited sticky-group clients (empty for uniform strategies).
+    pub sticky_invites: Vec<ClientId>,
+    /// Invited non-sticky clients.
+    pub fresh_invites: Vec<ClientId>,
+    /// How many sticky updates to keep (`C`).
+    pub keep_sticky: usize,
+    /// How many fresh updates to keep (`K − C`).
+    pub keep_fresh: usize,
+}
+
+impl RoundPlan {
+    /// All invited clients with their group tags.
+    #[must_use]
+    pub fn invited(&self) -> Vec<(ClientId, Group)> {
+        self.sticky_invites
+            .iter()
+            .map(|&c| (c, Group::Sticky))
+            .chain(self.fresh_invites.iter().map(|&c| (c, Group::Fresh)))
+            .collect()
+    }
+
+    /// Total invitations.
+    #[must_use]
+    pub fn total_invited(&self) -> usize {
+        self.sticky_invites.len() + self.fresh_invites.len()
+    }
+}
+
+/// A compressed client upload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Upload {
+    /// Full dense delta (FedAvg).
+    Dense(Vec<f32>),
+    /// Top-`q` sparse delta with explicit positions (STC).
+    Sparse(SparseUpdate),
+    /// Top-`q` sparse delta, ternary-quantized (STC + footnote-1
+    /// quantization: positions + one sign bit per value + one `μ`).
+    Ternary(gluefl_compress::stc::TernaryUpdate),
+    /// Values aligned to a mask both sides hold (APF's active set).
+    KnownMask(SparseUpdate),
+    /// GlueFL's two-part shared + unique upload.
+    MaskSplit(ClientSplit),
+}
+
+impl Upload {
+    /// Upload payload bytes including per-message framing.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Upload::Dense(v) => {
+                gluefl_tensor::WireCost::dense(v.len()).total_bytes()
+            }
+            Upload::Sparse(u) => u.wire_cost().total_bytes(),
+            Upload::Ternary(t) => {
+                t.wire_cost().total_bytes()
+            }
+            Upload::KnownMask(u) => u.wire_cost_known_mask().total_bytes(),
+            Upload::MaskSplit(s) => s.upload_bytes(),
+        }
+    }
+
+    /// Accumulates `weight ×` this upload into a dense vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add_weighted_into(&self, acc: &mut [f32], weight: f32) {
+        match self {
+            Upload::Dense(v) => {
+                assert_eq!(v.len(), acc.len(), "upload dimension mismatch");
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += weight * x;
+                }
+            }
+            Upload::Sparse(u) | Upload::KnownMask(u) => u.add_scaled_into(acc, weight),
+            Upload::Ternary(t) => t.dequantize().add_scaled_into(acc, weight),
+            Upload::MaskSplit(s) => {
+                s.shared.add_scaled_into(acc, weight);
+                s.unique.add_scaled_into(acc, weight);
+            }
+        }
+    }
+}
+
+/// The strategy seam used by the round simulator.
+///
+/// Call order per round `t`:
+/// 1. [`Strategy::plan_round`] — invitations (with over-commitment);
+/// 2. [`Strategy::compress`] — once per invited client, after local
+///    training (may mutate the delta via error compensation);
+/// 3. [`Strategy::aggregate`] — once, over the *kept* uploads; returns the
+///    dense update to apply to trainable positions;
+/// 4. [`Strategy::finish_round`] — post-round bookkeeping (sticky group
+///    rebalancing).
+pub trait Strategy: Send {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Plans invitations for round `round`, respecting `available`.
+    fn plan_round(&mut self, round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan;
+
+    /// The aggregation weight applied to client `id` from `group`
+    /// (includes the importance weight `p_i`).
+    fn client_weight(&self, id: ClientId, group: Group) -> f64;
+
+    /// Extra downstream bytes every synced client receives this round
+    /// beyond the model values (e.g. a mask bitmap).
+    fn mask_download_bytes(&self, round: u32) -> u64;
+
+    /// Compresses a trainable delta (stats positions zeroed) into an
+    /// upload. May apply/record error compensation.
+    fn compress(
+        &mut self,
+        round: u32,
+        id: ClientId,
+        group: Group,
+        delta: &mut [f32],
+    ) -> Upload;
+
+    /// Aggregates the kept uploads into a dense update over trainable
+    /// positions (zeros elsewhere) and performs mask updates.
+    fn aggregate(
+        &mut self,
+        round: u32,
+        kept: &[(ClientId, Group, Upload)],
+    ) -> Vec<f32>;
+
+    /// Post-round bookkeeping with the kept participants.
+    fn finish_round(
+        &mut self,
+        round: u32,
+        rng: &mut StdRng,
+        kept_sticky: &[ClientId],
+        kept_fresh: &[ClientId],
+    );
+}
+
+/// Builds the configured strategy.
+///
+/// # Panics
+/// Panics if the strategy parameters are inconsistent with the population
+/// (e.g. sticky group larger than `N`).
+#[must_use]
+pub fn build_strategy(
+    cfg: &SimConfig,
+    weights: &[f64],
+    trainable_positions: usize,
+    dim: usize,
+    stats_excluded: gluefl_tensor::BitMask,
+    rng: &mut StdRng,
+) -> Box<dyn Strategy> {
+    let n = weights.len();
+    let k = cfg.round_size;
+    match &cfg.strategy {
+        StrategyConfig::FedAvg => Box::new(FedAvgStrategy::new(
+            n,
+            k,
+            cfg.oc,
+            weights.to_vec(),
+            dim,
+        )),
+        StrategyConfig::MdFedAvg => {
+            Box::new(MdFedAvgStrategy::new(weights.to_vec(), k, dim))
+        }
+        StrategyConfig::Stc { q } => Box::new(StcStrategy::new(
+            n,
+            k,
+            cfg.oc,
+            weights.to_vec(),
+            *q,
+            trainable_positions,
+            dim,
+            stats_excluded,
+        )),
+        StrategyConfig::StcQuantized { q } => Box::new(
+            StcStrategy::new(
+                n,
+                k,
+                cfg.oc,
+                weights.to_vec(),
+                *q,
+                trainable_positions,
+                dim,
+                stats_excluded,
+            )
+            .with_quantization(),
+        ),
+        StrategyConfig::Apf { config } => Box::new(ApfStrategy::new(
+            n,
+            k,
+            cfg.oc,
+            weights.to_vec(),
+            *config,
+            dim,
+        )),
+        StrategyConfig::GlueFl(params) => Box::new(GlueFlStrategy::new(
+            n,
+            k,
+            cfg.oc,
+            cfg.oc_strategy,
+            weights.to_vec(),
+            params.clone(),
+            trainable_positions,
+            dim,
+            stats_excluded,
+            rng,
+        )),
+    }
+}
+
+/// Shared helper: header-inclusive byte count of a mask bitmap download.
+#[must_use]
+pub(crate) fn bitmap_bytes(dim: usize) -> u64 {
+    (dim as u64).div_ceil(8) + HEADER_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_plan_tags_groups() {
+        let plan = RoundPlan {
+            sticky_invites: vec![1, 2],
+            fresh_invites: vec![7],
+            keep_sticky: 2,
+            keep_fresh: 1,
+        };
+        let invited = plan.invited();
+        assert_eq!(invited.len(), 3);
+        assert_eq!(invited[0], (1, Group::Sticky));
+        assert_eq!(invited[2], (7, Group::Fresh));
+        assert_eq!(plan.total_invited(), 3);
+    }
+
+    #[test]
+    fn upload_bytes_ordering() {
+        // Dense > sparse > known-mask for the same content.
+        let dense = Upload::Dense(vec![0.0; 1000]);
+        let sparse = Upload::Sparse(SparseUpdate::from_pairs(
+            1000,
+            (0..100).map(|i| (i as u32, 1.0)).collect(),
+        ));
+        let known = Upload::KnownMask(SparseUpdate::from_pairs(
+            1000,
+            (0..100).map(|i| (i as u32, 1.0)).collect(),
+        ));
+        assert!(dense.bytes() > sparse.bytes());
+        assert!(sparse.bytes() > known.bytes());
+    }
+
+    #[test]
+    fn weighted_accumulation_matches_manual() {
+        let u = Upload::Sparse(SparseUpdate::from_pairs(4, vec![(1, 2.0), (3, -1.0)]));
+        let mut acc = vec![0.0f32; 4];
+        u.add_weighted_into(&mut acc, 0.5);
+        assert_eq!(acc, vec![0.0, 1.0, 0.0, -0.5]);
+        let d = Upload::Dense(vec![1.0, 1.0, 1.0, 1.0]);
+        d.add_weighted_into(&mut acc, 2.0);
+        assert_eq!(acc, vec![2.0, 3.0, 2.0, 1.5]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the staleness tracker: the histogram fast
+//! path must agree with brute force under arbitrary update histories, and
+//! the monotonicity facts the evaluation relies on must always hold.
+
+use gluefl_core::StalenessTracker;
+use proptest::prelude::*;
+
+proptest! {
+    /// Fast path == brute force for every version, under random updates.
+    #[test]
+    fn histogram_matches_bruteforce(
+        dim in 1usize..400,
+        rounds in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..400, 0..80), 0..30)) {
+        let mut st = StalenessTracker::new(dim, 2);
+        for changed in &rounds {
+            st.record_update(changed.iter().copied().filter(|&j| j < dim));
+            for v in 0..=st.version() {
+                prop_assert_eq!(
+                    st.stale_positions(v),
+                    st.stale_positions_bruteforce(v),
+                    "version {}", v
+                );
+            }
+        }
+    }
+
+    /// Staleness is monotone in skip length and bounded by the union of
+    /// change sets.
+    #[test]
+    fn staleness_monotone_and_bounded(
+        dim in 1usize..300,
+        rounds in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..300, 1..50), 1..25)) {
+        let mut st = StalenessTracker::new(dim, 1);
+        let mut union: std::collections::BTreeSet<usize> =
+            std::collections::BTreeSet::new();
+        for changed in &rounds {
+            let filtered: Vec<usize> =
+                changed.iter().copied().filter(|&j| j < dim).collect();
+            union.extend(filtered.iter().copied());
+            st.record_update(filtered);
+        }
+        // Monotone in skip length.
+        let mut prev = 0;
+        for skip in 1..=st.version() {
+            let s = st.stale_positions(st.version() - skip);
+            prop_assert!(s >= prev);
+            prev = s;
+        }
+        // From version 0, staleness equals the union of all change sets.
+        prop_assert_eq!(st.stale_positions(0), union.len());
+        // Download of the latest version is always zero.
+        prop_assert_eq!(st.stale_positions(st.version()), 0);
+    }
+
+    /// Syncing a client then querying is equivalent to querying the
+    /// current version.
+    #[test]
+    fn sync_then_query_is_current(
+        dim in 1usize..200,
+        pre in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..200, 1..40), 1..10),
+        post in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..200, 1..40), 0..10)) {
+        let mut st = StalenessTracker::new(dim, 1);
+        for changed in &pre {
+            st.record_update(changed.iter().copied().filter(|&j| j < dim));
+        }
+        st.mark_synced(0);
+        let mut expected: std::collections::BTreeSet<usize> =
+            std::collections::BTreeSet::new();
+        for changed in &post {
+            let filtered: Vec<usize> =
+                changed.iter().copied().filter(|&j| j < dim).collect();
+            expected.extend(filtered.iter().copied());
+            st.record_update(filtered);
+        }
+        prop_assert_eq!(
+            st.stale_positions(st.client_version(0)),
+            expected.len()
+        );
+    }
+}

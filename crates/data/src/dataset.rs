@@ -1,0 +1,461 @@
+//! Synthetic federated dataset generation.
+
+use gluefl_tensor::rng::{derive_seed, seeded_rng};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters for a [`SyntheticFlDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of clients `N`.
+    pub clients: usize,
+    /// Feature dimension of every sample.
+    pub feature_dim: usize,
+    /// Median of the log-normal per-client sample count.
+    pub mean_samples_per_client: f64,
+    /// Lower clamp on per-client samples (FedScale default: 22).
+    pub min_samples_per_client: usize,
+    /// Upper clamp on per-client samples.
+    pub max_samples_per_client: usize,
+    /// Mean number of distinct classes a client holds (label skew).
+    pub classes_per_client_mean: f64,
+    /// Standard deviation of the within-class feature noise.
+    pub noise_sigma: f64,
+    /// Standard deviation of the per-client feature bias.
+    pub client_bias_sigma: f64,
+    /// Size of the held-out, class-balanced test set.
+    pub test_samples: usize,
+}
+
+/// Per-client generation metadata (small; the samples themselves are
+/// regenerated on demand).
+#[derive(Debug, Clone, PartialEq)]
+struct ClientMeta {
+    seed: u64,
+    num_samples: usize,
+    /// `(class, probability)` pairs; probabilities sum to 1.
+    label_probs: Vec<(u32, f32)>,
+}
+
+/// One client's materialised local dataset.
+///
+/// `x` is row-major `[len × feature_dim]`, `y` holds class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientDataset {
+    /// Flattened features, `len × feature_dim` row-major.
+    pub x: Vec<f32>,
+    /// Labels, one per row.
+    pub y: Vec<usize>,
+    feature_dim: usize,
+}
+
+impl ClientDataset {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Returns `true` when the client holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension of each sample.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Draws a minibatch of `batch` rows uniformly with replacement,
+    /// returning `(features, labels)`.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn sample_batch<R: Rng>(&self, rng: &mut R, batch: usize) -> (Vec<f32>, Vec<usize>) {
+        assert!(!self.is_empty(), "cannot sample from an empty dataset");
+        let mut bx = Vec::with_capacity(batch * self.feature_dim);
+        let mut by = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let i = rng.gen_range(0..self.len());
+            bx.extend_from_slice(&self.x[i * self.feature_dim..(i + 1) * self.feature_dim]);
+            by.push(self.y[i]);
+        }
+        (bx, by)
+    }
+}
+
+/// A synthetic cross-device federated dataset.
+///
+/// Generated once from a `(config, seed)` pair; every query is
+/// deterministic. See the crate docs for the generative model.
+#[derive(Debug, Clone)]
+pub struct SyntheticFlDataset {
+    cfg: DatasetConfig,
+    master_seed: u64,
+    /// Class means, `classes × feature_dim` row-major.
+    class_means: Vec<f32>,
+    client_meta: Vec<ClientMeta>,
+    test_x: Vec<f32>,
+    test_y: Vec<usize>,
+    /// Normalised client weights `p_i` (∝ sample count, Σ = 1).
+    weights: Vec<f64>,
+}
+
+impl SyntheticFlDataset {
+    /// Generates a dataset.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (zero classes/clients/features).
+    #[must_use]
+    pub fn generate(cfg: DatasetConfig, seed: u64) -> Self {
+        assert!(cfg.classes > 0, "need at least one class");
+        assert!(cfg.clients > 0, "need at least one client");
+        assert!(cfg.feature_dim > 0, "need at least one feature");
+        assert!(
+            cfg.min_samples_per_client <= cfg.max_samples_per_client,
+            "min samples exceeds max samples"
+        );
+
+        // Class means: μ_c ~ N(0, I).
+        let mut rng = seeded_rng(seed, "class-means", 0);
+        let class_means: Vec<f32> = (0..cfg.classes * cfg.feature_dim)
+            .map(|_| normal(&mut rng) as f32)
+            .collect();
+
+        // Per-client metadata.
+        let mut client_meta = Vec::with_capacity(cfg.clients);
+        for i in 0..cfg.clients {
+            let mut crng = seeded_rng(seed, "client-meta", i as u64);
+            // Sample count: log-normal, clamped.
+            let ln_n = (cfg.mean_samples_per_client.max(1.0)).ln() + 0.6 * normal(&mut crng);
+            let num_samples = (ln_n.exp().round() as usize)
+                .clamp(cfg.min_samples_per_client, cfg.max_samples_per_client);
+            // Label skew: a geometric number of classes around the mean,
+            // weighted by normalised Exp(1) draws (symmetric Dirichlet(1)).
+            let p_more = 1.0 - 1.0 / cfg.classes_per_client_mean.max(1.0);
+            let mut k = 1usize;
+            while k < cfg.classes && crng.gen::<f64>() < p_more {
+                k += 1;
+            }
+            let mut chosen = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let c = crng.gen_range(0..cfg.classes) as u32;
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            chosen.sort_unstable();
+            let raw: Vec<f64> = (0..k).map(|_| -crng.gen::<f64>().max(1e-12).ln()).collect();
+            let total: f64 = raw.iter().sum();
+            let label_probs: Vec<(u32, f32)> = chosen
+                .into_iter()
+                .zip(raw)
+                .map(|(c, w)| (c, (w / total) as f32))
+                .collect();
+            client_meta.push(ClientMeta {
+                seed: derive_seed(seed, "client-data", i as u64),
+                num_samples,
+                label_probs,
+            });
+        }
+
+        // Class-balanced test set (no client bias: the global distribution).
+        let mut trng = seeded_rng(seed, "test-set", 0);
+        let mut test_x = Vec::with_capacity(cfg.test_samples * cfg.feature_dim);
+        let mut test_y = Vec::with_capacity(cfg.test_samples);
+        for i in 0..cfg.test_samples {
+            let c = i % cfg.classes;
+            let mean = &class_means[c * cfg.feature_dim..(c + 1) * cfg.feature_dim];
+            for &m in mean {
+                test_x.push(m + (cfg.noise_sigma * normal(&mut trng)) as f32);
+            }
+            test_y.push(c);
+        }
+
+        // Importance weights p_i ∝ |D_i|.
+        let total_samples: f64 = client_meta.iter().map(|m| m.num_samples as f64).sum();
+        let weights = client_meta
+            .iter()
+            .map(|m| m.num_samples as f64 / total_samples)
+            .collect();
+
+        Self {
+            cfg,
+            master_seed: seed,
+            class_means,
+            client_meta,
+            test_x,
+            test_y,
+            weights,
+        }
+    }
+
+    /// The generation config.
+    #[must_use]
+    pub fn config(&self) -> &DatasetConfig {
+        &self.cfg
+    }
+
+    /// Number of clients `N`.
+    #[must_use]
+    pub fn num_clients(&self) -> usize {
+        self.client_meta.len()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.cfg.classes
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.cfg.feature_dim
+    }
+
+    /// Per-client sample count (without materialising the data).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn client_len(&self, id: usize) -> usize {
+        self.client_meta[id].num_samples
+    }
+
+    /// Normalised client importance weights `p_i` (sum to 1), proportional
+    /// to local dataset size — the standard FedAvg weighting.
+    #[must_use]
+    pub fn client_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Materialises client `id`'s local dataset. Deterministic: the same
+    /// `id` always yields identical samples.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn client(&self, id: usize) -> ClientDataset {
+        let meta = &self.client_meta[id];
+        let mut rng = StdRng::seed_from_u64(meta.seed);
+        let dim = self.cfg.feature_dim;
+        // Per-client feature bias.
+        let bias: Vec<f32> = (0..dim)
+            .map(|_| (self.cfg.client_bias_sigma * normal(&mut rng)) as f32)
+            .collect();
+        let mut x = Vec::with_capacity(meta.num_samples * dim);
+        let mut y = Vec::with_capacity(meta.num_samples);
+        for _ in 0..meta.num_samples {
+            let c = sample_label(&meta.label_probs, rng.gen::<f32>());
+            let mean = &self.class_means[c * dim..(c + 1) * dim];
+            for (j, &m) in mean.iter().enumerate() {
+                x.push(m + bias[j] + (self.cfg.noise_sigma * normal(&mut rng)) as f32);
+            }
+            y.push(c);
+        }
+        ClientDataset { x, y, feature_dim: dim }
+    }
+
+    /// The held-out test set `(features, labels)`.
+    #[must_use]
+    pub fn test_set(&self) -> (&[f32], &[usize]) {
+        (&self.test_x, &self.test_y)
+    }
+
+    /// The master seed the dataset was generated from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.master_seed
+    }
+}
+
+/// Inverse-CDF draw from a small sparse label distribution.
+fn sample_label(probs: &[(u32, f32)], u: f32) -> usize {
+    let mut acc = 0.0f32;
+    for &(c, p) in probs {
+        acc += p;
+        if u < acc {
+            return c as usize;
+        }
+    }
+    probs.last().expect("label distribution is non-empty").0 as usize
+}
+
+/// Box–Muller standard normal.
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetProfile;
+    use rand::SeedableRng;
+
+    fn small() -> SyntheticFlDataset {
+        let cfg = DatasetConfig {
+            classes: 10,
+            clients: 50,
+            feature_dim: 16,
+            mean_samples_per_client: 60.0,
+            min_samples_per_client: 22,
+            max_samples_per_client: 200,
+            classes_per_client_mean: 3.0,
+            noise_sigma: 1.0,
+            client_bias_sigma: 0.2,
+            test_samples: 500,
+        };
+        SyntheticFlDataset::generate(cfg, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.client(3), b.client(3));
+        assert_eq!(a.test_set().0, b.test_set().0);
+        assert_eq!(a.client_weights(), b.client_weights());
+    }
+
+    #[test]
+    fn client_materialisation_is_stable_across_calls() {
+        let d = small();
+        assert_eq!(d.client(11), d.client(11));
+    }
+
+    #[test]
+    fn sample_counts_respect_clamps() {
+        let d = small();
+        for i in 0..d.num_clients() {
+            let n = d.client_len(i);
+            assert!((22..=200).contains(&n), "client {i} has {n} samples");
+            assert_eq!(d.client(i).len(), n);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_track_sizes() {
+        let d = small();
+        let sum: f64 = d.client_weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Heavier clients get larger weights.
+        let (big, small_c) = {
+            let mut idx: Vec<usize> = (0..d.num_clients()).collect();
+            idx.sort_by_key(|&i| d.client_len(i));
+            (idx[d.num_clients() - 1], idx[0])
+        };
+        assert!(d.client_weights()[big] > d.client_weights()[small_c]);
+    }
+
+    #[test]
+    fn labels_are_skewed_and_heterogeneous() {
+        let d = small();
+        // Each client holds few distinct classes...
+        let mut all_class_sets = Vec::new();
+        for i in 0..20 {
+            let c = d.client(i);
+            let mut classes: Vec<usize> = c.y.clone();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(classes.len() <= 8, "client {i} holds {} classes", classes.len());
+            all_class_sets.push(classes);
+        }
+        // ...and different clients hold different classes.
+        let distinct: std::collections::HashSet<Vec<usize>> =
+            all_class_sets.iter().cloned().collect();
+        assert!(distinct.len() > 5, "only {} distinct class sets", distinct.len());
+    }
+
+    #[test]
+    fn labels_match_declared_distribution() {
+        let d = small();
+        let meta_classes: std::collections::HashSet<usize> = d.client_meta[0]
+            .label_probs
+            .iter()
+            .map(|&(c, _)| c as usize)
+            .collect();
+        let observed: std::collections::HashSet<usize> = d.client(0).y.iter().copied().collect();
+        assert!(observed.is_subset(&meta_classes));
+    }
+
+    #[test]
+    fn test_set_is_class_balanced() {
+        let d = small();
+        let (_, y) = d.test_set();
+        let mut counts = vec![0usize; 10];
+        for &l in y {
+            counts[l] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "unbalanced test counts {counts:?}");
+    }
+
+    #[test]
+    fn minibatch_sampling_shapes() {
+        let d = small();
+        let c = d.client(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (bx, by) = c.sample_batch(&mut rng, 16);
+        assert_eq!(bx.len(), 16 * 16);
+        assert_eq!(by.len(), 16);
+        assert!(by.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn task_is_learnable_by_centralized_logreg() {
+        // Gather data from several clients and fit a linear classifier;
+        // accuracy on the test set must clearly beat chance (10 classes →
+        // chance = 10%).
+        use gluefl_ml::{Mlp, MlpConfig, Sgd};
+        let d = small();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let c = d.client(i);
+            x.extend_from_slice(&c.x);
+            y.extend_from_slice(&c.y);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Mlp::new(
+            MlpConfig { input_dim: 16, hidden: vec![32], classes: 10, batch_norm: false },
+            &mut rng,
+        );
+        let mut opt = Sgd::new(model.num_params(), 0.1, 0.9);
+        for _ in 0..150 {
+            let (_, g) = model.loss_and_grad(&x, &y);
+            opt.step(model.params_mut(), &g);
+        }
+        let (tx, ty) = d.test_set();
+        let acc = model.evaluate(tx, ty).top1;
+        assert!(acc > 0.5, "centralized accuracy {acc} too low");
+    }
+
+    #[test]
+    fn profile_configs_generate() {
+        let cfg = DatasetProfile::GoogleSpeech.config(0.02);
+        let d = SyntheticFlDataset::generate(cfg, 1);
+        assert_eq!(d.classes(), 35);
+        assert!(d.num_clients() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample from an empty dataset")]
+    fn empty_batch_panics() {
+        let c = ClientDataset { x: vec![], y: vec![], feature_dim: 4 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = c.sample_batch(&mut rng, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Dataset profiles mirroring the paper's three tasks (§5.1, Table 2).
+
+use crate::dataset::DatasetConfig;
+
+/// The three tasks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// FEMNIST: 62-class image classification, 2 800 clients, K = 30,
+    /// target Top-1 accuracy 73.3%.
+    Femnist,
+    /// OpenImage: 596-class image classification, 10 625 clients, K = 100,
+    /// target Top-5 accuracy 66.8%.
+    OpenImage,
+    /// Google Speech commands: 35-class audio classification, 2 066
+    /// clients, K = 30, target Top-1 accuracy 61.2%.
+    GoogleSpeech,
+}
+
+impl DatasetProfile {
+    /// Number of classes in the real dataset.
+    #[must_use]
+    pub fn classes(self) -> usize {
+        match self {
+            DatasetProfile::Femnist => 62,
+            DatasetProfile::OpenImage => 596,
+            DatasetProfile::GoogleSpeech => 35,
+        }
+    }
+
+    /// Number of clients at paper scale.
+    #[must_use]
+    pub fn paper_clients(self) -> usize {
+        match self {
+            DatasetProfile::Femnist => 2_800,
+            DatasetProfile::OpenImage => 10_625,
+            DatasetProfile::GoogleSpeech => 2_066,
+        }
+    }
+
+    /// Clients sampled per round at paper scale (§5.1).
+    #[must_use]
+    pub fn paper_round_size(self) -> usize {
+        match self {
+            DatasetProfile::Femnist => 30,
+            DatasetProfile::OpenImage => 100,
+            DatasetProfile::GoogleSpeech => 30,
+        }
+    }
+
+    /// The paper's target accuracy for Table 2 (Top-1, except Top-5 for
+    /// OpenImage).
+    #[must_use]
+    pub fn target_accuracy(self) -> f64 {
+        match self {
+            DatasetProfile::Femnist => 0.733,
+            DatasetProfile::OpenImage => 0.668,
+            DatasetProfile::GoogleSpeech => 0.612,
+        }
+    }
+
+    /// Whether Table 2 reports Top-5 (true) or Top-1 (false) accuracy.
+    #[must_use]
+    pub fn uses_top5(self) -> bool {
+        matches!(self, DatasetProfile::OpenImage)
+    }
+
+    /// Initial client learning rate (§5.1).
+    #[must_use]
+    pub fn initial_lr(self) -> f32 {
+        match self {
+            DatasetProfile::Femnist => 0.01,
+            DatasetProfile::OpenImage => 0.05,
+            DatasetProfile::GoogleSpeech => 0.01,
+        }
+    }
+
+    /// Short name used in tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::Femnist => "femnist",
+            DatasetProfile::OpenImage => "openimage",
+            DatasetProfile::GoogleSpeech => "google_speech",
+        }
+    }
+
+    /// All profiles, in the paper's table order.
+    #[must_use]
+    pub fn all() -> [DatasetProfile; 3] {
+        [
+            DatasetProfile::Femnist,
+            DatasetProfile::OpenImage,
+            DatasetProfile::GoogleSpeech,
+        ]
+    }
+
+    /// A [`DatasetConfig`] for this profile at `scale ∈ (0, 1]` of the
+    /// paper's client count (feature dimension and class count are kept at
+    /// full fidelity; only the population shrinks).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn config(self, scale: f64) -> DatasetConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        let clients = ((self.paper_clients() as f64 * scale).round() as usize).max(4);
+        DatasetConfig {
+            classes: self.classes(),
+            clients,
+            feature_dim: 64,
+            mean_samples_per_client: 90.0,
+            min_samples_per_client: 22,
+            max_samples_per_client: 400,
+            classes_per_client_mean: 4.0,
+            noise_sigma: match self {
+                // Calibrated so the three tasks have distinct difficulty,
+                // ordered like the paper's target accuracies.
+                DatasetProfile::Femnist => 1.0,
+                DatasetProfile::OpenImage => 1.3,
+                DatasetProfile::GoogleSpeech => 1.5,
+            },
+            client_bias_sigma: 0.25,
+            test_samples: 2_000,
+        }
+    }
+}
+
+impl std::str::FromStr for DatasetProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "femnist" => Ok(DatasetProfile::Femnist),
+            "openimage" => Ok(DatasetProfile::OpenImage),
+            "google_speech" | "speech" => Ok(DatasetProfile::GoogleSpeech),
+            other => Err(format!(
+                "unknown dataset '{other}' (expected femnist|openimage|google_speech)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(DatasetProfile::Femnist.classes(), 62);
+        assert_eq!(DatasetProfile::OpenImage.paper_clients(), 10_625);
+        assert_eq!(DatasetProfile::GoogleSpeech.paper_round_size(), 30);
+        assert!(DatasetProfile::OpenImage.uses_top5());
+        assert!(!DatasetProfile::Femnist.uses_top5());
+    }
+
+    #[test]
+    fn config_scales_clients_only() {
+        let full = DatasetProfile::Femnist.config(1.0);
+        let tenth = DatasetProfile::Femnist.config(0.1);
+        assert_eq!(full.clients, 2_800);
+        assert_eq!(tenth.clients, 280);
+        assert_eq!(full.classes, tenth.classes);
+        assert_eq!(full.feature_dim, tenth.feature_dim);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in DatasetProfile::all() {
+            assert_eq!(p.name().parse::<DatasetProfile>().unwrap(), p);
+        }
+        assert!("cifar".parse::<DatasetProfile>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0,1]")]
+    fn rejects_zero_scale() {
+        let _ = DatasetProfile::Femnist.config(0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+/// Kaiming-uniform initialisation for a linear layer's weight matrix:
+/// `U(-b, b)` with `b = sqrt(6 / fan_in)` — the PyTorch default for
+/// ReLU networks.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, weights: &mut [f32], fan_in: usize) {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    for w in weights.iter_mut() {
+        *w = rng.gen_range(-bound..bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = vec![0.0f32; 1000];
+        kaiming_uniform(&mut rng, &mut w, 24);
+        let bound = (6.0f64 / 24.0).sqrt() as f32;
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        // Not degenerate: values actually vary.
+        let distinct = w
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 900);
+    }
+
+    #[test]
+    fn approximately_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = vec![0.0f32; 100_000];
+        kaiming_uniform(&mut rng, &mut w, 64);
+        let mean: f64 = w.iter().map(|v| f64::from(*v)).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn fan_in_zero_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = vec![0.0f32; 4];
+        kaiming_uniform(&mut rng, &mut w, 0);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Flat parameter layouts: which positions are weights vs BN statistics.
+
+use gluefl_tensor::BitMask;
+
+/// What a contiguous range of flat parameters represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A trainable weight (dense/BN affine): masked, sparsified, and
+    /// aggregated with propensity weights like any other gradient.
+    TrainableWeight,
+    /// A non-trainable BatchNorm statistic (`running_mean`, `running_var`,
+    /// `num_batches_tracked`): excluded from masks and aggregated with a
+    /// plain `1/K` mean of client deltas (paper Appendix D).
+    BnStatistic,
+}
+
+/// A named contiguous segment of the flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name, e.g. `"layer0.weight"`.
+    pub name: String,
+    /// Start offset (inclusive) in the flat vector.
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+    /// What the segment holds.
+    pub kind: ParamKind,
+}
+
+impl Segment {
+    /// Number of parameters in the segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for zero-length segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The full layout of a model's flat parameter vector.
+///
+/// Segments are contiguous, non-overlapping, and cover `0..total`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_ml::{ParamKind, ParamLayout};
+/// let mut b = ParamLayout::builder();
+/// b.push("w", 10, ParamKind::TrainableWeight);
+/// b.push("bn.running_mean", 4, ParamKind::BnStatistic);
+/// let layout = b.finish();
+/// assert_eq!(layout.total(), 14);
+/// assert_eq!(layout.trainable_mask().count_ones(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamLayout {
+    segments: Vec<Segment>,
+    total: usize,
+}
+
+/// Incremental builder for [`ParamLayout`].
+#[derive(Debug, Default)]
+pub struct ParamLayoutBuilder {
+    segments: Vec<Segment>,
+    cursor: usize,
+}
+
+impl ParamLayoutBuilder {
+    /// Appends a segment of `len` parameters and returns its start offset.
+    pub fn push(&mut self, name: &str, len: usize, kind: ParamKind) -> usize {
+        let start = self.cursor;
+        self.segments.push(Segment {
+            name: name.to_owned(),
+            start,
+            end: start + len,
+            kind,
+        });
+        self.cursor += len;
+        start
+    }
+
+    /// Finalises the layout.
+    #[must_use]
+    pub fn finish(self) -> ParamLayout {
+        ParamLayout {
+            segments: self.segments,
+            total: self.cursor,
+        }
+    }
+}
+
+impl ParamLayout {
+    /// Starts building a layout.
+    #[must_use]
+    pub fn builder() -> ParamLayoutBuilder {
+        ParamLayoutBuilder::default()
+    }
+
+    /// Total number of flat parameters `d`.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The segments in offset order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn trainable_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.kind == ParamKind::TrainableWeight)
+            .map(Segment::len)
+            .sum()
+    }
+
+    /// Number of BN-statistic parameters.
+    #[must_use]
+    pub fn statistic_count(&self) -> usize {
+        self.total - self.trainable_count()
+    }
+
+    /// A mask over the flat vector with trainable positions set.
+    #[must_use]
+    pub fn trainable_mask(&self) -> BitMask {
+        let mut m = BitMask::zeros(self.total);
+        for s in &self.segments {
+            if s.kind == ParamKind::TrainableWeight {
+                for i in s.start..s.end {
+                    m.set(i, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// The kind of the parameter at flat offset `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= total()`.
+    #[must_use]
+    pub fn kind_at(&self, i: usize) -> ParamKind {
+        assert!(i < self.total, "offset {i} out of range {}", self.total);
+        let idx = self
+            .segments
+            .partition_point(|s| s.end <= i);
+        self.segments[idx].kind
+    }
+
+    /// Looks up a segment by name.
+    #[must_use]
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ParamLayout {
+        let mut b = ParamLayout::builder();
+        b.push("l0.w", 6, ParamKind::TrainableWeight);
+        b.push("l0.b", 2, ParamKind::TrainableWeight);
+        b.push("bn.mean", 2, ParamKind::BnStatistic);
+        b.push("bn.var", 2, ParamKind::BnStatistic);
+        b.push("l1.w", 4, ParamKind::TrainableWeight);
+        b.finish()
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let l = layout();
+        assert_eq!(l.total(), 16);
+        assert_eq!(l.trainable_count(), 12);
+        assert_eq!(l.statistic_count(), 4);
+    }
+
+    #[test]
+    fn segments_are_contiguous() {
+        let l = layout();
+        let mut cursor = 0;
+        for s in l.segments() {
+            assert_eq!(s.start, cursor);
+            cursor = s.end;
+        }
+        assert_eq!(cursor, l.total());
+    }
+
+    #[test]
+    fn trainable_mask_matches_kinds() {
+        let l = layout();
+        let m = l.trainable_mask();
+        for i in 0..l.total() {
+            assert_eq!(
+                m.get(i),
+                l.kind_at(i) == ParamKind::TrainableWeight,
+                "position {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_at_boundaries() {
+        let l = layout();
+        assert_eq!(l.kind_at(0), ParamKind::TrainableWeight);
+        assert_eq!(l.kind_at(7), ParamKind::TrainableWeight);
+        assert_eq!(l.kind_at(8), ParamKind::BnStatistic);
+        assert_eq!(l.kind_at(11), ParamKind::BnStatistic);
+        assert_eq!(l.kind_at(12), ParamKind::TrainableWeight);
+        assert_eq!(l.kind_at(15), ParamKind::TrainableWeight);
+    }
+
+    #[test]
+    fn segment_lookup_by_name() {
+        let l = layout();
+        let s = l.segment("bn.var").unwrap();
+        assert_eq!((s.start, s.end), (10, 12));
+        assert!(l.segment("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kind_at_out_of_range_panics() {
+        let _ = layout().kind_at(16);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = ParamLayout::builder().finish();
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.trainable_mask().len(), 0);
+    }
+}

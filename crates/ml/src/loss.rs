@@ -1,0 +1,224 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+/// Computes a numerically-stable log-softmax of `logits` in place,
+/// row by row for a batch of `rows` examples with `classes` columns.
+///
+/// # Panics
+/// Panics if `logits.len() != rows * classes` or `classes == 0`.
+pub fn log_softmax_rows(logits: &mut [f32], rows: usize, classes: usize) {
+    assert!(classes > 0, "need at least one class");
+    assert_eq!(logits.len(), rows * classes, "logits shape mismatch");
+    for r in 0..rows {
+        let row = &mut logits[r * classes..(r + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row
+            .iter()
+            .map(|&v| (v - max).exp())
+            .sum::<f32>()
+            .ln()
+            + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+}
+
+/// Mean negative log-likelihood of the true labels given row-wise
+/// log-probabilities, plus the gradient w.r.t. the *logits*
+/// (`softmax − one_hot`, scaled by `1/rows`), written into `grad_logits`.
+///
+/// Returns the mean loss.
+///
+/// # Panics
+/// Panics on shape mismatches or out-of-range labels.
+pub fn nll_and_grad(
+    log_probs: &[f32],
+    labels: &[usize],
+    classes: usize,
+    grad_logits: &mut [f32],
+) -> f64 {
+    let rows = labels.len();
+    assert_eq!(log_probs.len(), rows * classes, "log-probs shape mismatch");
+    assert_eq!(grad_logits.len(), rows * classes, "grad shape mismatch");
+    let inv = 1.0 / rows.max(1) as f32;
+    let mut loss = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range {classes}");
+        let row = &log_probs[r * classes..(r + 1) * classes];
+        loss -= f64::from(row[label]);
+        let grad_row = &mut grad_logits[r * classes..(r + 1) * classes];
+        for (c, g) in grad_row.iter_mut().enumerate() {
+            let p = row[c].exp();
+            *g = (p - if c == label { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    loss / rows.max(1) as f64
+}
+
+/// Fraction of rows whose arg-max log-probability matches the label.
+///
+/// # Panics
+/// Panics on shape mismatch.
+#[must_use]
+pub fn accuracy(log_probs: &[f32], labels: &[usize], classes: usize) -> f64 {
+    let rows = labels.len();
+    assert_eq!(log_probs.len(), rows * classes, "log-probs shape mismatch");
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &log_probs[r * classes..(r + 1) * classes];
+        let pred = argmax(row);
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / rows as f64
+}
+
+/// Fraction of rows whose label is within the top-5 predicted classes
+/// (the paper reports Top-5 accuracy for OpenImage).
+///
+/// # Panics
+/// Panics on shape mismatch.
+#[must_use]
+pub fn top5_accuracy(log_probs: &[f32], labels: &[usize], classes: usize) -> f64 {
+    let rows = labels.len();
+    assert_eq!(log_probs.len(), rows * classes, "log-probs shape mismatch");
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &log_probs[r * classes..(r + 1) * classes];
+        let target = row[label];
+        // label is in the top-5 iff fewer than 5 classes strictly beat it
+        // (ties resolved toward counting as a hit, matching torch.topk
+        // index order closely enough for evaluation).
+        let better = row.iter().filter(|&&v| v > target).count();
+        if better < 5 {
+            correct += 1;
+        }
+    }
+    correct as f64 / rows as f64
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_softmax_rows_normalises() {
+        let mut logits = vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0];
+        log_softmax_rows(&mut logits, 2, 3);
+        for r in 0..2 {
+            let total: f32 = logits[r * 3..(r + 1) * 3].iter().map(|v| v.exp()).sum();
+            assert!((total - 1.0).abs() < 1e-5, "row {r} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![101.0f32, 102.0, 103.0];
+        log_softmax_rows(&mut a, 1, 3);
+        log_softmax_rows(&mut b, 1, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_handles_extreme_logits() {
+        let mut logits = vec![1e4f32, -1e4, 0.0];
+        log_softmax_rows(&mut logits, 1, 3);
+        assert!(logits.iter().all(|v| v.is_finite()));
+        assert!((logits[0]).abs() < 1e-3); // dominant class → log-prob ≈ 0
+    }
+
+    #[test]
+    fn nll_grad_rows_sum_to_zero() {
+        let mut logits = vec![0.3f32, -0.1, 0.5, 0.9, 0.0, -0.4];
+        log_softmax_rows(&mut logits, 2, 3);
+        let mut grad = vec![0.0f32; 6];
+        let loss = nll_and_grad(&logits, &[2, 0], 3, &mut grad);
+        assert!(loss > 0.0);
+        for r in 0..2 {
+            let s: f32 = grad[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn nll_perfect_prediction_has_small_loss_and_grad() {
+        // Very confident, correct prediction.
+        let mut logits = vec![20.0f32, 0.0, 0.0];
+        log_softmax_rows(&mut logits, 1, 3);
+        let mut grad = vec![0.0f32; 3];
+        let loss = nll_and_grad(&logits, &[0], 3, &mut grad);
+        assert!(loss < 1e-6);
+        assert!(grad.iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_classes() {
+        let mut logits = vec![0.0f32; 4];
+        log_softmax_rows(&mut logits, 1, 4);
+        let mut grad = vec![0.0f32; 4];
+        let loss = nll_and_grad(&logits, &[1], 4, &mut grad);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let mut logits = vec![
+            2.0f32, 0.0, 0.0, // pred 0
+            0.0, 3.0, 0.0, // pred 1
+            0.0, 0.0, 1.0, // pred 2
+        ];
+        log_softmax_rows(&mut logits, 3, 3);
+        assert!((accuracy(&logits, &[0, 1, 0], 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top5_reduces_to_hit_when_classes_small() {
+        let mut logits = vec![0.1f32, 0.2, 0.3];
+        log_softmax_rows(&mut logits, 1, 3);
+        // With 3 classes everything is in the top 5.
+        assert_eq!(top5_accuracy(&logits, &[0], 3), 1.0);
+    }
+
+    #[test]
+    fn top5_on_many_classes() {
+        // Label ranked 6th → miss; ranked 5th → hit.
+        let mut logits: Vec<f32> = (0..10).map(|i| -(i as f32)).collect();
+        log_softmax_rows(&mut logits, 1, 10);
+        assert_eq!(top5_accuracy(&logits, &[5], 10), 0.0);
+        assert_eq!(top5_accuracy(&logits, &[4], 10), 1.0);
+    }
+
+    #[test]
+    fn empty_batch_accuracy_is_zero() {
+        assert_eq!(accuracy(&[], &[], 3), 0.0);
+        assert_eq!(top5_accuracy(&[], &[], 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = vec![0.0f32; 3];
+        let mut grad = vec![0.0f32; 3];
+        let _ = nll_and_grad(&logits, &[3], 3, &mut grad);
+    }
+}

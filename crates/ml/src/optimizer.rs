@@ -1,0 +1,150 @@
+//! Minibatch SGD with momentum and step decay.
+
+/// SGD with (heavy-ball) momentum, the paper's client optimizer
+/// ("PyTorch's SGD optimizer with a momentum factor of 0.9", §5.1).
+///
+/// Update rule (PyTorch semantics):
+/// `v ← μ·v + g` ; `w ← w − γ·v`.
+///
+/// Momentum buffers live in the optimizer, not the model — in federated
+/// training each client builds a fresh optimizer per round, so momentum
+/// spans only the `E` local steps, as in the paper's setup.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_ml::Sgd;
+/// let mut opt = Sgd::new(2, 0.1, 0.9);
+/// let mut w = vec![1.0f32, -1.0];
+/// opt.step(&mut w, &[1.0, 1.0]);
+/// assert_eq!(w, vec![0.9, -1.1]);
+/// // Second step: momentum kicks in (v = 0.9·1 + 1 = 1.9).
+/// opt.step(&mut w, &[1.0, 1.0]);
+/// assert!((w[0] - (0.9 - 0.19)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    velocity: Vec<f32>,
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Creates an optimizer for `dim` parameters.
+    ///
+    /// # Panics
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(dim: usize, lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            velocity: vec![0.0; dim],
+            lr,
+            momentum,
+        }
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (used for the 0.98-every-10-rounds decay).
+    ///
+    /// # Panics
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    /// Panics if `params.len()` or `grad.len()` differ from the
+    /// constructor's `dim`.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "params length mismatch");
+        assert_eq!(grad.len(), self.velocity.len(), "grad length mismatch");
+        for ((w, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *w -= self.lr * *v;
+        }
+    }
+}
+
+/// The paper's learning-rate schedule: `initial · decay^(round / every)`
+/// with `decay = 0.98`, `every = 10` (§5.1).
+///
+/// # Example
+/// ```
+/// let lr = gluefl_ml::step_decay_lr(0.05, 0.98, 10, 25);
+/// assert!((lr - 0.05 * 0.98f32.powi(2)).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn step_decay_lr(initial: f32, decay: f32, every_rounds: u32, round: u32) -> f32 {
+    initial * decay.powi((round / every_rounds.max(1)) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_matches_hand_calculation() {
+        let mut opt = Sgd::new(1, 0.5, 0.0);
+        let mut w = vec![2.0f32];
+        opt.step(&mut w, &[4.0]);
+        assert_eq!(w, vec![0.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Sgd::new(1, 1.0, 0.5);
+        let mut w = vec![0.0f32];
+        opt.step(&mut w, &[1.0]); // v=1, w=-1
+        opt.step(&mut w, &[1.0]); // v=1.5, w=-2.5
+        opt.step(&mut w, &[1.0]); // v=1.75, w=-4.25
+        assert!((w[0] + 4.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_with_momentum_still_moves() {
+        let mut opt = Sgd::new(1, 1.0, 0.5);
+        let mut w = vec![0.0f32];
+        opt.step(&mut w, &[1.0]);
+        opt.step(&mut w, &[0.0]); // coasting on momentum: v=0.5
+        assert!((w[0] + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lr_schedule_decays_stepwise() {
+        assert_eq!(step_decay_lr(0.01, 0.98, 10, 0), 0.01);
+        assert_eq!(step_decay_lr(0.01, 0.98, 10, 9), 0.01);
+        assert!((step_decay_lr(0.01, 0.98, 10, 10) - 0.0098).abs() < 1e-9);
+        assert!((step_decay_lr(0.01, 0.98, 10, 100) - 0.01 * 0.98f32.powi(10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut opt = Sgd::new(1, 1.0, 0.0);
+        opt.set_lr(0.1);
+        let mut w = vec![1.0f32];
+        opt.step(&mut w, &[1.0]);
+        assert!((w[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(1, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0,1)")]
+    fn rejects_momentum_one() {
+        let _ = Sgd::new(1, 0.1, 1.0);
+    }
+}

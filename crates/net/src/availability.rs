@@ -1,0 +1,329 @@
+//! Per-round client availability as a two-state Markov process.
+
+use rand::Rng;
+
+/// A per-client on/off availability process, advanced once per round.
+///
+/// This stands in for FedScale's real-world client behaviour trace: each
+/// client alternates between *online* sessions and *offline* gaps whose
+/// lengths are geometrically distributed, which is the discrete analogue
+/// of the exponential session lengths observed in mobile-device traces.
+/// The stationary online fraction is
+/// `p_join / (p_join + p_leave)`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_net::AvailabilityTrace;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut trace = AvailabilityTrace::new(100, 0.8, 20.0, &mut rng);
+/// trace.advance(&mut rng);
+/// let online = trace.online().iter().filter(|&&b| b).count();
+/// assert!(online > 50); // ~80% online in steady state
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvailabilityTrace {
+    online: Vec<bool>,
+    /// P(offline → online) per round.
+    p_join: f64,
+    /// P(online → offline) per round.
+    p_leave: f64,
+}
+
+impl AvailabilityTrace {
+    /// Creates a trace over `n` clients with stationary online fraction
+    /// `online_fraction` and mean online session length
+    /// `mean_session_rounds` (in rounds). Initial states are drawn from
+    /// the stationary distribution.
+    ///
+    /// # Panics
+    /// Panics unless `0 < online_fraction < 1` and
+    /// `mean_session_rounds >= 1`.
+    #[must_use]
+    pub fn new<R: Rng>(
+        n: usize,
+        online_fraction: f64,
+        mean_session_rounds: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&online_fraction) && online_fraction > 0.0,
+            "online fraction must be in (0,1)"
+        );
+        assert!(mean_session_rounds >= 1.0, "mean session must be >= 1 round");
+        // Geometric session length: mean = 1/p_leave.
+        let p_leave = 1.0 / mean_session_rounds;
+        // Stationary fraction f = p_join/(p_join + p_leave)
+        //   → p_join = f·p_leave/(1−f).
+        let p_join = (online_fraction * p_leave / (1.0 - online_fraction)).min(1.0);
+        let online = (0..n).map(|_| rng.gen::<f64>() < online_fraction).collect();
+        Self {
+            online,
+            p_join,
+            p_leave,
+        }
+    }
+
+    /// A trace where every client is always online (used to disable
+    /// availability effects in ablations).
+    #[must_use]
+    pub fn always_on(n: usize) -> Self {
+        Self {
+            online: vec![true; n],
+            p_join: 1.0,
+            p_leave: 0.0,
+        }
+    }
+
+    /// Number of clients tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Returns `true` when the trace tracks zero clients.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Current online flags, indexed by client id.
+    #[must_use]
+    pub fn online(&self) -> &[bool] {
+        &self.online
+    }
+
+    /// Whether client `id` is currently online.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_online(&self, id: usize) -> bool {
+        self.online[id]
+    }
+
+    /// Advances every client's state by one round.
+    pub fn advance<R: Rng>(&mut self, rng: &mut R) {
+        for state in &mut self.online {
+            let flip = if *state { self.p_leave } else { self.p_join };
+            if rng.gen::<f64>() < flip {
+                *state = !*state;
+            }
+        }
+    }
+}
+
+/// A diurnal availability process: the Markov on/off dynamics of
+/// [`AvailabilityTrace`] modulated by a day/night cycle, as observed in
+/// FedScale's real client-behaviour trace (devices are predominantly
+/// online over night-time charging hours).
+///
+/// Each client gets a random phase offset; its join probability is scaled
+/// by a sinusoidal daily factor, so the online population swings between
+/// roughly `peak_fraction` and `trough_fraction`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_net::DiurnalAvailability;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut trace = DiurnalAvailability::new(200, 0.9, 0.3, 48.0, &mut rng);
+/// for _ in 0..10 { trace.advance(&mut rng); }
+/// let online = trace.online().iter().filter(|&&b| b).count();
+/// assert!(online > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiurnalAvailability {
+    online: Vec<bool>,
+    phase: Vec<f64>,
+    peak: f64,
+    trough: f64,
+    /// Rounds per simulated day.
+    period_rounds: f64,
+    p_leave: f64,
+    round: u64,
+}
+
+impl DiurnalAvailability {
+    /// Creates a diurnal trace over `n` clients oscillating between
+    /// `trough_fraction` and `peak_fraction` online with a cycle of
+    /// `period_rounds` rounds.
+    ///
+    /// # Panics
+    /// Panics unless `0 < trough <= peak < 1` and `period_rounds >= 2`.
+    #[must_use]
+    pub fn new<R: Rng>(
+        n: usize,
+        peak_fraction: f64,
+        trough_fraction: f64,
+        period_rounds: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            trough_fraction > 0.0 && trough_fraction <= peak_fraction && peak_fraction < 1.0,
+            "need 0 < trough <= peak < 1"
+        );
+        assert!(period_rounds >= 2.0, "period must span at least 2 rounds");
+        let mid = (peak_fraction + trough_fraction) / 2.0;
+        Self {
+            online: (0..n).map(|_| rng.gen::<f64>() < mid).collect(),
+            // Mostly-coherent phases (a quarter-cycle of jitter): clients
+            // share a dominant day/night rhythm with some spread, so the
+            // population-level swing stays visible instead of cancelling.
+            phase: (0..n)
+                .map(|_| rng.gen_range(0.0..std::f64::consts::FRAC_PI_2))
+                .collect(),
+            peak: peak_fraction,
+            trough: trough_fraction,
+            period_rounds,
+            // Responsive chain (mean session 4 rounds) so the population
+            // tracks the daily cycle with little lag.
+            p_leave: 0.25,
+            round: 0,
+        }
+    }
+
+    /// Current online flags, indexed by client id.
+    #[must_use]
+    pub fn online(&self) -> &[bool] {
+        &self.online
+    }
+
+    /// Number of clients tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Returns `true` when no clients are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// The target online fraction for a client with phase `phi` at the
+    /// current round.
+    fn target_fraction(&self, phi: f64) -> f64 {
+        let t = self.round as f64 / self.period_rounds * std::f64::consts::TAU;
+        let mid = (self.peak + self.trough) / 2.0;
+        let amp = (self.peak - self.trough) / 2.0;
+        mid + amp * (t + phi).sin()
+    }
+
+    /// Advances all clients by one round.
+    pub fn advance<R: Rng>(&mut self, rng: &mut R) {
+        self.round += 1;
+        for i in 0..self.online.len() {
+            let f = self.target_fraction(self.phase[i]);
+            // Stationary fraction f requires p_join = f·p_leave/(1−f).
+            let p_join = (f * self.p_leave / (1.0 - f)).min(1.0);
+            let flip = if self.online[i] { self.p_leave } else { p_join };
+            if rng.gen::<f64>() < flip {
+                self.online[i] = !self.online[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_fraction_holds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = AvailabilityTrace::new(2_000, 0.7, 15.0, &mut rng);
+        let mut total_online = 0usize;
+        let rounds = 200;
+        for _ in 0..rounds {
+            t.advance(&mut rng);
+            total_online += t.online().iter().filter(|&&b| b).count();
+        }
+        let frac = total_online as f64 / (2_000 * rounds) as f64;
+        assert!((frac - 0.7).abs() < 0.03, "online fraction {frac}");
+    }
+
+    #[test]
+    fn sessions_have_expected_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = AvailabilityTrace::new(500, 0.5, 10.0, &mut rng);
+        // Measure online-run lengths of client 0 over many rounds.
+        let mut lengths = Vec::new();
+        let mut run = 0usize;
+        for _ in 0..60_000 {
+            t.advance(&mut rng);
+            if t.is_online(0) {
+                run += 1;
+            } else if run > 0 {
+                lengths.push(run);
+                run = 0;
+            }
+        }
+        let mean = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
+        assert!((mean - 10.0).abs() < 1.0, "mean session {mean}");
+    }
+
+    #[test]
+    fn always_on_never_drops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = AvailabilityTrace::always_on(50);
+        for _ in 0..100 {
+            t.advance(&mut rng);
+            assert!(t.online().iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "online fraction")]
+    fn rejects_bad_fraction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = AvailabilityTrace::new(10, 1.5, 10.0, &mut rng);
+    }
+
+    #[test]
+    fn diurnal_population_oscillates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut t = DiurnalAvailability::new(3_000, 0.85, 0.25, 50.0, &mut rng);
+        // Warm into the stationary regime, then record per-round counts.
+        for _ in 0..100 {
+            t.advance(&mut rng);
+        }
+        let mut counts = Vec::new();
+        for _ in 0..200 {
+            t.advance(&mut rng);
+            counts.push(t.online().iter().filter(|&&b| b).count() as f64 / 3_000.0);
+        }
+        let max = counts.iter().cloned().fold(0.0, f64::max);
+        let min = counts.iter().cloned().fold(1.0, f64::min);
+        assert!(
+            max - min > 0.1,
+            "population swing too small: {min:.3}..{max:.3}"
+        );
+        assert!(max <= 0.95 && min >= 0.1, "swing out of range {min:.3}..{max:.3}");
+    }
+
+    #[test]
+    fn diurnal_mean_between_trough_and_peak() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut t = DiurnalAvailability::new(2_000, 0.8, 0.4, 40.0, &mut rng);
+        let mut total = 0usize;
+        let rounds = 400;
+        for _ in 0..rounds {
+            t.advance(&mut rng);
+            total += t.online().iter().filter(|&&b| b).count();
+        }
+        let mean = total as f64 / (2_000 * rounds) as f64;
+        assert!((0.4..=0.8).contains(&mean), "mean online fraction {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "trough")]
+    fn diurnal_rejects_inverted_fractions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = DiurnalAvailability::new(10, 0.3, 0.8, 40.0, &mut rng);
+    }
+}

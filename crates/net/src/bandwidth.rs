@@ -1,0 +1,287 @@
+//! Per-client bandwidth sampling for the paper's three environments.
+
+use rand::Rng;
+
+/// One client's network link: download and upload bandwidth in Mbps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientLink {
+    /// Server → device bandwidth, megabits per second.
+    pub down_mbps: f64,
+    /// Device → server bandwidth, megabits per second.
+    pub up_mbps: f64,
+}
+
+/// The three network environments of Figure 9.
+///
+/// Each variant is a parametric (log-normal) model fit to the measurement
+/// study the paper cites for that environment. Downloads and uploads are
+/// positively correlated within a client (a device on a good network tends
+/// to be good in both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkProfile {
+    /// End-user edge devices, fit to the M-Lab NDT distribution of
+    /// Figure 1: median download ≈30 Mbps with a heavy left tail (≈20% of
+    /// devices ≤10 Mbps), uploads ≈1.7× slower on average.
+    MlabEdge,
+    /// Commercial 5G (Narayanan et al., SIGCOMM 2021): fast but variable
+    /// downlink (median ≈400 Mbps), much slower uplink (median ≈40 Mbps).
+    Commercial5G,
+    /// Intra-datacenter (Mok et al., IMC 2021 on GCP): multi-Gbps and
+    /// nearly symmetric, low variance.
+    Datacenter,
+}
+
+/// Log-normal parameters: `exp(mu + sigma·z)` with `z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy)]
+struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    fn sample(self, z: f64) -> f64 {
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Parameters of one profile: marginals plus down/up correlation.
+struct ProfileParams {
+    down: LogNormal,
+    up: LogNormal,
+    /// Correlation between the down and up Gaussian factors.
+    rho: f64,
+    /// Clamp range in Mbps, mirroring the measurement floors/caps.
+    clamp: (f64, f64),
+}
+
+impl NetworkProfile {
+    fn params(self) -> ProfileParams {
+        match self {
+            // P(down <= 10) = Φ((ln10 − ln30)/1.3) ≈ 0.20, matching §2.2.
+            // Median down 30 Mbps, median up 17 Mbps → same-size transfers
+            // upload ≈1.7× slower than they download (§5.4).
+            NetworkProfile::MlabEdge => ProfileParams {
+                down: LogNormal { mu: 30.0f64.ln(), sigma: 1.3 },
+                up: LogNormal { mu: 17.0f64.ln(), sigma: 1.5 },
+                rho: 0.6,
+                clamp: (0.1, 2_000.0),
+            },
+            NetworkProfile::Commercial5G => ProfileParams {
+                down: LogNormal { mu: 400.0f64.ln(), sigma: 0.8 },
+                up: LogNormal { mu: 40.0f64.ln(), sigma: 0.7 },
+                rho: 0.5,
+                clamp: (5.0, 4_000.0),
+            },
+            NetworkProfile::Datacenter => ProfileParams {
+                down: LogNormal { mu: 8_000.0f64.ln(), sigma: 0.2 },
+                up: LogNormal { mu: 8_000.0f64.ln(), sigma: 0.2 },
+                rho: 0.9,
+                clamp: (1_000.0, 32_000.0),
+            },
+        }
+    }
+
+    /// Samples one client's [`ClientLink`] from this profile.
+    ///
+    /// # Example
+    /// ```
+    /// use gluefl_net::NetworkProfile;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let link = NetworkProfile::Datacenter.sample_link(&mut rng);
+    /// assert!(link.down_mbps >= 1_000.0);
+    /// ```
+    #[must_use]
+    pub fn sample_link<R: Rng>(self, rng: &mut R) -> ClientLink {
+        let p = self.params();
+        let z1 = standard_normal(rng);
+        let z2 = standard_normal(rng);
+        // Correlated Gaussian factors for down and up.
+        let zu = p.rho * z1 + (1.0 - p.rho * p.rho).sqrt() * z2;
+        let down = p.down.sample(z1).clamp(p.clamp.0, p.clamp.1);
+        let up = p.up.sample(zu).clamp(p.clamp.0, p.clamp.1);
+        ClientLink {
+            down_mbps: down,
+            up_mbps: up,
+        }
+    }
+
+    /// Samples `n` client links.
+    #[must_use]
+    pub fn sample_links<R: Rng>(self, rng: &mut R, n: usize) -> Vec<ClientLink> {
+        (0..n).map(|_| self.sample_link(rng)).collect()
+    }
+
+    /// All profiles, for sweeps.
+    #[must_use]
+    pub fn all() -> [NetworkProfile; 3] {
+        [
+            NetworkProfile::MlabEdge,
+            NetworkProfile::Commercial5G,
+            NetworkProfile::Datacenter,
+        ]
+    }
+
+    /// A short human-readable name ("mlab", "5g", "datacenter").
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkProfile::MlabEdge => "mlab",
+            NetworkProfile::Commercial5G => "5g",
+            NetworkProfile::Datacenter => "datacenter",
+        }
+    }
+}
+
+impl std::str::FromStr for NetworkProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mlab" | "edge" => Ok(NetworkProfile::MlabEdge),
+            "5g" => Ok(NetworkProfile::Commercial5G),
+            "datacenter" | "dc" => Ok(NetworkProfile::Datacenter),
+            other => Err(format!(
+                "unknown network profile '{other}' (expected mlab|5g|datacenter)"
+            )),
+        }
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Computes the empirical CDF of a bandwidth sample: returns `(sorted
+/// values, cumulative probabilities)` — the series plotted in Figure 1b.
+///
+/// # Example
+/// ```
+/// let (xs, ps) = gluefl_net::cdf(&[3.0, 1.0, 2.0]);
+/// assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+/// assert!((ps[2] - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn cdf(values: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = values.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+    let n = xs.len() as f64;
+    let ps = (1..=xs.len()).map(|i| i as f64 / n).collect();
+    (xs, ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn links(profile: NetworkProfile, n: usize) -> Vec<ClientLink> {
+        let mut rng = StdRng::seed_from_u64(1234);
+        profile.sample_links(&mut rng, n)
+    }
+
+    #[test]
+    fn mlab_left_tail_matches_paper() {
+        // §2.2: "around 20% of devices have a download bandwidth of at
+        // most 10 Mbps".
+        let ls = links(NetworkProfile::MlabEdge, 20_000);
+        let slow = ls.iter().filter(|l| l.down_mbps <= 10.0).count() as f64 / 20_000.0;
+        assert!((slow - 0.20).abs() < 0.02, "P(down<=10Mbps) = {slow}");
+    }
+
+    #[test]
+    fn mlab_upload_slower_than_download_on_average() {
+        let ls = links(NetworkProfile::MlabEdge, 20_000);
+        let down_med = median(ls.iter().map(|l| l.down_mbps));
+        let up_med = median(ls.iter().map(|l| l.up_mbps));
+        // §5.4: uploading the same update takes ~70% longer than
+        // downloading, i.e. median down / median up ≈ 1.7.
+        let ratio = down_med / up_med;
+        assert!((1.4..2.2).contains(&ratio), "down/up median ratio {ratio}");
+    }
+
+    #[test]
+    fn five_g_downlink_dominates_uplink() {
+        let ls = links(NetworkProfile::Commercial5G, 5_000);
+        let down_med = median(ls.iter().map(|l| l.down_mbps));
+        let up_med = median(ls.iter().map(|l| l.up_mbps));
+        assert!(down_med > 5.0 * up_med, "5G: {down_med} vs {up_med}");
+    }
+
+    #[test]
+    fn datacenter_is_fast_and_symmetric() {
+        let ls = links(NetworkProfile::Datacenter, 5_000);
+        let down_med = median(ls.iter().map(|l| l.down_mbps));
+        let up_med = median(ls.iter().map(|l| l.up_mbps));
+        assert!(down_med > 4_000.0);
+        assert!((down_med / up_med - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn links_are_clamped() {
+        for p in NetworkProfile::all() {
+            for l in links(p, 5_000) {
+                assert!(l.down_mbps > 0.0 && l.down_mbps <= 32_000.0);
+                assert!(l.up_mbps > 0.0 && l.up_mbps <= 32_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn down_up_positively_correlated() {
+        let ls = links(NetworkProfile::MlabEdge, 20_000);
+        let lx: Vec<f64> = ls.iter().map(|l| l.down_mbps.ln()).collect();
+        let ly: Vec<f64> = ls.iter().map(|l| l.up_mbps.ln()).collect();
+        let r = pearson(&lx, &ly);
+        assert!(r > 0.4, "log-bandwidth correlation {r}");
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let ls = links(NetworkProfile::MlabEdge, 1000);
+        let (xs, ps) = cdf(&ls.iter().map(|l| l.down_mbps).collect::<Vec<_>>());
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]));
+        assert!((ps.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_name_parse_roundtrip() {
+        for p in NetworkProfile::all() {
+            let parsed: NetworkProfile = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("bogus".parse::<NetworkProfile>().is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = links(NetworkProfile::MlabEdge, 10);
+        let b = links(NetworkProfile::MlabEdge, 10);
+        assert_eq!(a, b);
+    }
+
+    fn median(vals: impl Iterator<Item = f64>) -> f64 {
+        let mut v: Vec<f64> = vals.collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

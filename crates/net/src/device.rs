@@ -1,0 +1,132 @@
+//! Heterogeneous device compute speeds.
+
+use rand::Rng;
+
+/// Models how long one local SGD step takes on each client's hardware.
+///
+/// FedScale's device trace assigns every client a hardware tier; we model
+/// the same heterogeneity with a log-normal speed multiplier around a
+/// profile-specific base cost. The cost of one local step scales linearly
+/// with the number of model parameters (forward + backward are both
+/// O(params·batch)).
+///
+/// # Example
+///
+/// ```
+/// use gluefl_net::DeviceProfile;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let profile = DeviceProfile::mobile();
+/// let mult = profile.sample_speed(&mut rng);
+/// // One step on a 5M-parameter model, batch-independent base cost:
+/// let secs = profile.step_seconds(5_000_000, mult);
+/// assert!(secs > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Seconds per local step per million parameters on a median device.
+    pub base_secs_per_mparam: f64,
+    /// Log-normal sigma of the per-client speed multiplier.
+    pub speed_sigma: f64,
+    /// Clamp range for the speed multiplier.
+    pub clamp: (f64, f64),
+}
+
+impl DeviceProfile {
+    /// Mobile/edge device profile: a median device spends ≈60 ms per local
+    /// step per million parameters (ShuffleNet-scale models take a few
+    /// hundred ms per mini-batch on a phone), with ≈4× spread between the
+    /// fastest and slowest quartile devices.
+    #[must_use]
+    pub fn mobile() -> Self {
+        Self {
+            base_secs_per_mparam: 0.06,
+            speed_sigma: 0.5,
+            clamp: (0.2, 8.0),
+        }
+    }
+
+    /// Uniform fast hardware (datacenter GPUs): 3 ms per step per million
+    /// parameters, almost no spread.
+    #[must_use]
+    pub fn uniform_fast() -> Self {
+        Self {
+            base_secs_per_mparam: 0.003,
+            speed_sigma: 0.05,
+            clamp: (0.8, 1.25),
+        }
+    }
+
+    /// Samples one client's speed multiplier (1.0 = median device;
+    /// larger = slower).
+    #[must_use]
+    pub fn sample_speed<R: Rng>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        (self.speed_sigma * z).exp().clamp(self.clamp.0, self.clamp.1)
+    }
+
+    /// Samples `n` speed multipliers.
+    #[must_use]
+    pub fn sample_speeds<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample_speed(rng)).collect()
+    }
+
+    /// Seconds for one local SGD step on a model with `params` parameters
+    /// for a client with the given speed multiplier.
+    #[must_use]
+    pub fn step_seconds(&self, params: usize, speed_multiplier: f64) -> f64 {
+        self.base_secs_per_mparam * (params as f64 / 1e6) * speed_multiplier
+    }
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn speeds_are_clamped_and_centered() {
+        let p = DeviceProfile::mobile();
+        let mut rng = StdRng::seed_from_u64(5);
+        let speeds = p.sample_speeds(&mut rng, 10_000);
+        assert!(speeds.iter().all(|&s| (0.2..=8.0).contains(&s)));
+        let mean_log: f64 =
+            speeds.iter().map(|s| s.ln()).sum::<f64>() / speeds.len() as f64;
+        assert!(mean_log.abs() < 0.05, "median multiplier should be ~1, log mean {mean_log}");
+    }
+
+    #[test]
+    fn step_time_scales_with_params() {
+        let p = DeviceProfile::mobile();
+        let t1 = p.step_seconds(1_000_000, 1.0);
+        let t5 = p.step_seconds(5_000_000, 1.0);
+        assert!((t5 / t1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_devices_take_longer() {
+        let p = DeviceProfile::mobile();
+        assert!(p.step_seconds(1_000_000, 4.0) > p.step_seconds(1_000_000, 0.5));
+    }
+
+    #[test]
+    fn fast_profile_has_low_spread() {
+        let p = DeviceProfile::uniform_fast();
+        let mut rng = StdRng::seed_from_u64(6);
+        let speeds = p.sample_speeds(&mut rng, 1000);
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.6, "spread {}", max / min);
+    }
+}

@@ -1,0 +1,56 @@
+//! Client sampling schemes for cross-device federated learning.
+//!
+//! This crate implements the sampling half of GlueFL (He et al., MLSys
+//! 2023):
+//!
+//! * [`UniformSampler`] — FedAvg's uniform-without-replacement sampling of
+//!   `K` out of `N` clients per round (§2.1 of the paper).
+//! * [`MdSampler`] — multinomial (MD) sampling with replacement,
+//!   proportional to client importance weights (Li et al. 2020, used here
+//!   as an extra baseline).
+//! * [`StickySampler`] — GlueFL's sticky sampling (§3.1, Algorithm 2): a
+//!   persistent sticky group `S` from which `C` participants are drawn each
+//!   round, plus `K−C` fresh clients, with post-round rebalancing.
+//! * [`overcommit`] — FedScale-style over-commitment planning (§5.6): how
+//!   many extra candidates to invite from each group so that stragglers can
+//!   be dropped.
+//! * [`analysis`] — closed forms of Propositions 1 and 2 (re-sampling
+//!   probability after `r` rounds) used to pick `S` and `C`.
+//!
+//! # Example
+//!
+//! ```
+//! use gluefl_sampling::{StickySampler, sticky_weights};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // N = 100 clients, sticky group of 20.
+//! let mut sampler = StickySampler::new(100, 20, &mut rng);
+//! // Draw C = 8 sticky + K−C = 2 fresh participants.
+//! let draw = sampler.draw(&mut rng, 8, 2, None);
+//! assert_eq!(draw.sticky.len(), 8);
+//! assert_eq!(draw.fresh.len(), 2);
+//! // After the round, evict 2 non-participants and admit the fresh ones.
+//! sampler.rebalance(&mut rng, &draw.sticky, &draw.fresh);
+//! assert_eq!(sampler.group_size(), 20);
+//!
+//! // Inverse-propensity aggregation weight factors (Theorem 1).
+//! let w = sticky_weights(100, 20, 8, 10);
+//! assert!((w.sticky_factor - 20.0 / 8.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod md;
+pub mod overcommit;
+mod sticky;
+mod uniform;
+
+pub use md::{InvalidWeightsError, MdSampler};
+pub use sticky::{sticky_weights, StickyDraw, StickySampler, StickyWeights};
+pub use uniform::UniformSampler;
+
+/// Identifier of a client, `0..N`.
+pub type ClientId = usize;

@@ -1,0 +1,157 @@
+//! Multinomial (MD) client sampling with replacement (Li et al., 2020).
+
+use crate::ClientId;
+use rand::Rng;
+
+/// Samples `K` clients i.i.d. from a multinomial distribution proportional
+/// to client importance weights `p_i`.
+///
+/// MD sampling was proposed to remove the bias of uniform sampling under
+/// heterogeneous client weights (§6, "Client sampling"). A client can be
+/// drawn multiple times in one round; its update is then counted once per
+/// draw with weight `1/K` each, which keeps the aggregate unbiased:
+/// `E[Δ] = Σ_i p_i Δ_i`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_sampling::MdSampler;
+/// use rand::SeedableRng;
+/// let sampler = MdSampler::new(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let draws = sampler.draw(&mut rng, 8);
+/// assert_eq!(draws.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdSampler {
+    /// Cumulative distribution over clients.
+    cdf: Vec<f64>,
+}
+
+/// Error returned when the weight vector is not a probability distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidWeightsError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid client weights: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidWeightsError {}
+
+impl MdSampler {
+    /// Creates a sampler from client weights `p_i`.
+    ///
+    /// # Errors
+    /// Returns [`InvalidWeightsError`] when the vector is empty, contains a
+    /// negative or non-finite weight, or does not sum to a positive value.
+    /// Weights are normalised internally, so they need not sum to exactly 1.
+    pub fn new(weights: Vec<f64>) -> Result<Self, InvalidWeightsError> {
+        if weights.is_empty() {
+            return Err(InvalidWeightsError { what: "empty weight vector" });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(InvalidWeightsError {
+                what: "weights must be finite and non-negative",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(InvalidWeightsError { what: "weights sum to zero" });
+        }
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating point drift at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Creates a sampler with uniform weights over `n` clients.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "need at least one client");
+        Self::new(vec![1.0; n]).expect("uniform weights are valid")
+    }
+
+    /// Total number of clients `N`.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws `k` clients i.i.d. (with replacement), in draw order.
+    #[must_use]
+    pub fn draw<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<ClientId> {
+        (0..k)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(MdSampler::new(vec![]).is_err());
+        assert!(MdSampler::new(vec![-1.0, 2.0]).is_err());
+        assert!(MdSampler::new(vec![f64::NAN]).is_err());
+        assert!(MdSampler::new(vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = MdSampler::new(vec![]).unwrap_err();
+        assert!(e.to_string().contains("invalid client weights"));
+    }
+
+    #[test]
+    fn draw_count_and_range() {
+        let s = MdSampler::uniform(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = s.draw(&mut rng, 100);
+        assert_eq!(d.len(), 100);
+        assert!(d.iter().all(|&c| c < 10));
+    }
+
+    #[test]
+    fn frequencies_track_weights() {
+        let s = MdSampler::new(vec![1.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws = s.draw(&mut rng, 40_000);
+        let ones = draws.iter().filter(|&&c| c == 1).count() as f64 / 40_000.0;
+        assert!((ones - 0.75).abs() < 0.02, "client 1 frequency {ones}");
+    }
+
+    #[test]
+    fn zero_weight_client_never_drawn() {
+        let s = MdSampler::new(vec![0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(s.draw(&mut rng, 1000).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn unnormalised_weights_are_normalised() {
+        let a = MdSampler::new(vec![2.0, 6.0]).unwrap();
+        let b = MdSampler::new(vec![0.25, 0.75]).unwrap();
+        assert_eq!(a, b);
+    }
+}

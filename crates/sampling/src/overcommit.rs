@@ -1,0 +1,168 @@
+//! Over-commitment planning (paper §5.1 and §5.6, Table 3).
+//!
+//! FedScale-style systems sample `OC × K` clients per round and keep only
+//! the first `K` updates, masking stragglers and offline clients
+//! (Bonawitz et al. 2019). GlueFL additionally controls *where* the extra
+//! `0.3·K` invitations go: since sticky clients download little and are
+//! rarely stragglers, inviting fewer extras from the sticky group and more
+//! from the non-sticky group reduces tail latency at no bandwidth cost
+//! (Table 3a).
+
+/// How the over-commitment budget is split between the sticky and
+/// non-sticky groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OcStrategy {
+    /// Paper default: split proportionally to the round composition, i.e.
+    /// a fraction `C/K` of the extras go to the sticky group.
+    Proportional,
+    /// Send a fixed fraction of the extras to the sticky group (Table 3a
+    /// evaluates 10%, 30%, 50%).
+    StickyFraction(f64),
+}
+
+/// A per-round invitation plan.
+///
+/// `sticky_invites ≥ c` and `fresh_invites ≥ k − c`; the round later keeps
+/// the first `c` sticky finishers and first `k − c` fresh finishers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcPlan {
+    /// Number of sticky-group clients invited.
+    pub sticky_invites: usize,
+    /// Number of non-sticky clients invited.
+    pub fresh_invites: usize,
+    /// Target number of sticky participants kept (`C`).
+    pub keep_sticky: usize,
+    /// Target number of fresh participants kept (`K − C`).
+    pub keep_fresh: usize,
+}
+
+impl OcPlan {
+    /// Total invitations `≈ OC × K`.
+    #[must_use]
+    pub fn total_invites(&self) -> usize {
+        self.sticky_invites + self.fresh_invites
+    }
+
+    /// Total participants kept (`K`).
+    #[must_use]
+    pub fn total_keep(&self) -> usize {
+        self.keep_sticky + self.keep_fresh
+    }
+}
+
+/// Plans a round's invitations for round size `k`, sticky draw `c`,
+/// over-commitment factor `oc ≥ 1`, and a split [`OcStrategy`].
+///
+/// The extra budget is `round((oc − 1) · k)` clients; the strategy decides
+/// how many of those go to the sticky group (rounded to the nearest whole
+/// client, remainder to the non-sticky group).
+///
+/// # Panics
+/// Panics if `c > k`, `oc < 1.0`, or a `StickyFraction` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_sampling::overcommit::{plan, OcStrategy};
+/// // Paper default: K=30, C=24, OC=1.3, proportional split (C/K = 80%).
+/// let p = plan(30, 24, 1.3, OcStrategy::Proportional);
+/// assert_eq!(p.total_invites(), 39);
+/// assert_eq!(p.sticky_invites, 24 + 7); // 80% of 9 extras ≈ 7
+/// // Table 3a row "10%": 1 extra to sticky, 8 to fresh.
+/// let p = plan(30, 24, 1.3, OcStrategy::StickyFraction(0.1));
+/// assert_eq!(p.sticky_invites, 25);
+/// assert_eq!(p.fresh_invites, 14);
+/// ```
+#[must_use]
+pub fn plan(k: usize, c: usize, oc: f64, strategy: OcStrategy) -> OcPlan {
+    assert!(c <= k, "sticky draw {c} exceeds round size {k}");
+    assert!(oc >= 1.0, "over-commitment factor must be >= 1.0, got {oc}");
+    let extras = ((oc - 1.0) * k as f64).round() as usize;
+    let frac = match strategy {
+        OcStrategy::Proportional => {
+            if k == 0 {
+                0.0
+            } else {
+                c as f64 / k as f64
+            }
+        }
+        OcStrategy::StickyFraction(f) => {
+            assert!((0.0..=1.0).contains(&f), "sticky fraction {f} outside [0,1]");
+            f
+        }
+    };
+    let sticky_extra = ((extras as f64) * frac).round() as usize;
+    let sticky_extra = sticky_extra.min(extras);
+    OcPlan {
+        sticky_invites: c + sticky_extra,
+        fresh_invites: (k - c) + (extras - sticky_extra),
+        keep_sticky: c,
+        keep_fresh: k - c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_plan() {
+        let p = plan(30, 24, 1.3, OcStrategy::Proportional);
+        assert_eq!(p.total_invites(), 39);
+        assert_eq!(p.total_keep(), 30);
+        assert_eq!(p.keep_sticky, 24);
+        assert_eq!(p.keep_fresh, 6);
+        // C/K = 0.8 of 9 extras → 7 sticky, 2 fresh (paper §5.6: "7 : 2").
+        assert_eq!(p.sticky_invites - p.keep_sticky, 7);
+        assert_eq!(p.fresh_invites - p.keep_fresh, 2);
+    }
+
+    #[test]
+    fn table3a_rows() {
+        // Rows of Table 3a: 10% → 1:8, 30% → 3:6, 50% → 5:4 (approx;
+        // 0.3·30 = 9 extras).
+        for (frac, sticky_extra, fresh_extra) in
+            [(0.1, 1, 8), (0.3, 3, 6), (0.5, 5, 4)]
+        {
+            let p = plan(30, 24, 1.3, OcStrategy::StickyFraction(frac));
+            assert_eq!(
+                (p.sticky_invites - 24, p.fresh_invites - 6),
+                (sticky_extra, fresh_extra),
+                "fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn oc_one_means_no_extras() {
+        let p = plan(30, 24, 1.0, OcStrategy::Proportional);
+        assert_eq!(p.total_invites(), 30);
+        assert_eq!(p.sticky_invites, 24);
+    }
+
+    #[test]
+    fn extras_are_rounded_to_nearest() {
+        // OC=1.1, K=30 → 3 extras.
+        let p = plan(30, 24, 1.1, OcStrategy::Proportional);
+        assert_eq!(p.total_invites(), 33);
+    }
+
+    #[test]
+    fn zero_sticky_round_routes_all_extras_fresh() {
+        let p = plan(30, 0, 1.3, OcStrategy::Proportional);
+        assert_eq!(p.sticky_invites, 0);
+        assert_eq!(p.fresh_invites, 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1.0")]
+    fn rejects_oc_below_one() {
+        let _ = plan(30, 24, 0.9, OcStrategy::Proportional);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_fraction() {
+        let _ = plan(30, 24, 1.3, OcStrategy::StickyFraction(1.5));
+    }
+}

@@ -1,0 +1,417 @@
+//! Sticky sampling (GlueFL §3.1, Algorithm 2).
+
+use crate::ClientId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One round's participant draw under sticky sampling.
+///
+/// `K = C ∪ R` in the paper's notation: `sticky` is the set `C` (drawn from
+/// the sticky group `S`) and `fresh` is the set `R` (drawn from `N \ S`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StickyDraw {
+    /// Participants drawn from the sticky group (the paper's `C`).
+    pub sticky: Vec<ClientId>,
+    /// Participants drawn from the non-sticky remainder (the paper's `R`).
+    pub fresh: Vec<ClientId>,
+}
+
+impl StickyDraw {
+    /// All participants, sticky first then fresh.
+    #[must_use]
+    pub fn all(&self) -> Vec<ClientId> {
+        let mut v = self.sticky.clone();
+        v.extend_from_slice(&self.fresh);
+        v
+    }
+
+    /// Total number of participants `K`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sticky.len() + self.fresh.len()
+    }
+
+    /// Returns `true` when no client was drawn.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sticky.is_empty() && self.fresh.is_empty()
+    }
+}
+
+/// The inverse-propensity aggregation weight factors of §3.1.
+///
+/// A sticky participant's update is weighted `ν_s = sticky_factor · p_i`
+/// and a fresh participant's `ν_r = fresh_factor · p_i`; Theorem 1 shows
+/// this makes the aggregated update unbiased.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StickyWeights {
+    /// `S / C` — multiplier for sticky-group participants.
+    pub sticky_factor: f64,
+    /// `(N − S) / (K − C)` — multiplier for fresh participants.
+    pub fresh_factor: f64,
+}
+
+/// Computes the [`StickyWeights`] for population `n`, sticky group size
+/// `s`, sticky draw count `c`, and round size `k`.
+///
+/// # Panics
+/// Panics unless `0 < c <= s`, `c <= k`, and `s <= n`. `k == c` (no fresh
+/// clients) yields a `fresh_factor` of 0, which is safe because no fresh
+/// update exists to be weighted.
+///
+/// # Example
+/// ```
+/// let w = gluefl_sampling::sticky_weights(2800, 120, 24, 30);
+/// assert!((w.sticky_factor - 5.0).abs() < 1e-12);
+/// assert!((w.fresh_factor - 2680.0 / 6.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn sticky_weights(n: usize, s: usize, c: usize, k: usize) -> StickyWeights {
+    assert!(c > 0 && c <= s && s <= n && c <= k, "invalid sticky configuration");
+    let fresh_factor = if k == c {
+        0.0
+    } else {
+        (n - s) as f64 / (k - c) as f64
+    };
+    StickyWeights {
+        sticky_factor: s as f64 / c as f64,
+        fresh_factor,
+    }
+}
+
+/// GlueFL's sticky sampler (Algorithm 2).
+///
+/// The server maintains a sticky group `S` of fixed size. Each round it
+/// draws `C` participants from `S` and `K−C` from the remainder, then
+/// *rebalances*: the fresh participants join `S`, displacing an equal
+/// number of randomly-chosen sticky clients that did not participate.
+/// Clients in `S` therefore have a much higher short-term re-sampling
+/// probability (Proposition 2) and hold nearly-current model state, which
+/// is what makes masking effective for downstream bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_sampling::StickySampler;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut s = StickySampler::new(30, 8, &mut rng);
+/// let draw = s.draw(&mut rng, 4, 2, None);
+/// s.rebalance(&mut rng, &draw.sticky, &draw.fresh);
+/// // The fresh participants are now sticky.
+/// assert!(draw.fresh.iter().all(|&c| s.is_sticky(c)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StickySampler {
+    n: usize,
+    in_sticky: Vec<bool>,
+    sticky: Vec<ClientId>,
+}
+
+impl StickySampler {
+    /// Creates a sampler over `n` clients with a sticky group of size
+    /// `group_size`, initialised uniformly at random (§3.1: "We randomly
+    /// select S clients to initialize S in the beginning of training").
+    ///
+    /// # Panics
+    /// Panics if `group_size == 0` or `group_size > n`.
+    #[must_use]
+    pub fn new<R: Rng>(n: usize, group_size: usize, rng: &mut R) -> Self {
+        assert!(
+            group_size > 0 && group_size <= n,
+            "sticky group size {group_size} must be in 1..={n}"
+        );
+        let mut ids: Vec<ClientId> = (0..n).collect();
+        let (chosen, _) = ids.partial_shuffle(rng, group_size);
+        let mut sticky = chosen.to_vec();
+        sticky.sort_unstable();
+        let mut in_sticky = vec![false; n];
+        for &c in &sticky {
+            in_sticky[c] = true;
+        }
+        Self { n, in_sticky, sticky }
+    }
+
+    /// Total number of clients `N`.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Current sticky-group size `S` (constant across rebalances).
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.sticky.len()
+    }
+
+    /// Whether client `id` is currently in the sticky group.
+    ///
+    /// # Panics
+    /// Panics if `id >= N`.
+    #[must_use]
+    pub fn is_sticky(&self, id: ClientId) -> bool {
+        self.in_sticky[id]
+    }
+
+    /// A sorted snapshot of the sticky group.
+    #[must_use]
+    pub fn sticky_group(&self) -> &[ClientId] {
+        &self.sticky
+    }
+
+    /// Draws `c` sticky and `fresh_count` non-sticky participants, without
+    /// replacement, restricted to `available` clients when provided.
+    ///
+    /// If one group has fewer available candidates than requested, the
+    /// deficit is made up from the other group when possible, so the total
+    /// draw size is preserved unless the whole population is exhausted.
+    /// Draws are sorted by client id within each group.
+    ///
+    /// # Panics
+    /// Panics if `available` is provided with length `!= N`.
+    #[must_use]
+    pub fn draw<R: Rng>(
+        &self,
+        rng: &mut R,
+        c: usize,
+        fresh_count: usize,
+        available: Option<&[bool]>,
+    ) -> StickyDraw {
+        if let Some(a) = available {
+            assert_eq!(a.len(), self.n, "availability vector length mismatch");
+        }
+        let ok = |i: ClientId| available.is_none_or(|a| a[i]);
+        let mut sticky_pool: Vec<ClientId> =
+            self.sticky.iter().copied().filter(|&i| ok(i)).collect();
+        let mut fresh_pool: Vec<ClientId> = (0..self.n)
+            .filter(|&i| !self.in_sticky[i] && ok(i))
+            .collect();
+
+        let take_sticky = c.min(sticky_pool.len());
+        let (s_picked, _) = sticky_pool.partial_shuffle(rng, take_sticky);
+        let mut sticky: Vec<ClientId> = s_picked.to_vec();
+
+        // Make up any sticky deficit from the fresh pool and vice versa.
+        let deficit = c - sticky.len();
+        let want_fresh = fresh_count + deficit;
+        let take_fresh = want_fresh.min(fresh_pool.len());
+        let (f_picked, _) = fresh_pool.partial_shuffle(rng, take_fresh);
+        let mut fresh: Vec<ClientId> = f_picked.to_vec();
+
+        if fresh.len() < want_fresh {
+            // Fresh pool exhausted: top up from remaining sticky clients.
+            let short = want_fresh - fresh.len();
+            let mut rest: Vec<ClientId> = self
+                .sticky
+                .iter()
+                .copied()
+                .filter(|&i| ok(i) && !sticky.contains(&i))
+                .collect();
+            let take = short.min(rest.len());
+            let (extra, _) = rest.partial_shuffle(rng, take);
+            sticky.extend_from_slice(extra);
+        }
+
+        sticky.sort_unstable();
+        fresh.sort_unstable();
+        StickyDraw { sticky, fresh }
+    }
+
+    /// Post-round rebalancing (Algorithm 2 lines 20–21): each admitted
+    /// fresh participant displaces one uniformly-random sticky client that
+    /// did *not* participate this round. The group size is preserved.
+    ///
+    /// `participated_sticky` is the subset of the sticky draw that actually
+    /// completed the round (with over-commitment, stragglers drop out);
+    /// `admitted_fresh` is the subset of fresh participants admitted to the
+    /// sticky group.
+    ///
+    /// # Panics
+    /// Panics if an admitted client is already sticky or out of range.
+    pub fn rebalance<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        participated_sticky: &[ClientId],
+        admitted_fresh: &[ClientId],
+    ) {
+        for &c in admitted_fresh {
+            assert!(c < self.n, "client {c} out of range {}", self.n);
+            assert!(!self.in_sticky[c], "client {c} is already sticky");
+        }
+        // Candidates for eviction: sticky clients that did not participate.
+        let mut evictable: Vec<ClientId> = self
+            .sticky
+            .iter()
+            .copied()
+            .filter(|c| !participated_sticky.contains(c))
+            .collect();
+        let evict_n = admitted_fresh.len().min(evictable.len());
+        let (evicted, _) = evictable.partial_shuffle(rng, evict_n);
+        // Admit only as many as we could evict, keeping |S| constant.
+        let admitted = &admitted_fresh[..evict_n];
+        for &c in evicted.iter() {
+            self.in_sticky[c] = false;
+        }
+        for &c in admitted {
+            self.in_sticky[c] = true;
+        }
+        self.sticky = (0..self.n).filter(|&i| self.in_sticky[i]).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(seed: u64, n: usize, s: usize) -> (StickySampler, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sm = StickySampler::new(n, s, &mut rng);
+        (sm, rng)
+    }
+
+    #[test]
+    fn init_group_size_and_membership_agree() {
+        let (sm, _) = sampler(1, 50, 12);
+        assert_eq!(sm.group_size(), 12);
+        assert_eq!(
+            sm.sticky_group().len(),
+            (0..50).filter(|&i| sm.is_sticky(i)).count()
+        );
+        assert!(sm.sticky_group().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn draw_respects_group_membership() {
+        let (sm, mut rng) = sampler(2, 60, 15);
+        for _ in 0..50 {
+            let d = sm.draw(&mut rng, 6, 4, None);
+            assert_eq!(d.len(), 10);
+            assert!(d.sticky.iter().all(|&c| sm.is_sticky(c)));
+            assert!(d.fresh.iter().all(|&c| !sm.is_sticky(c)));
+            // no duplicates across groups
+            let mut all = d.all();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 10);
+        }
+    }
+
+    #[test]
+    fn rebalance_keeps_size_and_admits_fresh() {
+        let (mut sm, mut rng) = sampler(3, 40, 10);
+        for _ in 0..100 {
+            let d = sm.draw(&mut rng, 4, 3, None);
+            sm.rebalance(&mut rng, &d.sticky, &d.fresh);
+            assert_eq!(sm.group_size(), 10);
+            assert!(d.fresh.iter().all(|&c| sm.is_sticky(c)));
+            // Participating sticky clients are never evicted.
+            assert!(d.sticky.iter().all(|&c| sm.is_sticky(c)));
+        }
+    }
+
+    #[test]
+    fn rebalance_with_partial_participation() {
+        let (mut sm, mut rng) = sampler(4, 40, 10);
+        let d = sm.draw(&mut rng, 5, 5, None);
+        // Only 2 fresh clients were fast enough to be admitted.
+        let admitted = &d.fresh[..2];
+        sm.rebalance(&mut rng, &d.sticky[..3], admitted);
+        assert_eq!(sm.group_size(), 10);
+        assert!(admitted.iter().all(|&c| sm.is_sticky(c)));
+    }
+
+    #[test]
+    fn draw_with_availability_filter() {
+        let (sm, mut rng) = sampler(5, 30, 10);
+        // Only even-numbered clients are online.
+        let avail: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
+        let d = sm.draw(&mut rng, 3, 3, Some(&avail));
+        assert!(d.all().iter().all(|&c| c % 2 == 0));
+    }
+
+    #[test]
+    fn draw_tops_up_from_other_group_when_short() {
+        let (sm, mut rng) = sampler(6, 20, 19);
+        // Only 1 non-sticky client exists; ask for 3 fresh.
+        let d = sm.draw(&mut rng, 2, 3, None);
+        // Total preserved: deficit covered by extra sticky clients.
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.fresh.len(), 1);
+        assert_eq!(d.sticky.len(), 4);
+    }
+
+    #[test]
+    fn weights_match_paper_defaults() {
+        // FEMNIST defaults: N=2800, K=30, S=120, C=24.
+        let w = sticky_weights(2800, 120, 24, 30);
+        assert!((w.sticky_factor - 5.0).abs() < 1e-12);
+        assert!((w.fresh_factor - 446.666_666_7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_degenerate_full_sticky_round() {
+        let w = sticky_weights(100, 20, 10, 10);
+        assert_eq!(w.fresh_factor, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sticky configuration")]
+    fn weights_reject_c_over_s() {
+        let _ = sticky_weights(100, 5, 6, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already sticky")]
+    fn rebalance_rejects_sticky_admission() {
+        let (mut sm, mut rng) = sampler(7, 20, 5);
+        let member = sm.sticky_group()[0];
+        sm.rebalance(&mut rng, &[], &[member]);
+    }
+
+    #[test]
+    fn long_run_membership_is_consistent() {
+        let (mut sm, mut rng) = sampler(8, 100, 20);
+        for _ in 0..500 {
+            let d = sm.draw(&mut rng, 16, 4, None);
+            sm.rebalance(&mut rng, &d.sticky, &d.fresh);
+            let flags = (0..100).filter(|&i| sm.is_sticky(i)).count();
+            assert_eq!(flags, 20);
+            assert_eq!(sm.sticky_group().len(), 20);
+        }
+    }
+
+    #[test]
+    fn resample_probability_matches_proposition2_empirically() {
+        // Empirically verify the §3.1 case study at reduced scale:
+        // a client that just participated (and is sticky) should be
+        // re-sampled next round with probability ≈ C/S.
+        let n = 200;
+        let (mut sm, mut rng) = sampler(9, n, 40);
+        let (c, fresh) = (8, 2);
+        let mut first_round_hits = 0usize;
+        let mut observations = 0usize;
+        let mut watch: Option<ClientId> = None;
+        for _ in 0..6000 {
+            let d = sm.draw(&mut rng, c, fresh, None);
+            if let Some(w) = watch {
+                observations += 1;
+                if d.sticky.contains(&w) {
+                    first_round_hits += 1;
+                }
+                watch = None;
+            } else {
+                // Watch one sticky participant that stays in the group.
+                watch = d.sticky.first().copied();
+            }
+            sm.rebalance(&mut rng, &d.sticky, &d.fresh);
+        }
+        let freq = first_round_hits as f64 / observations as f64;
+        let expect = c as f64 / 40.0; // C/S = 0.2
+        assert!(
+            (freq - expect).abs() < 0.03,
+            "next-round re-sample frequency {freq} vs expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Uniform client sampling without replacement (FedAvg, §2.1).
+
+use crate::ClientId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples `K` of `N` clients uniformly at random, without replacement,
+/// optionally restricted to currently-available clients.
+///
+/// This is the client-sampling rule of FedAvg with partial participation:
+/// every client is included in a round with probability `K/N`, so a client
+/// is re-sampled every `N/K` rounds in expectation (Proposition 1).
+///
+/// # Example
+///
+/// ```
+/// use gluefl_sampling::UniformSampler;
+/// use rand::SeedableRng;
+/// let sampler = UniformSampler::new(50);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let picked = sampler.draw(&mut rng, 10, None);
+/// assert_eq!(picked.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformSampler {
+    n: usize,
+}
+
+impl UniformSampler {
+    /// Creates a sampler over `n` clients.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one client");
+        Self { n }
+    }
+
+    /// Total number of clients `N`.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Draws `k` distinct clients uniformly at random.
+    ///
+    /// When `available` is provided (length `N`, `true` = reachable), only
+    /// available clients are candidates; if fewer than `k` are available,
+    /// all of them are returned. The result is sorted by client id.
+    ///
+    /// # Panics
+    /// Panics if `available` is provided with length `!= N`.
+    #[must_use]
+    pub fn draw<R: Rng>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        available: Option<&[bool]>,
+    ) -> Vec<ClientId> {
+        if let Some(a) = available {
+            assert_eq!(a.len(), self.n, "availability vector length mismatch");
+        }
+        let mut candidates: Vec<ClientId> = (0..self.n)
+            .filter(|&i| available.is_none_or(|a| a[i]))
+            .collect();
+        let take = k.min(candidates.len());
+        let (picked, _) = candidates.partial_shuffle(rng, take);
+        let mut picked = picked.to_vec();
+        picked.sort_unstable();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_k_distinct_sorted() {
+        let s = UniformSampler::new(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = s.draw(&mut rng, 30, None);
+        assert_eq!(picked.len(), 30);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        assert!(picked.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn respects_availability() {
+        let s = UniformSampler::new(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let avail: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        for _ in 0..20 {
+            let picked = s.draw(&mut rng, 3, Some(&avail));
+            assert!(picked.iter().all(|&c| c % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn short_availability_caps_draw() {
+        let s = UniformSampler::new(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut avail = vec![false; 10];
+        avail[4] = true;
+        assert_eq!(s.draw(&mut rng, 5, Some(&avail)), vec![4]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let s = UniformSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.draw(&mut rng, 0, None).is_empty());
+    }
+
+    #[test]
+    fn k_over_population_returns_everyone() {
+        let s = UniformSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.draw(&mut rng, 50, None), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn inclusion_frequency_is_k_over_n() {
+        // Empirical check of the K/N inclusion probability.
+        let s = UniformSampler::new(40);
+        let mut rng = StdRng::seed_from_u64(9);
+        let rounds = 4000;
+        let mut hits = vec![0usize; 40];
+        for _ in 0..rounds {
+            for c in s.draw(&mut rng, 10, None) {
+                hits[c] += 1;
+            }
+        }
+        for (c, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / rounds as f64;
+            assert!(
+                (freq - 0.25).abs() < 0.05,
+                "client {c} frequency {freq} deviates from 0.25"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn availability_length_mismatch_panics() {
+        let s = UniformSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = s.draw(&mut rng, 2, Some(&[true; 4]));
+    }
+}

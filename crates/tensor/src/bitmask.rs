@@ -1,0 +1,385 @@
+//! Compact bitmaps over parameter positions.
+
+use std::fmt;
+
+/// A fixed-length bitmap over `len` parameter positions.
+///
+/// This is the representation of the paper's shared mask `M_t ∈ B^d`
+/// (Algorithm 3): bit `j` is set iff position `j` is covered by the mask.
+/// Bits are stored in `u64` words; all operations outside bounds panic, and
+/// the unused tail bits of the last word are kept at zero so that
+/// [`BitMask::count_ones`] and word-level algebra stay exact.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_tensor::BitMask;
+/// let mut m = BitMask::zeros(10);
+/// m.set(3, true);
+/// m.set(7, true);
+/// assert_eq!(m.count_ones(), 2);
+/// assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3, 7]);
+/// let inv = m.not();
+/// assert_eq!(inv.count_ones(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMask {
+    /// Creates an all-zero mask over `len` positions.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::zeros(100);
+    /// assert_eq!(m.count_ones(), 0);
+    /// assert_eq!(m.len(), 100);
+    /// ```
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one mask over `len` positions.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::ones(70);
+    /// assert_eq!(m.count_ones(), 70);
+    /// ```
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut m = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Builds a mask from an iterator of set positions.
+    ///
+    /// Duplicate indices are allowed (idempotent).
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(8, [1usize, 5, 5]);
+    /// assert_eq!(m.count_ones(), 2);
+    /// ```
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut m = Self::zeros(len);
+        for i in indices {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Number of positions the mask covers (the model dimension `d`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the mask covers zero positions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits, `count_ones / len` (0.0 for an empty mask).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Bitwise AND (set intersection).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR (set union).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_not(&self, other: &Self) -> Self {
+        self.zip_words(other, |a, b| a & !b)
+    }
+
+    /// Bitwise complement (the `¬M_t` of Algorithm 3 line 17).
+    #[must_use]
+    pub fn not(&self) -> Self {
+        let mut out = Self {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.clear_tail();
+        out
+    }
+
+    /// Merges `other` into `self` in place (set union).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of positions set in both masks (overlap `|A ∩ B|`).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn overlap(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the set positions in increasing order.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(130, [0usize, 64, 129]);
+    /// assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+    /// ```
+    #[must_use]
+    pub fn iter_ones(&self) -> SetBits<'_> {
+        SetBits {
+            mask: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Zeroes every position of `dense` that the mask does not cover
+    /// (the `M ⊙ Δ` operation of Algorithm 3 line 16).
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != self.len()`.
+    pub fn apply_to(&self, dense: &mut [f32]) {
+        assert_eq!(dense.len(), self.len, "mask/vector length mismatch");
+        for (i, v) in dense.iter_mut().enumerate() {
+            if !self.get(i) {
+                *v = 0.0;
+            }
+        }
+    }
+
+    fn zip_words(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitMask(len={}, ones={}, density={:.4})",
+            self.len,
+            self.count_ones(),
+            self.density()
+        )
+    }
+}
+
+/// Iterator over the set bit positions of a [`BitMask`], in increasing order.
+///
+/// Produced by [`BitMask::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    mask: &'a BitMask,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.mask.words.len() {
+                return None;
+            }
+            self.current = self.mask.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_counts() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            assert_eq!(BitMask::zeros(len).count_ones(), 0, "len={len}");
+            assert_eq!(BitMask::ones(len).count_ones(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMask::zeros(200);
+        m.set(0, true);
+        m.set(63, true);
+        m.set(64, true);
+        m.set(199, true);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(199));
+        assert!(!m.get(1) && !m.get(62) && !m.get(65) && !m.get(198));
+        m.set(63, false);
+        assert!(!m.get(63));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn not_respects_tail() {
+        let m = BitMask::zeros(70);
+        let inv = m.not();
+        assert_eq!(inv.count_ones(), 70);
+        // De Morgan on the complement: not(not(m)) == m
+        assert_eq!(inv.not(), m);
+    }
+
+    #[test]
+    fn and_or_and_not_are_setwise() {
+        let a = BitMask::from_indices(10, [1usize, 2, 3]);
+        let b = BitMask::from_indices(10, [3usize, 4]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.overlap(&b), 1);
+    }
+
+    #[test]
+    fn union_with_accumulates() {
+        let mut acc = BitMask::zeros(8);
+        acc.union_with(&BitMask::from_indices(8, [0usize]));
+        acc.union_with(&BitMask::from_indices(8, [7usize, 0]));
+        assert_eq!(acc.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let idx = vec![0usize, 1, 63, 64, 65, 127, 128, 199];
+        let m = BitMask::from_indices(200, idx.iter().copied());
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn apply_to_zeroes_uncovered() {
+        let m = BitMask::from_indices(4, [1usize, 3]);
+        let mut v = vec![1.0f32, 2.0, 3.0, 4.0];
+        m.apply_to(&mut v);
+        assert_eq!(v, vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn density_is_fractional() {
+        let m = BitMask::from_indices(200, 0..20usize);
+        assert!((m.density() - 0.1).abs() < 1e-12);
+        assert_eq!(BitMask::zeros(0).density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitMask::zeros(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = BitMask::zeros(4).and(&BitMask::zeros(5));
+    }
+}

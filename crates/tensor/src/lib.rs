@@ -1,0 +1,51 @@
+//! Dense vectors, bitmasks, top-k selection, and sparse updates.
+//!
+//! This crate is the numeric foundation of the GlueFL reproduction. All
+//! federated-learning strategies in the workspace treat a model as one flat
+//! `&[f32]` parameter vector; the types here provide the operations that the
+//! paper's algorithms are written in terms of:
+//!
+//! * [`BitMask`] — the shared mask `M_t ∈ B^d` of Algorithm 3, a compact
+//!   bitmap with set algebra (`and`/`or`/`not`) and set-bit iteration.
+//! * [`top_k_abs`] / [`top_k_abs_masked`] — the `top_q(·)` operator used by
+//!   STC (Algorithm 1 line 12/17) and by GlueFL's mask shifting
+//!   (Algorithm 3 lines 17 and 26).
+//! * [`SparseUpdate`] — an (indices, values) view of a masked model delta,
+//!   with the wire-size accounting (`bitmap` vs `index` encoding) used for
+//!   all bandwidth measurements in the evaluation.
+//! * [`vecops`] — axpy/scale/dot kernels shared by the ML substrate.
+//! * [`rng`] — deterministic seed derivation so that every experiment in the
+//!   workspace is exactly reproducible from one master seed.
+//!
+//! # Example
+//!
+//! ```
+//! use gluefl_tensor::{top_k_abs, BitMask, SparseUpdate};
+//!
+//! let delta = vec![0.1, -3.0, 0.2, 4.0, -0.05];
+//! // The two largest-magnitude coordinates form the mask.
+//! let idx = top_k_abs(&delta, 2);
+//! let mask = BitMask::from_indices(delta.len(), idx.iter().copied());
+//! assert!(mask.get(1) && mask.get(3));
+//!
+//! // Extract the masked update and apply it to a stale model copy.
+//! let sparse = SparseUpdate::from_dense_masked(&delta, &mask);
+//! let mut model = vec![0.0; 5];
+//! sparse.apply(&mut model);
+//! assert_eq!(model, vec![0.0, -3.0, 0.0, 4.0, 0.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmask;
+pub mod rng;
+mod sparse;
+mod topk;
+pub mod vecops;
+pub mod wire;
+
+pub use bitmask::{BitMask, SetBits};
+pub use sparse::SparseUpdate;
+pub use topk::{top_k_abs, top_k_abs_masked, TopKScope};
+pub use wire::{WireCost, WireEncoding, BYTES_PER_VALUE};

@@ -1,0 +1,213 @@
+//! Exact top-k selection by absolute value.
+//!
+//! Sparsification in STC and GlueFL is the `top_q(·)` operator: keep the `k`
+//! coordinates of a delta with the largest magnitudes. We implement an exact
+//! selection via `select_nth_unstable_by` (introselect, O(d) average) with a
+//! deterministic magnitude-then-index tie-break, so results are reproducible
+//! across runs and platforms regardless of the unstable partition order.
+
+use crate::BitMask;
+
+/// Restricts which coordinates a top-k selection may choose from.
+///
+/// GlueFL's client masking (Algorithm 3 line 17) selects the unique local
+/// gradient from positions *outside* the shared mask, i.e. `¬M_t ⊙ Δ`; the
+/// server-side mask update (line 26) selects over all positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopKScope<'a> {
+    /// Consider every coordinate.
+    All,
+    /// Consider only coordinates covered by the mask.
+    Inside(&'a BitMask),
+    /// Consider only coordinates *not* covered by the mask.
+    Outside(&'a BitMask),
+}
+
+/// Returns the indices of the `k` largest-magnitude entries of `values`,
+/// sorted in increasing index order.
+///
+/// Ties in magnitude are broken toward the smaller index, which makes the
+/// selection deterministic. If `k >= values.len()` every index is returned.
+///
+/// # Example
+///
+/// ```
+/// let v = [1.0f32, -5.0, 0.0, 5.0, 2.0];
+/// // |-5.0| ties with |5.0|; both beat the rest, k=3 adds index 4.
+/// assert_eq!(gluefl_tensor::top_k_abs(&v, 3), vec![1, 3, 4]);
+/// ```
+#[must_use]
+pub fn top_k_abs(values: &[f32], k: usize) -> Vec<usize> {
+    top_k_abs_masked(values, k, TopKScope::All)
+}
+
+/// Like [`top_k_abs`], but restricted to a [`TopKScope`].
+///
+/// Returns fewer than `k` indices when the scope contains fewer than `k`
+/// candidates. NaN magnitudes are treated as smaller than every finite
+/// magnitude (they are only selected when nothing else is left).
+///
+/// # Panics
+///
+/// Panics if a scope mask's length differs from `values.len()`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_tensor::{top_k_abs_masked, BitMask, TopKScope};
+/// let v = [9.0f32, 1.0, 8.0, 2.0];
+/// let m = BitMask::from_indices(4, [0usize, 2]);
+/// // Outside the mask only indices 1 and 3 are candidates.
+/// assert_eq!(
+///     top_k_abs_masked(&v, 1, TopKScope::Outside(&m)),
+///     vec![3]
+/// );
+/// ```
+#[must_use]
+pub fn top_k_abs_masked(values: &[f32], k: usize, scope: TopKScope<'_>) -> Vec<usize> {
+    let mut candidates: Vec<u32> = match scope {
+        TopKScope::All => (0..values.len() as u32).collect(),
+        TopKScope::Inside(m) => {
+            assert_eq!(m.len(), values.len(), "scope mask length mismatch");
+            m.iter_ones().map(|i| i as u32).collect()
+        }
+        TopKScope::Outside(m) => {
+            assert_eq!(m.len(), values.len(), "scope mask length mismatch");
+            (0..values.len())
+                .filter(|&i| !m.get(i))
+                .map(|i| i as u32)
+                .collect()
+        }
+    };
+    if k == 0 || candidates.is_empty() {
+        return Vec::new();
+    }
+    if k >= candidates.len() {
+        return candidates.into_iter().map(|i| i as usize).collect();
+    }
+
+    // Rank key: larger magnitude first; ties toward the smaller index.
+    // NaN is mapped below every finite magnitude.
+    let key = |i: u32| -> (f32, std::cmp::Reverse<u32>) {
+        let m = values[i as usize].abs();
+        (if m.is_nan() { -1.0 } else { m }, std::cmp::Reverse(i))
+    };
+    let cmp = |a: &u32, b: &u32| {
+        let (ma, ia) = key(*a);
+        let (mb, ib) = key(*b);
+        // total order: descending magnitude, then ascending index
+        mb.partial_cmp(&ma)
+            .expect("magnitudes are never NaN after mapping")
+            .then(ib.cmp(&ia))
+    };
+    candidates.select_nth_unstable_by(k - 1, cmp);
+    candidates.truncate(k);
+    candidates.sort_unstable();
+    candidates.into_iter().map(|i| i as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference implementation: full sort.
+    fn top_k_by_sort(values: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let ma = if values[a].abs().is_nan() { -1.0 } else { values[a].abs() };
+            let mb = if values[b].abs().is_nan() { -1.0 } else { values[b].abs() };
+            mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
+        });
+        idx.truncate(k.min(values.len()));
+        idx.sort_unstable();
+        idx
+    }
+
+    #[test]
+    fn matches_sort_reference_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..300);
+            let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let k = rng.gen_range(0..=n);
+            assert_eq!(
+                top_k_abs(&values, k),
+                top_k_by_sort(&values, k),
+                "trial {trial} n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_abs(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_ge_len_returns_all() {
+        assert_eq!(top_k_abs(&[1.0, 2.0], 5), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k_abs(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        let v = [2.0f32, -2.0, 2.0, 2.0];
+        assert_eq!(top_k_abs(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_is_selected_last() {
+        let v = [f32::NAN, 1.0, 0.5];
+        assert_eq!(top_k_abs(&v, 2), vec![1, 2]);
+        assert_eq!(top_k_abs(&v, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn inside_scope_restricts_candidates() {
+        let v = [10.0f32, 9.0, 8.0, 7.0];
+        let m = BitMask::from_indices(4, [2usize, 3]);
+        assert_eq!(
+            top_k_abs_masked(&v, 1, TopKScope::Inside(&m)),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn outside_scope_excludes_mask() {
+        let v = [10.0f32, 9.0, 8.0, 7.0];
+        let m = BitMask::from_indices(4, [0usize]);
+        assert_eq!(
+            top_k_abs_masked(&v, 2, TopKScope::Outside(&m)),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn scope_with_fewer_candidates_than_k() {
+        let v = [1.0f32, 2.0, 3.0];
+        let m = BitMask::from_indices(3, [1usize]);
+        assert_eq!(
+            top_k_abs_masked(&v, 5, TopKScope::Inside(&m)),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn negative_values_use_magnitude() {
+        let v = [-10.0f32, 1.0, 2.0];
+        assert_eq!(top_k_abs(&v, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope mask length mismatch")]
+    fn scope_length_mismatch_panics() {
+        let m = BitMask::zeros(2);
+        let _ = top_k_abs_masked(&[1.0, 2.0, 3.0], 1, TopKScope::Inside(&m));
+    }
+}

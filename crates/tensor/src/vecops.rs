@@ -1,0 +1,136 @@
+//! Flat-vector kernels shared by the ML substrate and the strategies.
+//!
+//! All of these operate on plain `&[f32]` slices and panic on length
+//! mismatch — models in this workspace are always flat parameter vectors,
+//! so no shape machinery is needed.
+
+/// `y ← y + a·x` (AXPY).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+///
+/// # Example
+/// ```
+/// let mut y = vec![1.0f32, 1.0];
+/// gluefl_tensor::vecops::axpy(&mut y, 2.0, &[3.0, 4.0]);
+/// assert_eq!(y, vec![7.0, 9.0]);
+/// ```
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← a·y`.
+pub fn scale(y: &mut [f32], a: f32) {
+    for yi in y.iter_mut() {
+        *yi *= a;
+    }
+}
+
+/// Dot product `⟨x, y⟩` accumulated in `f64` for stability.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| f64::from(*a) * f64::from(*b))
+        .sum()
+}
+
+/// Euclidean norm `‖x‖₂` accumulated in `f64`.
+#[must_use]
+pub fn l2_norm(x: &[f32]) -> f64 {
+    x.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt()
+}
+
+/// Elementwise difference `a - b` into a fresh vector.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[must_use]
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b` into a fresh vector.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[must_use]
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Mean of the entries (0.0 for an empty slice).
+#[must_use]
+pub fn mean(x: &[f32]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().map(|v| f64::from(*v)).sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Number of entries whose absolute value exceeds `eps`.
+#[must_use]
+pub fn count_above(x: &[f32], eps: f32) -> usize {
+    x.iter().filter(|v| v.abs() > eps).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![0.0f32, 1.0, 2.0];
+        axpy(&mut y, -1.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_basic() {
+        let mut y = vec![2.0f32, -4.0];
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_add_inverse() {
+        let a = vec![5.0f32, 7.0];
+        let b = vec![2.0f32, 3.0];
+        assert_eq!(add(&sub(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        assert_eq!(count_above(&[0.1, -0.5, 0.0, 2.0], 0.3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_mismatch_panics() {
+        let mut y = vec![0.0f32];
+        axpy(&mut y, 1.0, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Wire-size accounting for sparse and dense transfers.
+//!
+//! Every bandwidth number reported by the evaluation harness comes from this
+//! module. The cost model matches how the paper's artifacts serialise
+//! updates:
+//!
+//! * each transferred parameter value costs [`BYTES_PER_VALUE`] (f32);
+//! * the *positions* of a sparse transfer are encoded either as a `d`-bit
+//!   bitmap (`d/8` bytes, independent of sparsity) or as explicit `u32`
+//!   indices (`4` bytes each) — whichever is smaller, chosen per message;
+//! * positions already known to both sides (e.g. GlueFL's shared mask
+//!   `M_t`, which the client received at download time) cost nothing when
+//!   the values are sent back aligned to that mask.
+
+/// Bytes used to encode one `f32` parameter value on the wire.
+pub const BYTES_PER_VALUE: u64 = 4;
+
+/// Bytes used to encode one explicit `u32` coordinate index.
+pub const BYTES_PER_INDEX: u64 = 4;
+
+/// Fixed per-message framing overhead (round id, lengths, checksums).
+pub const HEADER_BYTES: u64 = 16;
+
+/// How the positions of a sparse payload are described on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireEncoding {
+    /// A `d`-bit bitmap: cost `ceil(d/8)` bytes regardless of sparsity.
+    Bitmap,
+    /// Explicit `u32` indices: cost `4·nnz` bytes.
+    IndexList,
+    /// Positions implied by a mask both sides already hold: cost 0.
+    KnownMask,
+    /// Dense payload over every coordinate: no position encoding needed.
+    Dense,
+}
+
+/// The byte cost of one transfer, split into value and position bytes.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_tensor::WireCost;
+/// // 1000 of 100_000 coordinates: index list (4 kB) beats bitmap (12.5 kB).
+/// let c = WireCost::sparse(100_000, 1_000);
+/// assert_eq!(c.encoding, gluefl_tensor::WireEncoding::IndexList);
+/// assert_eq!(c.value_bytes, 4_000);
+/// assert_eq!(c.position_bytes, 4_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireCost {
+    /// Bytes spent on parameter values.
+    pub value_bytes: u64,
+    /// Bytes spent describing which positions the values belong to.
+    pub position_bytes: u64,
+    /// Which position encoding produced `position_bytes`.
+    pub encoding: WireEncoding,
+}
+
+impl WireCost {
+    /// Cost of a dense transfer of `dim` values (e.g. FedAvg broadcast).
+    #[must_use]
+    pub fn dense(dim: usize) -> Self {
+        Self {
+            value_bytes: dim as u64 * BYTES_PER_VALUE,
+            position_bytes: 0,
+            encoding: WireEncoding::Dense,
+        }
+    }
+
+    /// Cost of a sparse transfer of `nnz` values out of `dim` coordinates,
+    /// using whichever of bitmap / index-list encoding is cheaper.
+    ///
+    /// # Panics
+    /// Panics if `nnz > dim`.
+    #[must_use]
+    pub fn sparse(dim: usize, nnz: usize) -> Self {
+        assert!(nnz <= dim, "nnz {nnz} exceeds dim {dim}");
+        let bitmap = (dim as u64).div_ceil(8);
+        let index = nnz as u64 * BYTES_PER_INDEX;
+        let (position_bytes, encoding) = if bitmap <= index {
+            (bitmap, WireEncoding::Bitmap)
+        } else {
+            (index, WireEncoding::IndexList)
+        };
+        Self {
+            value_bytes: nnz as u64 * BYTES_PER_VALUE,
+            position_bytes,
+            encoding,
+        }
+    }
+
+    /// Cost of sending `nnz` values whose positions are given by a mask the
+    /// receiver already holds (GlueFL's shared-mask upload, Algorithm 3
+    /// line 16: the server knows `M_t`, so only values travel).
+    #[must_use]
+    pub fn known_mask(nnz: usize) -> Self {
+        Self {
+            value_bytes: nnz as u64 * BYTES_PER_VALUE,
+            position_bytes: 0,
+            encoding: WireEncoding::KnownMask,
+        }
+    }
+
+    /// An empty transfer.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            value_bytes: 0,
+            position_bytes: 0,
+            encoding: WireEncoding::KnownMask,
+        }
+    }
+
+    /// Total payload bytes including the fixed [`HEADER_BYTES`] framing.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.value_bytes + self.position_bytes + HEADER_BYTES
+    }
+
+    /// Total payload bytes excluding framing (useful for ratios).
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.value_bytes + self.position_bytes
+    }
+}
+
+/// Converts a byte count to megabytes (10^6 bytes, as in the paper's plots).
+#[must_use]
+pub fn bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / 1e6
+}
+
+/// Converts a byte count to gigabytes (10^9 bytes).
+#[must_use]
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cost_scales_with_dim() {
+        let c = WireCost::dense(1000);
+        assert_eq!(c.value_bytes, 4000);
+        assert_eq!(c.position_bytes, 0);
+        assert_eq!(c.total_bytes(), 4000 + HEADER_BYTES);
+    }
+
+    #[test]
+    fn sparse_picks_cheaper_encoding() {
+        // Very sparse: index list wins.
+        let c = WireCost::sparse(1_000_000, 10);
+        assert_eq!(c.encoding, WireEncoding::IndexList);
+        assert_eq!(c.position_bytes, 40);
+        // Dense-ish: bitmap wins (bitmap = 125 kB, indices = 2 MB).
+        let c = WireCost::sparse(1_000_000, 500_000);
+        assert_eq!(c.encoding, WireEncoding::Bitmap);
+        assert_eq!(c.position_bytes, 125_000);
+    }
+
+    #[test]
+    fn sparse_breakeven_point() {
+        // bitmap bytes = d/8, index bytes = 4*nnz → breakeven nnz = d/32.
+        let d = 3200;
+        let at = WireCost::sparse(d, d / 32);
+        assert_eq!(at.encoding, WireEncoding::Bitmap); // ties prefer bitmap
+        let below = WireCost::sparse(d, d / 32 - 1);
+        assert_eq!(below.encoding, WireEncoding::IndexList);
+    }
+
+    #[test]
+    fn known_mask_has_no_position_cost() {
+        let c = WireCost::known_mask(123);
+        assert_eq!(c.value_bytes, 492);
+        assert_eq!(c.position_bytes, 0);
+    }
+
+    #[test]
+    fn zero_cost_is_header_only() {
+        assert_eq!(WireCost::zero().total_bytes(), HEADER_BYTES);
+        assert_eq!(WireCost::zero().payload_bytes(), 0);
+    }
+
+    #[test]
+    fn sparse_full_equals_dense_values() {
+        let c = WireCost::sparse(64, 64);
+        assert_eq!(c.value_bytes, WireCost::dense(64).value_bytes);
+        // Bitmap of 64 bits = 8 bytes, cheaper than 256 index bytes.
+        assert_eq!(c.position_bytes, 8);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((bytes_to_mb(2_500_000) - 2.5).abs() < 1e-12);
+        assert!((bytes_to_gb(3_000_000_000) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dim")]
+    fn sparse_nnz_over_dim_panics() {
+        let _ = WireCost::sparse(4, 5);
+    }
+}

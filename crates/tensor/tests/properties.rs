@@ -1,0 +1,115 @@
+//! Property-based tests for the tensor crate's core invariants.
+
+use gluefl_tensor::{top_k_abs, top_k_abs_masked, BitMask, SparseUpdate, TopKScope, WireCost};
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, 0..200)
+}
+
+proptest! {
+    /// top_k result always has exactly min(k, n) indices, sorted & unique.
+    #[test]
+    fn topk_cardinality_and_order(v in small_vec(), k in 0usize..250) {
+        let idx = top_k_abs(&v, k);
+        prop_assert_eq!(idx.len(), k.min(v.len()));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| i < v.len()));
+    }
+
+    /// Every selected magnitude dominates every non-selected magnitude.
+    #[test]
+    fn topk_dominance(v in small_vec(), k in 1usize..50) {
+        let idx = top_k_abs(&v, k);
+        if idx.len() < v.len() {
+            let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
+            let min_sel = idx.iter().map(|&i| v[i].abs()).fold(f32::INFINITY, f32::min);
+            for (i, value) in v.iter().enumerate() {
+                if !selected.contains(&i) {
+                    prop_assert!(value.abs() <= min_sel,
+                        "unselected {} has |{}| > min selected {}", i, value, min_sel);
+                }
+            }
+        }
+    }
+
+    /// Inside-scope ∪ outside-scope selections partition an all-scope
+    /// selection when k covers everything.
+    #[test]
+    fn topk_scopes_partition(v in small_vec(), ones in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let n = v.len().min(ones.len());
+        let v = &v[..n];
+        let mask = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        let inside = top_k_abs_masked(v, n, TopKScope::Inside(&mask));
+        let outside = top_k_abs_masked(v, n, TopKScope::Outside(&mask));
+        prop_assert_eq!(inside.len() + outside.len(), n);
+        let mut all: Vec<usize> = inside.into_iter().chain(outside).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Mask algebra: De Morgan and cardinality identities.
+    #[test]
+    fn mask_de_morgan(ones_a in proptest::collection::vec(any::<bool>(), 1..300),
+                      ones_b in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let n = ones_a.len().min(ones_b.len());
+        let a = BitMask::from_indices(n, (0..n).filter(|&i| ones_a[i]));
+        let b = BitMask::from_indices(n, (0..n).filter(|&i| ones_b[i]));
+        // ¬(A ∪ B) == ¬A ∩ ¬B
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        // |A| + |B| == |A ∪ B| + |A ∩ B|
+        prop_assert_eq!(
+            a.count_ones() + b.count_ones(),
+            a.or(&b).count_ones() + a.and(&b).count_ones()
+        );
+        // A \ B == A ∩ ¬B
+        prop_assert_eq!(a.and_not(&b), a.and(&b.not()));
+        // overlap == |A ∩ B|
+        prop_assert_eq!(a.overlap(&b), a.and(&b).count_ones());
+    }
+
+    /// iter_ones is the inverse of from_indices.
+    #[test]
+    fn mask_iteration_roundtrip(idx in proptest::collection::btree_set(0usize..500, 0..100)) {
+        let m = BitMask::from_indices(500, idx.iter().copied());
+        let back: Vec<usize> = m.iter_ones().collect();
+        prop_assert_eq!(back, idx.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Sparse extract + densify == mask ⊙ dense.
+    #[test]
+    fn sparse_masked_extraction(v in small_vec(), ones in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let n = v.len().min(ones.len());
+        let v = &v[..n];
+        let mask = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        let sparse = SparseUpdate::from_dense_masked(v, &mask);
+        let mut masked = v.to_vec();
+        mask.apply_to(&mut masked);
+        prop_assert_eq!(sparse.to_dense(), masked);
+        prop_assert_eq!(sparse.nnz(), mask.count_ones());
+    }
+
+    /// apply-then-gather is the identity on the support set.
+    #[test]
+    fn sparse_apply_gather_roundtrip(pairs in proptest::collection::btree_map(0u32..100, -10.0f32..10.0, 0..40)) {
+        let u = SparseUpdate::from_pairs(100, pairs.clone().into_iter().collect());
+        let mut w = vec![0.0f32; 100];
+        u.apply(&mut w);
+        let idx: Vec<usize> = pairs.keys().map(|&i| i as usize).collect();
+        let g = SparseUpdate::gather(&w, &idx);
+        prop_assert_eq!(g, u);
+    }
+
+    /// Wire cost never exceeds the dense cost by more than the position
+    /// encoding minimum, and value bytes are exact.
+    #[test]
+    fn wire_cost_bounds(dim in 1usize..10_000, frac in 0.0f64..1.0) {
+        let nnz = ((dim as f64) * frac) as usize;
+        let c = WireCost::sparse(dim, nnz);
+        prop_assert_eq!(c.value_bytes, nnz as u64 * 4);
+        // position bytes = min(bitmap, index list)
+        let bitmap = (dim as u64).div_ceil(8);
+        let index = nnz as u64 * 4;
+        prop_assert_eq!(c.position_bytes, bitmap.min(index));
+    }
+}

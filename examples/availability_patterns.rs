@@ -1,0 +1,81 @@
+//! Availability patterns: how client churn interacts with sticky
+//! sampling. Compares the steady Markov trace against a diurnal
+//! (day/night) pattern and reports how often the sticky group is depleted.
+//!
+//! ```text
+//! cargo run --release --example availability_patterns
+//! ```
+
+use gluefl_net::{AvailabilityTrace, DiurnalAvailability};
+use gluefl_sampling::StickySampler;
+use gluefl_tensor::rng::seeded_rng;
+
+fn main() {
+    let n = 1_000;
+    let (s, c, fresh) = (120, 24, 6);
+    let rounds = 500;
+
+    println!("sticky sampling under client churn: N = {n}, S = {s}, C = {c}\n");
+    println!(
+        "{:<10} {:>14} {:>18} {:>20}",
+        "pattern", "mean online", "sticky shortfall", "rounds short (of C)"
+    );
+
+    // Steady Markov churn (the simulator's default).
+    {
+        let mut rng = seeded_rng(1, "steady", 0);
+        let mut trace = AvailabilityTrace::new(n, 0.8, 40.0, &mut rng);
+        let mut sampler = StickySampler::new(n, s, &mut rng);
+        let (mut online_sum, mut shortfall, mut short_rounds) = (0usize, 0usize, 0usize);
+        for _ in 0..rounds {
+            trace.advance(&mut rng);
+            online_sum += trace.online().iter().filter(|&&b| b).count();
+            let draw = sampler.draw(&mut rng, c, fresh, Some(trace.online()));
+            if draw.sticky.len() < c {
+                shortfall += c - draw.sticky.len();
+                short_rounds += 1;
+            }
+            sampler.rebalance(&mut rng, &draw.sticky, &draw.fresh);
+        }
+        println!(
+            "{:<10} {:>13.1}% {:>18} {:>20}",
+            "steady",
+            100.0 * online_sum as f64 / (n * rounds) as f64,
+            shortfall,
+            short_rounds
+        );
+    }
+
+    // Diurnal churn: night troughs empty out parts of the sticky group.
+    {
+        let mut rng = seeded_rng(1, "diurnal", 0);
+        let mut trace = DiurnalAvailability::new(n, 0.9, 0.35, 60.0, &mut rng);
+        let mut sampler = StickySampler::new(n, s, &mut rng);
+        let (mut online_sum, mut shortfall, mut short_rounds) = (0usize, 0usize, 0usize);
+        for _ in 0..rounds {
+            trace.advance(&mut rng);
+            online_sum += trace.online().iter().filter(|&&b| b).count();
+            let draw = sampler.draw(&mut rng, c, fresh, Some(trace.online()));
+            if draw.sticky.len() < c {
+                shortfall += c - draw.sticky.len();
+                short_rounds += 1;
+            }
+            sampler.rebalance(&mut rng, &draw.sticky, &draw.fresh);
+        }
+        println!(
+            "{:<10} {:>13.1}% {:>18} {:>20}",
+            "diurnal",
+            100.0 * online_sum as f64 / (n * rounds) as f64,
+            shortfall,
+            short_rounds
+        );
+    }
+
+    println!(
+        "\ninterpretation: with the paper's S = 4K ≈ 5·C, even a diurnal trough \
+         of ~35% online leaves ≈ S·0.35 > C sticky candidates, so rounds are \
+         never short — the oversized sticky group doubles as churn slack. \
+         Shrink S toward C (Figure 6's S = K arm) and shortfalls appear, \
+         forcing fresh top-ups and extra downstream bandwidth."
+    );
+}

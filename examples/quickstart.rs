@@ -1,0 +1,57 @@
+//! Quickstart: train a small federated model with GlueFL and watch the
+//! bandwidth counters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+use gluefl_tensor::wire::bytes_to_mb;
+
+fn main() {
+    // A miniature FEMNIST/ShuffleNet setup: 5% of the paper's client
+    // population, the paper's GlueFL defaults scaled to the round size.
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        StrategyConfig::FedAvg, // replaced below
+        0.05,
+        60,
+        42,
+    );
+    cfg.strategy = StrategyConfig::GlueFl(GlueFlParams::paper_default(
+        cfg.round_size,
+        DatasetModel::ShuffleNet,
+    ));
+    cfg.eval_every = 10;
+
+    println!(
+        "GlueFL quickstart: N = {} clients, K = {} per round, {} rounds",
+        cfg.dataset.clients, cfg.round_size, cfg.rounds
+    );
+    let mut sim = Simulation::new(cfg);
+    println!(
+        "model: {} parameters ({} trainable)",
+        sim.model().num_params(),
+        sim.model().layout().trainable_count()
+    );
+
+    let mut cum_down = 0u64;
+    for _ in 0..sim.config().rounds {
+        let rec = sim.step();
+        cum_down += rec.down_bytes;
+        if let Some(acc) = rec.accuracy {
+            println!(
+                "round {:>3}: accuracy {:>5.1}%  |  down {:>7.2} MB cumulative  \
+                 |  {:>4} positions changed",
+                rec.round,
+                acc * 100.0,
+                bytes_to_mb(cum_down),
+                rec.changed_positions
+            );
+        }
+    }
+    println!("done: downstream total {:.2} MB", bytes_to_mb(cum_down));
+}

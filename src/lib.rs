@@ -1,0 +1,23 @@
+//! Umbrella crate for the GlueFL reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so examples and integration
+//! tests can `use gluefl_suite::...`. See the individual crates for the
+//! substance:
+//!
+//! * [`gluefl_core`] — strategies, simulator, metrics, theory.
+//! * [`gluefl_ml`] — flat-parameter MLP + BatchNorm substrate.
+//! * [`gluefl_data`] — synthetic non-IID federated datasets.
+//! * [`gluefl_compress`] — STC, mask shifting, APF, error comp.
+//! * [`gluefl_sampling`] — uniform/MD/sticky samplers.
+//! * [`gluefl_net`] — bandwidth, device, availability simulation.
+//! * [`gluefl_tensor`] — bitmasks, top-k, sparse updates.
+
+#![forbid(unsafe_code)]
+
+pub use gluefl_compress as compress;
+pub use gluefl_core as core;
+pub use gluefl_data as data;
+pub use gluefl_ml as ml;
+pub use gluefl_net as net;
+pub use gluefl_sampling as sampling;
+pub use gluefl_tensor as tensor;

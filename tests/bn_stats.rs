@@ -1,0 +1,138 @@
+//! Appendix-D integration tests: BatchNorm statistics are aggregated with
+//! a plain 1/K mean, excluded from masks, and still synchronised.
+
+use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::{DatasetModel, ParamKind};
+
+fn cfg(strategy: StrategyConfig, rounds: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.01,
+        rounds,
+        31,
+    );
+    cfg.model.hidden = vec![16];
+    cfg.dataset.feature_dim = 12;
+    cfg.dataset.classes = 8;
+    cfg.dataset.test_samples = 100;
+    cfg.eval_every = u32::MAX;
+    cfg.availability = None;
+    cfg
+}
+
+#[test]
+fn num_batches_tracked_advances_by_local_steps_per_round() {
+    // Each participating client runs E local steps, each bumping
+    // num_batches_tracked by 1; the Appendix-D mean therefore adds E per
+    // round to the global counter.
+    let mut sim = Simulation::new(cfg(StrategyConfig::FedAvg, 1));
+    let seg = sim
+        .model()
+        .layout()
+        .segment("bn0.num_batches_tracked")
+        .expect("model has BatchNorm")
+        .clone();
+    let e = sim.config().local_steps as f32;
+    assert_eq!(sim.model().params()[seg.start], 0.0);
+    sim.step();
+    let after_one = sim.model().params()[seg.start];
+    assert!((after_one - e).abs() < 1e-3, "after one round: {after_one}");
+    sim.step();
+    let after_two = sim.model().params()[seg.start];
+    assert!((after_two - 2.0 * e).abs() < 1e-3, "after two rounds: {after_two}");
+}
+
+#[test]
+fn bn_statistics_change_every_round_under_masking() {
+    // Even for masking strategies, statistics are synchronised outside the
+    // mask, so their positions change every round.
+    let k = cfg(StrategyConfig::FedAvg, 1).round_size;
+    for strategy in [
+        StrategyConfig::Stc { q: 0.1 },
+        StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
+    ] {
+        let mut sim = Simulation::new(cfg(strategy.clone(), 1));
+        let layout = sim.model().layout().clone();
+        let stats: Vec<usize> = (0..layout.total())
+            .filter(|&i| layout.kind_at(i) == ParamKind::BnStatistic)
+            .collect();
+        let before: Vec<f32> = stats.iter().map(|&i| sim.model().params()[i]).collect();
+        sim.step();
+        let after: Vec<f32> = stats.iter().map(|&i| sim.model().params()[i]).collect();
+        let changed = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| b != a)
+            .count();
+        assert!(
+            changed > stats.len() / 2,
+            "{strategy:?}: only {changed}/{} statistics moved",
+            stats.len()
+        );
+    }
+}
+
+#[test]
+fn running_variance_stays_positive() {
+    // The 1/K mean of client variance deltas must never drive the global
+    // running variance negative (it would NaN the eval forward pass).
+    let mut sim = Simulation::new(cfg(StrategyConfig::FedAvg, 1));
+    let seg = sim
+        .model()
+        .layout()
+        .segment("bn0.running_var")
+        .expect("model has BatchNorm")
+        .clone();
+    for _ in 0..10 {
+        sim.step();
+        for i in seg.start..seg.end {
+            let v = sim.model().params()[i];
+            assert!(v > 0.0, "running_var[{i}] = {v}");
+        }
+    }
+}
+
+#[test]
+fn masked_strategies_never_mask_statistics() {
+    // The trainable-position change count must respect the q bound while
+    // statistics change freely: total changed = q·trainable + all stats.
+    let mut sim = Simulation::new(cfg(StrategyConfig::Stc { q: 0.2 }, 1));
+    let trainable = sim.model().layout().trainable_count();
+    let stats = sim.model().layout().statistic_count();
+    for _ in 0..5 {
+        let rec = sim.step();
+        let q_bound = (trainable as f64 * 0.2).round() as usize;
+        assert!(
+            rec.changed_positions <= q_bound + stats,
+            "changed {} > q·trainable {} + stats {}",
+            rec.changed_positions,
+            q_bound,
+            stats
+        );
+        assert!(
+            rec.changed_positions >= stats,
+            "statistics should always change"
+        );
+    }
+}
+
+#[test]
+fn eval_remains_finite_throughout_training() {
+    let mut c = cfg(StrategyConfig::GlueFl(GlueFlParams::paper_default(
+        30,
+        DatasetModel::ShuffleNet,
+    )), 20);
+    c.eval_every = 1;
+    let result = Simulation::new(c).run();
+    for rec in &result.rounds {
+        if let Some(l) = rec.loss {
+            assert!(l.is_finite(), "round {} loss {l}", rec.round);
+        }
+        if let Some(a) = rec.accuracy {
+            assert!((0.0..=1.0).contains(&a), "round {} accuracy {a}", rec.round);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end integration tests: every strategy trains, deterministically,
+//! on the full stack (data → model → strategy → simulator → metrics).
+
+use gluefl_core::{GlueFlParams, RunResult, SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+use gluefl_suite::compress::ApfConfig;
+
+/// A small-but-real configuration: 150 clients, K = 30, tiny model.
+fn tiny_cfg(strategy: StrategyConfig, rounds: u32, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.01,
+        rounds,
+        seed,
+    );
+    cfg.model.hidden = vec![24];
+    cfg.dataset.feature_dim = 16;
+    cfg.dataset.classes = 10;
+    cfg.dataset.test_samples = 300;
+    cfg.eval_every = 5;
+    cfg.availability = None;
+    cfg.initial_lr = 0.03;
+    cfg
+}
+
+fn all_strategies(k: usize) -> Vec<StrategyConfig> {
+    vec![
+        StrategyConfig::FedAvg,
+        StrategyConfig::Stc { q: 0.2 },
+        StrategyConfig::Apf { config: ApfConfig::default() },
+        StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
+    ]
+}
+
+#[test]
+fn every_strategy_completes_and_reports() {
+    let k = tiny_cfg(StrategyConfig::FedAvg, 1, 0).round_size;
+    for strategy in all_strategies(k) {
+        let cfg = tiny_cfg(strategy.clone(), 6, 3);
+        let result = Simulation::new(cfg).run();
+        assert_eq!(result.rounds.len(), 6, "{strategy:?}");
+        assert!(result.total.down_bytes > 0, "{strategy:?} moved no bytes down");
+        assert!(result.total.total_bytes > result.total.down_bytes, "{strategy:?}");
+        assert!(result.total.total_secs > 0.0, "{strategy:?} took no time");
+        for rec in &result.rounds {
+            assert!(rec.kept > 0 && rec.kept <= rec.invited, "{strategy:?}");
+            assert!(rec.changed_positions > 0, "{strategy:?} changed nothing");
+        }
+    }
+}
+
+#[test]
+fn every_strategy_learns_above_chance() {
+    // 10 classes → chance 10%; all strategies must clearly beat it.
+    let k = tiny_cfg(StrategyConfig::FedAvg, 1, 0).round_size;
+    for strategy in all_strategies(k) {
+        let cfg = tiny_cfg(strategy.clone(), 40, 5);
+        let result = Simulation::new(cfg).run();
+        assert!(
+            result.total.accuracy > 0.25,
+            "{strategy:?} accuracy {} barely above chance",
+            result.total.accuracy
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let k = tiny_cfg(StrategyConfig::FedAvg, 1, 0).round_size;
+    for strategy in all_strategies(k) {
+        let a = Simulation::new(tiny_cfg(strategy.clone(), 8, 11)).run();
+        let b = Simulation::new(tiny_cfg(strategy.clone(), 8, 11)).run();
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(x.down_bytes, y.down_bytes, "{strategy:?}");
+            assert_eq!(x.up_bytes, y.up_bytes, "{strategy:?}");
+            assert_eq!(x.changed_positions, y.changed_positions, "{strategy:?}");
+            assert_eq!(x.accuracy, y.accuracy, "{strategy:?}");
+            assert_eq!(x.kept, y.kept, "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Simulation::new(tiny_cfg(StrategyConfig::FedAvg, 5, 1)).run();
+    let b = Simulation::new(tiny_cfg(StrategyConfig::FedAvg, 5, 2)).run();
+    let same = a
+        .rounds
+        .iter()
+        .zip(&b.rounds)
+        .all(|(x, y)| x.down_bytes == y.down_bytes && x.accuracy == y.accuracy);
+    assert!(!same, "seeds 1 and 2 produced identical runs");
+}
+
+#[test]
+fn csv_export_is_well_formed() {
+    let result = Simulation::new(tiny_cfg(StrategyConfig::Stc { q: 0.2 }, 5, 1)).run();
+    let csv = result.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 6); // header + 5 rounds
+    let cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+}
+
+#[test]
+fn loss_decreases_with_training() {
+    let cfg = tiny_cfg(StrategyConfig::FedAvg, 40, 9);
+    let result = Simulation::new(cfg).run();
+    let losses: Vec<f64> = result.rounds.iter().filter_map(|r| r.loss).collect();
+    assert!(losses.len() >= 4);
+    let first = losses.first().unwrap();
+    let last = losses.last().unwrap();
+    assert!(
+        last < &(first * 0.7),
+        "loss barely moved: {first:.3} → {last:.3}"
+    );
+}
+
+#[test]
+fn availability_churn_still_trains() {
+    let mut cfg = tiny_cfg(StrategyConfig::GlueFl(GlueFlParams::paper_default(
+        30,
+        DatasetModel::ShuffleNet,
+    )), 15, 13);
+    cfg.availability = Some(gluefl_core::AvailabilityConfig {
+        online_fraction: 0.6,
+        mean_session_rounds: 8.0,
+    });
+    let result = Simulation::new(cfg).run();
+    assert_eq!(result.rounds.len(), 15);
+    // Rounds still produce updates despite 40% of clients being offline.
+    assert!(result.rounds.iter().all(|r| r.kept > 0));
+}
+
+#[test]
+fn run_result_target_detection_on_real_run() {
+    let mut cfg = tiny_cfg(StrategyConfig::FedAvg, 40, 5);
+    cfg.target_accuracy = Some(0.2); // easily reachable
+    let result = Simulation::new(cfg).run();
+    assert!(result.target_round.is_some(), "never reached 20% accuracy");
+    let at = result.at_target;
+    let total = result.total;
+    assert!(at.rounds <= total.rounds);
+    assert!(at.down_bytes <= total.down_bytes);
+    let _ = RunResult::from_rounds("x", result.rounds.clone(), None);
+}

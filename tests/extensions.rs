@@ -1,0 +1,91 @@
+//! Integration tests for the extension strategies: MD sampling and
+//! quantized STC (paper §6 related work and footnote 1).
+
+use gluefl_core::{SimConfig, Simulation, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+
+fn cfg(strategy: StrategyConfig, rounds: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.01,
+        rounds,
+        19,
+    );
+    cfg.model.hidden = vec![24];
+    cfg.dataset.feature_dim = 16;
+    cfg.dataset.classes = 10;
+    cfg.dataset.test_samples = 200;
+    cfg.eval_every = 10;
+    cfg.availability = None;
+    cfg.initial_lr = 0.03;
+    cfg
+}
+
+#[test]
+fn md_sampling_trains_above_chance() {
+    let result = Simulation::new(cfg(StrategyConfig::MdFedAvg, 30)).run();
+    assert_eq!(result.strategy, "md-fedavg");
+    assert!(
+        result.total.accuracy > 0.25,
+        "MD-FedAvg accuracy {}",
+        result.total.accuracy
+    );
+}
+
+#[test]
+fn md_sampling_is_deterministic() {
+    let a = Simulation::new(cfg(StrategyConfig::MdFedAvg, 6)).run();
+    let b = Simulation::new(cfg(StrategyConfig::MdFedAvg, 6)).run();
+    for (x, y) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(x.down_bytes, y.down_bytes);
+        assert_eq!(x.accuracy, y.accuracy);
+    }
+}
+
+#[test]
+fn quantized_stc_uploads_far_less_than_plain_stc() {
+    let rounds = 12;
+    let plain = Simulation::new(cfg(StrategyConfig::Stc { q: 0.2 }, rounds)).run();
+    let quant =
+        Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.2 }, rounds)).run();
+    let up = |r: &gluefl_core::RunResult| {
+        r.rounds.iter().map(|x| x.up_bytes).sum::<u64>() as f64
+    };
+    let ratio = up(&quant) / up(&plain);
+    // Values shrink from 32 bits to ~1 bit; positions dominate what's
+    // left, so expect a substantial (not 32×) reduction.
+    assert!(
+        ratio < 0.7,
+        "quantized/plain upstream ratio {ratio:.2} not clearly below 1"
+    );
+    // Downstream is *not* reduced by quantizing uploads (server updates
+    // are still full-precision in the masking-only model).
+    let down_ratio = quant.total.down_bytes as f64 / plain.total.down_bytes as f64;
+    assert!((0.7..1.4).contains(&down_ratio), "down ratio {down_ratio:.2}");
+}
+
+#[test]
+fn quantized_stc_still_learns() {
+    let result =
+        Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.3 }, 40)).run();
+    assert!(
+        result.total.accuracy > 0.2,
+        "quantized STC accuracy {}",
+        result.total.accuracy
+    );
+}
+
+#[test]
+fn strategy_names_flow_through_results() {
+    for (strategy, name) in [
+        (StrategyConfig::MdFedAvg, "md-fedavg"),
+        (StrategyConfig::StcQuantized { q: 0.2 }, "stc-quant"),
+    ] {
+        assert_eq!(strategy.name(), name);
+        let r = Simulation::new(cfg(strategy, 2)).run();
+        assert_eq!(r.strategy, name);
+    }
+}

@@ -1,0 +1,135 @@
+//! Theorem-1 integration test: the sticky-sampling aggregation pipeline is
+//! unbiased end-to-end — Monte Carlo over the *actual* strategy code
+//! (plan → compress → aggregate → rebalance), not a re-derivation.
+
+use gluefl_compress::CompensationMode;
+use gluefl_core::strategies::{GlueFlStrategy, Strategy};
+use gluefl_core::GlueFlParams;
+use gluefl_sampling::overcommit::OcStrategy;
+use gluefl_suite::tensor::BitMask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs many rounds where client `i`'s delta is the indicator vector
+/// `e_i`; the expected aggregate must converge to `p_i` at position `i`
+/// (Theorem 1). Uses `q = q_shr = 1` so masking is the identity and the
+/// only randomness is the sampler's.
+#[test]
+fn gluefl_aggregate_is_unbiased_monte_carlo() {
+    let n = 24usize;
+    let k = 6usize;
+    let params = GlueFlParams {
+        q: 1.0,
+        q_shr: 1.0,
+        sticky_group: 12,
+        sticky_draw: 4,
+        regen_interval: None,
+        compensation: CompensationMode::None,
+        equal_weights: false,
+    };
+    // Non-uniform importance weights to make the test sharp.
+    let raw: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let total: f64 = raw.iter().sum();
+    let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut strategy = GlueFlStrategy::new(
+        n,
+        k,
+        1.0,
+        OcStrategy::Proportional,
+        weights.clone(),
+        params,
+        n,
+        n,
+        BitMask::zeros(n),
+        &mut rng,
+    );
+
+    let trials = 40_000u32;
+    let mut acc = vec![0.0f64; n];
+    for round in 0..trials {
+        let plan = strategy.plan_round(round, &mut rng, &vec![true; n]);
+        let mut kept = Vec::new();
+        for (id, group) in plan.invited() {
+            let mut delta = vec![0.0f32; n];
+            delta[id] = 1.0;
+            let upload = strategy.compress(round, id, group, &mut delta);
+            kept.push((id, group, upload));
+        }
+        let agg = strategy.aggregate(round, &kept);
+        for (a, g) in acc.iter_mut().zip(&agg) {
+            *a += f64::from(*g);
+        }
+        strategy.finish_round(round, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
+    }
+
+    for i in 0..n {
+        let mean = acc[i] / f64::from(trials);
+        assert!(
+            (mean - weights[i]).abs() < 0.15 * weights[i] + 0.002,
+            "position {i}: E[Δ_i] = {mean:.5} vs p_i = {:.5}",
+            weights[i]
+        );
+    }
+}
+
+/// The biased Equal variant must *fail* the same test: with equal `1/K`
+/// weights, sticky clients (selected more often) are over-represented.
+#[test]
+fn equal_weights_are_biased_toward_sticky_clients() {
+    let n = 24usize;
+    let k = 6usize;
+    let params = GlueFlParams {
+        q: 1.0,
+        q_shr: 1.0,
+        sticky_group: 12,
+        sticky_draw: 5, // heavily sticky rounds
+        regen_interval: None,
+        compensation: CompensationMode::None,
+        equal_weights: true,
+    };
+    let weights = vec![1.0 / n as f64; n];
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut strategy = GlueFlStrategy::new(
+        n,
+        k,
+        1.0,
+        OcStrategy::Proportional,
+        weights,
+        params,
+        n,
+        n,
+        BitMask::zeros(n),
+        &mut rng,
+    );
+    // Track how much aggregate weight lands on currently-sticky clients.
+    let trials = 5_000u32;
+    let mut sticky_mass = 0.0f64;
+    let mut total_mass = 0.0f64;
+    for round in 0..trials {
+        let was_sticky: Vec<bool> = (0..n).map(|i| strategy.sampler().is_sticky(i)).collect();
+        let plan = strategy.plan_round(round, &mut rng, &vec![true; n]);
+        let mut kept = Vec::new();
+        for (id, group) in plan.invited() {
+            let mut delta = vec![0.0f32; n];
+            delta[id] = 1.0;
+            let upload = strategy.compress(round, id, group, &mut delta);
+            kept.push((id, group, upload));
+        }
+        let agg = strategy.aggregate(round, &kept);
+        for (i, g) in agg.iter().enumerate() {
+            total_mass += f64::from(*g);
+            if was_sticky[i] {
+                sticky_mass += f64::from(*g);
+            }
+        }
+        strategy.finish_round(round, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
+    }
+    let sticky_share = sticky_mass / total_mass;
+    // Unbiased share would be S/N = 0.5; equal weights give C/K = 5/6.
+    assert!(
+        sticky_share > 0.7,
+        "expected heavy sticky bias, got share {sticky_share:.3}"
+    );
+}
