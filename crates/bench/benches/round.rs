@@ -4,10 +4,10 @@
 //! simulated round time; it bounds how fast experiments sweep.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluefl_compress::ApfConfig;
 use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
 use gluefl_data::DatasetProfile;
 use gluefl_ml::DatasetModel;
-use gluefl_compress::ApfConfig;
 
 fn cfg(strategy: StrategyConfig) -> SimConfig {
     let mut cfg = SimConfig::paper_setup(
@@ -31,7 +31,12 @@ fn bench_rounds(c: &mut Criterion) {
     let strategies: Vec<(&str, StrategyConfig)> = vec![
         ("fedavg", StrategyConfig::FedAvg),
         ("stc", StrategyConfig::Stc { q: 0.2 }),
-        ("apf", StrategyConfig::Apf { config: ApfConfig::default() }),
+        (
+            "apf",
+            StrategyConfig::Apf {
+                config: ApfConfig::default(),
+            },
+        ),
         (
             "gluefl",
             StrategyConfig::GlueFl(GlueFlParams::paper_default(30, DatasetModel::ShuffleNet)),

@@ -19,7 +19,8 @@ pub fn setup(
     strategy: StrategyConfig,
     opts: &ExptOpts,
 ) -> SimConfig {
-    let mut cfg = SimConfig::paper_setup(dataset, model, strategy, opts.scale, opts.rounds, opts.seed);
+    let mut cfg =
+        SimConfig::paper_setup(dataset, model, strategy, opts.scale, opts.rounds, opts.seed);
     cfg.eval_every = 5;
     cfg.target_accuracy = None;
     cfg
@@ -35,7 +36,9 @@ pub fn paper_strategies(k: usize, model: DatasetModel) -> Vec<StrategyConfig> {
     vec![
         StrategyConfig::FedAvg,
         StrategyConfig::Stc { q },
-        StrategyConfig::Apf { config: ApfConfig::default() },
+        StrategyConfig::Apf {
+            config: ApfConfig::default(),
+        },
         StrategyConfig::GlueFl(GlueFlParams::paper_default(k, model)),
     ]
 }
@@ -134,7 +137,11 @@ pub fn run_sweep(
     let results = with_target(results, target);
 
     let mut table = crate::Table::new([
-        "arm", "DV@target (GB)", "reached", "final acc", "total DV (GB)",
+        "arm",
+        "DV@target (GB)",
+        "reached",
+        "final acc",
+        "total DV (GB)",
     ]);
     let mut csv = String::from("arm,cum_down_gb,accuracy\n");
     let cfg0 = setup(dataset, model, StrategyConfig::FedAvg, opts);
@@ -159,9 +166,16 @@ pub fn run_sweep(
                 "{:.3}",
                 display_gb(r.at_target.down_bytes, &cfg0, sim_dim, opts)
             ),
-            if r.target_round.is_some() { "yes".into() } else { "no".to_owned() },
+            if r.target_round.is_some() {
+                "yes".into()
+            } else {
+                "no".to_owned()
+            },
             format!("{:.1}%", r.total.accuracy * 100.0),
-            format!("{:.3}", display_gb(r.total.down_bytes, &cfg0, sim_dim, opts)),
+            format!(
+                "{:.3}",
+                display_gb(r.total.down_bytes, &cfg0, sim_dim, opts)
+            ),
         ]);
     }
     println!(
@@ -188,7 +202,13 @@ pub fn run_sweep(
         .collect();
     println!(
         "{}",
-        crate::plot::render(&chart_series, 72, 16, "cumulative downstream (GB)", "accuracy")
+        crate::plot::render(
+            &chart_series,
+            72,
+            16,
+            "cumulative downstream (GB)",
+            "accuracy"
+        )
     );
     crate::write_csv(
         &opts.out_dir,

@@ -45,11 +45,14 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         s[((s.len() - 1) as f64 * p) as usize]
     };
-    let frac_below = |v: &[f64], x: f64| {
-        v.iter().filter(|&&b| b <= x).count() as f64 / v.len() as f64
-    };
+    let frac_below =
+        |v: &[f64], x: f64| v.iter().filter(|&&b| b <= x).count() as f64 / v.len() as f64;
     let mut t = Table::new(["metric", "download", "upload"]);
-    for (label, p) in [("p10 (Mbps)", 0.1), ("p50 (Mbps)", 0.5), ("p90 (Mbps)", 0.9)] {
+    for (label, p) in [
+        ("p10 (Mbps)", 0.1),
+        ("p50 (Mbps)", 0.5),
+        ("p90 (Mbps)", 0.9),
+    ] {
         t.row([
             label.to_owned(),
             format!("{:.1}", pct(&downs, p)),

@@ -11,17 +11,21 @@ use gluefl_core::{GlueFlParams, StrategyConfig};
 use gluefl_ml::DatasetModel;
 
 fn arms(k: usize, model: DatasetModel) -> Vec<SweepArm> {
-    [(Some(10u32), "I = 10"), (Some(20), "I = 20"), (None, "I = ∞")]
-        .into_iter()
-        .map(|(interval, label)| {
-            let mut p = GlueFlParams::paper_default(k, model);
-            p.regen_interval = interval;
-            SweepArm {
-                label: format!("GlueFL ({label})"),
-                strategy: StrategyConfig::GlueFl(p),
-            }
-        })
-        .collect()
+    [
+        (Some(10u32), "I = 10"),
+        (Some(20), "I = 20"),
+        (None, "I = ∞"),
+    ]
+    .into_iter()
+    .map(|(interval, label)| {
+        let mut p = GlueFlParams::paper_default(k, model);
+        p.regen_interval = interval;
+        SweepArm {
+            label: format!("GlueFL ({label})"),
+            strategy: StrategyConfig::GlueFl(p),
+        }
+    })
+    .collect()
 }
 
 /// Runs the experiment.

@@ -21,7 +21,10 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     let mut panel_a = String::from("q,round,down_mb,up_mb\n");
     let mut panel_b = String::from("q,skip_rounds,download_mb\n");
     let mut summary = Table::new([
-        "q", "mean down (MB/round)", "mean up (MB/round)", "download@skip10 (MB)",
+        "q",
+        "mean down (MB/round)",
+        "mean up (MB/round)",
+        "download@skip10 (MB)",
         "frac of model",
     ]);
 

@@ -20,10 +20,15 @@ fn arms(k: usize, model: DatasetModel) -> Vec<SweepArm> {
     let mut equal = unbiased.clone();
     equal.equal_weights = true;
     vec![
-        SweepArm { label: "STC".into(), strategy: StrategyConfig::Stc { q } },
+        SweepArm {
+            label: "STC".into(),
+            strategy: StrategyConfig::Stc { q },
+        },
         SweepArm {
             label: "APF".into(),
-            strategy: StrategyConfig::Apf { config: ApfConfig::default() },
+            strategy: StrategyConfig::Apf {
+                config: ApfConfig::default(),
+            },
         },
         SweepArm {
             label: "GlueFL (Equal)".into(),

@@ -27,7 +27,11 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     );
     for network in NetworkProfile::all() {
         let mut table = Table::new([
-            "strategy", "download (s)", "upload (s)", "compute (s)", "round total (s)",
+            "strategy",
+            "download (s)",
+            "upload (s)",
+            "compute (s)",
+            "round total (s)",
         ]);
         let cfg0 = common::setup(dataset, model, StrategyConfig::FedAvg, opts);
         for strategy in common::paper_strategies(cfg0.round_size, model) {
@@ -38,15 +42,42 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
             cfg.device = DeviceProfile::mobile();
             let result = common::run_config(cfg);
             let n = result.rounds.len().max(1) as f64;
-            let dl: f64 = result.rounds.iter().map(|r| r.mean_download_secs).sum::<f64>() / n;
-            let ul: f64 = result.rounds.iter().map(|r| r.mean_upload_secs).sum::<f64>() / n;
-            let cp: f64 = result.rounds.iter().map(|r| r.mean_compute_secs).sum::<f64>() / n;
-            let sdl: f64 =
-                result.rounds.iter().map(|r| r.slowest_download_secs).sum::<f64>() / n;
-            let sul: f64 =
-                result.rounds.iter().map(|r| r.slowest_upload_secs).sum::<f64>() / n;
-            let scp: f64 =
-                result.rounds.iter().map(|r| r.slowest_compute_secs).sum::<f64>() / n;
+            let dl: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.mean_download_secs)
+                .sum::<f64>()
+                / n;
+            let ul: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.mean_upload_secs)
+                .sum::<f64>()
+                / n;
+            let cp: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.mean_compute_secs)
+                .sum::<f64>()
+                / n;
+            let sdl: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.slowest_download_secs)
+                .sum::<f64>()
+                / n;
+            let sul: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.slowest_upload_secs)
+                .sum::<f64>()
+                / n;
+            let scp: f64 = result
+                .rounds
+                .iter()
+                .map(|r| r.slowest_compute_secs)
+                .sum::<f64>()
+                / n;
             let total: f64 = result.rounds.iter().map(|r| r.round_secs).sum::<f64>() / n;
             table.row([
                 result.strategy.clone(),
@@ -61,7 +92,10 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
                 result.strategy,
             ));
         }
-        println!("\n[{}] mean per-round time per kept client:", network.name());
+        println!(
+            "\n[{}] mean per-round time per kept client:",
+            network.name()
+        );
         println!("{}", table.render());
     }
     write_csv(&opts.out_dir, "fig9_time_breakdown.csv", &csv);

@@ -1,0 +1,275 @@
+//! Hot-path kernel microbenchmarks: pre-refactor baselines vs the current
+//! word-level kernels, with a machine-readable `BENCH_kernels.json`.
+//!
+//! This is the perf ledger for the compute spine (top-k sparsification and
+//! masked delta aggregation, the per-round dominant costs at
+//! `d ≈ 10⁶`). The *baselines are compiled into this experiment*: they are
+//! verbatim copies of the pre-refactor implementations (per-bit scope
+//! filtering + index-keyed introselect; per-client indirect sparse
+//! scatter), so every run re-measures the speedup on the machine at hand
+//! rather than trusting historical numbers. Each pair is also checked for
+//! identical output before timing.
+//!
+//! Run with `expt kernels [--quick] [--out DIR]`; writes
+//! `BENCH_kernels.json` into the output directory.
+
+use crate::ExptOpts;
+use gluefl_core::aggregate::{accumulate_sparse, accumulate_weighted_values};
+use gluefl_core::ScratchPool;
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope, TopKScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured kernel pair.
+struct Entry {
+    name: &'static str,
+    baseline_ns: f64,
+    new_ns: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.new_ns
+    }
+}
+
+/// Runs the kernel benchmark suite and writes `BENCH_kernels.json`.
+///
+/// # Errors
+/// Returns an error when the output directory cannot be written.
+pub fn run(opts: &ExptOpts) -> Result<(), String> {
+    // Paper scale: ShuffleNet-sized flat model, q_shr = 16%, q = 20%.
+    let d = if opts.quick { 100_000 } else { 1_000_000 };
+    let reps = if opts.quick { 3 } else { 9 };
+    let clients = 30;
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let values: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mask = BitMask::from_indices(d, (0..d).filter(|_| rng.gen::<f64>() < 0.16));
+    let k = d / 25; // q − q_shr = 4%
+
+    let mut entries = Vec::new();
+
+    // --- top-k over the Outside scope (Algorithm 3 line 17). ---
+    let expected = baseline_top_k_outside(&values, k, &mask);
+    let mut scratch = TopKScratch::with_capacity(d);
+    let got = top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch);
+    assert_eq!(got, expected.as_slice(), "top-k kernels disagree");
+    let (baseline_ns, new_ns) = time_pair_ns(
+        reps,
+        || baseline_top_k_outside(&values, k, &mask).len(),
+        || top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch).len(),
+    );
+    entries.push(Entry {
+        name: "topk_outside_16pct_mask",
+        baseline_ns,
+        new_ns,
+    });
+
+    // --- masked delta aggregation (Algorithm 3 lines 21–24). ---
+    let splits: Vec<(SparseUpdate, SparseUpdate)> = (0..clients)
+        .map(|c| {
+            let mut crng = StdRng::seed_from_u64(opts.seed ^ (c as u64 + 1));
+            let shared_vals: Vec<(u32, f32)> = mask
+                .iter_ones()
+                .map(|i| (i as u32, crng.gen_range(-1.0f32..1.0)))
+                .collect();
+            let shared = SparseUpdate::from_pairs(d, shared_vals);
+            let mut uniq = Vec::new();
+            for i in 0..d as u32 {
+                if crng.gen::<f64>() < 0.04 {
+                    uniq.push((i, crng.gen_range(-1.0f32..1.0)));
+                }
+            }
+            (shared, SparseUpdate::from_pairs(d, uniq))
+        })
+        .collect();
+    let weights: Vec<f32> = (0..clients).map(|c| 1.0 / (c + 1) as f32).collect();
+
+    let expected = baseline_aggregate(&splits, &weights, d);
+    let mut pool = ScratchPool::new();
+    let got = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
+    // Per accumulator position both paths add contributions in client
+    // order, so the fused kernel is bit-identical to the baseline.
+    assert_eq!(expected, got, "aggregation kernels diverged");
+    pool.put(got);
+    let (baseline_ns, new_ns) = time_pair_ns(
+        reps,
+        || baseline_aggregate(&splits, &weights, d).len(),
+        || {
+            let out = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
+            let n = out.len();
+            pool.put(out);
+            n
+        },
+    );
+    entries.push(Entry {
+        name: "aggregate_masked_30_clients",
+        baseline_ns,
+        new_ns,
+    });
+
+    // --- Report. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dim\": {d},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:<32} baseline {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
+            e.name,
+            e.baseline_ns,
+            e.new_ns,
+            e.speedup()
+        );
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.2}}}{}",
+            e.name,
+            e.baseline_ns,
+            e.new_ns,
+            e.speedup(),
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("create {}: {e}", opts.out_dir.display()))?;
+    let path = opts.out_dir.join("BENCH_kernels.json");
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Median wall-clock nanoseconds of two kernels measured back to back
+/// per repetition, so machine-load drift biases both sides equally. Each
+/// result is consumed so the calls cannot be optimized away.
+fn time_pair_ns(
+    reps: usize,
+    mut baseline: impl FnMut() -> usize,
+    mut new: impl FnMut() -> usize,
+) -> (f64, f64) {
+    let sample = |f: &mut dyn FnMut() -> usize| -> f64 {
+        let start = Instant::now();
+        let n = std::hint::black_box(f());
+        let ns = start.elapsed().as_nanos() as f64;
+        assert!(n > 0);
+        ns
+    };
+    // Warm both kernels once before sampling.
+    sample(&mut baseline);
+    sample(&mut new);
+    let mut base_samples = Vec::with_capacity(reps);
+    let mut new_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        base_samples.push(sample(&mut baseline));
+        new_samples.push(sample(&mut new));
+    }
+    (median(base_samples), median(new_samples))
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Verbatim pre-refactor `top_k_abs_masked` for `TopKScope::Outside`:
+/// per-bit mask tests materialize a candidate index vector, introselect
+/// runs with an indirect magnitude-then-index key, and the survivors are
+/// sorted at the end.
+fn baseline_top_k_outside(values: &[f32], k: usize, m: &BitMask) -> Vec<usize> {
+    let mut candidates: Vec<u32> = (0..values.len())
+        .filter(|&i| !m.get(i))
+        .map(|i| i as u32)
+        .collect();
+    if k == 0 || candidates.is_empty() {
+        return Vec::new();
+    }
+    if k >= candidates.len() {
+        return candidates.into_iter().map(|i| i as usize).collect();
+    }
+    let key = |i: u32| -> (f32, std::cmp::Reverse<u32>) {
+        let m = values[i as usize].abs();
+        (if m.is_nan() { -1.0 } else { m }, std::cmp::Reverse(i))
+    };
+    let cmp = |a: &u32, b: &u32| {
+        let (ma, ia) = key(*a);
+        let (mb, ib) = key(*b);
+        mb.partial_cmp(&ma)
+            .expect("magnitudes are never NaN after mapping")
+            .then(ib.cmp(&ia))
+    };
+    candidates.select_nth_unstable_by(k - 1, cmp);
+    candidates.truncate(k);
+    candidates.sort_unstable();
+    candidates.into_iter().map(|i| i as usize).collect()
+}
+
+/// Verbatim pre-refactor GlueFL aggregation inner loop: one indirect
+/// sparse scatter per client part into freshly allocated accumulators.
+fn baseline_aggregate(
+    splits: &[(SparseUpdate, SparseUpdate)],
+    weights: &[f32],
+    dim: usize,
+) -> Vec<f32> {
+    let mut shr_acc = vec![0.0f32; dim];
+    let mut uni_acc = vec![0.0f32; dim];
+    for ((shared, unique), &w) in splits.iter().zip(weights) {
+        shared.add_scaled_into(&mut shr_acc, w);
+        unique.add_scaled_into(&mut uni_acc, w);
+    }
+    for (s, u) in shr_acc.iter_mut().zip(&uni_acc) {
+        *s += u;
+    }
+    shr_acc
+}
+
+/// The current kernel path: shared parts summed as contiguous value
+/// arrays and scattered through the mask once; unique parts block-reduced.
+fn fused_aggregate(
+    splits: &[(SparseUpdate, SparseUpdate)],
+    weights: &[f32],
+    dim: usize,
+    mask: &BitMask,
+    pool: &mut ScratchPool,
+) -> Vec<f32> {
+    let shared_entries: Vec<(f32, &[f32])> = splits
+        .iter()
+        .zip(weights)
+        .map(|((shared, _), &w)| (w, shared.values()))
+        .collect();
+    let unique_entries: Vec<(f32, &SparseUpdate)> = splits
+        .iter()
+        .zip(weights)
+        .map(|((_, unique), &w)| (w, unique))
+        .collect();
+    let nnz = mask.count_ones();
+    let shr_vals = accumulate_weighted_values(&shared_entries, nnz, pool);
+    let mut combined = accumulate_sparse(&unique_entries, dim, pool);
+    mask.scatter_add(&mut combined, &shr_vals, 1.0);
+    pool.put(shr_vals);
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_pairs_agree_and_report_is_written() {
+        let dir = std::env::temp_dir().join("gluefl_kernels_test");
+        let opts = ExptOpts {
+            quick: true,
+            out_dir: dir.clone(),
+            ..ExptOpts::default()
+        };
+        run(&opts).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_kernels.json")).unwrap();
+        assert!(json.contains("topk_outside_16pct_mask"));
+        assert!(json.contains("aggregate_masked_30_clients"));
+        assert!(json.contains("speedup"));
+    }
+}

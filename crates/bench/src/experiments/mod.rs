@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod kernels;
 pub mod prop12;
 pub mod table2;
 pub mod table3;
@@ -18,8 +19,8 @@ use crate::ExptOpts;
 
 /// All experiment ids, in the paper's order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "table3a", "table3b", "prop12",
+    "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table3a",
+    "table3b", "prop12", "kernels",
 ];
 
 /// Dispatches an experiment by id.
@@ -41,6 +42,7 @@ pub fn run(id: &str, opts: &ExptOpts) -> Result<(), String> {
         "table3a" => table3::run_3a(opts),
         "table3b" => table3::run_3b(opts),
         "prop12" => prop12::run(opts),
+        "kernels" => kernels::run(opts),
         "all" => {
             for id in ALL {
                 println!("\n================ {id} ================");

@@ -37,8 +37,8 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         table2_pairs()
     };
     let mut table = Table::new([
-        "dataset", "model", "strategy", "target", "DV (GB)", "TV (GB)", "DT (h)",
-        "TT (h)", "reached",
+        "dataset", "model", "strategy", "target", "DV (GB)", "TV (GB)", "DT (h)", "TT (h)",
+        "reached",
     ]);
     let mut csv = String::from(
         "dataset,model,strategy,target,reached,target_round,dv_gb,tv_gb,dt_h,tt_h,final_acc\n",
@@ -104,7 +104,11 @@ fn emit_row(
         format!("{tv:.3}"),
         format!("{dt:.4}"),
         format!("{tt:.4}"),
-        if reached { "yes".into() } else { "no".to_owned() },
+        if reached {
+            "yes".into()
+        } else {
+            "no".to_owned()
+        },
     ]);
     csv.push_str(&format!(
         "{},{},{},{:.4},{},{},{:.4},{:.4},{:.3},{:.3},{:.4}\n",

@@ -35,9 +35,7 @@ fn run_arms(
         .collect();
     let target = common::common_target(&results);
     let results = common::with_target(results, target);
-    let mut table = Table::new([
-        "arm", "DV (GB)", "TV (GB)", "DT (h)", "TT (h)", "reached",
-    ]);
+    let mut table = Table::new(["arm", "DV (GB)", "TV (GB)", "DT (h)", "TT (h)", "reached"]);
     let mut csv = String::from("arm,dv_gb,tv_gb,dt_h,tt_h,reached,target\n");
     let sim_dim = {
         let cfg0 = &label_cfgs[0].1;
@@ -58,7 +56,11 @@ fn run_arms(
             format!("{tv:.3}"),
             format!("{dt:.3}"),
             format!("{tt:.3}"),
-            if reached { "yes".into() } else { "no".to_owned() },
+            if reached {
+                "yes".into()
+            } else {
+                "no".to_owned()
+            },
         ]);
         csv.push_str(&format!(
             "{label},{dv:.4},{tv:.4},{dt:.4},{tt:.4},{reached},{target:.4}\n"

@@ -58,8 +58,7 @@ impl ExptOpts {
                 }
                 "--seed" => opts.seed = next_value(&mut it, "--seed")?,
                 "--out" => {
-                    opts.out_dir =
-                        PathBuf::from(it.next().ok_or("--out needs a value")?.clone());
+                    opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?.clone());
                 }
                 "--paper-scale" => opts.paper_scale = true,
                 "--quick" => {
@@ -102,7 +101,14 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
-            "--rounds", "99", "--scale", "0.5", "--seed", "7", "--out", "/tmp/x",
+            "--rounds",
+            "99",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
             "--paper-scale",
         ])
         .unwrap();

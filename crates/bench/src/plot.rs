@@ -65,11 +65,20 @@ impl Series {
 /// assert!(chart.lines().count() > 10);
 /// ```
 #[must_use]
-pub fn render(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+pub fn render(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let width = width.max(16);
     let height = height.max(4);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -176,7 +185,10 @@ mod tests {
 
     #[test]
     fn increasing_series_renders_monotonically() {
-        let s = Series::new("up", (0..20).map(|i| (f64::from(i), f64::from(i))).collect());
+        let s = Series::new(
+            "up",
+            (0..20).map(|i| (f64::from(i), f64::from(i))).collect(),
+        );
         let chart = render(&[s], 30, 10, "", "");
         // The glyph in the first data row (top) must be to the right of
         // the glyph in the last data row (bottom).

@@ -327,6 +327,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold must be in (0,1]")]
     fn rejects_bad_threshold() {
-        let _ = Apf::new(1, ApfConfig { threshold: 0.0, ..cfg() });
+        let _ = Apf::new(
+            1,
+            ApfConfig {
+                threshold: 0.0,
+                ..cfg()
+            },
+        );
     }
 }

@@ -130,12 +130,55 @@ impl ErrorCompensator {
         if self.mode == CompensationMode::None {
             return;
         }
-        let residual: Vec<f32> = delta
-            .iter()
-            .zip(sent_dense)
-            .map(|(d, s)| d - s)
-            .collect();
-        self.memory.insert(client, ClientMemory { residual, weight });
+        let mem = self.residual_slot(client, weight);
+        for ((r, d), s) in mem.iter_mut().zip(delta).zip(sent_dense) {
+            *r = d - s;
+        }
+    }
+
+    /// Like [`ErrorCompensator::record`], with the sent update given as
+    /// sparse parts instead of a dense vector: the residual is
+    /// `Δ − Σ parts`. Parts must have pairwise-disjoint supports (as the
+    /// shared/unique split of Algorithm 3 does); an overlapping position
+    /// would be subtracted twice.
+    ///
+    /// This is the allocation-free form used by the round hot path — no
+    /// dense `sent` buffer is materialised.
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != dim` or any part's dimension differs.
+    pub fn record_sent_parts(
+        &mut self,
+        client: usize,
+        delta: &[f32],
+        sent_parts: &[&gluefl_tensor::SparseUpdate],
+        weight: f64,
+    ) {
+        assert_eq!(delta.len(), self.dim, "delta dimension mismatch");
+        for part in sent_parts {
+            assert_eq!(part.dim(), self.dim, "sent part dimension mismatch");
+        }
+        if self.mode == CompensationMode::None {
+            return;
+        }
+        let mem = self.residual_slot(client, weight);
+        mem.copy_from_slice(delta);
+        for part in sent_parts {
+            for (i, v) in part.iter() {
+                mem[i] -= v;
+            }
+        }
+    }
+
+    /// Returns the client's residual buffer (reused across rounds once a
+    /// client has participated) with the stored weight updated.
+    fn residual_slot(&mut self, client: usize, weight: f64) -> &mut [f32] {
+        let mem = self.memory.entry(client).or_insert_with(|| ClientMemory {
+            residual: vec![0.0; self.dim],
+            weight,
+        });
+        mem.weight = weight;
+        &mut mem.residual
     }
 
     /// Drops a client's stored residual (e.g. when it leaves the
@@ -232,9 +275,18 @@ mod tests {
 
     #[test]
     fn mode_parsing() {
-        assert_eq!("none".parse::<CompensationMode>().unwrap(), CompensationMode::None);
-        assert_eq!("ec".parse::<CompensationMode>().unwrap(), CompensationMode::Raw);
-        assert_eq!("rec".parse::<CompensationMode>().unwrap(), CompensationMode::Rescaled);
+        assert_eq!(
+            "none".parse::<CompensationMode>().unwrap(),
+            CompensationMode::None
+        );
+        assert_eq!(
+            "ec".parse::<CompensationMode>().unwrap(),
+            CompensationMode::Raw
+        );
+        assert_eq!(
+            "rec".parse::<CompensationMode>().unwrap(),
+            CompensationMode::Rescaled
+        );
         assert!("x".parse::<CompensationMode>().is_err());
     }
 

@@ -15,7 +15,9 @@
 //!    the mask wholesale.
 
 use crate::stc::keep_count;
-use gluefl_tensor::{top_k_abs_masked, BitMask, SparseUpdate, TopKScope};
+use gluefl_tensor::{
+    top_k_abs_masked, top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope, TopKScratch,
+};
 
 /// A client's two-part masked upload (Algorithm 3 lines 16–17).
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +35,7 @@ impl ClientSplit {
     /// sparse coordinates.
     #[must_use]
     pub fn upload_bytes(&self) -> u64 {
-        self.shared.wire_cost_known_mask().total_bytes()
-            + self.unique.wire_cost().total_bytes()
+        self.shared.wire_cost_known_mask().total_bytes() + self.unique.wire_cost().total_bytes()
     }
 }
 
@@ -74,15 +75,32 @@ pub fn client_split(delta: &[f32], mask: &BitMask, unique_k: usize) -> ClientSpl
 /// length.
 #[must_use]
 pub fn shift_mask(combined: &[f32], q_shr: f64, eligible: Option<&BitMask>) -> BitMask {
+    let mut scratch = TopKScratch::new();
+    shift_mask_with(combined, q_shr, eligible, &mut scratch)
+}
+
+/// Allocation-aware [`shift_mask`]: routes the top-k selection through a
+/// caller-owned [`TopKScratch`] (the round hot path reuses one per
+/// simulation).
+///
+/// # Panics
+/// Same contract as [`shift_mask`].
+#[must_use]
+pub fn shift_mask_with(
+    combined: &[f32],
+    q_shr: f64,
+    eligible: Option<&BitMask>,
+    scratch: &mut TopKScratch,
+) -> BitMask {
     let k = keep_count(combined.len(), q_shr);
     let idx = match eligible {
         Some(e) => {
             assert_eq!(e.len(), combined.len(), "eligible mask length mismatch");
-            top_k_abs_masked(combined, k, TopKScope::Inside(e))
+            top_k_abs_masked_into(combined, k, TopKScope::Inside(e), scratch)
         }
-        None => top_k_abs_masked(combined, k, TopKScope::All),
+        None => top_k_abs_masked_into(combined, k, TopKScope::All, scratch),
     };
-    BitMask::from_indices(combined.len(), idx)
+    BitMask::from_indices(combined.len(), idx.iter().copied())
 }
 
 /// Mask regeneration (§3.3): rebuild the shared mask from the *unique*

@@ -92,6 +92,12 @@ impl TernaryUpdate {
         self.indices.len()
     }
 
+    /// Dimension of the underlying parameter vector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Wire cost: positions as for any sparse payload, values as one sign
     /// bit each plus a single f32 `mu`.
     #[must_use]
@@ -140,9 +146,15 @@ mod tests {
     #[test]
     fn sparsified_energy_dominates() {
         // The kept coordinates carry at least q of the total L2 energy.
-        let delta: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * i as f32).collect();
+        let delta: Vec<f32> = (0..100)
+            .map(|i| (i as f32 * 0.37).sin() * i as f32)
+            .collect();
         let u = sparsify(&delta, 0.2);
-        let kept: f64 = u.values().iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let kept: f64 = u
+            .values()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum();
         let total: f64 = delta.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         assert!(kept / total > 0.2);
     }
@@ -159,8 +171,7 @@ mod tests {
             assert!((quant.abs() - t.mu).abs() < 1e-6);
         }
         // mu = mean kept magnitude.
-        let mean: f32 =
-            u.values().iter().map(|v| v.abs()).sum::<f32>() / u.nnz() as f32;
+        let mean: f32 = u.values().iter().map(|v| v.abs()).sum::<f32>() / u.nnz() as f32;
         assert!((t.mu - mean).abs() < 1e-6);
     }
 

@@ -1,0 +1,304 @@
+//! Deterministic (optionally parallel) aggregation of client uploads.
+//!
+//! Floating-point addition is not associative, so a naive "one thread per
+//! client, merge at the end" reduction would make results depend on the
+//! merge tree (and a per-client tree costs extra dense partial buffers —
+//! real memory traffic at `d ≈ 10⁶`). The kernels here shard by
+//! **dimension** instead: each worker owns a contiguous range of the
+//! accumulator and replays *every* client's entries that fall inside its
+//! range, in client order. Consequences:
+//!
+//! * every accumulator position receives its contributions in exactly the
+//!   serial order, so the result is bit-identical to the serial loop for
+//!   any worker count — there is no merge step at all;
+//! * no partial buffers: the only writes are to the final accumulator;
+//! * sparse uploads locate their in-range entries with one binary search
+//!   per (client, shard) pair — cheap next to the adds themselves.
+//!
+//! The serial path is the plain per-client loop; with the `parallel`
+//! feature (alias: `rayon`) shards run on `std::thread` workers. Parity is
+//! verified bitwise by the tests here and end-to-end by the simulator's
+//! `parallel_aggregation_bit_identical_to_serial` test.
+
+use crate::scratch::ScratchPool;
+use crate::strategies::Upload;
+use gluefl_tensor::{vecops, SparseUpdate};
+
+/// Entry payloads the aggregation kernels can replay over a position
+/// range. Implementations must make `add_scaled_range(out, s, lo)`
+/// touch exactly the positions of `add_scaled_range(full, s, 0)` that
+/// fall in `[lo, lo + out.len())`, in the same per-position order.
+pub trait RangeAddable: Sync {
+    /// Adds `scale ×` the entries with positions in
+    /// `[lo, lo + out.len())` into `out` (`out[0]` ↔ position `lo`).
+    fn add_scaled_range(&self, out: &mut [f32], scale: f32, lo: usize);
+}
+
+impl RangeAddable for &Upload {
+    fn add_scaled_range(&self, out: &mut [f32], scale: f32, lo: usize) {
+        self.add_weighted_range_into(out, scale, lo);
+    }
+}
+
+impl RangeAddable for &SparseUpdate {
+    fn add_scaled_range(&self, out: &mut [f32], scale: f32, lo: usize) {
+        self.add_scaled_range_into(out, scale, lo);
+    }
+}
+
+impl RangeAddable for &[f32] {
+    fn add_scaled_range(&self, out: &mut [f32], scale: f32, lo: usize) {
+        vecops::axpy(out, scale, &self[lo..lo + out.len()]);
+    }
+}
+
+/// Accumulates `Σ wᵢ · uploadᵢ` over `dim`-dimensional uploads into a
+/// pooled buffer. Pass `(weight, upload)` pairs in the canonical kept
+/// order (sorted by client id); the result is bit-identical with and
+/// without the `parallel` feature.
+///
+/// # Panics
+/// Panics if an upload's dimension is smaller than `dim`.
+#[must_use]
+pub fn accumulate_uploads(
+    entries: &[(f32, &Upload)],
+    dim: usize,
+    pool: &mut ScratchPool,
+) -> Vec<f32> {
+    let mut acc = pool.take_zeroed(dim);
+    accumulate_into(entries, &mut acc);
+    acc
+}
+
+/// Accumulates `Σ wᵢ · sparseᵢ` (e.g. the unique parts of GlueFL uploads).
+///
+/// # Panics
+/// Panics if an update's dimension is smaller than `dim`.
+#[must_use]
+pub fn accumulate_sparse(
+    entries: &[(f32, &SparseUpdate)],
+    dim: usize,
+    pool: &mut ScratchPool,
+) -> Vec<f32> {
+    let mut acc = pool.take_zeroed(dim);
+    accumulate_into(entries, &mut acc);
+    acc
+}
+
+/// Accumulates `Σ wᵢ · valuesᵢ` over equal-length contiguous value arrays
+/// (the mask-aligned shared parts of GlueFL uploads).
+///
+/// # Panics
+/// Panics if any values slice is shorter than `len`.
+#[must_use]
+pub fn accumulate_weighted_values(
+    entries: &[(f32, &[f32])],
+    len: usize,
+    pool: &mut ScratchPool,
+) -> Vec<f32> {
+    let mut acc = pool.take_zeroed(len);
+    accumulate_into(entries, &mut acc);
+    acc
+}
+
+/// Positions per cache shard (16Ki × 4B = 64KiB of accumulator): small
+/// enough to stay cache-resident while every client's in-range entries
+/// are replayed over it.
+const SHARD: usize = 1 << 14;
+
+/// Core driver: replays every entry over the accumulator, shard by shard.
+///
+/// Sharding serves two purposes with one structure: **cache blocking**
+/// (each 64KiB accumulator shard stays hot while all clients' entries in
+/// range stream through it — the sparse scatter stops missing on every
+/// add) and **parallelism** (shards are disjoint, so `parallel` builds
+/// hand them to worker threads). Per accumulator position the
+/// contribution order is the entry order in every configuration, so all
+/// paths are bit-identical.
+pub fn accumulate_into<T: RangeAddable>(entries: &[(f32, T)], acc: &mut [f32]) {
+    if entries.is_empty() || acc.is_empty() {
+        return;
+    }
+    if acc.len() <= SHARD || entries.len() == 1 {
+        for (w, entry) in entries {
+            entry.add_scaled_range(acc, *w, 0);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        // The early return above already filtered accumulators of at most
+        // one shard, so anything here is large enough to thread.
+        if parallel_enabled() {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                // At least two workers so the sharded path is really
+                // exercised even on single-core machines; the result
+                // cannot depend on the worker count by construction.
+                .max(2);
+            let nshards = acc.len().div_ceil(SHARD);
+            let chunk = nshards.div_ceil(threads) * SHARD;
+            std::thread::scope(|s| {
+                for (t, slice) in acc.chunks_mut(chunk).enumerate() {
+                    let base = t * chunk;
+                    s.spawn(move || {
+                        for (i, out) in slice.chunks_mut(SHARD).enumerate() {
+                            let lo = base + i * SHARD;
+                            for (w, entry) in entries {
+                                entry.add_scaled_range(out, *w, lo);
+                            }
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    for (t, out) in acc.chunks_mut(SHARD).enumerate() {
+        let lo = t * SHARD;
+        for (w, entry) in entries {
+            entry.add_scaled_range(out, *w, lo);
+        }
+    }
+}
+
+/// Runtime switch for the sharded path (`parallel` builds only): lets
+/// tests compare the threaded and serial executions of the *same* binary
+/// bit-for-bit. Defaults to enabled.
+#[cfg(feature = "parallel")]
+static PARALLEL_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enables or disables the threaded aggregation path at runtime
+/// (`parallel` builds only). Intended for tests and benchmarks that need
+/// both executions in one process; results are bit-identical either way.
+#[cfg(feature = "parallel")]
+pub fn set_parallel_enabled(enabled: bool) {
+    PARALLEL_ENABLED.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(feature = "parallel")]
+fn parallel_enabled() -> bool {
+    PARALLEL_ENABLED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Serializes tests that toggle [`set_parallel_enabled`]: the flag is
+/// process-global, so two concurrently running parity tests could put
+/// each other's "serial" arm back on the threaded path and make the
+/// comparison vacuous. Every such test must hold this lock.
+#[cfg(all(test, feature = "parallel"))]
+pub(crate) fn parallel_toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_uploads(n: usize, dim: usize, seed: u64) -> Vec<Upload> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut pairs: Vec<(u32, f32)> = Vec::new();
+                for i in 0..dim as u32 {
+                    if rng.gen::<f64>() < 0.3 {
+                        pairs.push((i, rng.gen_range(-1.0..1.0)));
+                    }
+                }
+                Upload::Sparse(SparseUpdate::from_pairs(dim, pairs))
+            })
+            .collect()
+    }
+
+    /// The exact reference: the plain sequential per-client loop.
+    fn sequential_reference(entries: &[(f32, &Upload)], dim: usize) -> Vec<f32> {
+        let mut acc = vec![0.0f32; dim];
+        for (w, u) in entries {
+            u.add_weighted_into(&mut acc, *w);
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_sequential_reference_bitwise() {
+        // Dimensions straddle the parallel threshold so both paths run
+        // under the `parallel` feature.
+        for dim in [257usize, 1 << 15] {
+            for n in [0usize, 1, 7, 8, 9, 31] {
+                let uploads = random_uploads(n, dim, 42 + n as u64);
+                let entries: Vec<(f32, &Upload)> = uploads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, u)| (1.0 / (i + 1) as f32, u))
+                    .collect();
+                let mut pool = ScratchPool::new();
+                let got = accumulate_uploads(&entries, dim, &mut pool);
+                assert_eq!(got, sequential_reference(&entries, dim), "dim={dim} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_accumulation_matches_axpy_loop() {
+        let len = 1 << 15;
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrays: Vec<Vec<f32>> = (0..20)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let entries: Vec<(f32, &[f32])> = arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (0.1 * (i + 1) as f32, a.as_slice()))
+            .collect();
+        let mut pool = ScratchPool::new();
+        let got = accumulate_weighted_values(&entries, len, &mut pool);
+
+        let mut expected = vec![0.0f32; len];
+        for (w, a) in &entries {
+            vecops::axpy(&mut expected, *w, a);
+        }
+        assert_eq!(got, expected);
+    }
+
+    /// With the `parallel` feature enabled this exercises the sharded
+    /// path against the serial loop of the same binary — bit-for-bit.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let _guard = parallel_toggle_lock();
+        let dim = 1 << 16;
+        let uploads = random_uploads(24, dim, 7);
+        let entries: Vec<(f32, &Upload)> = uploads
+            .iter()
+            .enumerate()
+            .map(|(i, u)| ((i as f32).sin(), u))
+            .collect();
+        let mut pool = ScratchPool::new();
+        set_parallel_enabled(true);
+        let threaded = accumulate_uploads(&entries, dim, &mut pool);
+        set_parallel_enabled(false);
+        let serial = accumulate_uploads(&entries, dim, &mut pool);
+        set_parallel_enabled(true);
+        assert_eq!(threaded, serial);
+    }
+
+    #[test]
+    fn sparse_range_shards_partition_the_update() {
+        let dim = 1000;
+        let uploads = random_uploads(1, dim, 9);
+        let Upload::Sparse(u) = &uploads[0] else {
+            unreachable!()
+        };
+        let mut full = vec![0.0f32; dim];
+        u.add_scaled_into(&mut full, 2.0);
+        let mut sharded = vec![0.0f32; dim];
+        for (t, chunk) in sharded.chunks_mut(97).enumerate() {
+            u.add_scaled_range_into(chunk, 2.0, t * 97);
+        }
+        assert_eq!(full, sharded);
+    }
+}

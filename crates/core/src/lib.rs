@@ -44,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 mod config;
 mod metrics;
+pub mod scratch;
 mod simulator;
 mod staleness;
 pub mod strategies;
@@ -53,5 +55,6 @@ pub mod theory;
 
 pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
+pub use scratch::ScratchPool;
 pub use simulator::{run_strategy, Simulation};
 pub use staleness::StalenessTracker;

@@ -254,7 +254,11 @@ mod tests {
     fn cumulative_series_is_monotone() {
         let r = RunResult::from_rounds(
             "t",
-            vec![record(0, 5, 0, None), record(1, 7, 0, None), record(2, 1, 0, None)],
+            vec![
+                record(0, 5, 0, None),
+                record(1, 7, 0, None),
+                record(2, 1, 0, None),
+            ],
             None,
         );
         assert_eq!(r.cumulative_down_bytes(), vec![5, 12, 13]);

@@ -1,0 +1,85 @@
+//! Per-simulation scratch buffers for the round hot path.
+//!
+//! One [`ScratchPool`] is owned by each [`crate::Simulation`] and threaded
+//! through [`crate::strategies::Strategy::compress`] and
+//! [`crate::strategies::Strategy::aggregate`], so the per-round kernels
+//! (top-k selection, dense accumulation, residual bookkeeping) reuse the
+//! same allocations round after round. After the first round the hot path
+//! performs no steady-state heap allocation.
+//!
+//! Ownership contract: buffers handed out by [`ScratchPool::take_zeroed`]
+//! belong to the caller until returned with [`ScratchPool::put`]; the pool
+//! never aliases them. The pool itself must not be shared across threads —
+//! parallel sections take the buffers they need up front.
+
+use gluefl_tensor::TopKScratch;
+
+/// Reusable buffers threaded through the strategy seam.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    /// Shared top-k selection arena (one selection at a time).
+    pub topk: TopKScratch,
+    free: Vec<Vec<f32>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a zero-filled buffer of length `len`, reusing a returned
+    /// buffer when one is available.
+    #[must_use]
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        // Keep the pool bounded; tiny buffers are not worth recycling.
+        if self.free.len() < 64 && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    #[must_use]
+    pub fn idle_buffers(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_after_reuse() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.take_zeroed(8);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.put(a);
+        assert_eq!(pool.idle_buffers(), 1);
+        let b = pool.take_zeroed(16);
+        assert_eq!(b, vec![0.0; 16]);
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn shrinking_take_truncates() {
+        let mut pool = ScratchPool::new();
+        let a = pool.take_zeroed(100);
+        pool.put(a);
+        let b = pool.take_zeroed(3);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::config::{SimConfig, StrategyConfig};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::scratch::ScratchPool;
 use crate::staleness::StalenessTracker;
 use crate::strategies::{build_strategy, Group, Strategy, Upload};
 use gluefl_data::SyntheticFlDataset;
@@ -28,6 +29,7 @@ use gluefl_ml::{Mlp, Sgd};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
 use gluefl_net::{AvailabilityTrace, ClientLink};
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
+use gluefl_tensor::vecops;
 use gluefl_tensor::wire::HEADER_BYTES;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +46,8 @@ pub struct Simulation {
     availability: AvailabilityTrace,
     /// Flat indices of BN-statistic positions.
     stats_positions: Vec<usize>,
+    /// Mask of trainable positions (complement of the BN statistics).
+    trainable_mask: gluefl_tensor::BitMask,
     /// Multiplier applied to byte counts when computing transfer *times*
     /// (1.0 unless `cfg.paper_time_model`).
     time_byte_factor: f64,
@@ -51,6 +55,19 @@ pub struct Simulation {
     time_params: usize,
     rng: StdRng,
     round: u32,
+    /// Scratch buffers threaded through the strategy seam; makes the
+    /// per-round hot path allocation-free in steady state.
+    scratch: ScratchPool,
+    /// Reused copy of the global parameters handed to local training.
+    global_buf: Vec<f32>,
+    /// Reused `(client, group)` invitation list.
+    invited_buf: Vec<(usize, Group)>,
+    /// Recycled client-delta buffers (one per invited client per round).
+    delta_bufs: Vec<Vec<f32>>,
+    /// Per-round saves of BN-statistic delta entries (invited × stats).
+    stats_saved: Vec<f32>,
+    /// Reused list of changed positions per round.
+    changed_buf: Vec<usize>,
 }
 
 impl Simulation {
@@ -58,7 +75,8 @@ impl Simulation {
     /// speeds, masks) derives deterministically from `cfg.seed`.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
-        let data = SyntheticFlDataset::generate(cfg.dataset.clone(), derive_seed(cfg.seed, "data", 0));
+        let data =
+            SyntheticFlDataset::generate(cfg.dataset.clone(), derive_seed(cfg.seed, "data", 0));
         let n = data.num_clients();
         let mut init_rng = seeded_rng(cfg.seed, "model-init", 0);
         let model = cfg
@@ -67,7 +85,8 @@ impl Simulation {
         let dim = model.num_params();
         let layout = model.layout();
         let trainable = layout.trainable_count();
-        let stats_excluded = layout.trainable_mask().not();
+        let trainable_mask = layout.trainable_mask();
+        let stats_excluded = trainable_mask.not();
         let stats_positions: Vec<usize> = stats_excluded.iter_ones().collect();
 
         let mut strat_rng = seeded_rng(cfg.seed, "strategy", 0);
@@ -86,12 +105,9 @@ impl Simulation {
         let speeds = cfg.device.sample_speeds(&mut dev_rng, n);
         let mut avail_rng = seeded_rng(cfg.seed, "availability", 0);
         let availability = match cfg.availability {
-            Some(a) => AvailabilityTrace::new(
-                n,
-                a.online_fraction,
-                a.mean_session_rounds,
-                &mut avail_rng,
-            ),
+            Some(a) => {
+                AvailabilityTrace::new(n, a.online_fraction, a.mean_session_rounds, &mut avail_rng)
+            }
             None => AvailabilityTrace::always_on(n),
         };
 
@@ -115,10 +131,17 @@ impl Simulation {
             speeds,
             availability,
             stats_positions,
+            trainable_mask,
             time_byte_factor,
             time_params,
             rng,
             round: 0,
+            scratch: ScratchPool::new(),
+            global_buf: Vec::new(),
+            invited_buf: Vec::new(),
+            delta_bufs: Vec::new(),
+            stats_saved: Vec::new(),
+            changed_buf: Vec::new(),
         }
     }
 
@@ -174,13 +197,16 @@ impl Simulation {
         let plan = self
             .strategy
             .plan_round(round, &mut self.rng, self.availability.online());
-        let invited = plan.invited();
+        let mut invited = std::mem::take(&mut self.invited_buf);
+        invited.clear();
+        invited.extend(plan.invited());
         let mut rec = RoundRecord {
             round,
             invited: invited.len(),
             ..Default::default()
         };
         if invited.is_empty() {
+            self.invited_buf = invited;
             self.maybe_eval(round, &mut rec);
             return rec;
         }
@@ -196,23 +222,34 @@ impl Simulation {
         }
 
         // --- Local training (parallel, deterministic). ---
+        // Training writes two things per client: the trainable delta
+        // (BN-statistic positions already zeroed by the fused
+        // masked-subtraction kernel) and the BN-statistic drift, saved
+        // aside for the Appendix-D mean.
         let lr = self.cfg.lr_at_round(round);
-        let global = self.model.params().to_vec();
-        let deltas = self.train_invited(&invited, &global, lr, round);
+        let dim = self.model.num_params();
+        let stats_len = self.stats_positions.len();
+        self.stats_saved.clear();
+        self.stats_saved.resize(invited.len() * stats_len, 0.0);
+        let mut global = std::mem::take(&mut self.global_buf);
+        global.clear();
+        global.extend_from_slice(self.model.params());
+        let mut stats_saved = std::mem::take(&mut self.stats_saved);
+        let mut deltas = self.train_invited(&invited, &global, lr, round, &mut stats_saved);
+        self.stats_saved = stats_saved;
+        self.global_buf = global;
 
         // --- Compression + upload accounting + timing. ---
-        let stats_upload_bytes = self.stats_positions.len() as u64 * 4 + HEADER_BYTES;
-        let mut uploads: Vec<Upload> = Vec::with_capacity(invited.len());
+        // Deltas are compressed in place (no per-client dense clone).
+        let stats_upload_bytes = stats_len as u64 * 4 + HEADER_BYTES;
+        let mut uploads: Vec<Option<Upload>> = Vec::with_capacity(invited.len());
         let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
         let mut up_bytes_total = 0u64;
         for (i, &(id, group)) in invited.iter().enumerate() {
-            let mut trainable_delta = deltas[i].clone();
-            for &p in &self.stats_positions {
-                trainable_delta[p] = 0.0;
-            }
+            let delta = &mut deltas[i];
             let upload = self
                 .strategy
-                .compress(round, id, group, &mut trainable_delta);
+                .compress(round, id, group, delta, &mut self.scratch);
             let up_bytes = upload.bytes() + stats_upload_bytes;
             up_bytes_total += up_bytes;
             let link = self.links[id];
@@ -221,10 +258,13 @@ impl Simulation {
             times.push(ClientRoundTime {
                 download_secs: seconds_for_bytes(t_down, link.down_mbps),
                 compute_secs: self.cfg.local_steps as f64
-                    * self.cfg.device.step_seconds(self.time_params, self.speeds[id]),
+                    * self
+                        .cfg
+                        .device
+                        .step_seconds(self.time_params, self.speeds[id]),
                 upload_secs: seconds_for_bytes(t_up, link.up_mbps),
             });
-            uploads.push(upload);
+            uploads.push(Some(upload));
         }
         rec.down_bytes = download_bytes.iter().sum();
         rec.up_bytes = up_bytes_total;
@@ -244,38 +284,46 @@ impl Simulation {
         // --- Aggregate trainable positions via the strategy. ---
         let mut kept_uploads: Vec<(usize, Group, Upload)> = kept_idx
             .iter()
-            .map(|&i| (invited[i].0, invited[i].1, uploads[i].clone()))
+            .map(|&i| {
+                let upload = uploads[i].take().expect("kept indices are unique");
+                (invited[i].0, invited[i].1, upload)
+            })
             .collect();
         kept_uploads.sort_by_key(|(id, _, _)| *id);
-        let mut update = self.strategy.aggregate(round, &kept_uploads);
+        let mut update = self
+            .strategy
+            .aggregate(round, &kept_uploads, &mut self.scratch);
 
         // --- BatchNorm statistics: plain 1/K mean (Appendix D). ---
         if !kept_idx.is_empty() {
             let inv_k = 1.0 / kept_idx.len() as f32;
-            for &p in &self.stats_positions {
-                let mean: f32 = kept_idx.iter().map(|&i| deltas[i][p]).sum::<f32>() * inv_k;
+            for (j, &p) in self.stats_positions.iter().enumerate() {
+                let mean: f32 = kept_idx
+                    .iter()
+                    .map(|&i| self.stats_saved[i * stats_len + j])
+                    .sum::<f32>()
+                    * inv_k;
                 update[p] = mean;
             }
         }
 
         // --- Apply the update and record changed positions. ---
-        {
-            let params = self.model.params_mut();
-            for (w, u) in params.iter_mut().zip(&update) {
-                *w += u;
-            }
-        }
-        rec.changed_positions = update.iter().filter(|v| **v != 0.0).count();
-        self.staleness
-            .record_update(update.iter().enumerate().filter_map(|(j, v)| {
-                (*v != 0.0).then_some(j)
-            }));
+        vecops::add_assign(self.model.params_mut(), &update);
+        let mut changed = std::mem::take(&mut self.changed_buf);
+        changed.clear();
+        changed.extend(
+            update
+                .iter()
+                .enumerate()
+                .filter_map(|(j, v)| (*v != 0.0).then_some(j)),
+        );
+        rec.changed_positions = changed.len();
+        self.staleness.record_update(changed.iter().copied());
+        self.changed_buf = changed;
+        self.scratch.put(update);
 
         // --- Post-round bookkeeping (sticky rebalance). ---
-        let kept_sticky_ids: Vec<usize> = kept_sticky_local
-            .iter()
-            .map(|&i| invited[i].0)
-            .collect();
+        let kept_sticky_ids: Vec<usize> = kept_sticky_local.iter().map(|&i| invited[i].0).collect();
         let kept_fresh_ids: Vec<usize> = kept_fresh_local
             .iter()
             .map(|&i| invited[i + sticky_n].0)
@@ -283,9 +331,13 @@ impl Simulation {
         self.strategy
             .finish_round(round, &mut self.rng, &kept_sticky_ids, &kept_fresh_ids);
 
+        // --- Recycle the per-round buffers. ---
+        debug_assert!(deltas.iter().all(|d| d.len() == dim));
+        self.delta_bufs.append(&mut deltas);
+        self.invited_buf = invited;
+
         // --- Timing metrics over kept clients. ---
-        let kept_times: Vec<ClientRoundTime> =
-            kept_idx.iter().map(|&i| times[i]).collect();
+        let kept_times: Vec<ClientRoundTime> = kept_idx.iter().map(|&i| times[i]).collect();
         rec.round_secs = kept_times
             .iter()
             .map(ClientRoundTime::total_secs)
@@ -294,20 +346,15 @@ impl Simulation {
             .iter()
             .map(|t| t.download_secs)
             .fold(0.0, f64::max);
-        rec.slowest_upload_secs = kept_times
-            .iter()
-            .map(|t| t.upload_secs)
-            .fold(0.0, f64::max);
+        rec.slowest_upload_secs = kept_times.iter().map(|t| t.upload_secs).fold(0.0, f64::max);
         rec.slowest_compute_secs = kept_times
             .iter()
             .map(|t| t.compute_secs)
             .fold(0.0, f64::max);
         let kn = kept_times.len().max(1) as f64;
-        rec.mean_download_secs =
-            kept_times.iter().map(|t| t.download_secs).sum::<f64>() / kn;
+        rec.mean_download_secs = kept_times.iter().map(|t| t.download_secs).sum::<f64>() / kn;
         rec.mean_upload_secs = kept_times.iter().map(|t| t.upload_secs).sum::<f64>() / kn;
-        rec.mean_compute_secs =
-            kept_times.iter().map(|t| t.compute_secs).sum::<f64>() / kn;
+        rec.mean_compute_secs = kept_times.iter().map(|t| t.compute_secs).sum::<f64>() / kn;
 
         self.maybe_eval(round, &mut rec);
         rec
@@ -323,23 +370,38 @@ impl Simulation {
         }
     }
 
-    /// Trains every invited client locally, in parallel, returning deltas
-    /// in invitation order.
+    /// Trains every invited client locally, in parallel, writing
+    /// trainable deltas into recycled buffers (invitation order) and the
+    /// BN-statistic drift into `stats_saved` (`invited × stats` flat).
     fn train_invited(
-        &self,
+        &mut self,
         invited: &[(usize, Group)],
         global: &[f32],
         lr: f32,
         round: u32,
+        stats_saved: &mut [f32],
     ) -> Vec<Vec<f32>> {
+        let dim = self.model.num_params();
+        let stats_len = self.stats_positions.len();
+        assert_eq!(stats_saved.len(), invited.len() * stats_len);
+        let mut results: Vec<Vec<f32>> = (0..invited.len())
+            .map(|_| {
+                let mut buf = self.delta_bufs.pop().unwrap_or_default();
+                buf.clear();
+                buf.resize(dim, 0.0);
+                buf
+            })
+            .collect();
         let cfg = &self.cfg;
         let data = &self.data;
         let proto = &self.model;
+        let stats_positions = &self.stats_positions;
+        let trainable_mask = &self.trainable_mask;
         let seed = cfg.seed;
-        let worker = |&(id, _): &(usize, Group)| -> Vec<f32> {
+        let worker = |&(id, _): &(usize, Group), out: &mut [f32], stats_out: &mut [f32]| {
             let client_seed =
                 derive_seed(seed, "local-train", (u64::from(round) << 32) | id as u64);
-            local_train(
+            local_train_into(
                 proto,
                 global,
                 data,
@@ -349,33 +411,49 @@ impl Simulation {
                 lr,
                 cfg.momentum,
                 client_seed,
-            )
+                out,
+                stats_positions,
+                stats_out,
+                trainable_mask,
+            );
         };
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(invited.len().max(1));
+        // NOTE: iteration is driven by the invited/result pairing and the
+        // stats slices are carved by index — zipping with
+        // `stats_saved.chunks_mut(..)` would silently yield zero
+        // iterations for models without BN statistics (empty slice).
         if threads <= 1 || invited.len() <= 1 {
-            return invited.iter().map(worker).collect();
+            for (i, (inv, out)) in invited.iter().zip(&mut results).enumerate() {
+                worker(
+                    inv,
+                    out,
+                    &mut stats_saved[i * stats_len..(i + 1) * stats_len],
+                );
+            }
+            return results;
         }
-        let mut results: Vec<Option<Vec<f32>>> = vec![None; invited.len()];
         let chunk = invited.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (slot_chunk, inv_chunk) in
-                results.chunks_mut(chunk).zip(invited.chunks(chunk))
-            {
-                s.spawn(move |_| {
-                    for (slot, inv) in slot_chunk.iter_mut().zip(inv_chunk) {
-                        *slot = Some(worker(inv));
+        std::thread::scope(|s| {
+            let mut stats_rest: &mut [f32] = stats_saved;
+            for (slot_chunk, inv_chunk) in results.chunks_mut(chunk).zip(invited.chunks(chunk)) {
+                let take = slot_chunk.len() * stats_len;
+                let (stats_chunk, rest) = std::mem::take(&mut stats_rest).split_at_mut(take);
+                stats_rest = rest;
+                s.spawn(move || {
+                    for (j, (slot, inv)) in slot_chunk.iter_mut().zip(inv_chunk).enumerate() {
+                        worker(
+                            inv,
+                            slot,
+                            &mut stats_chunk[j * stats_len..(j + 1) * stats_len],
+                        );
                     }
                 });
             }
-        })
-        .expect("local-training worker panicked");
+        });
         results
-            .into_iter()
-            .map(|r| r.expect("worker filled every slot"))
-            .collect()
     }
 }
 
@@ -391,10 +469,12 @@ impl std::fmt::Debug for Simulation {
 }
 
 /// One client's local training: clone the global model, run `steps`
-/// minibatch SGD steps on the client's data, return the parameter delta
-/// (including BN statistic drift).
+/// minibatch SGD steps on the client's data, then split the parameter
+/// delta — the trainable part goes into `out` via the fused
+/// masked-subtraction kernel (BN-statistic positions land as zeros in a
+/// single pass), and the BN-statistic drift goes into `stats_out`.
 #[allow(clippy::too_many_arguments)]
-fn local_train(
+fn local_train_into(
     proto: &Mlp,
     global: &[f32],
     data: &SyntheticFlDataset,
@@ -404,7 +484,11 @@ fn local_train(
     lr: f32,
     momentum: f32,
     seed: u64,
-) -> Vec<f32> {
+    out: &mut [f32],
+    stats_positions: &[usize],
+    stats_out: &mut [f32],
+    trainable_mask: &gluefl_tensor::BitMask,
+) {
     let mut model = proto.clone();
     model.set_params(global);
     let ds = data.client(id);
@@ -415,12 +499,11 @@ fn local_train(
         let (_, grad) = model.loss_and_grad(&bx, &by);
         opt.step(model.params_mut(), &grad);
     }
-    model
-        .params()
-        .iter()
-        .zip(global)
-        .map(|(a, b)| a - b)
-        .collect()
+    let trained = model.params();
+    for (slot, &p) in stats_out.iter_mut().zip(stats_positions) {
+        *slot = trained[p] - global[p];
+    }
+    vecops::masked_sub_into(out, trained, global, trainable_mask);
 }
 
 /// Convenience: run one strategy under a config, returning its result.
@@ -532,6 +615,52 @@ mod tests {
         }
     }
 
+    /// With the `parallel` feature, the threaded aggregation must produce
+    /// bit-identical results to the serial execution of the same binary —
+    /// for every strategy, including accuracies down to the last bit.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_aggregation_bit_identical_to_serial() {
+        let _guard = crate::aggregate::parallel_toggle_lock();
+        let configs = || {
+            let mut gluefl_cfg = tiny_cfg(StrategyConfig::FedAvg);
+            let k = gluefl_cfg.round_size;
+            gluefl_cfg.strategy = StrategyConfig::GlueFl(tiny_gluefl_params(k));
+            vec![
+                tiny_cfg(StrategyConfig::FedAvg),
+                tiny_cfg(StrategyConfig::Stc { q: 0.2 }),
+                gluefl_cfg,
+            ]
+        };
+        let run_all = |parallel: bool| -> Vec<RoundRecord> {
+            crate::aggregate::set_parallel_enabled(parallel);
+            let mut recs = Vec::new();
+            for cfg in configs() {
+                let mut sim = Simulation::new(cfg);
+                for _ in 0..4 {
+                    recs.push(sim.step());
+                }
+            }
+            crate::aggregate::set_parallel_enabled(true);
+            recs
+        };
+        let parallel = run_all(true);
+        let serial = run_all(false);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.down_bytes, s.down_bytes);
+            assert_eq!(p.up_bytes, s.up_bytes);
+            assert_eq!(p.changed_positions, s.changed_positions);
+            assert_eq!(
+                p.accuracy.map(f64::to_bits),
+                s.accuracy.map(f64::to_bits),
+                "accuracy bits diverged at round {}",
+                p.round
+            );
+            assert_eq!(p.loss.map(f64::to_bits), s.loss.map(f64::to_bits));
+        }
+    }
+
     #[test]
     fn training_improves_accuracy_over_rounds() {
         let mut cfg = tiny_cfg(StrategyConfig::FedAvg);
@@ -544,6 +673,24 @@ mod tests {
         assert!(
             final_acc > 0.3,
             "final accuracy {final_acc} barely above chance"
+        );
+    }
+
+    #[test]
+    fn models_without_bn_statistics_still_train() {
+        // Regression: with stats_len == 0 the per-client stats slices are
+        // empty — training must still run for every invited client.
+        let mut cfg = tiny_cfg(StrategyConfig::FedAvg);
+        cfg.model.batch_norm = false;
+        let mut sim = Simulation::new(cfg);
+        assert_eq!(sim.model().layout().statistic_count(), 0);
+        let rec = sim.step();
+        let dim = sim.model().num_params();
+        assert!(
+            rec.changed_positions as f64 > 0.9 * dim as f64,
+            "only {}/{} changed — clients did not train",
+            rec.changed_positions,
+            dim
         );
     }
 

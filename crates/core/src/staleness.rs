@@ -185,7 +185,7 @@ mod tests {
         let mut st = StalenessTracker::new(10, 1);
         st.record_update(vec![0, 1, 2]);
         st.record_update(vec![2, 3]); // overlap at 2
-        // Client at version 0 needs union {0,1,2,3} = 4, not 5.
+                                      // Client at version 0 needs union {0,1,2,3} = 4, not 5.
         assert_eq!(st.stale_positions(0), 4);
         // Client at version 1 needs only round 2's change set.
         assert_eq!(st.stale_positions(1), 2);
@@ -197,8 +197,7 @@ mod tests {
         let mut st = StalenessTracker::new(1000, 1);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
-            let changed: Vec<usize> =
-                (0..1000).filter(|_| rng.gen::<f64>() < 0.1).collect();
+            let changed: Vec<usize> = (0..1000).filter(|_| rng.gen::<f64>() < 0.1).collect();
             st.record_update(changed);
         }
         let mut prev = 0;
@@ -214,8 +213,7 @@ mod tests {
         let mut st = StalenessTracker::new(500, 3);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..50 {
-            let changed: Vec<usize> =
-                (0..500).filter(|_| rng.gen::<f64>() < 0.2).collect();
+            let changed: Vec<usize> = (0..500).filter(|_| rng.gen::<f64>() < 0.2).collect();
             st.record_update(changed);
             for v in 0..=st.version() {
                 assert_eq!(

@@ -2,6 +2,8 @@
 //! (Chen et al. 2021; the paper's parameter-freezing baseline).
 
 use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::accumulate_uploads;
+use crate::scratch::ScratchPool;
 use gluefl_compress::{Apf, ApfConfig};
 use gluefl_sampling::{ClientId, UniformSampler};
 use gluefl_tensor::SparseUpdate;
@@ -78,7 +80,14 @@ impl Strategy for ApfStrategy {
         bitmap_bytes(self.dim)
     }
 
-    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+    fn compress(
+        &mut self,
+        _round: u32,
+        _id: ClientId,
+        _group: Group,
+        delta: &mut [f32],
+        _scratch: &mut ScratchPool,
+    ) -> Upload {
         // Clients freeze the frozen parameters locally, so their deltas
         // are zero there; the upload carries only active positions, whose
         // identities the server already knows (known-mask encoding).
@@ -87,11 +96,17 @@ impl Strategy for ApfStrategy {
         Upload::KnownMask(sparse)
     }
 
-    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; self.dim];
-        for (id, group, upload) in kept {
-            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
-        }
+    fn aggregate(
+        &mut self,
+        _round: u32,
+        kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
+    ) -> Vec<f32> {
+        let entries: Vec<(f32, &Upload)> = kept
+            .iter()
+            .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
+            .collect();
+        let mut acc = accumulate_uploads(&entries, self.dim, scratch);
         // Frozen positions must not move even if numerical noise crept in.
         let active = self.apf.active_mask();
         active.apply_to(&mut acc);
@@ -105,7 +120,6 @@ impl Strategy for ApfStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn cfg() -> ApfConfig {
         ApfConfig {
@@ -125,7 +139,8 @@ mod tests {
     fn everything_active_initially() {
         let mut s = strategy();
         let mut delta = vec![1.0f32; 6];
-        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(0, 0, Group::Fresh, &mut delta, &mut pool);
         match up {
             Upload::KnownMask(u) => assert_eq!(u.nnz(), 6),
             other => panic!("expected known-mask upload, got {other:?}"),
@@ -134,6 +149,7 @@ mod tests {
 
     #[test]
     fn oscillating_positions_get_frozen_and_uploads_shrink() {
+        let mut pool = ScratchPool::new();
         let mut s = strategy();
         // Positions 0..3 oscillate; 3..6 move steadily.
         for r in 0..20 {
@@ -144,16 +160,16 @@ mod tests {
                     for (j, d) in delta.iter_mut().enumerate() {
                         *d = if j < 3 { sign * 0.5 } else { 0.5 };
                     }
-                    let up = s.compress(r, id, Group::Fresh, &mut delta);
+                    let up = s.compress(r, id, Group::Fresh, &mut delta, &mut pool);
                     (id, Group::Fresh, up)
                 })
                 .collect();
-            let _ = s.aggregate(r, &kept);
+            let _ = s.aggregate(r, &kept, &mut pool);
         }
         assert!(s.frozen_fraction() > 0.0, "nothing froze");
         // Steady positions must still be active.
         let mut probe = vec![1.0f32; 6];
-        let up = s.compress(99, 0, Group::Fresh, &mut probe);
+        let up = s.compress(99, 0, Group::Fresh, &mut probe, &mut pool);
         match up {
             Upload::KnownMask(u) => {
                 assert!(u.indices().contains(&4) && u.indices().contains(&5));
@@ -165,6 +181,7 @@ mod tests {
 
     #[test]
     fn frozen_positions_do_not_change_in_aggregate() {
+        let mut pool = ScratchPool::new();
         let mut s = strategy();
         // Freeze positions 0..3 as above. The mask relevant to round r is
         // the one in force *before* aggregation advances the APF state.
@@ -173,13 +190,12 @@ mod tests {
             let active_before = s.apf.active_mask();
             let kept: Vec<(ClientId, Group, Upload)> = (0..3)
                 .map(|id| {
-                    let mut delta =
-                        vec![sign * 0.5, sign * 0.5, sign * 0.5, 0.5, 0.5, 0.5];
-                    let up = s.compress(r, id, Group::Fresh, &mut delta);
+                    let mut delta = vec![sign * 0.5, sign * 0.5, sign * 0.5, 0.5, 0.5, 0.5];
+                    let up = s.compress(r, id, Group::Fresh, &mut delta, &mut pool);
                     (id, Group::Fresh, up)
                 })
                 .collect();
-            let agg = s.aggregate(r, &kept);
+            let agg = s.aggregate(r, &kept, &mut pool);
             for (j, v) in agg.iter().enumerate() {
                 if !active_before.get(j) {
                     assert_eq!(*v, 0.0, "frozen position {j} changed");

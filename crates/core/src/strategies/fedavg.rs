@@ -1,6 +1,8 @@
 //! FedAvg with uniform client sampling (McMahan et al. 2017; §2.1).
 
 use super::{Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::accumulate_uploads;
+use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, UniformSampler};
 use rand::rngs::StdRng;
 
@@ -55,16 +57,28 @@ impl Strategy for FedAvgStrategy {
         0
     }
 
-    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+    fn compress(
+        &mut self,
+        _round: u32,
+        _id: ClientId,
+        _group: Group,
+        delta: &mut [f32],
+        _scratch: &mut ScratchPool,
+    ) -> Upload {
         Upload::Dense(delta.to_vec())
     }
 
-    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; self.dim];
-        for (id, group, upload) in kept {
-            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
-        }
-        acc
+    fn aggregate(
+        &mut self,
+        _round: u32,
+        kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
+    ) -> Vec<f32> {
+        let entries: Vec<(f32, &Upload)> = kept
+            .iter()
+            .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
+            .collect();
+        accumulate_uploads(&entries, self.dim, scratch)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -104,11 +118,12 @@ mod tests {
             (0usize, Group::Fresh, Upload::Dense(vec![1.0; 8])),
             (1usize, Group::Fresh, Upload::Dense(vec![-1.0; 8])),
         ];
-        let agg = s.aggregate(0, &kept);
+        let mut pool = ScratchPool::new();
+        let agg = s.aggregate(0, &kept, &mut pool);
         assert!(agg.iter().all(|v| v.abs() < 1e-9));
         // One client: agg = weight · delta.
         let kept = vec![(2usize, Group::Fresh, Upload::Dense(vec![2.0; 8]))];
-        let agg = s.aggregate(0, &kept);
+        let agg = s.aggregate(0, &kept, &mut pool);
         let w = s.client_weight(2, Group::Fresh) as f32;
         assert!(agg.iter().all(|v| (*v - 2.0 * w).abs() < 1e-6));
     }
@@ -136,7 +151,8 @@ mod tests {
                     (id, Group::Fresh, Upload::Dense(delta))
                 })
                 .collect();
-            let agg = s.aggregate(0, &kept);
+            let mut pool = ScratchPool::new();
+            let agg = s.aggregate(0, &kept, &mut pool);
             for (a, g) in acc.iter_mut().zip(&agg) {
                 *a += f64::from(*g);
             }
@@ -154,7 +170,8 @@ mod tests {
     fn dense_upload_and_no_mask_bytes() {
         let mut s = strategy();
         let mut delta = vec![1.0f32; 8];
-        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(0, 0, Group::Fresh, &mut delta, &mut pool);
         assert_eq!(up.bytes(), 8 * 4 + 16);
         assert_eq!(s.mask_download_bytes(0), 0);
     }

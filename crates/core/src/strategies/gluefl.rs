@@ -1,13 +1,15 @@
 //! GlueFL: sticky sampling + mask shifting (Algorithm 3).
 
 use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_sparse, accumulate_weighted_values};
 use crate::config::GlueFlParams;
-use gluefl_compress::mask_shift::{shift_mask, ClientSplit};
+use crate::scratch::ScratchPool;
+use gluefl_compress::mask_shift::{shift_mask_with, ClientSplit};
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::ErrorCompensator;
 use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
 use gluefl_sampling::{sticky_weights, ClientId, StickySampler};
-use gluefl_tensor::{top_k_abs_masked, BitMask, SparseUpdate, TopKScope};
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
 /// The paper's framework: sticky sampling (§3.1) for client selection,
@@ -23,8 +25,14 @@ pub struct GlueFlStrategy {
     weights: Vec<f64>,
     /// Current shared mask `M_t` (⊆ trainable positions).
     shared_mask: BitMask,
+    /// Cached `|M_t|` (the length of every mask-aligned shared upload).
+    shared_nnz: usize,
+    /// Cached `M_t ∪ stats`: the scope clients' unique top-k must avoid.
+    scope_mask: BitMask,
     /// Positions that may never be masked/selected (BN statistics).
     stats_excluded: BitMask,
+    /// Cached `¬stats`: positions eligible for the shared mask.
+    eligible: BitMask,
     /// Number of trainable positions (base for `q` ratios).
     trainable: usize,
     dim: usize,
@@ -67,14 +75,17 @@ impl GlueFlStrategy {
             "invalid sticky configuration"
         );
         let sampler = StickySampler::new(n, params.sticky_group, rng);
-        // Random initial mask over trainable positions.
+        // Random initial mask over trainable positions (word-level
+        // complement walk instead of d per-bit tests).
         let k_mask = keep_count(trainable, params.q_shr);
-        let eligible: Vec<usize> = (0..dim).filter(|&i| !stats_excluded.get(i)).collect();
-        let mut picked = eligible;
+        let mut picked: Vec<usize> = stats_excluded.iter_zeros().collect();
         use rand::seq::SliceRandom;
         let (sel, _) = picked.partial_shuffle(rng, k_mask);
         let shared_mask = BitMask::from_indices(dim, sel.iter().copied());
         let ec = ErrorCompensator::new(params.compensation, dim);
+        let shared_nnz = shared_mask.count_ones();
+        let scope_mask = shared_mask.or(&stats_excluded);
+        let eligible = stats_excluded.not();
         Self {
             sampler,
             params,
@@ -83,11 +94,22 @@ impl GlueFlStrategy {
             oc_strategy,
             weights,
             shared_mask,
+            shared_nnz,
+            scope_mask,
             stats_excluded,
+            eligible,
             trainable,
             dim,
             ec,
         }
+    }
+
+    /// Installs a freshly shifted/regenerated shared mask and refreshes
+    /// the caches derived from it.
+    fn set_shared_mask(&mut self, mask: BitMask) {
+        self.shared_nnz = mask.count_ones();
+        self.scope_mask = mask.or(&self.stats_excluded);
+        self.shared_mask = mask;
     }
 
     /// The current shared mask `M_t`.
@@ -170,7 +192,14 @@ impl Strategy for GlueFlStrategy {
         bitmap_bytes(self.dim)
     }
 
-    fn compress(&mut self, round: u32, id: ClientId, group: Group, delta: &mut [f32]) -> Upload {
+    fn compress(
+        &mut self,
+        round: u32,
+        id: ClientId,
+        group: Group,
+        delta: &mut [f32],
+        scratch: &mut ScratchPool,
+    ) -> Upload {
         let weight = self.client_weight(id, group);
         // Re-scaled error compensation (Equation 7).
         self.ec.apply(id, delta, weight);
@@ -183,53 +212,90 @@ impl Strategy for GlueFlStrategy {
         } else {
             SparseUpdate::from_dense_masked(delta, &self.shared_mask)
         };
-        // Unique part: top-(q−q_shr) outside M_t ∪ stats.
-        let scope_mask = if regen {
-            self.stats_excluded.clone()
+        // Unique part: top-(q−q_shr) outside M_t ∪ stats (cached).
+        let scope = if regen {
+            &self.stats_excluded
         } else {
-            self.shared_mask.or(&self.stats_excluded)
+            &self.scope_mask
         };
-        let idx = top_k_abs_masked(delta, unique_k, TopKScope::Outside(&scope_mask));
-        let unique = SparseUpdate::gather(delta, &idx);
+        let idx = top_k_abs_masked_into(
+            delta,
+            unique_k,
+            TopKScope::Outside(scope),
+            &mut scratch.topk,
+        );
+        let unique = SparseUpdate::gather(delta, idx);
 
-        // Residual: h = Δ − (Δ̃_shr + Δ̃_uni).
-        let mut sent = shared.to_dense();
-        unique.apply(&mut sent);
-        self.ec.record(id, delta, &sent, weight);
+        // Residual: h = Δ − (Δ̃_shr + Δ̃_uni), recorded without
+        // materialising the dense `sent` vector.
+        self.ec
+            .record_sent_parts(id, delta, &[&shared, &unique], weight);
 
         Upload::MaskSplit(ClientSplit { shared, unique })
     }
 
-    fn aggregate(&mut self, round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
-        let mut shr_acc = vec![0.0f32; self.dim];
-        let mut uni_acc = vec![0.0f32; self.dim];
+    fn aggregate(
+        &mut self,
+        round: u32,
+        kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
+    ) -> Vec<f32> {
+        let regen = self.is_regen_round(round);
+        let mut shared_entries: Vec<(f32, &[f32])> = Vec::with_capacity(kept.len());
+        let mut unique_entries: Vec<(f32, &SparseUpdate)> = Vec::with_capacity(kept.len());
         for (id, group, upload) in kept {
             let w = self.client_weight(*id, *group) as f32;
             match upload {
                 Upload::MaskSplit(split) => {
-                    split.shared.add_scaled_into(&mut shr_acc, w);
-                    split.unique.add_scaled_into(&mut uni_acc, w);
+                    if !regen {
+                        assert_eq!(
+                            split.shared.nnz(),
+                            self.shared_nnz,
+                            "shared part not aligned to the current mask"
+                        );
+                        shared_entries.push((w, split.shared.values()));
+                    }
+                    unique_entries.push((w, &split.unique));
                 }
                 other => panic!("GlueFL aggregate received non-split upload {other:?}"),
             }
         }
+        // Shared parts all carry the same support M_t, so they are summed
+        // as contiguous value arrays (no per-element index indirection)
+        // and scattered through the mask once at the end.
+        let shr_vals = accumulate_weighted_values(&shared_entries, self.shared_nnz, scratch);
+        let uni_acc = accumulate_sparse(&unique_entries, self.dim, scratch);
+
+        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24). On regeneration
+        // rounds the shared parts are empty, so the combined update is
+        // exactly the selected unique aggregate — which is also what the
+        // §3.3 regeneration rule shifts the mask from.
+        let mut combined = scratch.take_zeroed(self.dim);
+        if !regen {
+            self.shared_mask.scatter_add(&mut combined, &shr_vals, 1.0);
+        }
         // Δ̃_uni = top_{q−q_shr} of the weighted unique aggregate (line 23).
         let unique_k = self.unique_keep(round);
-        let idx = top_k_abs_masked(&uni_acc, unique_k, TopKScope::Outside(&self.stats_excluded));
-        let uni_top = SparseUpdate::gather(&uni_acc, &idx);
-
-        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24).
-        let mut combined = shr_acc;
-        uni_top.add_scaled_into(&mut combined, 1.0);
+        let idx = top_k_abs_masked_into(
+            &uni_acc,
+            unique_k,
+            TopKScope::Outside(&self.stats_excluded),
+            &mut scratch.topk,
+        );
+        for &i in idx {
+            combined[i] += uni_acc[i];
+        }
+        scratch.put(shr_vals);
+        scratch.put(uni_acc);
 
         // Mask update (line 26 / §3.3 regeneration).
-        let eligible = self.stats_excluded.not();
-        self.shared_mask = if self.is_regen_round(round) {
-            // Regenerate from the unique aggregate only.
-            shift_mask(&uni_top.to_dense(), self.params.q_shr, Some(&eligible))
-        } else {
-            shift_mask(&combined, self.params.q_shr, Some(&eligible))
-        };
+        let next_mask = shift_mask_with(
+            &combined,
+            self.params.q_shr,
+            Some(&self.eligible),
+            &mut scratch.topk,
+        );
+        self.set_shared_mask(next_mask);
         combined
     }
 
@@ -313,8 +379,16 @@ mod tests {
         p.equal_weights = true;
         let mut rng = StdRng::seed_from_u64(4);
         let s = GlueFlStrategy::new(
-            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
-            BitMask::zeros(20), &mut rng,
+            20,
+            4,
+            1.0,
+            OcStrategy::Proportional,
+            vec![0.05; 20],
+            p,
+            20,
+            20,
+            BitMask::zeros(20),
+            &mut rng,
         );
         assert_eq!(s.name(), "gluefl-equal");
         assert_eq!(s.client_weight(0, Group::Sticky), 0.25);
@@ -326,7 +400,8 @@ mod tests {
         let mut s = strategy(5);
         let mask = s.shared_mask().clone();
         let mut delta: Vec<f32> = (0..20).map(|i| i as f32 - 10.0).collect();
-        let up = s.compress(1, 0, Group::Sticky, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(1, 0, Group::Sticky, &mut delta, &mut pool);
         match up {
             Upload::MaskSplit(split) => {
                 assert_eq!(split.shared.support(), mask);
@@ -345,7 +420,8 @@ mod tests {
         assert!(!s.is_regen_round(4));
         assert!(!s.is_regen_round(0)); // round 0 never regenerates
         let mut delta: Vec<f32> = (0..20).map(|i| (i as f32) * 0.1).collect();
-        let up = s.compress(5, 0, Group::Sticky, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(5, 0, Group::Sticky, &mut delta, &mut pool);
         match up {
             Upload::MaskSplit(split) => {
                 assert!(split.shared.is_empty());
@@ -360,10 +436,11 @@ mod tests {
     fn aggregate_updates_mask_to_top_qshr_of_combined() {
         let mut s = strategy(7);
         let mut delta: Vec<f32> = (0..20).map(|i| if i < 6 { 10.0 } else { 0.01 }).collect();
-        let up = s.compress(1, 0, Group::Sticky, &mut delta.clone());
+        let mut pool = ScratchPool::new();
+        let up = s.compress(1, 0, Group::Sticky, &mut delta.clone(), &mut pool);
         let _ = up;
-        let up = s.compress(1, 1, Group::Sticky, &mut delta);
-        let agg = s.aggregate(1, &[(1, Group::Sticky, up)]);
+        let up = s.compress(1, 1, Group::Sticky, &mut delta, &mut pool);
+        let agg = s.aggregate(1, &[(1, Group::Sticky, up)], &mut pool);
         assert_eq!(agg.len(), 20);
         // New mask has q_shr density.
         assert_eq!(s.shared_mask().count_ones(), 4);
@@ -371,6 +448,7 @@ mod tests {
 
     #[test]
     fn consecutive_update_overlap_at_least_qshr() {
+        let mut pool = ScratchPool::new();
         // The support of round t+1's combined update always contains
         // M_{t+1}, which was chosen from round t's combined update —
         // so consecutive supports overlap in ≥ q_shr·d positions as long
@@ -380,8 +458,16 @@ mod tests {
         p.regen_interval = None;
         let mut init_rng = StdRng::seed_from_u64(8);
         let mut s = GlueFlStrategy::new(
-            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
-            BitMask::zeros(20), &mut init_rng,
+            20,
+            4,
+            1.0,
+            OcStrategy::Proportional,
+            vec![0.05; 20],
+            p,
+            20,
+            20,
+            BitMask::zeros(20),
+            &mut init_rng,
         );
         let mut rng = StdRng::seed_from_u64(9);
         let mut prev_support: Option<BitMask> = None;
@@ -390,16 +476,18 @@ mod tests {
             let kept: Vec<(ClientId, Group, Upload)> = (0..3)
                 .map(|id| {
                     use rand::Rng;
-                    let mut delta: Vec<f32> =
-                        (0..20).map(|_| rng.gen_range(-1.0..1.0)).collect();
-                    let up = s.compress(round, id, Group::Sticky, &mut delta);
+                    let mut delta: Vec<f32> = (0..20).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let up = s.compress(round, id, Group::Sticky, &mut delta, &mut pool);
                     (id, Group::Sticky, up)
                 })
                 .collect();
-            let agg = s.aggregate(round, &kept);
+            let agg = s.aggregate(round, &kept, &mut pool);
             let support = BitMask::from_indices(
                 20,
-                agg.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i),
+                agg.iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0.0)
+                    .map(|(i, _)| i),
             );
             if let Some(prev) = &prev_support {
                 let overlap = prev.overlap(&support);
@@ -425,11 +513,12 @@ mod tests {
         d[outside[0]] = 5.0;
         d[outside[1]] = 4.0;
         d[outside[2]] = 3.0; // dropped by top-2 → residual
-        let _ = s.compress(1, 0, Group::Fresh, &mut d);
+        let mut pool = ScratchPool::new();
+        let _ = s.compress(1, 0, Group::Fresh, &mut d, &mut pool);
         // Next round, zero delta: compensation should re-inject the
         // residual scaled by ν_fresh/ν_sticky = 0.6/0.1333... = 4.5.
         let mut d2 = vec![0.0f32; 20];
-        let up = s.compress(2, 0, Group::Sticky, &mut d2);
+        let up = s.compress(2, 0, Group::Sticky, &mut d2, &mut pool);
         match up {
             Upload::MaskSplit(split) => {
                 let dense = {
@@ -465,8 +554,16 @@ mod tests {
         p.q_shr = 0.5;
         let mut rng = StdRng::seed_from_u64(0);
         let _ = GlueFlStrategy::new(
-            20, 4, 1.0, OcStrategy::Proportional, vec![0.05; 20], p, 20, 20,
-            BitMask::zeros(20), &mut rng,
+            20,
+            4,
+            1.0,
+            OcStrategy::Proportional,
+            vec![0.05; 20],
+            p,
+            20,
+            20,
+            BitMask::zeros(20),
+            &mut rng,
         );
     }
 }

@@ -1,6 +1,8 @@
 //! FedAvg with multinomial (MD) client sampling (Li et al. 2020a).
 
 use super::{Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::accumulate_uploads;
+use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, MdSampler};
 use rand::rngs::StdRng;
 
@@ -81,16 +83,28 @@ impl Strategy for MdFedAvgStrategy {
         0
     }
 
-    fn compress(&mut self, _round: u32, _id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+    fn compress(
+        &mut self,
+        _round: u32,
+        _id: ClientId,
+        _group: Group,
+        delta: &mut [f32],
+        _scratch: &mut ScratchPool,
+    ) -> Upload {
         Upload::Dense(delta.to_vec())
     }
 
-    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; self.dim];
-        for (id, group, upload) in kept {
-            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
-        }
-        acc
+    fn aggregate(
+        &mut self,
+        _round: u32,
+        kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
+    ) -> Vec<f32> {
+        let entries: Vec<(f32, &Upload)> = kept
+            .iter()
+            .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
+            .collect();
+        accumulate_uploads(&entries, self.dim, scratch)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -172,7 +186,8 @@ mod tests {
             .iter()
             .map(|&id| (id, Group::Fresh, Upload::Dense(vec![1.0f32; 6])))
             .collect();
-        let agg = s.aggregate(0, &kept);
+        let mut pool = ScratchPool::new();
+        let agg = s.aggregate(0, &kept, &mut pool);
         // Weights sum to 1, every delta is all-ones → aggregate all-ones.
         for v in agg {
             assert!((v - 1.0).abs() < 1e-6);

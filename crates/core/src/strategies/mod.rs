@@ -22,6 +22,7 @@ pub use md_fedavg::MdFedAvgStrategy;
 pub use stc::StcStrategy;
 
 use crate::config::{SimConfig, StrategyConfig};
+use crate::scratch::ScratchPool;
 use gluefl_compress::mask_shift::ClientSplit;
 use gluefl_sampling::ClientId;
 use gluefl_tensor::wire::HEADER_BYTES;
@@ -52,14 +53,13 @@ pub struct RoundPlan {
 }
 
 impl RoundPlan {
-    /// All invited clients with their group tags.
-    #[must_use]
-    pub fn invited(&self) -> Vec<(ClientId, Group)> {
+    /// All invited clients with their group tags, sticky first — an
+    /// iterator, so per-round consumers don't allocate.
+    pub fn invited(&self) -> impl Iterator<Item = (ClientId, Group)> + '_ {
         self.sticky_invites
             .iter()
             .map(|&c| (c, Group::Sticky))
             .chain(self.fresh_invites.iter().map(|&c| (c, Group::Fresh)))
-            .collect()
     }
 
     /// Total invitations.
@@ -90,35 +90,68 @@ impl Upload {
     #[must_use]
     pub fn bytes(&self) -> u64 {
         match self {
-            Upload::Dense(v) => {
-                gluefl_tensor::WireCost::dense(v.len()).total_bytes()
-            }
+            Upload::Dense(v) => gluefl_tensor::WireCost::dense(v.len()).total_bytes(),
             Upload::Sparse(u) => u.wire_cost().total_bytes(),
-            Upload::Ternary(t) => {
-                t.wire_cost().total_bytes()
-            }
+            Upload::Ternary(t) => t.wire_cost().total_bytes(),
             Upload::KnownMask(u) => u.wire_cost_known_mask().total_bytes(),
             Upload::MaskSplit(s) => s.upload_bytes(),
+        }
+    }
+
+    /// Dimension of the underlying parameter vector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            Upload::Dense(v) => v.len(),
+            Upload::Sparse(u) | Upload::KnownMask(u) => u.dim(),
+            Upload::Ternary(t) => t.dim(),
+            Upload::MaskSplit(s) => s.shared.dim(),
         }
     }
 
     /// Accumulates `weight ×` this upload into a dense vector.
     ///
     /// # Panics
-    /// Panics on dimension mismatch.
+    /// Panics on dimension mismatch (`acc.len()` must equal the upload's
+    /// dimension exactly).
     pub fn add_weighted_into(&self, acc: &mut [f32], weight: f32) {
+        assert_eq!(acc.len(), self.dim(), "upload dimension mismatch");
+        self.add_weighted_range_into(acc, weight, 0);
+    }
+
+    /// Accumulates `weight ×` the upload's entries with positions in
+    /// `[lo, lo + out.len())` into `out` (`out[0]` ↔ global position
+    /// `lo`). The per-position accumulation order equals
+    /// [`Upload::add_weighted_into`]'s, which is what makes dimension-
+    /// sharded parallel aggregation bit-identical to the serial path.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the upload's dimension.
+    pub fn add_weighted_range_into(&self, out: &mut [f32], weight: f32, lo: usize) {
         match self {
             Upload::Dense(v) => {
-                assert_eq!(v.len(), acc.len(), "upload dimension mismatch");
-                for (a, x) in acc.iter_mut().zip(v) {
-                    *a += weight * x;
+                let hi = lo + out.len();
+                assert!(hi <= v.len(), "upload dimension mismatch");
+                gluefl_tensor::vecops::axpy(out, weight, &v[lo..hi]);
+            }
+            Upload::Sparse(u) | Upload::KnownMask(u) => {
+                u.add_scaled_range_into(out, weight, lo);
+            }
+            Upload::Ternary(t) => {
+                let hi = lo + out.len();
+                assert!(hi <= t.dim(), "upload dimension mismatch");
+                let start = t.indices.partition_point(|&i| (i as usize) < lo);
+                for idx in start..t.indices.len() {
+                    let i = t.indices[idx] as usize;
+                    if i >= hi {
+                        break;
+                    }
+                    out[i - lo] += weight * if t.signs[idx] { t.mu } else { -t.mu };
                 }
             }
-            Upload::Sparse(u) | Upload::KnownMask(u) => u.add_scaled_into(acc, weight),
-            Upload::Ternary(t) => t.dequantize().add_scaled_into(acc, weight),
             Upload::MaskSplit(s) => {
-                s.shared.add_scaled_into(acc, weight);
-                s.unique.add_scaled_into(acc, weight);
+                s.shared.add_scaled_range_into(out, weight, lo);
+                s.unique.add_scaled_range_into(out, weight, lo);
             }
         }
     }
@@ -134,6 +167,12 @@ impl Upload {
 ///    dense update to apply to trainable positions;
 /// 4. [`Strategy::finish_round`] — post-round bookkeeping (sticky group
 ///    rebalancing).
+///
+/// `compress` and `aggregate` receive the simulation's [`ScratchPool`];
+/// strategies route top-k selections and dense accumulators through it so
+/// the per-round hot path is allocation-free in steady state. Buffers
+/// returned by `aggregate` come from the pool and are handed back by the
+/// simulator after use.
 pub trait Strategy: Send {
     /// Display name for reports.
     fn name(&self) -> String;
@@ -157,14 +196,20 @@ pub trait Strategy: Send {
         id: ClientId,
         group: Group,
         delta: &mut [f32],
+        scratch: &mut ScratchPool,
     ) -> Upload;
 
     /// Aggregates the kept uploads into a dense update over trainable
     /// positions (zeros elsewhere) and performs mask updates.
+    ///
+    /// Implementations should route accumulation through
+    /// [`crate::aggregate`] so the reduction order stays deterministic
+    /// under the `parallel` feature.
     fn aggregate(
         &mut self,
         round: u32,
         kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
     ) -> Vec<f32>;
 
     /// Post-round bookkeeping with the kept participants.
@@ -194,16 +239,10 @@ pub fn build_strategy(
     let n = weights.len();
     let k = cfg.round_size;
     match &cfg.strategy {
-        StrategyConfig::FedAvg => Box::new(FedAvgStrategy::new(
-            n,
-            k,
-            cfg.oc,
-            weights.to_vec(),
-            dim,
-        )),
-        StrategyConfig::MdFedAvg => {
-            Box::new(MdFedAvgStrategy::new(weights.to_vec(), k, dim))
+        StrategyConfig::FedAvg => {
+            Box::new(FedAvgStrategy::new(n, k, cfg.oc, weights.to_vec(), dim))
         }
+        StrategyConfig::MdFedAvg => Box::new(MdFedAvgStrategy::new(weights.to_vec(), k, dim)),
         StrategyConfig::Stc { q } => Box::new(StcStrategy::new(
             n,
             k,
@@ -268,7 +307,7 @@ mod tests {
             keep_sticky: 2,
             keep_fresh: 1,
         };
-        let invited = plan.invited();
+        let invited: Vec<(ClientId, Group)> = plan.invited().collect();
         assert_eq!(invited.len(), 3);
         assert_eq!(invited[0], (1, Group::Sticky));
         assert_eq!(invited[2], (7, Group::Fresh));

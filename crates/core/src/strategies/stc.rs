@@ -1,10 +1,12 @@
 //! STC: top-`q` masking on clients and server (Sattler et al. 2019).
 
 use super::{Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::accumulate_uploads;
+use crate::scratch::ScratchPool;
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::{CompensationMode, ErrorCompensator};
 use gluefl_sampling::{ClientId, UniformSampler};
-use gluefl_tensor::{top_k_abs_masked, BitMask, SparseUpdate, TopKScope};
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
 /// The masking-only STC of Algorithm 1: clients upload `top_q(Δ_i)` (with
@@ -102,38 +104,65 @@ impl Strategy for StcStrategy {
         0
     }
 
-    fn compress(&mut self, _round: u32, id: ClientId, _group: Group, delta: &mut [f32]) -> Upload {
+    fn compress(
+        &mut self,
+        _round: u32,
+        id: ClientId,
+        _group: Group,
+        delta: &mut [f32],
+        scratch: &mut ScratchPool,
+    ) -> Upload {
         // Error feedback: add the residual from the client's previous
         // participation, then sparsify, then remember the new residual.
         self.ec.apply(id, delta, 1.0);
         let k = keep_count(self.trainable, self.q);
-        let idx = top_k_abs_masked(delta, k, TopKScope::Outside(&self.stats_excluded));
-        let sparse = SparseUpdate::gather(delta, &idx);
+        let idx = top_k_abs_masked_into(
+            delta,
+            k,
+            TopKScope::Outside(&self.stats_excluded),
+            &mut scratch.topk,
+        );
+        let sparse = SparseUpdate::gather(delta, idx);
         if self.quantize {
             // The residual must reflect what the server actually receives
             // (the dequantized values), so quantization loss is carried
             // into the next round too.
             let ternary = gluefl_compress::stc::TernaryUpdate::quantize(&sparse);
             self.ec
-                .record(id, delta, &ternary.dequantize().to_dense(), 1.0);
+                .record_sent_parts(id, delta, &[&ternary.dequantize()], 1.0);
             Upload::Ternary(ternary)
         } else {
-            self.ec.record(id, delta, &sparse.to_dense(), 1.0);
+            self.ec.record_sent_parts(id, delta, &[&sparse], 1.0);
             Upload::Sparse(sparse)
         }
     }
 
-    fn aggregate(&mut self, _round: u32, kept: &[(ClientId, Group, Upload)]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; self.dim];
-        for (id, group, upload) in kept {
-            upload.add_weighted_into(&mut acc, self.client_weight(*id, *group) as f32);
-        }
+    fn aggregate(
+        &mut self,
+        _round: u32,
+        kept: &[(ClientId, Group, Upload)],
+        scratch: &mut ScratchPool,
+    ) -> Vec<f32> {
+        let entries: Vec<(f32, &Upload)> = kept
+            .iter()
+            .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
+            .collect();
+        let acc = accumulate_uploads(&entries, self.dim, scratch);
         // Server-side masking (Algorithm 1 line 17): keep top q of the
         // aggregate, zero the rest.
+        let mut masked = scratch.take_zeroed(self.dim);
         let k = keep_count(self.trainable, self.q);
-        let idx = top_k_abs_masked(&acc, k, TopKScope::Outside(&self.stats_excluded));
-        let masked = SparseUpdate::gather(&acc, &idx);
-        masked.to_dense()
+        let idx = top_k_abs_masked_into(
+            &acc,
+            k,
+            TopKScope::Outside(&self.stats_excluded),
+            &mut scratch.topk,
+        );
+        for &i in idx {
+            masked[i] = acc[i];
+        }
+        scratch.put(acc);
+        masked
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -145,23 +174,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn strategy(q: f64) -> StcStrategy {
-        StcStrategy::new(
-            10,
-            3,
-            1.0,
-            vec![0.1; 10],
-            q,
-            8,
-            8,
-            BitMask::zeros(8),
-        )
+        StcStrategy::new(10, 3, 1.0, vec![0.1; 10], q, 8, 8, BitMask::zeros(8))
     }
 
     #[test]
     fn upload_is_top_q_sparse() {
         let mut s = strategy(0.25);
         let mut delta = vec![0.1f32, -9.0, 0.2, 8.0, 0.0, 0.0, 0.0, 0.0];
-        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(0, 0, Group::Fresh, &mut delta, &mut pool);
         match up {
             Upload::Sparse(u) => {
                 assert_eq!(u.indices(), &[1, 3]);
@@ -175,11 +196,12 @@ mod tests {
         let mut s = strategy(0.25);
         // Round 1: client 5 sends top-2 of [4,3,2,1,...]; residual = rest.
         let mut d1 = vec![4.0f32, 3.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0];
-        let _ = s.compress(0, 5, Group::Fresh, &mut d1);
+        let mut pool = ScratchPool::new();
+        let _ = s.compress(0, 5, Group::Fresh, &mut d1, &mut pool);
         // Round 2: zero fresh delta; compensation resurrects the residual,
         // so the upload now contains the previously-dropped coordinates.
         let mut d2 = vec![0.0f32; 8];
-        let up = s.compress(1, 5, Group::Fresh, &mut d2);
+        let up = s.compress(1, 5, Group::Fresh, &mut d2, &mut pool);
         match up {
             Upload::Sparse(u) => {
                 assert_eq!(u.indices(), &[2, 3]);
@@ -193,17 +215,20 @@ mod tests {
     fn aggregate_is_server_masked() {
         let mut s = strategy(0.25);
         // Two clients agree on positions 0, 7; noise elsewhere.
-        let mk = |vals: Vec<(u32, f32)>| {
-            Upload::Sparse(SparseUpdate::from_pairs(8, vals))
-        };
+        let mk = |vals: Vec<(u32, f32)>| Upload::Sparse(SparseUpdate::from_pairs(8, vals));
         let kept = vec![
             (0usize, Group::Fresh, mk(vec![(0, 5.0), (6, 0.1)])),
             (1usize, Group::Fresh, mk(vec![(0, 5.0), (7, 6.0)])),
         ];
-        let agg = s.aggregate(0, &kept);
+        let mut pool = ScratchPool::new();
+        let agg = s.aggregate(0, &kept, &mut pool);
         // top 25% of 8 = 2 positions survive: 0 (sum 10·w) and 7 (6·w).
-        let nonzero: Vec<usize> =
-            agg.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i).collect();
+        let nonzero: Vec<usize> = agg
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(nonzero, vec![0, 7]);
     }
 
@@ -212,12 +237,18 @@ mod tests {
         let mut s = strategy(0.25);
         let kept: Vec<(ClientId, Group, Upload)> = (0..3)
             .map(|i| {
-                let vals: Vec<(u32, f32)> =
-                    (0..8).map(|j| (j as u32, (i + 1) as f32 * (j as f32 - 3.5))).collect();
-                (i, Group::Fresh, Upload::Sparse(SparseUpdate::from_pairs(8, vals)))
+                let vals: Vec<(u32, f32)> = (0..8)
+                    .map(|j| (j as u32, (i + 1) as f32 * (j as f32 - 3.5)))
+                    .collect();
+                (
+                    i,
+                    Group::Fresh,
+                    Upload::Sparse(SparseUpdate::from_pairs(8, vals)),
+                )
             })
             .collect();
-        let agg = s.aggregate(0, &kept);
+        let mut pool = ScratchPool::new();
+        let agg = s.aggregate(0, &kept, &mut pool);
         let changed = agg.iter().filter(|v| **v != 0.0).count();
         assert!(changed <= 2, "changed {changed} exceeds q·d = 2");
     }
@@ -228,7 +259,8 @@ mod tests {
         excluded.set(0, true); // pretend position 0 is a BN statistic
         let mut s = StcStrategy::new(10, 3, 1.0, vec![0.1; 10], 0.25, 7, 8, excluded);
         let mut delta = vec![100.0f32, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0];
-        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(0, 0, Group::Fresh, &mut delta, &mut pool);
         match up {
             Upload::Sparse(u) => {
                 assert!(!u.indices().contains(&0), "selected excluded position");
@@ -240,24 +272,22 @@ mod tests {
     #[test]
     fn quantized_upload_costs_fewer_bytes() {
         let mut plain = strategy(0.5);
-        let mut quant = StcStrategy::new(
-            10, 3, 1.0, vec![0.1; 10], 0.5, 8, 8, BitMask::zeros(8),
-        )
-        .with_quantization();
+        let mut quant = StcStrategy::new(10, 3, 1.0, vec![0.1; 10], 0.5, 8, 8, BitMask::zeros(8))
+            .with_quantization();
         let delta = vec![4.0f32, -3.0, 2.0, -1.0, 0.5, 0.25, 0.1, 0.05];
-        let up_plain = plain.compress(0, 0, Group::Fresh, &mut delta.clone());
-        let up_quant = quant.compress(0, 0, Group::Fresh, &mut delta.clone());
+        let mut pool = ScratchPool::new();
+        let up_plain = plain.compress(0, 0, Group::Fresh, &mut delta.clone(), &mut pool);
+        let up_quant = quant.compress(0, 0, Group::Fresh, &mut delta.clone(), &mut pool);
         assert!(up_quant.bytes() < up_plain.bytes());
     }
 
     #[test]
     fn quantized_upload_preserves_signs_and_support() {
-        let mut s = StcStrategy::new(
-            10, 3, 1.0, vec![0.1; 10], 0.5, 8, 8, BitMask::zeros(8),
-        )
-        .with_quantization();
+        let mut s = StcStrategy::new(10, 3, 1.0, vec![0.1; 10], 0.5, 8, 8, BitMask::zeros(8))
+            .with_quantization();
         let mut delta = vec![4.0f32, -3.0, 2.0, -1.0, 0.0, 0.0, 0.0, 0.0];
-        let up = s.compress(0, 0, Group::Fresh, &mut delta);
+        let mut pool = ScratchPool::new();
+        let up = s.compress(0, 0, Group::Fresh, &mut delta, &mut pool);
         match up {
             Upload::Ternary(t) => {
                 let back = t.dequantize();
@@ -272,16 +302,15 @@ mod tests {
 
     #[test]
     fn quantization_error_is_carried_by_feedback() {
-        let mut s = StcStrategy::new(
-            10, 3, 1.0, vec![0.1; 10], 1.0, 4, 4, BitMask::zeros(4),
-        )
-        .with_quantization();
+        let mut s = StcStrategy::new(10, 3, 1.0, vec![0.1; 10], 1.0, 4, 4, BitMask::zeros(4))
+            .with_quantization();
         // q = 1: everything is kept, only quantization loses information.
         let mut d1 = vec![4.0f32, 2.0, 0.0, 0.0];
-        let _ = s.compress(0, 7, Group::Fresh, &mut d1);
+        let mut pool = ScratchPool::new();
+        let _ = s.compress(0, 7, Group::Fresh, &mut d1, &mut pool);
         // Sent sign·μ = ±3: residuals are (1, −1, 0, 0).
         let mut d2 = vec![0.0f32; 4];
-        let up = s.compress(1, 7, Group::Fresh, &mut d2);
+        let up = s.compress(1, 7, Group::Fresh, &mut d2, &mut pool);
         match up {
             Upload::Ternary(t) => {
                 let back = t.dequantize();

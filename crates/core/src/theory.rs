@@ -33,7 +33,10 @@
 pub fn variance_constant_a(n: usize, k: usize, s: usize, c: usize, weights: &[f64]) -> f64 {
     assert_eq!(weights.len(), n, "weights length must equal population");
     assert!(k > 0 && k <= n, "need 0 < k <= n");
-    assert!(c <= s && c < k || (s == 0 && c == 0), "invalid sticky configuration");
+    assert!(
+        c <= s && c < k || (s == 0 && c == 0),
+        "invalid sticky configuration"
+    );
     assert!(s < n, "sticky group must leave non-sticky clients");
     let sum_p2: f64 = weights.iter().map(|p| p * p).sum();
     let (nf, kf, sf, cf) = (n as f64, k as f64, s as f64, c as f64);
@@ -206,7 +209,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(4);
         let mut model = Mlp::new(
-            MlpConfig { input_dim: 6, hidden: vec![8], classes: 3, batch_norm: false },
+            MlpConfig {
+                input_dim: 6,
+                hidden: vec![8],
+                classes: 3,
+                batch_norm: false,
+            },
             &mut rng,
         );
         let grads: Vec<Vec<f32>> = (0..6)

@@ -259,7 +259,11 @@ impl SyntheticFlDataset {
             }
             y.push(c);
         }
-        ClientDataset { x, y, feature_dim: dim }
+        ClientDataset {
+            x,
+            y,
+            feature_dim: dim,
+        }
     }
 
     /// The held-out test set `(features, labels)`.
@@ -362,20 +366,35 @@ mod tests {
     #[test]
     fn labels_are_skewed_and_heterogeneous() {
         let d = small();
-        // Each client holds few distinct classes...
+        // Each client holds few distinct classes *on average* (the count
+        // is geometric around classes_per_client_mean = 3, so individual
+        // clients may exceed it) and never the full label space...
         let mut all_class_sets = Vec::new();
         for i in 0..20 {
             let c = d.client(i);
             let mut classes: Vec<usize> = c.y.clone();
             classes.sort_unstable();
             classes.dedup();
-            assert!(classes.len() <= 8, "client {i} holds {} classes", classes.len());
+            assert!(
+                classes.len() < 10,
+                "client {i} holds all {} classes",
+                classes.len()
+            );
             all_class_sets.push(classes);
         }
+        let mean_classes: f64 = all_class_sets.iter().map(|s| s.len() as f64).sum::<f64>() / 20.0;
+        assert!(
+            mean_classes <= 6.0,
+            "mean distinct classes {mean_classes} not skewed"
+        );
         // ...and different clients hold different classes.
         let distinct: std::collections::HashSet<Vec<usize>> =
             all_class_sets.iter().cloned().collect();
-        assert!(distinct.len() > 5, "only {} distinct class sets", distinct.len());
+        assert!(
+            distinct.len() > 5,
+            "only {} distinct class sets",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -430,7 +449,12 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = Mlp::new(
-            MlpConfig { input_dim: 16, hidden: vec![32], classes: 10, batch_norm: false },
+            MlpConfig {
+                input_dim: 16,
+                hidden: vec![32],
+                classes: 10,
+                batch_norm: false,
+            },
             &mut rng,
         );
         let mut opt = Sgd::new(model.num_params(), 0.1, 0.9);
@@ -454,7 +478,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot sample from an empty dataset")]
     fn empty_batch_panics() {
-        let c = ClientDataset { x: vec![], y: vec![], feature_dim: 4 };
+        let c = ClientDataset {
+            x: vec![],
+            y: vec![],
+            feature_dim: 4,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let _ = c.sample_batch(&mut rng, 1);
     }

@@ -149,9 +149,7 @@ impl ParamLayout {
     #[must_use]
     pub fn kind_at(&self, i: usize) -> ParamKind {
         assert!(i < self.total, "offset {i} out of range {}", self.total);
-        let idx = self
-            .segments
-            .partition_point(|s| s.end <= i);
+        let idx = self.segments.partition_point(|s| s.end <= i);
         self.segments[idx].kind
     }
 

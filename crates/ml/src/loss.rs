@@ -11,12 +11,7 @@ pub fn log_softmax_rows(logits: &mut [f32], rows: usize, classes: usize) {
     for r in 0..rows {
         let row = &mut logits[r * classes..(r + 1) * classes];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum: f32 = row
-            .iter()
-            .map(|&v| (v - max).exp())
-            .sum::<f32>()
-            .ln()
-            + max;
+        let log_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
         for v in row.iter_mut() {
             *v -= log_sum;
         }

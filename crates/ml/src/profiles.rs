@@ -171,7 +171,11 @@ mod tests {
 
     #[test]
     fn dataset_model_roundtrip() {
-        for dm in [DatasetModel::ShuffleNet, DatasetModel::MobileNet, DatasetModel::ResNet34] {
+        for dm in [
+            DatasetModel::ShuffleNet,
+            DatasetModel::MobileNet,
+            DatasetModel::ResNet34,
+        ] {
             let parsed: DatasetModel = dm.name().parse().unwrap();
             assert_eq!(parsed, dm);
             let _ = dm.profile();

@@ -51,7 +51,10 @@ impl AvailabilityTrace {
             (0.0..1.0).contains(&online_fraction) && online_fraction > 0.0,
             "online fraction must be in (0,1)"
         );
-        assert!(mean_session_rounds >= 1.0, "mean session must be >= 1 round");
+        assert!(
+            mean_session_rounds >= 1.0,
+            "mean session must be >= 1 round"
+        );
         // Geometric session length: mean = 1/p_leave.
         let p_leave = 1.0 / mean_session_rounds;
         // Stationary fraction f = p_join/(p_join + p_leave)
@@ -303,7 +306,10 @@ mod tests {
             max - min > 0.1,
             "population swing too small: {min:.3}..{max:.3}"
         );
-        assert!(max <= 0.95 && min >= 0.1, "swing out of range {min:.3}..{max:.3}");
+        assert!(
+            max <= 0.95 && min >= 0.1,
+            "swing out of range {min:.3}..{max:.3}"
+        );
     }
 
     #[test]

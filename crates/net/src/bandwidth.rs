@@ -61,20 +61,38 @@ impl NetworkProfile {
             // Median down 30 Mbps, median up 17 Mbps → same-size transfers
             // upload ≈1.7× slower than they download (§5.4).
             NetworkProfile::MlabEdge => ProfileParams {
-                down: LogNormal { mu: 30.0f64.ln(), sigma: 1.3 },
-                up: LogNormal { mu: 17.0f64.ln(), sigma: 1.5 },
+                down: LogNormal {
+                    mu: 30.0f64.ln(),
+                    sigma: 1.3,
+                },
+                up: LogNormal {
+                    mu: 17.0f64.ln(),
+                    sigma: 1.5,
+                },
                 rho: 0.6,
                 clamp: (0.1, 2_000.0),
             },
             NetworkProfile::Commercial5G => ProfileParams {
-                down: LogNormal { mu: 400.0f64.ln(), sigma: 0.8 },
-                up: LogNormal { mu: 40.0f64.ln(), sigma: 0.7 },
+                down: LogNormal {
+                    mu: 400.0f64.ln(),
+                    sigma: 0.8,
+                },
+                up: LogNormal {
+                    mu: 40.0f64.ln(),
+                    sigma: 0.7,
+                },
                 rho: 0.5,
                 clamp: (5.0, 4_000.0),
             },
             NetworkProfile::Datacenter => ProfileParams {
-                down: LogNormal { mu: 8_000.0f64.ln(), sigma: 0.2 },
-                up: LogNormal { mu: 8_000.0f64.ln(), sigma: 0.2 },
+                down: LogNormal {
+                    mu: 8_000.0f64.ln(),
+                    sigma: 0.2,
+                },
+                up: LogNormal {
+                    mu: 8_000.0f64.ln(),
+                    sigma: 0.2,
+                },
                 rho: 0.9,
                 clamp: (1_000.0, 32_000.0),
             },

@@ -62,7 +62,9 @@ impl DeviceProfile {
     #[must_use]
     pub fn sample_speed<R: Rng>(&self, rng: &mut R) -> f64 {
         let z = standard_normal(rng);
-        (self.speed_sigma * z).exp().clamp(self.clamp.0, self.clamp.1)
+        (self.speed_sigma * z)
+            .exp()
+            .clamp(self.clamp.0, self.clamp.1)
     }
 
     /// Samples `n` speed multipliers.
@@ -101,9 +103,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let speeds = p.sample_speeds(&mut rng, 10_000);
         assert!(speeds.iter().all(|&s| (0.2..=8.0).contains(&s)));
-        let mean_log: f64 =
-            speeds.iter().map(|s| s.ln()).sum::<f64>() / speeds.len() as f64;
-        assert!(mean_log.abs() < 0.05, "median multiplier should be ~1, log mean {mean_log}");
+        let mean_log: f64 = speeds.iter().map(|s| s.ln()).sum::<f64>() / speeds.len() as f64;
+        assert!(
+            mean_log.abs() < 0.05,
+            "median multiplier should be ~1, log mean {mean_log}"
+        );
     }
 
     #[test]

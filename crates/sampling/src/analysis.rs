@@ -68,7 +68,10 @@ pub fn uniform_expected_resample_rounds(n: usize, k: usize) -> f64 {
 /// ```
 #[must_use]
 pub fn sticky_resample_prob(n: usize, k: usize, s: usize, c: usize, r: u32) -> f64 {
-    assert!(c > 0 && c <= k && k <= s && s < n, "need 0 < c <= k <= s < n");
+    assert!(
+        c > 0 && c <= k && k <= s && s < n,
+        "need 0 < c <= k <= s < n"
+    );
     assert!(r > 0, "round offset r must be positive");
     let (nf, kf, sf, cf) = (n as f64, k as f64, s as f64, c as f64);
     let denom = (nf - sf) * kf - (kf - cf) * sf;
@@ -167,11 +170,7 @@ mod tests {
         let expected = [0.200, 0.150, 0.112, 0.085, 0.064, 0.048];
         for (i, &e) in expected.iter().enumerate() {
             let p = sticky_resample_prob(2800, 30, 120, 24, i as u32 + 1);
-            assert!(
-                (p - e).abs() < 1.2e-3,
-                "r={} expected {e} got {p}",
-                i + 1
-            );
+            assert!((p - e).abs() < 1.2e-3, "r={} expected {e} got {p}", i + 1);
         }
     }
 

@@ -51,7 +51,9 @@ impl MdSampler {
     /// Weights are normalised internally, so they need not sum to exactly 1.
     pub fn new(weights: Vec<f64>) -> Result<Self, InvalidWeightsError> {
         if weights.is_empty() {
-            return Err(InvalidWeightsError { what: "empty weight vector" });
+            return Err(InvalidWeightsError {
+                what: "empty weight vector",
+            });
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(InvalidWeightsError {
@@ -60,7 +62,9 @@ impl MdSampler {
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return Err(InvalidWeightsError { what: "weights sum to zero" });
+            return Err(InvalidWeightsError {
+                what: "weights sum to zero",
+            });
         }
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;

@@ -87,7 +87,10 @@ pub fn plan(k: usize, c: usize, oc: f64, strategy: OcStrategy) -> OcPlan {
             }
         }
         OcStrategy::StickyFraction(f) => {
-            assert!((0.0..=1.0).contains(&f), "sticky fraction {f} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "sticky fraction {f} outside [0,1]"
+            );
             f
         }
     };
@@ -121,9 +124,7 @@ mod tests {
     fn table3a_rows() {
         // Rows of Table 3a: 10% → 1:8, 30% → 3:6, 50% → 5:4 (approx;
         // 0.3·30 = 9 extras).
-        for (frac, sticky_extra, fresh_extra) in
-            [(0.1, 1, 8), (0.3, 3, 6), (0.5, 5, 4)]
-        {
+        for (frac, sticky_extra, fresh_extra) in [(0.1, 1, 8), (0.3, 3, 6), (0.5, 5, 4)] {
             let p = plan(30, 24, 1.3, OcStrategy::StickyFraction(frac));
             assert_eq!(
                 (p.sticky_invites - 24, p.fresh_invites - 6),

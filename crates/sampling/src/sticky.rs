@@ -67,7 +67,10 @@ pub struct StickyWeights {
 /// ```
 #[must_use]
 pub fn sticky_weights(n: usize, s: usize, c: usize, k: usize) -> StickyWeights {
-    assert!(c > 0 && c <= s && s <= n && c <= k, "invalid sticky configuration");
+    assert!(
+        c > 0 && c <= s && s <= n && c <= k,
+        "invalid sticky configuration"
+    );
     let fresh_factor = if k == c {
         0.0
     } else {
@@ -129,7 +132,11 @@ impl StickySampler {
         for &c in &sticky {
             in_sticky[c] = true;
         }
-        Self { n, in_sticky, sticky }
+        Self {
+            n,
+            in_sticky,
+            sticky,
+        }
     }
 
     /// Total number of clients `N`.

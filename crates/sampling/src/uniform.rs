@@ -52,12 +52,7 @@ impl UniformSampler {
     /// # Panics
     /// Panics if `available` is provided with length `!= N`.
     #[must_use]
-    pub fn draw<R: Rng>(
-        &self,
-        rng: &mut R,
-        k: usize,
-        available: Option<&[bool]>,
-    ) -> Vec<ClientId> {
+    pub fn draw<R: Rng>(&self, rng: &mut R, k: usize, available: Option<&[bool]>) -> Vec<ClientId> {
         if let Some(a) = available {
             assert_eq!(a.len(), self.n, "availability vector length mismatch");
         }

@@ -215,18 +215,135 @@ impl BitMask {
         }
     }
 
+    /// Iterates over the *unset* positions in increasing order.
+    ///
+    /// Word-level: whole all-ones words are skipped in one step, so
+    /// enumerating the complement of a dense mask costs `O(d/64 + zeros)`
+    /// rather than `O(d)` per-bit tests.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(5, [0usize, 2, 3]);
+    /// assert_eq!(m.iter_zeros().collect::<Vec<_>>(), vec![1, 4]);
+    /// // iter_ones and iter_zeros partition the positions.
+    /// assert_eq!(m.iter_ones().count() + m.iter_zeros().count(), 5);
+    /// ```
+    #[must_use]
+    pub fn iter_zeros(&self) -> ZeroBits<'_> {
+        ZeroBits {
+            mask: self,
+            word_idx: 0,
+            current: self.complement_word(0),
+        }
+    }
+
+    /// Calls `f` with each set position in increasing order.
+    ///
+    /// Equivalent to `for i in self.iter_ones() { f(i) }` but with the
+    /// word loop inlined — this is the preferred form in hot paths.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(130, [1usize, 64, 129]);
+    /// let mut got = Vec::new();
+    /// m.for_each_one(|i| got.push(i));
+    /// assert_eq!(got, vec![1, 64, 129]);
+    /// ```
+    pub fn for_each_one(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            let base = wi * 64;
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// The backing `u64` words, least-significant bit first. Unused tail
+    /// bits of the last word are always zero.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Adds `scale × values[j]` to the `j`-th covered position of `dense`,
+    /// where `values` is packed in increasing position order.
+    ///
+    /// This is the aggregation kernel for mask-aligned uploads: when many
+    /// clients share the same mask, their value arrays can be summed
+    /// contiguously and scattered through the mask once.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != self.len()` or `values.len()` differs
+    /// from the number of set bits.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(4, [1usize, 3]);
+    /// let mut dense = vec![0.0f32; 4];
+    /// m.scatter_add(&mut dense, &[10.0, 20.0], 0.5);
+    /// assert_eq!(dense, vec![0.0, 5.0, 0.0, 10.0]);
+    /// ```
+    pub fn scatter_add(&self, dense: &mut [f32], values: &[f32], scale: f32) {
+        assert_eq!(dense.len(), self.len, "mask/vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.count_ones(),
+            "values length must equal count_ones"
+        );
+        let mut j = 0usize;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            let base = wi * 64;
+            while w != 0 {
+                let i = base + w.trailing_zeros() as usize;
+                dense[i] += scale * values[j];
+                j += 1;
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Zeroes every position of `dense` that the mask does not cover
     /// (the `M ⊙ Δ` operation of Algorithm 3 line 16).
+    ///
+    /// Word-level: all-ones words are skipped, all-zero words become a
+    /// single `fill`, and only mixed words fall back to per-bit tests.
     ///
     /// # Panics
     /// Panics if `dense.len() != self.len()`.
     pub fn apply_to(&self, dense: &mut [f32]) {
         assert_eq!(dense.len(), self.len, "mask/vector length mismatch");
-        for (i, v) in dense.iter_mut().enumerate() {
-            if !self.get(i) {
-                *v = 0.0;
+        for (chunk, &w) in dense.chunks_mut(64).zip(&self.words) {
+            if w == u64::MAX {
+                continue;
+            }
+            if w == 0 {
+                chunk.fill(0.0);
+                continue;
+            }
+            for (b, v) in chunk.iter_mut().enumerate() {
+                if (w >> b) & 1 == 0 {
+                    *v = 0.0;
+                }
             }
         }
+    }
+
+    /// Complement of word `wi` with the unused tail bits cleared.
+    fn complement_word(&self, wi: usize) -> u64 {
+        let Some(&w) = self.words.get(wi) else {
+            return 0;
+        };
+        let mut c = !w;
+        if wi == self.words.len() - 1 {
+            let tail = self.len % 64;
+            if tail != 0 {
+                c &= (1u64 << tail) - 1;
+            }
+        }
+        c
     }
 
     fn zip_words(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
@@ -293,6 +410,34 @@ impl Iterator for SetBits<'_> {
     }
 }
 
+/// Iterator over the *unset* bit positions of a [`BitMask`], in
+/// increasing order. Produced by [`BitMask::iter_zeros`].
+#[derive(Debug, Clone)]
+pub struct ZeroBits<'a> {
+    mask: &'a BitMask,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ZeroBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.mask.words.len() {
+                return None;
+            }
+            self.current = self.mask.complement_word(self.word_idx);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,10 +478,7 @@ mod tests {
         let a = BitMask::from_indices(10, [1usize, 2, 3]);
         let b = BitMask::from_indices(10, [3usize, 4]);
         assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![3]);
-        assert_eq!(
-            a.or(&b).iter_ones().collect::<Vec<_>>(),
-            vec![1, 2, 3, 4]
-        );
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
         assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(a.overlap(&b), 1);
     }
@@ -362,6 +504,71 @@ mod tests {
         let mut v = vec![1.0f32, 2.0, 3.0, 4.0];
         m.apply_to(&mut v);
         assert_eq!(v, vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn apply_to_matches_per_bit_reference() {
+        for len in [0usize, 1, 63, 64, 65, 130, 200] {
+            let m = BitMask::from_indices(len, (0..len).filter(|i| i % 3 == 0));
+            let mut fast: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let mut slow = fast.clone();
+            m.apply_to(&mut fast);
+            for (i, v) in slow.iter_mut().enumerate() {
+                if !m.get(i) {
+                    *v = 0.0;
+                }
+            }
+            assert_eq!(fast, slow, "len={len}");
+        }
+    }
+
+    #[test]
+    fn iter_zeros_is_complement_of_iter_ones() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let m = BitMask::from_indices(len, (0..len).filter(|i| i % 7 == 0 || i % 5 == 2));
+            let zeros: Vec<usize> = m.iter_zeros().collect();
+            let expected: Vec<usize> = (0..len).filter(|&i| !m.get(i)).collect();
+            assert_eq!(zeros, expected, "len={len}");
+            assert_eq!(m.iter_zeros().count() + m.iter_ones().count(), len);
+        }
+    }
+
+    #[test]
+    fn iter_zeros_skips_full_words() {
+        let m = BitMask::ones(200);
+        assert_eq!(m.iter_zeros().count(), 0);
+        let z = BitMask::zeros(130);
+        assert_eq!(
+            z.iter_zeros().collect::<Vec<_>>(),
+            (0..130).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones() {
+        let idx = vec![0usize, 1, 63, 64, 65, 127, 128, 199];
+        let m = BitMask::from_indices(200, idx.iter().copied());
+        let mut got = Vec::new();
+        m.for_each_one(|i| got.push(i));
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_in_order() {
+        let m = BitMask::from_indices(70, [0usize, 64, 69]);
+        let mut dense = vec![1.0f32; 70];
+        m.scatter_add(&mut dense, &[1.0, 2.0, 3.0], 2.0);
+        assert_eq!(dense[0], 3.0);
+        assert_eq!(dense[64], 5.0);
+        assert_eq!(dense[69], 7.0);
+        assert_eq!(dense[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "count_ones")]
+    fn scatter_add_rejects_wrong_value_count() {
+        let m = BitMask::from_indices(8, [1usize, 2]);
+        m.scatter_add(&mut [0.0; 8], &[1.0], 1.0);
     }
 
     #[test]

@@ -13,9 +13,34 @@
 //! * [`SparseUpdate`] — an (indices, values) view of a masked model delta,
 //!   with the wire-size accounting (`bitmap` vs `index` encoding) used for
 //!   all bandwidth measurements in the evaluation.
-//! * [`vecops`] — axpy/scale/dot kernels shared by the ML substrate.
+//! * [`vecops`] — axpy/scale/dot kernels shared by the ML substrate, plus
+//!   fused masked kernels for the round hot path.
 //! * [`rng`] — deterministic seed derivation so that every experiment in the
 //!   workspace is exactly reproducible from one master seed.
+//!
+//! # Kernel-layer invariants
+//!
+//! The hot-path kernels in this crate uphold three contracts that the
+//! strategy and simulator layers rely on:
+//!
+//! * **Determinism.** Every kernel is a pure function of its inputs:
+//!   identical slices and masks produce bit-identical outputs on every
+//!   platform and run. Reductions ([`vecops::dot`], [`vecops::l2_norm`])
+//!   use a fixed lane-accumulator order; nothing depends on thread
+//!   schedule or allocation state.
+//! * **Tie-breaking.** [`top_k_abs`] / [`top_k_abs_masked`] rank by
+//!   magnitude descending, then index ascending; NaN magnitudes rank
+//!   below every finite magnitude. The returned indices are always
+//!   strictly increasing. Any reimplementation (reference or
+//!   accelerated) must reproduce this exact order.
+//! * **Scratch-buffer ownership.** Kernels never retain references to
+//!   caller memory. [`TopKScratch`] is owned by the *caller* (one per
+//!   simulation or per thread, never shared concurrently); its contents
+//!   are unspecified between calls, and the slice returned by
+//!   [`top_k_abs_masked_into`] is valid only until the next call that
+//!   borrows the scratch. Masked kernels read [`BitMask::as_words`]
+//!   directly and assume the documented invariant that tail bits beyond
+//!   `len` are zero.
 //!
 //! # Example
 //!
@@ -45,7 +70,7 @@ mod topk;
 pub mod vecops;
 pub mod wire;
 
-pub use bitmask::{BitMask, SetBits};
+pub use bitmask::{BitMask, SetBits, ZeroBits};
 pub use sparse::SparseUpdate;
-pub use topk::{top_k_abs, top_k_abs_masked, TopKScope};
+pub use topk::{top_k_abs, top_k_abs_masked, top_k_abs_masked_into, TopKScope, TopKScratch};
 pub use wire::{WireCost, WireEncoding, BYTES_PER_VALUE};

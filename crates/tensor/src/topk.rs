@@ -1,10 +1,31 @@
 //! Exact top-k selection by absolute value.
 //!
 //! Sparsification in STC and GlueFL is the `top_q(·)` operator: keep the `k`
-//! coordinates of a delta with the largest magnitudes. We implement an exact
-//! selection via `select_nth_unstable_by` (introselect, O(d) average) with a
-//! deterministic magnitude-then-index tie-break, so results are reproducible
-//! across runs and platforms regardless of the unstable partition order.
+//! coordinates of a delta with the largest magnitudes. The kernel here is a
+//! two-pass threshold-count selection over a reusable scratch arena:
+//!
+//! 1. **Candidate pass** — the scope's candidate positions are enumerated
+//!    at word level (`u64` words walked with `trailing_zeros`, so an
+//!    `Outside` scope over a dense mask costs `O(d/64 + candidates)`
+//!    instead of `d` per-bit tests) and their magnitude keys are packed
+//!    into a flat `f32` arena.
+//! 2. **Threshold** — introselect (`select_nth_unstable_by`, O(n) average)
+//!    over the flat keys finds the k-th largest magnitude. Selecting over
+//!    contiguous keys instead of indices avoids an indirect `values[i]`
+//!    load per comparison.
+//! 3. **Emit pass** — candidates are re-walked in increasing position
+//!    order; every key above the threshold is emitted, and ties *at* the
+//!    threshold fill the remaining slots smallest-index-first. The output
+//!    is therefore already sorted — no final sort — and the tie-break
+//!    (magnitude, then smaller index) is identical to a full stable
+//!    ranking, so results are reproducible across runs and platforms.
+//!
+//! NaN magnitudes are mapped below every finite magnitude before any
+//! comparison, in both passes, so the selection is total and exact.
+//!
+//! All allocation lives in [`TopKScratch`]; the `*_into` entry points are
+//! allocation-free after warm-up, which is what the per-round hot paths
+//! (`Strategy::compress` / `Strategy::aggregate`) use.
 
 use crate::BitMask;
 
@@ -21,6 +42,87 @@ pub enum TopKScope<'a> {
     Inside(&'a BitMask),
     /// Consider only coordinates *not* covered by the mask.
     Outside(&'a BitMask),
+}
+
+/// Reusable buffers for [`top_k_abs_masked_into`].
+///
+/// Owning one `TopKScratch` per simulation (or per thread) makes repeated
+/// top-k calls allocation-free once the buffers have grown to the model
+/// dimension.
+#[derive(Debug, Clone, Default)]
+pub struct TopKScratch {
+    /// Magnitude keys of the scope's candidates (NaN mapped to −1).
+    keys: Vec<f32>,
+    /// Output arena for the selected indices.
+    out: Vec<usize>,
+}
+
+impl TopKScratch {
+    /// Creates an empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch arena pre-sized for dimension-`dim` selections.
+    #[must_use]
+    pub fn with_capacity(dim: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(dim),
+            out: Vec::with_capacity(dim),
+        }
+    }
+}
+
+/// The magnitude rank key: NaN sorts below every finite magnitude.
+#[inline]
+fn key_of(v: f32) -> f32 {
+    let m = v.abs();
+    if m.is_nan() {
+        -1.0
+    } else {
+        m
+    }
+}
+
+/// Walks the scope's candidate positions in increasing order, calling
+/// `f(position, key)` for each.
+#[inline]
+fn for_each_candidate(values: &[f32], scope: TopKScope<'_>, mut f: impl FnMut(usize, f32)) {
+    match scope {
+        TopKScope::All => {
+            for (i, &v) in values.iter().enumerate() {
+                f(i, key_of(v));
+            }
+        }
+        TopKScope::Inside(m) => {
+            for (wi, &word) in m.as_words().iter().enumerate() {
+                let mut w = word;
+                let base = wi * 64;
+                while w != 0 {
+                    let i = base + w.trailing_zeros() as usize;
+                    f(i, key_of(values[i]));
+                    w &= w - 1;
+                }
+            }
+        }
+        TopKScope::Outside(m) => {
+            let words = m.as_words();
+            let tail = m.len() % 64;
+            for (wi, &word) in words.iter().enumerate() {
+                let mut w = !word;
+                if wi == words.len() - 1 && tail != 0 {
+                    w &= (1u64 << tail) - 1;
+                }
+                let base = wi * 64;
+                while w != 0 {
+                    let i = base + w.trailing_zeros() as usize;
+                    f(i, key_of(values[i]));
+                    w &= w - 1;
+                }
+            }
+        }
+    }
 }
 
 /// Returns the indices of the `k` largest-magnitude entries of `values`,
@@ -47,6 +149,9 @@ pub fn top_k_abs(values: &[f32], k: usize) -> Vec<usize> {
 /// candidates. NaN magnitudes are treated as smaller than every finite
 /// magnitude (they are only selected when nothing else is left).
 ///
+/// Allocates fresh buffers per call; hot paths should hold a
+/// [`TopKScratch`] and use [`top_k_abs_masked_into`] instead.
+///
 /// # Panics
 ///
 /// Panics if a scope mask's length differs from `values.len()`.
@@ -65,45 +170,83 @@ pub fn top_k_abs(values: &[f32], k: usize) -> Vec<usize> {
 /// ```
 #[must_use]
 pub fn top_k_abs_masked(values: &[f32], k: usize, scope: TopKScope<'_>) -> Vec<usize> {
-    let mut candidates: Vec<u32> = match scope {
-        TopKScope::All => (0..values.len() as u32).collect(),
-        TopKScope::Inside(m) => {
+    let mut scratch = TopKScratch::new();
+    top_k_abs_masked_into(values, k, scope, &mut scratch).to_vec()
+}
+
+/// Allocation-free [`top_k_abs_masked`]: selects into `scratch` and
+/// returns the sorted indices as a borrow of its output arena.
+///
+/// # Panics
+///
+/// Panics if a scope mask's length differs from `values.len()`.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_tensor::{top_k_abs_masked_into, TopKScope, TopKScratch};
+/// let mut scratch = TopKScratch::new();
+/// let v = [1.0f32, -5.0, 0.0, 5.0, 2.0];
+/// let idx = top_k_abs_masked_into(&v, 2, TopKScope::All, &mut scratch);
+/// assert_eq!(idx, &[1, 3]);
+/// ```
+pub fn top_k_abs_masked_into<'s>(
+    values: &[f32],
+    k: usize,
+    scope: TopKScope<'_>,
+    scratch: &'s mut TopKScratch,
+) -> &'s [usize] {
+    match scope {
+        TopKScope::Inside(m) | TopKScope::Outside(m) => {
             assert_eq!(m.len(), values.len(), "scope mask length mismatch");
-            m.iter_ones().map(|i| i as u32).collect()
         }
-        TopKScope::Outside(m) => {
-            assert_eq!(m.len(), values.len(), "scope mask length mismatch");
-            (0..values.len())
-                .filter(|&i| !m.get(i))
-                .map(|i| i as u32)
-                .collect()
-        }
-    };
-    if k == 0 || candidates.is_empty() {
-        return Vec::new();
+        TopKScope::All => {}
     }
-    if k >= candidates.len() {
-        return candidates.into_iter().map(|i| i as usize).collect();
+    scratch.out.clear();
+    if k == 0 {
+        return &scratch.out;
     }
 
-    // Rank key: larger magnitude first; ties toward the smaller index.
-    // NaN is mapped below every finite magnitude.
-    let key = |i: u32| -> (f32, std::cmp::Reverse<u32>) {
-        let m = values[i as usize].abs();
-        (if m.is_nan() { -1.0 } else { m }, std::cmp::Reverse(i))
-    };
-    let cmp = |a: &u32, b: &u32| {
-        let (ma, ia) = key(*a);
-        let (mb, ib) = key(*b);
-        // total order: descending magnitude, then ascending index
-        mb.partial_cmp(&ma)
-            .expect("magnitudes are never NaN after mapping")
-            .then(ib.cmp(&ia))
-    };
-    candidates.select_nth_unstable_by(k - 1, cmp);
-    candidates.truncate(k);
-    candidates.sort_unstable();
-    candidates.into_iter().map(|i| i as usize).collect()
+    // Pass 1: pack candidate keys into the flat arena.
+    scratch.keys.clear();
+    let keys = &mut scratch.keys;
+    for_each_candidate(values, scope, |_, key| keys.push(key));
+    let n = scratch.keys.len();
+    if n == 0 {
+        return &scratch.out;
+    }
+
+    if k >= n {
+        // The scope has no more than k candidates: emit them all.
+        let out = &mut scratch.out;
+        for_each_candidate(values, scope, |i, _| out.push(i));
+        return &scratch.out;
+    }
+
+    // Introselect the k-th largest key (descending order). Keys are never
+    // NaN (mapped to −1 above), so partial_cmp is total here.
+    scratch
+        .keys
+        .select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("keys are never NaN"));
+    let thr = scratch.keys[k - 1];
+    // After partitioning, the first k slots hold the top-k keys (in some
+    // order); count how many beat the threshold strictly. The remaining
+    // slots go to threshold ties, smallest index first.
+    let strictly = scratch.keys[..k].iter().filter(|&&x| x > thr).count();
+    let mut ties_left = k - strictly;
+
+    // Pass 2: emit in increasing index order.
+    let out = &mut scratch.out;
+    for_each_candidate(values, scope, |i, key| {
+        if key > thr {
+            out.push(i);
+        } else if key == thr && ties_left > 0 {
+            out.push(i);
+            ties_left -= 1;
+        }
+    });
+    debug_assert_eq!(scratch.out.len(), k);
+    &scratch.out
 }
 
 #[cfg(test)]
@@ -116,8 +259,16 @@ mod tests {
     fn top_k_by_sort(values: &[f32], k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..values.len()).collect();
         idx.sort_by(|&a, &b| {
-            let ma = if values[a].abs().is_nan() { -1.0 } else { values[a].abs() };
-            let mb = if values[b].abs().is_nan() { -1.0 } else { values[b].abs() };
+            let ma = if values[a].abs().is_nan() {
+                -1.0
+            } else {
+                values[a].abs()
+            };
+            let mb = if values[b].abs().is_nan() {
+                -1.0
+            } else {
+                values[b].abs()
+            };
             mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
         });
         idx.truncate(k.min(values.len()));
@@ -137,6 +288,36 @@ mod tests {
                 top_k_by_sort(&values, k),
                 "trial {trial} n={n} k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn matches_sort_reference_with_many_ties() {
+        // Quantized values force heavy magnitude ties, stressing the
+        // threshold tie-fill path.
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..200);
+            let values: Vec<f32> = (0..n).map(|_| (rng.gen_range(-3i32..4)) as f32).collect();
+            let k = rng.gen_range(0..=n);
+            assert_eq!(
+                top_k_abs(&values, k),
+                top_k_by_sort(&values, k),
+                "trial {trial} n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_consistent() {
+        let mut scratch = TopKScratch::with_capacity(64);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..64);
+            let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let k = rng.gen_range(0..=n);
+            let got = top_k_abs_masked_into(&values, k, TopKScope::All, &mut scratch).to_vec();
+            assert_eq!(got, top_k_by_sort(&values, k));
         }
     }
 
@@ -169,33 +350,75 @@ mod tests {
     }
 
     #[test]
+    fn all_nan_input_selects_by_index() {
+        let v = [f32::NAN, f32::NAN, f32::NAN];
+        assert_eq!(top_k_abs(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
     fn inside_scope_restricts_candidates() {
         let v = [10.0f32, 9.0, 8.0, 7.0];
         let m = BitMask::from_indices(4, [2usize, 3]);
-        assert_eq!(
-            top_k_abs_masked(&v, 1, TopKScope::Inside(&m)),
-            vec![2]
-        );
+        assert_eq!(top_k_abs_masked(&v, 1, TopKScope::Inside(&m)), vec![2]);
     }
 
     #[test]
     fn outside_scope_excludes_mask() {
         let v = [10.0f32, 9.0, 8.0, 7.0];
         let m = BitMask::from_indices(4, [0usize]);
-        assert_eq!(
-            top_k_abs_masked(&v, 2, TopKScope::Outside(&m)),
-            vec![1, 2]
-        );
+        assert_eq!(top_k_abs_masked(&v, 2, TopKScope::Outside(&m)), vec![1, 2]);
+    }
+
+    #[test]
+    fn scoped_selection_matches_filtered_reference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..300);
+            let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let density = rng.gen_range(0.0..1.0);
+            let mask = BitMask::from_indices(n, (0..n).filter(|_| rng.gen::<f64>() < density));
+            let k = rng.gen_range(0..=n);
+
+            // Reference: rank only the scope's candidates via full sort.
+            let reference = |keep: &dyn Fn(usize) -> bool| -> Vec<usize> {
+                let cands: Vec<usize> = (0..n).filter(|&i| keep(i)).collect();
+                let mut idx = cands.clone();
+                idx.sort_by(|&a, &b| {
+                    let ma = if values[a].abs().is_nan() {
+                        -1.0
+                    } else {
+                        values[a].abs()
+                    };
+                    let mb = if values[b].abs().is_nan() {
+                        -1.0
+                    } else {
+                        values[b].abs()
+                    };
+                    mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
+                });
+                idx.truncate(k.min(cands.len()));
+                idx.sort_unstable();
+                idx
+            };
+
+            assert_eq!(
+                top_k_abs_masked(&values, k, TopKScope::Inside(&mask)),
+                reference(&|i| mask.get(i)),
+                "trial {trial} inside n={n} k={k}"
+            );
+            assert_eq!(
+                top_k_abs_masked(&values, k, TopKScope::Outside(&mask)),
+                reference(&|i| !mask.get(i)),
+                "trial {trial} outside n={n} k={k}"
+            );
+        }
     }
 
     #[test]
     fn scope_with_fewer_candidates_than_k() {
         let v = [1.0f32, 2.0, 3.0];
         let m = BitMask::from_indices(3, [1usize]);
-        assert_eq!(
-            top_k_abs_masked(&v, 5, TopKScope::Inside(&m)),
-            vec![1]
-        );
+        assert_eq!(top_k_abs_masked(&v, 5, TopKScope::Inside(&m)), vec![1]);
     }
 
     #[test]

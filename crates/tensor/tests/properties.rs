@@ -113,3 +113,162 @@ proptest! {
         prop_assert_eq!(c.position_bytes, bitmap.min(index));
     }
 }
+
+/// Full-sort reference for scoped top-k with the documented tie-break
+/// (magnitude descending, then index ascending; NaN below everything).
+fn scoped_topk_reference(values: &[f32], k: usize, keep: impl Fn(usize) -> bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).filter(|&i| keep(i)).collect();
+    idx.sort_by(|&a, &b| {
+        let ma = if values[a].abs().is_nan() {
+            -1.0
+        } else {
+            values[a].abs()
+        };
+        let mb = if values[b].abs().is_nan() {
+            -1.0
+        } else {
+            values[b].abs()
+        };
+        mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
+    });
+    idx.truncate(k.min(idx.len()));
+    idx.sort_unstable();
+    idx
+}
+
+proptest! {
+    /// The word-level two-pass kernel is exactly the full-sort reference,
+    /// for every scope, across dimensions, k, and mask densities.
+    #[test]
+    fn topk_kernel_matches_reference_across_scopes(
+        v in proptest::collection::vec(-100.0f32..100.0, 0..400),
+        ones in proptest::collection::vec(any::<bool>(), 0..400),
+        k in 0usize..450,
+    ) {
+        let n = v.len().min(ones.len());
+        let v = &v[..n];
+        let mask = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        prop_assert_eq!(
+            top_k_abs_masked(v, k, TopKScope::All),
+            scoped_topk_reference(v, k, |_| true)
+        );
+        prop_assert_eq!(
+            top_k_abs_masked(v, k, TopKScope::Inside(&mask)),
+            scoped_topk_reference(v, k, |i| mask.get(i))
+        );
+        prop_assert_eq!(
+            top_k_abs_masked(v, k, TopKScope::Outside(&mask)),
+            scoped_topk_reference(v, k, |i| !mask.get(i))
+        );
+    }
+
+    /// Heavy magnitude ties (quantized values) still match the reference
+    /// tie-break exactly.
+    #[test]
+    fn topk_kernel_matches_reference_with_ties(
+        v in proptest::collection::vec(-3i32..4, 1..300),
+        ones in proptest::collection::vec(any::<bool>(), 1..300),
+        k in 0usize..300,
+    ) {
+        let n = v.len().min(ones.len());
+        let v: Vec<f32> = v[..n].iter().map(|&x| x as f32).collect();
+        let mask = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        prop_assert_eq!(
+            top_k_abs_masked(&v, k, TopKScope::Outside(&mask)),
+            scoped_topk_reference(&v, k, |i| !mask.get(i))
+        );
+    }
+
+    /// A reused scratch arena never changes results.
+    #[test]
+    fn topk_scratch_reuse_is_pure(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..200),
+        b in proptest::collection::vec(-10.0f32..10.0, 1..200),
+        k in 0usize..200,
+    ) {
+        use gluefl_tensor::{top_k_abs_masked_into, TopKScratch};
+        let mut scratch = TopKScratch::new();
+        let first = top_k_abs_masked_into(&a, k, TopKScope::All, &mut scratch).to_vec();
+        let _ = top_k_abs_masked_into(&b, k, TopKScope::All, &mut scratch).to_vec();
+        let again = top_k_abs_masked_into(&a, k, TopKScope::All, &mut scratch).to_vec();
+        prop_assert_eq!(&first, &again);
+        prop_assert_eq!(first, top_k_abs(&a, k.min(a.len())).into_iter().take(k).collect::<Vec<_>>());
+    }
+
+    /// iter_zeros is the exact complement of iter_ones.
+    #[test]
+    fn mask_iter_zeros_complements_ones(ones in proptest::collection::vec(any::<bool>(), 0..400)) {
+        let n = ones.len();
+        let m = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        let zeros: Vec<usize> = m.iter_zeros().collect();
+        let expected: Vec<usize> = (0..n).filter(|&i| !ones[i]).collect();
+        prop_assert_eq!(zeros, expected);
+        let mut via_callback = Vec::new();
+        m.for_each_one(|i| via_callback.push(i));
+        prop_assert_eq!(via_callback, m.iter_ones().collect::<Vec<_>>());
+    }
+
+    /// scatter_add through a mask equals a per-position reference.
+    #[test]
+    fn mask_scatter_add_matches_reference(
+        ones in proptest::collection::vec(any::<bool>(), 1..300),
+        scale in -2.0f32..2.0,
+    ) {
+        let n = ones.len();
+        let m = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+        let vals: Vec<f32> = (0..m.count_ones()).map(|j| j as f32 - 3.0).collect();
+        let mut fast = vec![1.0f32; n];
+        m.scatter_add(&mut fast, &vals, scale);
+        let mut slow = vec![1.0f32; n];
+        for (j, i) in m.iter_ones().enumerate() {
+            slow[i] += scale * vals[j];
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Fused masked vecops equal their compose-then-mask references.
+    #[test]
+    fn masked_vecops_match_reference(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..300),
+        ones in proptest::collection::vec(any::<bool>(), 1..300),
+        s in -2.0f32..2.0,
+    ) {
+        use gluefl_tensor::vecops;
+        let n = a.len().min(ones.len());
+        let a = &a[..n];
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let m = BitMask::from_indices(n, (0..n).filter(|&i| ones[i]));
+
+        let mut fused = b.clone();
+        vecops::masked_axpy(&mut fused, s, a, &m);
+        let mut reference = b.clone();
+        for i in m.iter_ones() {
+            reference[i] += s * a[i];
+        }
+        prop_assert_eq!(&fused, &reference);
+
+        let mut fused_sub = vec![f32::NAN; n];
+        vecops::masked_sub_into(&mut fused_sub, a, &b, &m);
+        let mut ref_sub = vecops::sub(a, &b);
+        m.apply_to(&mut ref_sub);
+        prop_assert_eq!(fused_sub, ref_sub);
+    }
+
+    /// Range-sharded sparse accumulation partitions the full scatter for
+    /// any shard size.
+    #[test]
+    fn sparse_range_add_partitions(
+        pairs in proptest::collection::btree_map(0u32..300, -5.0f32..5.0, 0..80),
+        shard in 1usize..310,
+    ) {
+        let dim = 300;
+        let u = SparseUpdate::from_pairs(dim, pairs.into_iter().collect());
+        let mut full = vec![0.0f32; dim];
+        u.add_scaled_into(&mut full, 1.5);
+        let mut sharded = vec![0.0f32; dim];
+        for (t, chunk) in sharded.chunks_mut(shard).enumerate() {
+            u.add_scaled_range_into(chunk, 1.5, t * shard);
+        }
+        prop_assert_eq!(full, sharded);
+    }
+}

@@ -22,7 +22,10 @@ fn main() {
     println!("sticky sampling planner: N = {n}, K = {k}, S = {s}, C = {c}\n");
 
     println!("re-sampling probability after r rounds (Propositions 1 & 2):");
-    println!("{:>3} {:>10} {:>10} {:>10}", "r", "sticky", "uniform", "ratio");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10}",
+        "r", "sticky", "uniform", "ratio"
+    );
     for r in 1..=8u32 {
         let ps = sticky_resample_prob(n, k, s, c, r);
         let pu = uniform_resample_prob(n, k, r);
@@ -44,7 +47,10 @@ fn main() {
     let a_uniform = variance_constant_a(n, k, 0, 0, &p);
     println!("\nTheorem 2 variance constant A:");
     println!("  uniform sampling: {a_uniform:.3}");
-    println!("  sticky  sampling: {a_sticky:.3}  ({:.1}x)", a_sticky / a_uniform);
+    println!(
+        "  sticky  sampling: {a_sticky:.3}  ({:.1}x)",
+        a_sticky / a_uniform
+    );
     let (e, sigma2, t) = (10, 1.0, 1000);
     println!(
         "\nsuggested learning rate (E = {e}, σ² = {sigma2}, T = {t}): {:.5}",

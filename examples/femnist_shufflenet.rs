@@ -28,7 +28,9 @@ fn main() {
     let strategies = vec![
         StrategyConfig::FedAvg,
         StrategyConfig::Stc { q: 0.20 },
-        StrategyConfig::Apf { config: ApfConfig::default() },
+        StrategyConfig::Apf {
+            config: ApfConfig::default(),
+        },
         StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
     ];
 

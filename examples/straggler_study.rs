@@ -54,7 +54,10 @@ fn main() {
     );
 
     println!("network environments (GlueFL, OC = 1.3):");
-    println!("{:>12} {:>16} {:>16}", "network", "round time (s)", "down (GB)");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "network", "round time (s)", "down (GB)"
+    );
     for network in NetworkProfile::all() {
         let mut cfg = base(rounds);
         cfg.network = network;

@@ -42,7 +42,10 @@ fn num_batches_tracked_advances_by_local_steps_per_round() {
     assert!((after_one - e).abs() < 1e-3, "after one round: {after_one}");
     sim.step();
     let after_two = sim.model().params()[seg.start];
-    assert!((after_two - 2.0 * e).abs() < 1e-3, "after two rounds: {after_two}");
+    assert!(
+        (after_two - 2.0 * e).abs() < 1e-3,
+        "after two rounds: {after_two}"
+    );
 }
 
 #[test]
@@ -62,11 +65,7 @@ fn bn_statistics_change_every_round_under_masking() {
         let before: Vec<f32> = stats.iter().map(|&i| sim.model().params()[i]).collect();
         sim.step();
         let after: Vec<f32> = stats.iter().map(|&i| sim.model().params()[i]).collect();
-        let changed = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| b != a)
-            .count();
+        let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         assert!(
             changed > stats.len() / 2,
             "{strategy:?}: only {changed}/{} statistics moved",
@@ -121,10 +120,10 @@ fn masked_strategies_never_mask_statistics() {
 
 #[test]
 fn eval_remains_finite_throughout_training() {
-    let mut c = cfg(StrategyConfig::GlueFl(GlueFlParams::paper_default(
-        30,
-        DatasetModel::ShuffleNet,
-    )), 20);
+    let mut c = cfg(
+        StrategyConfig::GlueFl(GlueFlParams::paper_default(30, DatasetModel::ShuffleNet)),
+        20,
+    );
     c.eval_every = 1;
     let result = Simulation::new(c).run();
     for rec in &result.rounds {

@@ -30,7 +30,9 @@ fn all_strategies(k: usize) -> Vec<StrategyConfig> {
     vec![
         StrategyConfig::FedAvg,
         StrategyConfig::Stc { q: 0.2 },
-        StrategyConfig::Apf { config: ApfConfig::default() },
+        StrategyConfig::Apf {
+            config: ApfConfig::default(),
+        },
         StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
     ]
 }
@@ -42,8 +44,14 @@ fn every_strategy_completes_and_reports() {
         let cfg = tiny_cfg(strategy.clone(), 6, 3);
         let result = Simulation::new(cfg).run();
         assert_eq!(result.rounds.len(), 6, "{strategy:?}");
-        assert!(result.total.down_bytes > 0, "{strategy:?} moved no bytes down");
-        assert!(result.total.total_bytes > result.total.down_bytes, "{strategy:?}");
+        assert!(
+            result.total.down_bytes > 0,
+            "{strategy:?} moved no bytes down"
+        );
+        assert!(
+            result.total.total_bytes > result.total.down_bytes,
+            "{strategy:?}"
+        );
         assert!(result.total.total_secs > 0.0, "{strategy:?} took no time");
         for rec in &result.rounds {
             assert!(rec.kept > 0 && rec.kept <= rec.invited, "{strategy:?}");
@@ -123,10 +131,11 @@ fn loss_decreases_with_training() {
 
 #[test]
 fn availability_churn_still_trains() {
-    let mut cfg = tiny_cfg(StrategyConfig::GlueFl(GlueFlParams::paper_default(
-        30,
-        DatasetModel::ShuffleNet,
-    )), 15, 13);
+    let mut cfg = tiny_cfg(
+        StrategyConfig::GlueFl(GlueFlParams::paper_default(30, DatasetModel::ShuffleNet)),
+        15,
+        13,
+    );
     cfg.availability = Some(gluefl_core::AvailabilityConfig {
         online_fraction: 0.6,
         mean_session_rounds: 8.0,

@@ -49,11 +49,8 @@ fn md_sampling_is_deterministic() {
 fn quantized_stc_uploads_far_less_than_plain_stc() {
     let rounds = 12;
     let plain = Simulation::new(cfg(StrategyConfig::Stc { q: 0.2 }, rounds)).run();
-    let quant =
-        Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.2 }, rounds)).run();
-    let up = |r: &gluefl_core::RunResult| {
-        r.rounds.iter().map(|x| x.up_bytes).sum::<u64>() as f64
-    };
+    let quant = Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.2 }, rounds)).run();
+    let up = |r: &gluefl_core::RunResult| r.rounds.iter().map(|x| x.up_bytes).sum::<u64>() as f64;
     let ratio = up(&quant) / up(&plain);
     // Values shrink from 32 bits to ~1 bit; positions dominate what's
     // left, so expect a substantial (not 32×) reduction.
@@ -64,13 +61,15 @@ fn quantized_stc_uploads_far_less_than_plain_stc() {
     // Downstream is *not* reduced by quantizing uploads (server updates
     // are still full-precision in the masking-only model).
     let down_ratio = quant.total.down_bytes as f64 / plain.total.down_bytes as f64;
-    assert!((0.7..1.4).contains(&down_ratio), "down ratio {down_ratio:.2}");
+    assert!(
+        (0.7..1.4).contains(&down_ratio),
+        "down ratio {down_ratio:.2}"
+    );
 }
 
 #[test]
 fn quantized_stc_still_learns() {
-    let result =
-        Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.3 }, 40)).run();
+    let result = Simulation::new(cfg(StrategyConfig::StcQuantized { q: 0.3 }, 40)).run();
     assert!(
         result.total.accuracy > 0.2,
         "quantized STC accuracy {}",

@@ -4,7 +4,7 @@
 
 use gluefl_compress::CompensationMode;
 use gluefl_core::strategies::{GlueFlStrategy, Strategy};
-use gluefl_core::GlueFlParams;
+use gluefl_core::{GlueFlParams, ScratchPool};
 use gluefl_sampling::overcommit::OcStrategy;
 use gluefl_suite::tensor::BitMask;
 use rand::rngs::StdRng;
@@ -48,16 +48,17 @@ fn gluefl_aggregate_is_unbiased_monte_carlo() {
 
     let trials = 40_000u32;
     let mut acc = vec![0.0f64; n];
+    let mut pool = ScratchPool::new();
     for round in 0..trials {
         let plan = strategy.plan_round(round, &mut rng, &vec![true; n]);
         let mut kept = Vec::new();
         for (id, group) in plan.invited() {
             let mut delta = vec![0.0f32; n];
             delta[id] = 1.0;
-            let upload = strategy.compress(round, id, group, &mut delta);
+            let upload = strategy.compress(round, id, group, &mut delta, &mut pool);
             kept.push((id, group, upload));
         }
-        let agg = strategy.aggregate(round, &kept);
+        let agg = strategy.aggregate(round, &kept, &mut pool);
         for (a, g) in acc.iter_mut().zip(&agg) {
             *a += f64::from(*g);
         }
@@ -90,6 +91,7 @@ fn equal_weights_are_biased_toward_sticky_clients() {
         equal_weights: true,
     };
     let weights = vec![1.0 / n as f64; n];
+    let mut pool = ScratchPool::new();
     let mut rng = StdRng::seed_from_u64(5);
     let mut strategy = GlueFlStrategy::new(
         n,
@@ -114,10 +116,10 @@ fn equal_weights_are_biased_toward_sticky_clients() {
         for (id, group) in plan.invited() {
             let mut delta = vec![0.0f32; n];
             delta[id] = 1.0;
-            let upload = strategy.compress(round, id, group, &mut delta);
+            let upload = strategy.compress(round, id, group, &mut delta, &mut pool);
             kept.push((id, group, upload));
         }
-        let agg = strategy.aggregate(round, &kept);
+        let agg = strategy.aggregate(round, &kept, &mut pool);
         for (i, g) in agg.iter().enumerate() {
             total_mass += f64::from(*g);
             if was_sticky[i] {

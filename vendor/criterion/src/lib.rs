@@ -1,0 +1,323 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain warmup + timed-batch loop reporting ns/iteration; it supports:
+//!
+//! * `--test` (as passed by `cargo bench -- --test`): run every benchmark
+//!   body exactly once as a smoke test, without timing;
+//! * a positional substring filter, like upstream criterion;
+//! * `GLUEFL_BENCH_JSON=<path>`: append one JSON line per benchmark
+//!   (`{"id": ..., "ns_per_iter": ...}`) for machine-readable baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque to
+/// the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group, `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    state: &'a State,
+    /// Measured nanoseconds per iteration, if timing ran.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly and records the mean wall-clock time per call.
+    ///
+    /// In `--test` mode the closure runs exactly once and nothing is
+    /// recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.state.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup: run until the clock has advanced a little.
+        let warmup_end = Instant::now() + self.state.warmup;
+        let mut batch = 1u64;
+        while Instant::now() < warmup_end {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        // Measurement: grow the batch until one batch takes long enough
+        // to time reliably, then average over the configured duration.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 24 {
+                let mut total = elapsed;
+                let mut iters = batch;
+                let deadline = Instant::now() + self.state.measurement;
+                while Instant::now() < deadline {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    total += start.elapsed();
+                    iters += batch;
+                }
+                self.result_ns = Some(total.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    test_mode: bool,
+    filter: Option<String>,
+    warmup: Duration,
+    measurement: Duration,
+    json_path: Option<String>,
+}
+
+impl State {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            test_mode,
+            filter,
+            warmup: Duration::from_millis(120),
+            measurement: Duration::from_millis(400),
+            json_path: std::env::var("GLUEFL_BENCH_JSON").ok(),
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn report(&self, id: &str, ns: Option<f64>) {
+        match ns {
+            Some(ns) => println!("{id:<48} {ns:>14.1} ns/iter"),
+            None => println!("{id:<48} ok (smoke)"),
+        }
+        if let (Some(path), Some(ns)) = (&self.json_path, ns) {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}}}");
+            }
+        }
+    }
+}
+
+/// Entry point: owns CLI options and dispatches benchmark groups.
+pub struct Criterion {
+    state: State,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            state: State::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            state: &self.state,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.state, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    state: &'a State,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark under `group_name/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.state, &full, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.state, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Throughput hints (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(state: &State, id: &str, mut f: F) {
+    if !state.matches(id) {
+        return;
+    }
+    let mut b = Bencher {
+        state,
+        result_ns: None,
+    };
+    f(&mut b);
+    state.report(id, b.result_ns);
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let st = State {
+            test_mode: true,
+            filter: Some("topk".into()),
+            warmup: Duration::ZERO,
+            measurement: Duration::ZERO,
+            json_path: None,
+        };
+        assert!(st.matches("group/topk/100"));
+        assert!(!st.matches("group/aggregate"));
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let st = State {
+            test_mode: true,
+            filter: None,
+            warmup: Duration::ZERO,
+            measurement: Duration::ZERO,
+            json_path: None,
+        };
+        let mut calls = 0usize;
+        run_one(&st, "x", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline, API-compatible subset of the `proptest` framework.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * range strategies (`0usize..100`, `-1.0f32..=1.0`), [`any`] for
+//!   `bool`, and [`collection::vec`] / [`collection::btree_set`] /
+//!   [`collection::btree_map`].
+//!
+//! Differences from upstream: no shrinking (failing inputs are printed by
+//! the assertion message only), and the case count defaults to 96 (set
+//! `PROPTEST_CASES` to override). Generation is deterministic per test
+//! name, so failures reproduce.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy_impls!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f32, f64);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates arbitrary values of `T` (implemented for the types the
+/// workspace needs).
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Strategy for Any<u8> {
+    type Value = u8;
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        rng.gen_range(0u8..=u8::MAX)
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+/// A constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for collection strategies: a fixed
+    /// length, a half-open range, or an inclusive range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                min: r.start,
+                max: r.end.saturating_sub(1).max(r.start),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: (*r.end()).max(*r.start()),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates ordered sets; like upstream, the set may be smaller than
+    /// the drawn size when the element domain yields duplicates.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_len(&self.size, rng);
+            let mut out = BTreeSet::new();
+            // Bounded retries so tiny domains cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generates ordered maps; like upstream, the map may be smaller than
+    /// the drawn size when the key domain yields duplicates.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_len(&self.size, rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    fn sample_len(size: &SizeRange, rng: &mut TestRng) -> usize {
+        if size.min >= size.max {
+            size.min
+        } else {
+            rng.gen_range(size.min..=size.max)
+        }
+    }
+}
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+#[must_use]
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Runs `body` for [`case_count`] generated cases with a deterministic
+/// per-test RNG. Used by the [`proptest!`] macro; not public API upstream.
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_name: &str, mut body: F) {
+    // FNV-1a over the test name: deterministic, independent of link order.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        seed ^= u64::from(*b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..case_count() as u64 {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(case));
+        body(&mut rng);
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure, like a
+/// regular `assert!`; this shim performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // (`#[test]` goes here in real test code.)
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -1.0f32..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u32..5, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn sets_are_deduplicated(s in crate::collection::btree_set(0usize..50, 0..20)) {
+            prop_assert!(s.len() < 20);
+            prop_assert!(s.iter().all(|&e| e < 50));
+        }
+
+        #[test]
+        fn maps_have_unique_keys(m in crate::collection::btree_map(0u32..40, -1.0f32..1.0, 0..15)) {
+            prop_assert!(m.len() < 15);
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut first = Vec::new();
+        super::run_cases("determinism", |rng| {
+            first.push(Strategy::generate(&(0u32..1000), rng));
+        });
+        let mut second = Vec::new();
+        super::run_cases("determinism", |rng| {
+            second.push(Strategy::generate(&(0u32..1000), rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.len() >= 2);
+    }
+}
