@@ -16,7 +16,9 @@
 use crate::ExptOpts;
 use gluefl_core::aggregate::{accumulate_sparse, accumulate_weighted_values};
 use gluefl_core::ScratchPool;
-use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope, TopKScratch};
+use gluefl_tensor::{
+    top_k_abs_masked_into, vecops, BitMask, MaskedUpdate, SparseUpdate, TopKScope, TopKScratch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -110,6 +112,59 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         baseline_ns,
         new_ns,
     });
+
+    // --- masked server-update application (the simulator apply path). ---
+    // Baseline: the pre-refactor dense walk — densified update added with
+    // `add_assign` over all d positions, then a dense changed-position
+    // scan. New: `MaskedUpdate::add_to` (word-level scatter) plus the
+    // mask-driven `for_each_nonzero` scan. Two densities: the full round
+    // support q = 20% (near break-even: a random 20% mask leaves almost
+    // no skippable words) and the slowly-shifting q − q_shr = 4% tail,
+    // where the structural sparsity pays off.
+    for (name, density) in [("masked_apply_20pct", 0.20), ("masked_apply_4pct", 0.04)] {
+        let apply_mask = BitMask::from_indices(d, (0..d).filter(|_| rng.gen::<f64>() < density));
+        let packed: Vec<f32> = (0..apply_mask.count_ones())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let update = MaskedUpdate::new(apply_mask, packed);
+        let dense_update = update.to_dense();
+        let params: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Equivalence gate: both apply paths and both scans must agree.
+        {
+            let mut a = params.clone();
+            vecops::add_assign(&mut a, &dense_update);
+            let mut b = params.clone();
+            update.add_to(&mut b);
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "apply kernels diverged"
+            );
+            let dense_changed = dense_update.iter().filter(|v| **v != 0.0).count();
+            let mut masked_changed = 0usize;
+            update.for_each_nonzero(|_, _| masked_changed += 1);
+            assert_eq!(dense_changed, masked_changed, "changed scans diverged");
+        }
+        let mut params_base = params.clone();
+        let mut params_new = params;
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                vecops::add_assign(&mut params_base, &dense_update);
+                dense_update.iter().filter(|v| **v != 0.0).count()
+            },
+            || {
+                update.add_to(&mut params_new);
+                let mut changed = 0usize;
+                update.for_each_nonzero(|_, _| changed += 1);
+                changed
+            },
+        );
+        entries.push(Entry {
+            name,
+            baseline_ns,
+            new_ns,
+        });
+    }
 
     // --- Report. ---
     let mut json = String::from("{\n");
@@ -270,6 +325,7 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("BENCH_kernels.json")).unwrap();
         assert!(json.contains("topk_outside_16pct_mask"));
         assert!(json.contains("aggregate_masked_30_clients"));
+        assert!(json.contains("masked_apply_20pct"));
         assert!(json.contains("speedup"));
     }
 }

@@ -108,12 +108,20 @@ impl Apf {
     #[must_use]
     pub fn active_mask(&self) -> BitMask {
         let mut m = BitMask::zeros(self.dim());
+        self.fill_active_mask(&mut m);
+        m
+    }
+
+    /// Writes the current active mask into `out` in place (reset to the
+    /// model dimension first) — the allocation-free form used by callers
+    /// that cache the mask across rounds.
+    pub fn fill_active_mask(&self, out: &mut BitMask) {
+        out.reset(self.dim());
         for i in 0..self.dim() {
             if self.frozen_until[i] <= self.round {
-                m.set(i, true);
+                out.set(i, true);
             }
         }
-        m
     }
 
     /// Fraction of parameters currently frozen.
@@ -165,16 +173,65 @@ impl Apf {
             if self.frozen_until[i] > self.round {
                 continue; // frozen: statistics paused
             }
-            self.ema_update[i] = beta * self.ema_update[i] + (1.0 - beta) * update[i];
-            self.ema_abs[i] = beta * self.ema_abs[i] + (1.0 - beta) * update[i].abs();
-            if self.round >= self.cfg.warmup_rounds
-                && self.effective_perturbation(i) < self.cfg.threshold
-            {
-                self.frozen_until[i] = self.round + 1 + self.period[i];
-                self.period[i] = (self.period[i] * 2).min(self.cfg.max_period);
-            }
+            self.observe_position(i, update[i], beta);
         }
         self.round += 1;
+    }
+
+    /// Packed-layout form of [`Apf::observe`]: the round's aggregated
+    /// update is given as values packed over `active` (one value per set
+    /// bit, in position order), which must be exactly the mask
+    /// [`Apf::active_mask`] returned for this round. Frozen positions —
+    /// the complement of `active` — receive no statistics update, exactly
+    /// as in the dense form, so the two are state-identical.
+    ///
+    /// # Panics
+    /// Panics if `active.len() != dim()` or `packed.len()` differs from
+    /// the mask's set-bit count; debug builds also verify that `active`
+    /// matches the internal freeze state.
+    pub fn observe_masked(&mut self, packed: &[f32], active: &BitMask) {
+        assert_eq!(active.len(), self.dim(), "active mask dimension mismatch");
+        assert_eq!(
+            packed.len(),
+            active.count_ones(),
+            "packed values must align with the active mask"
+        );
+        // Subset check happens per bit below; the count equality makes it
+        // a full equivalence — a too-narrow mask would silently starve
+        // thawed positions of their EMA update.
+        debug_assert_eq!(
+            active.count_ones(),
+            self.frozen_until
+                .iter()
+                .filter(|&&u| u <= self.round)
+                .count(),
+            "active mask does not cover every unfrozen position"
+        );
+        let beta = self.cfg.ema_beta;
+        let mut j = 0usize;
+        active.for_each_one(|i| {
+            debug_assert!(
+                self.frozen_until[i] <= self.round,
+                "active mask covers a frozen position"
+            );
+            let v = packed[j];
+            j += 1;
+            self.observe_position(i, v, beta);
+        });
+        self.round += 1;
+    }
+
+    /// One active parameter's EMA update + freeze decision (shared by the
+    /// dense and packed observe forms).
+    fn observe_position(&mut self, i: usize, update: f32, beta: f32) {
+        self.ema_update[i] = beta * self.ema_update[i] + (1.0 - beta) * update;
+        self.ema_abs[i] = beta * self.ema_abs[i] + (1.0 - beta) * update.abs();
+        if self.round >= self.cfg.warmup_rounds
+            && self.effective_perturbation(i) < self.cfg.threshold
+        {
+            self.frozen_until[i] = self.round + 1 + self.period[i];
+            self.period[i] = (self.period[i] * 2).min(self.cfg.max_period);
+        }
     }
 }
 
@@ -288,6 +345,50 @@ mod tests {
             freeze_lengths.iter().max().unwrap() <= &(cfg().max_period + 1),
             "period exceeded cap: {freeze_lengths:?}"
         );
+    }
+
+    #[test]
+    fn observe_masked_is_state_identical_to_dense_observe() {
+        let mut dense_apf = Apf::new(6, cfg());
+        let mut packed_apf = Apf::new(6, cfg());
+        for r in 0..30 {
+            // Oscillate half the parameters so freezes actually happen.
+            let active = dense_apf.active_mask();
+            assert_eq!(active, packed_apf.active_mask());
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let mut update = vec![0.0f32; 6];
+            for (i, u) in update.iter_mut().enumerate() {
+                if active.get(i) {
+                    *u = if i < 3 { sign * 0.5 } else { 0.5 };
+                }
+            }
+            let packed: Vec<f32> = active.iter_ones().map(|i| update[i]).collect();
+            dense_apf.observe(&update);
+            packed_apf.observe_masked(&packed, &active);
+            for i in 0..6 {
+                assert_eq!(
+                    dense_apf.effective_perturbation(i).to_bits(),
+                    packed_apf.effective_perturbation(i).to_bits(),
+                    "round {r} position {i}"
+                );
+            }
+        }
+        assert!(dense_apf.frozen_fraction() > 0.0);
+        assert_eq!(dense_apf.frozen_fraction(), packed_apf.frozen_fraction());
+    }
+
+    #[test]
+    fn fill_active_mask_matches_active_mask() {
+        let mut apf = Apf::new(4, cfg());
+        for r in 0..12 {
+            let u = if r % 2 == 0 { 0.7 } else { -0.7 };
+            let m = apf.active_mask();
+            let packed: Vec<f32> = m.iter_ones().map(|_| u).collect();
+            apf.observe_masked(&packed, &m);
+        }
+        let mut out = gluefl_tensor::BitMask::zeros(1);
+        apf.fill_active_mask(&mut out);
+        assert_eq!(out, apf.active_mask());
     }
 
     #[test]

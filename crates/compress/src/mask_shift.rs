@@ -92,6 +92,25 @@ pub fn shift_mask_with(
     eligible: Option<&BitMask>,
     scratch: &mut TopKScratch,
 ) -> BitMask {
+    let mut out = BitMask::zeros(combined.len());
+    shift_mask_into(combined, q_shr, eligible, scratch, &mut out);
+    out
+}
+
+/// Fully pooled [`shift_mask`]: the selection runs through a caller-owned
+/// [`TopKScratch`] and the next mask is written into `out` in place
+/// (reset to `combined.len()` zeros first), so a simulation can shift its
+/// shared mask every round without allocating.
+///
+/// # Panics
+/// Same contract as [`shift_mask`].
+pub fn shift_mask_into(
+    combined: &[f32],
+    q_shr: f64,
+    eligible: Option<&BitMask>,
+    scratch: &mut TopKScratch,
+    out: &mut BitMask,
+) {
     let k = keep_count(combined.len(), q_shr);
     let idx = match eligible {
         Some(e) => {
@@ -100,7 +119,10 @@ pub fn shift_mask_with(
         }
         None => top_k_abs_masked_into(combined, k, TopKScope::All, scratch),
     };
-    BitMask::from_indices(combined.len(), idx.iter().copied())
+    out.reset(combined.len());
+    for &i in idx {
+        out.set(i, true);
+    }
 }
 
 /// Mask regeneration (§3.3): rebuild the shared mask from the *unique*
@@ -181,6 +203,16 @@ mod tests {
         let combined = vec![0.1f32, 9.0, 0.2, -8.0, 0.3, 7.0, 0.4, -6.0];
         let m = shift_mask(&combined, 0.25, None);
         assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn shift_into_matches_allocating_form() {
+        let combined = vec![0.1f32, 9.0, 0.2, -8.0, 0.3, 7.0, 0.4, -6.0];
+        let mut scratch = TopKScratch::new();
+        // A dirty, differently-sized mask must be fully overwritten.
+        let mut out = BitMask::ones(3);
+        shift_mask_into(&combined, 0.25, None, &mut scratch, &mut out);
+        assert_eq!(out, shift_mask(&combined, 0.25, None));
     }
 
     #[test]

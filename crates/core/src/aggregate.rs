@@ -19,6 +19,18 @@
 //! feature (alias: `rayon`) shards run on `std::thread` workers. Parity is
 //! verified bitwise by the tests here and end-to-end by the simulator's
 //! `parallel_aggregation_bit_identical_to_serial` test.
+//!
+//! # Emitting the masked layout
+//!
+//! Strategies return a [`gluefl_tensor::MaskedUpdate`] (mask + packed
+//! values), and where the uploads are mask-aligned the shards accumulate
+//! *directly into that packed layout*: [`accumulate_weighted_values`]
+//! treats each client's value array as contiguous — GlueFL's shared parts
+//! and APF's known-mask uploads aggregate without ever materialising a
+//! dense `d`-sized buffer. Only reductions that need a subsequent
+//! position-space top-k (STC's server mask, GlueFL's unique part) stage
+//! through a dense accumulator, and that buffer stays inside the
+//! strategy; the simulator only ever sees the packed update.
 
 use crate::scratch::ScratchPool;
 use crate::strategies::Upload;

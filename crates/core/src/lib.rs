@@ -16,6 +16,11 @@
 //! | [`strategies::ApfStrategy`] | uniform | adaptive parameter freezing |
 //! | [`strategies::GlueFlStrategy`] | sticky (§3.1) | mask shifting (§3.2) + regeneration + REC (§3.3) |
 //!
+//! Each round's aggregate crosses the strategy seam as a [`MaskedUpdate`]
+//! (support mask + packed values; see the [`strategies::Strategy`] docs
+//! for the contract), which the simulator applies with word-level masked
+//! kernels — sparse rounds never walk the dense parameter vector.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,6 +59,7 @@ pub mod strategies;
 pub mod theory;
 
 pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
+pub use gluefl_tensor::MaskedUpdate;
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
 pub use scratch::ScratchPool;
 pub use simulator::{run_strategy, Simulation};

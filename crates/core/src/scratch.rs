@@ -3,16 +3,36 @@
 //! One [`ScratchPool`] is owned by each [`crate::Simulation`] and threaded
 //! through [`crate::strategies::Strategy::compress`] and
 //! [`crate::strategies::Strategy::aggregate`], so the per-round kernels
-//! (top-k selection, dense accumulation, residual bookkeeping) reuse the
-//! same allocations round after round. After the first round the hot path
-//! performs no steady-state heap allocation.
+//! (top-k selection, dense accumulation, sparse extraction, mask algebra,
+//! residual bookkeeping) reuse the same allocations round after round.
+//! After the first round the hot path performs no steady-state heap
+//! allocation:
 //!
-//! Ownership contract: buffers handed out by [`ScratchPool::take_zeroed`]
-//! belong to the caller until returned with [`ScratchPool::put`]; the pool
-//! never aliases them. The pool itself must not be shared across threads —
+//! * dense `f32` buffers ([`ScratchPool::take_zeroed`] /
+//!   [`ScratchPool::take_cleared`] / [`ScratchPool::take_copy`]) back
+//!   accumulators, packed value arrays, and dense upload clones;
+//! * sparse `(u32, f32)` arenas ([`ScratchPool::take_sparse`]) back the
+//!   [`gluefl_tensor::SparseUpdate`]s built during compression;
+//! * pooled [`gluefl_tensor::BitMask`]s ([`ScratchPool::take_mask`]) back
+//!   the per-round support masks of [`gluefl_tensor::MaskedUpdate`]s and
+//!   GlueFL's shifted shared mask.
+//!
+//! The simulator closes the loop: after aggregation it hands every
+//! consumed [`crate::strategies::Upload`] back via
+//! [`ScratchPool::reclaim_upload`] and the applied
+//! [`gluefl_tensor::MaskedUpdate`] back via [`ScratchPool::put_update`].
+//!
+//! Ownership contract: buffers handed out by the `take_*` methods belong
+//! to the caller until returned with the matching `put_*`; the pool never
+//! aliases them. The pool itself must not be shared across threads —
 //! parallel sections take the buffers they need up front.
 
-use gluefl_tensor::TopKScratch;
+use crate::strategies::Upload;
+use gluefl_tensor::{BitMask, MaskedUpdate, TopKScratch};
+
+/// Upper bound on idle buffers kept per arena (the round working set is
+/// far below this; the cap only guards against pathological churn).
+const MAX_IDLE: usize = 64;
 
 /// Reusable buffers threaded through the strategy seam.
 #[derive(Debug, Default)]
@@ -20,6 +40,8 @@ pub struct ScratchPool {
     /// Shared top-k selection arena (one selection at a time).
     pub topk: TopKScratch,
     free: Vec<Vec<f32>>,
+    free_indices: Vec<Vec<u32>>,
+    free_masks: Vec<BitMask>,
 }
 
 impl ScratchPool {
@@ -33,34 +55,139 @@ impl ScratchPool {
     /// buffer when one is available.
     #[must_use]
     pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_cleared();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Hands out an empty (`len == 0`) buffer with recycled capacity —
+    /// for callers that `push`/`extend` exactly the values they need
+    /// (e.g. packing a [`MaskedUpdate`]'s values).
+    #[must_use]
+    pub fn take_cleared(&mut self) -> Vec<f32> {
         match self.free.pop() {
             Some(mut buf) => {
                 buf.clear();
-                buf.resize(len, 0.0);
                 buf
             }
-            None => vec![0.0; len],
+            None => Vec::new(),
         }
+    }
+
+    /// Hands out a recycled buffer holding a copy of `src` (the pooled
+    /// replacement for `src.to_vec()` on the compress path).
+    #[must_use]
+    pub fn take_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_cleared();
+        buf.extend_from_slice(src);
+        buf
     }
 
     /// Returns a buffer to the pool for reuse.
     pub fn put(&mut self, buf: Vec<f32>) {
         // Keep the pool bounded; tiny buffers are not worth recycling.
-        if self.free.len() < 64 && buf.capacity() > 0 {
+        if self.free.len() < MAX_IDLE && buf.capacity() > 0 {
             self.free.push(buf);
         }
     }
 
-    /// Number of idle buffers currently pooled.
+    /// Hands out a cleared `(indices, values)` buffer pair for the
+    /// `SparseUpdate::*_in` constructors.
+    #[must_use]
+    pub fn take_sparse(&mut self) -> (Vec<u32>, Vec<f32>) {
+        let mut ix = self.free_indices.pop().unwrap_or_default();
+        ix.clear();
+        (ix, self.take_cleared())
+    }
+
+    /// Returns a sparse buffer pair (e.g. from
+    /// [`gluefl_tensor::SparseUpdate::into_buffers`]) to the pool.
+    pub fn put_sparse(&mut self, indices: Vec<u32>, values: Vec<f32>) {
+        if self.free_indices.len() < MAX_IDLE && indices.capacity() > 0 {
+            self.free_indices.push(indices);
+        }
+        self.put(values);
+    }
+
+    /// Hands out an all-zero mask over `len` positions, reusing a
+    /// returned mask's word storage when one is available.
+    #[must_use]
+    pub fn take_mask(&mut self, len: usize) -> BitMask {
+        match self.free_masks.pop() {
+            Some(mut m) => {
+                m.reset(len);
+                m
+            }
+            None => BitMask::zeros(len),
+        }
+    }
+
+    /// Returns a mask to the pool for reuse.
+    pub fn put_mask(&mut self, mask: BitMask) {
+        if self.free_masks.len() < MAX_IDLE {
+            self.free_masks.push(mask);
+        }
+    }
+
+    /// Recycles an applied [`MaskedUpdate`]'s mask and value storage.
+    pub fn put_update(&mut self, update: MaskedUpdate) {
+        let (mask, values) = update.into_parts();
+        self.put_mask(mask);
+        self.put(values);
+    }
+
+    /// Recycles the buffers inside a consumed upload (called by the
+    /// simulator once the round's aggregation is done, for kept and
+    /// dropped uploads alike). Ternary sign bitsets are dropped — they are
+    /// `nnz/8` bytes and not arena-typed.
+    pub fn reclaim_upload(&mut self, upload: Upload) {
+        match upload {
+            Upload::Dense(values) => self.put(values),
+            Upload::Sparse(u) | Upload::KnownMask(u) => {
+                let (ix, vals) = u.into_buffers();
+                self.put_sparse(ix, vals);
+            }
+            Upload::Ternary(t) => {
+                if self.free_indices.len() < MAX_IDLE && t.indices.capacity() > 0 {
+                    self.free_indices.push({
+                        let mut ix = t.indices;
+                        ix.clear();
+                        ix
+                    });
+                }
+            }
+            Upload::MaskSplit(s) => {
+                let (ix, vals) = s.shared.into_buffers();
+                self.put_sparse(ix, vals);
+                let (ix, vals) = s.unique.into_buffers();
+                self.put_sparse(ix, vals);
+            }
+        }
+    }
+
+    /// Number of idle dense buffers currently pooled.
     #[must_use]
     pub fn idle_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Number of idle masks currently pooled.
+    #[must_use]
+    pub fn idle_masks(&self) -> usize {
+        self.free_masks.len()
+    }
+
+    /// Number of idle index buffers currently pooled.
+    #[must_use]
+    pub fn idle_indices(&self) -> usize {
+        self.free_indices.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gluefl_tensor::SparseUpdate;
 
     #[test]
     fn take_is_zeroed_after_reuse() {
@@ -81,5 +208,49 @@ mod tests {
         pool.put(a);
         let b = pool.take_zeroed(3);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn take_copy_clones_through_recycled_storage() {
+        let mut pool = ScratchPool::new();
+        pool.put(vec![9.0; 32]);
+        let c = pool.take_copy(&[1.0, 2.0]);
+        assert_eq!(c, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn masks_are_recycled_zeroed() {
+        let mut pool = ScratchPool::new();
+        let mut m = pool.take_mask(70);
+        m.set(3, true);
+        pool.put_mask(m);
+        assert_eq!(pool.idle_masks(), 1);
+        let m = pool.take_mask(130);
+        assert_eq!(m.len(), 130);
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn reclaim_upload_feeds_the_arenas() {
+        let mut pool = ScratchPool::new();
+        pool.reclaim_upload(Upload::Dense(vec![1.0; 4]));
+        pool.reclaim_upload(Upload::Sparse(SparseUpdate::from_pairs(
+            8,
+            vec![(1, 1.0), (3, 2.0)],
+        )));
+        assert_eq!(pool.idle_buffers(), 2);
+        assert_eq!(pool.idle_indices(), 1);
+        let (ix, vals) = pool.take_sparse();
+        assert!(ix.is_empty() && vals.is_empty());
+        assert!(ix.capacity() >= 2);
+    }
+
+    #[test]
+    fn put_update_recycles_mask_and_values() {
+        let mut pool = ScratchPool::new();
+        let mask = BitMask::from_indices(10, [0usize, 9]);
+        pool.put_update(MaskedUpdate::new(mask, vec![1.0, 2.0]));
+        assert_eq!(pool.idle_masks(), 1);
+        assert_eq!(pool.idle_buffers(), 1);
     }
 }

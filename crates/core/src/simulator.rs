@@ -11,9 +11,13 @@
 //!    clients' bytes count toward the volume metrics, kept or not;
 //! 3. the fastest `C` sticky / `K−C` fresh finishers are kept; the round's
 //!    wall-clock time is the slowest kept client;
-//! 4. trainable positions are aggregated by the strategy; BatchNorm
-//!    statistics are aggregated with a plain `1/K` mean (Appendix D);
-//! 5. the staleness tracker records which positions changed.
+//! 4. trainable positions are aggregated by the strategy into a
+//!    [`gluefl_tensor::MaskedUpdate`] (support mask + packed values) and
+//!    applied with the word-level scatter / masked-AXPY kernels — only
+//!    the covered positions are touched; BatchNorm statistics are
+//!    aggregated with a plain `1/K` mean (Appendix D) and added directly;
+//! 5. the staleness tracker records which positions changed (scanned from
+//!    the update's mask, not a dense walk).
 //!
 //! Local training of invited clients runs on a thread pool; results are
 //! deterministic because every client's RNG is derived from
@@ -290,37 +294,63 @@ impl Simulation {
             })
             .collect();
         kept_uploads.sort_by_key(|(id, _, _)| *id);
-        let mut update = self
+        let update = self
             .strategy
             .aggregate(round, &kept_uploads, &mut self.scratch);
 
+        // The strategy has consumed the uploads; recycle their buffers
+        // (kept and dropped alike) so next round's compression is
+        // allocation-free.
+        for (_, _, upload) in kept_uploads {
+            self.scratch.reclaim_upload(upload);
+        }
+        for upload in uploads.into_iter().flatten() {
+            self.scratch.reclaim_upload(upload);
+        }
+
+        // --- Apply the masked update and record changed positions. ---
+        // A masking strategy's update covers O(q·d) positions; the
+        // word-level scatter / masked AXPY touches only those, and the
+        // changed-position scan walks the mask instead of the dense
+        // vector. Per covered position the arithmetic is the same single
+        // `+=` as the old dense walk — bit-identical trajectories.
+        update.add_to(self.model.params_mut());
+        let mut changed = std::mem::take(&mut self.changed_buf);
+        changed.clear();
+        update.for_each_nonzero(|j, _| {
+            // Strategy contract: BN-statistic positions are uncovered or
+            // carry exact zeros — a nonzero here would double-apply with
+            // the Appendix-D mean below.
+            debug_assert!(
+                self.stats_positions.binary_search(&j).is_err(),
+                "strategy update has a nonzero value at BN-statistic position {j}"
+            );
+            changed.push(j);
+        });
+
         // --- BatchNorm statistics: plain 1/K mean (Appendix D). ---
+        // Stats positions are never covered by a masking strategy's mask
+        // (FedAvg's full mask covers them with exact zeros), so the means
+        // are added straight into the parameters.
         if !kept_idx.is_empty() {
             let inv_k = 1.0 / kept_idx.len() as f32;
+            let params = self.model.params_mut();
             for (j, &p) in self.stats_positions.iter().enumerate() {
                 let mean: f32 = kept_idx
                     .iter()
                     .map(|&i| self.stats_saved[i * stats_len + j])
                     .sum::<f32>()
                     * inv_k;
-                update[p] = mean;
+                params[p] += mean;
+                if mean != 0.0 {
+                    changed.push(p);
+                }
             }
         }
-
-        // --- Apply the update and record changed positions. ---
-        vecops::add_assign(self.model.params_mut(), &update);
-        let mut changed = std::mem::take(&mut self.changed_buf);
-        changed.clear();
-        changed.extend(
-            update
-                .iter()
-                .enumerate()
-                .filter_map(|(j, v)| (*v != 0.0).then_some(j)),
-        );
         rec.changed_positions = changed.len();
         self.staleness.record_update(changed.iter().copied());
         self.changed_buf = changed;
-        self.scratch.put(update);
+        self.scratch.put_update(update);
 
         // --- Post-round bookkeeping (sticky rebalance). ---
         let kept_sticky_ids: Vec<usize> = kept_sticky_local.iter().map(|&i| invited[i].0).collect();

@@ -2,17 +2,22 @@
 //! (Chen et al. 2021; the paper's parameter-freezing baseline).
 
 use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::accumulate_uploads;
+use crate::aggregate::accumulate_weighted_values;
 use crate::scratch::ScratchPool;
 use gluefl_compress::{Apf, ApfConfig};
 use gluefl_sampling::{ClientId, UniformSampler};
-use gluefl_tensor::SparseUpdate;
+use gluefl_tensor::{BitMask, MaskedUpdate, SparseUpdate};
 use rand::rngs::StdRng;
 
 /// APF with uniform sampling: the server maintains a per-parameter freeze
 /// state; each round only *active* (unfrozen) parameters are trained,
 /// uploaded (values aligned to the known active mask), aggregated, and
 /// synchronised. The active mask itself is broadcast as a bitmap.
+///
+/// Because every upload of a round is aligned to the same active mask,
+/// aggregation runs entirely in the packed layout: the clients' value
+/// arrays are summed contiguously and the result *is* the round's
+/// [`MaskedUpdate`] — no dense `d`-sized accumulator is ever built.
 #[derive(Debug)]
 pub struct ApfStrategy {
     sampler: UniformSampler,
@@ -20,6 +25,9 @@ pub struct ApfStrategy {
     oc: f64,
     weights: Vec<f64>,
     apf: Apf,
+    /// Cached copy of [`Apf::active_mask`] for the current round
+    /// (refreshed after each observe, so `compress` never allocates).
+    active: BitMask,
     dim: usize,
 }
 
@@ -39,12 +47,15 @@ impl ApfStrategy {
         dim: usize,
     ) -> Self {
         assert_eq!(weights.len(), n, "weights length must equal population");
+        let apf = Apf::new(dim, config);
+        let active = apf.active_mask();
         Self {
             sampler: UniformSampler::new(n),
             k,
             oc,
             weights,
-            apf: Apf::new(dim, config),
+            apf,
+            active,
             dim,
         }
     }
@@ -86,13 +97,13 @@ impl Strategy for ApfStrategy {
         _id: ClientId,
         _group: Group,
         delta: &mut [f32],
-        _scratch: &mut ScratchPool,
+        scratch: &mut ScratchPool,
     ) -> Upload {
         // Clients freeze the frozen parameters locally, so their deltas
         // are zero there; the upload carries only active positions, whose
         // identities the server already knows (known-mask encoding).
-        let active = self.apf.active_mask();
-        let sparse = SparseUpdate::from_dense_masked(delta, &active);
+        let (ix, vals) = scratch.take_sparse();
+        let sparse = SparseUpdate::from_dense_masked_in(delta, &self.active, ix, vals);
         Upload::KnownMask(sparse)
     }
 
@@ -101,17 +112,32 @@ impl Strategy for ApfStrategy {
         _round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32> {
-        let entries: Vec<(f32, &Upload)> = kept
+    ) -> MaskedUpdate {
+        // Every upload is aligned to the round's active mask, so the
+        // shards accumulate straight into the packed layout (frozen
+        // positions are structurally absent — nothing to re-zero).
+        let active_nnz = self.active.count_ones();
+        let entries: Vec<(f32, &[f32])> = kept
             .iter()
-            .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
+            .map(|(id, group, upload)| {
+                let w = self.client_weight(*id, *group) as f32;
+                match upload {
+                    Upload::KnownMask(u) => {
+                        assert_eq!(u.nnz(), active_nnz, "upload not aligned to the active mask");
+                        (w, u.values())
+                    }
+                    other => panic!("APF aggregate received non-known-mask upload {other:?}"),
+                }
+            })
             .collect();
-        let mut acc = accumulate_uploads(&entries, self.dim, scratch);
-        // Frozen positions must not move even if numerical noise crept in.
-        let active = self.apf.active_mask();
-        active.apply_to(&mut acc);
-        self.apf.observe(&acc);
-        acc
+        let values = accumulate_weighted_values(&entries, active_nnz, scratch);
+        self.apf.observe_masked(&values, &self.active);
+        let mut mask = scratch.take_mask(self.dim);
+        mask.copy_from(&self.active);
+        // The observe above may have frozen/thawed parameters: refresh
+        // the cached mask for the next round's compress calls.
+        self.apf.fill_active_mask(&mut self.active);
+        MaskedUpdate::new(mask, values)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -196,11 +222,12 @@ mod tests {
                 })
                 .collect();
             let agg = s.aggregate(r, &kept, &mut pool);
-            for (j, v) in agg.iter().enumerate() {
-                if !active_before.get(j) {
-                    assert_eq!(*v, 0.0, "frozen position {j} changed");
-                }
-            }
+            // The update's support is exactly the round's active mask, so
+            // frozen positions are structurally excluded from the apply.
+            assert_eq!(agg.mask(), &active_before, "round {r}");
+            agg.for_each_nonzero(|j, _| {
+                assert!(active_before.get(j), "frozen position {j} changed");
+            });
         }
     }
 

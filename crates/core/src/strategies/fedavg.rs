@@ -4,6 +4,7 @@ use super::{Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::accumulate_uploads;
 use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, UniformSampler};
+use gluefl_tensor::MaskedUpdate;
 use rand::rngs::StdRng;
 
 /// The no-compression baseline: uniform sampling, dense uploads, dense
@@ -63,9 +64,9 @@ impl Strategy for FedAvgStrategy {
         _id: ClientId,
         _group: Group,
         delta: &mut [f32],
-        _scratch: &mut ScratchPool,
+        scratch: &mut ScratchPool,
     ) -> Upload {
-        Upload::Dense(delta.to_vec())
+        Upload::Dense(scratch.take_copy(delta))
     }
 
     fn aggregate(
@@ -73,12 +74,18 @@ impl Strategy for FedAvgStrategy {
         _round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32> {
+    ) -> MaskedUpdate {
         let entries: Vec<(f32, &Upload)> = kept
             .iter()
             .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
             .collect();
-        accumulate_uploads(&entries, self.dim, scratch)
+        let acc = accumulate_uploads(&entries, self.dim, scratch);
+        // Dense update, expressed as a full mask: the packed layout then
+        // *is* the dense accumulator, so no copy happens here and the
+        // simulator's masked apply degenerates to the dense AXPY.
+        let mut mask = scratch.take_mask(self.dim);
+        mask.fill_ones();
+        MaskedUpdate::new(mask, acc)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -120,12 +127,13 @@ mod tests {
         ];
         let mut pool = ScratchPool::new();
         let agg = s.aggregate(0, &kept, &mut pool);
-        assert!(agg.iter().all(|v| v.abs() < 1e-9));
+        assert!(agg.is_dense(), "FedAvg must return a full-mask update");
+        assert!(agg.values().iter().all(|v| v.abs() < 1e-9));
         // One client: agg = weight · delta.
         let kept = vec![(2usize, Group::Fresh, Upload::Dense(vec![2.0; 8]))];
         let agg = s.aggregate(0, &kept, &mut pool);
         let w = s.client_weight(2, Group::Fresh) as f32;
-        assert!(agg.iter().all(|v| (*v - 2.0 * w).abs() < 1e-6));
+        assert!(agg.values().iter().all(|v| (*v - 2.0 * w).abs() < 1e-6));
     }
 
     #[test]
@@ -153,7 +161,7 @@ mod tests {
                 .collect();
             let mut pool = ScratchPool::new();
             let agg = s.aggregate(0, &kept, &mut pool);
-            for (a, g) in acc.iter_mut().zip(&agg) {
+            for (a, g) in acc.iter_mut().zip(agg.values()) {
                 *a += f64::from(*g);
             }
         }

@@ -4,12 +4,12 @@ use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::{accumulate_sparse, accumulate_weighted_values};
 use crate::config::GlueFlParams;
 use crate::scratch::ScratchPool;
-use gluefl_compress::mask_shift::{shift_mask_with, ClientSplit};
+use gluefl_compress::mask_shift::{shift_mask_into, ClientSplit};
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::ErrorCompensator;
 use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
 use gluefl_sampling::{sticky_weights, ClientId, StickySampler};
-use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
 /// The paper's framework: sticky sampling (§3.1) for client selection,
@@ -104,12 +104,14 @@ impl GlueFlStrategy {
         }
     }
 
-    /// Installs a freshly shifted/regenerated shared mask and refreshes
-    /// the caches derived from it.
-    fn set_shared_mask(&mut self, mask: BitMask) {
+    /// Installs a freshly shifted/regenerated shared mask (swapping the
+    /// old one out for the caller to recycle) and refreshes the caches
+    /// derived from it in place — no allocation.
+    fn set_shared_mask(&mut self, mask: BitMask) -> BitMask {
         self.shared_nnz = mask.count_ones();
-        self.scope_mask = mask.or(&self.stats_excluded);
-        self.shared_mask = mask;
+        self.scope_mask.copy_from(&mask);
+        self.scope_mask.union_with(&self.stats_excluded);
+        std::mem::replace(&mut self.shared_mask, mask)
     }
 
     /// The current shared mask `M_t`.
@@ -210,7 +212,8 @@ impl Strategy for GlueFlStrategy {
         let shared = if regen {
             SparseUpdate::empty(self.dim)
         } else {
-            SparseUpdate::from_dense_masked(delta, &self.shared_mask)
+            let (ix, vals) = scratch.take_sparse();
+            SparseUpdate::from_dense_masked_in(delta, &self.shared_mask, ix, vals)
         };
         // Unique part: top-(q−q_shr) outside M_t ∪ stats (cached).
         let scope = if regen {
@@ -218,13 +221,14 @@ impl Strategy for GlueFlStrategy {
         } else {
             &self.scope_mask
         };
+        let (ix, vals) = scratch.take_sparse();
         let idx = top_k_abs_masked_into(
             delta,
             unique_k,
             TopKScope::Outside(scope),
             &mut scratch.topk,
         );
-        let unique = SparseUpdate::gather(delta, idx);
+        let unique = SparseUpdate::gather_in(delta, idx, ix, vals);
 
         // Residual: h = Δ − (Δ̃_shr + Δ̃_uni), recorded without
         // materialising the dense `sent` vector.
@@ -239,7 +243,7 @@ impl Strategy for GlueFlStrategy {
         round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32> {
+    ) -> MaskedUpdate {
         let regen = self.is_regen_round(round);
         let mut shared_entries: Vec<(f32, &[f32])> = Vec::with_capacity(kept.len());
         let mut unique_entries: Vec<(f32, &SparseUpdate)> = Vec::with_capacity(kept.len());
@@ -261,42 +265,58 @@ impl Strategy for GlueFlStrategy {
             }
         }
         // Shared parts all carry the same support M_t, so they are summed
-        // as contiguous value arrays (no per-element index indirection)
-        // and scattered through the mask once at the end.
+        // as contiguous value arrays (no per-element index indirection) —
+        // the shards already emit the masked (packed) layout.
         let shr_vals = accumulate_weighted_values(&shared_entries, self.shared_nnz, scratch);
         let uni_acc = accumulate_sparse(&unique_entries, self.dim, scratch);
 
-        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24). On regeneration
-        // rounds the shared parts are empty, so the combined update is
-        // exactly the selected unique aggregate — which is also what the
-        // §3.3 regeneration rule shifts the mask from.
+        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24), staged densely so
+        // the mask shift's top-k can scan it; the staging buffer stays
+        // server-internal — what leaves this function is the packed
+        // MaskedUpdate. On regeneration rounds the shared parts are
+        // empty, so the combined update is exactly the selected unique
+        // aggregate — which is also what the §3.3 regeneration rule
+        // shifts the mask from.
         let mut combined = scratch.take_zeroed(self.dim);
+        let mut mask = scratch.take_mask(self.dim);
         if !regen {
             self.shared_mask.scatter_add(&mut combined, &shr_vals, 1.0);
+            mask.copy_from(&self.shared_mask);
         }
         // Δ̃_uni = top_{q−q_shr} of the weighted unique aggregate (line 23).
         let unique_k = self.unique_keep(round);
-        let idx = top_k_abs_masked_into(
-            &uni_acc,
-            unique_k,
-            TopKScope::Outside(&self.stats_excluded),
-            &mut scratch.topk,
-        );
-        for &i in idx {
-            combined[i] += uni_acc[i];
+        {
+            let idx = top_k_abs_masked_into(
+                &uni_acc,
+                unique_k,
+                TopKScope::Outside(&self.stats_excluded),
+                &mut scratch.topk,
+            );
+            for &i in idx {
+                combined[i] += uni_acc[i];
+                mask.set(i, true);
+            }
         }
-        scratch.put(shr_vals);
-        scratch.put(uni_acc);
+        // Pack the combined update over its support M_t ∪ uni-top-k.
+        let mut values = scratch.take_cleared();
+        mask.for_each_one(|i| values.push(combined[i]));
 
-        // Mask update (line 26 / §3.3 regeneration).
-        let next_mask = shift_mask_with(
+        // Mask update (line 26 / §3.3 regeneration), into a pooled mask;
+        // the outgoing shared mask is recycled.
+        let mut next_mask = scratch.take_mask(self.dim);
+        shift_mask_into(
             &combined,
             self.params.q_shr,
             Some(&self.eligible),
             &mut scratch.topk,
+            &mut next_mask,
         );
-        self.set_shared_mask(next_mask);
-        combined
+        let old = self.set_shared_mask(next_mask);
+        scratch.put_mask(old);
+        scratch.put(shr_vals);
+        scratch.put(uni_acc);
+        scratch.put(combined);
+        MaskedUpdate::new(mask, values)
     }
 
     fn finish_round(
@@ -441,7 +461,7 @@ mod tests {
         let _ = up;
         let up = s.compress(1, 1, Group::Sticky, &mut delta, &mut pool);
         let agg = s.aggregate(1, &[(1, Group::Sticky, up)], &mut pool);
-        assert_eq!(agg.len(), 20);
+        assert_eq!(agg.dim(), 20);
         // New mask has q_shr density.
         assert_eq!(s.shared_mask().count_ones(), 4);
     }
@@ -482,13 +502,9 @@ mod tests {
                 })
                 .collect();
             let agg = s.aggregate(round, &kept, &mut pool);
-            let support = BitMask::from_indices(
-                20,
-                agg.iter()
-                    .enumerate()
-                    .filter(|(_, v)| **v != 0.0)
-                    .map(|(i, _)| i),
-            );
+            let mut nonzero = Vec::new();
+            agg.for_each_nonzero(|i, _| nonzero.push(i));
+            let support = BitMask::from_indices(20, nonzero);
             if let Some(prev) = &prev_support {
                 let overlap = prev.overlap(&support);
                 assert!(

@@ -4,6 +4,7 @@ use super::{Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::accumulate_uploads;
 use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, MdSampler};
+use gluefl_tensor::MaskedUpdate;
 use rand::rngs::StdRng;
 
 /// FedAvg where each round's `K` participants are drawn i.i.d. from the
@@ -89,9 +90,9 @@ impl Strategy for MdFedAvgStrategy {
         _id: ClientId,
         _group: Group,
         delta: &mut [f32],
-        _scratch: &mut ScratchPool,
+        scratch: &mut ScratchPool,
     ) -> Upload {
-        Upload::Dense(delta.to_vec())
+        Upload::Dense(scratch.take_copy(delta))
     }
 
     fn aggregate(
@@ -99,12 +100,16 @@ impl Strategy for MdFedAvgStrategy {
         _round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32> {
+    ) -> MaskedUpdate {
         let entries: Vec<(f32, &Upload)> = kept
             .iter()
             .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
             .collect();
-        accumulate_uploads(&entries, self.dim, scratch)
+        let acc = accumulate_uploads(&entries, self.dim, scratch);
+        // Dense update under a full mask (same layout as FedAvg).
+        let mut mask = scratch.take_mask(self.dim);
+        mask.fill_ones();
+        MaskedUpdate::new(mask, acc)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -189,7 +194,8 @@ mod tests {
         let mut pool = ScratchPool::new();
         let agg = s.aggregate(0, &kept, &mut pool);
         // Weights sum to 1, every delta is all-ones → aggregate all-ones.
-        for v in agg {
+        assert!(agg.is_dense());
+        for v in agg.values() {
             assert!((v - 1.0).abs() < 1e-6);
         }
     }

@@ -26,7 +26,7 @@ use crate::scratch::ScratchPool;
 use gluefl_compress::mask_shift::ClientSplit;
 use gluefl_sampling::ClientId;
 use gluefl_tensor::wire::HEADER_BYTES;
-use gluefl_tensor::SparseUpdate;
+use gluefl_tensor::{MaskedUpdate, SparseUpdate};
 use rand::rngs::StdRng;
 
 /// Which pool a participant was drawn from.
@@ -163,16 +163,44 @@ impl Upload {
 /// 1. [`Strategy::plan_round`] — invitations (with over-commitment);
 /// 2. [`Strategy::compress`] — once per invited client, after local
 ///    training (may mutate the delta via error compensation);
-/// 3. [`Strategy::aggregate`] — once, over the *kept* uploads; returns the
-///    dense update to apply to trainable positions;
+/// 3. [`Strategy::aggregate`] — once, over the *kept* uploads; returns
+///    the round's server update as a [`MaskedUpdate`] over trainable
+///    positions;
 /// 4. [`Strategy::finish_round`] — post-round bookkeeping (sticky group
 ///    rebalancing).
 ///
+/// # The `MaskedUpdate` contract
+///
+/// Aggregation returns a [`MaskedUpdate`] — a support mask plus values
+/// packed in position order — rather than a dense `Vec<f32>`. Masking
+/// strategies (GlueFL, STC, APF) cover only the `O(q·d)` positions their
+/// algorithm actually changes; dense strategies (FedAvg variants) return
+/// their accumulator under a full mask, which makes the packed layout
+/// coincide with the dense vector. The simulator applies the update with
+/// [`gluefl_tensor::MaskedUpdate::add_to`] (word-level scatter /
+/// [`gluefl_tensor::vecops::masked_axpy`]) and scans changed positions
+/// with [`gluefl_tensor::MaskedUpdate::for_each_nonzero`], so the apply
+/// path never walks the full parameter vector for a sparse round. The
+/// per-position arithmetic is a single `+=`, bit-identical to the dense
+/// reference (`add_assign` of the densified update).
+///
+/// BatchNorm statistic positions are either absent from the returned
+/// mask (STC and GlueFL exclude them from every top-k scope) or covered
+/// with *exact-zero* values (FedAvg's full mask and APF's active mask,
+/// since client deltas are zeroed at statistic positions before
+/// compression). Either way the masked apply leaves statistics untouched;
+/// the simulator aggregates them separately (Appendix-D plain mean) and
+/// adds the means straight into the parameters afterwards.
+///
+/// # Pooling
+///
 /// `compress` and `aggregate` receive the simulation's [`ScratchPool`];
-/// strategies route top-k selections and dense accumulators through it so
-/// the per-round hot path is allocation-free in steady state. Buffers
-/// returned by `aggregate` come from the pool and are handed back by the
-/// simulator after use.
+/// strategies route top-k selections, dense accumulators, sparse
+/// index/value arenas, and support masks through it so the per-round hot
+/// path is allocation-free in steady state. The mask and values inside
+/// the returned [`MaskedUpdate`] come from the pool; the simulator hands
+/// them back with [`ScratchPool::put_update`] after applying, and returns
+/// every consumed upload's buffers with [`ScratchPool::reclaim_upload`].
 pub trait Strategy: Send {
     /// Display name for reports.
     fn name(&self) -> String;
@@ -199,18 +227,20 @@ pub trait Strategy: Send {
         scratch: &mut ScratchPool,
     ) -> Upload;
 
-    /// Aggregates the kept uploads into a dense update over trainable
-    /// positions (zeros elsewhere) and performs mask updates.
+    /// Aggregates the kept uploads into a [`MaskedUpdate`] over trainable
+    /// positions and performs mask updates (see the trait-level
+    /// `MaskedUpdate` contract).
     ///
     /// Implementations should route accumulation through
     /// [`crate::aggregate`] so the reduction order stays deterministic
-    /// under the `parallel` feature.
+    /// under the `parallel` feature, and draw the returned mask/values
+    /// from `scratch`.
     fn aggregate(
         &mut self,
         round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32>;
+    ) -> MaskedUpdate;
 
     /// Post-round bookkeeping with the kept participants.
     fn finish_round(

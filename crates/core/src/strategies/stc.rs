@@ -6,7 +6,7 @@ use crate::scratch::ScratchPool;
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::{CompensationMode, ErrorCompensator};
 use gluefl_sampling::{ClientId, UniformSampler};
-use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
 /// The masking-only STC of Algorithm 1: clients upload `top_q(Δ_i)` (with
@@ -116,13 +116,14 @@ impl Strategy for StcStrategy {
         // participation, then sparsify, then remember the new residual.
         self.ec.apply(id, delta, 1.0);
         let k = keep_count(self.trainable, self.q);
+        let (ix, vals) = scratch.take_sparse();
         let idx = top_k_abs_masked_into(
             delta,
             k,
             TopKScope::Outside(&self.stats_excluded),
             &mut scratch.topk,
         );
-        let sparse = SparseUpdate::gather(delta, idx);
+        let sparse = SparseUpdate::gather_in(delta, idx, ix, vals);
         if self.quantize {
             // The residual must reflect what the server actually receives
             // (the dequantized values), so quantization loss is carried
@@ -142,15 +143,17 @@ impl Strategy for StcStrategy {
         _round: u32,
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
-    ) -> Vec<f32> {
+    ) -> MaskedUpdate {
         let entries: Vec<(f32, &Upload)> = kept
             .iter()
             .map(|(id, group, upload)| (self.client_weight(*id, *group) as f32, upload))
             .collect();
         let acc = accumulate_uploads(&entries, self.dim, scratch);
-        // Server-side masking (Algorithm 1 line 17): keep top q of the
-        // aggregate, zero the rest.
-        let mut masked = scratch.take_zeroed(self.dim);
+        // Server-side masking (Algorithm 1 line 17): the update *is* the
+        // top q of the aggregate, so the mask/packed-values layout is
+        // emitted directly — no dense re-materialisation.
+        let mut mask = scratch.take_mask(self.dim);
+        let mut values = scratch.take_cleared();
         let k = keep_count(self.trainable, self.q);
         let idx = top_k_abs_masked_into(
             &acc,
@@ -158,11 +161,13 @@ impl Strategy for StcStrategy {
             TopKScope::Outside(&self.stats_excluded),
             &mut scratch.topk,
         );
+        // `idx` is strictly increasing, so pushes land in mask-bit order.
         for &i in idx {
-            masked[i] = acc[i];
+            mask.set(i, true);
+            values.push(acc[i]);
         }
         scratch.put(acc);
-        masked
+        MaskedUpdate::new(mask, values)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
@@ -223,12 +228,8 @@ mod tests {
         let mut pool = ScratchPool::new();
         let agg = s.aggregate(0, &kept, &mut pool);
         // top 25% of 8 = 2 positions survive: 0 (sum 10·w) and 7 (6·w).
-        let nonzero: Vec<usize> = agg
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| **v != 0.0)
-            .map(|(i, _)| i)
-            .collect();
+        let mut nonzero = Vec::new();
+        agg.for_each_nonzero(|i, _| nonzero.push(i));
         assert_eq!(nonzero, vec![0, 7]);
     }
 
@@ -249,7 +250,9 @@ mod tests {
             .collect();
         let mut pool = ScratchPool::new();
         let agg = s.aggregate(0, &kept, &mut pool);
-        let changed = agg.iter().filter(|v| **v != 0.0).count();
+        assert!(agg.nnz() <= 2, "mask covers {} > q·d = 2", agg.nnz());
+        let mut changed = 0usize;
+        agg.for_each_nonzero(|_, _| changed += 1);
         assert!(changed <= 2, "changed {changed} exceeds q·d = 2");
     }
 

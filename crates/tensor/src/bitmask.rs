@@ -174,6 +174,29 @@ impl BitMask {
         out
     }
 
+    /// Resets the mask in place to all-zeros over `len` positions,
+    /// reusing the word allocation (buffer-pool friendly: a pooled mask
+    /// is `reset` instead of reallocated).
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the word
+    /// allocation (any previous length is discarded).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.len = src.len;
+        self.words.clear();
+        self.words.extend_from_slice(&src.words);
+    }
+
+    /// Sets every bit in place (the all-ones mask of the current length).
+    pub fn fill_ones(&mut self) {
+        self.words.fill(u64::MAX);
+        self.clear_tail();
+    }
+
     /// Merges `other` into `self` in place (set union).
     ///
     /// # Panics
@@ -270,9 +293,13 @@ impl BitMask {
     /// Adds `scale × values[j]` to the `j`-th covered position of `dense`,
     /// where `values` is packed in increasing position order.
     ///
-    /// This is the aggregation kernel for mask-aligned uploads: when many
-    /// clients share the same mask, their value arrays can be summed
-    /// contiguously and scattered through the mask once.
+    /// This is the aggregation/apply kernel for mask-aligned payloads:
+    /// when many clients share the same mask, their value arrays can be
+    /// summed contiguously and scattered through the mask once — and the
+    /// server applies a packed [`crate::MaskedUpdate`] the same way.
+    /// Word-level: all-zero words are skipped, all-ones words run the
+    /// dense AXPY kernel over the 64 contiguous packed values, and only
+    /// mixed words fall back to per-bit scatter.
     ///
     /// # Panics
     /// Panics if `dense.len() != self.len()` or `values.len()` differs
@@ -294,8 +321,19 @@ impl BitMask {
         );
         let mut j = 0usize;
         for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
+            if word == 0 {
+                continue;
+            }
             let base = wi * 64;
+            if word == u64::MAX {
+                // A full word has 64 set bits, so the packed values are
+                // contiguous and the dense chunk is a whole word: run the
+                // vectorized AXPY (same per-element `+= scale·v`).
+                crate::vecops::axpy(&mut dense[base..base + 64], scale, &values[j..j + 64]);
+                j += 64;
+                continue;
+            }
+            let mut w = word;
             while w != 0 {
                 let i = base + w.trailing_zeros() as usize;
                 dense[i] += scale * values[j];
@@ -569,6 +607,51 @@ mod tests {
     fn scatter_add_rejects_wrong_value_count() {
         let m = BitMask::from_indices(8, [1usize, 2]);
         m.scatter_add(&mut [0.0; 8], &[1.0], 1.0);
+    }
+
+    #[test]
+    fn scatter_add_full_word_fast_path_matches_per_bit() {
+        // First word all-ones, second all-zero, third mixed, tail partial.
+        let n = 200;
+        let m = BitMask::from_indices(n, (0..64).chain((128..200).filter(|i| i % 2 == 0)));
+        let values: Vec<f32> = (0..m.count_ones()).map(|j| j as f32 - 20.0).collect();
+        let mut fast = vec![1.0f32; n];
+        m.scatter_add(&mut fast, &values, 0.5);
+        let mut slow = vec![1.0f32; n];
+        let mut j = 0usize;
+        for (i, s) in slow.iter_mut().enumerate() {
+            if m.get(i) {
+                *s += 0.5 * values[j];
+                j += 1;
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut m = BitMask::from_indices(100, [3usize, 99]);
+        m.reset(70);
+        assert_eq!(m.len(), 70);
+        assert_eq!(m.count_ones(), 0);
+        m.set(69, true);
+        assert!(m.get(69));
+    }
+
+    #[test]
+    fn copy_from_overwrites_any_previous_state() {
+        let src = BitMask::from_indices(130, [0usize, 64, 129]);
+        let mut dst = BitMask::ones(5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn fill_ones_respects_tail() {
+        let mut m = BitMask::zeros(70);
+        m.fill_ones();
+        assert_eq!(m, BitMask::ones(70));
+        assert_eq!(m.count_ones(), 70);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`SparseUpdate`] — an (indices, values) view of a masked model delta,
 //!   with the wire-size accounting (`bitmap` vs `index` encoding) used for
 //!   all bandwidth measurements in the evaluation.
+//! * [`MaskedUpdate`] — a mask plus *packed* values, the server-side
+//!   aggregate representation: strategies return one per round and the
+//!   simulator applies it with the word-level scatter/[`vecops::masked_axpy`]
+//!   kernels instead of a dense `O(d)` walk.
 //! * [`vecops`] — axpy/scale/dot kernels shared by the ML substrate, plus
 //!   fused masked kernels for the round hot path.
 //! * [`rng`] — deterministic seed derivation so that every experiment in the
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod bitmask;
+mod masked;
 pub mod rng;
 mod sparse;
 mod topk;
@@ -71,6 +76,7 @@ pub mod vecops;
 pub mod wire;
 
 pub use bitmask::{BitMask, SetBits, ZeroBits};
+pub use masked::MaskedUpdate;
 pub use sparse::SparseUpdate;
 pub use topk::{top_k_abs, top_k_abs_masked, top_k_abs_masked_into, TopKScope, TopKScratch};
 pub use wire::{WireCost, WireEncoding, BYTES_PER_VALUE};

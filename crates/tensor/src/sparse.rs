@@ -76,10 +76,29 @@ impl SparseUpdate {
     /// Panics if `dense.len() != mask.len()`.
     #[must_use]
     pub fn from_dense_masked(dense: &[f32], mask: &BitMask) -> Self {
+        Self::from_dense_masked_in(dense, mask, Vec::new(), Vec::new())
+    }
+
+    /// Buffer-reusing form of [`SparseUpdate::from_dense_masked`]: fills
+    /// the caller's `indices`/`values` buffers (cleared first) instead of
+    /// allocating fresh ones. Pair with [`SparseUpdate::into_buffers`] and
+    /// a pool to keep the compress hot path allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != mask.len()`.
+    #[must_use]
+    pub fn from_dense_masked_in(
+        dense: &[f32],
+        mask: &BitMask,
+        mut indices: Vec<u32>,
+        mut values: Vec<f32>,
+    ) -> Self {
         assert_eq!(dense.len(), mask.len(), "mask/vector length mismatch");
         let nnz = mask.count_ones();
-        let mut indices = Vec::with_capacity(nnz);
-        let mut values = Vec::with_capacity(nnz);
+        indices.clear();
+        indices.reserve(nnz);
+        values.clear();
+        values.reserve(nnz);
         mask.for_each_one(|i| {
             indices.push(i as u32);
             values.push(dense[i]);
@@ -98,8 +117,25 @@ impl SparseUpdate {
     /// Panics if indices are unsorted, repeated, or out of range.
     #[must_use]
     pub fn gather(dense: &[f32], sorted_indices: &[usize]) -> Self {
-        let mut indices = Vec::with_capacity(sorted_indices.len());
-        let mut values = Vec::with_capacity(sorted_indices.len());
+        Self::gather_in(dense, sorted_indices, Vec::new(), Vec::new())
+    }
+
+    /// Buffer-reusing form of [`SparseUpdate::gather`]: fills the caller's
+    /// `indices`/`values` buffers (cleared first) instead of allocating.
+    ///
+    /// # Panics
+    /// Panics if indices are unsorted, repeated, or out of range.
+    #[must_use]
+    pub fn gather_in(
+        dense: &[f32],
+        sorted_indices: &[usize],
+        mut indices: Vec<u32>,
+        mut values: Vec<f32>,
+    ) -> Self {
+        indices.clear();
+        indices.reserve(sorted_indices.len());
+        values.clear();
+        values.reserve(sorted_indices.len());
         let mut prev: Option<usize> = None;
         for &i in sorted_indices {
             assert!(i < dense.len(), "index {i} out of range {}", dense.len());
@@ -115,6 +151,13 @@ impl SparseUpdate {
             indices,
             values,
         }
+    }
+
+    /// Decomposes into the `(indices, values)` buffers so a pool can
+    /// recycle their allocations (the inverse of the `*_in` constructors).
+    #[must_use]
+    pub fn into_buffers(self) -> (Vec<u32>, Vec<f32>) {
+        (self.indices, self.values)
     }
 
     /// Dimension of the underlying parameter vector.
@@ -287,6 +330,22 @@ mod tests {
     #[should_panic(expected = "sorted and unique")]
     fn gather_rejects_unsorted() {
         let _ = SparseUpdate::gather(&[1.0, 2.0], &[1, 0]);
+    }
+
+    #[test]
+    fn in_place_constructors_reuse_buffers_and_match() {
+        let dense = vec![1.0f32, 0.0, 3.0, 4.0];
+        let mask = BitMask::from_indices(4, [0usize, 2]);
+        let fresh = SparseUpdate::from_dense_masked(&dense, &mask);
+        // Recycle dirty buffers through the in-place constructor.
+        let (ix, vals) = SparseUpdate::from_pairs(9, vec![(8, 9.0)]).into_buffers();
+        let reused = SparseUpdate::from_dense_masked_in(&dense, &mask, ix, vals);
+        assert_eq!(reused, fresh);
+
+        let fresh = SparseUpdate::gather(&dense, &[1, 3]);
+        let (ix, vals) = reused.into_buffers();
+        let reused = SparseUpdate::gather_in(&dense, &[1, 3], ix, vals);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! mismatch — models in this workspace are always flat parameter vectors,
 //! so no shape machinery is needed.
 //!
-//! The element-wise kernels process fixed [`LANES`]-wide chunks with a
+//! The element-wise kernels process fixed `LANES`-wide chunks with a
 //! scalar remainder so the compiler can auto-vectorize the inner loops;
 //! reductions keep one accumulator per lane and combine them in a fixed
 //! order, so results are deterministic for a given input (independent of
@@ -77,7 +77,7 @@ pub fn add_assign(y: &mut [f32], x: &[f32]) {
 
 /// Dot product `⟨x, y⟩` accumulated in `f64` for stability.
 ///
-/// Uses [`LANES`] independent accumulators combined in a fixed order, so
+/// Uses `LANES` independent accumulators combined in a fixed order, so
 /// the result is deterministic for a given input.
 ///
 /// # Panics
@@ -176,7 +176,7 @@ pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
 /// Fused masked AXPY: `y[i] ← y[i] + a·x[i]` for every position `i`
 /// covered by `mask`; other positions are untouched.
 ///
-/// Word-level: all-ones mask words run the dense [`LANES`]-chunk kernel,
+/// Word-level: all-ones mask words run the dense `LANES`-chunk kernel,
 /// all-zero words are skipped entirely.
 ///
 /// # Panics

@@ -1,0 +1,182 @@
+//! Masked-apply equivalence: the `MaskedUpdate` pipeline (compress →
+//! aggregate → word-level masked apply, with all buffers recycled through
+//! the [`ScratchPool`]) must produce **bit-identical** global parameters
+//! to the dense-apply reference (densify the update, dense `add_assign`)
+//! over many rounds, for GlueFL, STC, and FedAvg.
+//!
+//! The test runs under both feature configurations: the plain build
+//! exercises the serial sharded aggregation, and
+//! `cargo test --features parallel` (CI's parity gate) exercises the
+//! threaded shards feeding the same masked layout.
+
+use gluefl_compress::{ApfConfig, CompensationMode};
+use gluefl_core::strategies::{
+    ApfStrategy, FedAvgStrategy, GlueFlStrategy, StcStrategy, Strategy, Upload,
+};
+use gluefl_core::{GlueFlParams, ScratchPool};
+use gluefl_sampling::overcommit::OcStrategy;
+use gluefl_suite::tensor::{vecops, BitMask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 30;
+const K: usize = 6;
+const DIM: usize = 300;
+const STATS: usize = 20; // last 20 positions mimic BN statistics
+const ROUNDS: u32 = 8;
+
+fn stats_excluded() -> BitMask {
+    BitMask::from_indices(DIM, DIM - STATS..DIM)
+}
+
+/// Drives `rounds` full strategy rounds with deterministic pseudo-random
+/// client deltas, maintaining two copies of the global parameters: one
+/// updated through the masked pipeline (`MaskedUpdate::add_to`), one
+/// through the dense reference (`to_dense` + `add_assign`). Both must
+/// stay bit-identical, and the masked changed-position scan must agree
+/// with a dense scan.
+fn assert_masked_apply_matches_dense_reference(mut strategy: Box<dyn Strategy>, seed: u64) {
+    let name = strategy.name();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = ScratchPool::new();
+    let mut delta_rng = StdRng::seed_from_u64(seed ^ 0xD17A);
+    let mut params_masked: Vec<f32> = (0..DIM)
+        .map(|_| delta_rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let mut params_ref = params_masked.clone();
+
+    for round in 0..ROUNDS {
+        let plan = strategy.plan_round(round, &mut rng, &[true; N]);
+        let mut kept: Vec<(usize, gluefl_core::strategies::Group, Upload)> = Vec::new();
+        for (id, group) in plan.invited() {
+            // Trainable random delta with BN-statistic positions zeroed,
+            // exactly as local training hands deltas to `compress`.
+            let mut delta: Vec<f32> = (0..DIM)
+                .map(|i| {
+                    if i >= DIM - STATS {
+                        0.0
+                    } else {
+                        delta_rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect();
+            let upload = strategy.compress(round, id, group, &mut delta, &mut pool);
+            kept.push((id, group, upload));
+        }
+        kept.sort_by_key(|(id, _, _)| *id);
+        let update = strategy.aggregate(round, &kept, &mut pool);
+
+        // Masked pipeline: word-level scatter / masked AXPY.
+        update.add_to(&mut params_masked);
+        let mut changed_masked = Vec::new();
+        update.for_each_nonzero(|i, _| changed_masked.push(i));
+
+        // Dense reference: densify, then a plain dense add.
+        let dense = update.to_dense();
+        vecops::add_assign(&mut params_ref, &dense);
+        let changed_ref: Vec<usize> = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| (*v != 0.0).then_some(i))
+            .collect();
+
+        assert_eq!(
+            changed_masked, changed_ref,
+            "{name}: changed-position scans diverged at round {round}"
+        );
+        for i in 0..DIM {
+            assert_eq!(
+                params_masked[i].to_bits(),
+                params_ref[i].to_bits(),
+                "{name}: params diverged at round {round}, position {i}: \
+                 masked {} vs dense {}",
+                params_masked[i],
+                params_ref[i]
+            );
+        }
+
+        // Recycle everything, as the simulator does — later rounds then
+        // run on reused buffers, which must not perturb the results.
+        for (_, _, upload) in kept {
+            pool.reclaim_upload(upload);
+        }
+        pool.put_update(update);
+        strategy.finish_round(round, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
+    }
+    assert!(
+        pool.idle_buffers() > 0,
+        "{name}: pool never saw a recycled buffer"
+    );
+}
+
+#[test]
+fn fedavg_masked_pipeline_is_bit_identical_to_dense_apply() {
+    let weights = vec![1.0 / N as f64; N];
+    let s = Box::new(FedAvgStrategy::new(N, K, 1.0, weights, DIM));
+    assert_masked_apply_matches_dense_reference(s, 11);
+}
+
+#[test]
+fn apf_masked_pipeline_is_bit_identical_to_dense_apply() {
+    // APF is the one strategy whose (warm-up) active mask covers the
+    // BN-statistic positions — with exact-zero packed values, per the
+    // Strategy contract — and whose aggregation runs entirely in the
+    // packed layout; a short warm-up makes freezing shrink the mask
+    // within the tested window.
+    let weights = vec![1.0 / N as f64; N];
+    let config = ApfConfig {
+        threshold: 0.1,
+        ema_beta: 0.9,
+        initial_period: 2,
+        max_period: 8,
+        warmup_rounds: 3,
+    };
+    let s = Box::new(ApfStrategy::new(N, K, 1.0, weights, config, DIM));
+    assert_masked_apply_matches_dense_reference(s, 44);
+}
+
+#[test]
+fn stc_masked_pipeline_is_bit_identical_to_dense_apply() {
+    let weights = vec![1.0 / N as f64; N];
+    let s = Box::new(StcStrategy::new(
+        N,
+        K,
+        1.0,
+        weights,
+        0.25,
+        DIM - STATS,
+        DIM,
+        stats_excluded(),
+    ));
+    assert_masked_apply_matches_dense_reference(s, 22);
+}
+
+#[test]
+fn gluefl_masked_pipeline_is_bit_identical_to_dense_apply() {
+    let params = GlueFlParams {
+        q: 0.3,
+        q_shr: 0.2,
+        sticky_group: 12,
+        sticky_draw: 4,
+        // Interval 3 puts regeneration rounds (empty shared parts, full-q
+        // unique top-k) inside the tested window.
+        regen_interval: Some(3),
+        compensation: CompensationMode::Rescaled,
+        equal_weights: false,
+    };
+    let weights = vec![1.0 / N as f64; N];
+    let mut init_rng = StdRng::seed_from_u64(7);
+    let s = Box::new(GlueFlStrategy::new(
+        N,
+        K,
+        1.0,
+        OcStrategy::Proportional,
+        weights,
+        params,
+        DIM - STATS,
+        DIM,
+        stats_excluded(),
+        &mut init_rng,
+    ));
+    assert_masked_apply_matches_dense_reference(s, 33);
+}

@@ -59,9 +59,7 @@ fn gluefl_aggregate_is_unbiased_monte_carlo() {
             kept.push((id, group, upload));
         }
         let agg = strategy.aggregate(round, &kept, &mut pool);
-        for (a, g) in acc.iter_mut().zip(&agg) {
-            *a += f64::from(*g);
-        }
+        agg.for_each_nonzero(|i, g| acc[i] += f64::from(g));
         strategy.finish_round(round, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
     }
 
@@ -120,12 +118,12 @@ fn equal_weights_are_biased_toward_sticky_clients() {
             kept.push((id, group, upload));
         }
         let agg = strategy.aggregate(round, &kept, &mut pool);
-        for (i, g) in agg.iter().enumerate() {
-            total_mass += f64::from(*g);
+        agg.for_each_nonzero(|i, g| {
+            total_mass += f64::from(g);
             if was_sticky[i] {
-                sticky_mass += f64::from(*g);
+                sticky_mass += f64::from(g);
             }
-        }
+        });
         strategy.finish_round(round, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
     }
     let sticky_share = sticky_mass / total_mass;
