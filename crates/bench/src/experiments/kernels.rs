@@ -1,21 +1,30 @@
 //! Hot-path kernel microbenchmarks: pre-refactor baselines vs the current
 //! word-level kernels, with a machine-readable `BENCH_kernels.json`.
 //!
-//! This is the perf ledger for the compute spine (top-k sparsification and
-//! masked delta aggregation, the per-round dominant costs at
-//! `d ≈ 10⁶`). The *baselines are compiled into this experiment*: they are
-//! verbatim copies of the pre-refactor implementations (per-bit scope
-//! filtering + index-keyed introselect; per-client indirect sparse
-//! scatter), so every run re-measures the speedup on the machine at hand
-//! rather than trusting historical numbers. Each pair is also checked for
-//! identical output before timing.
+//! This is the perf ledger for the compute spine (top-k sparsification,
+//! masked delta aggregation, masked apply, and the `K × steps` local
+//! client training loop — the per-round dominant costs). The *baselines
+//! are compiled into this experiment*: they are verbatim copies of the
+//! pre-refactor implementations (per-bit scope filtering + index-keyed
+//! introselect; per-client indirect sparse scatter; deep-clone-per-client
+//! allocating training, see the `local_train_baseline` module), so every
+//! run re-measures the speedup on the machine at hand rather than
+//! trusting historical numbers. Each pair is also checked for identical
+//! output before timing.
 //!
-//! Run with `expt kernels [--quick] [--out DIR]`; writes
-//! `BENCH_kernels.json` into the output directory.
+//! Run with `expt kernels [--quick] [--out DIR] [--check FILE]`; writes
+//! `BENCH_kernels.json` into the output directory. With `--check FILE`
+//! the run fails if the committed ledger `FILE` is missing any kernel
+//! entry this benchmark emits (CI's ledger-freshness gate).
 
+use super::local_train_baseline::{baseline_local_train, pooled_local_train, BaselineMlp};
 use crate::ExptOpts;
 use gluefl_core::aggregate::{accumulate_sparse, accumulate_weighted_values};
 use gluefl_core::ScratchPool;
+use gluefl_core::TrainSlot;
+use gluefl_data::{DatasetProfile, SyntheticFlDataset};
+use gluefl_ml::{Mlp, MlpConfig, Sgd, TrainScratch};
+use gluefl_tensor::rng::derive_seed;
 use gluefl_tensor::{
     top_k_abs_masked_into, vecops, BitMask, MaskedUpdate, SparseUpdate, TopKScope, TopKScratch,
 };
@@ -166,6 +175,177 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         });
     }
 
+    // --- local client training (the K × steps per-round inner loop). ---
+    // Baseline: the pre-refactor path — deep model clone per client,
+    // fresh activation/cache/gradient/velocity allocations per minibatch.
+    // New: `local_train_into` over one pooled `TrainSlot` (parameter
+    // buffer `copy_from_slice`, reused `TrainScratch`). Both are gated
+    // for bit-identical deltas before timing. The shape mirrors the
+    // simulator's paper setup: FEMNIST profile (64 features, 62 classes),
+    // ShuffleNet-like hidden [192, 96] with BatchNorm (~38k params),
+    // batch 16, E = 10 local steps, K = 30 kept clients. NOTE: the
+    // arithmetic is pinned bit-identical, so at matmul-bound shapes the
+    // serial entries measure only the allocator overhead (≈ break-even);
+    // the structural win is that the pooled slots make client-parallel
+    // sharding (`--features parallel`) contention-free.
+    {
+        let (clients, steps) = if opts.quick { (6, 3) } else { (30, 10) };
+        let batch = 16;
+        let (lr, momentum) = (0.05f32, 0.9f32);
+        let mut ds_cfg = DatasetProfile::Femnist.config(0.02);
+        ds_cfg.test_samples = 32;
+        let mcfg = MlpConfig {
+            input_dim: ds_cfg.feature_dim,
+            hidden: vec![192, 96],
+            classes: ds_cfg.classes,
+            batch_norm: true,
+        };
+        let mut mrng = StdRng::seed_from_u64(opts.seed ^ 0x10c4);
+        let model = Mlp::new(mcfg, &mut mrng);
+        let proto = BaselineMlp::from_model(&model);
+        let data = SyntheticFlDataset::generate(ds_cfg, opts.seed ^ 0x77);
+        assert!(data.num_clients() >= clients, "dataset too small");
+        let global = model.params().to_vec();
+        let trainable_mask = model.layout().trainable_mask();
+        let stats_positions: Vec<usize> = trainable_mask.not().iter_ones().collect();
+        let dm = model.num_params();
+        let mut slot = TrainSlot::default();
+
+        // Equivalence gate: bit-identical deltas and BN drift per client.
+        for id in 0..clients.min(4) {
+            let seed = derive_seed(opts.seed, "bench-train", id as u64);
+            let mut out_b = vec![0.0f32; dm];
+            let mut stats_b = vec![0.0f32; stats_positions.len()];
+            baseline_local_train(
+                &proto,
+                &global,
+                &data.client(id),
+                steps,
+                batch,
+                lr,
+                momentum,
+                seed,
+                &mut out_b,
+                &stats_positions,
+                &mut stats_b,
+                &trainable_mask,
+            );
+            let mut out_n = vec![0.0f32; dm];
+            let mut stats_n = vec![0.0f32; stats_positions.len()];
+            pooled_local_train(
+                &model,
+                &global,
+                &data,
+                id,
+                steps,
+                batch,
+                lr,
+                momentum,
+                seed,
+                &mut out_n,
+                &stats_positions,
+                &mut stats_n,
+                &trainable_mask,
+                &mut slot,
+            );
+            assert!(
+                out_b
+                    .iter()
+                    .zip(&out_n)
+                    .chain(stats_b.iter().zip(&stats_n))
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "local-train kernels diverged for client {id}"
+            );
+        }
+
+        // Per-step: one loss_and_grad + SGD update on a fixed minibatch.
+        let (bx, by) = data
+            .client(0)
+            .sample_batch(&mut StdRng::seed_from_u64(opts.seed ^ 0x51ec), batch);
+        let mut bmodel = proto.clone();
+        let mut bopt = Sgd::new(dm, lr, momentum);
+        let mut params_new = global.clone();
+        let mut scratch = TrainScratch::new();
+        scratch.reset_velocity();
+        let topo = model.topology();
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                let (_, g) = bmodel.loss_and_grad(&bx, &by);
+                bopt.step(bmodel.params_mut(), &g);
+                g.len()
+            },
+            || {
+                let _ = topo.loss_and_grad_into(&mut params_new, &bx, &by, &mut scratch);
+                scratch.sgd_step(&mut params_new, lr, momentum);
+                params_new.len()
+            },
+        );
+        entries.push(Entry {
+            name: "local_train_step",
+            baseline_ns,
+            new_ns,
+        });
+
+        // Per-round: every client starts from the global weights (clone
+        // vs copy_from_slice), trains `steps` minibatches, and extracts
+        // its delta — the simulator's whole training phase.
+        let mut out_b = vec![0.0f32; dm];
+        let mut stats_b = vec![0.0f32; stats_positions.len()];
+        let mut out_n = vec![0.0f32; dm];
+        let mut stats_n = vec![0.0f32; stats_positions.len()];
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                for id in 0..clients {
+                    let seed = derive_seed(opts.seed, "bench-round", id as u64);
+                    baseline_local_train(
+                        &proto,
+                        &global,
+                        &data.client(id),
+                        steps,
+                        batch,
+                        lr,
+                        momentum,
+                        seed,
+                        &mut out_b,
+                        &stats_positions,
+                        &mut stats_b,
+                        &trainable_mask,
+                    );
+                }
+                clients
+            },
+            || {
+                for id in 0..clients {
+                    let seed = derive_seed(opts.seed, "bench-round", id as u64);
+                    pooled_local_train(
+                        &model,
+                        &global,
+                        &data,
+                        id,
+                        steps,
+                        batch,
+                        lr,
+                        momentum,
+                        seed,
+                        &mut out_n,
+                        &stats_positions,
+                        &mut stats_n,
+                        &trainable_mask,
+                        &mut slot,
+                    );
+                }
+                clients
+            },
+        );
+        entries.push(Entry {
+            name: "local_train_round",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
     // --- Report. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"dim\": {d},");
@@ -196,7 +376,39 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     let path = opts.out_dir.join("BENCH_kernels.json");
     std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
+    if let Some(committed) = &opts.check {
+        check_ledger_freshness(committed, &entries)?;
+    }
     Ok(())
+}
+
+/// The ledger-freshness gate: every kernel entry this benchmark emits
+/// must already be present (by name) in the committed ledger at `path`,
+/// otherwise the committed numbers are stale — e.g. a new kernel landed
+/// without re-running `expt kernels` and committing the refreshed
+/// `BENCH_kernels.json`.
+fn check_ledger_freshness(path: &std::path::Path, entries: &[Entry]) -> Result<(), String> {
+    let committed = std::fs::read_to_string(path)
+        .map_err(|e| format!("ledger check: read {}: {e}", path.display()))?;
+    let missing: Vec<&str> = entries
+        .iter()
+        .map(|e| e.name)
+        .filter(|n| !committed.contains(&format!("\"name\": \"{n}\"")))
+        .collect();
+    if missing.is_empty() {
+        println!(
+            "ledger {} covers all {} kernel entries",
+            path.display(),
+            entries.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "committed ledger {} is stale: missing kernel entries {missing:?} — \
+             re-run `expt kernels --out .` and commit the refreshed BENCH_kernels.json",
+            path.display()
+        ))
+    }
 }
 
 /// Median wall-clock nanoseconds of two kernels measured back to back
@@ -326,6 +538,50 @@ mod tests {
         assert!(json.contains("topk_outside_16pct_mask"));
         assert!(json.contains("aggregate_masked_30_clients"));
         assert!(json.contains("masked_apply_20pct"));
+        assert!(json.contains("local_train_step"));
+        assert!(json.contains("local_train_round"));
         assert!(json.contains("speedup"));
+    }
+
+    /// The freshness gate passes when every emitted entry is present in
+    /// the committed ledger (matching the emitter's exact JSON shape) and
+    /// fails, naming the gap, when one is missing.
+    #[test]
+    fn ledger_freshness_gate_detects_stale_ledger() {
+        let dir = std::env::temp_dir().join("gluefl_kernels_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let entries = vec![
+            Entry {
+                name: "local_train_step",
+                baseline_ns: 2.0,
+                new_ns: 1.0,
+            },
+            Entry {
+                name: "local_train_round",
+                baseline_ns: 3.0,
+                new_ns: 1.0,
+            },
+        ];
+        // Fresh ledger: both names present, in the emitter's format.
+        let fresh = dir.join("fresh.json");
+        std::fs::write(
+            &fresh,
+            "{\"kernels\": [\n    {\"name\": \"local_train_step\", \"speedup\": 2.00},\n    \
+             {\"name\": \"local_train_round\", \"speedup\": 3.00}\n]}\n",
+        )
+        .unwrap();
+        check_ledger_freshness(&fresh, &entries).unwrap();
+        // Stale ledger: one emitted entry missing.
+        let stale = dir.join("stale.json");
+        std::fs::write(
+            &stale,
+            "{\"kernels\": [{\"name\": \"local_train_step\", \"speedup\": 2.00}]}\n",
+        )
+        .unwrap();
+        let err = check_ledger_freshness(&stale, &entries).unwrap_err();
+        assert!(err.contains("stale"), "unexpected error: {err}");
+        assert!(err.contains("local_train_round"));
+        // Unreadable ledger is an error, not a pass.
+        assert!(check_ledger_freshness(&dir.join("missing.json"), &entries).is_err());
     }
 }

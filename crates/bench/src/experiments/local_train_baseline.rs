@@ -1,0 +1,420 @@
+//! Verbatim pre-refactor local-training implementation, compiled into the
+//! kernel ledger as the `local_train_*` baseline.
+//!
+//! This is the client training path as it existed before the
+//! `TrainScratch` refactor: every client deep-clones the model, every
+//! minibatch allocates fresh activation/cache/gradient buffers inside
+//! `loss_and_grad`, the optimizer allocates its own velocity, and
+//! `sample_batch` allocates the staging vectors. Keeping the old code in
+//! tree (rather than trusting historical numbers) lets `expt kernels`
+//! re-measure the speedup of the pooled path on the machine at hand and
+//! assert bit-identical outputs first.
+//!
+//! One deliberate deviation: [`BaselineMlp`] stores offsets instead of
+//! the old `ParamLayout` (whose segment names were heap `String`s), so
+//! the baseline's per-client clone is slightly *cheaper* than the true
+//! pre-refactor clone — the measured speedup is a conservative lower
+//! bound.
+
+use gluefl_data::{ClientDataset, SyntheticFlDataset};
+use gluefl_ml::{Mlp, Sgd};
+use gluefl_tensor::{vecops, BitMask};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Offsets of one linear layer inside the flat parameter vector.
+#[derive(Debug, Clone, Copy)]
+struct Lin {
+    in_dim: usize,
+    out_dim: usize,
+    w_off: usize,
+    b_off: usize,
+}
+
+/// Offsets and hyper-parameters of one BatchNorm layer.
+#[derive(Debug, Clone, Copy)]
+struct Bn {
+    dim: usize,
+    gamma_off: usize,
+    beta_off: usize,
+    mean_off: usize,
+    var_off: usize,
+    count_off: usize,
+    momentum: f32,
+    eps: f32,
+}
+
+/// Cached activations for one layer's backward pass (pre-refactor shape:
+/// freshly allocated every forward).
+#[derive(Debug, Clone)]
+struct LayerCache {
+    input: Vec<f32>,
+    bn: Option<BnCache>,
+    relu_mask: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+/// The pre-refactor allocating MLP: one flat parameter vector deep-cloned
+/// per client, fresh buffers per minibatch.
+#[derive(Debug, Clone)]
+pub(crate) struct BaselineMlp {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    classes: usize,
+    params: Vec<f32>,
+    linears: Vec<Lin>,
+    bns: Vec<Option<Bn>>,
+}
+
+impl BaselineMlp {
+    /// Mirrors a current [`Mlp`]: same architecture, same flat offsets
+    /// (read back from the layout segment names), same parameters.
+    pub(crate) fn from_model(model: &Mlp) -> Self {
+        let cfg = model.config();
+        let layout = model.layout();
+        let seg = |name: &str| {
+            layout
+                .segment(name)
+                .unwrap_or_else(|| panic!("segment {name}"))
+        };
+        let mut linears = Vec::new();
+        let mut bns = Vec::new();
+        let mut in_dim = cfg.input_dim;
+        for (i, &h) in cfg.hidden.iter().enumerate() {
+            linears.push(Lin {
+                in_dim,
+                out_dim: h,
+                w_off: seg(&format!("l{i}.weight")).start,
+                b_off: seg(&format!("l{i}.bias")).start,
+            });
+            if cfg.batch_norm {
+                bns.push(Some(Bn {
+                    dim: h,
+                    gamma_off: seg(&format!("bn{i}.weight")).start,
+                    beta_off: seg(&format!("bn{i}.bias")).start,
+                    mean_off: seg(&format!("bn{i}.running_mean")).start,
+                    var_off: seg(&format!("bn{i}.running_var")).start,
+                    count_off: seg(&format!("bn{i}.num_batches_tracked")).start,
+                    momentum: 0.1,
+                    eps: 1e-5,
+                }));
+            } else {
+                bns.push(None);
+            }
+            in_dim = h;
+        }
+        linears.push(Lin {
+            in_dim,
+            out_dim: cfg.classes,
+            w_off: seg("out.weight").start,
+            b_off: seg("out.bias").start,
+        });
+        Self {
+            input_dim: cfg.input_dim,
+            hidden: cfg.hidden.clone(),
+            classes: cfg.classes,
+            params: model.params().to_vec(),
+            linears,
+            bns,
+        }
+    }
+
+    pub(crate) fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    pub(crate) fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    pub(crate) fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn set_params(&mut self, new: &[f32]) {
+        self.params.copy_from_slice(new);
+    }
+
+    /// Pre-refactor `loss_and_grad`: training mode with running-statistics
+    /// updates, allocating every intermediate buffer.
+    pub(crate) fn loss_and_grad(&mut self, x: &[f32], y: &[usize]) -> (f64, Vec<f32>) {
+        let batch = x.len() / self.input_dim;
+        assert_eq!(batch, y.len(), "batch/label count mismatch");
+        let classes = self.classes;
+        let (mut logits, caches) = self.forward(x, batch);
+        gluefl_ml::loss::log_softmax_rows(&mut logits, batch, classes);
+        let mut d_logits = vec![0.0f32; logits.len()];
+        let loss = gluefl_ml::loss::nll_and_grad(&logits, y, classes, &mut d_logits);
+        let grad = self.backward(batch, &caches, d_logits);
+        (loss, grad)
+    }
+
+    fn forward(&mut self, x: &[f32], batch: usize) -> (Vec<f32>, Vec<LayerCache>) {
+        let n_hidden = self.hidden.len();
+        let mut caches = Vec::with_capacity(n_hidden);
+        let mut activ: Vec<f32> = x.to_vec();
+        for i in 0..n_hidden {
+            let lin = self.linears[i];
+            let z = self.linear_forward(&activ, batch, lin);
+            let (post_bn, bn_cache) = match self.bns[i] {
+                Some(bn) => {
+                    let (out, cache) = self.bn_forward(&z, batch, bn);
+                    (out, Some(cache))
+                }
+                None => (z.clone(), None),
+            };
+            let mut relu_mask = vec![false; post_bn.len()];
+            let mut a = post_bn;
+            for (v, m) in a.iter_mut().zip(relu_mask.iter_mut()) {
+                if *v > 0.0 {
+                    *m = true;
+                } else {
+                    *v = 0.0;
+                }
+            }
+            caches.push(LayerCache {
+                input: activ,
+                bn: bn_cache,
+                relu_mask,
+            });
+            activ = a;
+        }
+        let out_lin = *self.linears.last().expect("output layer exists");
+        let logits = self.linear_forward(&activ, batch, out_lin);
+        caches.push(LayerCache {
+            input: activ,
+            bn: None,
+            relu_mask: Vec::new(),
+        });
+        (logits, caches)
+    }
+
+    fn backward(&self, batch: usize, caches: &[LayerCache], d_logits: Vec<f32>) -> Vec<f32> {
+        let mut grad = vec![0.0f32; self.params.len()];
+        let n_hidden = self.hidden.len();
+        let out_lin = *self.linears.last().expect("output layer exists");
+        let out_cache = caches.last().expect("output cache exists");
+        let mut d_activ =
+            self.linear_backward(&out_cache.input, batch, out_lin, &d_logits, &mut grad);
+        for i in (0..n_hidden).rev() {
+            let cache = &caches[i];
+            for (d, &m) in d_activ.iter_mut().zip(&cache.relu_mask) {
+                if !m {
+                    *d = 0.0;
+                }
+            }
+            let d_pre_bn = match (&self.bns[i], &cache.bn) {
+                (Some(bn), Some(bn_cache)) => {
+                    self.bn_backward(batch, *bn, bn_cache, &d_activ, &mut grad)
+                }
+                _ => d_activ,
+            };
+            let lin = self.linears[i];
+            d_activ = self.linear_backward(&cache.input, batch, lin, &d_pre_bn, &mut grad);
+        }
+        grad
+    }
+
+    fn linear_forward(&self, input: &[f32], batch: usize, lin: Lin) -> Vec<f32> {
+        let w = &self.params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
+        let b = &self.params[lin.b_off..lin.b_off + lin.out_dim];
+        let mut out = vec![0.0f32; batch * lin.out_dim];
+        for r in 0..batch {
+            let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
+            let row = &mut out[r * lin.out_dim..(r + 1) * lin.out_dim];
+            for (o, dst) in row.iter_mut().enumerate() {
+                let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
+                let mut acc = b[o];
+                for (xi, wi) in xin.iter().zip(wrow) {
+                    acc += xi * wi;
+                }
+                *dst = acc;
+            }
+        }
+        out
+    }
+
+    fn linear_backward(
+        &self,
+        input: &[f32],
+        batch: usize,
+        lin: Lin,
+        d_out: &[f32],
+        grad: &mut [f32],
+    ) -> Vec<f32> {
+        let w = &self.params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
+        let mut d_in = vec![0.0f32; batch * lin.in_dim];
+        let (gw, gb) = (lin.w_off, lin.b_off);
+        for r in 0..batch {
+            let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
+            let drow = &d_out[r * lin.out_dim..(r + 1) * lin.out_dim];
+            let din_row = &mut d_in[r * lin.in_dim..(r + 1) * lin.in_dim];
+            for (o, &d) in drow.iter().enumerate() {
+                grad[gb + o] += d;
+                let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
+                let gw_row = gw + o * lin.in_dim;
+                for j in 0..lin.in_dim {
+                    grad[gw_row + j] += d * xin[j];
+                    din_row[j] += d * wrow[j];
+                }
+            }
+        }
+        d_in
+    }
+
+    fn bn_forward(&mut self, z: &[f32], batch: usize, bn: Bn) -> (Vec<f32>, BnCache) {
+        let dim = bn.dim;
+        let mut mu = vec![0.0f32; dim];
+        let mut var = vec![0.0f32; dim];
+        let inv_b = 1.0 / batch as f32;
+        for r in 0..batch {
+            for (o, m) in mu.iter_mut().enumerate() {
+                *m += z[r * dim + o] * inv_b;
+            }
+        }
+        for r in 0..batch {
+            for (o, v) in var.iter_mut().enumerate() {
+                let d = z[r * dim + o] - mu[o];
+                *v += d * d * inv_b;
+            }
+        }
+        // Running-statistics update (PyTorch semantics, unbiased var).
+        let unbias = if batch > 1 {
+            batch as f32 / (batch as f32 - 1.0)
+        } else {
+            1.0
+        };
+        let m = bn.momentum;
+        for o in 0..dim {
+            let rm = &mut self.params[bn.mean_off + o];
+            *rm = (1.0 - m) * *rm + m * mu[o];
+            let rv = &mut self.params[bn.var_off + o];
+            *rv = (1.0 - m) * *rv + m * var[o] * unbias;
+        }
+        self.params[bn.count_off] += 1.0;
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + bn.eps).sqrt()).collect();
+        let gamma = &self.params[bn.gamma_off..bn.gamma_off + dim];
+        let beta = &self.params[bn.beta_off..bn.beta_off + dim];
+        let mut x_hat = vec![0.0f32; batch * dim];
+        let mut out = vec![0.0f32; batch * dim];
+        for r in 0..batch {
+            for o in 0..dim {
+                let xh = (z[r * dim + o] - mu[o]) * inv_std[o];
+                x_hat[r * dim + o] = xh;
+                out[r * dim + o] = gamma[o] * xh + beta[o];
+            }
+        }
+        (out, BnCache { x_hat, inv_std })
+    }
+
+    fn bn_backward(
+        &self,
+        batch: usize,
+        bn: Bn,
+        cache: &BnCache,
+        d_out: &[f32],
+        grad: &mut [f32],
+    ) -> Vec<f32> {
+        let dim = bn.dim;
+        let gamma = &self.params[bn.gamma_off..bn.gamma_off + dim];
+        let b = batch as f32;
+        let mut sum_dy = vec![0.0f32; dim];
+        let mut sum_dy_xhat = vec![0.0f32; dim];
+        for r in 0..batch {
+            for o in 0..dim {
+                let dy = d_out[r * dim + o];
+                sum_dy[o] += dy;
+                sum_dy_xhat[o] += dy * cache.x_hat[r * dim + o];
+            }
+        }
+        for o in 0..dim {
+            grad[bn.gamma_off + o] += sum_dy_xhat[o];
+            grad[bn.beta_off + o] += sum_dy[o];
+        }
+        let mut d_in = vec![0.0f32; batch * dim];
+        for r in 0..batch {
+            for o in 0..dim {
+                let dy = d_out[r * dim + o];
+                let xh = cache.x_hat[r * dim + o];
+                d_in[r * dim + o] =
+                    gamma[o] * cache.inv_std[o] / b * (b * dy - sum_dy[o] - xh * sum_dy_xhat[o]);
+            }
+        }
+        d_in
+    }
+}
+
+/// The pre-refactor per-client training loop: deep model clone, fresh
+/// allocating optimizer, allocating minibatch and gradient calls.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn baseline_local_train(
+    proto: &BaselineMlp,
+    global: &[f32],
+    ds: &ClientDataset,
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    seed: u64,
+    out: &mut [f32],
+    stats_positions: &[usize],
+    stats_out: &mut [f32],
+    trainable_mask: &BitMask,
+) {
+    let mut model = proto.clone();
+    model.set_params(global);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Sgd::new(model.num_params(), lr, momentum);
+    for _ in 0..steps {
+        let (bx, by) = ds.sample_batch(&mut rng, batch);
+        let (_, grad) = model.loss_and_grad(&bx, &by);
+        opt.step(model.params_mut(), &grad);
+    }
+    let trained = model.params();
+    for (s, &p) in stats_out.iter_mut().zip(stats_positions) {
+        *s = trained[p] - global[p];
+    }
+    vecops::masked_sub_into(out, trained, global, trainable_mask);
+}
+
+/// Pooled counterpart of [`baseline_local_train`] over the current
+/// kernels, for the equivalence gate and the `new` timing arm.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pooled_local_train(
+    model: &Mlp,
+    global: &[f32],
+    data: &SyntheticFlDataset,
+    id: usize,
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    seed: u64,
+    out: &mut [f32],
+    stats_positions: &[usize],
+    stats_out: &mut [f32],
+    trainable_mask: &BitMask,
+    slot: &mut gluefl_core::TrainSlot,
+) {
+    gluefl_core::local_train_into(
+        model.topology(),
+        global,
+        data,
+        id,
+        steps,
+        batch,
+        lr,
+        momentum,
+        seed,
+        out,
+        stats_positions,
+        stats_out,
+        trainable_mask,
+        slot,
+    );
+}

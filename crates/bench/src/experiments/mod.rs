@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod kernels;
+mod local_train_baseline;
 pub mod prop12;
 pub mod table2;
 pub mod table3;

@@ -18,6 +18,10 @@ pub struct ExptOpts {
     pub paper_scale: bool,
     /// Quick mode: fewer rounds / smaller sweeps for smoke testing.
     pub quick: bool,
+    /// Ledger-freshness gate (`expt kernels` only): path to a committed
+    /// `BENCH_kernels.json`; the run fails if that file is missing any
+    /// kernel entry the benchmark emits.
+    pub check: Option<PathBuf>,
 }
 
 impl Default for ExptOpts {
@@ -29,13 +33,14 @@ impl Default for ExptOpts {
             out_dir: PathBuf::from("results"),
             paper_scale: false,
             quick: false,
+            check: None,
         }
     }
 }
 
 impl ExptOpts {
     /// Parses `--rounds N --scale F --seed N --out DIR --paper-scale
-    /// --quick` from raw arguments.
+    /// --quick --check FILE` from raw arguments.
     ///
     /// # Errors
     /// Returns a message naming the offending flag or value.
@@ -61,6 +66,11 @@ impl ExptOpts {
                     opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?.clone());
                 }
                 "--paper-scale" => opts.paper_scale = true,
+                "--check" => {
+                    opts.check = Some(PathBuf::from(
+                        it.next().ok_or("--check needs a value")?.clone(),
+                    ));
+                }
                 "--quick" => {
                     opts.quick = true;
                     opts.rounds = opts.rounds.min(20);
@@ -117,6 +127,13 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert!(o.paper_scale);
+    }
+
+    #[test]
+    fn parses_check_flag() {
+        let o = parse(&["--check", "BENCH_kernels.json"]).unwrap();
+        assert_eq!(o.check, Some(PathBuf::from("BENCH_kernels.json")));
+        assert!(parse(&["--check"]).is_err());
     }
 
     #[test]

@@ -181,16 +181,18 @@ pub fn accumulate_into<T: RangeAddable>(entries: &[(f32, T)], acc: &mut [f32]) {
 #[cfg(feature = "parallel")]
 static PARALLEL_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
 
-/// Enables or disables the threaded aggregation path at runtime
-/// (`parallel` builds only). Intended for tests and benchmarks that need
-/// both executions in one process; results are bit-identical either way.
+/// Enables or disables the threaded hot paths at runtime (`parallel`
+/// builds only): both the sharded aggregation here and the simulator's
+/// client-parallel local training consult the flag. Intended for tests
+/// and benchmarks that need both executions in one process; results are
+/// bit-identical either way.
 #[cfg(feature = "parallel")]
 pub fn set_parallel_enabled(enabled: bool) {
     PARALLEL_ENABLED.store(enabled, std::sync::atomic::Ordering::SeqCst);
 }
 
 #[cfg(feature = "parallel")]
-fn parallel_enabled() -> bool {
+pub(crate) fn parallel_enabled() -> bool {
     PARALLEL_ENABLED.load(std::sync::atomic::Ordering::SeqCst)
 }
 

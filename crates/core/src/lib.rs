@@ -61,6 +61,6 @@ pub mod theory;
 pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
 pub use gluefl_tensor::MaskedUpdate;
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
-pub use scratch::ScratchPool;
-pub use simulator::{run_strategy, Simulation};
+pub use scratch::{ScratchPool, TrainSlot};
+pub use simulator::{local_train_into, run_strategy, Simulation};
 pub use staleness::StalenessTracker;

@@ -15,7 +15,12 @@
 //!   [`gluefl_tensor::SparseUpdate`]s built during compression;
 //! * pooled [`gluefl_tensor::BitMask`]s ([`ScratchPool::take_mask`]) back
 //!   the per-round support masks of [`gluefl_tensor::MaskedUpdate`]s and
-//!   GlueFL's shifted shared mask.
+//!   GlueFL's shifted shared mask;
+//! * pooled [`TrainSlot`]s ([`ScratchPool::take_train_slot`]) back local
+//!   training: each holds a client parameter buffer and a
+//!   [`gluefl_ml::TrainScratch`], so a client "clone" is a
+//!   `copy_from_slice` and every minibatch step reuses warm activation,
+//!   cache, gradient, and velocity buffers.
 //!
 //! The simulator closes the loop: after aggregation it hands every
 //! consumed [`crate::strategies::Upload`] back via
@@ -28,11 +33,30 @@
 //! parallel sections take the buffers they need up front.
 
 use crate::strategies::Upload;
+use gluefl_ml::TrainScratch;
 use gluefl_tensor::{BitMask, MaskedUpdate, TopKScratch};
 
 /// Upper bound on idle buffers kept per arena (the round working set is
 /// far below this; the cap only guards against pathological churn).
 const MAX_IDLE: usize = 64;
+
+/// A pooled per-worker local-training workspace: the client parameter
+/// buffer (the `copy_from_slice` target that replaces the old per-client
+/// model deep clone) plus the [`TrainScratch`] holding activations,
+/// backward caches, gradient, SGD velocity, and minibatch staging.
+///
+/// The simulator takes one slot per training worker up front
+/// ([`ScratchPool::take_train_slot`]) — serial training reuses a single
+/// slot for every client; `parallel` builds hand one slot to each
+/// `std::thread::scope` worker — and returns them after the round, so
+/// steady-state local training performs no per-minibatch heap allocation.
+#[derive(Debug, Default)]
+pub struct TrainSlot {
+    /// The worker's flat model parameters (one client at a time).
+    pub params: Vec<f32>,
+    /// The worker's reusable training buffers.
+    pub scratch: TrainScratch,
+}
 
 /// Reusable buffers threaded through the strategy seam.
 #[derive(Debug, Default)]
@@ -42,6 +66,7 @@ pub struct ScratchPool {
     free: Vec<Vec<f32>>,
     free_indices: Vec<Vec<u32>>,
     free_masks: Vec<BitMask>,
+    free_train: Vec<TrainSlot>,
 }
 
 impl ScratchPool {
@@ -165,6 +190,26 @@ impl ScratchPool {
         }
     }
 
+    /// Hands out a local-training slot (warm parameter buffer + training
+    /// scratch) for one worker, recycling a returned slot when available.
+    #[must_use]
+    pub fn take_train_slot(&mut self) -> TrainSlot {
+        self.free_train.pop().unwrap_or_default()
+    }
+
+    /// Returns a training slot to the pool for reuse.
+    pub fn put_train_slot(&mut self, slot: TrainSlot) {
+        if self.free_train.len() < MAX_IDLE {
+            self.free_train.push(slot);
+        }
+    }
+
+    /// Number of idle training slots currently pooled.
+    #[must_use]
+    pub fn idle_train_slots(&self) -> usize {
+        self.free_train.len()
+    }
+
     /// Number of idle dense buffers currently pooled.
     #[must_use]
     pub fn idle_buffers(&self) -> usize {
@@ -243,6 +288,19 @@ mod tests {
         let (ix, vals) = pool.take_sparse();
         assert!(ix.is_empty() && vals.is_empty());
         assert!(ix.capacity() >= 2);
+    }
+
+    #[test]
+    fn train_slots_recycle_their_buffers() {
+        let mut pool = ScratchPool::new();
+        let mut slot = pool.take_train_slot();
+        slot.params.resize(16, 1.0);
+        let ptr = slot.params.as_ptr();
+        pool.put_train_slot(slot);
+        assert_eq!(pool.idle_train_slots(), 1);
+        let slot = pool.take_train_slot();
+        assert_eq!(slot.params.as_ptr(), ptr);
+        assert_eq!(pool.idle_train_slots(), 0);
     }
 
     #[test]

@@ -19,17 +19,23 @@
 //! 5. the staleness tracker records which positions changed (scanned from
 //!    the update's mask, not a dense walk).
 //!
-//! Local training of invited clients runs on a thread pool; results are
-//! deterministic because every client's RNG is derived from
+//! Local training of invited clients is allocation-free in steady state:
+//! each worker owns a pooled [`crate::scratch::TrainSlot`] (parameter
+//! buffer + [`gluefl_ml::TrainScratch`]), so a client "clone" is a
+//! `copy_from_slice` and every minibatch step reuses warm activation,
+//! cache, gradient, and velocity buffers (see [`local_train_into`]).
+//! Under the `parallel` feature the client loop is sharded across
+//! `std::thread::scope` workers; results are bit-identical to serial
+//! execution because every client's RNG is derived from
 //! `(seed, round, client)` rather than thread schedule.
 
 use crate::config::{SimConfig, StrategyConfig};
 use crate::metrics::{RoundRecord, RunResult};
-use crate::scratch::ScratchPool;
+use crate::scratch::{ScratchPool, TrainSlot};
 use crate::staleness::StalenessTracker;
 use crate::strategies::{build_strategy, Group, Strategy, Upload};
 use gluefl_data::SyntheticFlDataset;
-use gluefl_ml::{Mlp, Sgd};
+use gluefl_ml::{Mlp, MlpTopology};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
 use gluefl_net::{AvailabilityTrace, ClientLink};
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
@@ -390,19 +396,43 @@ impl Simulation {
         rec
     }
 
-    fn maybe_eval(&self, round: u32, rec: &mut RoundRecord) {
+    fn maybe_eval(&mut self, round: u32, rec: &mut RoundRecord) {
         let every = self.cfg.eval_every.max(1);
         if (round + 1).is_multiple_of(every) || round + 1 == self.cfg.rounds {
+            // Evaluate through a pooled slot so eval rounds reuse warm
+            // forward buffers instead of building a fresh workspace.
+            let mut slot = self.scratch.take_train_slot();
             let (tx, ty) = self.data.test_set();
-            let m = self.model.evaluate(tx, ty);
+            let m = self.model.evaluate_into(tx, ty, &mut slot.scratch);
+            self.scratch.put_train_slot(slot);
             rec.accuracy = Some(if self.cfg.use_top5 { m.top5 } else { m.top1 });
             rec.loss = Some(m.loss);
         }
     }
 
-    /// Trains every invited client locally, in parallel, writing
-    /// trainable deltas into recycled buffers (invitation order) and the
-    /// BN-statistic drift into `stats_saved` (`invited × stats` flat).
+    /// Number of local-training workers for `clients` invited clients:
+    /// 1 on serial builds; up to the machine's parallelism when the
+    /// `parallel` feature is enabled (and not disabled at runtime via
+    /// [`crate::aggregate::set_parallel_enabled`]).
+    fn train_threads(&self, clients: usize) -> usize {
+        #[cfg(feature = "parallel")]
+        if crate::aggregate::parallel_enabled() {
+            return std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(clients.max(1));
+        }
+        let _ = clients;
+        1
+    }
+
+    /// Trains every invited client locally — sharded across worker
+    /// threads under the `parallel` feature, serial otherwise, with
+    /// bit-identical results either way — writing trainable deltas into
+    /// recycled buffers (invitation order) and the BN-statistic drift
+    /// into `stats_saved` (`invited × stats` flat). Each worker reuses
+    /// one pooled [`TrainSlot`], so steady-state training allocates
+    /// nothing per minibatch step.
     fn train_invited(
         &mut self,
         invited: &[(usize, Group)],
@@ -414,6 +444,10 @@ impl Simulation {
         let dim = self.model.num_params();
         let stats_len = self.stats_positions.len();
         assert_eq!(stats_saved.len(), invited.len() * stats_len);
+        let threads = self.train_threads(invited.len());
+        let mut slots: Vec<TrainSlot> = (0..threads)
+            .map(|_| self.scratch.take_train_slot())
+            .collect();
         let mut results: Vec<Vec<f32>> = (0..invited.len())
             .map(|_| {
                 let mut buf = self.delta_bufs.pop().unwrap_or_default();
@@ -424,15 +458,18 @@ impl Simulation {
             .collect();
         let cfg = &self.cfg;
         let data = &self.data;
-        let proto = &self.model;
+        let topo = self.model.topology();
         let stats_positions = &self.stats_positions;
         let trainable_mask = &self.trainable_mask;
         let seed = cfg.seed;
-        let worker = |&(id, _): &(usize, Group), out: &mut [f32], stats_out: &mut [f32]| {
+        let worker = |&(id, _): &(usize, Group),
+                      out: &mut [f32],
+                      stats_out: &mut [f32],
+                      slot: &mut TrainSlot| {
             let client_seed =
                 derive_seed(seed, "local-train", (u64::from(round) << 32) | id as u64);
             local_train_into(
-                proto,
+                topo,
                 global,
                 data,
                 id,
@@ -445,44 +482,58 @@ impl Simulation {
                 stats_positions,
                 stats_out,
                 trainable_mask,
+                slot,
             );
         };
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(invited.len().max(1));
         // NOTE: iteration is driven by the invited/result pairing and the
         // stats slices are carved by index — zipping with
         // `stats_saved.chunks_mut(..)` would silently yield zero
         // iterations for models without BN statistics (empty slice).
         if threads <= 1 || invited.len() <= 1 {
+            let slot = slots.first_mut().expect("at least one train slot");
             for (i, (inv, out)) in invited.iter().zip(&mut results).enumerate() {
                 worker(
                     inv,
                     out,
                     &mut stats_saved[i * stats_len..(i + 1) * stats_len],
+                    slot,
                 );
             }
-            return results;
-        }
-        let chunk = invited.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let mut stats_rest: &mut [f32] = stats_saved;
-            for (slot_chunk, inv_chunk) in results.chunks_mut(chunk).zip(invited.chunks(chunk)) {
-                let take = slot_chunk.len() * stats_len;
-                let (stats_chunk, rest) = std::mem::take(&mut stats_rest).split_at_mut(take);
-                stats_rest = rest;
-                s.spawn(move || {
-                    for (j, (slot, inv)) in slot_chunk.iter_mut().zip(inv_chunk).enumerate() {
-                        worker(
-                            inv,
-                            slot,
-                            &mut stats_chunk[j * stats_len..(j + 1) * stats_len],
-                        );
+        } else {
+            #[cfg(feature = "parallel")]
+            {
+                let chunk = invited.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let worker = &worker;
+                    let mut stats_rest: &mut [f32] = stats_saved;
+                    for ((res_chunk, inv_chunk), slot) in results
+                        .chunks_mut(chunk)
+                        .zip(invited.chunks(chunk))
+                        .zip(&mut slots)
+                    {
+                        let take = res_chunk.len() * stats_len;
+                        let (stats_chunk, rest) =
+                            std::mem::take(&mut stats_rest).split_at_mut(take);
+                        stats_rest = rest;
+                        s.spawn(move || {
+                            for (j, (out, inv)) in res_chunk.iter_mut().zip(inv_chunk).enumerate() {
+                                worker(
+                                    inv,
+                                    out,
+                                    &mut stats_chunk[j * stats_len..(j + 1) * stats_len],
+                                    slot,
+                                );
+                            }
+                        });
                     }
                 });
             }
-        });
+            #[cfg(not(feature = "parallel"))]
+            unreachable!("train_threads() returns 1 without the parallel feature");
+        }
+        for slot in slots {
+            self.scratch.put_train_slot(slot);
+        }
         results
     }
 }
@@ -498,14 +549,30 @@ impl std::fmt::Debug for Simulation {
     }
 }
 
-/// One client's local training: clone the global model, run `steps`
-/// minibatch SGD steps on the client's data, then split the parameter
-/// delta — the trainable part goes into `out` via the fused
-/// masked-subtraction kernel (BN-statistic positions land as zeros in a
-/// single pass), and the BN-statistic drift goes into `stats_out`.
+/// One client's local training, allocation-free in steady state.
+///
+/// The global parameters are `copy_from_slice`d into the slot's pooled
+/// buffer (replacing the old per-client `Mlp` deep clone), then `steps`
+/// minibatch SGD-with-momentum steps run through the slot's
+/// [`gluefl_ml::TrainScratch`]: minibatches are staged into recycled
+/// buffers, [`MlpTopology::loss_and_grad_into`] writes activations,
+/// caches, and the gradient into the scratch, and the pooled velocity
+/// (zeroed per client, so momentum spans exactly the `E` local steps as
+/// in the paper) drives the update. Finally the parameter delta is split:
+/// the trainable part goes into `out` via the fused masked-subtraction
+/// kernel (BN-statistic positions land as zeros in a single pass), and
+/// the BN-statistic drift goes into `stats_out`.
+///
+/// Deterministic in the arguments alone — the RNG is seeded per call, so
+/// results are independent of which worker thread runs the client and
+/// bit-identical to the pre-pooling clone-based implementation.
+///
+/// # Panics
+/// Panics if `lr <= 0`, `momentum` is outside `[0, 1)`, or the buffer
+/// shapes disagree with the topology.
 #[allow(clippy::too_many_arguments)]
-fn local_train_into(
-    proto: &Mlp,
+pub fn local_train_into(
+    topo: &MlpTopology,
     global: &[f32],
     data: &SyntheticFlDataset,
     id: usize,
@@ -518,22 +585,35 @@ fn local_train_into(
     stats_positions: &[usize],
     stats_out: &mut [f32],
     trainable_mask: &gluefl_tensor::BitMask,
+    slot: &mut TrainSlot,
 ) {
-    let mut model = proto.clone();
-    model.set_params(global);
+    assert!(lr > 0.0, "learning rate must be positive");
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+    assert_eq!(
+        stats_out.len(),
+        stats_positions.len(),
+        "stats buffer/positions length mismatch"
+    );
+    let TrainSlot { params, scratch } = slot;
+    params.clear();
+    params.extend_from_slice(global);
+    scratch.ensure(topo, batch);
+    scratch.reset_velocity();
     let ds = data.client(id);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut opt = Sgd::new(model.num_params(), lr, momentum);
+    let mut bx = std::mem::take(&mut scratch.batch_x);
+    let mut by = std::mem::take(&mut scratch.batch_y);
     for _ in 0..steps {
-        let (bx, by) = ds.sample_batch(&mut rng, batch);
-        let (_, grad) = model.loss_and_grad(&bx, &by);
-        opt.step(model.params_mut(), &grad);
+        ds.sample_batch_into(&mut rng, batch, &mut bx, &mut by);
+        let _ = topo.loss_and_grad_into(params, &bx, &by, scratch);
+        scratch.sgd_step(params, lr, momentum);
     }
-    let trained = model.params();
-    for (slot, &p) in stats_out.iter_mut().zip(stats_positions) {
-        *slot = trained[p] - global[p];
+    scratch.batch_x = bx;
+    scratch.batch_y = by;
+    for (s, &p) in stats_out.iter_mut().zip(stats_positions) {
+        *s = params[p] - global[p];
     }
-    vecops::masked_sub_into(out, trained, global, trainable_mask);
+    vecops::masked_sub_into(out, params, global, trainable_mask);
 }
 
 /// Convenience: run one strategy under a config, returning its result.
@@ -645,12 +725,14 @@ mod tests {
         }
     }
 
-    /// With the `parallel` feature, the threaded aggregation must produce
-    /// bit-identical results to the serial execution of the same binary —
-    /// for every strategy, including accuracies down to the last bit.
+    /// With the `parallel` feature, the threaded hot paths — sharded
+    /// aggregation *and* client-parallel local training, both gated by
+    /// the same runtime toggle — must produce bit-identical results to
+    /// the serial execution of the same binary, for every strategy,
+    /// including accuracies down to the last bit.
     #[cfg(feature = "parallel")]
     #[test]
-    fn parallel_aggregation_bit_identical_to_serial() {
+    fn parallel_round_bit_identical_to_serial() {
         let _guard = crate::aggregate::parallel_toggle_lock();
         let configs = || {
             let mut gluefl_cfg = tiny_cfg(StrategyConfig::FedAvg);
@@ -689,6 +771,63 @@ mod tests {
             );
             assert_eq!(p.loss.map(f64::to_bits), s.loss.map(f64::to_bits));
         }
+    }
+
+    /// Client training through a *shared* slot must not leak state
+    /// between clients: training the same client twice through a slot
+    /// that served another client in between yields identical deltas.
+    #[test]
+    fn train_slots_leak_no_state_between_clients() {
+        use gluefl_tensor::rng::derive_seed;
+        let cfg = tiny_cfg(StrategyConfig::FedAvg);
+        let sim = Simulation::new(cfg.clone());
+        let topo = sim.model().topology();
+        let dim = sim.model().num_params();
+        let global = sim.model().params().to_vec();
+        let mask = sim.model().layout().trainable_mask();
+        let stats: Vec<usize> = mask.not().iter_ones().collect();
+        let run = |slot: &mut TrainSlot, id: usize| -> Vec<f32> {
+            let mut out = vec![0.0f32; dim];
+            let mut stats_out = vec![0.0f32; stats.len()];
+            local_train_into(
+                topo,
+                &global,
+                sim.data(),
+                id,
+                cfg.local_steps,
+                cfg.batch_size,
+                0.05,
+                cfg.momentum,
+                derive_seed(cfg.seed, "local-train", id as u64),
+                &mut out,
+                &stats,
+                &mut stats_out,
+                &mask,
+                slot,
+            );
+            out
+        };
+        let mut fresh = TrainSlot::default();
+        let first = run(&mut fresh, 0);
+        let mut reused = TrainSlot::default();
+        let _ = run(&mut reused, 1); // warm the slot with another client
+                                     // Steady state: a warm slot's buffers (including the minibatch
+                                     // staging, which is mem::take'n around the step loop) must not
+                                     // be re-allocated by later clients.
+        let params_ptr = reused.params.as_ptr();
+        let batch_x_ptr = reused.scratch.batch_x.as_ptr();
+        let batch_y_ptr = reused.scratch.batch_y.as_ptr();
+        let second = run(&mut reused, 0);
+        assert!(
+            first
+                .iter()
+                .zip(&second)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "slot reuse changed a client's delta"
+        );
+        assert_eq!(reused.params.as_ptr(), params_ptr);
+        assert_eq!(reused.scratch.batch_x.as_ptr(), batch_x_ptr);
+        assert_eq!(reused.scratch.batch_y.as_ptr(), batch_y_ptr);
     }
 
     #[test]

@@ -77,15 +77,35 @@ impl ClientDataset {
     /// Panics if the dataset is empty.
     #[must_use]
     pub fn sample_batch<R: Rng>(&self, rng: &mut R, batch: usize) -> (Vec<f32>, Vec<usize>) {
-        assert!(!self.is_empty(), "cannot sample from an empty dataset");
         let mut bx = Vec::with_capacity(batch * self.feature_dim);
         let mut by = Vec::with_capacity(batch);
+        self.sample_batch_into(rng, batch, &mut bx, &mut by);
+        (bx, by)
+    }
+
+    /// Like [`ClientDataset::sample_batch`] but writing into caller-owned
+    /// staging buffers (cleared first) — the allocation-free form used by
+    /// the simulator's pooled training loop. Draws the exact same RNG
+    /// stream as `sample_batch`, so the two are interchangeable
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn sample_batch_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        batch: usize,
+        bx: &mut Vec<f32>,
+        by: &mut Vec<usize>,
+    ) {
+        assert!(!self.is_empty(), "cannot sample from an empty dataset");
+        bx.clear();
+        by.clear();
         for _ in 0..batch {
             let i = rng.gen_range(0..self.len());
             bx.extend_from_slice(&self.x[i * self.feature_dim..(i + 1) * self.feature_dim]);
             by.push(self.y[i]);
         }
-        (bx, by)
     }
 }
 
@@ -431,6 +451,27 @@ mod tests {
         assert_eq!(bx.len(), 16 * 16);
         assert_eq!(by.len(), 16);
         assert!(by.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn sample_batch_into_matches_owning_form_bitwise() {
+        let d = small();
+        let c = d.client(3);
+        let (bx, by) = c.sample_batch(&mut StdRng::seed_from_u64(9), 12);
+        let mut sx = vec![99.0f32; 7]; // stale staging contents must not leak
+        let mut sy = vec![42usize; 3];
+        let mut rng = StdRng::seed_from_u64(9);
+        c.sample_batch_into(&mut rng, 12, &mut sx, &mut sy);
+        assert_eq!(bx, sx);
+        assert_eq!(by, sy);
+        // Reuse keeps drawing the same stream as consecutive owning calls.
+        let (bx2, _) = {
+            let mut r2 = StdRng::seed_from_u64(9);
+            let _ = c.sample_batch(&mut r2, 12);
+            c.sample_batch(&mut r2, 12)
+        };
+        c.sample_batch_into(&mut rng, 12, &mut sx, &mut sy);
+        assert_eq!(bx2, sx);
     }
 
     #[test]

@@ -15,9 +15,20 @@
 //! * [`Mlp`] — a multi-layer perceptron with optional [`BatchNorm`]
 //!   (batch statistics in training mode, running statistics in eval mode),
 //!   ReLU activations, softmax cross-entropy loss, and hand-derived
-//!   backprop verified by finite-difference tests.
+//!   backprop verified by finite-difference tests. Internally split into
+//!   an immutable, `Sync` [`MlpTopology`] (shared across clients and
+//!   worker threads) and the flat parameter buffer, so a federated
+//!   client "clone" is a `copy_from_slice`.
+//! * [`TrainScratch`] — the pooled training workspace (activations,
+//!   backward caches, gradient, SGD velocity, minibatch staging) behind
+//!   the allocation-free `_into` kernel family
+//!   ([`MlpTopology::loss_and_grad_into`], [`MlpTopology::evaluate_into`]):
+//!   after the first step sizes the buffers, a steady-state minibatch
+//!   step performs no heap allocation.
 //! * [`Sgd`] — minibatch SGD with momentum and step decay (the paper's
-//!   optimizer: momentum 0.9, decay 0.98 every 10 rounds).
+//!   optimizer: momentum 0.9, decay 0.98 every 10 rounds), plus the
+//!   pooled-velocity form [`sgd_momentum_step`] used by the scratch path
+//!   (identical update rule, pinned by unit tests).
 //! * [`ModelProfile`] — named configurations standing in for the paper's
 //!   three architectures, including their *reference* parameter counts so
 //!   bandwidth can be reported at paper scale.
@@ -55,8 +66,10 @@ pub mod loss;
 mod mlp;
 mod optimizer;
 mod profiles;
+mod scratch;
 
 pub use layout::{ParamKind, ParamLayout, ParamLayoutBuilder, Segment};
-pub use mlp::{BatchNorm, EvalMetrics, Mlp, MlpConfig};
-pub use optimizer::{step_decay_lr, Sgd};
+pub use mlp::{BatchNorm, EvalMetrics, Mlp, MlpConfig, MlpTopology};
+pub use optimizer::{sgd_momentum_step, step_decay_lr, Sgd};
 pub use profiles::{DatasetModel, ModelProfile};
+pub use scratch::TrainScratch;

@@ -1,8 +1,25 @@
 //! Multi-layer perceptron with optional BatchNorm over flat parameters.
+//!
+//! The model is split into two halves so federated simulations can train
+//! many clients without deep-cloning anything:
+//!
+//! * [`MlpTopology`] — immutable architecture: config, [`ParamLayout`],
+//!   and per-layer offsets into the flat parameter vector. Shared by
+//!   reference across every client (and across worker threads).
+//! * a flat `Vec<f32>` parameter buffer — a client "clone" is a
+//!   `copy_from_slice` into a pooled buffer.
+//!
+//! [`Mlp`] bundles the two for convenience APIs; the hot path is the
+//! `_into` kernel family on [`MlpTopology`]
+//! ([`MlpTopology::loss_and_grad_into`], [`MlpTopology::evaluate_into`]),
+//! which writes activations, caches, gradients, and velocity into a
+//! caller-owned [`TrainScratch`] and performs no steady-state heap
+//! allocation per minibatch step.
 
 use crate::init::kaiming_uniform;
 use crate::layout::{ParamKind, ParamLayout};
 use crate::loss::{accuracy, log_softmax_rows, nll_and_grad, top5_accuracy};
+use crate::scratch::{LayerScratch, TrainScratch};
 use rand::Rng;
 
 /// Configuration of an [`Mlp`].
@@ -51,7 +68,7 @@ pub struct BatchNorm {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// Batch statistics; optionally update running statistics in place.
+    /// Batch statistics; optionally update running statistics afterwards.
     Train { update_stats: bool },
     /// Running statistics; no side effects.
     Eval,
@@ -66,6 +83,22 @@ pub struct EvalMetrics {
     pub top1: f64,
     /// Top-5 accuracy in `[0, 1]`.
     pub top5: f64,
+}
+
+/// The immutable architecture of an [`Mlp`]: configuration, flat-parameter
+/// layout, and per-layer offsets.
+///
+/// A topology is built once (by [`Mlp::new`]) and shared by reference —
+/// it is `Sync`, so parallel client training hands `&MlpTopology` to every
+/// worker thread and each worker brings its own parameter buffer and
+/// [`TrainScratch`]. All training/eval kernels live here; [`Mlp`] wraps
+/// them for the single-model case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpTopology {
+    cfg: MlpConfig,
+    layout: ParamLayout,
+    linears: Vec<LinearSpec>,
+    bns: Vec<Option<BatchNorm>>,
 }
 
 /// A multi-layer perceptron over one flat `Vec<f32>` parameter vector.
@@ -91,11 +124,521 @@ pub struct EvalMetrics {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mlp {
-    cfg: MlpConfig,
-    layout: ParamLayout,
+    topo: MlpTopology,
     params: Vec<f32>,
-    linears: Vec<LinearSpec>,
-    bns: Vec<Option<BatchNorm>>,
+}
+
+impl MlpTopology {
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &MlpConfig {
+        &self.cfg
+    }
+
+    /// The flat-parameter layout (trainable vs BN-statistic positions).
+    #[must_use]
+    pub fn layout(&self) -> &ParamLayout {
+        &self.layout
+    }
+
+    /// Total number of flat parameters `d`.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layout.total()
+    }
+
+    fn check_params(&self, params: &[f32]) {
+        assert_eq!(params.len(), self.num_params(), "parameter length mismatch");
+    }
+
+    fn check_batch(&self, x: &[f32], y: &[usize]) -> usize {
+        assert_eq!(x.len() % self.cfg.input_dim, 0, "input shape mismatch");
+        let batch = x.len() / self.cfg.input_dim;
+        assert_eq!(batch, y.len(), "batch/label count mismatch");
+        batch
+    }
+
+    /// Mean loss and flat gradient on one minibatch, in training mode
+    /// (BatchNorm uses batch statistics and updates the running
+    /// statistics inside `params`, mirroring a PyTorch training step).
+    ///
+    /// The gradient is left in [`TrainScratch::grad`] — entries at
+    /// BN-statistic positions are zero. After the scratch has been sized
+    /// by a first call (see [`TrainScratch::ensure`]) this performs no
+    /// heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != num_params()`, `x.len()` is not a
+    /// multiple of `input_dim`, the implied batch size differs from
+    /// `y.len()`, or a label is out of range.
+    pub fn loss_and_grad_into(
+        &self,
+        params: &mut [f32],
+        x: &[f32],
+        y: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        self.loss_and_grad_mode_into(params, x, y, Mode::Train { update_stats: true }, scratch)
+    }
+
+    /// Like [`MlpTopology::loss_and_grad_into`] but *without* the
+    /// running-statistics side effect (finite-difference tests, line
+    /// searches).
+    pub fn loss_and_grad_frozen_into(
+        &self,
+        params: &mut [f32],
+        x: &[f32],
+        y: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        self.loss_and_grad_mode_into(
+            params,
+            x,
+            y,
+            Mode::Train {
+                update_stats: false,
+            },
+            scratch,
+        )
+    }
+
+    /// Training-mode loss only (batch statistics, no side effects, no
+    /// gradient work).
+    #[must_use]
+    pub fn training_loss_into(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        y: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        self.check_params(params);
+        let batch = self.check_batch(x, y);
+        scratch.ensure(self, batch);
+        let TrainScratch {
+            layers,
+            logits,
+            d_logits,
+            ..
+        } = scratch;
+        self.forward_into(
+            params,
+            x,
+            batch,
+            Mode::Train {
+                update_stats: false,
+            },
+            layers,
+            logits,
+        );
+        log_softmax_rows(logits, batch, self.cfg.classes);
+        nll_and_grad(logits, y, self.cfg.classes, d_logits)
+    }
+
+    /// Evaluates loss / top-1 / top-5 on a labelled set, in eval mode
+    /// (running statistics, no side effects, no model clone).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    #[must_use]
+    pub fn evaluate_into(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        y: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> EvalMetrics {
+        self.check_params(params);
+        let batch = self.check_batch(x, y);
+        if batch == 0 {
+            return EvalMetrics::default();
+        }
+        scratch.ensure(self, batch);
+        let TrainScratch {
+            layers,
+            logits,
+            d_logits,
+            ..
+        } = scratch;
+        self.forward_into(params, x, batch, Mode::Eval, layers, logits);
+        log_softmax_rows(logits, batch, self.cfg.classes);
+        let loss = nll_and_grad(logits, y, self.cfg.classes, d_logits);
+        EvalMetrics {
+            loss,
+            top1: accuracy(logits, y, self.cfg.classes),
+            top5: top5_accuracy(logits, y, self.cfg.classes),
+        }
+    }
+
+    /// Row-wise log-probabilities in eval mode, left in (and returned
+    /// from) the scratch's logit buffer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn predict_log_probs_into<'s>(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        scratch: &'s mut TrainScratch,
+    ) -> &'s [f32] {
+        self.check_params(params);
+        assert_eq!(x.len() % self.cfg.input_dim, 0, "input shape mismatch");
+        let batch = x.len() / self.cfg.input_dim;
+        scratch.ensure(self, batch);
+        let TrainScratch { layers, logits, .. } = scratch;
+        self.forward_into(params, x, batch, Mode::Eval, layers, logits);
+        log_softmax_rows(logits, batch, self.cfg.classes);
+        logits
+    }
+
+    fn loss_and_grad_mode_into(
+        &self,
+        params: &mut [f32],
+        x: &[f32],
+        y: &[usize],
+        mode: Mode,
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        self.check_params(params);
+        let batch = self.check_batch(x, y);
+        let classes = self.cfg.classes;
+        scratch.ensure(self, batch);
+        let TrainScratch {
+            layers,
+            logits,
+            d_logits,
+            grad,
+            d_bufs,
+            sum_dy,
+            sum_dy_xhat,
+            ..
+        } = scratch;
+        self.forward_into(params, x, batch, mode, layers, logits);
+        log_softmax_rows(logits, batch, classes);
+        let loss = nll_and_grad(logits, y, classes, d_logits);
+        grad.fill(0.0);
+        self.backward_into(
+            params,
+            x,
+            batch,
+            layers,
+            d_logits,
+            grad,
+            d_bufs,
+            sum_dy,
+            sum_dy_xhat,
+        );
+        // The running-statistics update is deferred to after the backward
+        // pass: nothing in training mode *reads* the running statistics,
+        // and the BN-statistic positions are disjoint from the weights, so
+        // the result is bit-identical to updating them mid-forward — but
+        // the forward/backward kernels get to borrow `params` immutably.
+        if let Mode::Train { update_stats: true } = mode {
+            self.apply_bn_stat_updates(params, batch, layers);
+        }
+        loss
+    }
+
+    /// Runs the forward pass, writing raw logits into `logits` and the
+    /// backward caches into `layers`. Reads `params` only.
+    fn forward_into(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        batch: usize,
+        mode: Mode,
+        layers: &mut [LayerScratch],
+        logits: &mut [f32],
+    ) {
+        let n_hidden = self.cfg.hidden.len();
+        for i in 0..n_hidden {
+            let (done, rest) = layers.split_at_mut(i);
+            let ls = &mut rest[0];
+            let input: &[f32] = if i == 0 { x } else { &done[i - 1].act };
+            let lin = self.linears[i];
+            linear_forward_into(params, lin, input, batch, &mut ls.z);
+            match self.bns[i] {
+                Some(bn) => bn_forward_into(
+                    params,
+                    bn,
+                    &ls.z,
+                    batch,
+                    mode,
+                    &mut ls.mu,
+                    &mut ls.var,
+                    &mut ls.inv_std,
+                    &mut ls.x_hat,
+                    &mut ls.act,
+                ),
+                None => ls.act.copy_from_slice(&ls.z),
+            }
+            // ReLU (records the pass-through mask for the backward pass).
+            for (v, m) in ls.act.iter_mut().zip(ls.relu_mask.iter_mut()) {
+                *m = *v > 0.0;
+                if !*m {
+                    *v = 0.0;
+                }
+            }
+        }
+        let out_lin = *self.linears.last().expect("output layer exists");
+        let input: &[f32] = if n_hidden == 0 {
+            x
+        } else {
+            &layers[n_hidden - 1].act
+        };
+        linear_forward_into(params, out_lin, input, batch, logits);
+    }
+
+    /// Backward pass: accumulates the flat gradient into `grad`
+    /// (pre-zeroed by the caller) from the caches written by
+    /// [`MlpTopology::forward_into`].
+    #[allow(clippy::too_many_arguments)]
+    fn backward_into(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        batch: usize,
+        layers: &[LayerScratch],
+        d_logits: &[f32],
+        grad: &mut [f32],
+        d_bufs: &mut [Vec<f32>; 3],
+        sum_dy: &mut Vec<f32>,
+        sum_dy_xhat: &mut Vec<f32>,
+    ) {
+        let n_hidden = self.cfg.hidden.len();
+        let out_lin = *self.linears.last().expect("output layer exists");
+        let out_input: &[f32] = if n_hidden == 0 {
+            x
+        } else {
+            &layers[n_hidden - 1].act
+        };
+        let [buf_a, buf_b, buf_c] = d_bufs;
+        linear_backward_into(params, out_lin, out_input, batch, d_logits, grad, buf_a);
+        // Three activation-gradient buffers rotate through the layers:
+        // `d_cur` holds d(activation), `d_bn` receives the BN backward
+        // output, `d_next` receives the next (earlier) layer's d(input).
+        let mut d_cur: &mut Vec<f32> = buf_a;
+        let mut d_bn: &mut Vec<f32> = buf_b;
+        let mut d_next: &mut Vec<f32> = buf_c;
+        for i in (0..n_hidden).rev() {
+            let ls = &layers[i];
+            // ReLU backward.
+            for (d, &m) in d_cur.iter_mut().zip(&ls.relu_mask) {
+                if !m {
+                    *d = 0.0;
+                }
+            }
+            // BatchNorm backward.
+            let d_pre: &[f32] = match self.bns[i] {
+                Some(bn) => {
+                    bn_backward_into(
+                        params,
+                        bn,
+                        &ls.x_hat,
+                        &ls.inv_std,
+                        batch,
+                        d_cur,
+                        grad,
+                        sum_dy,
+                        sum_dy_xhat,
+                        d_bn,
+                    );
+                    d_bn
+                }
+                None => d_cur,
+            };
+            // Linear backward.
+            let input: &[f32] = if i == 0 { x } else { &layers[i - 1].act };
+            linear_backward_into(params, self.linears[i], input, batch, d_pre, grad, d_next);
+            let freed = d_cur;
+            d_cur = d_next;
+            d_next = d_bn;
+            d_bn = freed;
+        }
+    }
+
+    /// Applies the deferred BatchNorm running-statistics updates (PyTorch
+    /// semantics: `running ← (1−m)·running + m·batch_stat`, unbiased
+    /// variance, `num_batches_tracked += 1`).
+    fn apply_bn_stat_updates(&self, params: &mut [f32], batch: usize, layers: &[LayerScratch]) {
+        let unbias = if batch > 1 {
+            batch as f32 / (batch as f32 - 1.0)
+        } else {
+            1.0
+        };
+        for (bn, ls) in self.bns.iter().zip(layers) {
+            let Some(bn) = bn else { continue };
+            let m = bn.momentum;
+            for o in 0..bn.dim {
+                let rm = &mut params[bn.mean_off + o];
+                *rm = (1.0 - m) * *rm + m * ls.mu[o];
+                let rv = &mut params[bn.var_off + o];
+                *rv = (1.0 - m) * *rv + m * ls.var[o] * unbias;
+            }
+            params[bn.count_off] += 1.0;
+        }
+    }
+}
+
+/// `out[r] = W · input[r] + b` for every row, written into the pre-sized
+/// `out` slice (`batch × out_dim`).
+fn linear_forward_into(
+    params: &[f32],
+    lin: LinearSpec,
+    input: &[f32],
+    batch: usize,
+    out: &mut [f32],
+) {
+    let w = &params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
+    let b = &params[lin.b_off..lin.b_off + lin.out_dim];
+    debug_assert_eq!(out.len(), batch * lin.out_dim);
+    for r in 0..batch {
+        let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
+        let row = &mut out[r * lin.out_dim..(r + 1) * lin.out_dim];
+        for (o, dst) in row.iter_mut().enumerate() {
+            let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
+            let mut acc = b[o];
+            for (xi, wi) in xin.iter().zip(wrow) {
+                acc += xi * wi;
+            }
+            *dst = acc;
+        }
+    }
+}
+
+/// Accumulates dW, db into `grad` and writes d(input) into `d_in`
+/// (cleared and re-sized in place — allocation-free once capacity has
+/// grown to the widest layer).
+fn linear_backward_into(
+    params: &[f32],
+    lin: LinearSpec,
+    input: &[f32],
+    batch: usize,
+    d_out: &[f32],
+    grad: &mut [f32],
+    d_in: &mut Vec<f32>,
+) {
+    let w = &params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
+    d_in.clear();
+    d_in.resize(batch * lin.in_dim, 0.0);
+    let (gw, gb) = {
+        // Disjoint gradient ranges (asserted at layout-build time).
+        debug_assert!(lin.b_off >= lin.w_off + lin.in_dim * lin.out_dim || lin.b_off < lin.w_off);
+        (lin.w_off, lin.b_off)
+    };
+    for r in 0..batch {
+        let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
+        let drow = &d_out[r * lin.out_dim..(r + 1) * lin.out_dim];
+        let din_row = &mut d_in[r * lin.in_dim..(r + 1) * lin.in_dim];
+        for (o, &d) in drow.iter().enumerate() {
+            grad[gb + o] += d;
+            let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
+            let gw_row = gw + o * lin.in_dim;
+            for j in 0..lin.in_dim {
+                grad[gw_row + j] += d * xin[j];
+                din_row[j] += d * wrow[j];
+            }
+        }
+    }
+}
+
+/// BatchNorm forward into pre-sized scratch slices. In training mode the
+/// batch statistics are left in `mu`/`var` for the caller's deferred
+/// running-statistics update; `params` is only read.
+#[allow(clippy::too_many_arguments)]
+fn bn_forward_into(
+    params: &[f32],
+    bn: BatchNorm,
+    z: &[f32],
+    batch: usize,
+    mode: Mode,
+    mu: &mut [f32],
+    var: &mut [f32],
+    inv_std: &mut [f32],
+    x_hat: &mut [f32],
+    out: &mut [f32],
+) {
+    let dim = bn.dim;
+    match mode {
+        Mode::Train { .. } => {
+            mu.fill(0.0);
+            var.fill(0.0);
+            let inv_b = 1.0 / batch as f32;
+            for r in 0..batch {
+                for (o, m) in mu.iter_mut().enumerate() {
+                    *m += z[r * dim + o] * inv_b;
+                }
+            }
+            for r in 0..batch {
+                for (o, v) in var.iter_mut().enumerate() {
+                    let d = z[r * dim + o] - mu[o];
+                    *v += d * d * inv_b;
+                }
+            }
+        }
+        Mode::Eval => {
+            mu.copy_from_slice(&params[bn.mean_off..bn.mean_off + dim]);
+            var.copy_from_slice(&params[bn.var_off..bn.var_off + dim]);
+        }
+    }
+    for (s, v) in inv_std.iter_mut().zip(var.iter()) {
+        *s = 1.0 / (v + bn.eps).sqrt();
+    }
+    let gamma = &params[bn.gamma_off..bn.gamma_off + dim];
+    let beta = &params[bn.beta_off..bn.beta_off + dim];
+    for r in 0..batch {
+        for o in 0..dim {
+            let xh = (z[r * dim + o] - mu[o]) * inv_std[o];
+            x_hat[r * dim + o] = xh;
+            out[r * dim + o] = gamma[o] * xh + beta[o];
+        }
+    }
+}
+
+/// BatchNorm backward (training mode, batch statistics). Accumulates
+/// dγ, dβ into `grad` and writes d(pre-BN input) into `d_in`.
+#[allow(clippy::too_many_arguments)]
+fn bn_backward_into(
+    params: &[f32],
+    bn: BatchNorm,
+    x_hat: &[f32],
+    inv_std: &[f32],
+    batch: usize,
+    d_out: &[f32],
+    grad: &mut [f32],
+    sum_dy: &mut Vec<f32>,
+    sum_dy_xhat: &mut Vec<f32>,
+    d_in: &mut Vec<f32>,
+) {
+    let dim = bn.dim;
+    let gamma = &params[bn.gamma_off..bn.gamma_off + dim];
+    let b = batch as f32;
+    // Per-feature reductions.
+    sum_dy.clear();
+    sum_dy.resize(dim, 0.0);
+    sum_dy_xhat.clear();
+    sum_dy_xhat.resize(dim, 0.0);
+    for r in 0..batch {
+        for o in 0..dim {
+            let dy = d_out[r * dim + o];
+            sum_dy[o] += dy;
+            sum_dy_xhat[o] += dy * x_hat[r * dim + o];
+        }
+    }
+    for o in 0..dim {
+        grad[bn.gamma_off + o] += sum_dy_xhat[o];
+        grad[bn.beta_off + o] += sum_dy[o];
+    }
+    d_in.clear();
+    d_in.resize(batch * dim, 0.0);
+    for r in 0..batch {
+        for o in 0..dim {
+            let dy = d_out[r * dim + o];
+            let xh = x_hat[r * dim + o];
+            d_in[r * dim + o] =
+                gamma[o] * inv_std[o] / b * (b * dy - sum_dy[o] - xh * sum_dy_xhat[o]);
+        }
+    }
 }
 
 impl Mlp {
@@ -182,24 +725,32 @@ impl Mlp {
             }
         }
         Self {
-            cfg,
-            layout,
+            topo: MlpTopology {
+                cfg,
+                layout,
+                linears,
+                bns,
+            },
             params,
-            linears,
-            bns,
         }
+    }
+
+    /// The shared immutable architecture (see [`MlpTopology`]).
+    #[must_use]
+    pub fn topology(&self) -> &MlpTopology {
+        &self.topo
     }
 
     /// The model configuration.
     #[must_use]
     pub fn config(&self) -> &MlpConfig {
-        &self.cfg
+        &self.topo.cfg
     }
 
     /// The flat-parameter layout (trainable vs BN-statistic positions).
     #[must_use]
     pub fn layout(&self) -> &ParamLayout {
-        &self.layout
+        &self.topo.layout
     }
 
     /// Total number of flat parameters `d`.
@@ -232,351 +783,78 @@ impl Mlp {
     /// (BatchNorm uses batch statistics and updates its running
     /// statistics in place, mirroring a PyTorch training step).
     ///
-    /// Gradient entries at BN-statistic positions are zero.
+    /// Gradient entries at BN-statistic positions are zero. Allocates a
+    /// fresh workspace per call — hot paths should hold a [`TrainScratch`]
+    /// and use [`Mlp::loss_and_grad_into`] instead.
     ///
     /// # Panics
     /// Panics if `x.len()` is not a multiple of `input_dim`, the implied
     /// batch size differs from `y.len()`, or a label is out of range.
     pub fn loss_and_grad(&mut self, x: &[f32], y: &[usize]) -> (f64, Vec<f32>) {
-        self.loss_and_grad_mode(x, y, Mode::Train { update_stats: true })
+        let mut scratch = TrainScratch::new();
+        let loss = self
+            .topo
+            .loss_and_grad_into(&mut self.params, x, y, &mut scratch);
+        (loss, std::mem::take(&mut scratch.grad))
+    }
+
+    /// Allocation-free variant of [`Mlp::loss_and_grad`]: the gradient is
+    /// left in [`TrainScratch::grad`].
+    pub fn loss_and_grad_into(
+        &mut self,
+        x: &[f32],
+        y: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        self.topo
+            .loss_and_grad_into(&mut self.params, x, y, scratch)
     }
 
     /// Like [`Mlp::loss_and_grad`] but *without* the running-statistics
     /// side effect. Used by finite-difference tests and line searches.
     pub fn loss_and_grad_frozen_stats(&mut self, x: &[f32], y: &[usize]) -> (f64, Vec<f32>) {
-        self.loss_and_grad_mode(
-            x,
-            y,
-            Mode::Train {
-                update_stats: false,
-            },
-        )
+        let mut scratch = TrainScratch::new();
+        let loss = self
+            .topo
+            .loss_and_grad_frozen_into(&mut self.params, x, y, &mut scratch);
+        (loss, std::mem::take(&mut scratch.grad))
     }
 
     /// Training-mode loss only (batch statistics, no side effects).
     #[must_use]
-    pub fn training_loss(&mut self, x: &[f32], y: &[usize]) -> f64 {
-        // Forward pass without gradient work.
-        let batch = self.check_batch(x, y);
-        let (mut logits, _caches) = self.forward(
-            x,
-            batch,
-            Mode::Train {
-                update_stats: false,
-            },
-        );
-        log_softmax_rows(&mut logits, batch, self.cfg.classes);
-        let mut scratch = vec![0.0f32; logits.len()];
-        nll_and_grad(&logits, y, self.cfg.classes, &mut scratch)
+    pub fn training_loss(&self, x: &[f32], y: &[usize]) -> f64 {
+        let mut scratch = TrainScratch::new();
+        self.topo
+            .training_loss_into(&self.params, x, y, &mut scratch)
     }
 
     /// Evaluates loss / top-1 / top-5 on a labelled set, in eval mode
-    /// (running statistics, no side effects).
+    /// (running statistics, no side effects — and no model clone; the
+    /// forward pass reads `&self` directly).
     ///
     /// # Panics
     /// Panics on shape mismatches.
     #[must_use]
     pub fn evaluate(&self, x: &[f32], y: &[usize]) -> EvalMetrics {
-        let batch = self.check_batch(x, y);
-        if batch == 0 {
-            return EvalMetrics::default();
-        }
-        let mut work = self.clone();
-        let (mut logits, _caches) = work.forward(x, batch, Mode::Eval);
-        log_softmax_rows(&mut logits, batch, self.cfg.classes);
-        let mut scratch = vec![0.0f32; logits.len()];
-        let loss = nll_and_grad(&logits, y, self.cfg.classes, &mut scratch);
-        EvalMetrics {
-            loss,
-            top1: accuracy(&logits, y, self.cfg.classes),
-            top5: top5_accuracy(&logits, y, self.cfg.classes),
-        }
+        let mut scratch = TrainScratch::new();
+        self.topo.evaluate_into(&self.params, x, y, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`Mlp::evaluate`] over a caller-owned
+    /// workspace.
+    #[must_use]
+    pub fn evaluate_into(&self, x: &[f32], y: &[usize], scratch: &mut TrainScratch) -> EvalMetrics {
+        self.topo.evaluate_into(&self.params, x, y, scratch)
     }
 
     /// Row-wise log-probabilities in eval mode.
     #[must_use]
     pub fn predict_log_probs(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len() % self.cfg.input_dim, 0, "input shape mismatch");
-        let batch = x.len() / self.cfg.input_dim;
-        let mut work = self.clone();
-        let (mut logits, _caches) = work.forward(x, batch, Mode::Eval);
-        log_softmax_rows(&mut logits, batch, self.cfg.classes);
-        logits
+        let mut scratch = TrainScratch::new();
+        self.topo
+            .predict_log_probs_into(&self.params, x, &mut scratch)
+            .to_vec()
     }
-
-    fn check_batch(&self, x: &[f32], y: &[usize]) -> usize {
-        assert_eq!(x.len() % self.cfg.input_dim, 0, "input shape mismatch");
-        let batch = x.len() / self.cfg.input_dim;
-        assert_eq!(batch, y.len(), "batch/label count mismatch");
-        batch
-    }
-
-    fn loss_and_grad_mode(&mut self, x: &[f32], y: &[usize], mode: Mode) -> (f64, Vec<f32>) {
-        let batch = self.check_batch(x, y);
-        let classes = self.cfg.classes;
-        let (mut logits, caches) = self.forward(x, batch, mode);
-        log_softmax_rows(&mut logits, batch, classes);
-        let mut d_logits = vec![0.0f32; logits.len()];
-        let loss = nll_and_grad(&logits, y, classes, &mut d_logits);
-        let grad = self.backward(x, batch, &caches, d_logits);
-        (loss, grad)
-    }
-
-    /// Runs the forward pass, returning raw logits and per-layer caches.
-    fn forward(&mut self, x: &[f32], batch: usize, mode: Mode) -> (Vec<f32>, Vec<LayerCache>) {
-        let n_hidden = self.cfg.hidden.len();
-        let mut caches = Vec::with_capacity(n_hidden);
-        let mut activ: Vec<f32> = x.to_vec();
-        for i in 0..n_hidden {
-            let lin = self.linears[i];
-            let z = self.linear_forward(&activ, batch, lin);
-            let (post_bn, bn_cache) = match self.bns[i] {
-                Some(bn) => {
-                    let (out, cache) = self.bn_forward(&z, batch, bn, mode);
-                    (out, Some(cache))
-                }
-                None => (z.clone(), None),
-            };
-            // ReLU
-            let mut relu_mask = vec![false; post_bn.len()];
-            let mut a = post_bn;
-            for (v, m) in a.iter_mut().zip(relu_mask.iter_mut()) {
-                if *v > 0.0 {
-                    *m = true;
-                } else {
-                    *v = 0.0;
-                }
-            }
-            caches.push(LayerCache {
-                input: activ,
-                pre_bn: z,
-                bn: bn_cache,
-                relu_mask,
-            });
-            activ = a;
-        }
-        let out_lin = *self.linears.last().expect("output layer exists");
-        let logits = self.linear_forward(&activ, batch, out_lin);
-        caches.push(LayerCache {
-            input: activ,
-            pre_bn: Vec::new(),
-            bn: None,
-            relu_mask: Vec::new(),
-        });
-        (logits, caches)
-    }
-
-    fn backward(
-        &self,
-        _x: &[f32],
-        batch: usize,
-        caches: &[LayerCache],
-        d_logits: Vec<f32>,
-    ) -> Vec<f32> {
-        let mut grad = vec![0.0f32; self.params.len()];
-        let n_hidden = self.cfg.hidden.len();
-        // Output layer.
-        let out_lin = *self.linears.last().expect("output layer exists");
-        let out_cache = caches.last().expect("output cache exists");
-        let mut d_activ =
-            self.linear_backward(&out_cache.input, batch, out_lin, &d_logits, &mut grad);
-        // Hidden layers in reverse.
-        for i in (0..n_hidden).rev() {
-            let cache = &caches[i];
-            // ReLU backward.
-            for (d, &m) in d_activ.iter_mut().zip(&cache.relu_mask) {
-                if !m {
-                    *d = 0.0;
-                }
-            }
-            // BatchNorm backward.
-            let d_pre_bn = match (&self.bns[i], &cache.bn) {
-                (Some(bn), Some(bn_cache)) => {
-                    self.bn_backward(batch, *bn, bn_cache, &d_activ, &mut grad)
-                }
-                _ => d_activ,
-            };
-            // Linear backward.
-            let lin = self.linears[i];
-            d_activ = self.linear_backward(&cache.input, batch, lin, &d_pre_bn, &mut grad);
-        }
-        grad
-    }
-
-    fn linear_forward(&self, input: &[f32], batch: usize, lin: LinearSpec) -> Vec<f32> {
-        let w = &self.params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
-        let b = &self.params[lin.b_off..lin.b_off + lin.out_dim];
-        let mut out = vec![0.0f32; batch * lin.out_dim];
-        for r in 0..batch {
-            let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
-            let row = &mut out[r * lin.out_dim..(r + 1) * lin.out_dim];
-            for (o, dst) in row.iter_mut().enumerate() {
-                let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
-                let mut acc = b[o];
-                for (xi, wi) in xin.iter().zip(wrow) {
-                    acc += xi * wi;
-                }
-                *dst = acc;
-            }
-        }
-        out
-    }
-
-    /// Accumulates dW, db into `grad` and returns d(input).
-    fn linear_backward(
-        &self,
-        input: &[f32],
-        batch: usize,
-        lin: LinearSpec,
-        d_out: &[f32],
-        grad: &mut [f32],
-    ) -> Vec<f32> {
-        let w = &self.params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
-        let mut d_in = vec![0.0f32; batch * lin.in_dim];
-        {
-            let (gw, gb) = {
-                // Split disjoint gradient slices without unsafe.
-                debug_assert!(
-                    lin.b_off >= lin.w_off + lin.in_dim * lin.out_dim || lin.b_off < lin.w_off
-                );
-                (lin.w_off, lin.b_off)
-            };
-            for r in 0..batch {
-                let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
-                let drow = &d_out[r * lin.out_dim..(r + 1) * lin.out_dim];
-                let din_row = &mut d_in[r * lin.in_dim..(r + 1) * lin.in_dim];
-                for (o, &d) in drow.iter().enumerate() {
-                    grad[gb + o] += d;
-                    let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
-                    let gw_row = gw + o * lin.in_dim;
-                    for j in 0..lin.in_dim {
-                        grad[gw_row + j] += d * xin[j];
-                        din_row[j] += d * wrow[j];
-                    }
-                }
-            }
-        }
-        d_in
-    }
-
-    fn bn_forward(
-        &mut self,
-        z: &[f32],
-        batch: usize,
-        bn: BatchNorm,
-        mode: Mode,
-    ) -> (Vec<f32>, BnCache) {
-        let dim = bn.dim;
-        let mut mu = vec![0.0f32; dim];
-        let mut var = vec![0.0f32; dim];
-        match mode {
-            Mode::Train { update_stats } => {
-                let inv_b = 1.0 / batch as f32;
-                for r in 0..batch {
-                    for (o, m) in mu.iter_mut().enumerate() {
-                        *m += z[r * dim + o] * inv_b;
-                    }
-                }
-                for r in 0..batch {
-                    for (o, v) in var.iter_mut().enumerate() {
-                        let d = z[r * dim + o] - mu[o];
-                        *v += d * d * inv_b;
-                    }
-                }
-                if update_stats {
-                    // PyTorch: running ← (1−m)·running + m·batch_stat, with
-                    // the *unbiased* variance in the running update.
-                    let unbias = if batch > 1 {
-                        batch as f32 / (batch as f32 - 1.0)
-                    } else {
-                        1.0
-                    };
-                    let m = bn.momentum;
-                    for o in 0..dim {
-                        let rm = &mut self.params[bn.mean_off + o];
-                        *rm = (1.0 - m) * *rm + m * mu[o];
-                        let rv = &mut self.params[bn.var_off + o];
-                        *rv = (1.0 - m) * *rv + m * var[o] * unbias;
-                    }
-                    self.params[bn.count_off] += 1.0;
-                }
-            }
-            Mode::Eval => {
-                mu.copy_from_slice(&self.params[bn.mean_off..bn.mean_off + dim]);
-                var.copy_from_slice(&self.params[bn.var_off..bn.var_off + dim]);
-            }
-        }
-        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + bn.eps).sqrt()).collect();
-        let gamma = &self.params[bn.gamma_off..bn.gamma_off + dim];
-        let beta = &self.params[bn.beta_off..bn.beta_off + dim];
-        let mut x_hat = vec![0.0f32; batch * dim];
-        let mut out = vec![0.0f32; batch * dim];
-        for r in 0..batch {
-            for o in 0..dim {
-                let xh = (z[r * dim + o] - mu[o]) * inv_std[o];
-                x_hat[r * dim + o] = xh;
-                out[r * dim + o] = gamma[o] * xh + beta[o];
-            }
-        }
-        (out, BnCache { x_hat, inv_std })
-    }
-
-    /// BatchNorm backward (training mode, batch statistics). Accumulates
-    /// dγ, dβ into `grad` and returns d(pre-BN input).
-    fn bn_backward(
-        &self,
-        batch: usize,
-        bn: BatchNorm,
-        cache: &BnCache,
-        d_out: &[f32],
-        grad: &mut [f32],
-    ) -> Vec<f32> {
-        let dim = bn.dim;
-        let gamma = &self.params[bn.gamma_off..bn.gamma_off + dim];
-        let b = batch as f32;
-        // Per-feature reductions.
-        let mut sum_dy = vec![0.0f32; dim];
-        let mut sum_dy_xhat = vec![0.0f32; dim];
-        for r in 0..batch {
-            for o in 0..dim {
-                let dy = d_out[r * dim + o];
-                sum_dy[o] += dy;
-                sum_dy_xhat[o] += dy * cache.x_hat[r * dim + o];
-            }
-        }
-        for o in 0..dim {
-            grad[bn.gamma_off + o] += sum_dy_xhat[o];
-            grad[bn.beta_off + o] += sum_dy[o];
-        }
-        let mut d_in = vec![0.0f32; batch * dim];
-        for r in 0..batch {
-            for o in 0..dim {
-                let dy = d_out[r * dim + o];
-                let xh = cache.x_hat[r * dim + o];
-                d_in[r * dim + o] =
-                    gamma[o] * cache.inv_std[o] / b * (b * dy - sum_dy[o] - xh * sum_dy_xhat[o]);
-            }
-        }
-        d_in
-    }
-}
-
-/// Cached activations for one layer's backward pass.
-#[derive(Debug, Clone)]
-struct LayerCache {
-    /// Input activations to the linear layer.
-    input: Vec<f32>,
-    /// Pre-BatchNorm linear output (unused when no BN).
-    #[allow(dead_code)]
-    pre_bn: Vec<f32>,
-    bn: Option<BnCache>,
-    relu_mask: Vec<bool>,
-}
-
-#[derive(Debug, Clone)]
-struct BnCache {
-    x_hat: Vec<f32>,
-    inv_std: Vec<f32>,
 }
 
 #[cfg(test)]
@@ -797,5 +1075,95 @@ mod tests {
         assert!(m.top5 >= m.top1);
         // 4 classes → top5 is always 1.
         assert_eq!(m.top5, 1.0);
+    }
+
+    /// A reused scratch must produce bit-identical training trajectories
+    /// to per-call fresh buffers — the core guarantee of the pooled path.
+    #[test]
+    fn reused_scratch_matches_fresh_buffers_bitwise() {
+        for batch_norm in [false, true] {
+            let mut fresh = toy_model(batch_norm, 21);
+            let mut pooled = fresh.clone();
+            let mut scratch = TrainScratch::new();
+            let mut opt = Sgd::new(fresh.num_params(), 0.07, 0.9);
+            scratch.reset_velocity();
+            for step in 0..5 {
+                let (x, y) = toy_batch(100 + step, 9, 5, 4);
+                let (loss_a, grad_a) = fresh.loss_and_grad(&x, &y);
+                opt.step(fresh.params_mut(), &grad_a);
+                let loss_b = pooled.loss_and_grad_into(&x, &y, &mut scratch);
+                assert_eq!(loss_a.to_bits(), loss_b.to_bits(), "loss step {step}");
+                assert!(grad_a
+                    .iter()
+                    .zip(scratch.grad())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                scratch.sgd_step(pooled.params_mut(), 0.07, 0.9);
+                assert!(
+                    fresh
+                        .params()
+                        .iter()
+                        .zip(pooled.params())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "params diverged at step {step} (bn={batch_norm})"
+                );
+            }
+        }
+    }
+
+    /// Steady-state training steps must not reallocate any scratch buffer.
+    #[test]
+    fn training_steps_are_allocation_free_in_steady_state() {
+        let mut model = toy_model(true, 30);
+        let mut scratch = TrainScratch::new();
+        let (x, y) = toy_batch(31, 8, 5, 4);
+        let _ = model.loss_and_grad_into(&x, &y, &mut scratch);
+        scratch.sgd_step(model.params_mut(), 0.05, 0.9);
+        let grad_ptr = scratch.grad.as_ptr();
+        let logits_ptr = scratch.logits.as_ptr();
+        let vel_ptr = scratch.velocity.as_ptr();
+        let dbuf_ptrs: Vec<*const f32> = scratch.d_bufs.iter().map(|b| b.as_ptr()).collect();
+        for _ in 0..4 {
+            let _ = model.loss_and_grad_into(&x, &y, &mut scratch);
+            scratch.sgd_step(model.params_mut(), 0.05, 0.9);
+        }
+        assert_eq!(scratch.grad.as_ptr(), grad_ptr);
+        assert_eq!(scratch.logits.as_ptr(), logits_ptr);
+        assert_eq!(scratch.velocity.as_ptr(), vel_ptr);
+        let after: Vec<*const f32> = scratch.d_bufs.iter().map(|b| b.as_ptr()).collect();
+        assert_eq!(after, dbuf_ptrs);
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate() {
+        let model = toy_model(true, 33);
+        let (x, y) = toy_batch(34, 20, 5, 4);
+        let mut scratch = TrainScratch::new();
+        let a = model.evaluate(&x, &y);
+        let b = model.evaluate_into(&x, &y, &mut scratch);
+        assert_eq!(a, b);
+        // Reuse across differently-sized eval sets stays consistent.
+        let (x2, y2) = toy_batch(35, 7, 5, 4);
+        let c = model.evaluate_into(&x2, &y2, &mut scratch);
+        assert_eq!(c, model.evaluate(&x2, &y2));
+    }
+
+    #[test]
+    fn predict_log_probs_matches_topology_kernel() {
+        let model = toy_model(true, 36);
+        let (x, _) = toy_batch(37, 6, 5, 4);
+        let owned = model.predict_log_probs(&x);
+        let mut scratch = TrainScratch::new();
+        let borrowed = model
+            .topology()
+            .predict_log_probs_into(model.params(), &x, &mut scratch);
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn topology_is_shared_unchanged_across_clones() {
+        let model = toy_model(true, 38);
+        let clone = model.clone();
+        assert_eq!(model.topology(), clone.topology());
+        assert_eq!(model.topology().num_params(), model.num_params());
     }
 }

@@ -66,12 +66,34 @@ impl Sgd {
     /// Panics if `params.len()` or `grad.len()` differ from the
     /// constructor's `dim`.
     pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
-        assert_eq!(params.len(), self.velocity.len(), "params length mismatch");
-        assert_eq!(grad.len(), self.velocity.len(), "grad length mismatch");
-        for ((w, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
-            *v = self.momentum * *v + g;
-            *w -= self.lr * *v;
-        }
+        sgd_momentum_step(params, grad, &mut self.velocity, self.lr, self.momentum);
+    }
+}
+
+/// One SGD-with-momentum update over a caller-owned velocity buffer:
+/// `v ← μ·v + g` ; `w ← w − γ·v` (PyTorch semantics, identical to
+/// [`Sgd::step`] — which delegates here).
+///
+/// This is the pooled-buffer form used by the allocation-free training
+/// path: a worker zeroes one recycled `velocity` per client
+/// ([`crate::TrainScratch::reset_velocity`]) instead of allocating a
+/// fresh optimizer, and the velocity carries across the client's local
+/// steps exactly as the struct form would.
+///
+/// # Panics
+/// Panics if `params`, `grad`, and `velocity` lengths differ.
+pub fn sgd_momentum_step(
+    params: &mut [f32],
+    grad: &[f32],
+    velocity: &mut [f32],
+    lr: f32,
+    momentum: f32,
+) {
+    assert_eq!(params.len(), velocity.len(), "params length mismatch");
+    assert_eq!(grad.len(), velocity.len(), "grad length mismatch");
+    for ((w, g), v) in params.iter_mut().zip(grad).zip(velocity.iter_mut()) {
+        *v = momentum * *v + g;
+        *w -= lr * *v;
     }
 }
 
@@ -146,5 +168,58 @@ mod tests {
     #[should_panic(expected = "momentum must be in [0,1)")]
     fn rejects_momentum_one() {
         let _ = Sgd::new(1, 0.1, 1.0);
+    }
+
+    /// Pins the update rule across velocity reuse: the pooled free-fn
+    /// form over one recycled buffer must match the struct form bit for
+    /// bit on every step, so the allocation-free refactor cannot silently
+    /// change SGD semantics.
+    #[test]
+    fn pooled_velocity_matches_struct_bitwise_across_steps() {
+        let grads: [Vec<f32>; 4] = [
+            vec![0.3, -1.2, 0.0],
+            vec![-0.7, 0.4, 2.5],
+            vec![0.0, 0.0, -0.1],
+            vec![1.5, -0.5, 0.25],
+        ];
+        let mut opt = Sgd::new(3, 0.1, 0.9);
+        let mut w_struct = vec![1.0f32, -2.0, 0.5];
+        let mut w_pool = w_struct.clone();
+        let mut velocity = vec![7.0f32; 3]; // stale values from a previous client
+        velocity.fill(0.0); // the per-client reset
+        for (step, g) in grads.iter().enumerate() {
+            opt.step(&mut w_struct, g);
+            sgd_momentum_step(&mut w_pool, g, &mut velocity, 0.1, 0.9);
+            assert!(
+                w_struct
+                    .iter()
+                    .zip(&w_pool)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "diverged at step {step}: {w_struct:?} vs {w_pool:?}"
+            );
+        }
+        // Velocity genuinely accumulated (momentum > 0, nonzero grads).
+        assert!(velocity.iter().any(|v| *v != 0.0));
+    }
+
+    /// Hand-computed velocity accumulation for the free-fn form — the
+    /// same arithmetic [`Sgd`]'s doc example pins for the struct form.
+    #[test]
+    fn free_fn_velocity_accumulates_by_hand() {
+        let mut w = vec![0.0f32];
+        let mut v = vec![0.0f32];
+        sgd_momentum_step(&mut w, &[1.0], &mut v, 1.0, 0.5); // v=1, w=-1
+        sgd_momentum_step(&mut w, &[1.0], &mut v, 1.0, 0.5); // v=1.5, w=-2.5
+        sgd_momentum_step(&mut w, &[0.0], &mut v, 1.0, 0.5); // coasting: v=0.75
+        assert!((w[0] + 3.25).abs() < 1e-6);
+        assert!((v[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "grad length mismatch")]
+    fn free_fn_rejects_length_mismatch() {
+        let mut w = vec![0.0f32; 2];
+        let mut v = vec![0.0f32; 2];
+        sgd_momentum_step(&mut w, &[1.0], &mut v, 0.1, 0.0);
     }
 }

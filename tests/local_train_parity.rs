@@ -1,0 +1,217 @@
+//! Local-training parity gates for the allocation-free client path.
+//!
+//! Two invariants protect the `TrainScratch` refactor:
+//!
+//! 1. **Pooling parity** — [`gluefl_core::local_train_into`] (pooled
+//!    parameter buffer, *reused* scratch, pooled velocity, staged
+//!    minibatches) must produce bit-identical deltas to the
+//!    clone-per-client shape of the pre-refactor path: deep model clone
+//!    plus fresh buffers every step (`sample_batch` + `loss_and_grad` +
+//!    a fresh [`Sgd`] per client). Both sides share today's forward/
+//!    backward kernels, so this gate pins the *pooling and reuse*
+//!    semantics (slot recycling, velocity reset, staging hygiene) across
+//!    rounds and clients — an arithmetic regression in the shared
+//!    kernels is instead caught by the truly independent verbatim
+//!    baseline compiled into `expt kernels`
+//!    (`crates/bench/src/experiments/local_train_baseline.rs`, equality-
+//!    gated before timing) and by the ml crate's finite-difference
+//!    gradchecks.
+//! 2. **Serial/parallel parity** — with the `parallel` feature, the
+//!    client-sharded training loop (and sharded aggregation, same
+//!    runtime toggle) must reproduce the serial rounds bit for bit for
+//!    both GlueFL and FedAvg. This is CI's `--features parallel` gate.
+
+use gluefl_core::{local_train_into, SimConfig, Simulation, StrategyConfig, TrainSlot};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::{DatasetModel, Mlp, Sgd};
+use gluefl_tensor::rng::{derive_seed, seeded_rng};
+use gluefl_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg(strategy: StrategyConfig, rounds: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.01,
+        rounds,
+        11,
+    );
+    cfg.model.hidden = vec![20];
+    cfg.dataset.feature_dim = 14;
+    cfg.dataset.classes = 8;
+    cfg.dataset.test_samples = 200;
+    cfg.eval_every = 2;
+    cfg.availability = None;
+    cfg.initial_lr = 0.04;
+    cfg
+}
+
+/// The pre-refactor client-training path *in structure* (deep model
+/// clone, a fresh allocating optimizer, per-step allocating
+/// minibatch/gradient calls); the arithmetic kernels underneath are
+/// today's — see the module docs for what this does and does not pin.
+#[allow(clippy::too_many_arguments)]
+fn reference_local_train(
+    proto: &Mlp,
+    global: &[f32],
+    data: &gluefl_data::SyntheticFlDataset,
+    id: usize,
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    seed: u64,
+    out: &mut [f32],
+    stats_positions: &[usize],
+    stats_out: &mut [f32],
+    trainable_mask: &gluefl_tensor::BitMask,
+) {
+    let mut model = proto.clone();
+    model.set_params(global);
+    let ds = data.client(id);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Sgd::new(model.num_params(), lr, momentum);
+    for _ in 0..steps {
+        let (bx, by) = ds.sample_batch(&mut rng, batch);
+        let (_, grad) = model.loss_and_grad(&bx, &by);
+        opt.step(model.params_mut(), &grad);
+    }
+    let trained = model.params();
+    for (s, &p) in stats_out.iter_mut().zip(stats_positions) {
+        *s = trained[p] - global[p];
+    }
+    vecops::masked_sub_into(out, trained, global, trainable_mask);
+}
+
+/// (1) Pooling parity: pooled scratch path ≡ clone-per-client path,
+/// bit for bit, across 4 simulated rounds of evolving global weights and
+/// a slot reused by every client.
+#[test]
+fn scratch_path_matches_clone_reference_bitwise() {
+    let cfg = tiny_cfg(StrategyConfig::FedAvg, 1);
+    let sim = Simulation::new(cfg.clone());
+    let model = sim.model();
+    let dim = model.num_params();
+    let trainable_mask = model.layout().trainable_mask();
+    let stats_positions: Vec<usize> = trainable_mask.not().iter_ones().collect();
+    let mut global = model.params().to_vec();
+    let mut slot = TrainSlot::default();
+    let mut drift = seeded_rng(7, "global-drift", 0);
+    for round in 0..4u32 {
+        let lr = cfg.lr_at_round(round);
+        for id in [0usize, 3, 7, 11, 19] {
+            let seed = derive_seed(
+                cfg.seed,
+                "local-train",
+                (u64::from(round) << 32) | id as u64,
+            );
+            let mut ref_out = vec![0.0f32; dim];
+            let mut ref_stats = vec![0.0f32; stats_positions.len()];
+            reference_local_train(
+                model,
+                &global,
+                sim.data(),
+                id,
+                cfg.local_steps,
+                cfg.batch_size,
+                lr,
+                cfg.momentum,
+                seed,
+                &mut ref_out,
+                &stats_positions,
+                &mut ref_stats,
+                &trainable_mask,
+            );
+            let mut new_out = vec![0.0f32; dim];
+            let mut new_stats = vec![0.0f32; stats_positions.len()];
+            local_train_into(
+                model.topology(),
+                &global,
+                sim.data(),
+                id,
+                cfg.local_steps,
+                cfg.batch_size,
+                lr,
+                cfg.momentum,
+                seed,
+                &mut new_out,
+                &stats_positions,
+                &mut new_stats,
+                &trainable_mask,
+                &mut slot,
+            );
+            assert!(
+                ref_out
+                    .iter()
+                    .zip(&new_out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "trainable delta diverged (round {round}, client {id})"
+            );
+            assert!(
+                ref_stats
+                    .iter()
+                    .zip(&new_stats)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "BN-statistic drift diverged (round {round}, client {id})"
+            );
+        }
+        // Drift the global weights so later rounds exercise fresh state.
+        use rand::Rng;
+        for w in global.iter_mut() {
+            *w += drift.gen_range(-0.01f32..0.01f32);
+        }
+    }
+}
+
+/// (2) Serial vs parallel client sharding: 4+ rounds of GlueFL and
+/// FedAvg must be bit-identical under the runtime toggle. Single test fn
+/// (the toggle is process-global within this binary).
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_client_training_matches_serial_rounds_bitwise() {
+    use gluefl_core::aggregate::set_parallel_enabled;
+    use gluefl_core::{GlueFlParams, RoundRecord};
+    let k = tiny_cfg(StrategyConfig::FedAvg, 1).round_size;
+    let configs = || {
+        vec![
+            tiny_cfg(StrategyConfig::FedAvg, 5),
+            tiny_cfg(
+                StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
+                5,
+            ),
+        ]
+    };
+    let run_all = |parallel: bool| -> Vec<RoundRecord> {
+        set_parallel_enabled(parallel);
+        let mut recs = Vec::new();
+        for cfg in configs() {
+            let mut sim = Simulation::new(cfg);
+            for _ in 0..5 {
+                recs.push(sim.step());
+            }
+        }
+        set_parallel_enabled(true);
+        recs
+    };
+    let parallel = run_all(true);
+    let serial = run_all(false);
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.down_bytes, s.down_bytes, "round {}", p.round);
+        assert_eq!(p.up_bytes, s.up_bytes, "round {}", p.round);
+        assert_eq!(
+            p.changed_positions, s.changed_positions,
+            "round {}",
+            p.round
+        );
+        assert_eq!(
+            p.accuracy.map(f64::to_bits),
+            s.accuracy.map(f64::to_bits),
+            "accuracy bits diverged at round {}",
+            p.round
+        );
+        assert_eq!(p.loss.map(f64::to_bits), s.loss.map(f64::to_bits));
+    }
+}
