@@ -1,0 +1,103 @@
+//! Blocked GEMM vs plain-loop reference across the three MLP layouts.
+//!
+//! The linear layers dominate a simulated round after the allocation
+//! refactors, so regressions in the blocked kernels must be visible
+//! outside the `expt kernels` ledger too. Shapes mirror the paper's
+//! [192, 96] MLP (64 features, 62 classes): training batch 16 for all
+//! three layouts, plus an eval-sized forward batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluefl_tensor::gemm::{gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, gemm_tn, gemm_tn_ref};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn values(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// (m, n, k) = (batch, out_dim, in_dim) of the paper MLP's widest layers.
+const SHAPES: [(usize, usize, usize); 2] = [(16, 192, 64), (16, 96, 192)];
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nn");
+    for (m, n, k) in SHAPES.into_iter().chain([(1024, 192, 64)]) {
+        let a = values(1, m * k);
+        let b = values(2, n * k);
+        let bias = values(3, n);
+        let mut out = vec![0.0f32; m * n];
+        let id = format!("{m}x{n}x{k}");
+        group.bench_with_input(BenchmarkId::new("blocked", &id), &a, |bench, a| {
+            bench.iter(|| {
+                gemm_nn(black_box(a), &b, &bias, m, n, k, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &id), &a, |bench, a| {
+            bench.iter(|| {
+                gemm_nn_ref(black_box(a), &b, &bias, m, n, k, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tn(c: &mut Criterion) {
+    // For the backward layouts (m, p, n) = (batch, out_dim, in_dim),
+    // i.e. the same paper shapes with the reduction over out_dim / batch.
+    let mut group = c.benchmark_group("gemm_tn");
+    for (m, p, n) in SHAPES {
+        let a = values(4, m * p);
+        let b = values(5, p * n);
+        let mut out = vec![0.0f32; m * n];
+        let id = format!("{m}x{p}x{n}");
+        group.bench_with_input(BenchmarkId::new("blocked", &id), &a, |bench, a| {
+            bench.iter(|| {
+                gemm_tn(black_box(a), &b, m, p, n, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &id), &a, |bench, a| {
+            bench.iter(|| {
+                gemm_tn_ref(black_box(a), &b, m, p, n, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt");
+    for (m, p, n) in SHAPES {
+        let a = values(6, m * p);
+        let b = values(7, m * n);
+        // gemm_nt accumulates (`out += aᵀ·b`), so reset the gradient
+        // buffer from a pristine copy each iteration — otherwise the
+        // accumulator drifts across the measurement and the two arms run
+        // against diverging values. The copy cost is identical per arm
+        // and ≪ the kernel itself.
+        let grad0 = values(8, p * n);
+        let mut out = grad0.clone();
+        let id = format!("{m}x{p}x{n}");
+        group.bench_with_input(BenchmarkId::new("blocked", &id), &a, |bench, a| {
+            bench.iter(|| {
+                out.copy_from_slice(&grad0);
+                gemm_nt(black_box(a), &b, m, p, n, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &id), &a, |bench, a| {
+            bench.iter(|| {
+                out.copy_from_slice(&grad0);
+                gemm_nt_ref(black_box(a), &b, m, p, n, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn, bench_tn, bench_nt);
+criterion_main!(benches);

@@ -12,10 +12,20 @@
 //! trusting historical numbers. Each pair is also checked for identical
 //! output before timing.
 //!
-//! Run with `expt kernels [--quick] [--out DIR] [--check FILE]`; writes
-//! `BENCH_kernels.json` into the output directory. With `--check FILE`
-//! the run fails if the committed ledger `FILE` is missing any kernel
-//! entry this benchmark emits (CI's ledger-freshness gate).
+//! Run with `expt kernels [--quick] [--out DIR] [--check FILE]
+//! [--filter KERNEL]`; writes `BENCH_kernels.json` into the output
+//! directory. With `--check FILE` the run fails if the committed ledger
+//! `FILE` is missing any kernel entry this benchmark emits (CI's
+//! ledger-freshness gate). With `--filter KERNEL` only entries whose
+//! name contains the substring are measured and emitted — the fast loop
+//! for re-running one kernel while tuning (input generation is shared
+//! and unconditional, so a filtered entry sees exactly the data the full
+//! run would hand it).
+//!
+//! The `gemm_*` entries time the blocked [`gluefl_tensor::gemm`] kernels
+//! against their plain-loop reference twins at the paper's MLP shapes
+//! ([192, 96] hidden layers, batch 16, plus an eval-sized batch); each
+//! pair is asserted bit-identical before timing.
 
 use super::local_train_baseline::{baseline_local_train, pooled_local_train, BaselineMlp};
 use crate::ExptOpts;
@@ -24,6 +34,7 @@ use gluefl_core::ScratchPool;
 use gluefl_core::TrainSlot;
 use gluefl_data::{DatasetProfile, SyntheticFlDataset};
 use gluefl_ml::{Mlp, MlpConfig, Sgd, TrainScratch};
+use gluefl_tensor::gemm::{gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, gemm_tn, gemm_tn_ref};
 use gluefl_tensor::rng::derive_seed;
 use gluefl_tensor::{
     top_k_abs_masked_into, vecops, BitMask, MaskedUpdate, SparseUpdate, TopKScope, TopKScratch,
@@ -64,63 +75,67 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     let mut entries = Vec::new();
 
     // --- top-k over the Outside scope (Algorithm 3 line 17). ---
-    let expected = baseline_top_k_outside(&values, k, &mask);
-    let mut scratch = TopKScratch::with_capacity(d);
-    let got = top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch);
-    assert_eq!(got, expected.as_slice(), "top-k kernels disagree");
-    let (baseline_ns, new_ns) = time_pair_ns(
-        reps,
-        || baseline_top_k_outside(&values, k, &mask).len(),
-        || top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch).len(),
-    );
-    entries.push(Entry {
-        name: "topk_outside_16pct_mask",
-        baseline_ns,
-        new_ns,
-    });
+    if opts.kernel_selected("topk_outside_16pct_mask") {
+        let expected = baseline_top_k_outside(&values, k, &mask);
+        let mut scratch = TopKScratch::with_capacity(d);
+        let got = top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch);
+        assert_eq!(got, expected.as_slice(), "top-k kernels disagree");
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_top_k_outside(&values, k, &mask).len(),
+            || top_k_abs_masked_into(&values, k, TopKScope::Outside(&mask), &mut scratch).len(),
+        );
+        entries.push(Entry {
+            name: "topk_outside_16pct_mask",
+            baseline_ns,
+            new_ns,
+        });
+    }
 
     // --- masked delta aggregation (Algorithm 3 lines 21–24). ---
-    let splits: Vec<(SparseUpdate, SparseUpdate)> = (0..clients)
-        .map(|c| {
-            let mut crng = StdRng::seed_from_u64(opts.seed ^ (c as u64 + 1));
-            let shared_vals: Vec<(u32, f32)> = mask
-                .iter_ones()
-                .map(|i| (i as u32, crng.gen_range(-1.0f32..1.0)))
-                .collect();
-            let shared = SparseUpdate::from_pairs(d, shared_vals);
-            let mut uniq = Vec::new();
-            for i in 0..d as u32 {
-                if crng.gen::<f64>() < 0.04 {
-                    uniq.push((i, crng.gen_range(-1.0f32..1.0)));
+    if opts.kernel_selected("aggregate_masked_30_clients") {
+        let splits: Vec<(SparseUpdate, SparseUpdate)> = (0..clients)
+            .map(|c| {
+                let mut crng = StdRng::seed_from_u64(opts.seed ^ (c as u64 + 1));
+                let shared_vals: Vec<(u32, f32)> = mask
+                    .iter_ones()
+                    .map(|i| (i as u32, crng.gen_range(-1.0f32..1.0)))
+                    .collect();
+                let shared = SparseUpdate::from_pairs(d, shared_vals);
+                let mut uniq = Vec::new();
+                for i in 0..d as u32 {
+                    if crng.gen::<f64>() < 0.04 {
+                        uniq.push((i, crng.gen_range(-1.0f32..1.0)));
+                    }
                 }
-            }
-            (shared, SparseUpdate::from_pairs(d, uniq))
-        })
-        .collect();
-    let weights: Vec<f32> = (0..clients).map(|c| 1.0 / (c + 1) as f32).collect();
+                (shared, SparseUpdate::from_pairs(d, uniq))
+            })
+            .collect();
+        let weights: Vec<f32> = (0..clients).map(|c| 1.0 / (c + 1) as f32).collect();
 
-    let expected = baseline_aggregate(&splits, &weights, d);
-    let mut pool = ScratchPool::new();
-    let got = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
-    // Per accumulator position both paths add contributions in client
-    // order, so the fused kernel is bit-identical to the baseline.
-    assert_eq!(expected, got, "aggregation kernels diverged");
-    pool.put(got);
-    let (baseline_ns, new_ns) = time_pair_ns(
-        reps,
-        || baseline_aggregate(&splits, &weights, d).len(),
-        || {
-            let out = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
-            let n = out.len();
-            pool.put(out);
-            n
-        },
-    );
-    entries.push(Entry {
-        name: "aggregate_masked_30_clients",
-        baseline_ns,
-        new_ns,
-    });
+        let expected = baseline_aggregate(&splits, &weights, d);
+        let mut pool = ScratchPool::new();
+        let got = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
+        // Per accumulator position both paths add contributions in client
+        // order, so the fused kernel is bit-identical to the baseline.
+        assert_eq!(expected, got, "aggregation kernels diverged");
+        pool.put(got);
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_aggregate(&splits, &weights, d).len(),
+            || {
+                let out = fused_aggregate(&splits, &weights, d, &mask, &mut pool);
+                let n = out.len();
+                pool.put(out);
+                n
+            },
+        );
+        entries.push(Entry {
+            name: "aggregate_masked_30_clients",
+            baseline_ns,
+            new_ns,
+        });
+    }
 
     // --- masked server-update application (the simulator apply path). ---
     // Baseline: the pre-refactor dense walk — densified update added with
@@ -138,6 +153,11 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         let update = MaskedUpdate::new(apply_mask, packed);
         let dense_update = update.to_dense();
         let params: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // The inputs above always consume `rng`, so a filtered run hands
+        // the surviving entries exactly the full run's data.
+        if !opts.kernel_selected(name) {
+            continue;
+        }
         // Equivalence gate: both apply paths and both scans must agree.
         {
             let mut a = params.clone();
@@ -184,11 +204,11 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     // simulator's paper setup: FEMNIST profile (64 features, 62 classes),
     // ShuffleNet-like hidden [192, 96] with BatchNorm (~38k params),
     // batch 16, E = 10 local steps, K = 30 kept clients. NOTE: the
-    // arithmetic is pinned bit-identical, so at matmul-bound shapes the
-    // serial entries measure only the allocator overhead (≈ break-even);
-    // the structural win is that the pooled slots make client-parallel
-    // sharding (`--features parallel`) contention-free.
-    {
+    // arithmetic is pinned bit-identical — including through the blocked
+    // GEMM linear kernels, which preserve every reduction order — so the
+    // serial entries measure the allocator overhead plus the GEMM win on
+    // the matmul-bound minibatch steps.
+    if opts.kernel_selected("local_train_step") || opts.kernel_selected("local_train_round") {
         let (clients, steps) = if opts.quick { (6, 3) } else { (30, 10) };
         let batch = 16;
         let (lr, momentum) = (0.05f32, 0.9f32);
@@ -259,92 +279,99 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         }
 
         // Per-step: one loss_and_grad + SGD update on a fixed minibatch.
-        let (bx, by) = data
-            .client(0)
-            .sample_batch(&mut StdRng::seed_from_u64(opts.seed ^ 0x51ec), batch);
-        let mut bmodel = proto.clone();
-        let mut bopt = Sgd::new(dm, lr, momentum);
-        let mut params_new = global.clone();
-        let mut scratch = TrainScratch::new();
-        scratch.reset_velocity();
-        let topo = model.topology();
-        let (baseline_ns, new_ns) = time_pair_ns(
-            reps,
-            || {
-                let (_, g) = bmodel.loss_and_grad(&bx, &by);
-                bopt.step(bmodel.params_mut(), &g);
-                g.len()
-            },
-            || {
-                let _ = topo.loss_and_grad_into(&mut params_new, &bx, &by, &mut scratch);
-                scratch.sgd_step(&mut params_new, lr, momentum);
-                params_new.len()
-            },
-        );
-        entries.push(Entry {
-            name: "local_train_step",
-            baseline_ns,
-            new_ns,
-        });
+        if opts.kernel_selected("local_train_step") {
+            let (bx, by) = data
+                .client(0)
+                .sample_batch(&mut StdRng::seed_from_u64(opts.seed ^ 0x51ec), batch);
+            let mut bmodel = proto.clone();
+            let mut bopt = Sgd::new(dm, lr, momentum);
+            let mut params_new = global.clone();
+            let mut scratch = TrainScratch::new();
+            scratch.reset_velocity();
+            let topo = model.topology();
+            let (baseline_ns, new_ns) = time_pair_ns(
+                reps,
+                || {
+                    let (_, g) = bmodel.loss_and_grad(&bx, &by);
+                    bopt.step(bmodel.params_mut(), &g);
+                    g.len()
+                },
+                || {
+                    let _ = topo.loss_and_grad_into(&mut params_new, &bx, &by, &mut scratch);
+                    scratch.sgd_step(&mut params_new, lr, momentum);
+                    params_new.len()
+                },
+            );
+            entries.push(Entry {
+                name: "local_train_step",
+                baseline_ns,
+                new_ns,
+            });
+        }
 
         // Per-round: every client starts from the global weights (clone
         // vs copy_from_slice), trains `steps` minibatches, and extracts
         // its delta — the simulator's whole training phase.
-        let mut out_b = vec![0.0f32; dm];
-        let mut stats_b = vec![0.0f32; stats_positions.len()];
-        let mut out_n = vec![0.0f32; dm];
-        let mut stats_n = vec![0.0f32; stats_positions.len()];
-        let (baseline_ns, new_ns) = time_pair_ns(
-            reps,
-            || {
-                for id in 0..clients {
-                    let seed = derive_seed(opts.seed, "bench-round", id as u64);
-                    baseline_local_train(
-                        &proto,
-                        &global,
-                        &data.client(id),
-                        steps,
-                        batch,
-                        lr,
-                        momentum,
-                        seed,
-                        &mut out_b,
-                        &stats_positions,
-                        &mut stats_b,
-                        &trainable_mask,
-                    );
-                }
-                clients
-            },
-            || {
-                for id in 0..clients {
-                    let seed = derive_seed(opts.seed, "bench-round", id as u64);
-                    pooled_local_train(
-                        &model,
-                        &global,
-                        &data,
-                        id,
-                        steps,
-                        batch,
-                        lr,
-                        momentum,
-                        seed,
-                        &mut out_n,
-                        &stats_positions,
-                        &mut stats_n,
-                        &trainable_mask,
-                        &mut slot,
-                    );
-                }
-                clients
-            },
-        );
-        entries.push(Entry {
-            name: "local_train_round",
-            baseline_ns,
-            new_ns,
-        });
+        if opts.kernel_selected("local_train_round") {
+            let mut out_b = vec![0.0f32; dm];
+            let mut stats_b = vec![0.0f32; stats_positions.len()];
+            let mut out_n = vec![0.0f32; dm];
+            let mut stats_n = vec![0.0f32; stats_positions.len()];
+            let (baseline_ns, new_ns) = time_pair_ns(
+                reps,
+                || {
+                    for id in 0..clients {
+                        let seed = derive_seed(opts.seed, "bench-round", id as u64);
+                        baseline_local_train(
+                            &proto,
+                            &global,
+                            &data.client(id),
+                            steps,
+                            batch,
+                            lr,
+                            momentum,
+                            seed,
+                            &mut out_b,
+                            &stats_positions,
+                            &mut stats_b,
+                            &trainable_mask,
+                        );
+                    }
+                    clients
+                },
+                || {
+                    for id in 0..clients {
+                        let seed = derive_seed(opts.seed, "bench-round", id as u64);
+                        pooled_local_train(
+                            &model,
+                            &global,
+                            &data,
+                            id,
+                            steps,
+                            batch,
+                            lr,
+                            momentum,
+                            seed,
+                            &mut out_n,
+                            &stats_positions,
+                            &mut stats_n,
+                            &trainable_mask,
+                            &mut slot,
+                        );
+                    }
+                    clients
+                },
+            );
+            entries.push(Entry {
+                name: "local_train_round",
+                baseline_ns,
+                new_ns,
+            });
+        }
     }
+
+    // --- blocked GEMM vs plain-loop reference (the linear-layer spine). ---
+    run_gemm_entries(opts, reps, &mut entries);
 
     // --- Report. ---
     let mut json = String::from("{\n");
@@ -380,6 +407,125 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         check_ledger_freshness(committed, &entries)?;
     }
     Ok(())
+}
+
+/// Times the blocked GEMM kernels against their plain-loop reference
+/// twins at the paper MLP's hottest shapes and appends one ledger entry
+/// per layout: the training-batch forward/backward-data/backward-weights
+/// trio on the 192 → 96 hidden layer, plus an eval-sized forward batch
+/// on the 64 → 192 input layer. Every pair is asserted **bit-identical**
+/// before timing — blocking must not reassociate any reduction.
+fn run_gemm_entries(opts: &ExptOpts, reps: usize, entries: &mut Vec<Entry>) {
+    // (name, m = batch, n = out_dim, k = in_dim, inner timing reps).
+    let shapes: [(&'static str, usize, usize, usize, usize); 4] = [
+        ("gemm_nn_b16", 16, 96, 192, 64),
+        ("gemm_tn_b16", 16, 96, 192, 64),
+        ("gemm_nt_b16", 16, 96, 192, 64),
+        ("gemm_nn_eval_b1024", 1024, 192, 64, 4),
+    ];
+    for (name, m, n, k, inner) in shapes {
+        if !opts.kernel_selected(name) {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x6e44);
+        let x: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let w: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let bias: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Backward-layout operands: d_out is batch × out_dim, and the
+        // weight-gradient accumulator starts from a non-trivial value.
+        let d_out: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let grad0: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        // Each timing sample runs `inner` back-to-back invocations so
+        // microsecond kernels are measured over ~1 ms windows; the medians
+        // are divided back down so the ledger reports per-invocation ns,
+        // comparable with every other entry.
+        let (batch_baseline_ns, batch_new_ns) = match name {
+            "gemm_nn_b16" | "gemm_nn_eval_b1024" => {
+                let mut got = vec![0.0f32; m * n];
+                let mut want = vec![0.0f32; m * n];
+                gemm_nn(&x, &w, &bias, m, n, k, &mut got);
+                gemm_nn_ref(&x, &w, &bias, m, n, k, &mut want);
+                assert_bits_identical(&got, &want, name);
+                time_pair_ns(
+                    reps,
+                    || {
+                        for _ in 0..inner {
+                            gemm_nn_ref(&x, &w, &bias, m, n, k, &mut want);
+                        }
+                        want.len()
+                    },
+                    || {
+                        for _ in 0..inner {
+                            gemm_nn(&x, &w, &bias, m, n, k, &mut got);
+                        }
+                        got.len()
+                    },
+                )
+            }
+            "gemm_tn_b16" => {
+                let mut got = vec![0.0f32; m * k];
+                let mut want = vec![0.0f32; m * k];
+                gemm_tn(&d_out, &w, m, n, k, &mut got);
+                gemm_tn_ref(&d_out, &w, m, n, k, &mut want);
+                assert_bits_identical(&got, &want, name);
+                time_pair_ns(
+                    reps,
+                    || {
+                        for _ in 0..inner {
+                            gemm_tn_ref(&d_out, &w, m, n, k, &mut want);
+                        }
+                        want.len()
+                    },
+                    || {
+                        for _ in 0..inner {
+                            gemm_tn(&d_out, &w, m, n, k, &mut got);
+                        }
+                        got.len()
+                    },
+                )
+            }
+            "gemm_nt_b16" => {
+                let mut got = grad0.clone();
+                let mut want = grad0.clone();
+                gemm_nt(&d_out, &x, m, n, k, &mut got);
+                gemm_nt_ref(&d_out, &x, m, n, k, &mut want);
+                assert_bits_identical(&got, &want, name);
+                time_pair_ns(
+                    reps,
+                    || {
+                        for _ in 0..inner {
+                            gemm_nt_ref(&d_out, &x, m, n, k, &mut want);
+                        }
+                        want.len()
+                    },
+                    || {
+                        for _ in 0..inner {
+                            gemm_nt(&d_out, &x, m, n, k, &mut got);
+                        }
+                        got.len()
+                    },
+                )
+            }
+            other => unreachable!("unmapped gemm entry {other}"),
+        };
+        entries.push(Entry {
+            name,
+            baseline_ns: batch_baseline_ns / inner as f64,
+            new_ns: batch_new_ns / inner as f64,
+        });
+    }
+}
+
+/// Panics unless two kernel outputs agree to the last bit.
+fn assert_bits_identical(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    assert!(
+        got.iter()
+            .zip(want)
+            .all(|(g, w)| g.to_bits() == w.to_bits()),
+        "{what}: blocked and reference kernels diverged"
+    );
 }
 
 /// The ledger-freshness gate: every kernel entry this benchmark emits
@@ -540,7 +686,57 @@ mod tests {
         assert!(json.contains("masked_apply_20pct"));
         assert!(json.contains("local_train_step"));
         assert!(json.contains("local_train_round"));
+        assert!(json.contains("gemm_nn_b16"));
+        assert!(json.contains("gemm_tn_b16"));
+        assert!(json.contains("gemm_nt_b16"));
+        assert!(json.contains("gemm_nn_eval_b1024"));
         assert!(json.contains("speedup"));
+    }
+
+    /// `--filter` measures and emits only the matching entries; `--check`
+    /// then gates exactly that emitted subset (unchanged semantics).
+    #[test]
+    fn filter_restricts_emitted_entries() {
+        let dir = std::env::temp_dir().join("gluefl_kernels_filter_test");
+        let opts = ExptOpts {
+            quick: true,
+            out_dir: dir.clone(),
+            filter: Some("gemm".into()),
+            ..ExptOpts::default()
+        };
+        run(&opts).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_kernels.json")).unwrap();
+        assert!(json.contains("gemm_nn_b16"));
+        assert!(json.contains("gemm_tn_b16"));
+        assert!(json.contains("gemm_nt_b16"));
+        assert!(json.contains("gemm_nn_eval_b1024"));
+        assert!(!json.contains("topk_outside_16pct_mask"));
+        assert!(!json.contains("local_train_step"));
+        // --check against the filtered output: the committed full ledger
+        // covers the subset, so the gate passes…
+        let full = dir.join("full.json");
+        std::fs::write(
+            &full,
+            "{\"kernels\": [
+    {\"name\": \"gemm_nn_b16\"}, {\"name\": \"gemm_tn_b16\"},
+    {\"name\": \"gemm_nt_b16\"}, {\"name\": \"gemm_nn_eval_b1024\"},
+    {\"name\": \"topk_outside_16pct_mask\"}]}",
+        )
+        .unwrap();
+        let opts_checked = ExptOpts {
+            check: Some(full),
+            ..opts.clone()
+        };
+        run(&opts_checked).unwrap();
+        // …and a ledger missing a *selected* entry still fails.
+        let stale = dir.join("stale.json");
+        std::fs::write(&stale, "{\"kernels\": [{\"name\": \"gemm_nn_b16\"}]}").unwrap();
+        let opts_stale = ExptOpts {
+            check: Some(stale),
+            ..opts
+        };
+        let err = run(&opts_stale).unwrap_err();
+        assert!(err.contains("gemm_tn_b16"), "unexpected error: {err}");
     }
 
     /// The freshness gate passes when every emitted entry is present in

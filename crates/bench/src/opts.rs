@@ -22,6 +22,10 @@ pub struct ExptOpts {
     /// `BENCH_kernels.json`; the run fails if that file is missing any
     /// kernel entry the benchmark emits.
     pub check: Option<PathBuf>,
+    /// Kernel-name substring filter (`expt kernels` only): when set, only
+    /// ledger entries whose name contains the substring are measured and
+    /// emitted — the fast path for re-running one kernel while tuning.
+    pub filter: Option<String>,
 }
 
 impl Default for ExptOpts {
@@ -34,13 +38,14 @@ impl Default for ExptOpts {
             paper_scale: false,
             quick: false,
             check: None,
+            filter: None,
         }
     }
 }
 
 impl ExptOpts {
     /// Parses `--rounds N --scale F --seed N --out DIR --paper-scale
-    /// --quick --check FILE` from raw arguments.
+    /// --quick --check FILE --filter KERNEL` from raw arguments.
     ///
     /// # Errors
     /// Returns a message naming the offending flag or value.
@@ -71,6 +76,9 @@ impl ExptOpts {
                         it.next().ok_or("--check needs a value")?.clone(),
                     ));
                 }
+                "--filter" => {
+                    opts.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
+                }
                 "--quick" => {
                     opts.quick = true;
                     opts.rounds = opts.rounds.min(20);
@@ -80,6 +88,13 @@ impl ExptOpts {
             }
         }
         Ok(opts)
+    }
+
+    /// Whether a named ledger entry is selected by `--filter` (substring
+    /// match; everything is selected when no filter is set).
+    #[must_use]
+    pub fn kernel_selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 }
 
@@ -134,6 +149,23 @@ mod tests {
         let o = parse(&["--check", "BENCH_kernels.json"]).unwrap();
         assert_eq!(o.check, Some(PathBuf::from("BENCH_kernels.json")));
         assert!(parse(&["--check"]).is_err());
+    }
+
+    #[test]
+    fn parses_filter_flag_and_selects_by_substring() {
+        let o = parse(&["--filter", "gemm"]).unwrap();
+        assert_eq!(o.filter.as_deref(), Some("gemm"));
+        assert!(o.kernel_selected("gemm_nn_b16"));
+        assert!(o.kernel_selected("gemm_tn_b16"));
+        assert!(!o.kernel_selected("local_train_round"));
+        assert!(parse(&["--filter"]).is_err());
+    }
+
+    #[test]
+    fn no_filter_selects_everything() {
+        let o = parse(&[]).unwrap();
+        assert!(o.kernel_selected("gemm_nn_b16"));
+        assert!(o.kernel_selected("local_train_round"));
     }
 
     #[test]

@@ -400,7 +400,11 @@ impl Simulation {
         let every = self.cfg.eval_every.max(1);
         if (round + 1).is_multiple_of(every) || round + 1 == self.cfg.rounds {
             // Evaluate through a pooled slot so eval rounds reuse warm
-            // forward buffers instead of building a fresh workspace.
+            // forward buffers instead of building a fresh workspace. The
+            // forward pass is the same GEMM-backed kernel path training
+            // uses; at test-set batch sizes the `parallel` feature shards
+            // GEMM row blocks across threads inside the kernel
+            // (bit-identical to serial — rows never share an accumulator).
             let mut slot = self.scratch.take_train_slot();
             let (tx, ty) = self.data.test_set();
             let m = self.model.evaluate_into(tx, ty, &mut slot.scratch);

@@ -24,7 +24,13 @@
 //!   the allocation-free `_into` kernel family
 //!   ([`MlpTopology::loss_and_grad_into`], [`MlpTopology::evaluate_into`]):
 //!   after the first step sizes the buffers, a steady-state minibatch
-//!   step performs no heap allocation.
+//!   step performs no heap allocation. The linear layers inside are thin
+//!   shims over the blocked `gluefl_tensor::gemm` micro-kernels
+//!   (forward, backward-data, and accumulating backward-weights
+//!   layouts), which preserve every reduction order — training
+//!   trajectories are bit-identical to the naive per-element loops, and
+//!   large eval batches shard GEMM row blocks across threads under the
+//!   `parallel` feature.
 //! * [`Sgd`] — minibatch SGD with momentum and step decay (the paper's
 //!   optimizer: momentum 0.9, decay 0.98 every 10 rounds), plus the
 //!   pooled-velocity form [`sgd_momentum_step`] used by the scratch path

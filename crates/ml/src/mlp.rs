@@ -20,6 +20,7 @@ use crate::init::kaiming_uniform;
 use crate::layout::{ParamKind, ParamLayout};
 use crate::loss::{accuracy, log_softmax_rows, nll_and_grad, top5_accuracy};
 use crate::scratch::{LayerScratch, TrainScratch};
+use gluefl_tensor::gemm;
 use rand::Rng;
 
 /// Configuration of an [`Mlp`].
@@ -482,6 +483,12 @@ impl MlpTopology {
 
 /// `out[r] = W · input[r] + b` for every row, written into the pre-sized
 /// `out` slice (`batch × out_dim`).
+///
+/// A thin shim over the blocked [`gemm::gemm_nn`] kernel (`out = x·Wᵀ + b`,
+/// the forward layout). Bit-identical to the per-element loop it replaced
+/// — the GEMM preserves every output's reduction order — and, under the
+/// `parallel` feature, large eval batches shard row blocks across
+/// threads inside the kernel.
 fn linear_forward_into(
     params: &[f32],
     lin: LinearSpec,
@@ -491,24 +498,20 @@ fn linear_forward_into(
 ) {
     let w = &params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
     let b = &params[lin.b_off..lin.b_off + lin.out_dim];
-    debug_assert_eq!(out.len(), batch * lin.out_dim);
-    for r in 0..batch {
-        let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
-        let row = &mut out[r * lin.out_dim..(r + 1) * lin.out_dim];
-        for (o, dst) in row.iter_mut().enumerate() {
-            let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
-            let mut acc = b[o];
-            for (xi, wi) in xin.iter().zip(wrow) {
-                acc += xi * wi;
-            }
-            *dst = acc;
-        }
-    }
+    gemm::gemm_nn(input, w, b, batch, lin.out_dim, lin.in_dim, out);
 }
 
 /// Accumulates dW, db into `grad` and writes d(input) into `d_in`
 /// (cleared and re-sized in place — allocation-free once capacity has
 /// grown to the widest layer).
+///
+/// Two blocked GEMM calls plus a bias-column reduction: the weight
+/// gradient is the accumulating [`gemm::gemm_nt`] (`dW += d_outᵀ·x`) and
+/// the input gradient is [`gemm::gemm_tn`] (`d_in = d_out·W`). The old
+/// fused per-element loop interleaved the three products; splitting them
+/// changes no per-element reduction order (db over rows ascending, dW
+/// over rows ascending on top of the existing gradient, d_in over output
+/// features ascending from zero), so the bits are unchanged.
 fn linear_backward_into(
     params: &[f32],
     lin: LinearSpec,
@@ -521,25 +524,17 @@ fn linear_backward_into(
     let w = &params[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
     d_in.clear();
     d_in.resize(batch * lin.in_dim, 0.0);
-    let (gw, gb) = {
-        // Disjoint gradient ranges (asserted at layout-build time).
-        debug_assert!(lin.b_off >= lin.w_off + lin.in_dim * lin.out_dim || lin.b_off < lin.w_off);
-        (lin.w_off, lin.b_off)
-    };
-    for r in 0..batch {
-        let xin = &input[r * lin.in_dim..(r + 1) * lin.in_dim];
-        let drow = &d_out[r * lin.out_dim..(r + 1) * lin.out_dim];
-        let din_row = &mut d_in[r * lin.in_dim..(r + 1) * lin.in_dim];
-        for (o, &d) in drow.iter().enumerate() {
-            grad[gb + o] += d;
-            let wrow = &w[o * lin.in_dim..(o + 1) * lin.in_dim];
-            let gw_row = gw + o * lin.in_dim;
-            for j in 0..lin.in_dim {
-                grad[gw_row + j] += d * xin[j];
-                din_row[j] += d * wrow[j];
-            }
+    // Disjoint gradient ranges (asserted at layout-build time).
+    debug_assert!(lin.b_off >= lin.w_off + lin.in_dim * lin.out_dim || lin.b_off < lin.w_off);
+    let gb = &mut grad[lin.b_off..lin.b_off + lin.out_dim];
+    for drow in d_out.chunks_exact(lin.out_dim) {
+        for (g, &d) in gb.iter_mut().zip(drow) {
+            *g += d;
         }
     }
+    let gw = &mut grad[lin.w_off..lin.w_off + lin.in_dim * lin.out_dim];
+    gemm::gemm_nt(d_out, input, batch, lin.out_dim, lin.in_dim, gw);
+    gemm::gemm_tn(d_out, w, batch, lin.out_dim, lin.in_dim, d_in);
 }
 
 /// BatchNorm forward into pre-sized scratch slices. In training mode the

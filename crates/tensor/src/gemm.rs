@@ -1,0 +1,628 @@
+//! Register-blocked, cache-tiled `f32` matmul micro-kernels for the MLP
+//! hot path.
+//!
+//! Three layouts, named for how the `gluefl-ml` linear layers consume
+//! them (all matrices row-major; `W` is stored `[out_dim × in_dim]` as in
+//! `torch.nn.Linear`):
+//!
+//! * [`gemm_nn`] — forward: `out = a · bᵀ + bias` with `a = x`
+//!   (`m × k` activations) and `b = W` (`n × k`), i.e.
+//!   `out[r][o] = bias[o] + Σ_t a[r][t]·b[o][t]`.
+//! * [`gemm_tn`] — backward data: `out = a · b` with `a = d_out`
+//!   (`m × p`) and `b = W` (`p × n`), i.e.
+//!   `out[r][j] = Σ_o a[r][o]·b[o][j]`.
+//! * [`gemm_nt`] — backward weights, *accumulating*: `out += aᵀ · b`
+//!   with `a = d_out` (`m × p`) and `b = x` (`m × n`), i.e.
+//!   `out[o][j] += Σ_r a[r][o]·b[r][j]`.
+//!
+//! Every kernel has a plain-loop reference twin ([`gemm_nn_ref`],
+//! [`gemm_tn_ref`], [`gemm_nt_ref`]) and is **bit-exact** against it:
+//! blocking tiles the loops for cache and register reuse but never
+//! reassociates any output element's reduction. Each element's terms are
+//! added in the same ascending reduction order as the naive triple loop,
+//! starting from the same initial value (`bias[o]`, `0.0`, or the
+//! existing accumulator), and Rust never contracts `mul` + `add` into a
+//! fused multiply-add. Speed comes from register blocking — a tile of
+//! independent accumulator chains hides FMA latency where the naive dot
+//! product is one serial dependency chain — and from cache tiling of the
+//! reduction dimension, not from reordered arithmetic. Two contracts
+//! follow:
+//!
+//! * serial and `--features parallel` builds produce identical bits: the
+//!   parallel path only shards **disjoint row blocks** of `out` across
+//!   `std::thread::scope` workers, each running the serial kernel;
+//! * training/eval trajectories upstream stay bit-identical to the
+//!   pre-GEMM per-element loops (the `local_train_*` ledger gates remain
+//!   bit-exact).
+//!
+//! # Example
+//!
+//! ```
+//! use gluefl_tensor::gemm::{gemm_nn, gemm_nn_ref};
+//!
+//! // 2×3 activations, 4 output features, weights 4×3 row-major.
+//! let x = [0.5f32, -1.0, 2.0, 1.5, 0.25, -0.75];
+//! let w: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+//! let bias = [0.1f32, 0.2, 0.3, 0.4];
+//! let mut out = [0.0f32; 8];
+//! let mut expected = [0.0f32; 8];
+//! gemm_nn(&x, &w, &bias, 2, 4, 3, &mut out);
+//! gemm_nn_ref(&x, &w, &bias, 2, 4, 3, &mut expected);
+//! assert_eq!(out, expected); // bit-exact, not approximately equal
+//! ```
+
+/// Rows of `a` per register tile in [`gemm_nn`].
+const NN_MR: usize = 4;
+/// Rows of `b` (output columns) per register tile in [`gemm_nn`].
+const NN_NR: usize = 4;
+/// k-reduction cache tile in [`gemm_nn`]: `NN_MR + NN_NR` operand rows of
+/// this many `f32`s (16 KiB) stay L1-resident while the register tile
+/// walks them.
+const NN_KC: usize = 512;
+
+/// Output columns per register tile in [`gemm_tn`] / [`gemm_nt`] — eight
+/// consecutive `f32`s, one AVX vector.
+const JB: usize = 8;
+/// Rows of `a` per register tile in [`gemm_tn`].
+const TN_MR: usize = 2;
+/// Rows of `out` per register tile in [`gemm_nt`].
+const NT_OR: usize = 2;
+/// Reduction cache tile in [`gemm_tn`] / [`gemm_nt`].
+const RED_C: usize = 512;
+
+/// Minimum rows before [`gemm_nn`] shards row blocks across threads.
+#[cfg(feature = "parallel")]
+const PAR_MIN_ROWS: usize = 128;
+/// Minimum `m·n·k` multiply count before sharding is worth a thread spawn.
+#[cfg(feature = "parallel")]
+const PAR_MIN_MULS: usize = 1 << 21;
+
+#[inline]
+fn check_dims(a: &[f32], b: &[f32], m: usize, ak: usize, bk: usize, out: &[f32], on: usize) {
+    assert_eq!(a.len(), m * ak, "gemm: `a` shape mismatch");
+    assert_eq!(b.len(), bk, "gemm: `b` shape mismatch");
+    assert_eq!(out.len(), on, "gemm: `out` shape mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// NN: out = a · bᵀ + bias (forward).
+// ---------------------------------------------------------------------------
+
+/// Blocked forward matmul: `out[r][o] = bias[o] + Σ_t a[r][t]·b[o][t]`
+/// (`a: m × k`, `b: n × k`, `bias: n`, `out: m × n`, all row-major; `out`
+/// is overwritten).
+///
+/// Bit-exact against [`gemm_nn_ref`]. Under the `parallel` feature, calls
+/// with enough rows of work (large eval batches) shard disjoint row
+/// blocks of `out` across `std::thread::scope` workers; the result is
+/// bit-identical to the serial kernel because rows never share an
+/// accumulator.
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, n, k)`.
+pub fn gemm_nn(a: &[f32], b: &[f32], bias: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    check_dims(a, b, m, k, n * k, out, m * n);
+    assert_eq!(bias.len(), n, "gemm: `bias` shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if m >= PAR_MIN_ROWS && m * n * k >= PAR_MIN_MULS {
+        gemm_nn_sharded(a, b, bias, m, n, k, out);
+        return;
+    }
+    gemm_nn_serial(a, b, bias, m, n, k, out);
+}
+
+/// Row-sharded [`gemm_nn`]: each worker runs the serial kernel on a
+/// disjoint row block, so the output bits cannot depend on the schedule.
+#[cfg(feature = "parallel")]
+fn gemm_nn_sharded(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(m);
+    let rows = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (a_block, out_block) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
+            s.spawn(move || {
+                gemm_nn_serial(a_block, b, bias, out_block.len() / n, n, k, out_block);
+            });
+        }
+    });
+}
+
+fn gemm_nn_serial(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    // Every element's reduction chain starts at its bias term…
+    for row in out.chunks_exact_mut(n) {
+        row.copy_from_slice(bias);
+    }
+    // …and k-tiles continue it in ascending-t order, so the chain is the
+    // naive `acc = bias[o]; for t { acc += a[r][t]·b[o][t] }` exactly.
+    let mut k0 = 0;
+    while k0 < k {
+        let kt = (k - k0).min(NN_KC);
+        let mut i0 = 0;
+        while i0 < m {
+            let mt = (m - i0).min(NN_MR);
+            let mut o0 = 0;
+            while o0 < n {
+                let nt = (n - o0).min(NN_NR);
+                if mt == NN_MR && nt == NN_NR {
+                    let ar = [
+                        &a[i0 * k + k0..][..kt],
+                        &a[(i0 + 1) * k + k0..][..kt],
+                        &a[(i0 + 2) * k + k0..][..kt],
+                        &a[(i0 + 3) * k + k0..][..kt],
+                    ];
+                    let br = [
+                        &b[o0 * k + k0..][..kt],
+                        &b[(o0 + 1) * k + k0..][..kt],
+                        &b[(o0 + 2) * k + k0..][..kt],
+                        &b[(o0 + 3) * k + k0..][..kt],
+                    ];
+                    nn_micro(ar, br, n, i0, o0, out);
+                } else {
+                    nn_edge(a, b, m, n, k, i0, mt, o0, nt, k0, kt, out);
+                }
+                o0 += nt;
+            }
+            i0 += mt;
+        }
+        k0 += kt;
+    }
+}
+
+/// Full `NN_MR × NN_NR` register tile: 16 independent accumulator chains
+/// hide the FMA latency a single naive dot product serializes on.
+#[inline]
+fn nn_micro(
+    ar: [&[f32]; NN_MR],
+    br: [&[f32]; NN_NR],
+    n: usize,
+    i0: usize,
+    o0: usize,
+    out: &mut [f32],
+) {
+    let kt = ar[0].len();
+    let mut acc = [[0.0f32; NN_NR]; NN_MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&out[(i0 + i) * n + o0..][..NN_NR]);
+    }
+    for t in 0..kt {
+        let av = [ar[0][t], ar[1][t], ar[2][t], ar[3][t]];
+        let bv = [br[0][t], br[1][t], br[2][t], br[3][t]];
+        for (accr, &x) in acc.iter_mut().zip(&av) {
+            for (c, &w) in accr.iter_mut().zip(&bv) {
+                *c += x * w;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        out[(i0 + i) * n + o0..][..NN_NR].copy_from_slice(row);
+    }
+}
+
+/// Remainder tile of [`gemm_nn_serial`]: plain per-element chains in the
+/// same ascending-t order.
+#[allow(clippy::too_many_arguments)]
+fn nn_edge(
+    a: &[f32],
+    b: &[f32],
+    _m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    mt: usize,
+    o0: usize,
+    nt: usize,
+    k0: usize,
+    kt: usize,
+    out: &mut [f32],
+) {
+    for i in i0..i0 + mt {
+        let ar = &a[i * k + k0..][..kt];
+        for o in o0..o0 + nt {
+            let br = &b[o * k + k0..][..kt];
+            let mut acc = out[i * n + o];
+            for (&x, &w) in ar.iter().zip(br) {
+                acc += x * w;
+            }
+            out[i * n + o] = acc;
+        }
+    }
+}
+
+/// Plain-loop reference twin of [`gemm_nn`] (identical semantics and
+/// bits; kept for property tests and the `expt kernels` ledger baseline).
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, n, k)`.
+pub fn gemm_nn_ref(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    check_dims(a, b, m, k, n * k, out, m * n);
+    assert_eq!(bias.len(), n, "gemm: `bias` shape mismatch");
+    for r in 0..m {
+        let ar = &a[r * k..(r + 1) * k];
+        for o in 0..n {
+            let br = &b[o * k..(o + 1) * k];
+            let mut acc = bias[o];
+            for (&x, &w) in ar.iter().zip(br) {
+                acc += x * w;
+            }
+            out[r * n + o] = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TN: out = a · b (backward data).
+// ---------------------------------------------------------------------------
+
+/// Blocked backward-data matmul: `out[r][j] = Σ_o a[r][o]·b[o][j]`
+/// (`a: m × p`, `b: p × n`, `out: m × n`, row-major; `out` is
+/// overwritten). Bit-exact against [`gemm_tn_ref`].
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, p, n)`.
+pub fn gemm_tn(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f32]) {
+    check_dims(a, b, m, p, p * n, out, m * n);
+    out.fill(0.0);
+    // Reduction tiles ascend over o, so each element's chain is the naive
+    // `acc = 0; for o { acc += a[r][o]·b[o][j] }` exactly.
+    let mut o0 = 0;
+    while o0 < p {
+        let ot = (p - o0).min(RED_C);
+        let mut i0 = 0;
+        while i0 < m {
+            let mt = (m - i0).min(TN_MR);
+            let mut j0 = 0;
+            while j0 < n {
+                let jt = (n - j0).min(JB);
+                if mt == TN_MR && jt == JB {
+                    tn_micro(a, b, p, n, i0, o0, ot, j0, out);
+                } else {
+                    tn_edge(a, b, p, n, i0, mt, o0, ot, j0, jt, out);
+                }
+                j0 += jt;
+            }
+            i0 += mt;
+        }
+        o0 += ot;
+    }
+}
+
+/// Full `TN_MR × JB` register tile: two output rows share every streamed
+/// `b` row, and the eight-wide column block is one vector FMA per row.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn tn_micro(
+    a: &[f32],
+    b: &[f32],
+    p: usize,
+    n: usize,
+    i0: usize,
+    o0: usize,
+    ot: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let a0 = &a[i0 * p + o0..][..ot];
+    let a1 = &a[(i0 + 1) * p + o0..][..ot];
+    let mut acc0: [f32; JB] = out[i0 * n + j0..][..JB].try_into().expect("JB block");
+    let mut acc1: [f32; JB] = out[(i0 + 1) * n + j0..][..JB].try_into().expect("JB block");
+    for (o_rel, (&x0, &x1)) in a0.iter().zip(a1).enumerate() {
+        let br: &[f32; JB] = b[(o0 + o_rel) * n + j0..][..JB]
+            .try_into()
+            .expect("JB block");
+        for ((c0, c1), &w) in acc0.iter_mut().zip(&mut acc1).zip(br) {
+            *c0 += x0 * w;
+            *c1 += x1 * w;
+        }
+    }
+    out[i0 * n + j0..][..JB].copy_from_slice(&acc0);
+    out[(i0 + 1) * n + j0..][..JB].copy_from_slice(&acc1);
+}
+
+/// Remainder tile of [`gemm_tn`]: per-element chains in the same
+/// ascending-o order.
+#[allow(clippy::too_many_arguments)]
+fn tn_edge(
+    a: &[f32],
+    b: &[f32],
+    p: usize,
+    n: usize,
+    i0: usize,
+    mt: usize,
+    o0: usize,
+    ot: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+) {
+    for i in i0..i0 + mt {
+        let ar = &a[i * p + o0..][..ot];
+        for j in j0..j0 + jt {
+            let mut acc = out[i * n + j];
+            for (o_rel, &x) in ar.iter().enumerate() {
+                acc += x * b[(o0 + o_rel) * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Plain-loop reference twin of [`gemm_tn`] (identical semantics and
+/// bits).
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, p, n)`.
+pub fn gemm_tn_ref(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f32]) {
+    check_dims(a, b, m, p, p * n, out, m * n);
+    for r in 0..m {
+        let ar = &a[r * p..(r + 1) * p];
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for (o, &x) in ar.iter().enumerate() {
+                acc += x * b[o * n + j];
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NT: out += aᵀ · b (backward weights, accumulating).
+// ---------------------------------------------------------------------------
+
+/// Blocked accumulating backward-weights matmul:
+/// `out[o][j] += Σ_r a[r][o]·b[r][j]` (`a: m × p`, `b: m × n`,
+/// `out: p × n`, row-major; `out` is accumulated into, matching a weight
+/// gradient `dW += d_outᵀ · x`). Bit-exact against [`gemm_nt_ref`].
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, p, n)`.
+pub fn gemm_nt(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f32]) {
+    check_dims(a, b, m, p, m * n, out, p * n);
+    // Reduction tiles ascend over r and every chain starts from the
+    // existing `out` value, so each element is the naive
+    // `acc = out[o][j]; for r { acc += a[r][o]·b[r][j] }` exactly.
+    let mut r0 = 0;
+    while r0 < m {
+        let rt = (m - r0).min(RED_C);
+        let mut o0 = 0;
+        while o0 < p {
+            let pt = (p - o0).min(NT_OR);
+            let mut j0 = 0;
+            while j0 < n {
+                let jt = (n - j0).min(JB);
+                if pt == NT_OR && jt == JB {
+                    nt_micro(a, b, p, n, r0, rt, o0, j0, out);
+                } else {
+                    nt_edge(a, b, p, n, r0, rt, o0, pt, j0, jt, out);
+                }
+                j0 += jt;
+            }
+            o0 += pt;
+        }
+        r0 += rt;
+    }
+}
+
+/// Full `NT_OR × JB` register tile: two gradient rows share every
+/// streamed `b` row while the batch dimension reduces in registers.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn nt_micro(
+    a: &[f32],
+    b: &[f32],
+    p: usize,
+    n: usize,
+    r0: usize,
+    rt: usize,
+    o0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let mut acc0: [f32; JB] = out[o0 * n + j0..][..JB].try_into().expect("JB block");
+    let mut acc1: [f32; JB] = out[(o0 + 1) * n + j0..][..JB].try_into().expect("JB block");
+    for r in r0..r0 + rt {
+        let x0 = a[r * p + o0];
+        let x1 = a[r * p + o0 + 1];
+        let br: &[f32; JB] = b[r * n + j0..][..JB].try_into().expect("JB block");
+        for ((c0, c1), &w) in acc0.iter_mut().zip(&mut acc1).zip(br) {
+            *c0 += x0 * w;
+            *c1 += x1 * w;
+        }
+    }
+    out[o0 * n + j0..][..JB].copy_from_slice(&acc0);
+    out[(o0 + 1) * n + j0..][..JB].copy_from_slice(&acc1);
+}
+
+/// Remainder tile of [`gemm_nt`]: per-element chains in the same
+/// ascending-r order.
+#[allow(clippy::too_many_arguments)]
+fn nt_edge(
+    a: &[f32],
+    b: &[f32],
+    p: usize,
+    n: usize,
+    r0: usize,
+    rt: usize,
+    o0: usize,
+    pt: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+) {
+    for o in o0..o0 + pt {
+        for j in j0..j0 + jt {
+            let mut acc = out[o * n + j];
+            for r in r0..r0 + rt {
+                acc += a[r * p + o] * b[r * n + j];
+            }
+            out[o * n + j] = acc;
+        }
+    }
+}
+
+/// Plain-loop reference twin of [`gemm_nt`] (identical semantics and
+/// bits).
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(m, p, n)`.
+pub fn gemm_nt_ref(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f32]) {
+    check_dims(a, b, m, p, m * n, out, p * n);
+    for o in 0..p {
+        for j in 0..n {
+            let mut acc = out[o * n + j];
+            for r in 0..m {
+                acc += a[r * p + o] * b[r * n + j];
+            }
+            out[o * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}: {g} vs {w}");
+        }
+    }
+
+    fn check_all(m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let w = fill(&mut rng, n * k);
+        let bias = fill(&mut rng, n);
+        // NN.
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn(&a, &w, &bias, m, n, k, &mut got);
+        gemm_nn_ref(&a, &w, &bias, m, n, k, &mut want);
+        assert_bits_eq(&got, &want, "nn");
+        // TN: d_out is m × n, W is n × k, result m × k.
+        let mut got = vec![0.0f32; m * k];
+        let mut want = vec![0.0f32; m * k];
+        let d_out = fill(&mut rng, m * n);
+        gemm_tn(&d_out, &w, m, n, k, &mut got);
+        gemm_tn_ref(&d_out, &w, m, n, k, &mut want);
+        assert_bits_eq(&got, &want, "tn");
+        // NT: accumulate into a shared non-zero gradient.
+        let grad0 = fill(&mut rng, n * k);
+        let mut got = grad0.clone();
+        let mut want = grad0;
+        gemm_nt(&d_out, &a, m, n, k, &mut got);
+        gemm_nt_ref(&d_out, &a, m, n, k, &mut want);
+        assert_bits_eq(&got, &want, "nt");
+    }
+
+    #[test]
+    fn blocked_matches_reference_at_paper_shapes() {
+        // [192, 96] MLP layers at training batch 16 and an eval batch.
+        check_all(16, 192, 64, 1);
+        check_all(16, 96, 192, 2);
+        check_all(16, 62, 96, 3);
+        check_all(200, 192, 64, 4);
+    }
+
+    #[test]
+    fn blocked_matches_reference_off_block_boundaries() {
+        for (i, &(m, n, k)) in [
+            (1, 1, 1),
+            (1, 192, 64),
+            (5, 7, 9),
+            (3, 13, 17),
+            (NN_MR + 1, NN_NR + 1, NN_KC + 3),
+            (2, JB - 1, 3),
+            (7, JB + 1, 2),
+        ]
+        .iter()
+        .enumerate()
+        {
+            check_all(m, n, k, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_k_reduces_to_bias_or_zero() {
+        let bias = [1.5f32, -2.5];
+        let mut out = [9.0f32; 4];
+        gemm_nn(&[], &[], &bias, 2, 2, 0, &mut out);
+        assert_eq!(out, [1.5, -2.5, 1.5, -2.5]);
+        let mut out = [9.0f32; 4];
+        gemm_tn(&[], &[], 2, 0, 2, &mut out);
+        assert_eq!(out, [0.0; 4]);
+        let mut out = [9.0f32; 4];
+        gemm_nt(&[], &[], 0, 2, 2, &mut out);
+        assert_eq!(out, [9.0; 4]); // accumulating: untouched
+    }
+
+    #[test]
+    fn nt_accumulates_on_top_of_existing_values() {
+        let a = [1.0f32, 2.0]; // 1 × 2
+        let b = [3.0f32, 4.0, 5.0]; // 1 × 3
+        let mut out = vec![10.0f32; 6];
+        gemm_nt(&a, &b, 1, 2, 3, &mut out);
+        assert_eq!(out, vec![13.0, 14.0, 15.0, 16.0, 18.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "`a` shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut out = [0.0f32; 4];
+        gemm_nn(&[0.0; 3], &[0.0; 4], &[0.0; 2], 2, 2, 2, &mut out);
+    }
+
+    /// Under the `parallel` feature, a batch large enough to trigger row
+    /// sharding must still match the reference twin bit for bit.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn sharded_rows_match_reference_bitwise() {
+        let (m, n, k) = (PAR_MIN_ROWS * 3 + 5, 96, 192);
+        assert!(m * n * k >= PAR_MIN_MULS, "shape must trigger sharding");
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = fill(&mut rng, m * k);
+        let w = fill(&mut rng, n * k);
+        let bias = fill(&mut rng, n);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn(&a, &w, &bias, m, n, k, &mut got);
+        gemm_nn_ref(&a, &w, &bias, m, n, k, &mut want);
+        assert_bits_eq(&got, &want, "sharded nn");
+    }
+}

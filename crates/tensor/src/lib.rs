@@ -19,6 +19,11 @@
 //!   kernels instead of a dense `O(d)` walk.
 //! * [`vecops`] — axpy/scale/dot kernels shared by the ML substrate, plus
 //!   fused masked kernels for the round hot path.
+//! * [`gemm`] — register-blocked, cache-tiled `f32` matmul micro-kernels
+//!   in the three layouts the MLP's linear layers need (forward,
+//!   backward-data, accumulating backward-weights), each bit-exact
+//!   against a plain-loop reference twin; large-batch forward calls shard
+//!   disjoint row blocks across threads under the `parallel` feature.
 //! * [`rng`] — deterministic seed derivation so that every experiment in the
 //!   workspace is exactly reproducible from one master seed.
 //!
@@ -68,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod bitmask;
+pub mod gemm;
 mod masked;
 pub mod rng;
 mod sparse;

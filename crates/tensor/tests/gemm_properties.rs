@@ -1,0 +1,142 @@
+//! Property tests pinning every blocked GEMM layout **bit-exact** against
+//! its plain-loop reference twin.
+//!
+//! The blocked kernels promise more than closeness: blocking must never
+//! reassociate an output element's reduction, so the bits must match the
+//! naive triple loop exactly — across adversarial shapes (batch 1, unit
+//! input/output dimensions, and dimensions straddling the register/cache
+//! block sizes), arbitrary data, and accumulation on top of arbitrary
+//! pre-existing gradients.
+
+use gluefl_tensor::gemm::{gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, gemm_tn, gemm_tn_ref};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-3.0f32..3.0)).collect()
+}
+
+fn bits_eq(got: &[f32], want: &[f32]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(g, w)| g.to_bits() == w.to_bits())
+}
+
+/// Dimension strategy: small enough to hit batch 1 / unit dims often,
+/// wide enough to straddle the 2/4/8-wide register tiles (the cache-tile
+/// edge `NN_KC + 3` is pinned by an in-module unit test).
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..70
+}
+
+proptest! {
+    /// Forward layout: `out = a·bᵀ + bias` is bit-exact vs the twin.
+    #[test]
+    fn nn_blocked_is_bit_exact(m in dim(), n in dim(), k in dim(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, n * k);
+        let bias = fill(&mut rng, n);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn(&a, &b, &bias, m, n, k, &mut got);
+        gemm_nn_ref(&a, &b, &bias, m, n, k, &mut want);
+        prop_assert!(bits_eq(&got, &want), "nn diverged at m={} n={} k={}", m, n, k);
+    }
+
+    /// Backward-data layout: `out = a·b` is bit-exact vs the twin.
+    #[test]
+    fn tn_blocked_is_bit_exact(m in dim(), p in dim(), n in dim(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * p);
+        let b = fill(&mut rng, p * n);
+        // Garbage in `out` must not leak through: gemm_tn overwrites.
+        let mut got = fill(&mut rng, m * n);
+        let mut want = vec![0.0f32; m * n];
+        gemm_tn(&a, &b, m, p, n, &mut got);
+        gemm_tn_ref(&a, &b, m, p, n, &mut want);
+        prop_assert!(bits_eq(&got, &want), "tn diverged at m={} p={} n={}", m, p, n);
+    }
+
+    /// Backward-weights layout: `out += aᵀ·b` accumulates bit-exactly on
+    /// top of an arbitrary pre-existing gradient.
+    #[test]
+    fn nt_blocked_is_bit_exact(m in dim(), p in dim(), n in dim(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * p);
+        let b = fill(&mut rng, m * n);
+        let grad = fill(&mut rng, p * n);
+        let mut got = grad.clone();
+        let mut want = grad;
+        gemm_nt(&a, &b, m, p, n, &mut got);
+        gemm_nt_ref(&a, &b, m, p, n, &mut want);
+        prop_assert!(bits_eq(&got, &want), "nt diverged at m={} p={} n={}", m, p, n);
+    }
+
+    /// Signed zeros survive blocking: ReLU'd activations produce exact
+    /// `±0.0` terms, and the chains must round them identically.
+    #[test]
+    fn nn_preserves_signed_zero_terms(m in 1usize..6, n in 1usize..10, k in 1usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k)
+            .map(|_| match rng.gen_range(0u8..4) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.gen_range(-1.0f32..1.0),
+            })
+            .collect();
+        let b = fill(&mut rng, n * k);
+        let bias = vec![0.0f32; n];
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn(&a, &b, &bias, m, n, k, &mut got);
+        gemm_nn_ref(&a, &b, &bias, m, n, k, &mut want);
+        prop_assert!(bits_eq(&got, &want), "zero handling diverged");
+    }
+}
+
+/// The paper's training and eval shapes, pinned explicitly (the [192, 96]
+/// MLP over 64 features / 62 classes at batch 16, plus an eval batch).
+#[test]
+fn paper_shapes_are_bit_exact() {
+    for (i, &(m, n, k)) in [
+        (16, 192, 64),
+        (16, 96, 192),
+        (16, 62, 96),
+        (512, 192, 64),
+        (512, 62, 96),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(0xFE ^ i as u64);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, n * k);
+        let bias = fill(&mut rng, n);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn(&a, &b, &bias, m, n, k, &mut got);
+        gemm_nn_ref(&a, &b, &bias, m, n, k, &mut want);
+        assert!(bits_eq(&got, &want), "nn diverged at {m}x{n}x{k}");
+    }
+}
+
+/// Under the `parallel` feature, an eval-sized batch routes through the
+/// row-sharded path and must still match the serial reference bitwise.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_forward_matches_reference_bitwise() {
+    let (m, n, k) = (1024, 192, 64);
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = fill(&mut rng, m * k);
+    let b = fill(&mut rng, n * k);
+    let bias = fill(&mut rng, n);
+    let mut got = vec![0.0f32; m * n];
+    let mut want = vec![0.0f32; m * n];
+    gemm_nn(&a, &b, &bias, m, n, k, &mut got);
+    gemm_nn_ref(&a, &b, &bias, m, n, k, &mut want);
+    assert!(bits_eq(&got, &want), "sharded forward diverged");
+}

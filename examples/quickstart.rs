@@ -13,10 +13,19 @@
 //! printed below counts that update's nonzero covered positions plus the
 //! BatchNorm statistics whose Appendix-D round mean moved, so it tracks
 //! (and slightly exceeds) the `q`-bounded mask support.
+//!
+//! The tail of the example drops below the `Simulation` facade and runs
+//! one client through the public training API directly — the shared
+//! `MlpTopology`, a pooled `TrainSlot`, and `local_train_into` — the same
+//! allocation-free, GEMM-backed path the simulator shards across worker
+//! threads.
 
-use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig};
+use gluefl_core::{
+    local_train_into, GlueFlParams, SimConfig, Simulation, StrategyConfig, TrainSlot,
+};
 use gluefl_data::DatasetProfile;
 use gluefl_ml::DatasetModel;
+use gluefl_tensor::rng::derive_seed;
 use gluefl_tensor::wire::bytes_to_mb;
 
 fn main() {
@@ -90,4 +99,51 @@ fn main() {
         }
     }
     println!("done: downstream total {:.2} MB", bytes_to_mb(cum_down));
+
+    // --- Under the hood: one client step through the public training API.
+    //
+    // The simulator's whole training phase is built from these pieces, and
+    // they are public so experiments can drive clients directly:
+    //   * `MlpTopology` — the immutable architecture, shared by reference
+    //     across every client (and worker thread). No model clones.
+    //   * `TrainSlot` — a pooled parameter buffer + `TrainScratch`
+    //     workspace; reusing one slot makes repeated client training
+    //     allocation-free in steady state (the "clone" is a
+    //     `copy_from_slice` into the slot).
+    //   * `local_train_into` — E local SGD-with-momentum steps through the
+    //     GEMM-backed `_into` kernels, deterministic in its arguments
+    //     alone (the seed fixes the minibatch draws, so any worker thread
+    //     produces the same bits).
+    let cfg = sim.config().clone();
+    let topo = sim.model().topology();
+    let global = sim.model().params().to_vec();
+    let trainable_mask = sim.model().layout().trainable_mask();
+    let stats_positions: Vec<usize> = trainable_mask.not().iter_ones().collect();
+    let mut slot = TrainSlot::default(); // production code takes one from a ScratchPool
+    let mut delta = vec![0.0f32; sim.model().num_params()];
+    let mut stats_drift = vec![0.0f32; stats_positions.len()];
+    local_train_into(
+        topo,
+        &global,
+        sim.data(),
+        0, // client id
+        cfg.local_steps,
+        cfg.batch_size,
+        cfg.lr_at_round(0),
+        cfg.momentum,
+        derive_seed(cfg.seed, "quickstart-demo", 0),
+        &mut delta,
+        &stats_positions,
+        &mut stats_drift,
+        &trainable_mask,
+        &mut slot,
+    );
+    let l2: f32 = delta.iter().map(|d| d * d).sum::<f32>().sqrt();
+    println!(
+        "client 0 demo: {} local steps produced a delta with ‖Δ‖₂ = {l2:.3} \
+         over {} trainable positions ({} BN statistics tracked separately)",
+        cfg.local_steps,
+        trainable_mask.count_ones(),
+        stats_positions.len()
+    );
 }

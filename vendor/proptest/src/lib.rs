@@ -95,6 +95,13 @@ impl Strategy for Any<u32> {
     }
 }
 
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
 /// A constant strategy, mirroring `proptest::strategy::Just`.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
