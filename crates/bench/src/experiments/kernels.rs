@@ -26,6 +26,14 @@
 //! against their plain-loop reference twins at the paper's MLP shapes
 //! ([192, 96] hidden layers, batch 16, plus an eval-sized batch); each
 //! pair is asserted bit-identical before timing.
+//!
+//! The `wire_*` entries time the [`gluefl_wire`] sparse-frame codec (the
+//! per-client serialize/deserialize step of every round) against a
+//! first-cut twin — fresh allocations, per-element pushes, per-bit
+//! bitmap walks, and the definitional bit-at-a-time CRC-16 — at the
+//! paper's upload shape (q = 4% of d, bitmap positions). The encoder
+//! pair is asserted byte-identical and the decoder pair
+//! reconstruction-identical before timing.
 
 use super::local_train_baseline::{baseline_local_train, pooled_local_train, BaselineMlp};
 use crate::ExptOpts;
@@ -373,6 +381,9 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     // --- blocked GEMM vs plain-loop reference (the linear-layer spine). ---
     run_gemm_entries(opts, reps, &mut entries);
 
+    // --- wire codec: sparse-frame encode/decode (gluefl-wire). ---
+    run_wire_entries(opts, reps, d, &values, &mut entries);
+
     // --- Report. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"dim\": {d},");
@@ -515,6 +526,184 @@ fn run_gemm_entries(opts: &ExptOpts, reps: usize, entries: &mut Vec<Entry>) {
             new_ns: batch_new_ns / inner as f64,
         });
     }
+}
+
+/// Times the [`gluefl_wire`] sparse-frame codec against its first-cut
+/// twins at the round loop's upload shape: `nnz = d/25` (q = 4%, GlueFL's
+/// full-mask upload density → bitmap positions). The baselines replicate
+/// the frame layout byte for byte the way a straightforward
+/// implementation would — fresh buffers per call, per-element pushes,
+/// per-bit bitmap walks, and the definitional bit-at-a-time CRC-16 — and
+/// both pairs are gated on identical output before timing.
+fn run_wire_entries(
+    opts: &ExptOpts,
+    reps: usize,
+    d: usize,
+    dense: &[f32],
+    entries: &mut Vec<Entry>,
+) {
+    if !opts.kernel_selected("wire_encode_sparse") && !opts.kernel_selected("wire_decode_sparse") {
+        return;
+    }
+    use gluefl_wire::{encode_sparse, Codec, Rounding};
+    let round = 11u32;
+    let indices: Vec<u32> = (0..d as u32).step_by(25).collect();
+    let values: Vec<f32> = indices.iter().map(|&i| dense[i as usize]).collect();
+
+    // Equivalence gates: byte-identical frames, identical reconstruction.
+    let baseline_frame = baseline_encode_sparse(round, d, &indices, &values);
+    let mut frame_buf = Vec::new();
+    let n = encode_sparse(
+        &mut frame_buf,
+        round,
+        Codec::F32,
+        Rounding::Nearest,
+        d,
+        &indices,
+        &values,
+    );
+    assert_eq!(n, frame_buf.len());
+    assert_eq!(baseline_frame, frame_buf, "wire encoders diverged");
+    let (base_ix, base_vals) = baseline_decode_sparse(&baseline_frame);
+    let decoded = gluefl_wire::decode_frame(&frame_buf).expect("valid frame");
+    let (mut fast_ix, mut fast_vals) = (Vec::new(), Vec::new());
+    decoded.indices_into(&mut fast_ix);
+    decoded.values_into(&mut fast_vals);
+    assert_eq!(base_ix, fast_ix, "wire decoders diverged on indices");
+    assert!(
+        base_vals
+            .iter()
+            .zip(&fast_vals)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "wire decoders diverged on values"
+    );
+
+    if opts.kernel_selected("wire_encode_sparse") {
+        let mut pooled = Vec::with_capacity(frame_buf.len());
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_encode_sparse(round, d, &indices, &values).len(),
+            || {
+                pooled.clear();
+                encode_sparse(
+                    &mut pooled,
+                    round,
+                    Codec::F32,
+                    Rounding::Nearest,
+                    d,
+                    &indices,
+                    &values,
+                )
+            },
+        );
+        entries.push(Entry {
+            name: "wire_encode_sparse",
+            baseline_ns,
+            new_ns,
+        });
+    }
+    if opts.kernel_selected("wire_decode_sparse") {
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_decode_sparse(&baseline_frame).0.len(),
+            || {
+                fast_ix.clear();
+                fast_vals.clear();
+                let frame = gluefl_wire::decode_frame(&frame_buf).expect("valid frame");
+                frame.indices_into(&mut fast_ix);
+                frame.values_into(&mut fast_vals);
+                fast_ix.len()
+            },
+        );
+        entries.push(Entry {
+            name: "wire_decode_sparse",
+            baseline_ns,
+            new_ns,
+        });
+    }
+}
+
+/// First-cut sparse-frame encoder: the same byte layout as
+/// [`gluefl_wire::encode_sparse`] (asserted identical), written the
+/// naive way — fresh output and bitmap buffers each call, per-element
+/// pushes, a checksum-input copy, and the bit-at-a-time CRC.
+fn baseline_encode_sparse(round: u32, dim: usize, indices: &[u32], values: &[f32]) -> Vec<u8> {
+    let nnz = indices.len();
+    let bitmap_len = dim.div_ceil(8);
+    let use_bitmap = bitmap_len <= 4 * nnz;
+    // Frame kind ids: 1 = SparseBitmap, 2 = SparseIndex (codec F32 = 0).
+    let kind: u8 = if use_bitmap { 1 } else { 2 };
+    let mut out = Vec::new();
+    out.push(gluefl_wire::MAGIC);
+    out.push((gluefl_wire::VERSION << 6) | (kind << 3));
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(dim).expect("dim fits u32").to_le_bytes());
+    out.extend_from_slice(&u32::try_from(nnz).expect("nnz fits u32").to_le_bytes());
+    out.extend_from_slice(&[0, 0]);
+    if use_bitmap {
+        let mut bitmap = vec![0u8; bitmap_len];
+        for &i in indices {
+            bitmap[i as usize / 8] |= 1 << (i % 8);
+        }
+        out.extend_from_slice(&bitmap);
+    } else {
+        for &i in indices {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut check_input = out[..14].to_vec();
+    check_input.extend_from_slice(&out[16..]);
+    let crc = gluefl_wire::crc::crc16_bitwise(&check_input);
+    out[14..16].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// First-cut sparse-frame decoder: checksum-input copy + bit-at-a-time
+/// CRC, per-bit bitmap walk over all `d` positions, per-element value
+/// reads into fresh vectors.
+fn baseline_decode_sparse(buf: &[u8]) -> (Vec<u32>, Vec<f32>) {
+    assert!(buf.len() >= 16 && buf[0] == gluefl_wire::MAGIC, "bad frame");
+    let kind = (buf[1] >> 3) & 7;
+    let dim = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes")) as usize;
+    let nnz = u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")) as usize;
+    let stored = u16::from_le_bytes(buf[14..16].try_into().expect("2 bytes"));
+    let mut check_input = buf[..14].to_vec();
+    check_input.extend_from_slice(&buf[16..]);
+    assert_eq!(
+        gluefl_wire::crc::crc16_bitwise(&check_input),
+        stored,
+        "bad checksum"
+    );
+    let mut indices = Vec::new();
+    let mut pos = 16usize;
+    if kind == 1 {
+        let bitmap = &buf[pos..pos + dim.div_ceil(8)];
+        for i in 0..dim {
+            if bitmap[i / 8] >> (i % 8) & 1 == 1 {
+                indices.push(u32::try_from(i).expect("dim fits u32"));
+            }
+        }
+        pos += dim.div_ceil(8);
+    } else {
+        for _ in 0..nnz {
+            indices.push(u32::from_le_bytes(
+                buf[pos..pos + 4].try_into().expect("4 bytes"),
+            ));
+            pos += 4;
+        }
+    }
+    assert_eq!(indices.len(), nnz, "bad position section");
+    let mut values = Vec::new();
+    for _ in 0..nnz {
+        values.push(f32::from_le_bytes(
+            buf[pos..pos + 4].try_into().expect("4 bytes"),
+        ));
+        pos += 4;
+    }
+    (indices, values)
 }
 
 /// Panics unless two kernel outputs agree to the last bit.
@@ -690,6 +879,8 @@ mod tests {
         assert!(json.contains("gemm_tn_b16"));
         assert!(json.contains("gemm_nt_b16"));
         assert!(json.contains("gemm_nn_eval_b1024"));
+        assert!(json.contains("wire_encode_sparse"));
+        assert!(json.contains("wire_decode_sparse"));
         assert!(json.contains("speedup"));
     }
 
@@ -712,6 +903,7 @@ mod tests {
         assert!(json.contains("gemm_nn_eval_b1024"));
         assert!(!json.contains("topk_outside_16pct_mask"));
         assert!(!json.contains("local_train_step"));
+        assert!(!json.contains("wire_encode_sparse"));
         // --check against the filtered output: the committed full ledger
         // covers the subset, so the gate passes…
         let full = dir.join("full.json");

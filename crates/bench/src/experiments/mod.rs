@@ -15,13 +15,14 @@ mod local_train_baseline;
 pub mod prop12;
 pub mod table2;
 pub mod table3;
+pub mod wire;
 
 use crate::ExptOpts;
 
 /// All experiment ids, in the paper's order.
 pub const ALL: &[&str] = &[
     "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table3a",
-    "table3b", "prop12", "kernels",
+    "table3b", "prop12", "wire", "kernels",
 ];
 
 /// Dispatches an experiment by id.
@@ -43,6 +44,7 @@ pub fn run(id: &str, opts: &ExptOpts) -> Result<(), String> {
         "table3a" => table3::run_3a(opts),
         "table3b" => table3::run_3b(opts),
         "prop12" => prop12::run(opts),
+        "wire" => wire::run(opts),
         "kernels" => kernels::run(opts),
         "all" => {
             for id in ALL {

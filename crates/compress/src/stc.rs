@@ -74,6 +74,32 @@ impl TernaryUpdate {
         }
     }
 
+    /// Rebuilds a ternary update from its transported parts — the
+    /// constructor for the wire decoder, which receives `mu`, the sorted
+    /// indices, and the sign bits separately.
+    ///
+    /// # Panics
+    /// Panics if `indices`/`signs` lengths differ, an index is `>= dim`,
+    /// or the indices are not strictly increasing.
+    #[must_use]
+    pub fn from_parts(dim: usize, mu: f32, indices: Vec<u32>, signs: Vec<bool>) -> Self {
+        assert_eq!(indices.len(), signs.len(), "indices/signs length mismatch");
+        let mut prev: Option<u32> = None;
+        for &i in &indices {
+            assert!((i as usize) < dim, "index {i} out of range {dim}");
+            if let Some(p) = prev {
+                assert!(p < i, "indices must be sorted and unique");
+            }
+            prev = Some(i);
+        }
+        Self {
+            mu,
+            indices,
+            signs,
+            dim,
+        }
+    }
+
     /// Reconstructs the (lossy) sparse update `sign·mu`.
     #[must_use]
     pub fn dequantize(&self) -> SparseUpdate {
@@ -183,6 +209,20 @@ mod tests {
         // 1000 f32 values = 4000 bytes vs 1000 sign bits = 125 + 4 bytes.
         assert_eq!(u.wire_cost().value_bytes, 4_000);
         assert_eq!(t.wire_cost().value_bytes, 129);
+    }
+
+    #[test]
+    fn ternary_from_parts_round_trips_quantize() {
+        let u = sparsify(&[0.0f32, -5.0, 2.0, 4.0], 0.75);
+        let t = TernaryUpdate::quantize(&u);
+        let rebuilt = TernaryUpdate::from_parts(t.dim(), t.mu, t.indices.clone(), t.signs.clone());
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn ternary_from_parts_rejects_unsorted() {
+        let _ = TernaryUpdate::from_parts(5, 1.0, vec![3, 1], vec![true, false]);
     }
 
     #[test]

@@ -152,6 +152,15 @@ pub struct SimConfig {
     /// This keeps the time-domain results (DT/TT, Figure 9, Table 3)
     /// comparable to the paper even when the stand-in model is small.
     pub paper_time_model: bool,
+    /// Wire value codec for client uploads (and their BN-statistic
+    /// frames). `F32` — the default — is bit-exact and makes the measured
+    /// wire bytes equal the analytic `WireCost` model; `F16`/`QuantU8`
+    /// trade accuracy for upload bytes (quantization uses deterministic
+    /// stochastic rounding seeded per `(round, client)`, so runs stay
+    /// reproducible and serial ≡ parallel). The model/mask broadcast is
+    /// always serialized at full `F32` precision — clients must train on
+    /// the exact global weights the analytic download model assumes.
+    pub wire_codec: gluefl_wire::Codec,
     /// Evaluate the global model every this many rounds.
     pub eval_every: u32,
     /// Report top-5 instead of top-1 accuracy (OpenImage).
@@ -209,6 +218,7 @@ impl SimConfig {
                 mean_session_rounds: 40.0,
             }),
             paper_time_model: true,
+            wire_codec: gluefl_wire::Codec::F32,
             eval_every: 5,
             use_top5: dataset.uses_top5(),
             target_accuracy: Some(dataset.target_accuracy()),

@@ -57,9 +57,11 @@ mod simulator;
 mod staleness;
 pub mod strategies;
 pub mod theory;
+pub mod wire_link;
 
 pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
 pub use gluefl_tensor::MaskedUpdate;
+pub use gluefl_wire::Codec as WireCodec;
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
 pub use scratch::{ScratchPool, TrainSlot};
 pub use simulator::{local_train_into, run_strategy, Simulation};

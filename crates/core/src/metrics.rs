@@ -5,10 +5,24 @@
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: u32,
-    /// Downstream bytes this round (all invited clients).
+    /// Downstream bytes this round (all invited clients), from the
+    /// analytic [`gluefl_tensor::WireCost`] model.
     pub down_bytes: u64,
-    /// Upstream bytes this round (all invited clients).
+    /// Upstream bytes this round (all invited clients), from the analytic
+    /// [`gluefl_tensor::WireCost`] model.
     pub up_bytes: u64,
+    /// *Measured* upstream bytes this round: every invited client's
+    /// upload and BN-statistic frames as actually serialized by the
+    /// configured [`crate::WireCodec`]. Equals [`RoundRecord::up_bytes`]
+    /// bit-for-bit under the default `F32` codec; smaller under the
+    /// quantized codecs.
+    pub wire_up_bytes: u64,
+    /// *Measured* bytes of this round's reference broadcast: one dense
+    /// full-model frame plus the strategy's mask frame (when it ships
+    /// one), as serialized by the wire layer. The per-client download
+    /// accounting stays analytic (it depends on each client's staleness);
+    /// this measures what one fully-stale sync would transfer.
+    pub wire_broadcast_bytes: u64,
     /// Wall-clock seconds of the round (slowest kept client).
     pub round_secs: f64,
     /// Download seconds of the slowest kept client (the paper's DT
@@ -164,15 +178,18 @@ impl RunResult {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "round,down_bytes,up_bytes,round_secs,slowest_download_secs,\
-             slowest_upload_secs,slowest_compute_secs,accuracy,loss,invited,kept,changed\n",
+            "round,down_bytes,up_bytes,wire_up_bytes,wire_broadcast_bytes,round_secs,\
+             slowest_download_secs,slowest_upload_secs,slowest_compute_secs,accuracy,loss,\
+             invited,kept,changed\n",
         );
         for r in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
                 r.round,
                 r.down_bytes,
                 r.up_bytes,
+                r.wire_up_bytes,
+                r.wire_broadcast_bytes,
                 r.round_secs,
                 r.slowest_download_secs,
                 r.slowest_upload_secs,

@@ -67,6 +67,8 @@ pub struct ScratchPool {
     free_indices: Vec<Vec<u32>>,
     free_masks: Vec<BitMask>,
     free_train: Vec<TrainSlot>,
+    free_bytes: Vec<Vec<u8>>,
+    free_signs: Vec<Vec<bool>>,
 }
 
 impl ScratchPool {
@@ -163,8 +165,7 @@ impl ScratchPool {
 
     /// Recycles the buffers inside a consumed upload (called by the
     /// simulator once the round's aggregation is done, for kept and
-    /// dropped uploads alike). Ternary sign bitsets are dropped — they are
-    /// `nnz/8` bytes and not arena-typed.
+    /// dropped uploads alike).
     pub fn reclaim_upload(&mut self, upload: Upload) {
         match upload {
             Upload::Dense(values) => self.put(values),
@@ -180,6 +181,9 @@ impl ScratchPool {
                         ix
                     });
                 }
+                if self.free_signs.len() < MAX_IDLE && t.signs.capacity() > 0 {
+                    self.free_signs.push(t.signs);
+                }
             }
             Upload::MaskSplit(s) => {
                 let (ix, vals) = s.shared.into_buffers();
@@ -187,6 +191,42 @@ impl ScratchPool {
                 let (ix, vals) = s.unique.into_buffers();
                 self.put_sparse(ix, vals);
             }
+        }
+    }
+
+    /// Hands out an empty byte arena with recycled capacity — the encode
+    /// target for wire frames ([`gluefl_wire`]): the simulator serializes
+    /// every round message into pooled arenas, so steady-state encoding
+    /// performs no heap allocation.
+    #[must_use]
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        match self.free_bytes.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a byte arena to the pool for reuse.
+    pub fn put_bytes(&mut self, buf: Vec<u8>) {
+        if self.free_bytes.len() < MAX_IDLE && buf.capacity() > 0 {
+            self.free_bytes.push(buf);
+        }
+    }
+
+    /// Hands out an empty sign buffer with recycled capacity (ternary
+    /// uploads rebuilt from wire frames; recycled by
+    /// [`ScratchPool::reclaim_upload`]).
+    #[must_use]
+    pub fn take_signs(&mut self) -> Vec<bool> {
+        match self.free_signs.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
         }
     }
 
@@ -226,6 +266,12 @@ impl ScratchPool {
     #[must_use]
     pub fn idle_indices(&self) -> usize {
         self.free_indices.len()
+    }
+
+    /// Number of idle byte arenas currently pooled.
+    #[must_use]
+    pub fn idle_byte_buffers(&self) -> usize {
+        self.free_bytes.len()
     }
 }
 
@@ -288,6 +334,19 @@ mod tests {
         let (ix, vals) = pool.take_sparse();
         assert!(ix.is_empty() && vals.is_empty());
         assert!(ix.capacity() >= 2);
+    }
+
+    #[test]
+    fn byte_arenas_recycle_their_storage() {
+        let mut pool = ScratchPool::new();
+        let mut buf = pool.take_bytes();
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = buf.as_ptr();
+        pool.put_bytes(buf);
+        assert_eq!(pool.idle_byte_buffers(), 1);
+        let buf = pool.take_bytes();
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_ptr(), ptr);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::metrics::{RoundRecord, RunResult};
 use crate::scratch::{ScratchPool, TrainSlot};
 use crate::staleness::StalenessTracker;
 use crate::strategies::{build_strategy, Group, Strategy, Upload};
+use crate::wire_link;
 use gluefl_data::SyntheticFlDataset;
 use gluefl_ml::{Mlp, MlpTopology};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
@@ -78,6 +79,9 @@ pub struct Simulation {
     stats_saved: Vec<f32>,
     /// Reused list of changed positions per round.
     changed_buf: Vec<usize>,
+    /// Cached measured length of the reference broadcast frames (dense
+    /// model + mask bitmap) — a run constant, measured on first use.
+    wire_broadcast_len: Option<u64>,
 }
 
 impl Simulation {
@@ -152,7 +156,28 @@ impl Simulation {
             delta_bufs: Vec::new(),
             stats_saved: Vec::new(),
             changed_buf: Vec::new(),
+            wire_broadcast_len: None,
         }
+    }
+
+    /// Serializes the round's reference broadcast — one dense full-model
+    /// frame plus the strategy's mask frame, always F32 — through a
+    /// pooled arena and returns the measured byte count.
+    fn measure_broadcast(&mut self, round: u32) -> u64 {
+        let mut bbuf = self.scratch.take_bytes();
+        let mut measured = gluefl_wire::encode_dense(
+            &mut bbuf,
+            round,
+            gluefl_wire::Codec::F32,
+            gluefl_wire::Rounding::Nearest,
+            self.model.params(),
+        ) as u64;
+        if let Some(mask) = self.strategy.round_mask(round) {
+            measured += gluefl_wire::encode_mask(&mut bbuf, round, mask) as u64;
+        }
+        debug_assert!(gluefl_wire::decode_frame_prefix(&bbuf).is_ok());
+        self.scratch.put_bytes(bbuf);
+        measured
     }
 
     /// The simulation config.
@@ -231,6 +256,37 @@ impl Simulation {
             self.staleness.mark_synced(id);
         }
 
+        // --- Measured broadcast (wire layer). ---
+        // One dense full-model frame plus the round's mask frame (when
+        // the strategy ships one), serialized through the real codec at
+        // full F32 precision — clients must train on the exact global
+        // weights the analytic per-client download accounting assumes.
+        // The frame lengths depend only on `dim` and the strategy's mask
+        // presence, so the measurement is performed once (and re-checked
+        // against the analytic model every round in debug builds) rather
+        // than paying an O(4d) serialize per round for a run constant.
+        rec.wire_broadcast_bytes = match self.wire_broadcast_len {
+            Some(cached) => {
+                debug_assert_eq!(
+                    cached,
+                    self.measure_broadcast(round),
+                    "broadcast frame length changed mid-run"
+                );
+                cached
+            }
+            None => {
+                let measured = self.measure_broadcast(round);
+                debug_assert_eq!(
+                    measured,
+                    gluefl_tensor::WireCost::dense(self.model.num_params()).total_bytes()
+                        + mask_bytes,
+                    "measured broadcast diverged from the analytic download model"
+                );
+                self.wire_broadcast_len = Some(measured);
+                measured
+            }
+        };
+
         // --- Local training (parallel, deterministic). ---
         // Training writes two things per client: the trainable delta
         // (BN-statistic positions already zeroed by the fused
@@ -249,22 +305,69 @@ impl Simulation {
         self.stats_saved = stats_saved;
         self.global_buf = global;
 
-        // --- Compression + upload accounting + timing. ---
-        // Deltas are compressed in place (no per-client dense clone).
+        // --- Compression + wire serialization + accounting + timing. ---
+        // Deltas are compressed in place (no per-client dense clone) and
+        // every upload — plus its BN-statistic values — is serialized
+        // into real wire frames with the configured codec. The encoded
+        // bytes are the round's measured upload volume and drive the
+        // transfer times; the frames themselves are held (in pooled
+        // arenas) until the keep selection below, because only kept
+        // uploads are ever decoded — a real server drops the
+        // over-committed remainder unread. Under the default F32 codec
+        // the measured frame bytes equal the analytic model
+        // (debug-asserted per client, pinned end-to-end by the
+        // `wire_roundtrip` suite); the lossy codecs shrink the measured
+        // bytes at a bounded accuracy cost.
         let stats_upload_bytes = stats_len as u64 * 4 + HEADER_BYTES;
-        let mut uploads: Vec<Option<Upload>> = Vec::with_capacity(invited.len());
+        let codec = self.cfg.wire_codec;
+        let mut wire_frames: Vec<(Vec<u8>, usize)> = Vec::with_capacity(invited.len());
         let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
         let mut up_bytes_total = 0u64;
+        let mut wire_up_total = 0u64;
         for (i, &(id, group)) in invited.iter().enumerate() {
             let delta = &mut deltas[i];
             let upload = self
                 .strategy
                 .compress(round, id, group, delta, &mut self.scratch);
-            let up_bytes = upload.bytes() + stats_upload_bytes;
-            up_bytes_total += up_bytes;
+            let analytic_up = upload.bytes() + stats_upload_bytes;
+
+            // Serialize: upload frames, then the BN-statistic known-mask
+            // frame (the server knows the statistic positions). The
+            // quantization seed derives from (seed, round, client), so
+            // encoding is independent of thread schedule and rerun-stable.
+            let mut wbuf = self.scratch.take_bytes();
+            let client_key = (u64::from(round) << 32) | id as u64;
+            let ulen = wire_link::encode_upload(
+                &upload,
+                round,
+                codec,
+                derive_seed(self.cfg.seed, "wire-quant", client_key),
+                &mut wbuf,
+            );
+            let slen = gluefl_wire::encode_known_mask(
+                &mut wbuf,
+                round,
+                codec,
+                wire_link::rounding_for(
+                    codec,
+                    derive_seed(self.cfg.seed, "wire-quant-stats", client_key),
+                ),
+                dim,
+                &self.stats_saved[i * stats_len..(i + 1) * stats_len],
+            );
+            let wire_up = (ulen + slen) as u64;
+            debug_assert!(
+                codec != gluefl_wire::Codec::F32 || wire_up == analytic_up,
+                "F32 measured bytes {wire_up} diverged from analytic {analytic_up}"
+            );
+            wire_frames.push((wbuf, ulen));
+            self.scratch.reclaim_upload(upload);
+
+            up_bytes_total += analytic_up;
+            wire_up_total += wire_up;
             let link = self.links[id];
             let t_down = (download_bytes[i] as f64 * self.time_byte_factor) as u64;
-            let t_up = (up_bytes as f64 * self.time_byte_factor) as u64;
+            let t_up = (wire_up as f64 * self.time_byte_factor) as u64;
             times.push(ClientRoundTime {
                 download_secs: seconds_for_bytes(t_down, link.down_mbps),
                 compute_secs: self.cfg.local_steps as f64
@@ -274,10 +377,10 @@ impl Simulation {
                         .step_seconds(self.time_params, self.speeds[id]),
                 upload_secs: seconds_for_bytes(t_up, link.up_mbps),
             });
-            uploads.push(Some(upload));
         }
         rec.down_bytes = download_bytes.iter().sum();
         rec.up_bytes = up_bytes_total;
+        rec.wire_up_bytes = wire_up_total;
 
         // --- Keep the fastest per group (over-commitment, §5.6). ---
         let sticky_n = plan.sticky_invites.len();
@@ -291,26 +394,39 @@ impl Simulation {
             .collect();
         rec.kept = kept_idx.len();
 
-        // --- Aggregate trainable positions via the strategy. ---
-        let mut kept_uploads: Vec<(usize, Group, Upload)> = kept_idx
-            .iter()
-            .map(|&i| {
-                let upload = uploads[i].take().expect("kept indices are unique");
-                (invited[i].0, invited[i].1, upload)
-            })
-            .collect();
+        // --- Deserialize the kept uploads and aggregate. ---
+        // The aggregation input is what the wire delivered, not what the
+        // clients computed; each kept client's BN-statistic values are
+        // likewise replaced by their decoded frame. Dropped clients'
+        // frames were measured above but are never decoded.
+        let mut kept_uploads: Vec<(usize, Group, Upload)> = Vec::with_capacity(kept_idx.len());
+        for &i in &kept_idx {
+            let (wbuf, ulen) = &wire_frames[i];
+            let decoded = wire_link::decode_upload(
+                &wbuf[..*ulen],
+                self.strategy.round_mask(round),
+                &mut self.scratch,
+            )
+            .expect("in-process wire round-trip cannot corrupt");
+            let stats_frame = gluefl_wire::decode_frame(&wbuf[*ulen..])
+                .expect("in-process wire round-trip cannot corrupt");
+            let mut stats_back = self.scratch.take_cleared();
+            stats_frame.values_into(&mut stats_back);
+            self.stats_saved[i * stats_len..(i + 1) * stats_len].copy_from_slice(&stats_back);
+            self.scratch.put(stats_back);
+            kept_uploads.push((invited[i].0, invited[i].1, decoded));
+        }
+        for (wbuf, _) in wire_frames {
+            self.scratch.put_bytes(wbuf);
+        }
         kept_uploads.sort_by_key(|(id, _, _)| *id);
         let update = self
             .strategy
             .aggregate(round, &kept_uploads, &mut self.scratch);
 
         // The strategy has consumed the uploads; recycle their buffers
-        // (kept and dropped alike) so next round's compression is
-        // allocation-free.
+        // so next round's decode is allocation-free.
         for (_, _, upload) in kept_uploads {
-            self.scratch.reclaim_upload(upload);
-        }
-        for upload in uploads.into_iter().flatten() {
             self.scratch.reclaim_upload(upload);
         }
 

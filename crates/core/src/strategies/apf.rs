@@ -91,6 +91,13 @@ impl Strategy for ApfStrategy {
         bitmap_bytes(self.dim)
     }
 
+    fn round_mask(&self, _round: u32) -> Option<&BitMask> {
+        // The active mask: broadcast at sync time and the alignment of
+        // every known-mask upload this round (aggregate() refreshes it
+        // only after consuming the round's uploads).
+        Some(&self.active)
+    }
+
     fn compress(
         &mut self,
         _round: u32,

@@ -194,6 +194,12 @@ impl Strategy for GlueFlStrategy {
         bitmap_bytes(self.dim)
     }
 
+    fn round_mask(&self, _round: u32) -> Option<&BitMask> {
+        // M_t: broadcast at sync time, and the alignment of every
+        // shared-part upload until aggregate() shifts it.
+        Some(&self.shared_mask)
+    }
+
     fn compress(
         &mut self,
         round: u32,

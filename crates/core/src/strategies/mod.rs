@@ -216,6 +216,19 @@ pub trait Strategy: Send {
     /// beyond the model values (e.g. a mask bitmap).
     fn mask_download_bytes(&self, round: u32) -> u64;
 
+    /// The mask both sides hold during round `round`, if any: it is
+    /// broadcast to syncing clients at download time (the bytes charged
+    /// by [`Strategy::mask_download_bytes`]) and it implicitly positions
+    /// any mask-aligned upload this round ([`Upload::KnownMask`] and the
+    /// shared part of [`Upload::MaskSplit`]). The simulator encodes it as
+    /// a wire mask frame and hands it to the wire decoder to rebuild
+    /// mask-aligned payloads. `None` for strategies without a mask
+    /// (dense and explicit-position uploads).
+    fn round_mask(&self, round: u32) -> Option<&gluefl_tensor::BitMask> {
+        let _ = round;
+        None
+    }
+
     /// Compresses a trainable delta (stats positions zeroed) into an
     /// upload. May apply/record error compensation.
     fn compress(

@@ -1,0 +1,368 @@
+//! The bridge between the strategy seam's [`Upload`] type and the
+//! [`gluefl_wire`] frame protocol.
+//!
+//! [`encode_upload`] serializes an upload into the wire frames a real
+//! client would transmit — one frame for dense/sparse/known-mask/ternary
+//! uploads, two (shared known-mask + unique sparse) for GlueFL's
+//! [`Upload::MaskSplit`] — and [`decode_upload`] parses the bytes back
+//! into an `Upload`, drawing index/value storage from the
+//! [`ScratchPool`] so the receive path is allocation-free in steady
+//! state. Mask-aligned payloads carry no position bytes, so decoding
+//! them requires the round's mask
+//! ([`crate::strategies::Strategy::round_mask`]).
+//!
+//! With [`Codec::F32`] the round trip is bit-exact and every frame's
+//! length equals the analytic [`gluefl_tensor::WireCost`] total that
+//! [`Upload::bytes`] reports — the simulator debug-asserts this identity
+//! every round, and the `wire_roundtrip` integration suite pins it
+//! end-to-end. With the lossy codecs ([`Codec::F16`], [`Codec::QuantU8`])
+//! the decoded values differ within the codec's error envelope, which is
+//! exactly the accuracy-vs-bytes trade the bench harness sweeps.
+
+use crate::scratch::ScratchPool;
+use crate::strategies::Upload;
+use gluefl_compress::mask_shift::ClientSplit;
+use gluefl_compress::stc::TernaryUpdate;
+use gluefl_tensor::{BitMask, SparseUpdate};
+use gluefl_wire::{
+    decode_frame_prefix, encode_dense, encode_known_mask, encode_sparse, encode_ternary, Codec,
+    Frame, FrameKind, Rounding, WireError,
+};
+
+/// The rounding mode a codec uses on the simulator's paths: quantization
+/// rounds stochastically with the given seed (derive it from
+/// `(master seed, round, client)` so serial ≡ parallel holds); the other
+/// codecs round deterministically.
+#[must_use]
+pub fn rounding_for(codec: Codec, quant_seed: u64) -> Rounding {
+    match codec {
+        Codec::QuantU8 => Rounding::Stochastic { seed: quant_seed },
+        Codec::F32 | Codec::F16 => Rounding::Nearest,
+    }
+}
+
+/// Serializes `upload` into wire frames appended to `out`, returning the
+/// encoded byte count. Ternary uploads are already 1-bit quantized and
+/// use their fixed sign/µ layout regardless of `codec`.
+pub fn encode_upload(
+    upload: &Upload,
+    round: u32,
+    codec: Codec,
+    quant_seed: u64,
+    out: &mut Vec<u8>,
+) -> usize {
+    let rounding = rounding_for(codec, quant_seed);
+    match upload {
+        Upload::Dense(values) => encode_dense(out, round, codec, rounding, values),
+        Upload::Sparse(u) => encode_sparse(
+            out,
+            round,
+            codec,
+            rounding,
+            u.dim(),
+            u.indices(),
+            u.values(),
+        ),
+        Upload::KnownMask(u) => encode_known_mask(out, round, codec, rounding, u.dim(), u.values()),
+        Upload::Ternary(t) => encode_ternary(out, round, t.dim(), t.mu, &t.indices, &t.signs),
+        Upload::MaskSplit(split) => {
+            let shared = encode_known_mask(
+                out,
+                round,
+                codec,
+                rounding,
+                split.shared.dim(),
+                split.shared.values(),
+            );
+            shared
+                + encode_sparse(
+                    out,
+                    round,
+                    codec,
+                    rounding,
+                    split.unique.dim(),
+                    split.unique.indices(),
+                    split.unique.values(),
+                )
+        }
+    }
+}
+
+/// Parses the wire frames in `buf` back into an [`Upload`], pooling all
+/// rebuilt storage through `scratch`. `round_mask` supplies the mask that
+/// positions mask-aligned payloads (required unless such a frame is
+/// empty).
+///
+/// # Errors
+/// Propagates any [`WireError`] from frame decoding, and reports
+/// upload-grammar violations as typed errors too — a mask broadcast
+/// arriving as an upload or a split upload not led by its known-mask
+/// part ([`WireError::UnexpectedKind`]), a mask-aligned frame whose
+/// `dim` disagrees with the round mask ([`WireError::DimMismatch`]), or
+/// one whose `nnz` disagrees with the mask's popcount
+/// ([`WireError::NnzMismatch`]). Checksum-valid but hostile bytes never
+/// panic the receiver.
+pub fn decode_upload(
+    buf: &[u8],
+    round_mask: Option<&BitMask>,
+    scratch: &mut ScratchPool,
+) -> Result<Upload, WireError> {
+    let (first, rest) = decode_frame_prefix(buf)?;
+    if rest.is_empty() {
+        return Ok(match first.kind {
+            FrameKind::Dense => {
+                let mut values = scratch.take_cleared();
+                first.values_into(&mut values);
+                Upload::Dense(values)
+            }
+            FrameKind::SparseBitmap | FrameKind::SparseIndex => {
+                Upload::Sparse(decode_sparse_frame(&first, scratch))
+            }
+            FrameKind::KnownMask => {
+                Upload::KnownMask(decode_known_mask_frame(&first, round_mask, scratch)?)
+            }
+            FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+                let (mut indices, spare_values) = scratch.take_sparse();
+                scratch.put(spare_values);
+                first.indices_into(&mut indices);
+                let mut signs = scratch.take_signs();
+                first.ternary_signs_into(&mut signs);
+                Upload::Ternary(TernaryUpdate::from_parts(
+                    first.dim,
+                    first.ternary_mu(),
+                    indices,
+                    signs,
+                ))
+            }
+            // A mask broadcast is a download-direction message; as an
+            // upload it is a protocol violation, not corruption.
+            FrameKind::Mask => return Err(WireError::UnexpectedKind(FrameKind::Mask.id())),
+        });
+    }
+    // Two concatenated frames: GlueFL's shared (known-mask) + unique
+    // (sparse) split upload.
+    let (second, tail) = decode_frame_prefix(rest)?;
+    if !tail.is_empty() {
+        return Err(WireError::TrailingBytes { extra: tail.len() });
+    }
+    if first.kind != FrameKind::KnownMask {
+        // A split upload must lead with the shared known-mask part.
+        return Err(WireError::UnexpectedKind(first.kind.id()));
+    }
+    if !matches!(
+        second.kind,
+        FrameKind::SparseBitmap | FrameKind::SparseIndex
+    ) {
+        return Err(WireError::UnexpectedKind(second.kind.id()));
+    }
+    let shared = decode_known_mask_frame(&first, round_mask, scratch)?;
+    let unique = decode_sparse_frame(&second, scratch);
+    Ok(Upload::MaskSplit(ClientSplit { shared, unique }))
+}
+
+/// Rebuilds a [`SparseUpdate`] from an explicit-position sparse frame.
+fn decode_sparse_frame(frame: &Frame<'_>, scratch: &mut ScratchPool) -> SparseUpdate {
+    let (mut indices, mut values) = scratch.take_sparse();
+    frame.indices_into(&mut indices);
+    frame.values_into(&mut values);
+    SparseUpdate::from_sorted_buffers(frame.dim, indices, values)
+}
+
+/// Rebuilds a [`SparseUpdate`] from a known-mask frame: the values are in
+/// the frame, the positions come from the mask both sides hold. A frame
+/// that disagrees with the receiver's mask (or arrives when the receiver
+/// holds none) is a typed error — such bytes can be checksum-valid.
+fn decode_known_mask_frame(
+    frame: &Frame<'_>,
+    round_mask: Option<&BitMask>,
+    scratch: &mut ScratchPool,
+) -> Result<SparseUpdate, WireError> {
+    let (mut indices, mut values) = scratch.take_sparse();
+    if frame.nnz > 0 {
+        let Some(mask) = round_mask else {
+            // Mask-aligned values sent to a receiver that holds no mask.
+            return Err(WireError::UnexpectedKind(FrameKind::KnownMask.id()));
+        };
+        if mask.len() != frame.dim {
+            return Err(WireError::DimMismatch {
+                declared: frame.dim,
+                expected: mask.len(),
+            });
+        }
+        if mask.count_ones() != frame.nnz {
+            return Err(WireError::NnzMismatch {
+                declared: frame.nnz,
+                actual: mask.count_ones(),
+            });
+        }
+        indices.reserve(frame.nnz);
+        mask.for_each_one(|i| indices.push(u32::try_from(i).expect("dim fits u32")));
+        frame.values_into(&mut values);
+    }
+    Ok(SparseUpdate::from_sorted_buffers(
+        frame.dim, indices, values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gluefl_compress::stc::sparsify;
+
+    fn roundtrip(upload: &Upload, mask: Option<&BitMask>) -> (Upload, usize) {
+        let mut scratch = ScratchPool::new();
+        let mut buf = Vec::new();
+        let n = encode_upload(upload, 3, Codec::F32, 0, &mut buf);
+        assert_eq!(n, buf.len());
+        let decoded = decode_upload(&buf, mask, &mut scratch).expect("valid frames");
+        (decoded, n)
+    }
+
+    #[test]
+    fn dense_round_trip_bit_exact_and_cost_parity() {
+        let upload = Upload::Dense((0..130).map(|i| (i as f32).sin()).collect());
+        let (decoded, n) = roundtrip(&upload, None);
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn sparse_round_trip_bit_exact_and_cost_parity() {
+        let dense: Vec<f32> = (0..400).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let upload = Upload::Sparse(sparsify(&dense, 0.05));
+        let (decoded, n) = roundtrip(&upload, None);
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn known_mask_round_trip_uses_the_round_mask() {
+        let mask = BitMask::from_indices(50, [3usize, 17, 40]);
+        let dense: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let upload = Upload::KnownMask(SparseUpdate::from_dense_masked(&dense, &mask));
+        let (decoded, n) = roundtrip(&upload, Some(&mask));
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn ternary_round_trip_bit_exact_and_cost_parity() {
+        let dense: Vec<f32> = (0..4000).map(|i| ((i * 31) % 7) as f32 - 3.0).collect();
+        let upload = Upload::Ternary(TernaryUpdate::quantize(&sparsify(&dense, 0.01)));
+        let (decoded, n) = roundtrip(&upload, None);
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn mask_split_round_trip_bit_exact_and_cost_parity() {
+        let dense: Vec<f32> = (0..600).map(|i| ((i * 13) % 29) as f32 - 14.0).collect();
+        let mask = BitMask::from_indices(600, (0..600).step_by(4));
+        let upload =
+            Upload::MaskSplit(gluefl_compress::mask_shift::client_split(&dense, &mask, 30));
+        let (decoded, n) = roundtrip(&upload, Some(&mask));
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn empty_shared_part_decodes_without_a_mask() {
+        // GlueFL regeneration rounds ship an empty shared frame; decoding
+        // must not require the mask then.
+        let upload = Upload::MaskSplit(ClientSplit {
+            shared: SparseUpdate::empty(100),
+            unique: SparseUpdate::from_pairs(100, vec![(5, 1.0)]),
+        });
+        let (decoded, n) = roundtrip(&upload, None);
+        assert_eq!(decoded, upload);
+        assert_eq!(n as u64, upload.bytes());
+    }
+
+    #[test]
+    fn lossy_codec_changes_bytes_but_preserves_support() {
+        let dense: Vec<f32> = (0..500).map(|i| (i as f32 * 0.37).sin()).collect();
+        let upload = Upload::Sparse(sparsify(&dense, 0.1));
+        let mut scratch = ScratchPool::new();
+        let mut buf = Vec::new();
+        let n = encode_upload(&upload, 0, Codec::QuantU8, 42, &mut buf);
+        assert!((n as u64) < upload.bytes());
+        let decoded = decode_upload(&buf, None, &mut scratch).unwrap();
+        match (&upload, &decoded) {
+            (Upload::Sparse(a), Upload::Sparse(b)) => {
+                assert_eq!(a.indices(), b.indices());
+                assert_ne!(a.values(), b.values());
+            }
+            other => panic!("unexpected shapes {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_upload_bytes_yield_typed_errors() {
+        let upload = Upload::Dense(vec![1.0; 32]);
+        let mut buf = Vec::new();
+        let _ = encode_upload(&upload, 0, Codec::F32, 0, &mut buf);
+        buf[20] ^= 0x40;
+        let mut scratch = ScratchPool::new();
+        assert!(matches!(
+            decode_upload(&buf, None, &mut scratch),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    /// Checksum-valid but grammatically hostile uploads must be typed
+    /// errors, never panics: a mask broadcast posing as an upload, a
+    /// split upload with the wrong leading/trailing kinds, and
+    /// known-mask frames that disagree with the receiver's mask.
+    #[test]
+    fn hostile_but_valid_frames_yield_typed_errors() {
+        let mut scratch = ScratchPool::new();
+        let mask = BitMask::from_indices(50, [3usize, 17, 40]);
+
+        // Mask broadcast as an upload.
+        let mut buf = Vec::new();
+        let _ = gluefl_wire::encode_mask(&mut buf, 0, &mask);
+        assert!(matches!(
+            decode_upload(&buf, Some(&mask), &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
+        // Split upload led by a dense frame instead of known-mask.
+        let mut buf = Vec::new();
+        let _ = encode_upload(&Upload::Dense(vec![1.0; 8]), 0, Codec::F32, 0, &mut buf);
+        let _ = encode_upload(
+            &Upload::Sparse(SparseUpdate::from_pairs(1000, vec![(5, 1.0)])),
+            0,
+            Codec::F32,
+            0,
+            &mut buf,
+        );
+        assert!(matches!(
+            decode_upload(&buf, Some(&mask), &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
+        // Known-mask values sent to a receiver holding no mask.
+        let dense: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let km = Upload::KnownMask(SparseUpdate::from_dense_masked(&dense, &mask));
+        let mut buf = Vec::new();
+        let _ = encode_upload(&km, 0, Codec::F32, 0, &mut buf);
+        assert!(matches!(
+            decode_upload(&buf, None, &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
+        // Known-mask nnz disagreeing with the receiver's mask popcount.
+        let wrong_mask = BitMask::from_indices(50, [1usize, 2]);
+        assert!(matches!(
+            decode_upload(&buf, Some(&wrong_mask), &mut scratch),
+            Err(WireError::NnzMismatch { .. })
+        ));
+
+        // Known-mask dim disagreeing with the receiver's mask length.
+        let long_mask = BitMask::from_indices(64, [0usize, 1, 2]);
+        assert!(matches!(
+            decode_upload(&buf, Some(&long_mask), &mut scratch),
+            Err(WireError::DimMismatch { .. })
+        ));
+    }
+}

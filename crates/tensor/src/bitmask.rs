@@ -290,6 +290,65 @@ impl BitMask {
         &self.words
     }
 
+    /// Appends the mask's canonical byte serialization — exactly
+    /// `ceil(len/8)` bytes, little-endian within each backing word, bit
+    /// `i` of the mask at bit `i % 8` of byte `i / 8` — to `out`.
+    ///
+    /// This is the `d`-bit bitmap layout of the wire protocol's position
+    /// sections; the tail bits of the final byte beyond `len` are zero
+    /// (the word invariant guarantees it).
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(10, [0usize, 9]);
+    /// let mut out = Vec::new();
+    /// m.extend_le_bytes(&mut out);
+    /// assert_eq!(out, vec![0b0000_0001, 0b0000_0010]);
+    /// ```
+    pub fn extend_le_bytes(&self, out: &mut Vec<u8>) {
+        let n_bytes = self.len.div_ceil(8);
+        out.reserve(n_bytes);
+        let mut remaining = n_bytes;
+        for w in &self.words {
+            let take = remaining.min(8);
+            out.extend_from_slice(&w.to_le_bytes()[..take]);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Overwrites the mask's bits from the canonical byte serialization
+    /// produced by [`BitMask::extend_le_bytes`], keeping the current
+    /// length (word storage is reused — pool-friendly).
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != ceil(len/8)` or if a padding bit beyond
+    /// `len` is set in the final byte (callers deserializing untrusted
+    /// input must validate the tail first).
+    pub fn fill_from_le_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.len.div_ceil(8),
+            "byte length must be ceil(len/8)"
+        );
+        if !self.len.is_multiple_of(8) {
+            let tail = bytes[bytes.len() - 1];
+            assert_eq!(
+                tail >> (self.len % 8),
+                0,
+                "padding bits beyond len must be zero"
+            );
+        }
+        self.words.fill(0);
+        for (wi, chunk) in bytes.chunks(8).enumerate() {
+            let mut word_bytes = [0u8; 8];
+            word_bytes[..chunk.len()].copy_from_slice(chunk);
+            self.words[wi] = u64::from_le_bytes(word_bytes);
+        }
+    }
+
     /// Adds `scale × values[j]` to the `j`-th covered position of `dense`,
     /// where `values` is packed in increasing position order.
     ///
@@ -671,5 +730,30 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn and_length_mismatch_panics() {
         let _ = BitMask::zeros(4).and(&BitMask::zeros(5));
+    }
+
+    #[test]
+    fn le_bytes_round_trip_across_word_boundaries() {
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 128, 130] {
+            let m = BitMask::from_indices(len, (0..len).filter(|i| i % 3 == 0));
+            let mut bytes = Vec::new();
+            m.extend_le_bytes(&mut bytes);
+            assert_eq!(bytes.len(), len.div_ceil(8), "len={len}");
+            let mut back = BitMask::zeros(len);
+            back.fill_from_le_bytes(&bytes);
+            assert_eq!(back, m, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil(len/8)")]
+    fn fill_from_le_bytes_rejects_wrong_length() {
+        BitMask::zeros(10).fill_from_le_bytes(&[0u8; 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding bits")]
+    fn fill_from_le_bytes_rejects_set_padding() {
+        BitMask::zeros(10).fill_from_le_bytes(&[0, 0b0000_0100]);
     }
 }

@@ -153,6 +153,37 @@ impl SparseUpdate {
         }
     }
 
+    /// Wraps already-sorted `(indices, values)` buffers without copying —
+    /// the constructor for payloads arriving off the wire, where the
+    /// decoder has produced index/value arrays directly (paired with a
+    /// pool via [`SparseUpdate::into_buffers`], it keeps the receive path
+    /// allocation-free).
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths differ, an index is `>= dim`, or the
+    /// indices are not strictly increasing.
+    #[must_use]
+    pub fn from_sorted_buffers(dim: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        let mut prev: Option<u32> = None;
+        for &i in &indices {
+            assert!((i as usize) < dim, "index {i} out of range {dim}");
+            if let Some(p) = prev {
+                assert!(p < i, "indices must be sorted and unique");
+            }
+            prev = Some(i);
+        }
+        Self {
+            dim,
+            indices,
+            values,
+        }
+    }
+
     /// Decomposes into the `(indices, values)` buffers so a pool can
     /// recycle their allocations (the inverse of the `*_in` constructors).
     #[must_use]
@@ -330,6 +361,29 @@ mod tests {
     #[should_panic(expected = "sorted and unique")]
     fn gather_rejects_unsorted() {
         let _ = SparseUpdate::gather(&[1.0, 2.0], &[1, 0]);
+    }
+
+    #[test]
+    fn from_sorted_buffers_wraps_without_copying() {
+        let u = SparseUpdate::from_sorted_buffers(10, vec![1, 4, 9], vec![1.0, 2.0, 3.0]);
+        assert_eq!(u.indices(), &[1, 4, 9]);
+        assert_eq!(u.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(
+            u,
+            SparseUpdate::from_pairs(10, vec![(1, 1.0), (4, 2.0), (9, 3.0)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn from_sorted_buffers_rejects_unsorted() {
+        let _ = SparseUpdate::from_sorted_buffers(10, vec![4, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_sorted_buffers_rejects_out_of_range() {
+        let _ = SparseUpdate::from_sorted_buffers(2, vec![2], vec![1.0]);
     }
 
     #[test]

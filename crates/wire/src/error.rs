@@ -1,0 +1,160 @@
+//! Typed decode errors.
+//!
+//! Every way a frame can be malformed maps to one [`WireError`] variant;
+//! decoding never panics on untrusted bytes and never silently
+//! mis-decodes (the corrupt-input suite in `tests/corrupt.rs` pins this).
+
+/// Why a byte buffer failed to decode as a wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes the frame needs (header + declared payload).
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first byte is not the protocol magic.
+    BadMagic(u8),
+    /// Unsupported protocol version (or a set reserved bit).
+    BadVersion(u8),
+    /// The kind field names no known frame kind.
+    BadKind(u8),
+    /// The codec field names no known value codec, or a codec that the
+    /// frame kind does not admit (mask and ternary frames are codec-free).
+    BadCodec(u8),
+    /// The CRC-16 over header and payload does not match the stored one.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u16,
+        /// Checksum computed over the received bytes.
+        computed: u16,
+    },
+    /// The header's `nnz` exceeds its `dim`.
+    NnzExceedsDim {
+        /// Declared number of encoded values.
+        nnz: usize,
+        /// Declared vector dimension.
+        dim: usize,
+    },
+    /// The header's `nnz` disagrees with the payload (a dense frame with
+    /// `nnz != dim`, or a position bitmap whose popcount is not `nnz`).
+    NnzMismatch {
+        /// `nnz` declared in the header.
+        declared: usize,
+        /// Count implied by the payload.
+        actual: usize,
+    },
+    /// The frame is longer than its header-implied size (only reported by
+    /// [`crate::decode_frame`]; the streaming
+    /// [`crate::decode_frame_prefix`] hands the excess back).
+    TrailingBytes {
+        /// Unconsumed bytes after the frame.
+        extra: usize,
+    },
+    /// An explicit coordinate index is `>= dim`.
+    IndexOutOfRange {
+        /// The offending index value.
+        index: u32,
+        /// Declared vector dimension.
+        dim: usize,
+    },
+    /// Explicit coordinate indices are not strictly increasing.
+    IndicesNotIncreasing {
+        /// Zero-based position of the first out-of-order index.
+        position: usize,
+    },
+    /// A position or sign bitmap has set bits beyond `dim` (resp. `nnz`)
+    /// in its final byte — non-canonical padding.
+    NonZeroPadding,
+    /// A structurally valid frame whose kind is not admissible where it
+    /// appeared (e.g. a mask broadcast arriving as an upload, or a split
+    /// upload whose first frame is not the shared known-mask part).
+    UnexpectedKind(u8),
+    /// The frame's `dim` disagrees with what the receiver's state
+    /// requires (e.g. a mask-aligned upload over a different model
+    /// dimension than the mask both sides supposedly hold).
+    DimMismatch {
+        /// `dim` declared in the frame.
+        declared: usize,
+        /// Dimension the receiver expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            Self::BadMagic(b) => write!(f, "bad magic byte {b:#04x}"),
+            Self::BadVersion(b) => write!(f, "unsupported version/flags byte {b:#04x}"),
+            Self::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::BadCodec(c) => write!(f, "unknown or inadmissible value codec {c}"),
+            Self::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#06x}, computed {computed:#06x}"
+                )
+            }
+            Self::NnzExceedsDim { nnz, dim } => write!(f, "nnz {nnz} exceeds dim {dim}"),
+            Self::NnzMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "nnz mismatch: header says {declared}, payload implies {actual}"
+                )
+            }
+            Self::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after frame"),
+            Self::IndexOutOfRange { index, dim } => {
+                write!(f, "index {index} out of range for dim {dim}")
+            }
+            Self::IndicesNotIncreasing { position } => {
+                write!(f, "indices not strictly increasing at position {position}")
+            }
+            Self::NonZeroPadding => write!(f, "non-zero padding bits in a bitmap tail"),
+            Self::UnexpectedKind(k) => {
+                write!(f, "frame kind {k} is not admissible in this position")
+            }
+            Self::DimMismatch { declared, expected } => {
+                write!(f, "frame dim {declared} disagrees with expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_defect() {
+        let cases: [(WireError, &str); 5] = [
+            (WireError::Truncated { needed: 20, got: 3 }, "truncated"),
+            (WireError::BadMagic(0x00), "magic"),
+            (
+                WireError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum",
+            ),
+            (
+                WireError::IndexOutOfRange { index: 9, dim: 4 },
+                "out of range",
+            ),
+            (WireError::NonZeroPadding, "padding"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(WireError::NonZeroPadding);
+        assert!(!e.to_string().is_empty());
+    }
+}

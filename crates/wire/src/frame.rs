@@ -1,0 +1,779 @@
+//! Frame layout, encoders, and the validating zero-copy decoder.
+//!
+//! Every round message is one *frame*: a fixed 16-byte header followed by
+//! a payload whose exact length is implied by the header. All multi-byte
+//! fields are little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     1  magic (0xA7)
+//!      1     1  packed: [7:6] version = 1 · [5:3] kind · [2:1] codec ·
+//!               [0] reserved (0)
+//!      2     4  round id (u32)
+//!      6     4  dim — parameter-vector dimension (u32)
+//!     10     4  nnz — encoded value count (u32)
+//!     14     2  CRC-16/CCITT-FALSE over bytes 0..14 and the payload
+//! ------  ----  -----------------------------------------------------
+//!     16     …  payload: [positions][values], layouts per kind below
+//! ```
+//!
+//! | kind            | positions              | values                      |
+//! |-----------------|------------------------|-----------------------------|
+//! | `Dense`         | —                      | `dim` codec values          |
+//! | `SparseBitmap`  | `ceil(dim/8)` bitmap   | `nnz` codec values          |
+//! | `SparseIndex`   | `nnz` sorted `u32`s (`4·nnz` B) | `nnz` codec values |
+//! | `KnownMask`     | — (receiver holds `M`) | `nnz` codec values          |
+//! | `Mask`          | `ceil(dim/8)` bitmap   | —                           |
+//! | `TernaryBitmap` | `ceil(dim/8)` bitmap   | `f32 µ` + `ceil(nnz/8)` signs |
+//! | `TernaryIndex`  | `nnz` sorted `u32`s (`4·nnz` B) | `f32 µ` + `ceil(nnz/8)` signs |
+//!
+//! Sparse and ternary encoders pick bitmap vs. index-list positions by
+//! exactly the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule (`ceil(dim/8) ≤ 4·nnz` → bitmap,
+//! ties included), so with the [`Codec::F32`] value codec every frame's
+//! encoded length equals the corresponding analytic
+//! [`gluefl_tensor::wire::WireCost`] total — the property test suite
+//! pins this across adversarial `dim`/`nnz`.
+//!
+//! Decoding borrows the payload (`&[u8]`, zero-copy) and validates
+//! eagerly: magic/version/kind/codec, the checksum, section lengths,
+//! `nnz`/`dim` consistency (dense frames, bitmap popcounts), strict index
+//! monotonicity and range, and canonical zero padding. Every failure is a
+//! typed [`WireError`]; untrusted input never panics.
+
+use crate::codec::{decode_values_into, encode_values, Codec, Rounding};
+use crate::crc::{crc16, crc16_update};
+use crate::error::WireError;
+use gluefl_tensor::BitMask;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xA7;
+
+/// Protocol version carried in the packed header byte.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame header length in bytes. Kept identical to the analytic
+/// cost model's [`gluefl_tensor::wire::HEADER_BYTES`] (pinned by a test)
+/// so measured frame lengths and [`gluefl_tensor::wire::WireCost`] totals
+/// are directly comparable.
+pub const HEADER_BYTES: usize = 16;
+
+/// Payload shape of a frame (the header's kind field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Dense values over every coordinate (model broadcast, FedAvg
+    /// upload); `nnz == dim`.
+    Dense,
+    /// Sparse values with a `dim`-bit position bitmap.
+    SparseBitmap,
+    /// Sparse values with explicit sorted `u32` positions.
+    SparseIndex,
+    /// Values aligned to a mask the receiver already holds — no position
+    /// bytes travel (GlueFL's shared part, APF's active set).
+    KnownMask,
+    /// A mask broadcast: positions only, no values (GlueFL's `M_t`).
+    Mask,
+    /// Ternary-quantized sparse values (`sign·µ`) with bitmap positions.
+    TernaryBitmap,
+    /// Ternary-quantized sparse values with explicit positions.
+    TernaryIndex,
+}
+
+impl FrameKind {
+    /// The kind's wire id (the 3-bit field of the packed header byte) —
+    /// also what [`WireError::UnexpectedKind`] reports when a valid
+    /// frame shows up somewhere its kind is not admissible.
+    #[must_use]
+    pub fn id(self) -> u8 {
+        match self {
+            FrameKind::Dense => 0,
+            FrameKind::SparseBitmap => 1,
+            FrameKind::SparseIndex => 2,
+            FrameKind::KnownMask => 3,
+            FrameKind::Mask => 4,
+            FrameKind::TernaryBitmap => 5,
+            FrameKind::TernaryIndex => 6,
+        }
+    }
+
+    fn from_id(id: u8) -> Result<Self, WireError> {
+        match id {
+            0 => Ok(FrameKind::Dense),
+            1 => Ok(FrameKind::SparseBitmap),
+            2 => Ok(FrameKind::SparseIndex),
+            3 => Ok(FrameKind::KnownMask),
+            4 => Ok(FrameKind::Mask),
+            5 => Ok(FrameKind::TernaryBitmap),
+            6 => Ok(FrameKind::TernaryIndex),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+
+    /// Whether this kind carries codec-encoded values (mask and ternary
+    /// frames have fixed value layouts and must declare [`Codec::F32`]).
+    fn uses_value_codec(self) -> bool {
+        matches!(
+            self,
+            FrameKind::Dense
+                | FrameKind::SparseBitmap
+                | FrameKind::SparseIndex
+                | FrameKind::KnownMask
+        )
+    }
+}
+
+/// Writes the 16-byte header with a zeroed checksum; returns its offset.
+fn begin_frame(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    codec: Codec,
+    round: u32,
+    dim: usize,
+    nnz: usize,
+) -> usize {
+    let dim32 = u32::try_from(dim).expect("dim exceeds u32 range");
+    let nnz32 = u32::try_from(nnz).expect("nnz exceeds u32 range");
+    assert!(nnz <= dim, "nnz {nnz} exceeds dim {dim}");
+    let start = out.len();
+    out.reserve(HEADER_BYTES);
+    out.push(MAGIC);
+    out.push((VERSION << 6) | (kind.id() << 3) | (codec.id() << 1));
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&dim32.to_le_bytes());
+    out.extend_from_slice(&nnz32.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]); // checksum placeholder
+    start
+}
+
+/// Stamps the checksum over the finished frame starting at `start`.
+fn finish_frame(out: &mut [u8], start: usize) -> usize {
+    let crc = crc16_update(crc16(&out[start..start + 14]), &out[start + HEADER_BYTES..]);
+    out[start + 14..start + 16].copy_from_slice(&crc.to_le_bytes());
+    out.len() - start
+}
+
+/// Encodes a dense frame over all of `values` (e.g. a model broadcast).
+/// Returns the frame length in bytes (appended to `out`).
+///
+/// # Panics
+/// Panics if `values.len()` exceeds `u32::MAX`.
+pub fn encode_dense(
+    out: &mut Vec<u8>,
+    round: u32,
+    codec: Codec,
+    rounding: Rounding,
+    values: &[f32],
+) -> usize {
+    let start = begin_frame(
+        out,
+        FrameKind::Dense,
+        codec,
+        round,
+        values.len(),
+        values.len(),
+    );
+    encode_values(out, codec, rounding, values);
+    finish_frame(out, start)
+}
+
+/// Encodes a sparse frame: `values[j]` lives at coordinate `indices[j]`
+/// of a `dim`-vector. Positions travel as a bitmap or an index list,
+/// whichever is smaller (ties prefer bitmap — the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse)
+/// rule, so F32 frame lengths match the analytic model exactly). Returns
+/// the frame length in bytes.
+///
+/// # Panics
+/// Panics if the indices are unsorted, repeated, or `>= dim`, or if
+/// `indices.len() != values.len()`.
+pub fn encode_sparse(
+    out: &mut Vec<u8>,
+    round: u32,
+    codec: Codec,
+    rounding: Rounding,
+    dim: usize,
+    indices: &[u32],
+    values: &[f32],
+) -> usize {
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "indices/values length mismatch"
+    );
+    assert_sorted_in_range(indices, dim);
+    let nnz = indices.len();
+    let bitmap_len = dim.div_ceil(8);
+    let start = if bitmap_len <= 4 * nnz {
+        let start = begin_frame(out, FrameKind::SparseBitmap, codec, round, dim, nnz);
+        extend_bitmap_from_indices(out, bitmap_len, indices);
+        start
+    } else {
+        let start = begin_frame(out, FrameKind::SparseIndex, codec, round, dim, nnz);
+        extend_index_list(out, indices);
+        start
+    };
+    encode_values(out, codec, rounding, values);
+    finish_frame(out, start)
+}
+
+/// Encodes a known-mask frame: `values` aligned (in increasing position
+/// order) to a mask the receiver already holds, so no position bytes
+/// travel. Returns the frame length in bytes.
+pub fn encode_known_mask(
+    out: &mut Vec<u8>,
+    round: u32,
+    codec: Codec,
+    rounding: Rounding,
+    dim: usize,
+    values: &[f32],
+) -> usize {
+    let start = begin_frame(out, FrameKind::KnownMask, codec, round, dim, values.len());
+    encode_values(out, codec, rounding, values);
+    finish_frame(out, start)
+}
+
+/// Encodes a mask broadcast frame (positions only). Returns the frame
+/// length in bytes — always `HEADER_BYTES + ceil(mask.len()/8)`, the
+/// analytic per-sync mask bitmap cost.
+pub fn encode_mask(out: &mut Vec<u8>, round: u32, mask: &BitMask) -> usize {
+    let start = begin_frame(
+        out,
+        FrameKind::Mask,
+        Codec::F32,
+        round,
+        mask.len(),
+        mask.count_ones(),
+    );
+    mask.extend_le_bytes(out);
+    finish_frame(out, start)
+}
+
+/// Encodes a ternary-quantized sparse frame: one magnitude `mu` plus a
+/// sign bit per kept coordinate (`true` = `+mu`). Positions travel as
+/// bitmap or index list, whichever is smaller. Returns the frame length
+/// in bytes.
+///
+/// # Panics
+/// Panics if the indices are unsorted, repeated, or `>= dim`, or if
+/// `indices.len() != signs.len()`.
+pub fn encode_ternary(
+    out: &mut Vec<u8>,
+    round: u32,
+    dim: usize,
+    mu: f32,
+    indices: &[u32],
+    signs: &[bool],
+) -> usize {
+    assert_eq!(indices.len(), signs.len(), "indices/signs length mismatch");
+    assert_sorted_in_range(indices, dim);
+    let nnz = indices.len();
+    let bitmap_len = dim.div_ceil(8);
+    let start = if bitmap_len <= 4 * nnz {
+        let start = begin_frame(out, FrameKind::TernaryBitmap, Codec::F32, round, dim, nnz);
+        extend_bitmap_from_indices(out, bitmap_len, indices);
+        start
+    } else {
+        let start = begin_frame(out, FrameKind::TernaryIndex, Codec::F32, round, dim, nnz);
+        extend_index_list(out, indices);
+        start
+    };
+    out.extend_from_slice(&mu.to_le_bytes());
+    let sign_start = out.len();
+    out.resize(sign_start + nnz.div_ceil(8), 0);
+    for (j, &positive) in signs.iter().enumerate() {
+        if positive {
+            out[sign_start + j / 8] |= 1 << (j % 8);
+        }
+    }
+    finish_frame(out, start)
+}
+
+fn assert_sorted_in_range(indices: &[u32], dim: usize) {
+    for (j, &i) in indices.iter().enumerate() {
+        assert!((i as usize) < dim, "index {i} out of range {dim}");
+        if j > 0 {
+            assert!(indices[j - 1] < i, "indices must be strictly increasing");
+        }
+    }
+}
+
+fn extend_bitmap_from_indices(out: &mut Vec<u8>, bitmap_len: usize, indices: &[u32]) {
+    let start = out.len();
+    out.resize(start + bitmap_len, 0);
+    for &i in indices {
+        out[start + (i as usize) / 8] |= 1 << (i % 8);
+    }
+}
+
+fn extend_index_list(out: &mut Vec<u8>, indices: &[u32]) {
+    let start = out.len();
+    out.resize(start + 4 * indices.len(), 0);
+    for (chunk, i) in out[start..].chunks_exact_mut(4).zip(indices) {
+        chunk.copy_from_slice(&i.to_le_bytes());
+    }
+}
+
+/// A decoded frame: parsed header fields plus borrowed (zero-copy)
+/// position and value sections. Produced by [`decode_frame`] /
+/// [`decode_frame_prefix`], which validate everything up front — the
+/// accessor methods only panic when called on an inapplicable kind.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// Payload shape.
+    pub kind: FrameKind,
+    /// Value codec (always [`Codec::F32`] for mask/ternary kinds).
+    pub codec: Codec,
+    /// Round id from the header.
+    pub round: u32,
+    /// Parameter-vector dimension.
+    pub dim: usize,
+    /// Number of encoded values (equals `dim` for dense frames; bitmap
+    /// popcount for mask frames).
+    pub nnz: usize,
+    positions: &'a [u8],
+    values: &'a [u8],
+}
+
+/// Expected `(positions, values)` section lengths for a parsed header.
+fn section_lens(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> (u64, u64) {
+    let bitmap = (dim as u64).div_ceil(8);
+    let positions = match kind {
+        FrameKind::Dense | FrameKind::KnownMask => 0,
+        FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => bitmap,
+        FrameKind::SparseIndex | FrameKind::TernaryIndex => 4 * nnz as u64,
+    };
+    let values = match kind {
+        FrameKind::Dense => codec.value_section_len(dim) as u64,
+        FrameKind::SparseBitmap | FrameKind::SparseIndex | FrameKind::KnownMask => {
+            codec.value_section_len(nnz) as u64
+        }
+        FrameKind::Mask => 0,
+        FrameKind::TernaryBitmap | FrameKind::TernaryIndex => 4 + (nnz as u64).div_ceil(8),
+    };
+    (positions, values)
+}
+
+/// Decodes the frame at the start of `buf`, returning it together with
+/// the unconsumed remainder — the streaming form for buffers holding
+/// several concatenated frames (e.g. GlueFL's shared + unique upload).
+///
+/// # Errors
+/// Any malformation yields a typed [`WireError`]; see the module docs
+/// for the validation performed.
+pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(WireError::Truncated {
+            needed: HEADER_BYTES,
+            got: buf.len(),
+        });
+    }
+    if buf[0] != MAGIC {
+        return Err(WireError::BadMagic(buf[0]));
+    }
+    let packed = buf[1];
+    if packed >> 6 != VERSION || packed & 1 != 0 {
+        return Err(WireError::BadVersion(packed));
+    }
+    let kind = FrameKind::from_id((packed >> 3) & 0x07)?;
+    let codec = Codec::from_id((packed >> 1) & 0x03)?;
+    if !kind.uses_value_codec() && codec != Codec::F32 {
+        // Mask/ternary frames have fixed layouts; a non-zero codec field
+        // is non-canonical.
+        return Err(WireError::BadCodec(codec.id()));
+    }
+    let round = u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes"));
+    let dim = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes")) as usize;
+    let nnz = u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")) as usize;
+    let stored_crc = u16::from_le_bytes(buf[14..16].try_into().expect("2 bytes"));
+    if nnz > dim {
+        return Err(WireError::NnzExceedsDim { nnz, dim });
+    }
+    if kind == FrameKind::Dense && nnz != dim {
+        return Err(WireError::NnzMismatch {
+            declared: nnz,
+            actual: dim,
+        });
+    }
+    let (positions_len, values_len) = section_lens(kind, codec, dim, nnz);
+    let needed = HEADER_BYTES as u64 + positions_len + values_len;
+    if (buf.len() as u64) < needed {
+        return Err(WireError::Truncated {
+            needed: usize::try_from(needed).unwrap_or(usize::MAX),
+            got: buf.len(),
+        });
+    }
+    let frame_len = usize::try_from(needed).expect("frame fits the buffer");
+    let payload = &buf[HEADER_BYTES..frame_len];
+    let computed = crc16_update(crc16(&buf[..14]), payload);
+    if computed != stored_crc {
+        return Err(WireError::ChecksumMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    let (positions, values) = payload.split_at(positions_len as usize);
+
+    // Structural validation of the position section.
+    match kind {
+        FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => {
+            if !dim.is_multiple_of(8) {
+                let tail = positions[positions.len() - 1];
+                if tail >> (dim % 8) != 0 {
+                    return Err(WireError::NonZeroPadding);
+                }
+            }
+            let popcount: usize = positions.iter().map(|b| b.count_ones() as usize).sum();
+            if popcount != nnz {
+                return Err(WireError::NnzMismatch {
+                    declared: nnz,
+                    actual: popcount,
+                });
+            }
+        }
+        FrameKind::SparseIndex | FrameKind::TernaryIndex => {
+            let mut prev: Option<u32> = None;
+            for (j, chunk) in positions.chunks_exact(4).enumerate() {
+                let i = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                if (i as usize) >= dim {
+                    return Err(WireError::IndexOutOfRange { index: i, dim });
+                }
+                if let Some(p) = prev {
+                    if p >= i {
+                        return Err(WireError::IndicesNotIncreasing { position: j });
+                    }
+                }
+                prev = Some(i);
+            }
+        }
+        FrameKind::Dense | FrameKind::KnownMask => {}
+    }
+    // Ternary sign bitmaps must also pad with zeros beyond nnz.
+    if matches!(kind, FrameKind::TernaryBitmap | FrameKind::TernaryIndex) && !nnz.is_multiple_of(8)
+    {
+        let tail = values[values.len() - 1];
+        if tail >> (nnz % 8) != 0 {
+            return Err(WireError::NonZeroPadding);
+        }
+    }
+    Ok((
+        Frame {
+            kind,
+            codec,
+            round,
+            dim,
+            nnz,
+            positions,
+            values,
+        },
+        &buf[frame_len..],
+    ))
+}
+
+/// Decodes `buf` as exactly one frame.
+///
+/// # Errors
+/// As [`decode_frame_prefix`], plus [`WireError::TrailingBytes`] when
+/// `buf` extends past the frame.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, WireError> {
+    let (frame, rest) = decode_frame_prefix(buf)?;
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes { extra: rest.len() });
+    }
+    Ok(frame)
+}
+
+impl Frame<'_> {
+    /// Appends the decoded values to `out`: `dim` values for dense
+    /// frames, `nnz` for sparse/known-mask frames, `nnz` copies of `±µ`
+    /// for ternary frames, nothing for mask frames.
+    pub fn values_into(&self, out: &mut Vec<f32>) {
+        match self.kind {
+            FrameKind::Dense => decode_values_into(out, self.codec, self.values, self.dim),
+            FrameKind::SparseBitmap | FrameKind::SparseIndex | FrameKind::KnownMask => {
+                decode_values_into(out, self.codec, self.values, self.nnz);
+            }
+            FrameKind::Mask => {}
+            FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+                let mu = self.ternary_mu();
+                out.reserve(self.nnz);
+                for j in 0..self.nnz {
+                    let positive = self.values[4 + j / 8] >> (j % 8) & 1 == 1;
+                    out.push(if positive { mu } else { -mu });
+                }
+            }
+        }
+    }
+
+    /// Appends the frame's coordinate indices (increasing) to `out`.
+    ///
+    /// # Panics
+    /// Panics for dense, known-mask, and mask frames — their positions
+    /// are implicit (everything, the receiver's mask, n/a).
+    pub fn indices_into(&self, out: &mut Vec<u32>) {
+        match self.kind {
+            FrameKind::SparseIndex | FrameKind::TernaryIndex => {
+                out.reserve(self.nnz);
+                for chunk in self.positions.chunks_exact(4) {
+                    out.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+                }
+            }
+            FrameKind::SparseBitmap | FrameKind::TernaryBitmap => {
+                out.reserve(self.nnz);
+                for_each_bitmap_one(self.positions, |i| {
+                    out.push(u32::try_from(i).expect("dim fits u32"));
+                });
+            }
+            other => panic!("frame kind {other:?} has no explicit positions"),
+        }
+    }
+
+    /// Rebuilds the position bitmap into `mask` (reset to `dim` bits).
+    ///
+    /// # Panics
+    /// Panics for kinds without a position bitmap.
+    pub fn mask_into(&self, mask: &mut BitMask) {
+        match self.kind {
+            FrameKind::Mask | FrameKind::SparseBitmap | FrameKind::TernaryBitmap => {
+                mask.reset(self.dim);
+                mask.fill_from_le_bytes(self.positions);
+            }
+            other => panic!("frame kind {other:?} carries no bitmap"),
+        }
+    }
+
+    /// The shared magnitude `µ` of a ternary frame.
+    ///
+    /// # Panics
+    /// Panics for non-ternary kinds.
+    #[must_use]
+    pub fn ternary_mu(&self) -> f32 {
+        assert!(
+            matches!(
+                self.kind,
+                FrameKind::TernaryBitmap | FrameKind::TernaryIndex
+            ),
+            "not a ternary frame"
+        );
+        f32::from_le_bytes(self.values[..4].try_into().expect("4 bytes"))
+    }
+
+    /// Appends a ternary frame's sign bits (`true` = positive) to `out`.
+    ///
+    /// # Panics
+    /// Panics for non-ternary kinds.
+    pub fn ternary_signs_into(&self, out: &mut Vec<bool>) {
+        assert!(
+            matches!(
+                self.kind,
+                FrameKind::TernaryBitmap | FrameKind::TernaryIndex
+            ),
+            "not a ternary frame"
+        );
+        out.reserve(self.nnz);
+        for j in 0..self.nnz {
+            out.push(self.values[4 + j / 8] >> (j % 8) & 1 == 1);
+        }
+    }
+}
+
+/// Calls `f(i)` for each set bit of a little-endian byte bitmap, in
+/// increasing order (word-at-a-time over 8-byte chunks).
+fn for_each_bitmap_one(bytes: &[u8], mut f: impl FnMut(usize)) {
+    for (ci, chunk) in bytes.chunks(8).enumerate() {
+        let mut word_bytes = [0u8; 8];
+        word_bytes[..chunk.len()].copy_from_slice(chunk);
+        let mut w = u64::from_le_bytes(word_bytes);
+        let base = ci * 64;
+        while w != 0 {
+            f(base + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gluefl_tensor::wire::WireCost;
+
+    #[test]
+    fn header_bytes_match_analytic_model() {
+        assert_eq!(HEADER_BYTES as u64, gluefl_tensor::wire::HEADER_BYTES);
+    }
+
+    #[test]
+    fn dense_round_trip_bit_exact() {
+        let values: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
+        let mut buf = Vec::new();
+        let n = encode_dense(&mut buf, 7, Codec::F32, Rounding::Nearest, &values);
+        assert_eq!(n, buf.len());
+        assert_eq!(n as u64, WireCost::dense(values.len()).total_bytes());
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::Dense);
+        assert_eq!(frame.round, 7);
+        assert_eq!((frame.dim, frame.nnz), (300, 300));
+        let mut back = Vec::new();
+        frame.values_into(&mut back);
+        assert!(values
+            .iter()
+            .zip(&back)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn sparse_picks_cheaper_position_encoding_like_wirecost() {
+        // Very sparse → index list; dense-ish → bitmap; tie → bitmap.
+        for (dim, nnz) in [(1000, 3), (1000, 400), (3200, 100), (3200, 99)] {
+            let indices: Vec<u32> = (0..nnz as u32)
+                .map(|i| i * (dim as u32 / nnz as u32))
+                .collect();
+            let values: Vec<f32> = (0..nnz).map(|i| i as f32 - 2.0).collect();
+            let mut buf = Vec::new();
+            let n = encode_sparse(
+                &mut buf,
+                0,
+                Codec::F32,
+                Rounding::Nearest,
+                dim,
+                &indices,
+                &values,
+            );
+            assert_eq!(
+                n as u64,
+                WireCost::sparse(dim, nnz).total_bytes(),
+                "dim={dim} nnz={nnz}"
+            );
+            let frame = decode_frame(&buf).unwrap();
+            let mut ix = Vec::new();
+            frame.indices_into(&mut ix);
+            assert_eq!(ix, indices);
+            let mut vals = Vec::new();
+            frame.values_into(&mut vals);
+            assert_eq!(vals, values);
+        }
+    }
+
+    #[test]
+    fn known_mask_frame_has_no_position_bytes() {
+        let values = vec![1.0f32, -2.0, 3.0];
+        let mut buf = Vec::new();
+        let n = encode_known_mask(&mut buf, 3, Codec::F32, Rounding::Nearest, 100, &values);
+        assert_eq!(n as u64, WireCost::known_mask(3).total_bytes());
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::KnownMask);
+        assert_eq!(frame.dim, 100);
+        let mut back = Vec::new();
+        frame.values_into(&mut back);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn mask_frame_round_trips_and_costs_the_bitmap() {
+        let mask = BitMask::from_indices(77, [0usize, 13, 64, 76]);
+        let mut buf = Vec::new();
+        let n = encode_mask(&mut buf, 9, &mask);
+        assert_eq!(n, HEADER_BYTES + 77usize.div_ceil(8));
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::Mask);
+        assert_eq!(frame.nnz, 4);
+        let mut back = BitMask::zeros(1);
+        frame.mask_into(&mut back);
+        assert_eq!(back, mask);
+    }
+
+    #[test]
+    fn ternary_round_trip_matches_analytic_cost() {
+        let dim = 10_000;
+        let indices: Vec<u32> = (0..500).map(|i| i * 17).collect();
+        let signs: Vec<bool> = (0..500).map(|i| i % 3 != 0).collect();
+        let mut buf = Vec::new();
+        let n = encode_ternary(&mut buf, 4, dim, 0.125, &indices, &signs);
+        // Analytic: positions min(bitmap, 4·nnz) + (ceil(nnz/8) + 4) + header.
+        let positions = WireCost::sparse(dim, indices.len()).position_bytes;
+        assert_eq!(n as u64, positions + 500u64.div_ceil(8) + 4 + 16);
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.ternary_mu(), 0.125);
+        let mut ix = Vec::new();
+        frame.indices_into(&mut ix);
+        assert_eq!(ix, indices);
+        let mut s = Vec::new();
+        frame.ternary_signs_into(&mut s);
+        assert_eq!(s, signs);
+        let mut vals = Vec::new();
+        frame.values_into(&mut vals);
+        assert!(vals
+            .iter()
+            .zip(&signs)
+            .all(|(&v, &p)| v == if p { 0.125 } else { -0.125 }));
+    }
+
+    #[test]
+    fn prefix_decoding_streams_concatenated_frames() {
+        let mut buf = Vec::new();
+        encode_known_mask(&mut buf, 1, Codec::F32, Rounding::Nearest, 10, &[1.0, 2.0]);
+        encode_sparse(
+            &mut buf,
+            1,
+            Codec::F32,
+            Rounding::Nearest,
+            1000,
+            &[5, 9],
+            &[-1.0, 4.0],
+        );
+        let (first, rest) = decode_frame_prefix(&buf).unwrap();
+        assert_eq!(first.kind, FrameKind::KnownMask);
+        let (second, rest) = decode_frame_prefix(rest).unwrap();
+        assert_eq!(second.kind, FrameKind::SparseIndex);
+        assert!(rest.is_empty());
+        // The strict form rejects the concatenation.
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sparse_frame_is_header_only_plus_rule() {
+        // nnz = 0: index list costs 0 < bitmap, so positions are empty —
+        // same as WireCost::sparse(d, 0).
+        let mut buf = Vec::new();
+        let n = encode_sparse(&mut buf, 0, Codec::F32, Rounding::Nearest, 100, &[], &[]);
+        assert_eq!(n as u64, WireCost::sparse(100, 0).total_bytes());
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.nnz, 0);
+    }
+
+    #[test]
+    fn quantized_frames_are_smaller_and_decode() {
+        let values: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.71).sin()).collect();
+        let mut f32_buf = Vec::new();
+        encode_dense(&mut f32_buf, 0, Codec::F32, Rounding::Nearest, &values);
+        let mut q_buf = Vec::new();
+        encode_dense(&mut q_buf, 0, Codec::QuantU8, Rounding::Nearest, &values);
+        let mut h_buf = Vec::new();
+        encode_dense(&mut h_buf, 0, Codec::F16, Rounding::Nearest, &values);
+        assert!(q_buf.len() < h_buf.len() && h_buf.len() < f32_buf.len());
+        let frame = decode_frame(&q_buf).unwrap();
+        assert_eq!(frame.codec, Codec::QuantU8);
+        let mut back = Vec::new();
+        frame.values_into(&mut back);
+        assert_eq!(back.len(), values.len());
+        for (v, d) in values.iter().zip(&back) {
+            assert!((v - d).abs() <= 1.0 / 254.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn encode_sparse_rejects_unsorted_indices() {
+        let mut buf = Vec::new();
+        let _ = encode_sparse(
+            &mut buf,
+            0,
+            Codec::F32,
+            Rounding::Nearest,
+            10,
+            &[3, 1],
+            &[1.0, 2.0],
+        );
+    }
+}

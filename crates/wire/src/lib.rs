@@ -1,0 +1,74 @@
+//! `gluefl-wire`: the framed, checksummed binary wire protocol for GlueFL
+//! round messages.
+//!
+//! The rest of the workspace *accounts* for bandwidth with the analytic
+//! [`gluefl_tensor::wire::WireCost`] model; this crate actually
+//! serializes the bytes. Every message of the round protocol — the dense
+//! model broadcast, the shared-mask broadcast, and the dense / sparse /
+//! mask-aligned / ternary update uploads — is one [`frame`]: a 16-byte
+//! header (magic, version, kind, codec, round, `dim`, `nnz`,
+//! CRC-16/CCITT-FALSE) followed by a payload whose length the header
+//! implies. See [`frame`] for the byte-level layout table.
+//!
+//! Three pluggable **value codecs** ([`Codec`]) decide how `f32`
+//! parameter values travel:
+//!
+//! * [`Codec::F32`] — 4 B/value, bit-exact; with it, every frame's length
+//!   equals the analytic `WireCost` total (property-tested), so the
+//!   simulator's measured bytes and the ledger's analytic bytes coincide.
+//! * [`Codec::F16`] — 2 B/value, round-to-nearest-even half precision.
+//! * [`Codec::QuantU8`] — 1 B/value plus one `f32` scale per 64-value
+//!   block, with deterministic [`Rounding::Nearest`] or unbiased,
+//!   seed-deterministic [`Rounding::Stochastic`] rounding (the simulator
+//!   derives the seed from `(master seed, round, client)`, so serial and
+//!   parallel runs stay bit-identical).
+//!
+//! **Encoding** appends to a caller-supplied `Vec<u8>` — the simulator
+//! threads pooled byte arenas through, so steady-state encoding performs
+//! no heap allocation. **Decoding** ([`decode_frame`] /
+//! [`decode_frame_prefix`]) is zero-copy over `&[u8]`: the returned
+//! [`Frame`] borrows its position and value sections, and every
+//! malformation (truncation, checksum damage, `nnz`/`dim` inconsistency,
+//! out-of-range or unsorted indices, non-canonical padding) is a typed
+//! [`WireError`] — untrusted input never panics.
+//!
+//! # Example
+//!
+//! ```
+//! use gluefl_wire::{decode_frame, encode_sparse, Codec, Rounding};
+//!
+//! // A sparse update: 3 of 1000 coordinates.
+//! let mut buf = Vec::new();
+//! let len = encode_sparse(
+//!     &mut buf, /* round */ 12, Codec::F32, Rounding::Nearest,
+//!     1000, &[7, 400, 999], &[0.5, -1.0, 2.0],
+//! );
+//! // F32 frames match the analytic cost model exactly.
+//! assert_eq!(len as u64, gluefl_tensor::WireCost::sparse(1000, 3).total_bytes());
+//!
+//! let frame = decode_frame(&buf).unwrap();
+//! let (mut ix, mut vals) = (Vec::new(), Vec::new());
+//! frame.indices_into(&mut ix);
+//! frame.values_into(&mut vals);
+//! assert_eq!(ix, vec![7, 400, 999]);
+//! assert_eq!(vals, vec![0.5, -1.0, 2.0]);
+//!
+//! // Corruption is a typed error, never a panic.
+//! buf[20] ^= 0xFF;
+//! assert!(decode_frame(&buf).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod frame;
+
+pub use codec::{Codec, Rounding, QUANT_BLOCK};
+pub use error::WireError;
+pub use frame::{
+    decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
+    encode_ternary, Frame, FrameKind, HEADER_BYTES, MAGIC, VERSION,
+};

@@ -1,0 +1,293 @@
+//! Corrupt-input decode suite: every malformation class must produce a
+//! *typed* [`WireError`] — never a panic, never a silent mis-decode.
+//!
+//! Structural corruptions (bad nnz, out-of-range indices, set padding
+//! bits, …) are re-stamped with a valid checksum so the structural check
+//! itself is exercised rather than the CRC.
+
+use gluefl_tensor::BitMask;
+use gluefl_wire::crc::{crc16, crc16_update};
+use gluefl_wire::{
+    decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
+    encode_ternary, Codec, Rounding, WireError, HEADER_BYTES,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recomputes a (single-frame) buffer's checksum after a deliberate
+/// structural mutation.
+fn restamp(buf: &mut [u8]) {
+    let crc = crc16_update(crc16(&buf[..14]), &buf[HEADER_BYTES..]);
+    buf[14..16].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn sample_sparse_index() -> Vec<u8> {
+    // 4 of 1000 coordinates → index-list positions.
+    let mut buf = Vec::new();
+    let _ = encode_sparse(
+        &mut buf,
+        5,
+        Codec::F32,
+        Rounding::Nearest,
+        1000,
+        &[10, 20, 300, 999],
+        &[1.0, -2.0, 3.0, -4.0],
+    );
+    buf
+}
+
+fn sample_sparse_bitmap() -> Vec<u8> {
+    // 60 of 100 coordinates → bitmap positions.
+    let indices: Vec<u32> = (0..60).map(|i| i + (i / 3)).collect();
+    let values: Vec<f32> = indices.iter().map(|&i| i as f32).collect();
+    let mut buf = Vec::new();
+    let _ = encode_sparse(
+        &mut buf,
+        5,
+        Codec::F32,
+        Rounding::Nearest,
+        100,
+        &indices,
+        &values,
+    );
+    buf
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    for buf in [sample_sparse_index(), sample_sparse_bitmap(), {
+        let mut b = Vec::new();
+        let _ = encode_dense(&mut b, 0, Codec::QuantU8, Rounding::Nearest, &[1.0; 100]);
+        b
+    }] {
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    assert!(got < needed, "cut={cut}");
+                }
+                Err(other) => panic!("cut={cut}: expected Truncated, got {other:?}"),
+                Ok(_) => panic!("cut={cut}: truncated frame decoded"),
+            }
+        }
+        assert!(decode_frame(&buf).is_ok());
+    }
+}
+
+#[test]
+fn flipped_checksum_bytes_are_rejected() {
+    let buf = sample_sparse_index();
+    for byte in 14..16 {
+        for bit in 0..8 {
+            let mut bad = buf.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                matches!(decode_frame(&bad), Err(WireError::ChecksumMismatch { .. })),
+                "flip of checksum byte {byte} bit {bit} undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn any_single_payload_bit_flip_is_detected() {
+    let buf = sample_sparse_bitmap();
+    for i in HEADER_BYTES * 8..buf.len() * 8 {
+        let mut bad = buf.clone();
+        bad[i / 8] ^= 1 << (i % 8);
+        assert!(
+            decode_frame(&bad).is_err(),
+            "payload bit {i} flip undetected"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut bad = sample_sparse_index();
+    bad[0] = 0x00;
+    assert_eq!(decode_frame(&bad).unwrap_err(), WireError::BadMagic(0x00));
+}
+
+#[test]
+fn bad_version_and_reserved_bit_are_typed() {
+    // Version field 2 instead of 1.
+    let mut bad = sample_sparse_index();
+    bad[1] = (bad[1] & 0x3F) | (2 << 6);
+    assert!(matches!(decode_frame(&bad), Err(WireError::BadVersion(_))));
+    // Reserved low bit set.
+    let mut bad = sample_sparse_index();
+    bad[1] |= 1;
+    assert!(matches!(decode_frame(&bad), Err(WireError::BadVersion(_))));
+}
+
+#[test]
+fn bad_kind_and_codec_are_typed() {
+    // Kind 7 is unassigned.
+    let mut bad = sample_sparse_index();
+    bad[1] = (bad[1] & !(0x07 << 3)) | (7 << 3);
+    restamp(&mut bad);
+    assert_eq!(decode_frame(&bad).unwrap_err(), WireError::BadKind(7));
+    // Codec 3 is unassigned.
+    let mut bad = sample_sparse_index();
+    bad[1] = (bad[1] & !(0x03 << 1)) | (3 << 1);
+    restamp(&mut bad);
+    assert_eq!(decode_frame(&bad).unwrap_err(), WireError::BadCodec(3));
+    // Mask frames are codec-free: a declared F16 codec is non-canonical.
+    let mut mask_buf = Vec::new();
+    let _ = encode_mask(&mut mask_buf, 0, &BitMask::from_indices(40, [1usize, 7]));
+    mask_buf[1] = (mask_buf[1] & !(0x03 << 1)) | (Codec::F16.id() << 1);
+    restamp(&mut mask_buf);
+    assert_eq!(decode_frame(&mask_buf).unwrap_err(), WireError::BadCodec(1));
+}
+
+#[test]
+fn nnz_dim_mismatches_are_typed() {
+    // nnz > dim in the header (valid checksum): structural error.
+    let mut bad = sample_sparse_index();
+    bad[10..14].copy_from_slice(&2000u32.to_le_bytes());
+    restamp(&mut bad);
+    assert_eq!(
+        decode_frame(&bad).unwrap_err(),
+        WireError::NnzExceedsDim {
+            nnz: 2000,
+            dim: 1000
+        }
+    );
+    // Dense frame whose nnz disagrees with dim.
+    let mut dense = Vec::new();
+    let _ = encode_dense(&mut dense, 0, Codec::F32, Rounding::Nearest, &[1.0; 10]);
+    dense[10..14].copy_from_slice(&9u32.to_le_bytes());
+    restamp(&mut dense);
+    assert_eq!(
+        decode_frame(&dense).unwrap_err(),
+        WireError::NnzMismatch {
+            declared: 9,
+            actual: 10
+        }
+    );
+    // Bitmap popcount that disagrees with the declared nnz: flip a clear
+    // bitmap bit (not a padding bit) and restamp.
+    let mut bm = sample_sparse_bitmap();
+    let bitmap_start = HEADER_BYTES;
+    // Position 2 is absent from `indices` (0,1,2→0,1,2? indices are
+    // i + i/3: 0,1,2,4,5,6,8,… — position 3 is absent).
+    bm[bitmap_start] |= 1 << 3;
+    restamp(&mut bm);
+    assert_eq!(
+        decode_frame(&bm).unwrap_err(),
+        WireError::NnzMismatch {
+            declared: 60,
+            actual: 61
+        }
+    );
+}
+
+#[test]
+fn bitmap_padding_bits_must_be_zero() {
+    // dim = 100 → 13 bitmap bytes, 4 padding bits in the last byte.
+    let mut bm = sample_sparse_bitmap();
+    let last_bitmap_byte = HEADER_BYTES + 100usize.div_ceil(8) - 1;
+    bm[last_bitmap_byte] |= 1 << 6; // bit 102 > dim
+    restamp(&mut bm);
+    assert_eq!(decode_frame(&bm).unwrap_err(), WireError::NonZeroPadding);
+}
+
+#[test]
+fn out_of_range_and_unsorted_indices_are_typed() {
+    // Overwrite the last index (999) with 1000 == dim.
+    let mut bad = sample_sparse_index();
+    let idx_start = HEADER_BYTES + 3 * 4;
+    bad[idx_start..idx_start + 4].copy_from_slice(&1000u32.to_le_bytes());
+    restamp(&mut bad);
+    assert_eq!(
+        decode_frame(&bad).unwrap_err(),
+        WireError::IndexOutOfRange {
+            index: 1000,
+            dim: 1000
+        }
+    );
+    // Swap the first two indices: 20, 10, …
+    let mut bad = sample_sparse_index();
+    let a = HEADER_BYTES;
+    bad[a..a + 4].copy_from_slice(&20u32.to_le_bytes());
+    bad[a + 4..a + 8].copy_from_slice(&10u32.to_le_bytes());
+    restamp(&mut bad);
+    assert_eq!(
+        decode_frame(&bad).unwrap_err(),
+        WireError::IndicesNotIncreasing { position: 1 }
+    );
+    // Duplicate indices are also "not strictly increasing".
+    let mut bad = sample_sparse_index();
+    bad[a + 4..a + 8].copy_from_slice(&10u32.to_le_bytes());
+    restamp(&mut bad);
+    assert_eq!(
+        decode_frame(&bad).unwrap_err(),
+        WireError::IndicesNotIncreasing { position: 1 }
+    );
+}
+
+#[test]
+fn ternary_sign_padding_must_be_zero() {
+    let mut buf = Vec::new();
+    let _ = encode_ternary(&mut buf, 0, 500, 0.25, &[1, 2, 3], &[true, false, true]);
+    // Sign byte is the last payload byte (3 signs → 5 padding bits).
+    let last = buf.len() - 1;
+    buf[last] |= 1 << 5;
+    restamp(&mut buf);
+    assert_eq!(decode_frame(&buf).unwrap_err(), WireError::NonZeroPadding);
+}
+
+#[test]
+fn trailing_bytes_are_typed_but_prefix_decoding_streams() {
+    let mut buf = sample_sparse_index();
+    buf.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+    assert_eq!(
+        decode_frame(&buf).unwrap_err(),
+        WireError::TrailingBytes { extra: 3 }
+    );
+    let (frame, rest) = decode_frame_prefix(&buf).unwrap();
+    assert_eq!(frame.nnz, 4);
+    assert_eq!(rest, &[0xAB, 0xCD, 0xEF]);
+}
+
+#[test]
+fn known_mask_nnz_is_bounded_by_dim() {
+    let mut buf = Vec::new();
+    let _ = encode_known_mask(&mut buf, 0, Codec::F32, Rounding::Nearest, 8, &[1.0; 8]);
+    buf[10..14].copy_from_slice(&9u32.to_le_bytes());
+    restamp(&mut buf);
+    assert_eq!(
+        decode_frame(&buf).unwrap_err(),
+        WireError::NnzExceedsDim { nnz: 9, dim: 8 }
+    );
+}
+
+/// Random buffers and random mutations of valid frames must always
+/// return (not panic), whatever the verdict.
+#[test]
+fn decode_fuzz_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..200);
+        let buf: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=u8::MAX)).collect();
+        let _ = decode_frame(&buf);
+    }
+    let templates = [sample_sparse_index(), sample_sparse_bitmap()];
+    for _ in 0..2000 {
+        let mut buf = templates[rng.gen_range(0..templates.len())].clone();
+        for _ in 0..rng.gen_range(1..6) {
+            let i = rng.gen_range(0..buf.len());
+            buf[i] = rng.gen_range(0u8..=u8::MAX);
+        }
+        if rng.gen::<bool>() {
+            restamp(&mut buf);
+        }
+        if let Ok(frame) = decode_frame(&buf) {
+            // A surviving frame must still be internally consistent
+            // enough for the accessors not to misbehave.
+            let mut vals = Vec::new();
+            frame.values_into(&mut vals);
+            assert!(vals.len() <= frame.dim);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests pinning the codec to the analytic cost model and to
+//! its round-trip guarantees:
+//!
+//! * **F32 length parity** — for every frame kind, the encoded frame
+//!   length equals the corresponding `WireCost` total (including
+//!   `HEADER_BYTES`) across adversarial `dim`/`nnz` combinations;
+//! * **F32 bit-exactness** — encode → decode reproduces indices and value
+//!   bits exactly;
+//! * **F16 / QuantU8 bounded error** — decoded values stay within the
+//!   codec's documented error envelope (relative 2⁻¹¹ for F16; `scale/2`
+//!   nearest / `scale` stochastic per quantization block).
+
+use gluefl_tensor::wire::{WireCost, HEADER_BYTES};
+use gluefl_tensor::BitMask;
+use gluefl_wire::{
+    decode_frame, encode_dense, encode_known_mask, encode_mask, encode_sparse, encode_ternary,
+    Codec, Rounding, QUANT_BLOCK,
+};
+use proptest::prelude::*;
+
+/// Sorted unique indices: a subset of `0..dim` drawn from per-position
+/// coin flips, so nnz spans empty → full.
+fn sparse_case(dim: usize, ones: &[bool]) -> (Vec<u32>, Vec<f32>) {
+    let indices: Vec<u32> = (0..dim)
+        .filter(|&i| ones[i % ones.len().max(1)] || i % 97 == 3)
+        .map(|i| u32::try_from(i).unwrap())
+        .collect();
+    let values: Vec<f32> = indices.iter().map(|&i| (i as f32 * 0.37).sin()).collect();
+    (indices, values)
+}
+
+proptest! {
+    /// Dense F32 frames cost exactly `WireCost::dense(dim)` total bytes.
+    #[test]
+    fn dense_f32_length_matches_analytic(dim in 0usize..3000) {
+        let values: Vec<f32> = (0..dim).map(|i| i as f32 - 7.5).collect();
+        let mut buf = Vec::new();
+        let n = encode_dense(&mut buf, 1, Codec::F32, Rounding::Nearest, &values);
+        prop_assert_eq!(n as u64, WireCost::dense(dim).total_bytes());
+        prop_assert_eq!(n, buf.len());
+    }
+
+    /// Sparse F32 frames cost exactly `WireCost::sparse(dim, nnz)` total
+    /// bytes — including the bitmap/index-list tie-break — and known-mask
+    /// frames exactly `WireCost::known_mask(nnz)`.
+    #[test]
+    fn sparse_f32_length_matches_analytic(
+        dim in 1usize..4000,
+        ones in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let (indices, values) = sparse_case(dim, &ones);
+        let nnz = indices.len();
+        let mut buf = Vec::new();
+        let n = encode_sparse(&mut buf, 0, Codec::F32, Rounding::Nearest, dim, &indices, &values);
+        prop_assert_eq!(n as u64, WireCost::sparse(dim, nnz).total_bytes(),
+            "dim={} nnz={}", dim, nnz);
+
+        let mut kbuf = Vec::new();
+        let k = encode_known_mask(&mut kbuf, 0, Codec::F32, Rounding::Nearest, dim, &values);
+        prop_assert_eq!(k as u64, WireCost::known_mask(nnz).total_bytes());
+    }
+
+    /// Mask broadcast frames cost exactly the analytic per-sync bitmap
+    /// bytes: `ceil(dim/8) + HEADER_BYTES`.
+    #[test]
+    fn mask_length_matches_analytic(dim in 1usize..4000, stride in 1usize..50) {
+        let mask = BitMask::from_indices(dim, (0..dim).step_by(stride));
+        let mut buf = Vec::new();
+        let n = encode_mask(&mut buf, 0, &mask);
+        prop_assert_eq!(n as u64, (dim as u64).div_ceil(8) + HEADER_BYTES);
+    }
+
+    /// Ternary frames cost exactly the analytic `TernaryUpdate` wire
+    /// cost: sparse position bytes + one sign bit per value + one µ.
+    #[test]
+    fn ternary_length_matches_analytic(
+        dim in 1usize..4000,
+        ones in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let (indices, _) = sparse_case(dim, &ones);
+        let nnz = indices.len();
+        let signs: Vec<bool> = (0..nnz).map(|j| j % 2 == 0).collect();
+        let mut buf = Vec::new();
+        let n = encode_ternary(&mut buf, 0, dim, 0.5, &indices, &signs);
+        let analytic = WireCost {
+            value_bytes: (nnz as u64).div_ceil(8) + 4,
+            position_bytes: WireCost::sparse(dim, nnz).position_bytes,
+            encoding: gluefl_tensor::WireEncoding::IndexList,
+        };
+        prop_assert_eq!(n as u64, analytic.total_bytes());
+    }
+
+    /// F32 sparse round trip is bit-exact in both indices and values.
+    #[test]
+    fn sparse_f32_round_trip_bit_exact(
+        dim in 1usize..4000,
+        ones in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let (indices, values) = sparse_case(dim, &ones);
+        let mut buf = Vec::new();
+        let _ = encode_sparse(&mut buf, 3, Codec::F32, Rounding::Nearest, dim, &indices, &values);
+        let frame = decode_frame(&buf).unwrap();
+        prop_assert_eq!(frame.round, 3);
+        prop_assert_eq!(frame.dim, dim);
+        let (mut ix, mut vals) = (Vec::new(), Vec::new());
+        frame.indices_into(&mut ix);
+        frame.values_into(&mut vals);
+        prop_assert_eq!(ix, indices);
+        prop_assert_eq!(vals.len(), values.len());
+        prop_assert!(vals.iter().zip(&values).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    /// Dense F16 round trip keeps every value within the half-precision
+    /// error envelope; QuantU8 stays within scale/2 (nearest) resp. scale
+    /// (stochastic) per block.
+    #[test]
+    fn lossy_codecs_bounded_error(dim in 1usize..2000, seed in any::<u64>()) {
+        let values: Vec<f32> = (0..dim)
+            .map(|i| ((i as f32 + 1.0) * 0.61).sin() * 3.0)
+            .collect();
+        // F16.
+        let mut hbuf = Vec::new();
+        let _ = encode_dense(&mut hbuf, 0, Codec::F16, Rounding::Nearest, &values);
+        let mut back = Vec::new();
+        decode_frame(&hbuf).unwrap().values_into(&mut back);
+        let min_normal = 2.0f32.powi(-14); // smallest normal f16
+        for (v, d) in values.iter().zip(&back) {
+            let tol = v.abs().max(min_normal) * 2.0f32.powi(-11) * 1.000_001;
+            prop_assert!((v - d).abs() <= tol, "f16 |{} - {}| > {}", v, d, tol);
+        }
+        // QuantU8, both rounding modes.
+        for (rounding, bound) in [
+            (Rounding::Nearest, 0.5f32),
+            (Rounding::Stochastic { seed }, 1.0f32),
+        ] {
+            let mut qbuf = Vec::new();
+            let _ = encode_dense(&mut qbuf, 0, Codec::QuantU8, rounding, &values);
+            let mut back = Vec::new();
+            decode_frame(&qbuf).unwrap().values_into(&mut back);
+            for (block, decoded) in values.chunks(QUANT_BLOCK).zip(back.chunks(QUANT_BLOCK)) {
+                let scale = block.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 127.0;
+                for (v, d) in block.iter().zip(decoded) {
+                    prop_assert!(
+                        (v - d).abs() <= scale * (bound + 1e-5),
+                        "quant |{} - {}| > {}·scale", v, d, bound
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stochastic QuantU8 encoding is a pure function of the seed: same
+    /// seed → identical bytes, different seed → (almost surely) not.
+    #[test]
+    fn stochastic_encoding_deterministic_in_seed(seed in any::<u64>()) {
+        let values: Vec<f32> = (0..300).map(|i| (i as f32 * 0.913).cos()).collect();
+        let enc = |s: u64| {
+            let mut buf = Vec::new();
+            let _ = encode_dense(&mut buf, 0, Codec::QuantU8, Rounding::Stochastic { seed: s }, &values);
+            buf
+        };
+        prop_assert_eq!(enc(seed), enc(seed));
+        prop_assert_ne!(enc(seed), enc(seed ^ 0x1234_5678_9abc_def0));
+    }
+}
+
+/// Degenerate shapes the random generators may miss: nnz 0, nnz = dim,
+/// dim exactly at the bitmap/index-list break-even, single position.
+#[test]
+fn adversarial_corner_shapes_match_analytic() {
+    let cases: &[(usize, usize)] = &[
+        (1, 0),
+        (1, 1),
+        (8, 8),
+        (3200, 100), // tie: bitmap == 4·nnz
+        (3200, 99),  // just below: index list
+        (3200, 101), // just above: bitmap
+        (64, 64),
+        (65, 1),
+        (1_000_000, 0),
+    ];
+    for &(dim, nnz) in cases {
+        let indices: Vec<u32> = (0..nnz)
+            .map(|j| u32::try_from(j * (dim / nnz.max(1))).unwrap())
+            .collect();
+        let values: Vec<f32> = indices.iter().map(|&i| i as f32).collect();
+        let mut buf = Vec::new();
+        let n = encode_sparse(
+            &mut buf,
+            0,
+            Codec::F32,
+            Rounding::Nearest,
+            dim,
+            &indices,
+            &values,
+        );
+        assert_eq!(
+            n as u64,
+            WireCost::sparse(dim, nnz).total_bytes(),
+            "dim={dim} nnz={nnz}"
+        );
+        let frame = decode_frame(&buf).unwrap();
+        let mut vals = Vec::new();
+        frame.values_into(&mut vals);
+        assert_eq!(vals, values, "dim={dim} nnz={nnz}");
+    }
+}

@@ -84,9 +84,17 @@ fn main() {
     );
 
     let mut cum_down = 0u64;
+    let mut cum_up_analytic = 0u64;
+    let mut cum_up_wire = 0u64;
     for _ in 0..sim.config().rounds {
         let rec = sim.step();
         cum_down += rec.down_bytes;
+        cum_up_analytic += rec.up_bytes;
+        // Since PR 5 every upload is actually serialized through the
+        // gluefl-wire codec inside the round loop; `wire_up_bytes` is
+        // the *measured* frame total. Under the default F32 codec it
+        // equals the analytic `up_bytes` bit-for-bit.
+        cum_up_wire += rec.wire_up_bytes;
         if let Some(acc) = rec.accuracy {
             println!(
                 "round {:>3}: accuracy {:>5.1}%  |  down {:>7.2} MB cumulative  \
@@ -99,6 +107,41 @@ fn main() {
         }
     }
     println!("done: downstream total {:.2} MB", bytes_to_mb(cum_down));
+    println!(
+        "upstream total: analytic {:.2} MB, measured on the wire {:.2} MB \
+         (equal under the F32 codec)",
+        bytes_to_mb(cum_up_analytic),
+        bytes_to_mb(cum_up_wire)
+    );
+    assert_eq!(cum_up_analytic, cum_up_wire);
+
+    // --- Accuracy vs bytes with a quantized wire codec. ---
+    // Switching `wire_codec` to QuantU8 serializes every upload (and its
+    // BN-statistic frame) at one byte per value plus a per-64-block
+    // scale, with deterministic stochastic rounding seeded per
+    // (round, client). Same data, sampling, and network randomness —
+    // only the wire representation changes.
+    let compare_rounds = 20;
+    let run_with = |codec: gluefl_core::WireCodec| {
+        let mut c = sim.config().clone();
+        c.rounds = compare_rounds;
+        c.eval_every = compare_rounds;
+        c.wire_codec = codec;
+        let r = gluefl_core::Simulation::new(c).run();
+        let up: u64 = r.rounds.iter().map(|x| x.wire_up_bytes).sum();
+        (r.total.accuracy, up)
+    };
+    let (acc_f32, up_f32) = run_with(gluefl_core::WireCodec::F32);
+    let (acc_q8, up_q8) = run_with(gluefl_core::WireCodec::QuantU8);
+    println!(
+        "\nQuantU8 demo ({compare_rounds} rounds): f32 {:.1}% @ {:.2} MB up  |  \
+         quant-u8 {:.1}% @ {:.2} MB up ({:.0}% of the f32 bytes)",
+        acc_f32 * 100.0,
+        bytes_to_mb(up_f32),
+        acc_q8 * 100.0,
+        bytes_to_mb(up_q8),
+        100.0 * up_q8 as f64 / up_f32 as f64
+    );
 
     // --- Under the hood: one client step through the public training API.
     //

@@ -11,6 +11,7 @@
 //! * [`gluefl_sampling`] — uniform/MD/sticky samplers.
 //! * [`gluefl_net`] — bandwidth, device, availability simulation.
 //! * [`gluefl_tensor`] — bitmasks, top-k, sparse updates.
+//! * [`gluefl_wire`] — framed binary wire codec for round messages.
 
 #![forbid(unsafe_code)]
 
@@ -21,3 +22,4 @@ pub use gluefl_ml as ml;
 pub use gluefl_net as net;
 pub use gluefl_sampling as sampling;
 pub use gluefl_tensor as tensor;
+pub use gluefl_wire as wire;
