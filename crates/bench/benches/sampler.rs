@@ -1,7 +1,7 @@
 //! Client sampling cost at cross-device population sizes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gluefl_sampling::{MdSampler, StickySampler, UniformSampler};
+use gluefl_sampling::{AllOnline, MdSampler, StickySampler, UniformSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,7 +11,7 @@ fn bench_samplers(c: &mut Criterion) {
         let uniform = UniformSampler::new(n);
         group.bench_with_input(BenchmarkId::new("uniform_k100", n), &uniform, |b, s| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(s.draw(&mut rng, 100, None)));
+            b.iter(|| black_box(s.draw(&mut rng, 100, &mut AllOnline)));
         });
         let md = MdSampler::uniform(n);
         group.bench_with_input(BenchmarkId::new("multinomial_k100", n), &md, |b, s| {
@@ -22,7 +22,7 @@ fn bench_samplers(c: &mut Criterion) {
         let sticky = StickySampler::new(n, 400, &mut rng);
         group.bench_with_input(BenchmarkId::new("sticky_c80_f20", n), &sticky, |b, s| {
             let mut rng = StdRng::seed_from_u64(4);
-            b.iter(|| black_box(s.draw(&mut rng, 80, 20, None)));
+            b.iter(|| black_box(s.draw(&mut rng, 80, 20, &mut AllOnline)));
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_sticky_round_trip(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         let mut sampler = StickySampler::new(n, 400, &mut rng);
         b.iter(|| {
-            let draw = sampler.draw(&mut rng, 80, 20, None);
+            let draw = sampler.draw(&mut rng, 80, 20, &mut AllOnline);
             sampler.rebalance(&mut rng, &draw.sticky, &draw.fresh);
             black_box(draw.len())
         });

@@ -384,6 +384,9 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     // --- wire codec: sparse-frame encode/decode (gluefl-wire). ---
     run_wire_entries(opts, reps, d, &values, &mut entries);
 
+    // --- million-client control plane: availability + round planning. ---
+    run_scale_kernels(opts, reps, &mut entries);
+
     // --- Report. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"dim\": {d},");
@@ -620,6 +623,208 @@ fn run_wire_entries(
             baseline_ns,
             new_ns,
         });
+    }
+}
+
+/// Times the million-client control-plane kernels — the per-round costs
+/// that used to scale with the population size N rather than the
+/// participant count:
+///
+/// * `avail_advance_1m` — one round of availability state for the ~39
+///   clients a round actually touches. Baseline: the eager
+///   [`AvailabilityTraceRef`] twin advances all N Markov chains. New:
+///   [`LazyAvailability`] advances only the touched clients' private
+///   session trajectories. The two consume identical counter-based draw
+///   streams, so the gate asserts bit-identical states before timing.
+/// * `plan_round_1m` — one sticky round (draw + rebalance) at the
+///   paper's K = 30, C = 24, OC = 1.3, S = 120. Baseline: a verbatim
+///   copy of the pre-refactor round — dense candidate materialisation on
+///   every draw and a full population rescan on every rebalance. New:
+///   [`StickySampler`] with rejection-sampled fresh candidates and
+///   in-place membership edits. The RNG streams differ, so the gate is
+///   structural: draw sizes, group disjointness, and the constant group
+///   size.
+///
+/// N is 10⁶ (10⁵ under `--quick`).
+fn run_scale_kernels(opts: &ExptOpts, reps: usize, entries: &mut Vec<Entry>) {
+    use gluefl_net::{AvailabilityTraceRef, LazyAvailability};
+    use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
+    use gluefl_sampling::{AllOnline, StickySampler};
+
+    let n = if opts.quick { 100_000 } else { 1_000_000 };
+    let (f, mean) = (0.7f64, 24.0f64);
+    let seed = opts.seed ^ 0xa5a5;
+
+    if opts.kernel_selected("avail_advance_1m") {
+        // The ~K × OC clients one round actually looks at, spread across
+        // the id space.
+        let touched: Vec<usize> = (0..39).map(|i| i * (n / 39)).collect();
+        // Equivalence gate: lazy ≡ eager bit for bit on the touched set.
+        {
+            let mut eager = AvailabilityTraceRef::new(n, f, mean, seed);
+            let mut lazy = LazyAvailability::new(n, f, mean, seed);
+            for r in 0..4u32 {
+                for &c in &touched {
+                    assert_eq!(
+                        lazy.is_online(c, r),
+                        eager.is_online(c),
+                        "availability kernels diverged at client {c} round {r}"
+                    );
+                }
+                eager.advance();
+            }
+        }
+        let mut eager = AvailabilityTraceRef::new(n, f, mean, seed);
+        let mut lazy = LazyAvailability::new(n, f, mean, seed);
+        let mut lazy_round = 0u32;
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                eager.advance();
+                touched.iter().filter(|&&c| eager.is_online(c)).count() + 1
+            },
+            || {
+                let r = lazy_round;
+                lazy_round += 1;
+                touched.iter().filter(|&&c| lazy.is_online(c, r)).count() + 1
+            },
+        );
+        entries.push(Entry {
+            name: "avail_advance_1m",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    if opts.kernel_selected("plan_round_1m") {
+        let s_size = 120usize;
+        let plan = oc_plan(30, 24, 1.3, OcStrategy::Proportional);
+        let mut new_rng = StdRng::seed_from_u64(seed ^ 1);
+        let mut sampler = StickySampler::new(n, s_size, &mut new_rng);
+        let mut base_rng = StdRng::seed_from_u64(seed ^ 2);
+        let mut baseline = BaselineSticky::new(n, s_size, &mut base_rng);
+        // Structural gate: the two samplers consume different streams, so
+        // the invariants (not the ids) must agree.
+        {
+            let d = sampler.draw(
+                &mut new_rng,
+                plan.sticky_invites,
+                plan.fresh_invites,
+                &mut AllOnline,
+            );
+            let (bs, bf) = baseline.draw(&mut base_rng, plan.sticky_invites, plan.fresh_invites);
+            assert_eq!(d.sticky.len(), bs.len(), "sticky draw sizes diverged");
+            assert_eq!(d.fresh.len(), bf.len(), "fresh draw sizes diverged");
+            assert!(d.sticky.iter().all(|&c| sampler.is_sticky(c)));
+            assert!(d.fresh.iter().all(|&c| !sampler.is_sticky(c)));
+            sampler.rebalance(
+                &mut new_rng,
+                &d.sticky[..plan.keep_sticky],
+                &d.fresh[..plan.keep_fresh],
+            );
+            baseline.rebalance(
+                &mut base_rng,
+                &bs[..plan.keep_sticky],
+                &bf[..plan.keep_fresh],
+            );
+            assert_eq!(sampler.group_size(), s_size);
+            assert_eq!(baseline.sticky.len(), s_size);
+        }
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                let (bs, bf) =
+                    baseline.draw(&mut base_rng, plan.sticky_invites, plan.fresh_invites);
+                baseline.rebalance(
+                    &mut base_rng,
+                    &bs[..plan.keep_sticky],
+                    &bf[..plan.keep_fresh],
+                );
+                bs.len() + bf.len()
+            },
+            || {
+                let d = sampler.draw(
+                    &mut new_rng,
+                    plan.sticky_invites,
+                    plan.fresh_invites,
+                    &mut AllOnline,
+                );
+                sampler.rebalance(
+                    &mut new_rng,
+                    &d.sticky[..plan.keep_sticky],
+                    &d.fresh[..plan.keep_fresh],
+                );
+                d.sticky.len() + d.fresh.len()
+            },
+        );
+        entries.push(Entry {
+            name: "plan_round_1m",
+            baseline_ns,
+            new_ns,
+        });
+    }
+}
+
+/// Verbatim pre-refactor sticky sampler round: every draw materialises
+/// the full non-sticky candidate vector and every rebalance rebuilds the
+/// membership list with a population scan — the O(N) control plane the
+/// current [`gluefl_sampling::StickySampler`] replaces.
+struct BaselineSticky {
+    n: usize,
+    in_sticky: Vec<bool>,
+    sticky: Vec<usize>,
+}
+
+impl BaselineSticky {
+    fn new<R: Rng>(n: usize, group_size: usize, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        let mut ids: Vec<usize> = (0..n).collect();
+        let (chosen, _) = ids.partial_shuffle(rng, group_size);
+        let mut sticky = chosen.to_vec();
+        sticky.sort_unstable();
+        let mut in_sticky = vec![false; n];
+        for &c in &sticky {
+            in_sticky[c] = true;
+        }
+        Self {
+            n,
+            in_sticky,
+            sticky,
+        }
+    }
+
+    fn draw<R: Rng>(&self, rng: &mut R, c: usize, fresh_count: usize) -> (Vec<usize>, Vec<usize>) {
+        use rand::seq::SliceRandom;
+        let mut sticky_pool = self.sticky.clone();
+        let mut fresh_pool: Vec<usize> = (0..self.n).filter(|&i| !self.in_sticky[i]).collect();
+        let take = c.min(sticky_pool.len());
+        let (sp, _) = sticky_pool.partial_shuffle(rng, take);
+        let mut sticky: Vec<usize> = sp.to_vec();
+        let take_f = fresh_count.min(fresh_pool.len());
+        let (fp, _) = fresh_pool.partial_shuffle(rng, take_f);
+        let mut fresh: Vec<usize> = fp.to_vec();
+        sticky.sort_unstable();
+        fresh.sort_unstable();
+        (sticky, fresh)
+    }
+
+    fn rebalance<R: Rng>(&mut self, rng: &mut R, participated: &[usize], admitted: &[usize]) {
+        use rand::seq::SliceRandom;
+        let mut evictable: Vec<usize> = self
+            .sticky
+            .iter()
+            .copied()
+            .filter(|c| !participated.contains(c))
+            .collect();
+        let evict_n = admitted.len().min(evictable.len());
+        let (evicted, _) = evictable.partial_shuffle(rng, evict_n);
+        for &c in evicted.iter() {
+            self.in_sticky[c] = false;
+        }
+        for &c in &admitted[..evict_n] {
+            self.in_sticky[c] = true;
+        }
+        self.sticky = (0..self.n).filter(|&i| self.in_sticky[i]).collect();
     }
 }
 
@@ -881,6 +1086,8 @@ mod tests {
         assert!(json.contains("gemm_nn_eval_b1024"));
         assert!(json.contains("wire_encode_sparse"));
         assert!(json.contains("wire_decode_sparse"));
+        assert!(json.contains("avail_advance_1m"));
+        assert!(json.contains("plan_round_1m"));
         assert!(json.contains("speedup"));
     }
 

@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod kernels;
 mod local_train_baseline;
 pub mod prop12;
+pub mod scale;
 pub mod table2;
 pub mod table3;
 pub mod wire;
@@ -22,7 +23,7 @@ use crate::ExptOpts;
 /// All experiment ids, in the paper's order.
 pub const ALL: &[&str] = &[
     "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table3a",
-    "table3b", "prop12", "wire", "kernels",
+    "table3b", "prop12", "wire", "kernels", "scale",
 ];
 
 /// Dispatches an experiment by id.
@@ -46,6 +47,7 @@ pub fn run(id: &str, opts: &ExptOpts) -> Result<(), String> {
         "prop12" => prop12::run(opts),
         "wire" => wire::run(opts),
         "kernels" => kernels::run(opts),
+        "scale" => scale::run(opts),
         "all" => {
             for id in ALL {
                 println!("\n================ {id} ================");

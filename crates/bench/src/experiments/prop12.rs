@@ -10,7 +10,7 @@ use crate::{write_csv, ExptOpts, Table};
 use gluefl_sampling::analysis::{
     sticky_advantage_horizon, sticky_resample_prob, uniform_resample_prob,
 };
-use gluefl_sampling::StickySampler;
+use gluefl_sampling::{AllOnline, StickySampler};
 use gluefl_tensor::rng::seeded_rng;
 
 /// Runs the experiment.
@@ -49,7 +49,7 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
     let mut last_seen: Vec<Option<u32>> = vec![None; n];
     let mut gaps: Vec<u32> = Vec::new();
     for t in 0..trials {
-        let draw = sampler.draw(&mut rng, c, k - c, None);
+        let draw = sampler.draw(&mut rng, c, k - c, &mut AllOnline);
         for cl in draw.all() {
             if let Some(prev) = last_seen[cl] {
                 gaps.push(t - prev);

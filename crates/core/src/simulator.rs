@@ -38,7 +38,8 @@ use crate::wire_link;
 use gluefl_data::SyntheticFlDataset;
 use gluefl_ml::{Mlp, MlpTopology};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
-use gluefl_net::{AvailabilityTrace, ClientLink};
+use gluefl_net::{LazyAvailability, LinkCache, SpeedCache};
+use gluefl_sampling::AllOnline;
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
 use gluefl_tensor::vecops;
 use gluefl_tensor::wire::HEADER_BYTES;
@@ -52,9 +53,14 @@ pub struct Simulation {
     model: Mlp,
     strategy: Box<dyn Strategy>,
     staleness: StalenessTracker,
-    links: Vec<ClientLink>,
-    speeds: Vec<f64>,
-    availability: AvailabilityTrace,
+    /// On-demand per-client links; only participants are ever sampled.
+    links: LinkCache,
+    /// On-demand per-client compute speeds.
+    speeds: SpeedCache,
+    /// Lazy availability process; `None` means every client is always
+    /// online. Clients are materialised on first touch, so the resident
+    /// state is O(touched clients), not O(N).
+    availability: Option<LazyAvailability>,
     /// Flat indices of BN-statistic positions.
     stats_positions: Vec<usize>,
     /// Mask of trainable positions (complement of the BN statistics).
@@ -113,17 +119,16 @@ impl Simulation {
             &mut strat_rng,
         );
 
-        let mut net_rng = seeded_rng(cfg.seed, "network", 0);
-        let links = cfg.network.sample_links(&mut net_rng, n);
-        let mut dev_rng = seeded_rng(cfg.seed, "devices", 0);
-        let speeds = cfg.device.sample_speeds(&mut dev_rng, n);
-        let mut avail_rng = seeded_rng(cfg.seed, "availability", 0);
-        let availability = match cfg.availability {
-            Some(a) => {
-                AvailabilityTrace::new(n, a.online_fraction, a.mean_session_rounds, &mut avail_rng)
-            }
-            None => AvailabilityTrace::always_on(n),
-        };
+        let links = LinkCache::new(cfg.network, derive_seed(cfg.seed, "network", 0));
+        let speeds = SpeedCache::new(cfg.device, derive_seed(cfg.seed, "devices", 0));
+        let availability = cfg.availability.map(|a| {
+            LazyAvailability::new(
+                n,
+                a.online_fraction,
+                a.mean_session_rounds,
+                derive_seed(cfg.seed, "availability", 0),
+            )
+        });
 
         let staleness = StalenessTracker::new(dim, n);
         let rng = seeded_rng(cfg.seed, "simulation", 0);
@@ -226,12 +231,19 @@ impl Simulation {
     pub fn step(&mut self) -> RoundRecord {
         let round = self.round;
         self.round += 1;
-        if self.cfg.availability.is_some() {
-            self.availability.advance(&mut self.rng);
-        }
-        let plan = self
-            .strategy
-            .plan_round(round, &mut self.rng, self.availability.online());
+        // Plan through the lazy availability process: the strategy asks
+        // about exactly the candidates it considers, each answered by
+        // advancing that client's private session trajectory to `round`.
+        // No per-round O(N) scan happens anywhere.
+        let plan = match &mut self.availability {
+            Some(av) => {
+                let mut query = |id: usize| av.is_online(id, round);
+                self.strategy.plan_round(round, &mut self.rng, &mut query)
+            }
+            None => self
+                .strategy
+                .plan_round(round, &mut self.rng, &mut AllOnline),
+        };
         let mut invited = std::mem::take(&mut self.invited_buf);
         invited.clear();
         invited.extend(plan.invited());
@@ -365,7 +377,7 @@ impl Simulation {
 
             up_bytes_total += analytic_up;
             wire_up_total += wire_up;
-            let link = self.links[id];
+            let link = self.links.get(id);
             let t_down = (download_bytes[i] as f64 * self.time_byte_factor) as u64;
             let t_up = (wire_up as f64 * self.time_byte_factor) as u64;
             times.push(ClientRoundTime {
@@ -374,7 +386,7 @@ impl Simulation {
                     * self
                         .cfg
                         .device
-                        .step_seconds(self.time_params, self.speeds[id]),
+                        .step_seconds(self.time_params, self.speeds.get(id)),
                 upload_secs: seconds_for_bytes(t_up, link.up_mbps),
             });
         }

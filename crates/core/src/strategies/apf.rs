@@ -5,7 +5,7 @@ use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::accumulate_weighted_values;
 use crate::scratch::ScratchPool;
 use gluefl_compress::{Apf, ApfConfig};
-use gluefl_sampling::{ClientId, UniformSampler};
+use gluefl_sampling::{ClientId, OnlineQuery, UniformSampler};
 use gluefl_tensor::{BitMask, MaskedUpdate, SparseUpdate};
 use rand::rngs::StdRng;
 
@@ -72,11 +72,16 @@ impl Strategy for ApfStrategy {
         "apf".into()
     }
 
-    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+    fn plan_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan {
         let invites = (self.k as f64 * self.oc).round() as usize;
         RoundPlan {
             sticky_invites: Vec::new(),
-            fresh_invites: self.sampler.draw(rng, invites, Some(available)),
+            fresh_invites: self.sampler.draw(rng, invites, online),
             keep_sticky: 0,
             keep_fresh: self.k,
         }

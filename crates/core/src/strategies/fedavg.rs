@@ -3,7 +3,7 @@
 use super::{Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::accumulate_uploads;
 use crate::scratch::ScratchPool;
-use gluefl_sampling::{ClientId, UniformSampler};
+use gluefl_sampling::{ClientId, OnlineQuery, UniformSampler};
 use gluefl_tensor::MaskedUpdate;
 use rand::rngs::StdRng;
 
@@ -39,11 +39,16 @@ impl Strategy for FedAvgStrategy {
         "fedavg".into()
     }
 
-    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+    fn plan_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan {
         let invites = (self.k as f64 * self.oc).round() as usize;
         RoundPlan {
             sticky_invites: Vec::new(),
-            fresh_invites: self.sampler.draw(rng, invites, Some(available)),
+            fresh_invites: self.sampler.draw(rng, invites, online),
             keep_sticky: 0,
             keep_fresh: self.k,
         }
@@ -104,7 +109,7 @@ mod tests {
     fn plan_invites_oc_times_k() {
         let mut s = strategy();
         let mut rng = StdRng::seed_from_u64(0);
-        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         assert_eq!(plan.fresh_invites.len(), 5);
         assert_eq!(plan.keep_fresh, 4);
         assert!(plan.sticky_invites.is_empty());
@@ -149,7 +154,7 @@ mod tests {
         let trials = 20_000;
         let mut acc = vec![0.0f64; n];
         for _ in 0..trials {
-            let plan = s.plan_round(0, &mut rng, &[true; 10]);
+            let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
             let kept: Vec<(ClientId, Group, Upload)> = plan
                 .fresh_invites
                 .iter()

@@ -8,7 +8,7 @@ use gluefl_compress::mask_shift::{shift_mask_into, ClientSplit};
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::ErrorCompensator;
 use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
-use gluefl_sampling::{sticky_weights, ClientId, StickySampler};
+use gluefl_sampling::{sticky_weights, ClientId, OnlineQuery, StickySampler};
 use gluefl_tensor::{top_k_abs_masked_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
@@ -155,14 +155,16 @@ impl Strategy for GlueFlStrategy {
         }
     }
 
-    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+    fn plan_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan {
         let plan = oc_plan(self.k, self.params.sticky_draw, self.oc, self.oc_strategy);
-        let draw = self.sampler.draw(
-            rng,
-            plan.sticky_invites,
-            plan.fresh_invites,
-            Some(available),
-        );
+        let draw = self
+            .sampler
+            .draw(rng, plan.sticky_invites, plan.fresh_invites, online);
         RoundPlan {
             sticky_invites: draw.sticky,
             fresh_invites: draw.fresh,
@@ -380,7 +382,7 @@ mod tests {
     fn plan_draws_sticky_and_fresh() {
         let mut s = strategy(1);
         let mut rng = StdRng::seed_from_u64(2);
-        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         assert_eq!(plan.sticky_invites.len(), 3);
         assert_eq!(plan.fresh_invites.len(), 1);
         assert_eq!(plan.keep_sticky, 3);
@@ -563,7 +565,7 @@ mod tests {
     fn finish_round_rebalances_sticky_group() {
         let mut s = strategy(11);
         let mut rng = StdRng::seed_from_u64(12);
-        let plan = s.plan_round(0, &mut rng, &[true; 20]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         s.finish_round(0, &mut rng, &plan.sticky_invites, &plan.fresh_invites);
         assert_eq!(s.sampler().group_size(), 8);
         assert!(plan.fresh_invites.iter().all(|&c| s.sampler().is_sticky(c)));

@@ -3,7 +3,7 @@
 use super::{Group, RoundPlan, Strategy, Upload};
 use crate::aggregate::accumulate_uploads;
 use crate::scratch::ScratchPool;
-use gluefl_sampling::{ClientId, MdSampler};
+use gluefl_sampling::{ClientId, MdSampler, OnlineQuery};
 use gluefl_tensor::MaskedUpdate;
 use rand::rngs::StdRng;
 
@@ -22,6 +22,10 @@ pub struct MdFedAvgStrategy {
     dim: usize,
     /// Per-client draw multiplicity for the current round.
     multiplicity: Vec<u32>,
+    /// Distinct clients drawn in the current round (sorted in the plan).
+    /// Lets `plan_round` reset only the touched multiplicity entries
+    /// instead of clearing the whole O(N) vector every round.
+    drawn: Vec<ClientId>,
 }
 
 impl MdFedAvgStrategy {
@@ -38,6 +42,7 @@ impl MdFedAvgStrategy {
             k,
             dim,
             multiplicity: vec![0; n],
+            drawn: Vec::new(),
         }
     }
 }
@@ -47,27 +52,35 @@ impl Strategy for MdFedAvgStrategy {
         "md-fedavg".into()
     }
 
-    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
-        self.multiplicity.fill(0);
-        let mut drawn = 0usize;
+    fn plan_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan {
+        for &id in &self.drawn {
+            self.multiplicity[id] = 0;
+        }
+        self.drawn.clear();
+        let mut count = 0usize;
         let mut attempts = 0usize;
         // Rejection-sample against availability (equivalent to MD sampling
-        // over the online sub-population, re-normalised).
-        while drawn < self.k && attempts < self.k * 200 {
+        // over the online sub-population, re-normalised). Each CDF draw is
+        // O(log N) and only the drawn clients' multiplicity entries are
+        // touched, so a round is O(K log N) — independent of N.
+        while count < self.k && attempts < self.k * 200 {
             attempts += 1;
             let id = self.sampler.draw(rng, 1)[0];
-            if available[id] {
+            if online.is_online(id) {
+                if self.multiplicity[id] == 0 {
+                    self.drawn.push(id);
+                }
                 self.multiplicity[id] += 1;
-                drawn += 1;
+                count += 1;
             }
         }
-        let invites: Vec<ClientId> = self
-            .multiplicity
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m > 0)
-            .map(|(i, _)| i)
-            .collect();
+        let mut invites = self.drawn.clone();
+        invites.sort_unstable();
         RoundPlan {
             sticky_invites: Vec::new(),
             keep_fresh: invites.len(),
@@ -131,7 +144,7 @@ mod tests {
     fn plan_draws_k_with_multiplicity() {
         let mut s = strategy();
         let mut rng = StdRng::seed_from_u64(0);
-        let plan = s.plan_round(0, &mut rng, &[true; 12]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         let total: u32 = s.multiplicity.iter().sum();
         assert_eq!(total, 4);
         assert_eq!(plan.keep_fresh, plan.fresh_invites.len());
@@ -143,7 +156,7 @@ mod tests {
         let mut s = strategy();
         let mut rng = StdRng::seed_from_u64(1);
         for round in 0..50 {
-            let plan = s.plan_round(round, &mut rng, &[true; 12]);
+            let plan = s.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
             let total: f64 = plan
                 .fresh_invites
                 .iter()
@@ -159,7 +172,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut hits = [0u32; 12];
         for round in 0..4000 {
-            let _ = s.plan_round(round, &mut rng, &[true; 12]);
+            let _ = s.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
             for (i, &m) in s.multiplicity.iter().enumerate() {
                 hits[i] += m;
             }
@@ -176,7 +189,7 @@ mod tests {
         let mut avail = vec![true; 12];
         avail[3] = false;
         for round in 0..20 {
-            let plan = s.plan_round(round, &mut rng, &avail);
+            let plan = s.plan_round(round, &mut rng, &mut gluefl_sampling::DenseOnline(&avail));
             assert!(!plan.fresh_invites.contains(&3), "round {round}");
         }
     }
@@ -185,7 +198,7 @@ mod tests {
     fn aggregate_uses_multiplicity_weights() {
         let mut s = strategy();
         let mut rng = StdRng::seed_from_u64(4);
-        let plan = s.plan_round(0, &mut rng, &[true; 12]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         let kept: Vec<(ClientId, Group, Upload)> = plan
             .fresh_invites
             .iter()

@@ -24,7 +24,7 @@ pub use stc::StcStrategy;
 use crate::config::{SimConfig, StrategyConfig};
 use crate::scratch::ScratchPool;
 use gluefl_compress::mask_shift::ClientSplit;
-use gluefl_sampling::ClientId;
+use gluefl_sampling::{ClientId, OnlineQuery};
 use gluefl_tensor::wire::HEADER_BYTES;
 use gluefl_tensor::{MaskedUpdate, SparseUpdate};
 use rand::rngs::StdRng;
@@ -205,8 +205,17 @@ pub trait Strategy: Send {
     /// Display name for reports.
     fn name(&self) -> String;
 
-    /// Plans invitations for round `round`, respecting `available`.
-    fn plan_round(&mut self, round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan;
+    /// Plans invitations for round `round`, restricted to clients for
+    /// which `online` answers `true`. Implementations query `online` only
+    /// for the candidates they actually consider — O(participants)
+    /// queries, never a population sweep — so a lazy availability process
+    /// behind the query stays cheap.
+    fn plan_round(
+        &mut self,
+        round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan;
 
     /// The aggregation weight applied to client `id` from `group`
     /// (includes the importance weight `p_i`).

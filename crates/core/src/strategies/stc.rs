@@ -5,7 +5,7 @@ use crate::aggregate::accumulate_uploads;
 use crate::scratch::ScratchPool;
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::{CompensationMode, ErrorCompensator};
-use gluefl_sampling::{ClientId, UniformSampler};
+use gluefl_sampling::{ClientId, OnlineQuery, UniformSampler};
 use gluefl_tensor::{top_k_abs_masked_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope};
 use rand::rngs::StdRng;
 
@@ -86,11 +86,16 @@ impl Strategy for StcStrategy {
         }
     }
 
-    fn plan_round(&mut self, _round: u32, rng: &mut StdRng, available: &[bool]) -> RoundPlan {
+    fn plan_round(
+        &mut self,
+        _round: u32,
+        rng: &mut StdRng,
+        online: &mut dyn OnlineQuery,
+    ) -> RoundPlan {
         let invites = (self.k as f64 * self.oc).round() as usize;
         RoundPlan {
             sticky_invites: Vec::new(),
-            fresh_invites: self.sampler.draw(rng, invites, Some(available)),
+            fresh_invites: self.sampler.draw(rng, invites, online),
             keep_sticky: 0,
             keep_fresh: self.k,
         }
@@ -329,7 +334,7 @@ mod tests {
     fn plan_is_uniform_without_stickiness() {
         let mut s = strategy(0.2);
         let mut rng = StdRng::seed_from_u64(1);
-        let plan = s.plan_round(0, &mut rng, &[true; 10]);
+        let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
         assert!(plan.sticky_invites.is_empty());
         assert_eq!(plan.fresh_invites.len(), 3);
     }

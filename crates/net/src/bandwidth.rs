@@ -124,10 +124,26 @@ impl NetworkProfile {
         }
     }
 
-    /// Samples `n` client links.
+    /// Samples `n` client links eagerly — O(N) time and memory. Retained
+    /// for population-wide statistics (CDF plots) and as the reference the
+    /// lazy [`Self::link_for`] path is distribution-checked against; the
+    /// simulator itself samples links on demand via [`LinkCache`].
     #[must_use]
     pub fn sample_links<R: Rng>(self, rng: &mut R, n: usize) -> Vec<ClientLink> {
         (0..n).map(|_| self.sample_link(rng)).collect()
+    }
+
+    /// Client `client`'s link, derived on demand from `(seed, client)`.
+    ///
+    /// Counter-based: the draw is a pure function of its arguments, so any
+    /// client's link can be produced in any order without materialising a
+    /// `Vec<ClientLink>` for the whole population. Same marginal (and
+    /// down/up joint) distribution as [`Self::sample_link`], since both
+    /// push standard-normal draws through the same log-normal model.
+    #[must_use]
+    pub fn link_for(self, seed: u64, client: usize) -> ClientLink {
+        let mut rng = gluefl_tensor::rng::seeded_rng(seed, "link", client as u64);
+        self.sample_link(&mut rng)
     }
 
     /// All profiles, for sweeps.
@@ -163,6 +179,56 @@ impl std::str::FromStr for NetworkProfile {
                 "unknown network profile '{other}' (expected mlab|5g|datacenter)"
             )),
         }
+    }
+}
+
+/// On-demand per-client links with a cached-per-participant fast path.
+///
+/// Wraps [`NetworkProfile::link_for`]: the first query for a client
+/// samples its link from the counter-based `(seed, client)` stream; later
+/// queries (sticky clients re-participate round after round) hit the
+/// cache. Resident memory is O(clients ever queried), not O(N).
+///
+/// # Example
+/// ```
+/// use gluefl_net::{LinkCache, NetworkProfile};
+/// let mut cache = LinkCache::new(NetworkProfile::MlabEdge, 42);
+/// let a = cache.get(7);
+/// assert_eq!(a, cache.get(7)); // cached, and deterministic anyway
+/// assert_eq!(a, NetworkProfile::MlabEdge.link_for(42, 7));
+/// assert_eq!(cache.cached(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkCache {
+    profile: NetworkProfile,
+    seed: u64,
+    cache: std::collections::HashMap<usize, ClientLink>,
+}
+
+impl LinkCache {
+    /// Creates an empty cache over `profile` with the given stream seed.
+    #[must_use]
+    pub fn new(profile: NetworkProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Client `id`'s link — sampled on first access, cached after.
+    pub fn get(&mut self, id: usize) -> ClientLink {
+        let (profile, seed) = (self.profile, self.seed);
+        *self
+            .cache
+            .entry(id)
+            .or_insert_with(|| profile.link_for(seed, id))
+    }
+
+    /// Number of distinct clients sampled so far.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -285,6 +351,29 @@ mod tests {
         let a = links(NetworkProfile::MlabEdge, 10);
         let b = links(NetworkProfile::MlabEdge, 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_for_is_order_independent() {
+        // Pure function of (seed, client): querying 5 then 3 equals
+        // querying 3 then 5, and repeated queries agree.
+        let p = NetworkProfile::MlabEdge;
+        let forward: Vec<ClientLink> = (0..10).map(|i| p.link_for(99, i)).collect();
+        let backward: Vec<ClientLink> = (0..10).rev().map(|i| p.link_for(99, i)).collect();
+        for (i, l) in backward.iter().rev().enumerate() {
+            assert_eq!(*l, forward[i]);
+        }
+        assert_ne!(forward[0], forward[1], "distinct clients, distinct draws");
+    }
+
+    #[test]
+    fn link_cache_hits_and_matches_lazy_path() {
+        let mut cache = LinkCache::new(NetworkProfile::Commercial5G, 7);
+        let a = cache.get(123);
+        let b = cache.get(123);
+        assert_eq!(a, b);
+        assert_eq!(cache.cached(), 1);
+        assert_eq!(a, NetworkProfile::Commercial5G.link_for(7, 123));
     }
 
     fn median(vals: impl Iterator<Item = f64>) -> f64 {

@@ -67,10 +67,21 @@ impl DeviceProfile {
             .clamp(self.clamp.0, self.clamp.1)
     }
 
-    /// Samples `n` speed multipliers.
+    /// Samples `n` speed multipliers eagerly — O(N). Retained for
+    /// population statistics; the simulator samples on demand via
+    /// [`SpeedCache`].
     #[must_use]
     pub fn sample_speeds<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample_speed(rng)).collect()
+    }
+
+    /// Client `client`'s speed multiplier, derived on demand from
+    /// `(seed, client)` — the counter-based analogue of
+    /// [`Self::sample_speed`], order-independent and allocation-free.
+    #[must_use]
+    pub fn speed_for(&self, seed: u64, client: usize) -> f64 {
+        let mut rng = gluefl_tensor::rng::seeded_rng(seed, "device-speed", client as u64);
+        self.sample_speed(&mut rng)
     }
 
     /// Seconds for one local SGD step on a model with `params` parameters
@@ -88,6 +99,43 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
             let u2: f64 = rng.gen();
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }
+    }
+}
+
+/// On-demand per-client speed multipliers with a cached-per-participant
+/// fast path — the [`crate::LinkCache`] of device compute speeds.
+#[derive(Debug, Clone)]
+pub struct SpeedCache {
+    profile: DeviceProfile,
+    seed: u64,
+    cache: std::collections::HashMap<usize, f64>,
+}
+
+impl SpeedCache {
+    /// Creates an empty cache over `profile` with the given stream seed.
+    #[must_use]
+    pub fn new(profile: DeviceProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Client `id`'s speed multiplier — sampled on first access, cached
+    /// after.
+    pub fn get(&mut self, id: usize) -> f64 {
+        let (profile, seed) = (self.profile, self.seed);
+        *self
+            .cache
+            .entry(id)
+            .or_insert_with(|| profile.speed_for(seed, id))
+    }
+
+    /// Number of distinct clients sampled so far.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -122,6 +170,18 @@ mod tests {
     fn slow_devices_take_longer() {
         let p = DeviceProfile::mobile();
         assert!(p.step_seconds(1_000_000, 4.0) > p.step_seconds(1_000_000, 0.5));
+    }
+
+    #[test]
+    fn speed_for_is_deterministic_and_cached() {
+        let p = DeviceProfile::mobile();
+        assert_eq!(p.speed_for(11, 4).to_bits(), p.speed_for(11, 4).to_bits());
+        assert_ne!(p.speed_for(11, 4).to_bits(), p.speed_for(11, 5).to_bits());
+        let mut cache = SpeedCache::new(p, 11);
+        let s = cache.get(4);
+        assert_eq!(s.to_bits(), p.speed_for(11, 4).to_bits());
+        let _ = cache.get(4);
+        assert_eq!(cache.cached(), 1);
     }
 
     #[test]

@@ -15,9 +15,18 @@
 //!   headline facts: ≈20% of devices have ≤10 Mbps download, and uploads
 //!   are roughly 1.7× slower than downloads.
 //! * [`DeviceProfile`] — per-client compute speed multipliers.
-//! * [`AvailabilityTrace`] — a per-round Markov on/off process standing in
-//!   for FedScale's availability trace.
+//! * [`LazyAvailability`] / [`AvailabilityTraceRef`] — a two-state on/off
+//!   session process standing in for FedScale's availability trace, in a
+//!   lazy counter-based form (O(1) per query, no population scan) and its
+//!   eager dense reference twin.
 //! * [`timing`] — byte-count → seconds conversions with a latency floor.
+//!
+//! Per-client randomness (links, speeds, availability) is *counter-based*:
+//! client `i`'s draws derive from `(seed, i)` rather than from a shared
+//! sequential stream, so any client's link, speed, or on/off trajectory can
+//! be produced on demand, in any order, without materialising the other
+//! `N − 1` — the key to million-client populations. [`LinkCache`] and
+//! [`SpeedCache`] add a cached-per-participant fast path on top.
 //!
 //! # Example
 //!
@@ -40,6 +49,6 @@ mod bandwidth;
 mod device;
 pub mod timing;
 
-pub use availability::{AvailabilityTrace, DiurnalAvailability};
-pub use bandwidth::{cdf, ClientLink, NetworkProfile};
-pub use device::DeviceProfile;
+pub use availability::{AvailabilityTraceRef, DiurnalAvailability, LazyAvailability};
+pub use bandwidth::{cdf, ClientLink, LinkCache, NetworkProfile};
+pub use device::{DeviceProfile, SpeedCache};

@@ -1,0 +1,123 @@
+//! Property tests pinning the lazy availability process to its eager
+//! reference twin.
+//!
+//! Both [`LazyAvailability`] and [`AvailabilityTraceRef`] consume the
+//! same counter-based per-client draw streams, so for every `(n, f,
+//! mean, seed)` the lazy answer to "is client `i` online at round `r`?"
+//! must be *bit-identical* to the eager trace's state after `r`
+//! advances — no matter in which order, how often, or how far backwards
+//! the lazy process is queried.
+
+use gluefl_net::{AvailabilityTraceRef, LazyAvailability};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Dense reference table: `ref[r][i]` = client `i`'s state at round `r`,
+/// computed by the eager twin in strict round order.
+fn eager_table(n: usize, f: f64, mean: f64, seed: u64, rounds: u32) -> Vec<Vec<bool>> {
+    let mut eager = AvailabilityTraceRef::new(n, f, mean, seed);
+    let mut table = Vec::with_capacity(rounds as usize);
+    for _ in 0..rounds {
+        table.push(eager.online().to_vec());
+        eager.advance();
+    }
+    table
+}
+
+proptest! {
+    /// Forward, round-ordered queries match the eager twin exactly.
+    #[test]
+    fn lazy_matches_eager_in_order(
+        n in 1usize..120,
+        f in 0.05f64..0.95,
+        mean in 1.0f64..40.0,
+        seed in 0u64..5_000,
+    ) {
+        let rounds = 30u32;
+        let table = eager_table(n, f, mean, seed, rounds);
+        let mut lazy = LazyAvailability::new(n, f, mean, seed);
+        for r in 0..rounds {
+            for (i, &expected) in table[r as usize].iter().enumerate() {
+                prop_assert_eq!(
+                    lazy.is_online(i, r),
+                    expected,
+                    "client {} round {} diverged", i, r
+                );
+            }
+        }
+    }
+
+    /// Adversarial touch orders — shuffled `(client, round)` pairs,
+    /// including backward jumps and repeats — still agree with the
+    /// round-ordered eager reference bit for bit.
+    #[test]
+    fn lazy_is_touch_order_independent(
+        n in 1usize..80,
+        f in 0.05f64..0.95,
+        mean in 1.0f64..40.0,
+        seed in 0u64..5_000,
+        order_seed in 0u64..1_000_000,
+    ) {
+        let rounds = 24u32;
+        let table = eager_table(n, f, mean, seed, rounds);
+        let mut order_rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+        let mut queries: Vec<(usize, u32)> = (0..n)
+            .flat_map(|i| (0..rounds).map(move |r| (i, r)))
+            .collect();
+        queries.shuffle(&mut order_rng);
+        // Repeat a random prefix to exercise re-query of settled cursors.
+        let extra: Vec<(usize, u32)> = (0..queries.len() / 3)
+            .map(|_| queries[order_rng.gen_range(0..queries.len())])
+            .collect();
+        queries.extend(extra);
+
+        let mut lazy = LazyAvailability::new(n, f, mean, seed);
+        for (i, r) in queries {
+            prop_assert_eq!(
+                lazy.is_online(i, r),
+                table[r as usize][i],
+                "client {} round {} diverged under shuffled touches", i, r
+            );
+        }
+    }
+
+    /// Two lazy instances over the same stream, driven in unrelated
+    /// orders, are interchangeable: lazy ≡ lazy regardless of history.
+    #[test]
+    fn two_lazy_instances_agree(
+        n in 1usize..80,
+        f in 0.05f64..0.95,
+        mean in 1.0f64..40.0,
+        seed in 0u64..5_000,
+        order_seed in 0u64..1_000_000,
+    ) {
+        let rounds = 24u32;
+        let mut forward = LazyAvailability::new(n, f, mean, seed);
+        let mut shuffled = LazyAvailability::new(n, f, mean, seed);
+        let mut queries: Vec<(usize, u32)> = (0..n)
+            .flat_map(|i| (0..rounds).map(move |r| (i, r)))
+            .collect();
+        let mut order_rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+        queries.shuffle(&mut order_rng);
+        for (i, r) in queries {
+            prop_assert_eq!(shuffled.is_online(i, r), forward.is_online(i, r));
+        }
+    }
+
+    /// The lazy process only materialises state for touched clients.
+    #[test]
+    fn untouched_clients_stay_unmaterialised(
+        n in 10usize..1000,
+        f in 0.05f64..0.95,
+        mean in 1.0f64..40.0,
+        seed in 0u64..5_000,
+    ) {
+        let mut lazy = LazyAvailability::new(n, f, mean, seed);
+        let touch = (n / 7).max(1);
+        for i in 0..touch {
+            let _ = lazy.is_online(i, 5);
+        }
+        prop_assert_eq!(lazy.touched(), touch);
+    }
+}

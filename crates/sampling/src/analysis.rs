@@ -226,7 +226,7 @@ mod tests {
         let mut round_of_watch: Vec<u32> = vec![0; n];
         let mut gaps: Vec<u32> = Vec::new();
         for t in 0..120_000u32 {
-            let draw = sampler.draw(&mut rng, c, fresh, None);
+            let draw = sampler.draw(&mut rng, c, fresh, &mut crate::AllOnline);
             for &cl in &draw.all() {
                 if let Some(start) = next_gap[cl].take() {
                     let _ = start;

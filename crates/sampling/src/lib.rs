@@ -17,17 +17,25 @@
 //! * [`analysis`] — closed forms of Propositions 1 and 2 (re-sampling
 //!   probability after `r` rounds) used to pick `S` and `C`.
 //!
+//! Samplers ask about client availability through the [`OnlineQuery`]
+//! trait instead of receiving a dense `&[bool]` snapshot, and draw fresh
+//! candidates by rejection from id space. A round therefore costs
+//! O(S + participants) — never a walk over the full population — which is
+//! what makes million-client rounds cheap. [`AllOnline`] and
+//! [`DenseOnline`] adapt the two common cases; any
+//! `FnMut(ClientId) -> bool` closure also works.
+//!
 //! # Example
 //!
 //! ```
-//! use gluefl_sampling::{StickySampler, sticky_weights};
+//! use gluefl_sampling::{AllOnline, StickySampler, sticky_weights};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! // N = 100 clients, sticky group of 20.
 //! let mut sampler = StickySampler::new(100, 20, &mut rng);
 //! // Draw C = 8 sticky + K−C = 2 fresh participants.
-//! let draw = sampler.draw(&mut rng, 8, 2, None);
+//! let draw = sampler.draw(&mut rng, 8, 2, &mut AllOnline);
 //! assert_eq!(draw.sticky.len(), 8);
 //! assert_eq!(draw.fresh.len(), 2);
 //! // After the round, evict 2 non-participants and admit the fresh ones.
@@ -44,11 +52,13 @@
 
 pub mod analysis;
 mod md;
+mod online;
 pub mod overcommit;
 mod sticky;
 mod uniform;
 
 pub use md::{InvalidWeightsError, MdSampler};
+pub use online::{AllOnline, DenseOnline, OnlineQuery};
 pub use sticky::{sticky_weights, StickyDraw, StickySampler, StickyWeights};
 pub use uniform::UniformSampler;
 

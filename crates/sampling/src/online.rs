@@ -1,0 +1,95 @@
+//! The availability seam between samplers and whatever tracks client
+//! presence.
+//!
+//! Samplers used to take a dense `Option<&[bool]>` of per-client online
+//! flags — which forces whoever plans a round to materialise O(N) state
+//! even when only O(participants) clients are ever looked at. The
+//! [`OnlineQuery`] trait inverts that: samplers *ask* about exactly the
+//! candidates they consider, so a lazy availability process (one that
+//! derives each client's on/off state on demand) is queried O(participants)
+//! times per round instead of being forced through an O(N) snapshot.
+
+use crate::ClientId;
+
+/// Answers "is client `id` online right now?" for a sampler.
+///
+/// Implementations may be stateful (`&mut self`): lazy availability
+/// processes advance per-client cursors on first touch. Queries must be
+/// *consistent* within one draw — repeated queries for the same client
+/// return the same answer — which every deterministic process satisfies.
+pub trait OnlineQuery {
+    /// Whether client `id` can participate.
+    fn is_online(&mut self, id: ClientId) -> bool;
+}
+
+/// Every client is online — the `None` of the old dense-slice API.
+///
+/// # Example
+/// ```
+/// use gluefl_sampling::{AllOnline, OnlineQuery};
+/// assert!(AllOnline.is_online(123));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllOnline;
+
+impl OnlineQuery for AllOnline {
+    fn is_online(&mut self, _id: ClientId) -> bool {
+        true
+    }
+}
+
+/// A dense per-client flag slice — the old `Some(&[bool])` API, for
+/// callers that already hold a population-wide snapshot (eager traces,
+/// tests).
+///
+/// # Example
+/// ```
+/// use gluefl_sampling::{DenseOnline, OnlineQuery};
+/// let flags = [true, false, true];
+/// let mut q = DenseOnline(&flags);
+/// assert!(q.is_online(0));
+/// assert!(!q.is_online(1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DenseOnline<'a>(pub &'a [bool]);
+
+impl OnlineQuery for DenseOnline<'_> {
+    fn is_online(&mut self, id: ClientId) -> bool {
+        self.0[id]
+    }
+}
+
+/// Closures are queries: pass `&mut |id| lazy.is_online(id, round)`.
+impl<F: FnMut(ClientId) -> bool> OnlineQuery for F {
+    fn is_online(&mut self, id: ClientId) -> bool {
+        self(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_adapter_queries_through() {
+        let mut calls = 0usize;
+        {
+            let mut q = |id: ClientId| {
+                calls += 1;
+                id.is_multiple_of(2)
+            };
+            assert!(q.is_online(4));
+            assert!(!q.is_online(3));
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn dense_adapter_panics_out_of_range() {
+        let flags = [true];
+        let mut q = DenseOnline(&flags);
+        assert!(q.is_online(0));
+        let _ = q.is_online(5);
+    }
+}

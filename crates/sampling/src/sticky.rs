@@ -1,5 +1,6 @@
 //! Sticky sampling (GlueFL §3.1, Algorithm 2).
 
+use crate::online::OnlineQuery;
 use crate::ClientId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -92,14 +93,22 @@ pub fn sticky_weights(n: usize, s: usize, c: usize, k: usize) -> StickyWeights {
 /// probability (Proposition 2) and hold nearly-current model state, which
 /// is what makes masking effective for downstream bandwidth.
 ///
+/// Per-round cost is O(S + participants), not O(N): the sticky pool is
+/// walked directly (it has `S ≈ 4K` members), fresh candidates are
+/// rejection-sampled from id space, and rebalancing edits the membership
+/// list in place instead of rebuilding it from a population scan. The
+/// per-client state is two flat SoA arrays — a membership bitmap and the
+/// sorted member list — so a million-client sampler is ~1 MB plus `S`
+/// ids.
+///
 /// # Example
 ///
 /// ```
-/// use gluefl_sampling::StickySampler;
+/// use gluefl_sampling::{AllOnline, StickySampler};
 /// use rand::SeedableRng;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let mut s = StickySampler::new(30, 8, &mut rng);
-/// let draw = s.draw(&mut rng, 4, 2, None);
+/// let draw = s.draw(&mut rng, 4, 2, &mut AllOnline);
 /// s.rebalance(&mut rng, &draw.sticky, &draw.fresh);
 /// // The fresh participants are now sticky.
 /// assert!(draw.fresh.iter().all(|&c| s.is_sticky(c)));
@@ -107,7 +116,9 @@ pub fn sticky_weights(n: usize, s: usize, c: usize, k: usize) -> StickyWeights {
 #[derive(Debug, Clone)]
 pub struct StickySampler {
     n: usize,
+    /// Flat membership bitmap, indexed by client id.
     in_sticky: Vec<bool>,
+    /// Sorted membership list (the paper's `S`).
     sticky: Vec<ClientId>,
 }
 
@@ -124,14 +135,28 @@ impl StickySampler {
             group_size > 0 && group_size <= n,
             "sticky group size {group_size} must be in 1..={n}"
         );
-        let mut ids: Vec<ClientId> = (0..n).collect();
-        let (chosen, _) = ids.partial_shuffle(rng, group_size);
-        let mut sticky = chosen.to_vec();
-        sticky.sort_unstable();
         let mut in_sticky = vec![false; n];
-        for &c in &sticky {
-            in_sticky[c] = true;
+        let mut sticky: Vec<ClientId>;
+        if group_size.saturating_mul(4) >= n {
+            // Dense init for small populations.
+            let mut ids: Vec<ClientId> = (0..n).collect();
+            let (chosen, _) = ids.partial_shuffle(rng, group_size);
+            sticky = chosen.to_vec();
+            for &c in &sticky {
+                in_sticky[c] = true;
+            }
+        } else {
+            // Rejection init: O(S) expected work, no O(N) id vector.
+            sticky = Vec::with_capacity(group_size);
+            while sticky.len() < group_size {
+                let id = rng.gen_range(0..n);
+                if !in_sticky[id] {
+                    in_sticky[id] = true;
+                    sticky.push(id);
+                }
+            }
         }
+        sticky.sort_unstable();
         Self {
             n,
             in_sticky,
@@ -167,33 +192,33 @@ impl StickySampler {
     }
 
     /// Draws `c` sticky and `fresh_count` non-sticky participants, without
-    /// replacement, restricted to `available` clients when provided.
+    /// replacement, restricted to online clients.
     ///
     /// If one group has fewer available candidates than requested, the
     /// deficit is made up from the other group when possible, so the total
     /// draw size is preserved unless the whole population is exhausted.
     /// Draws are sorted by client id within each group.
     ///
-    /// # Panics
-    /// Panics if `available` is provided with length `!= N`.
+    /// Cost is O(S + participants): the sticky pool is filtered directly
+    /// (S entries), and fresh candidates are rejection-sampled from
+    /// `0..N` — an id is kept unless sticky, offline, or already drawn —
+    /// falling back to an exact dense scan only when the fresh draw is a
+    /// large fraction of the non-sticky population or availability is too
+    /// sparse for rejection to land.
     #[must_use]
     pub fn draw<R: Rng>(
         &self,
         rng: &mut R,
         c: usize,
         fresh_count: usize,
-        available: Option<&[bool]>,
+        online: &mut dyn OnlineQuery,
     ) -> StickyDraw {
-        if let Some(a) = available {
-            assert_eq!(a.len(), self.n, "availability vector length mismatch");
-        }
-        let ok = |i: ClientId| available.is_none_or(|a| a[i]);
-        let mut sticky_pool: Vec<ClientId> =
-            self.sticky.iter().copied().filter(|&i| ok(i)).collect();
-        let mut fresh_pool: Vec<ClientId> = (0..self.n)
-            .filter(|&i| !self.in_sticky[i] && ok(i))
+        let mut sticky_pool: Vec<ClientId> = self
+            .sticky
+            .iter()
+            .copied()
+            .filter(|&i| online.is_online(i))
             .collect();
-
         let take_sticky = c.min(sticky_pool.len());
         let (s_picked, _) = sticky_pool.partial_shuffle(rng, take_sticky);
         let mut sticky: Vec<ClientId> = s_picked.to_vec();
@@ -201,9 +226,7 @@ impl StickySampler {
         // Make up any sticky deficit from the fresh pool and vice versa.
         let deficit = c - sticky.len();
         let want_fresh = fresh_count + deficit;
-        let take_fresh = want_fresh.min(fresh_pool.len());
-        let (f_picked, _) = fresh_pool.partial_shuffle(rng, take_fresh);
-        let mut fresh: Vec<ClientId> = f_picked.to_vec();
+        let fresh = self.draw_fresh(rng, want_fresh, online);
 
         if fresh.len() < want_fresh {
             // Fresh pool exhausted: top up from remaining sticky clients.
@@ -212,7 +235,7 @@ impl StickySampler {
                 .sticky
                 .iter()
                 .copied()
-                .filter(|&i| ok(i) && !sticky.contains(&i))
+                .filter(|&i| !sticky.contains(&i) && online.is_online(i))
                 .collect();
             let take = short.min(rest.len());
             let (extra, _) = rest.partial_shuffle(rng, take);
@@ -220,8 +243,47 @@ impl StickySampler {
         }
 
         sticky.sort_unstable();
-        fresh.sort_unstable();
         StickyDraw { sticky, fresh }
+    }
+
+    /// Draws up to `want` distinct online non-sticky clients, sorted.
+    fn draw_fresh<R: Rng>(
+        &self,
+        rng: &mut R,
+        want: usize,
+        online: &mut dyn OnlineQuery,
+    ) -> Vec<ClientId> {
+        if want == 0 {
+            return Vec::new();
+        }
+        let outside = self.n - self.sticky.len();
+        if want.saturating_mul(4) < outside {
+            let mut fresh: Vec<ClientId> = Vec::with_capacity(want);
+            let budget = 16 * want + 64;
+            for _ in 0..budget {
+                if fresh.len() == want {
+                    return fresh; // sorted by construction
+                }
+                let id = rng.gen_range(0..self.n);
+                if self.in_sticky[id] {
+                    continue;
+                }
+                if let Err(pos) = fresh.binary_search(&id) {
+                    if online.is_online(id) {
+                        fresh.insert(pos, id);
+                    }
+                }
+            }
+            // Budget exhausted: redraw exactly via the dense scan.
+        }
+        let mut pool: Vec<ClientId> = (0..self.n)
+            .filter(|&i| !self.in_sticky[i] && online.is_online(i))
+            .collect();
+        let take = want.min(pool.len());
+        let (picked, _) = pool.partial_shuffle(rng, take);
+        let mut fresh = picked.to_vec();
+        fresh.sort_unstable();
+        fresh
     }
 
     /// Post-round rebalancing (Algorithm 2 lines 20–21): each admitted
@@ -262,13 +324,20 @@ impl StickySampler {
         for &c in admitted {
             self.in_sticky[c] = true;
         }
-        self.sticky = (0..self.n).filter(|&i| self.in_sticky[i]).collect();
+        // Edit the membership list in place — O(S log S), not an O(N) scan.
+        let Self {
+            sticky, in_sticky, ..
+        } = self;
+        sticky.retain(|&c| in_sticky[c]);
+        sticky.extend_from_slice(admitted);
+        sticky.sort_unstable();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::{AllOnline, DenseOnline};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -293,7 +362,7 @@ mod tests {
     fn draw_respects_group_membership() {
         let (sm, mut rng) = sampler(2, 60, 15);
         for _ in 0..50 {
-            let d = sm.draw(&mut rng, 6, 4, None);
+            let d = sm.draw(&mut rng, 6, 4, &mut AllOnline);
             assert_eq!(d.len(), 10);
             assert!(d.sticky.iter().all(|&c| sm.is_sticky(c)));
             assert!(d.fresh.iter().all(|&c| !sm.is_sticky(c)));
@@ -309,7 +378,7 @@ mod tests {
     fn rebalance_keeps_size_and_admits_fresh() {
         let (mut sm, mut rng) = sampler(3, 40, 10);
         for _ in 0..100 {
-            let d = sm.draw(&mut rng, 4, 3, None);
+            let d = sm.draw(&mut rng, 4, 3, &mut AllOnline);
             sm.rebalance(&mut rng, &d.sticky, &d.fresh);
             assert_eq!(sm.group_size(), 10);
             assert!(d.fresh.iter().all(|&c| sm.is_sticky(c)));
@@ -321,7 +390,7 @@ mod tests {
     #[test]
     fn rebalance_with_partial_participation() {
         let (mut sm, mut rng) = sampler(4, 40, 10);
-        let d = sm.draw(&mut rng, 5, 5, None);
+        let d = sm.draw(&mut rng, 5, 5, &mut AllOnline);
         // Only 2 fresh clients were fast enough to be admitted.
         let admitted = &d.fresh[..2];
         sm.rebalance(&mut rng, &d.sticky[..3], admitted);
@@ -334,7 +403,7 @@ mod tests {
         let (sm, mut rng) = sampler(5, 30, 10);
         // Only even-numbered clients are online.
         let avail: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
-        let d = sm.draw(&mut rng, 3, 3, Some(&avail));
+        let d = sm.draw(&mut rng, 3, 3, &mut DenseOnline(&avail));
         assert!(d.all().iter().all(|&c| c % 2 == 0));
     }
 
@@ -342,7 +411,7 @@ mod tests {
     fn draw_tops_up_from_other_group_when_short() {
         let (sm, mut rng) = sampler(6, 20, 19);
         // Only 1 non-sticky client exists; ask for 3 fresh.
-        let d = sm.draw(&mut rng, 2, 3, None);
+        let d = sm.draw(&mut rng, 2, 3, &mut AllOnline);
         // Total preserved: deficit covered by extra sticky clients.
         assert_eq!(d.len(), 5);
         assert_eq!(d.fresh.len(), 1);
@@ -381,7 +450,7 @@ mod tests {
     fn long_run_membership_is_consistent() {
         let (mut sm, mut rng) = sampler(8, 100, 20);
         for _ in 0..500 {
-            let d = sm.draw(&mut rng, 16, 4, None);
+            let d = sm.draw(&mut rng, 16, 4, &mut AllOnline);
             sm.rebalance(&mut rng, &d.sticky, &d.fresh);
             let flags = (0..100).filter(|&i| sm.is_sticky(i)).count();
             assert_eq!(flags, 20);
@@ -401,7 +470,7 @@ mod tests {
         let mut observations = 0usize;
         let mut watch: Option<ClientId> = None;
         for _ in 0..6000 {
-            let d = sm.draw(&mut rng, c, fresh, None);
+            let d = sm.draw(&mut rng, c, fresh, &mut AllOnline);
             if let Some(w) = watch {
                 observations += 1;
                 if d.sticky.contains(&w) {

@@ -1,24 +1,33 @@
 //! Uniform client sampling without replacement (FedAvg, §2.1).
 
+use crate::online::OnlineQuery;
 use crate::ClientId;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Samples `K` of `N` clients uniformly at random, without replacement,
-/// optionally restricted to currently-available clients.
+/// restricted to currently-online clients.
 ///
 /// This is the client-sampling rule of FedAvg with partial participation:
 /// every client is included in a round with probability `K/N`, so a client
 /// is re-sampled every `N/K` rounds in expectation (Proposition 1).
 ///
+/// For `K ≪ N` the draw is *rejection-based*: candidate ids are drawn
+/// directly from `0..N` and kept unless offline or already picked, which
+/// costs O(K/f) expected work (`f` = online fraction) and touches only the
+/// clients it considers — never the whole population. When `K` is a large
+/// fraction of `N`, or rejection keeps missing (very sparse availability),
+/// the draw falls back to the dense scan; both paths sample the same
+/// uniform-without-replacement distribution.
+///
 /// # Example
 ///
 /// ```
-/// use gluefl_sampling::UniformSampler;
+/// use gluefl_sampling::{AllOnline, UniformSampler};
 /// use rand::SeedableRng;
 /// let sampler = UniformSampler::new(50);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let picked = sampler.draw(&mut rng, 10, None);
+/// let picked = sampler.draw(&mut rng, 10, &mut AllOnline);
 /// assert_eq!(picked.len(), 10);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,22 +52,56 @@ impl UniformSampler {
         self.n
     }
 
-    /// Draws `k` distinct clients uniformly at random.
-    ///
-    /// When `available` is provided (length `N`, `true` = reachable), only
-    /// available clients are candidates; if fewer than `k` are available,
-    /// all of them are returned. The result is sorted by client id.
-    ///
-    /// # Panics
-    /// Panics if `available` is provided with length `!= N`.
+    /// Draws `k` distinct online clients uniformly at random; if fewer
+    /// than `k` are online, all of them are returned. The result is sorted
+    /// by client id.
     #[must_use]
-    pub fn draw<R: Rng>(&self, rng: &mut R, k: usize, available: Option<&[bool]>) -> Vec<ClientId> {
-        if let Some(a) = available {
-            assert_eq!(a.len(), self.n, "availability vector length mismatch");
+    pub fn draw<R: Rng>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        online: &mut dyn OnlineQuery,
+    ) -> Vec<ClientId> {
+        if k == 0 {
+            return Vec::new();
         }
-        let mut candidates: Vec<ClientId> = (0..self.n)
-            .filter(|&i| available.is_none_or(|a| a[i]))
-            .collect();
+        // Dense path when the draw is a large fraction of the population:
+        // rejection would mostly hit duplicates.
+        if k.saturating_mul(4) >= self.n {
+            return self.draw_dense(rng, k, online);
+        }
+        let mut picked: Vec<ClientId> = Vec::with_capacity(k);
+        // Expected attempts ≈ k/f; the budget covers online fractions down
+        // to ~1/16 before falling back to the exact dense scan.
+        let budget = 16 * k + 64;
+        for _ in 0..budget {
+            if picked.len() == k {
+                break;
+            }
+            let id = rng.gen_range(0..self.n);
+            if let Err(pos) = picked.binary_search(&id) {
+                if online.is_online(id) {
+                    picked.insert(pos, id);
+                }
+            }
+        }
+        if picked.len() < k {
+            // Budget exhausted — availability is too sparse for rejection.
+            // Redraw exactly via the dense scan (still uniform).
+            return self.draw_dense(rng, k, online);
+        }
+        picked // sorted by construction
+    }
+
+    /// Exact O(N) draw: materialise the online candidates and
+    /// partial-shuffle. Fallback for dense draws and sparse availability.
+    fn draw_dense<R: Rng>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        online: &mut dyn OnlineQuery,
+    ) -> Vec<ClientId> {
+        let mut candidates: Vec<ClientId> = (0..self.n).filter(|&i| online.is_online(i)).collect();
         let take = k.min(candidates.len());
         let (picked, _) = candidates.partial_shuffle(rng, take);
         let mut picked = picked.to_vec();
@@ -70,6 +113,7 @@ impl UniformSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::{AllOnline, DenseOnline};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -77,10 +121,21 @@ mod tests {
     fn draws_k_distinct_sorted() {
         let s = UniformSampler::new(100);
         let mut rng = StdRng::seed_from_u64(3);
-        let picked = s.draw(&mut rng, 30, None);
+        let picked = s.draw(&mut rng, 30, &mut AllOnline);
         assert_eq!(picked.len(), 30);
         assert!(picked.windows(2).all(|w| w[0] < w[1]));
         assert!(picked.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn rejection_path_draws_k_distinct_sorted() {
+        // k·4 < n forces the rejection path.
+        let s = UniformSampler::new(10_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = s.draw(&mut rng, 30, &mut AllOnline);
+        assert_eq!(picked.len(), 30);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        assert!(picked.iter().all(|&c| c < 10_000));
     }
 
     #[test]
@@ -89,9 +144,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let avail: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
         for _ in 0..20 {
-            let picked = s.draw(&mut rng, 3, Some(&avail));
+            let picked = s.draw(&mut rng, 3, &mut DenseOnline(&avail));
             assert!(picked.iter().all(|&c| c % 2 == 0));
         }
+    }
+
+    #[test]
+    fn rejection_respects_sparse_availability_via_fallback() {
+        // 1% online at N = 2000: rejection exhausts its budget and the
+        // dense fallback still returns exactly the online clients.
+        let s = UniformSampler::new(2_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let avail: Vec<bool> = (0..2_000).map(|i| i % 100 == 0).collect();
+        let picked = s.draw(&mut rng, 25, &mut DenseOnline(&avail));
+        assert!(picked.iter().all(|&c| c % 100 == 0));
+        assert_eq!(picked.len(), 20); // only 20 are online
     }
 
     #[test]
@@ -100,49 +167,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut avail = vec![false; 10];
         avail[4] = true;
-        assert_eq!(s.draw(&mut rng, 5, Some(&avail)), vec![4]);
+        assert_eq!(s.draw(&mut rng, 5, &mut DenseOnline(&avail)), vec![4]);
     }
 
     #[test]
     fn k_zero_is_empty() {
         let s = UniformSampler::new(5);
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(s.draw(&mut rng, 0, None).is_empty());
+        assert!(s.draw(&mut rng, 0, &mut AllOnline).is_empty());
     }
 
     #[test]
     fn k_over_population_returns_everyone() {
         let s = UniformSampler::new(5);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(s.draw(&mut rng, 50, None), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.draw(&mut rng, 50, &mut AllOnline), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn inclusion_frequency_is_k_over_n() {
-        // Empirical check of the K/N inclusion probability.
-        let s = UniformSampler::new(40);
+        // Empirical check of the K/N inclusion probability, on the
+        // rejection path (k·4 < n).
+        let s = UniformSampler::new(60);
         let mut rng = StdRng::seed_from_u64(9);
         let rounds = 4000;
-        let mut hits = vec![0usize; 40];
+        let mut hits = vec![0usize; 60];
         for _ in 0..rounds {
-            for c in s.draw(&mut rng, 10, None) {
+            for c in s.draw(&mut rng, 10, &mut AllOnline) {
                 hits[c] += 1;
             }
         }
         for (c, &h) in hits.iter().enumerate() {
             let freq = h as f64 / rounds as f64;
             assert!(
-                (freq - 0.25).abs() < 0.05,
-                "client {c} frequency {freq} deviates from 0.25"
+                (freq - 10.0 / 60.0).abs() < 0.05,
+                "client {c} frequency {freq} deviates from {}",
+                10.0 / 60.0
             );
         }
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn availability_length_mismatch_panics() {
-        let s = UniformSampler::new(5);
-        let mut rng = StdRng::seed_from_u64(0);
-        let _ = s.draw(&mut rng, 2, Some(&[true; 4]));
+    fn draw_is_deterministic_per_rng_state() {
+        let s = UniformSampler::new(5_000);
+        let a = s.draw(&mut StdRng::seed_from_u64(4), 12, &mut AllOnline);
+        let b = s.draw(&mut StdRng::seed_from_u64(4), 12, &mut AllOnline);
+        assert_eq!(a, b);
     }
 }

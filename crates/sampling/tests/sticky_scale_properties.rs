@@ -1,0 +1,106 @@
+//! Sticky-sampler invariants at population scale.
+//!
+//! These properties run at N = 10⁵ with tiny participant counts — the
+//! regime the O(S + participants) draw path is built for. They pin the
+//! structural invariants that must survive the rejection-sampled fast
+//! path: constant group size, disjoint sticky/fresh draws, no duplicate
+//! invites, membership consistency after rebalancing, and a per-round
+//! membership change bounded by the admitted count.
+
+use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
+use gluefl_sampling::{AllOnline, DenseOnline, StickySampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 100_000;
+
+proptest! {
+    /// Draws are disjoint, duplicate-free, correctly grouped, and sized.
+    #[test]
+    fn draw_invariants_at_scale(
+        seed in 0u64..1_000,
+        s in 40usize..200,
+        c in 1usize..32,
+        fresh in 0usize..16,
+    ) {
+        let c = c.min(s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = StickySampler::new(N, s, &mut rng);
+        let d = sampler.draw(&mut rng, c, fresh, &mut AllOnline);
+        prop_assert_eq!(d.sticky.len(), c);
+        prop_assert_eq!(d.fresh.len(), fresh);
+        prop_assert!(d.sticky.iter().all(|&i| sampler.is_sticky(i)));
+        prop_assert!(d.fresh.iter().all(|&i| !sampler.is_sticky(i)));
+        let mut all = d.all();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), c + fresh, "duplicate invites");
+    }
+
+    /// Over many rounds of draw + rebalance the group size stays constant,
+    /// the bitmap and the member list agree, and at most `admitted` members
+    /// change per round.
+    #[test]
+    fn rebalance_invariants_at_scale(
+        seed in 0u64..500,
+        s in 60usize..160,
+        rounds in 1usize..12,
+    ) {
+        let (c, fresh) = (24usize.min(s), 6usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = StickySampler::new(N, s, &mut rng);
+        for _ in 0..rounds {
+            let before: Vec<usize> = sampler.sticky_group().to_vec();
+            let d = sampler.draw(&mut rng, c, fresh, &mut AllOnline);
+            sampler.rebalance(&mut rng, &d.sticky, &d.fresh);
+            prop_assert_eq!(sampler.group_size(), s);
+            // List is sorted, duplicate-free, and matches the bitmap.
+            let list = sampler.sticky_group();
+            prop_assert!(list.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(list.iter().all(|&i| sampler.is_sticky(i)));
+            // Change fraction: exactly the admitted clients entered, and
+            // as many left; everyone who participated stayed.
+            let entered = list.iter().filter(|i| !before.contains(i)).count();
+            prop_assert_eq!(entered, d.fresh.len());
+            prop_assert!(d.sticky.iter().all(|&i| sampler.is_sticky(i)));
+        }
+    }
+
+    /// With sparse availability the draw returns only online clients and
+    /// still never duplicates or mixes groups.
+    #[test]
+    fn sparse_availability_at_scale(
+        seed in 0u64..300,
+        stride in 2usize..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = StickySampler::new(N, 120, &mut rng);
+        let online: Vec<bool> = (0..N).map(|i| i % stride == 0).collect();
+        let d = sampler.draw(&mut rng, 24, 6, &mut DenseOnline(&online));
+        prop_assert!(d.all().iter().all(|&i| i % stride == 0));
+        let mut all = d.all();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), d.len());
+    }
+
+    /// Over-commitment plans always invite at least what they keep and
+    /// keep exactly the round size.
+    #[test]
+    fn oc_plan_invariants(
+        k in 1usize..200,
+        c_frac in 0.0f64..1.0,
+        oc in 1.0f64..2.0,
+    ) {
+        let c = ((k as f64 * c_frac) as usize).min(k);
+        for strat in [OcStrategy::Proportional, OcStrategy::StickyFraction(0.3)] {
+            let p = oc_plan(k, c, oc, strat);
+            prop_assert!(p.sticky_invites >= p.keep_sticky);
+            prop_assert!(p.fresh_invites >= p.keep_fresh);
+            prop_assert_eq!(p.total_keep(), k);
+            prop_assert_eq!(p.keep_sticky, c);
+            prop_assert!(p.total_invites() >= (k as f64 * oc) as usize);
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! cargo run --release --example availability_patterns
 //! ```
 
-use gluefl_net::{AvailabilityTrace, DiurnalAvailability};
-use gluefl_sampling::StickySampler;
+use gluefl_net::{AvailabilityTraceRef, DiurnalAvailability};
+use gluefl_sampling::{DenseOnline, StickySampler};
 use gluefl_tensor::rng::seeded_rng;
 
 fn main() {
@@ -24,13 +24,13 @@ fn main() {
     // Steady Markov churn (the simulator's default).
     {
         let mut rng = seeded_rng(1, "steady", 0);
-        let mut trace = AvailabilityTrace::new(n, 0.8, 40.0, &mut rng);
+        let mut trace = AvailabilityTraceRef::new(n, 0.8, 40.0, 1);
         let mut sampler = StickySampler::new(n, s, &mut rng);
         let (mut online_sum, mut shortfall, mut short_rounds) = (0usize, 0usize, 0usize);
         for _ in 0..rounds {
-            trace.advance(&mut rng);
+            trace.advance();
             online_sum += trace.online().iter().filter(|&&b| b).count();
-            let draw = sampler.draw(&mut rng, c, fresh, Some(trace.online()));
+            let draw = sampler.draw(&mut rng, c, fresh, &mut DenseOnline(trace.online()));
             if draw.sticky.len() < c {
                 shortfall += c - draw.sticky.len();
                 short_rounds += 1;
@@ -55,7 +55,7 @@ fn main() {
         for _ in 0..rounds {
             trace.advance(&mut rng);
             online_sum += trace.online().iter().filter(|&&b| b).count();
-            let draw = sampler.draw(&mut rng, c, fresh, Some(trace.online()));
+            let draw = sampler.draw(&mut rng, c, fresh, &mut DenseOnline(trace.online()));
             if draw.sticky.len() < c {
                 shortfall += c - draw.sticky.len();
                 short_rounds += 1;

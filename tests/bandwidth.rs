@@ -152,6 +152,48 @@ fn gluefl_mask_bitmap_is_charged() {
 }
 
 #[test]
+fn lazy_links_match_eager_distribution() {
+    // The on-demand `link_for` path must sample the same population as
+    // the eager `sample_links` scan: same left tail, same medians, same
+    // down/up correlation. (The streams differ — per-client counter-based
+    // vs one shared sequence — so the pin is distributional, at n where
+    // the statistics are tight.)
+    use gluefl_net::NetworkProfile;
+    use rand::SeedableRng;
+    let n = 20_000usize;
+    let profile = NetworkProfile::MlabEdge;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let eager = profile.sample_links(&mut rng, n);
+    let lazy: Vec<gluefl_net::ClientLink> = (0..n).map(|i| profile.link_for(99, i)).collect();
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let e_med = median(eager.iter().map(|l| l.down_mbps).collect());
+    let l_med = median(lazy.iter().map(|l| l.down_mbps).collect());
+    assert!(
+        (l_med / e_med - 1.0).abs() < 0.1,
+        "down median diverged: lazy {l_med:.1} vs eager {e_med:.1}"
+    );
+    let e_up = median(eager.iter().map(|l| l.up_mbps).collect());
+    let l_up = median(lazy.iter().map(|l| l.up_mbps).collect());
+    assert!(
+        (l_up / e_up - 1.0).abs() < 0.1,
+        "up median diverged: lazy {l_up:.1} vs eager {e_up:.1}"
+    );
+    // Left tail (≤ 10 Mbps fraction) — the slice that drives stragglers.
+    let tail = |ls: &[gluefl_net::ClientLink]| {
+        ls.iter().filter(|l| l.down_mbps <= 10.0).count() as f64 / ls.len() as f64
+    };
+    let (e_tail, l_tail) = (tail(&eager), tail(&lazy));
+    assert!(
+        (e_tail - l_tail).abs() < 0.02,
+        "left tail diverged: lazy {l_tail:.3} vs eager {e_tail:.3}"
+    );
+}
+
+#[test]
 fn round_time_reflects_network_profile() {
     use gluefl_net::NetworkProfile;
     let mk = |profile| {

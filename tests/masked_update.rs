@@ -46,7 +46,7 @@ fn assert_masked_apply_matches_dense_reference(mut strategy: Box<dyn Strategy>, 
     let mut params_ref = params_masked.clone();
 
     for round in 0..ROUNDS {
-        let plan = strategy.plan_round(round, &mut rng, &[true; N]);
+        let plan = strategy.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
         let mut kept: Vec<(usize, gluefl_core::strategies::Group, Upload)> = Vec::new();
         for (id, group) in plan.invited() {
             // Trainable random delta with BN-statistic positions zeroed,

@@ -50,7 +50,7 @@ fn gluefl_aggregate_is_unbiased_monte_carlo() {
     let mut acc = vec![0.0f64; n];
     let mut pool = ScratchPool::new();
     for round in 0..trials {
-        let plan = strategy.plan_round(round, &mut rng, &vec![true; n]);
+        let plan = strategy.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
         let mut kept = Vec::new();
         for (id, group) in plan.invited() {
             let mut delta = vec![0.0f32; n];
@@ -109,7 +109,7 @@ fn equal_weights_are_biased_toward_sticky_clients() {
     let mut total_mass = 0.0f64;
     for round in 0..trials {
         let was_sticky: Vec<bool> = (0..n).map(|i| strategy.sampler().is_sticky(i)).collect();
-        let plan = strategy.plan_round(round, &mut rng, &vec![true; n]);
+        let plan = strategy.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
         let mut kept = Vec::new();
         for (id, group) in plan.invited() {
             let mut delta = vec![0.0f32; n];
