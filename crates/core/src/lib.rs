@@ -56,6 +56,7 @@ pub mod scratch;
 mod simulator;
 mod staleness;
 pub mod strategies;
+pub mod stream;
 pub mod theory;
 pub mod wire_link;
 

@@ -8,14 +8,18 @@
 //! 2. every invited client downloads the positions it is stale on
 //!    (§2.3's partial synchronisation) plus any strategy mask, trains `E`
 //!    local SGD steps, and uploads its compressed delta — all invited
-//!    clients' bytes count toward the volume metrics, kept or not;
+//!    clients' bytes count toward the volume metrics, kept or not (the
+//!    exact frame lengths are *predicted* from each upload's shape, so
+//!    nothing is serialized before the keep decision);
 //! 3. the fastest `C` sticky / `K−C` fresh finishers are kept; the round's
 //!    wall-clock time is the slowest kept client;
-//! 4. trainable positions are aggregated by the strategy into a
-//!    [`gluefl_tensor::MaskedUpdate`] (support mask + packed values) and
-//!    applied with the word-level scatter / masked-AXPY kernels — only
-//!    the covered positions are touched; BatchNorm statistics are
-//!    aggregated with a plain `1/K` mean (Appendix D) and added directly;
+//! 4. kept uploads — and only kept uploads — are serialized, decoded, and
+//!    folded one at a time through the [`crate::stream::StreamingAggregator`]
+//!    into the round's [`gluefl_tensor::MaskedUpdate`] (support mask +
+//!    packed values), which is applied with the word-level scatter /
+//!    masked-AXPY kernels — only the covered positions are touched;
+//!    BatchNorm statistics are aggregated with a plain `1/K` mean
+//!    (Appendix D) and added directly;
 //! 5. the staleness tracker records which positions changed (scanned from
 //!    the update's mask, not a dense walk).
 //!
@@ -317,22 +321,28 @@ impl Simulation {
         self.stats_saved = stats_saved;
         self.global_buf = global;
 
-        // --- Compression + wire serialization + accounting + timing. ---
-        // Deltas are compressed in place (no per-client dense clone) and
-        // every upload — plus its BN-statistic values — is serialized
-        // into real wire frames with the configured codec. The encoded
-        // bytes are the round's measured upload volume and drive the
-        // transfer times; the frames themselves are held (in pooled
-        // arenas) until the keep selection below, because only kept
-        // uploads are ever decoded — a real server drops the
-        // over-committed remainder unread. Under the default F32 codec
-        // the measured frame bytes equal the analytic model
-        // (debug-asserted per client, pinned end-to-end by the
-        // `wire_roundtrip` suite); the lossy codecs shrink the measured
-        // bytes at a bounded accuracy cost.
+        // --- Compression + predicted wire accounting + timing. ---
+        // Deltas are compressed in place (no per-client dense clone), but
+        // nothing is serialized yet: every wire frame's length depends
+        // only on its shape (kind, codec, dim, nnz), never its values, so
+        // each client's exact upload byte count is *predicted* from the
+        // compressed upload ([`wire_link::encoded_len`]) plus the round's
+        // BN-statistic frame length. The predictions are the round's
+        // measured upload volume and drive the transfer times, and the
+        // keep selection below runs before a single frame is encoded —
+        // the information order of a real server, which learns offered
+        // lengths before any upload bytes arrive. Dropped clients are
+        // never serialized (let alone decoded); their pooled buffers go
+        // straight back. Under the default F32 codec the predicted bytes
+        // equal the analytic model (debug-asserted per client, pinned
+        // end-to-end by the `wire_roundtrip` suite); the lossy codecs
+        // shrink the measured bytes at a bounded accuracy cost.
         let stats_upload_bytes = stats_len as u64 * 4 + HEADER_BYTES;
         let codec = self.cfg.wire_codec;
-        let mut wire_frames: Vec<(Vec<u8>, usize)> = Vec::with_capacity(invited.len());
+        let stats_frame_len =
+            gluefl_wire::frame_len(gluefl_wire::FrameKind::KnownMask, codec, dim, stats_len);
+        let mut uploads: Vec<Option<Upload>> = Vec::with_capacity(invited.len());
+        let mut wire_lens: Vec<u64> = Vec::with_capacity(invited.len());
         let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
         let mut up_bytes_total = 0u64;
         let mut wire_up_total = 0u64;
@@ -342,38 +352,13 @@ impl Simulation {
                 .strategy
                 .compress(round, id, group, delta, &mut self.scratch);
             let analytic_up = upload.bytes() + stats_upload_bytes;
-
-            // Serialize: upload frames, then the BN-statistic known-mask
-            // frame (the server knows the statistic positions). The
-            // quantization seed derives from (seed, round, client), so
-            // encoding is independent of thread schedule and rerun-stable.
-            let mut wbuf = self.scratch.take_bytes();
-            let client_key = (u64::from(round) << 32) | id as u64;
-            let ulen = wire_link::encode_upload(
-                &upload,
-                round,
-                codec,
-                derive_seed(self.cfg.seed, "wire-quant", client_key),
-                &mut wbuf,
-            );
-            let slen = gluefl_wire::encode_known_mask(
-                &mut wbuf,
-                round,
-                codec,
-                wire_link::rounding_for(
-                    codec,
-                    derive_seed(self.cfg.seed, "wire-quant-stats", client_key),
-                ),
-                dim,
-                &self.stats_saved[i * stats_len..(i + 1) * stats_len],
-            );
-            let wire_up = (ulen + slen) as u64;
+            let wire_up = wire_link::encoded_len(&upload, codec) + stats_frame_len;
             debug_assert!(
                 codec != gluefl_wire::Codec::F32 || wire_up == analytic_up,
-                "F32 measured bytes {wire_up} diverged from analytic {analytic_up}"
+                "F32 predicted bytes {wire_up} diverged from analytic {analytic_up}"
             );
-            wire_frames.push((wbuf, ulen));
-            self.scratch.reclaim_upload(upload);
+            uploads.push(Some(upload));
+            wire_lens.push(wire_up);
 
             up_bytes_total += analytic_up;
             wire_up_total += wire_up;
@@ -406,39 +391,77 @@ impl Simulation {
             .collect();
         rec.kept = kept_idx.len();
 
-        // --- Deserialize the kept uploads and aggregate. ---
-        // The aggregation input is what the wire delivered, not what the
-        // clients computed; each kept client's BN-statistic values are
-        // likewise replaced by their decoded frame. Dropped clients'
-        // frames were measured above but are never decoded.
-        let mut kept_uploads: Vec<(usize, Group, Upload)> = Vec::with_capacity(kept_idx.len());
+        // --- Serialize, deserialize, and fold kept uploads as a stream. ---
+        // Only kept uploads ever touch the codec. Each one is encoded
+        // into a pooled arena (the quantization seed derives from
+        // (seed, round, client), so encoding is rerun-stable and
+        // independent of processing order), decoded through the same
+        // grammar a network server applies to arriving bytes
+        // ([`wire_link::decode_upload_with_stats`]), and handed to the
+        // [`StreamingAggregator`], which folds it into the round's
+        // partial sums the moment its turn comes. The aggregation input
+        // is what the wire delivered, not what the clients computed, and
+        // each kept client's BN-statistic values are likewise replaced by
+        // their decoded frame. Arrivals run in keep-selection order —
+        // which is *not* client-id order — so the gate's parking path is
+        // exercised every round; there is no collect-then-aggregate
+        // staging of decoded uploads, the strategy consumes each on the
+        // spot and its buffers go back to the pool.
+        let kept_pairs: Vec<(usize, Group)> = kept_idx.iter().map(|&i| invited[i]).collect();
+        let mut gate = crate::stream::StreamingAggregator::begin(
+            round,
+            &kept_pairs,
+            &mut *self.strategy,
+            &mut self.scratch,
+        );
         for &i in &kept_idx {
-            let (wbuf, ulen) = &wire_frames[i];
-            let decoded = wire_link::decode_upload(
-                &wbuf[..*ulen],
+            let (id, _) = invited[i];
+            let upload = uploads[i].take().expect("kept indices are unique");
+            let mut wbuf = self.scratch.take_bytes();
+            let client_key = (u64::from(round) << 32) | id as u64;
+            let ulen = wire_link::encode_upload(
+                &upload,
+                round,
+                codec,
+                derive_seed(self.cfg.seed, "wire-quant", client_key),
+                &mut wbuf,
+            );
+            let slen = gluefl_wire::encode_known_mask(
+                &mut wbuf,
+                round,
+                codec,
+                wire_link::rounding_for(
+                    codec,
+                    derive_seed(self.cfg.seed, "wire-quant-stats", client_key),
+                ),
+                dim,
+                &self.stats_saved[i * stats_len..(i + 1) * stats_len],
+            );
+            debug_assert_eq!(
+                (ulen + slen) as u64,
+                wire_lens[i],
+                "encoded frame bytes diverged from the predicted length"
+            );
+            self.scratch.reclaim_upload(upload);
+            let (decoded, stats_frame) = wire_link::decode_upload_with_stats(
+                &wbuf,
                 self.strategy.round_mask(round),
                 &mut self.scratch,
             )
             .expect("in-process wire round-trip cannot corrupt");
-            let stats_frame = gluefl_wire::decode_frame(&wbuf[*ulen..])
-                .expect("in-process wire round-trip cannot corrupt");
             let mut stats_back = self.scratch.take_cleared();
             stats_frame.values_into(&mut stats_back);
             self.stats_saved[i * stats_len..(i + 1) * stats_len].copy_from_slice(&stats_back);
             self.scratch.put(stats_back);
-            kept_uploads.push((invited[i].0, invited[i].1, decoded));
-        }
-        for (wbuf, _) in wire_frames {
+            gate.accept(&mut *self.strategy, id, decoded, &mut self.scratch)
+                .expect("keep set admits each kept client exactly once");
             self.scratch.put_bytes(wbuf);
         }
-        kept_uploads.sort_by_key(|(id, _, _)| *id);
-        let update = self
-            .strategy
-            .aggregate(round, &kept_uploads, &mut self.scratch);
+        let update = gate.finish(&mut *self.strategy, &mut self.scratch);
 
-        // The strategy has consumed the uploads; recycle their buffers
-        // so next round's decode is allocation-free.
-        for (_, _, upload) in kept_uploads {
+        // Dropped clients' uploads were measured (predicted) above but
+        // never encoded; recycle their pooled buffers.
+        for upload in uploads.into_iter().flatten() {
             self.scratch.reclaim_upload(upload);
         }
 

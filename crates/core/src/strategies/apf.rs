@@ -1,8 +1,8 @@
 //! APF: Adaptive Parameter Freezing as a server masking strategy
 //! (Chen et al. 2021; the paper's parameter-freezing baseline).
 
-use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::accumulate_weighted_values;
+use super::{bitmap_bytes, FoldAcc, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_into, accumulate_weighted_values};
 use crate::scratch::ScratchPool;
 use gluefl_compress::{Apf, ApfConfig};
 use gluefl_sampling::{ClientId, OnlineQuery, UniformSampler};
@@ -148,6 +148,58 @@ impl Strategy for ApfStrategy {
         mask.copy_from(&self.active);
         // The observe above may have frozen/thawed parameters: refresh
         // the cached mask for the next round's compress calls.
+        self.apf.fill_active_mask(&mut self.active);
+        MaskedUpdate::new(mask, values)
+    }
+
+    fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
+        // APF folds straight into the packed active-mask layout — no
+        // dense d-sized accumulator exists on the streaming path either.
+        FoldAcc {
+            dense: None,
+            packed: Some(scratch.take_zeroed(self.active.count_ones())),
+            count: 0,
+        }
+    }
+
+    fn fold_upload(
+        &mut self,
+        _round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        _scratch: &mut ScratchPool,
+    ) {
+        let w = self.client_weight(id, group) as f32;
+        let packed = acc
+            .packed
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        match upload {
+            Upload::KnownMask(u) => {
+                assert_eq!(
+                    u.nnz(),
+                    packed.len(),
+                    "upload not aligned to the active mask"
+                );
+                accumulate_into(&[(w, u.values())], packed);
+            }
+            other => panic!("APF aggregate received non-known-mask upload {other:?}"),
+        }
+        acc.count += 1;
+    }
+
+    fn fold_finish(
+        &mut self,
+        _round: u32,
+        acc: FoldAcc,
+        scratch: &mut ScratchPool,
+    ) -> MaskedUpdate {
+        let values = acc.packed.expect("fold_begin allocates the accumulator");
+        self.apf.observe_masked(&values, &self.active);
+        let mut mask = scratch.take_mask(self.dim);
+        mask.copy_from(&self.active);
         self.apf.fill_active_mask(&mut self.active);
         MaskedUpdate::new(mask, values)
     }

@@ -1,7 +1,7 @@
 //! FedAvg with uniform client sampling (McMahan et al. 2017; §2.1).
 
-use super::{Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::accumulate_uploads;
+use super::{FoldAcc, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_into, accumulate_uploads};
 use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, OnlineQuery, UniformSampler};
 use gluefl_tensor::MaskedUpdate;
@@ -91,6 +91,44 @@ impl Strategy for FedAvgStrategy {
         let mut mask = scratch.take_mask(self.dim);
         mask.fill_ones();
         MaskedUpdate::new(mask, acc)
+    }
+
+    fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
+        FoldAcc {
+            dense: Some(scratch.take_zeroed(self.dim)),
+            packed: None,
+            count: 0,
+        }
+    }
+
+    fn fold_upload(
+        &mut self,
+        _round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        _scratch: &mut ScratchPool,
+    ) {
+        let w = self.client_weight(id, group) as f32;
+        let dense = acc
+            .dense
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        accumulate_into(&[(w, upload)], dense);
+        acc.count += 1;
+    }
+
+    fn fold_finish(
+        &mut self,
+        _round: u32,
+        acc: FoldAcc,
+        scratch: &mut ScratchPool,
+    ) -> MaskedUpdate {
+        let values = acc.dense.expect("fold_begin allocates the accumulator");
+        let mut mask = scratch.take_mask(self.dim);
+        mask.fill_ones();
+        MaskedUpdate::new(mask, values)
     }
 
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}

@@ -1,7 +1,7 @@
 //! GlueFL: sticky sampling + mask shifting (Algorithm 3).
 
-use super::{bitmap_bytes, Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::{accumulate_sparse, accumulate_weighted_values};
+use super::{bitmap_bytes, FoldAcc, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_into, accumulate_sparse, accumulate_weighted_values};
 use crate::config::GlueFlParams;
 use crate::scratch::ScratchPool;
 use gluefl_compress::mask_shift::{shift_mask_into, ClientSplit};
@@ -311,6 +311,96 @@ impl Strategy for GlueFlStrategy {
 
         // Mask update (line 26 / §3.3 regeneration), into a pooled mask;
         // the outgoing shared mask is recycled.
+        let mut next_mask = scratch.take_mask(self.dim);
+        shift_mask_into(
+            &combined,
+            self.params.q_shr,
+            Some(&self.eligible),
+            &mut scratch.topk,
+            &mut next_mask,
+        );
+        let old = self.set_shared_mask(next_mask);
+        scratch.put_mask(old);
+        scratch.put(shr_vals);
+        scratch.put(uni_acc);
+        scratch.put(combined);
+        MaskedUpdate::new(mask, values)
+    }
+
+    fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
+        // Two partial sums: the packed shared part (aligned to M_t) and
+        // the dense unique aggregate the finishing top-k scans.
+        FoldAcc {
+            dense: Some(scratch.take_zeroed(self.dim)),
+            packed: Some(scratch.take_zeroed(self.shared_nnz)),
+            count: 0,
+        }
+    }
+
+    fn fold_upload(
+        &mut self,
+        round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        _scratch: &mut ScratchPool,
+    ) {
+        let regen = self.is_regen_round(round);
+        let w = self.client_weight(id, group) as f32;
+        let uni_acc = acc
+            .dense
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        let shr_acc = acc
+            .packed
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        match upload {
+            Upload::MaskSplit(split) => {
+                if !regen {
+                    assert_eq!(
+                        split.shared.nnz(),
+                        self.shared_nnz,
+                        "shared part not aligned to the current mask"
+                    );
+                    accumulate_into(&[(w, split.shared.values())], shr_acc);
+                }
+                accumulate_into(&[(w, &split.unique)], uni_acc);
+            }
+            other => panic!("GlueFL aggregate received non-split upload {other:?}"),
+        }
+        acc.count += 1;
+    }
+
+    fn fold_finish(&mut self, round: u32, acc: FoldAcc, scratch: &mut ScratchPool) -> MaskedUpdate {
+        let regen = self.is_regen_round(round);
+        let shr_vals = acc.packed.expect("fold_begin allocates the accumulator");
+        let uni_acc = acc.dense.expect("fold_begin allocates the accumulator");
+        // Identical finishing steps to `aggregate`: combine, select the
+        // unique top-k, pack, and shift the mask.
+        let mut combined = scratch.take_zeroed(self.dim);
+        let mut mask = scratch.take_mask(self.dim);
+        if !regen {
+            self.shared_mask.scatter_add(&mut combined, &shr_vals, 1.0);
+            mask.copy_from(&self.shared_mask);
+        }
+        let unique_k = self.unique_keep(round);
+        {
+            let idx = top_k_abs_masked_into(
+                &uni_acc,
+                unique_k,
+                TopKScope::Outside(&self.stats_excluded),
+                &mut scratch.topk,
+            );
+            for &i in idx {
+                combined[i] += uni_acc[i];
+                mask.set(i, true);
+            }
+        }
+        let mut values = scratch.take_cleared();
+        mask.for_each_one(|i| values.push(combined[i]));
+
         let mut next_mask = scratch.take_mask(self.dim);
         shift_mask_into(
             &combined,

@@ -1,7 +1,7 @@
 //! FedAvg with multinomial (MD) client sampling (Li et al. 2020a).
 
-use super::{Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::accumulate_uploads;
+use super::{FoldAcc, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_into, accumulate_uploads};
 use crate::scratch::ScratchPool;
 use gluefl_sampling::{ClientId, MdSampler, OnlineQuery};
 use gluefl_tensor::MaskedUpdate;
@@ -20,12 +20,14 @@ pub struct MdFedAvgStrategy {
     sampler: MdSampler,
     k: usize,
     dim: usize,
-    /// Per-client draw multiplicity for the current round.
-    multiplicity: Vec<u32>,
-    /// Distinct clients drawn in the current round (sorted in the plan).
-    /// Lets `plan_round` reset only the touched multiplicity entries
-    /// instead of clearing the whole O(N) vector every round.
-    drawn: Vec<ClientId>,
+    /// The current round's draws as `(client, multiplicity)`, sorted by
+    /// client id — the *only* per-round state, O(K) entries. No O(N)
+    /// population-length vector exists anywhere in this strategy, so
+    /// construction and planning touch O(K) memory regardless of N.
+    drawn: Vec<(ClientId, u32)>,
+    /// Raw accepted draws of the round in draw order, reused across
+    /// rounds so planning allocates nothing in steady state.
+    raw: Vec<ClientId>,
 }
 
 impl MdFedAvgStrategy {
@@ -36,14 +38,20 @@ impl MdFedAvgStrategy {
     /// Panics if the weights are not a valid distribution.
     #[must_use]
     pub fn new(weights: Vec<f64>, k: usize, dim: usize) -> Self {
-        let n = weights.len();
         Self {
             sampler: MdSampler::new(weights).expect("valid client weights"),
             k,
             dim,
-            multiplicity: vec![0; n],
             drawn: Vec::new(),
+            raw: Vec::new(),
         }
+    }
+
+    /// Draw multiplicity of `id` in the current round (0 if not drawn).
+    fn multiplicity_of(&self, id: ClientId) -> u32 {
+        self.drawn
+            .binary_search_by_key(&id, |&(c, _)| c)
+            .map_or(0, |i| self.drawn[i].1)
     }
 }
 
@@ -58,29 +66,30 @@ impl Strategy for MdFedAvgStrategy {
         rng: &mut StdRng,
         online: &mut dyn OnlineQuery,
     ) -> RoundPlan {
-        for &id in &self.drawn {
-            self.multiplicity[id] = 0;
-        }
-        self.drawn.clear();
-        let mut count = 0usize;
+        self.raw.clear();
         let mut attempts = 0usize;
         // Rejection-sample against availability (equivalent to MD sampling
         // over the online sub-population, re-normalised). Each CDF draw is
-        // O(log N) and only the drawn clients' multiplicity entries are
-        // touched, so a round is O(K log N) — independent of N.
-        while count < self.k && attempts < self.k * 200 {
+        // O(log N) and the accepted draws land in an O(K) scratch list, so
+        // a round is O(K log N) memory-touches included — independent of N.
+        while self.raw.len() < self.k && attempts < self.k * 200 {
             attempts += 1;
-            let id = self.sampler.draw(rng, 1)[0];
+            let id = self.sampler.draw_one(rng);
             if online.is_online(id) {
-                if self.multiplicity[id] == 0 {
-                    self.drawn.push(id);
-                }
-                self.multiplicity[id] += 1;
-                count += 1;
+                self.raw.push(id);
             }
         }
-        let mut invites = self.drawn.clone();
-        invites.sort_unstable();
+        // Collapse the accepted draws into sorted (client, multiplicity)
+        // run-length pairs — duplicates become one invitation with weight.
+        self.raw.sort_unstable();
+        self.drawn.clear();
+        for &id in &self.raw {
+            match self.drawn.last_mut() {
+                Some((c, m)) if *c == id => *m += 1,
+                _ => self.drawn.push((id, 1)),
+            }
+        }
+        let invites: Vec<ClientId> = self.drawn.iter().map(|&(c, _)| c).collect();
         RoundPlan {
             sticky_invites: Vec::new(),
             keep_fresh: invites.len(),
@@ -90,7 +99,7 @@ impl Strategy for MdFedAvgStrategy {
     }
 
     fn client_weight(&self, id: ClientId, _group: Group) -> f64 {
-        f64::from(self.multiplicity[id]) / self.k as f64
+        f64::from(self.multiplicity_of(id)) / self.k as f64
     }
 
     fn mask_download_bytes(&self, _round: u32) -> u64 {
@@ -125,6 +134,44 @@ impl Strategy for MdFedAvgStrategy {
         MaskedUpdate::new(mask, acc)
     }
 
+    fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
+        FoldAcc {
+            dense: Some(scratch.take_zeroed(self.dim)),
+            packed: None,
+            count: 0,
+        }
+    }
+
+    fn fold_upload(
+        &mut self,
+        _round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        _scratch: &mut ScratchPool,
+    ) {
+        let w = self.client_weight(id, group) as f32;
+        let dense = acc
+            .dense
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        accumulate_into(&[(w, upload)], dense);
+        acc.count += 1;
+    }
+
+    fn fold_finish(
+        &mut self,
+        _round: u32,
+        acc: FoldAcc,
+        scratch: &mut ScratchPool,
+    ) -> MaskedUpdate {
+        let values = acc.dense.expect("fold_begin allocates the accumulator");
+        let mut mask = scratch.take_mask(self.dim);
+        mask.fill_ones();
+        MaskedUpdate::new(mask, values)
+    }
+
     fn finish_round(&mut self, _round: u32, _rng: &mut StdRng, _s: &[ClientId], _f: &[ClientId]) {}
 }
 
@@ -145,10 +192,14 @@ mod tests {
         let mut s = strategy();
         let mut rng = StdRng::seed_from_u64(0);
         let plan = s.plan_round(0, &mut rng, &mut gluefl_sampling::AllOnline);
-        let total: u32 = s.multiplicity.iter().sum();
+        let total: u32 = s.drawn.iter().map(|&(_, m)| m).sum();
         assert_eq!(total, 4);
         assert_eq!(plan.keep_fresh, plan.fresh_invites.len());
         assert!(plan.fresh_invites.len() <= 4);
+        // Touched-set bound: per-round state is O(K) pairs, never an O(N)
+        // population vector.
+        assert!(s.drawn.len() <= 4);
+        assert!(s.raw.len() <= 4);
     }
 
     #[test]
@@ -173,7 +224,7 @@ mod tests {
         let mut hits = [0u32; 12];
         for round in 0..4000 {
             let _ = s.plan_round(round, &mut rng, &mut gluefl_sampling::AllOnline);
-            for (i, &m) in s.multiplicity.iter().enumerate() {
+            for &(i, m) in &s.drawn {
                 hits[i] += m;
             }
         }

@@ -157,6 +157,35 @@ impl Upload {
     }
 }
 
+/// In-flight state of an incremental aggregation between
+/// [`Strategy::fold_begin`] and [`Strategy::fold_finish`].
+///
+/// The accumulators are pooled `Vec<f32>` buffers whose meaning is
+/// strategy-defined: dense strategies stage a full `dim`-length partial
+/// sum in `dense`; APF stages a packed active-mask-aligned sum in
+/// `packed`; GlueFL uses both (`packed` for the shared part, `dense` for
+/// the unique part). Callers treat the struct as opaque and hand it back
+/// to the same strategy that produced it — `fold_finish` returns the
+/// buffers to the [`ScratchPool`].
+#[derive(Debug, Default)]
+pub struct FoldAcc {
+    /// Dense position-space partial sum (length = model `dim`), when the
+    /// strategy stages one.
+    pub(crate) dense: Option<Vec<f32>>,
+    /// Packed mask-aligned partial sum, when the strategy stages one.
+    pub(crate) packed: Option<Vec<f32>>,
+    /// Uploads folded so far.
+    pub(crate) count: usize,
+}
+
+impl FoldAcc {
+    /// Number of uploads folded into this accumulator so far.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.count
+    }
+}
+
 /// The strategy seam used by the round simulator.
 ///
 /// Call order per round `t`:
@@ -165,7 +194,10 @@ impl Upload {
 ///    training (may mutate the delta via error compensation);
 /// 3. [`Strategy::aggregate`] — once, over the *kept* uploads; returns
 ///    the round's server update as a [`MaskedUpdate`] over trainable
-///    positions;
+///    positions. Streaming consumers use the equivalent incremental form
+///    instead: [`Strategy::fold_begin`], then [`Strategy::fold_upload`]
+///    once per kept upload in ascending client-id order, then
+///    [`Strategy::fold_finish`];
 /// 4. [`Strategy::finish_round`] — post-round bookkeeping (sticky group
 ///    rebalancing).
 ///
@@ -263,6 +295,53 @@ pub trait Strategy: Send {
         kept: &[(ClientId, Group, Upload)],
         scratch: &mut ScratchPool,
     ) -> MaskedUpdate;
+
+    /// Begins an incremental aggregation for round `round`: allocates the
+    /// strategy's partial-sum accumulator(s) from `scratch`.
+    ///
+    /// # Bit-exactness contract
+    ///
+    /// Folding each kept upload with [`Strategy::fold_upload`] in
+    /// **ascending client-id order** and then calling
+    /// [`Strategy::fold_finish`] produces a [`MaskedUpdate`] (and
+    /// performs mask/state updates) bit-identical to a single
+    /// [`Strategy::aggregate`] call over the same uploads sorted by
+    /// client id. This holds because every strategy's batch accumulation
+    /// adds per-position contributions in entry order — exactly the order
+    /// the per-upload fold replays — and `f32` addition per position is
+    /// then the same sequence of operations. The property suite
+    /// (`crates/core/tests/streaming_fold.rs`) pins the identity for all
+    /// six strategy configurations × three value codecs.
+    fn fold_begin(&mut self, round: u32, scratch: &mut ScratchPool) -> FoldAcc;
+
+    /// Folds one kept upload into the accumulator. Must be called in
+    /// ascending client-id order across kept uploads (see
+    /// [`Strategy::fold_begin`] for the bit-exactness contract). The
+    /// upload is borrowed — the caller keeps ownership and can return its
+    /// buffers to the pool immediately afterwards, so a streaming server
+    /// never stages more than the out-of-order arrivals.
+    ///
+    /// # Panics
+    /// Panics on an upload variant or alignment the strategy's
+    /// [`Strategy::aggregate`] would reject (e.g. a non-split upload
+    /// handed to GlueFL, or a known-mask upload misaligned with APF's
+    /// active set).
+    fn fold_upload(
+        &mut self,
+        round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        scratch: &mut ScratchPool,
+    );
+
+    /// Completes an incremental aggregation: performs the strategy's
+    /// finishing work (top-k re-masking, mask shifting, state updates —
+    /// whatever [`Strategy::aggregate`] does after accumulation), returns
+    /// the accumulator buffers to `scratch`, and yields the round's
+    /// [`MaskedUpdate`].
+    fn fold_finish(&mut self, round: u32, acc: FoldAcc, scratch: &mut ScratchPool) -> MaskedUpdate;
 
     /// Post-round bookkeeping with the kept participants.
     fn finish_round(

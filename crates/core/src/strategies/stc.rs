@@ -1,7 +1,7 @@
 //! STC: top-`q` masking on clients and server (Sattler et al. 2019).
 
-use super::{Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::accumulate_uploads;
+use super::{FoldAcc, Group, RoundPlan, Strategy, Upload};
+use crate::aggregate::{accumulate_into, accumulate_uploads};
 use crate::scratch::ScratchPool;
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::{CompensationMode, ErrorCompensator};
@@ -167,6 +167,58 @@ impl Strategy for StcStrategy {
             &mut scratch.topk,
         );
         // `idx` is strictly increasing, so pushes land in mask-bit order.
+        for &i in idx {
+            mask.set(i, true);
+            values.push(acc[i]);
+        }
+        scratch.put(acc);
+        MaskedUpdate::new(mask, values)
+    }
+
+    fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
+        FoldAcc {
+            dense: Some(scratch.take_zeroed(self.dim)),
+            packed: None,
+            count: 0,
+        }
+    }
+
+    fn fold_upload(
+        &mut self,
+        _round: u32,
+        acc: &mut FoldAcc,
+        id: ClientId,
+        group: Group,
+        upload: &Upload,
+        _scratch: &mut ScratchPool,
+    ) {
+        let w = self.client_weight(id, group) as f32;
+        let dense = acc
+            .dense
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        accumulate_into(&[(w, upload)], dense);
+        acc.count += 1;
+    }
+
+    fn fold_finish(
+        &mut self,
+        _round: u32,
+        acc: FoldAcc,
+        scratch: &mut ScratchPool,
+    ) -> MaskedUpdate {
+        let acc = acc.dense.expect("fold_begin allocates the accumulator");
+        // Identical finishing step to `aggregate`: server-side top-q
+        // re-masking over the streamed partial sum.
+        let mut mask = scratch.take_mask(self.dim);
+        let mut values = scratch.take_cleared();
+        let k = keep_count(self.trainable, self.q);
+        let idx = top_k_abs_masked_into(
+            &acc,
+            k,
+            TopKScope::Outside(&self.stats_excluded),
+            &mut scratch.topk,
+        );
         for &i in idx {
             mask.set(i, true);
             values.push(acc[i]);

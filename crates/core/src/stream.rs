@@ -1,0 +1,328 @@
+//! Streaming aggregation: fold kept uploads as they arrive.
+//!
+//! [`StreamingAggregator`] is the ordering gate between a transport that
+//! receives uploads in *arrival* order (sockets, or the simulator's
+//! keep-selection order) and the [`Strategy`] fold seam, whose
+//! bit-exactness contract requires folding in ascending client-id order
+//! (see [`Strategy::fold_begin`]). The gate folds an upload the moment
+//! every lower-id kept upload has been folded, and *parks* early arrivals
+//! until their turn. Each folded upload's buffers go straight back to the
+//! [`ScratchPool`], so the only staging that ever exists is the
+//! out-of-order prefix of arrivals — the collect-then-aggregate
+//! `O(K·nnz)` buffer is gone.
+//!
+//! A kept client that fails mid-round (hostile bytes, disconnect,
+//! deadline miss) is [`StreamingAggregator::skip`]ped: its slot is marked
+//! dead and later ids keep folding, so one bad client never wedges the
+//! round.
+
+use crate::scratch::ScratchPool;
+use crate::strategies::{FoldAcc, Group, Strategy, Upload};
+use gluefl_sampling::ClientId;
+use gluefl_tensor::MaskedUpdate;
+
+/// A protocol-level rejection from the streaming gate — the upload was
+/// structurally fine but not one the round can accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The client is not in the round's keep set.
+    UnknownClient(ClientId),
+    /// The client already delivered (or was skipped) this round.
+    DuplicateUpload(ClientId),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownClient(c) => write!(f, "client {c} is not in the keep set"),
+            Self::DuplicateUpload(c) => write!(f, "client {c} already delivered"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Per-slot delivery state.
+#[derive(Debug)]
+enum Slot {
+    /// Nothing received yet.
+    Waiting,
+    /// Received out of order; staged until every lower id folds.
+    Parked(Upload),
+    /// Folded into the accumulator (or skipped) — resolved either way.
+    Done,
+    /// Skipped: the client failed and contributes nothing.
+    Dead,
+}
+
+/// The in-order streaming fold over one round's keep set.
+///
+/// Construction fixes the keep set; [`accept`](Self::accept) feeds
+/// arrivals in any order; [`finish`](Self::finish) yields the round's
+/// [`MaskedUpdate`], bit-identical to a batch
+/// [`Strategy::aggregate`] over the same uploads sorted by client id.
+#[derive(Debug)]
+pub struct StreamingAggregator {
+    round: u32,
+    /// Kept `(client, group)` pairs sorted by client id.
+    expected: Vec<(ClientId, Group)>,
+    slots: Vec<Slot>,
+    /// Index of the lowest unresolved slot — everything before it folded
+    /// or died.
+    next: usize,
+    acc: FoldAcc,
+}
+
+impl StreamingAggregator {
+    /// Opens the gate for round `round` over the kept `(client, group)`
+    /// pairs (any order; sorted internally). Calls
+    /// [`Strategy::fold_begin`] to allocate the partial-sum buffers.
+    ///
+    /// # Panics
+    /// Panics if the keep set contains a duplicate client id.
+    #[must_use]
+    pub fn begin(
+        round: u32,
+        kept: &[(ClientId, Group)],
+        strategy: &mut dyn Strategy,
+        scratch: &mut ScratchPool,
+    ) -> Self {
+        let mut expected = kept.to_vec();
+        expected.sort_unstable_by_key(|&(id, _)| id);
+        assert!(
+            expected.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate client id in keep set"
+        );
+        let slots = expected.iter().map(|_| Slot::Waiting).collect();
+        let acc = strategy.fold_begin(round, scratch);
+        Self {
+            round,
+            expected,
+            slots,
+            next: 0,
+            acc,
+        }
+    }
+
+    /// Number of kept clients whose uploads have been folded so far.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.acc.folded()
+    }
+
+    /// Number of kept clients still unresolved (neither folded, parked,
+    /// nor skipped).
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Waiting))
+            .count()
+    }
+
+    /// Whether every kept slot is resolved — [`finish`](Self::finish)
+    /// may be called.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.next == self.expected.len()
+    }
+
+    fn slot_of(&self, id: ClientId) -> Result<usize, StreamError> {
+        self.expected
+            .binary_search_by_key(&id, |&(c, _)| c)
+            .map_err(|_| StreamError::UnknownClient(id))
+    }
+
+    /// Delivers client `id`'s upload. Folds it immediately when `id` is
+    /// the lowest unresolved client (then drains any parked successors),
+    /// otherwise parks it. Takes ownership: folded uploads' buffers are
+    /// returned to `scratch` on the spot.
+    ///
+    /// # Errors
+    /// [`StreamError::UnknownClient`] if `id` is not kept;
+    /// [`StreamError::DuplicateUpload`] if the slot is already resolved
+    /// or parked. The upload's buffers are reclaimed either way.
+    pub fn accept(
+        &mut self,
+        strategy: &mut dyn Strategy,
+        id: ClientId,
+        upload: Upload,
+        scratch: &mut ScratchPool,
+    ) -> Result<(), StreamError> {
+        let idx = match self.slot_of(id) {
+            Ok(i) => i,
+            Err(e) => {
+                scratch.reclaim_upload(upload);
+                return Err(e);
+            }
+        };
+        if !matches!(self.slots[idx], Slot::Waiting) {
+            scratch.reclaim_upload(upload);
+            return Err(StreamError::DuplicateUpload(id));
+        }
+        self.slots[idx] = Slot::Parked(upload);
+        self.drain(strategy, scratch);
+        Ok(())
+    }
+
+    /// Marks kept client `id` as failed: it contributes nothing, later
+    /// ids keep folding. A parked upload for the client is discarded.
+    ///
+    /// # Errors
+    /// [`StreamError::UnknownClient`] if `id` is not kept;
+    /// [`StreamError::DuplicateUpload`] if the slot already folded or
+    /// was already skipped.
+    pub fn skip(
+        &mut self,
+        strategy: &mut dyn Strategy,
+        id: ClientId,
+        scratch: &mut ScratchPool,
+    ) -> Result<(), StreamError> {
+        let idx = self.slot_of(id)?;
+        match std::mem::replace(&mut self.slots[idx], Slot::Dead) {
+            Slot::Waiting => {}
+            Slot::Parked(upload) => scratch.reclaim_upload(upload),
+            resolved => {
+                self.slots[idx] = resolved;
+                return Err(StreamError::DuplicateUpload(id));
+            }
+        }
+        self.drain(strategy, scratch);
+        Ok(())
+    }
+
+    /// Folds every in-order parked upload, advancing past dead slots.
+    fn drain(&mut self, strategy: &mut dyn Strategy, scratch: &mut ScratchPool) {
+        while self.next < self.expected.len() {
+            match &self.slots[self.next] {
+                Slot::Dead => {
+                    self.next += 1;
+                }
+                Slot::Parked(_) => {
+                    let Slot::Parked(upload) =
+                        std::mem::replace(&mut self.slots[self.next], Slot::Done)
+                    else {
+                        unreachable!("matched Parked above")
+                    };
+                    let (id, group) = self.expected[self.next];
+                    strategy.fold_upload(self.round, &mut self.acc, id, group, &upload, scratch);
+                    scratch.reclaim_upload(upload);
+                    self.next += 1;
+                }
+                Slot::Waiting | Slot::Done => break,
+            }
+        }
+    }
+
+    /// Completes the round: runs [`Strategy::fold_finish`] and returns
+    /// the aggregate.
+    ///
+    /// # Panics
+    /// Panics unless every kept slot is resolved
+    /// ([`complete`](Self::complete)) — the caller decides when to give
+    /// up on stragglers via [`skip`](Self::skip), never this type.
+    #[must_use]
+    pub fn finish(self, strategy: &mut dyn Strategy, scratch: &mut ScratchPool) -> MaskedUpdate {
+        assert!(
+            self.complete(),
+            "streaming aggregation finished with unresolved uploads ({} waiting)",
+            self.waiting()
+        );
+        strategy.fold_finish(self.round, self.acc, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::FedAvgStrategy;
+
+    fn uploads(n: usize, dim: usize) -> Vec<(ClientId, Group, Upload)> {
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..dim)
+                    .map(|j| (i * dim + j) as f32 * 0.01 - 0.3)
+                    .collect();
+                (i, Group::Fresh, Upload::Dense(v))
+            })
+            .collect()
+    }
+
+    fn masked_bits(u: &MaskedUpdate) -> Vec<u32> {
+        u.values().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn reverse_arrival_matches_batch() {
+        let dim = 9;
+        let kept = uploads(5, dim);
+        let mut batch_s = FedAvgStrategy::new(8, 5, 1.0, vec![0.125; 8], dim);
+        let mut pool = ScratchPool::new();
+        let want = batch_s.aggregate(0, &kept, &mut pool);
+
+        let mut stream_s = FedAvgStrategy::new(8, 5, 1.0, vec![0.125; 8], dim);
+        let ids: Vec<(ClientId, Group)> = kept.iter().map(|&(c, g, _)| (c, g)).collect();
+        let mut pool2 = ScratchPool::new();
+        let mut gate = StreamingAggregator::begin(0, &ids, &mut stream_s, &mut pool2);
+        for (id, _, upload) in kept.into_iter().rev() {
+            gate.accept(&mut stream_s, id, upload, &mut pool2).unwrap();
+        }
+        assert!(gate.complete());
+        let got = gate.finish(&mut stream_s, &mut pool2);
+        assert_eq!(masked_bits(&want), masked_bits(&got));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_are_typed_errors() {
+        let dim = 4;
+        let mut s = FedAvgStrategy::new(8, 2, 1.0, vec![0.125; 8], dim);
+        let mut pool = ScratchPool::new();
+        let mut gate = StreamingAggregator::begin(
+            0,
+            &[(1, Group::Fresh), (3, Group::Fresh)],
+            &mut s,
+            &mut pool,
+        );
+        assert_eq!(
+            gate.accept(&mut s, 2, Upload::Dense(vec![0.0; dim]), &mut pool),
+            Err(StreamError::UnknownClient(2))
+        );
+        gate.accept(&mut s, 1, Upload::Dense(vec![1.0; dim]), &mut pool)
+            .unwrap();
+        assert_eq!(
+            gate.accept(&mut s, 1, Upload::Dense(vec![1.0; dim]), &mut pool),
+            Err(StreamError::DuplicateUpload(1))
+        );
+        assert!(!gate.complete());
+        gate.accept(&mut s, 3, Upload::Dense(vec![2.0; dim]), &mut pool)
+            .unwrap();
+        assert!(gate.complete());
+        let _ = gate.finish(&mut s, &mut pool);
+    }
+
+    #[test]
+    fn skipped_client_unblocks_later_ids() {
+        let dim = 4;
+        let kept = uploads(3, dim);
+        // Batch reference over clients {1, 2} only.
+        let mut batch_s = FedAvgStrategy::new(8, 3, 1.0, vec![0.125; 8], dim);
+        let mut pool = ScratchPool::new();
+        let survivors: Vec<_> = kept.iter().filter(|&&(c, _, _)| c != 0).cloned().collect();
+        let want = batch_s.aggregate(0, &survivors, &mut pool);
+
+        let mut s = FedAvgStrategy::new(8, 3, 1.0, vec![0.125; 8], dim);
+        let ids: Vec<(ClientId, Group)> = kept.iter().map(|&(c, g, _)| (c, g)).collect();
+        let mut pool2 = ScratchPool::new();
+        let mut gate = StreamingAggregator::begin(0, &ids, &mut s, &mut pool2);
+        // 1 and 2 arrive first and park behind the missing client 0.
+        for (id, _, upload) in kept.into_iter().skip(1) {
+            gate.accept(&mut s, id, upload, &mut pool2).unwrap();
+        }
+        assert_eq!(gate.folded(), 0, "parked uploads must not fold early");
+        gate.skip(&mut s, 0, &mut pool2).unwrap();
+        assert!(gate.complete());
+        assert_eq!(gate.folded(), 2);
+        let got = gate.finish(&mut s, &mut pool2);
+        assert_eq!(masked_bits(&want), masked_bits(&got));
+    }
+}

@@ -25,8 +25,8 @@ use gluefl_compress::mask_shift::ClientSplit;
 use gluefl_compress::stc::TernaryUpdate;
 use gluefl_tensor::{BitMask, SparseUpdate};
 use gluefl_wire::{
-    decode_frame_prefix, encode_dense, encode_known_mask, encode_sparse, encode_ternary, Codec,
-    Frame, FrameKind, Rounding, WireError,
+    decode_frame_prefix, encode_dense, encode_known_mask, encode_sparse, encode_ternary, frame_len,
+    sparse_kind, ternary_kind, Codec, Frame, FrameKind, Rounding, WireError,
 };
 
 /// The rounding mode a codec uses on the simulator's paths: quantization
@@ -38,6 +38,46 @@ pub fn rounding_for(codec: Codec, quant_seed: u64) -> Rounding {
     match codec {
         Codec::QuantU8 => Rounding::Stochastic { seed: quant_seed },
         Codec::F32 | Codec::F16 => Rounding::Nearest,
+    }
+}
+
+/// The exact byte count [`encode_upload`] will produce for `upload`
+/// under `codec`, computed without encoding anything.
+///
+/// Frame lengths depend only on `(kind, codec, dim, nnz)` — never on the
+/// values — so an upload's wire size is known the moment its shape is.
+/// This is the seam that lets a scheduler (the simulator's keep
+/// selection, the server's deadline policy) price every invited client's
+/// upload *before* deciding whose bytes to encode, decode, or even
+/// receive: the over-committed remainder is never serialized at all. The
+/// simulator debug-asserts `encoded_len == encode_upload(..)` for every
+/// kept upload each round.
+#[must_use]
+pub fn encoded_len(upload: &Upload, codec: Codec) -> u64 {
+    match upload {
+        Upload::Dense(values) => frame_len(FrameKind::Dense, codec, values.len(), values.len()),
+        Upload::Sparse(u) => frame_len(sparse_kind(u.dim(), u.nnz()), codec, u.dim(), u.nnz()),
+        Upload::KnownMask(u) => frame_len(FrameKind::KnownMask, codec, u.dim(), u.nnz()),
+        // Ternary frames have a fixed sign/µ layout and always declare F32.
+        Upload::Ternary(t) => frame_len(
+            ternary_kind(t.dim(), t.indices.len()),
+            Codec::F32,
+            t.dim(),
+            t.indices.len(),
+        ),
+        Upload::MaskSplit(split) => {
+            frame_len(
+                FrameKind::KnownMask,
+                codec,
+                split.shared.dim(),
+                split.shared.nnz(),
+            ) + frame_len(
+                sparse_kind(split.unique.dim(), split.unique.nnz()),
+                codec,
+                split.unique.dim(),
+                split.unique.nnz(),
+            )
+        }
     }
 }
 
@@ -158,6 +198,87 @@ pub fn decode_upload(
     let shared = decode_known_mask_frame(&first, round_mask, scratch)?;
     let unique = decode_sparse_frame(&second, scratch);
     Ok(Upload::MaskSplit(ClientSplit { shared, unique }))
+}
+
+/// Parses a round upload payload — the upload's frame(s) followed by the
+/// BN-statistics known-mask frame — as transmitted by a real client (and
+/// staged by the simulator): `upload := dense | sparse | ternary |
+/// known-mask | known-mask sparse`, then exactly one known-mask stats
+/// frame. The grammar is prefix-decidable with [`decode_frame_prefix`]
+/// alone (a known-mask first frame is a split upload iff a sparse frame
+/// follows it), so a streaming receiver needs no out-of-band length
+/// split between the upload and stats sections. The returned stats
+/// [`Frame`] borrows `buf`; the caller decodes its values (the frame's
+/// `dim`/`nnz` are validated against the model layout by the caller,
+/// which knows both).
+///
+/// # Errors
+/// Propagates every [`WireError`] from [`decode_upload`]'s grammar, plus
+/// [`WireError::UnexpectedKind`] when the stats slot holds anything but
+/// a known-mask frame and [`WireError::TrailingBytes`] for bytes past
+/// the stats frame.
+pub fn decode_upload_with_stats<'a>(
+    buf: &'a [u8],
+    round_mask: Option<&BitMask>,
+    scratch: &mut ScratchPool,
+) -> Result<(Upload, Frame<'a>), WireError> {
+    let (first, rest) = decode_frame_prefix(buf)?;
+    let (upload, rest) = match first.kind {
+        FrameKind::Dense => {
+            let mut values = scratch.take_cleared();
+            first.values_into(&mut values);
+            (Upload::Dense(values), rest)
+        }
+        FrameKind::SparseBitmap | FrameKind::SparseIndex => {
+            (Upload::Sparse(decode_sparse_frame(&first, scratch)), rest)
+        }
+        FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+            let (mut indices, spare_values) = scratch.take_sparse();
+            scratch.put(spare_values);
+            first.indices_into(&mut indices);
+            let mut signs = scratch.take_signs();
+            first.ternary_signs_into(&mut signs);
+            (
+                Upload::Ternary(TernaryUpdate::from_parts(
+                    first.dim,
+                    first.ternary_mu(),
+                    indices,
+                    signs,
+                )),
+                rest,
+            )
+        }
+        FrameKind::KnownMask => {
+            // Peek the successor: a sparse frame makes this a split
+            // upload; anything else means the known-mask frame *is* the
+            // upload and the successor is the stats frame.
+            let (second, tail) = decode_frame_prefix(rest)?;
+            if matches!(
+                second.kind,
+                FrameKind::SparseBitmap | FrameKind::SparseIndex
+            ) {
+                let shared = decode_known_mask_frame(&first, round_mask, scratch)?;
+                let unique = decode_sparse_frame(&second, scratch);
+                (Upload::MaskSplit(ClientSplit { shared, unique }), tail)
+            } else {
+                (
+                    Upload::KnownMask(decode_known_mask_frame(&first, round_mask, scratch)?),
+                    rest,
+                )
+            }
+        }
+        // A mask broadcast is a download-direction message; as an upload
+        // it is a protocol violation, not corruption.
+        FrameKind::Mask => return Err(WireError::UnexpectedKind(FrameKind::Mask.id())),
+    };
+    let (stats, tail) = decode_frame_prefix(rest)?;
+    if stats.kind != FrameKind::KnownMask {
+        return Err(WireError::UnexpectedKind(stats.kind.id()));
+    }
+    if !tail.is_empty() {
+        return Err(WireError::TrailingBytes { extra: tail.len() });
+    }
+    Ok((upload, stats))
 }
 
 /// Rebuilds a [`SparseUpdate`] from an explicit-position sparse frame.
@@ -294,6 +415,99 @@ mod tests {
             }
             other => panic!("unexpected shapes {other:?}"),
         }
+    }
+
+    #[test]
+    fn encoded_len_predicts_every_variant_and_codec() {
+        let mask = BitMask::from_indices(600, (0..600).step_by(4));
+        let dense: Vec<f32> = (0..600).map(|i| ((i * 13) % 29) as f32 - 14.0).collect();
+        let uploads = vec![
+            Upload::Dense(dense[..130].to_vec()),
+            Upload::Sparse(sparsify(&dense, 0.05)),
+            Upload::Sparse(sparsify(&dense, 0.4)), // bitmap-position regime
+            Upload::KnownMask(SparseUpdate::from_dense_masked(&dense, &mask)),
+            Upload::Ternary(TernaryUpdate::quantize(&sparsify(&dense, 0.02))),
+            Upload::MaskSplit(gluefl_compress::mask_shift::client_split(&dense, &mask, 30)),
+            Upload::MaskSplit(ClientSplit {
+                shared: SparseUpdate::empty(600),
+                unique: SparseUpdate::from_pairs(600, vec![(5, 1.0)]),
+            }),
+        ];
+        for codec in [Codec::F32, Codec::F16, Codec::QuantU8] {
+            for upload in &uploads {
+                let mut buf = Vec::new();
+                let n = encode_upload(upload, 7, codec, 99, &mut buf);
+                assert_eq!(
+                    encoded_len(upload, codec),
+                    n as u64,
+                    "{upload:?} under {codec:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upload_with_stats_grammar_round_trips() {
+        let mut scratch = ScratchPool::new();
+        let mask = BitMask::from_indices(50, [3usize, 17, 40]);
+        let dense: Vec<f32> = (0..50).map(|i| i as f32 - 25.0).collect();
+        let stats = [0.25f32, -0.5, 1.5];
+        let cases: Vec<(Upload, Option<&BitMask>)> = vec![
+            (Upload::Dense(dense.clone()), None),
+            (Upload::Sparse(sparsify(&dense, 0.1)), None),
+            (
+                Upload::KnownMask(SparseUpdate::from_dense_masked(&dense, &mask)),
+                Some(&mask),
+            ),
+            (
+                Upload::MaskSplit(gluefl_compress::mask_shift::client_split(&dense, &mask, 4)),
+                Some(&mask),
+            ),
+            (
+                Upload::Ternary(TernaryUpdate::quantize(&sparsify(&dense, 0.1))),
+                None,
+            ),
+        ];
+        for (upload, round_mask) in cases {
+            let mut buf = Vec::new();
+            let n = encode_upload(&upload, 2, Codec::F32, 0, &mut buf);
+            let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
+            assert_eq!(n as u64, encoded_len(&upload, Codec::F32));
+            let (decoded, stats_frame) =
+                decode_upload_with_stats(&buf, round_mask, &mut scratch).expect("valid payload");
+            assert_eq!(decoded, upload);
+            assert_eq!(stats_frame.nnz, stats.len());
+            let mut got = Vec::new();
+            stats_frame.values_into(&mut got);
+            assert_eq!(got, stats);
+        }
+
+        // Hostile grammar: a mask broadcast in the upload slot, a stats
+        // slot that is not known-mask, and trailing bytes — all typed.
+        let mut buf = Vec::new();
+        let _ = gluefl_wire::encode_mask(&mut buf, 2, &mask);
+        let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
+        assert!(matches!(
+            decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
+        let mut buf = Vec::new();
+        let _ = encode_upload(&Upload::Dense(dense.clone()), 2, Codec::F32, 0, &mut buf);
+        let _ = gluefl_wire::encode_mask(&mut buf, 2, &mask);
+        assert!(matches!(
+            decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
+        let mut buf = Vec::new();
+        let _ = encode_upload(&Upload::Dense(dense), 2, Codec::F32, 0, &mut buf);
+        let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
+        buf.push(0xEE);
+        assert!(matches!(
+            decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
     }
 
     #[test]

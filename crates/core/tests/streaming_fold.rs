@@ -1,0 +1,275 @@
+//! Streaming fold ≡ batch aggregate, bit-exact, for every strategy.
+//!
+//! The [`gluefl_core::stream::StreamingAggregator`] promises that folding
+//! kept uploads one at a time — in whatever order they arrive — produces
+//! the same `MaskedUpdate`, to the bit, as the batch
+//! [`Strategy::aggregate`] over the id-sorted keep set. These properties
+//! drive all six strategy configurations × all three wire codecs through
+//! real encode/decode round-trips for several rounds, deliver the kept
+//! uploads in proptest-shuffled arrival orders, and compare the two
+//! aggregation paths round by round (state evolution included: a
+//! divergence in round `r`'s fold would shift every later round's masks).
+//!
+//! The keep-K cutoff identity rides along: the over-committed remainder
+//! of each round's invites is dropped without ever being decoded or
+//! folded, and the fold still matches the batch aggregate over exactly
+//! the kept set.
+
+use gluefl_compress::{ApfConfig, CompensationMode};
+use gluefl_core::strategies::{build_strategy, Group, Upload};
+use gluefl_core::stream::StreamingAggregator;
+use gluefl_core::{wire_link, GlueFlParams, ScratchPool, SimConfig, StrategyConfig};
+use gluefl_data::DatasetProfile;
+use gluefl_ml::DatasetModel;
+use gluefl_sampling::AllOnline;
+use gluefl_tensor::rng::derive_seed;
+use gluefl_tensor::{BitMask, MaskedUpdate};
+use gluefl_wire::Codec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 24;
+const K: usize = 5;
+const DIM: usize = 48;
+/// Positions `STATS_FROM..DIM` play the BN-statistic role: excluded from
+/// every strategy's masks and zero in every delta.
+const STATS_FROM: usize = 44;
+const ROUNDS: u32 = 3;
+
+fn all_strategy_configs() -> Vec<StrategyConfig> {
+    vec![
+        StrategyConfig::FedAvg,
+        StrategyConfig::MdFedAvg,
+        StrategyConfig::Stc { q: 0.25 },
+        StrategyConfig::StcQuantized { q: 0.25 },
+        StrategyConfig::Apf {
+            config: ApfConfig {
+                threshold: 0.1,
+                ema_beta: 0.9,
+                initial_period: 2,
+                max_period: 8,
+                warmup_rounds: 1,
+            },
+        },
+        StrategyConfig::GlueFl(GlueFlParams {
+            q: 0.25,
+            q_shr: 0.2,
+            sticky_group: 4 * K,
+            sticky_draw: 4 * K / 5,
+            regen_interval: Some(2), // rounds 0 and 2 regenerate
+            compensation: CompensationMode::Rescaled,
+            equal_weights: false,
+        }),
+    ]
+}
+
+fn stats_excluded() -> BitMask {
+    let mut m = BitMask::zeros(DIM);
+    for i in STATS_FROM..DIM {
+        m.set(i, true);
+    }
+    m
+}
+
+fn cfg_for(strategy: StrategyConfig, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_setup(
+        DatasetProfile::Femnist,
+        DatasetModel::ShuffleNet,
+        strategy,
+        0.02,
+        ROUNDS,
+        seed,
+    );
+    cfg.round_size = K;
+    cfg.oc = 1.6;
+    cfg
+}
+
+/// A deterministic pseudo-random trainable delta for `(seed, round, id)`;
+/// BN-statistic positions are exact zeros, as the simulator guarantees.
+fn delta_for(seed: u64, round: u32, id: usize) -> Vec<f32> {
+    (0..DIM)
+        .map(|j| {
+            if j >= STATS_FROM {
+                return 0.0;
+            }
+            let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                ^ (u64::from(round) << 17)
+                ^ (j as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            (h % 2001) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn bits(u: &MaskedUpdate) -> Vec<u32> {
+    u.values().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `ROUNDS` rounds of one strategy under one codec twice — batch
+/// aggregate vs streaming fold with `order` as the arrival shuffle — and
+/// asserts bit-identical updates every round.
+fn check_strategy(strategy_cfg: StrategyConfig, codec: Codec, seed: u64, order: &[u64]) {
+    let cfg = cfg_for(strategy_cfg, seed);
+    let weights = vec![1.0 / N as f64; N];
+    let trainable = STATS_FROM;
+    let mut rng_a = StdRng::seed_from_u64(derive_seed(seed, "fold-prop", 0));
+    let mut rng_b = rng_a.clone();
+    let mut strat_a = build_strategy(&cfg, &weights, trainable, DIM, stats_excluded(), &mut rng_a);
+    let mut strat_b = build_strategy(&cfg, &weights, trainable, DIM, stats_excluded(), &mut rng_b);
+    let mut pool_a = ScratchPool::new();
+    let mut pool_b = ScratchPool::new();
+
+    for round in 0..ROUNDS {
+        // Plan identically on both sides.
+        let mut plan_rng_a = StdRng::seed_from_u64(derive_seed(seed, "fold-plan", round.into()));
+        let mut plan_rng_b = plan_rng_a.clone();
+        let plan_a = strat_a.plan_round(round, &mut plan_rng_a, &mut AllOnline);
+        let plan_b = strat_b.plan_round(round, &mut plan_rng_b, &mut AllOnline);
+        let invited: Vec<(usize, Group)> = plan_a.invited().collect();
+        assert_eq!(invited, plan_b.invited().collect::<Vec<_>>());
+
+        // Compress on both sides (error-compensation state must evolve
+        // identically for every *invited* client, kept or dropped).
+        let mut uploads: Vec<(usize, Group, Upload)> = Vec::new();
+        for &(id, group) in &invited {
+            let mut da = delta_for(seed, round, id);
+            let mut db = da.clone();
+            let ua = strat_a.compress(round, id, group, &mut da, &mut pool_a);
+            let ub = strat_b.compress(round, id, group, &mut db, &mut pool_b);
+            assert_eq!(ua, ub, "compress diverged for client {id}");
+            pool_b.reclaim_upload(ub);
+            uploads.push((id, group, ua));
+        }
+
+        // Keep-K cutoff: first `keep_sticky` sticky + `keep_fresh` fresh
+        // invites survive; the over-committed remainder is dropped
+        // without ever being encoded, decoded, or folded.
+        let sticky_n = plan_a.sticky_invites.len();
+        let keep_s = plan_a.keep_sticky.min(sticky_n);
+        let keep_f = plan_a.keep_fresh.min(uploads.len() - sticky_n);
+        let mut kept: Vec<(usize, Group, Upload)> = Vec::new();
+        for (i, entry) in uploads.into_iter().enumerate() {
+            if (i < sticky_n && i < keep_s) || (i >= sticky_n && i < sticky_n + keep_f) {
+                kept.push(entry);
+            } else {
+                pool_a.reclaim_upload(entry.2);
+            }
+        }
+
+        // Wire round-trip each kept upload once; both aggregation paths
+        // consume the same decoded bytes, exactly like a server would.
+        let decoded: Vec<(usize, Group, Upload)> = {
+            let mask = strat_a.round_mask(round);
+            kept.iter()
+                .map(|(id, group, upload)| {
+                    let key = (u64::from(round) << 32) | *id as u64;
+                    let mut buf = Vec::new();
+                    let ulen = wire_link::encode_upload(
+                        upload,
+                        round,
+                        codec,
+                        derive_seed(seed, "wire-quant", key),
+                        &mut buf,
+                    );
+                    assert_eq!(ulen as u64, wire_link::encoded_len(upload, codec));
+                    let dec = wire_link::decode_upload(&buf[..ulen], mask, &mut pool_a)
+                        .expect("clean round-trip");
+                    (*id, *group, dec)
+                })
+                .collect()
+        };
+        for (_, _, upload) in kept {
+            pool_a.reclaim_upload(upload);
+        }
+
+        // Batch reference: id-sorted aggregate on side A.
+        let mut batch_input = decoded.clone();
+        batch_input.sort_by_key(|(id, _, _)| *id);
+        let want = strat_a.aggregate(round, &batch_input, &mut pool_a);
+        for (_, _, upload) in batch_input {
+            pool_a.reclaim_upload(upload);
+        }
+
+        // Streaming fold on side B, arrivals shuffled by the proptest
+        // sort keys (stable sort, so equal keys stay deterministic).
+        let ids: Vec<(usize, Group)> = decoded.iter().map(|&(id, g, _)| (id, g)).collect();
+        let mut arrival = decoded;
+        arrival.sort_by_key(|(id, _, _)| order[*id % order.len()]);
+        let mut gate = StreamingAggregator::begin(round, &ids, &mut *strat_b, &mut pool_b);
+        for (id, _, upload) in arrival {
+            gate.accept(&mut *strat_b, id, upload, &mut pool_b).unwrap();
+        }
+        assert!(gate.complete());
+        assert_eq!(gate.folded(), ids.len());
+        let got = gate.finish(&mut *strat_b, &mut pool_b);
+
+        assert_eq!(
+            want.mask(),
+            got.mask(),
+            "round {round}: fold mask diverged from batch aggregate"
+        );
+        assert_eq!(
+            bits(&want),
+            bits(&got),
+            "round {round}: fold values diverged from batch aggregate"
+        );
+        pool_a.put_update(want);
+        pool_b.put_update(got);
+
+        // Evolve sticky state identically on both sides.
+        let kept_sticky: Vec<usize> = ids
+            .iter()
+            .filter(|(_, g)| *g == Group::Sticky)
+            .map(|&(id, _)| id)
+            .collect();
+        let kept_fresh: Vec<usize> = ids
+            .iter()
+            .filter(|(_, g)| *g == Group::Fresh)
+            .map(|&(id, _)| id)
+            .collect();
+        let mut fin_rng_a = StdRng::seed_from_u64(derive_seed(seed, "fold-fin", round.into()));
+        let mut fin_rng_b = fin_rng_a.clone();
+        strat_a.finish_round(round, &mut fin_rng_a, &kept_sticky, &kept_fresh);
+        strat_b.finish_round(round, &mut fin_rng_b, &kept_sticky, &kept_fresh);
+    }
+}
+
+proptest! {
+    /// Every strategy × F32: shuffled streaming fold ≡ batch aggregate.
+    #[test]
+    fn fold_matches_batch_f32(
+        seed in 0u64..100_000,
+        order in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        for strategy in all_strategy_configs() {
+            check_strategy(strategy, Codec::F32, seed, &order);
+        }
+    }
+
+    /// Every strategy × the lossy F16 codec: both paths see the same
+    /// decoded (precision-reduced) values, so they still agree bit-exactly.
+    #[test]
+    fn fold_matches_batch_f16(
+        seed in 0u64..100_000,
+        order in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        for strategy in all_strategy_configs() {
+            check_strategy(strategy, Codec::F16, seed, &order);
+        }
+    }
+
+    /// Every strategy × the stochastically-rounded QuantU8 codec.
+    #[test]
+    fn fold_matches_batch_quant_u8(
+        seed in 0u64..100_000,
+        order in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        for strategy in all_strategy_configs() {
+            check_strategy(strategy, Codec::QuantU8, seed, &order);
+        }
+    }
+}

@@ -95,15 +95,19 @@ impl MdSampler {
         self.cdf.len()
     }
 
+    /// Draws one client — a single `O(log N)` CDF inversion consuming
+    /// exactly one RNG value, with no allocation. `draw(rng, k)` is
+    /// RNG-for-RNG identical to calling this `k` times.
+    #[must_use]
+    pub fn draw_one<R: Rng>(&self, rng: &mut R) -> ClientId {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
     /// Draws `k` clients i.i.d. (with replacement), in draw order.
     #[must_use]
     pub fn draw<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<ClientId> {
-        (0..k)
-            .map(|_| {
-                let u: f64 = rng.gen();
-                self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
-            })
-            .collect()
+        (0..k).map(|_| self.draw_one(rng)).collect()
     }
 }
 

@@ -8,7 +8,7 @@
 //! membership change bounded by the admitted count.
 
 use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
-use gluefl_sampling::{AllOnline, DenseOnline, StickySampler};
+use gluefl_sampling::{AllOnline, DenseOnline, MdSampler, StickySampler};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,29 @@ proptest! {
         all.sort_unstable();
         all.dedup();
         prop_assert_eq!(all.len(), d.len());
+    }
+
+    /// The MD sampler's per-draw path at population scale: `draw_one` is
+    /// RNG-for-RNG identical to the batch `draw`, and `k` draws touch
+    /// only the O(K) returned ids — there is no per-round O(N) state to
+    /// initialise or reset, which is what keeps MD-based round planning
+    /// at O(K log N) for N = 10⁵.
+    #[test]
+    fn md_draw_one_matches_batch_at_scale(
+        seed in 0u64..1_000,
+        k in 1usize..64,
+    ) {
+        let sampler = MdSampler::uniform(N);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = rng_a.clone();
+        let batch = sampler.draw(&mut rng_a, k);
+        let singles: Vec<usize> = (0..k).map(|_| sampler.draw_one(&mut rng_b)).collect();
+        prop_assert_eq!(&batch, &singles);
+        // Touched set: exactly the k drawn ids, all in range. The draw
+        // itself allocates nothing and holds no mutable state, so the
+        // touched working set per round is the K results — nothing else.
+        prop_assert_eq!(singles.len(), k);
+        prop_assert!(singles.iter().all(|&c| c < N));
     }
 
     /// Over-commitment plans always invite at least what they keep and

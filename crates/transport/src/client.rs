@@ -1,0 +1,493 @@
+//! The client side of the round loop: a [`ClientNode`] that trains and
+//! compresses exactly like one simulated client, plus [`run_client`],
+//! the blocking socket loop that speaks the envelope protocol.
+//!
+//! # Bit-exactness
+//!
+//! A real client must reproduce, to the bit, what the in-process
+//! [`gluefl_core::Simulation`] computes for the same `(seed, round, id)`:
+//! the same synthetic shard, the same local-SGD delta
+//! ([`gluefl_core::local_train_into`] with the `"local-train"` derived
+//! seed), and the same compressed upload. Compression is mirrored here
+//! per strategy (the private `ClientCompressor`) rather than through a
+//! [`gluefl_core::strategies::Strategy`] instance, because the strategy
+//! object holds *server* state (samplers, masks) a client does not have —
+//! but the client-visible parts (error-compensation residuals keyed by
+//! client id, top-k scopes, propensity weights) depend only on the
+//! client's own history and the round's broadcast mask, which arrives in
+//! every `INVITE`. The loopback suite pins the mirror against the
+//! simulator for every strategy.
+
+use crate::proto::{read_msg_blocking, write_msg, MsgKind, ProtoError, PROTO_VERSION};
+use crate::TransportError;
+use gluefl_compress::stc::keep_count;
+use gluefl_compress::{CompensationMode, ErrorCompensator};
+use gluefl_core::strategies::{Group, Upload};
+use gluefl_core::{local_train_into, wire_link, ScratchPool, SimConfig, StrategyConfig, TrainSlot};
+use gluefl_data::SyntheticFlDataset;
+use gluefl_ml::Mlp;
+use gluefl_sampling::sticky_weights;
+use gluefl_tensor::rng::{derive_seed, seeded_rng};
+use gluefl_tensor::wire::HEADER_BYTES;
+use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
+use gluefl_wire::{decode_frame_prefix, encode_known_mask, frame_len, FrameKind};
+use std::io::Write as _;
+use std::net::TcpStream;
+
+/// The client-side mirror of one strategy's `compress` path.
+///
+/// Each variant holds exactly the state the corresponding
+/// [`gluefl_core::strategies::Strategy`] keeps *per client*: the error
+/// compensator's residual map is keyed by client id and only ever touched
+/// inside `compress`, so a client carrying its own compensator stays
+/// bit-identical to the server-side strategy carrying everyone's.
+enum ClientCompressor {
+    /// FedAvg / MD-FedAvg: the dense delta is the upload.
+    Dense,
+    /// STC: error feedback, top-`q` outside the BN statistics, optional
+    /// ternary quantization.
+    Stc {
+        q: f64,
+        quantize: bool,
+        ec: ErrorCompensator,
+    },
+    /// APF: values under the broadcast active mask.
+    Apf,
+    /// GlueFL: re-scaled error compensation, shared part under the
+    /// broadcast mask `M_t`, unique top-`(q−q_shr)` outside `M_t ∪ stats`.
+    GlueFl {
+        params: gluefl_core::GlueFlParams,
+        /// This client's importance weight `p_i`.
+        own_weight: f64,
+        /// Population size (for the propensity factors).
+        n: usize,
+        /// Round size `K`.
+        k: usize,
+        ec: ErrorCompensator,
+        /// Reused `broadcast mask ∪ stats` scope.
+        scope: BitMask,
+    },
+}
+
+impl ClientCompressor {
+    /// Whether `round` regenerates GlueFL's shared mask (mirror of
+    /// `GlueFlStrategy::is_regen_round`).
+    fn is_regen_round(params: &gluefl_core::GlueFlParams, round: u32) -> bool {
+        match params.regen_interval {
+            Some(i) => round > 0 && round.is_multiple_of(i),
+            None => false,
+        }
+    }
+
+    /// This client's aggregation weight (mirror of
+    /// `Strategy::client_weight` for the strategies whose compress path
+    /// consumes it).
+    fn gluefl_weight(
+        params: &gluefl_core::GlueFlParams,
+        own_weight: f64,
+        n: usize,
+        k: usize,
+        group: Group,
+    ) -> f64 {
+        if params.equal_weights {
+            return 1.0 / k as f64;
+        }
+        let w = sticky_weights(n, params.sticky_group, params.sticky_draw, k);
+        let factor = match group {
+            Group::Sticky => w.sticky_factor,
+            Group::Fresh => w.fresh_factor,
+        };
+        factor * own_weight
+    }
+
+    /// Compresses this client's trained delta exactly as the server-side
+    /// strategy would. `broadcast_mask` is the round mask decoded from
+    /// the `INVITE` (`None` for dense/sparse strategies).
+    #[allow(clippy::too_many_arguments)]
+    fn compress(
+        &mut self,
+        round: u32,
+        id: usize,
+        group: Group,
+        delta: &mut [f32],
+        broadcast_mask: Option<&BitMask>,
+        trainable: usize,
+        dim: usize,
+        stats_excluded: &BitMask,
+        scratch: &mut ScratchPool,
+    ) -> Result<Upload, TransportError> {
+        match self {
+            ClientCompressor::Dense => Ok(Upload::Dense(scratch.take_copy(delta))),
+            ClientCompressor::Stc { q, quantize, ec } => {
+                ec.apply(id, delta, 1.0);
+                let k = keep_count(trainable, *q);
+                let (ix, vals) = scratch.take_sparse();
+                let idx = top_k_abs_masked_into(
+                    delta,
+                    k,
+                    TopKScope::Outside(stats_excluded),
+                    &mut scratch.topk,
+                );
+                let sparse = SparseUpdate::gather_in(delta, idx, ix, vals);
+                if *quantize {
+                    let ternary = gluefl_compress::stc::TernaryUpdate::quantize(&sparse);
+                    ec.record_sent_parts(id, delta, &[&ternary.dequantize()], 1.0);
+                    Ok(Upload::Ternary(ternary))
+                } else {
+                    ec.record_sent_parts(id, delta, &[&sparse], 1.0);
+                    Ok(Upload::Sparse(sparse))
+                }
+            }
+            ClientCompressor::Apf => {
+                let mask = broadcast_mask.ok_or(TransportError::MissingBroadcastMask)?;
+                let (ix, vals) = scratch.take_sparse();
+                Ok(Upload::KnownMask(SparseUpdate::from_dense_masked_in(
+                    delta, mask, ix, vals,
+                )))
+            }
+            ClientCompressor::GlueFl {
+                params,
+                own_weight,
+                n,
+                k,
+                ec,
+                scope,
+            } => {
+                let mask = broadcast_mask.ok_or(TransportError::MissingBroadcastMask)?;
+                let weight = Self::gluefl_weight(params, *own_weight, *n, *k, group);
+                ec.apply(id, delta, weight);
+
+                let regen = Self::is_regen_round(params, round);
+                let unique_k = if regen {
+                    keep_count(trainable, params.q)
+                } else {
+                    keep_count(trainable, params.q - params.q_shr)
+                };
+                let shared = if regen {
+                    SparseUpdate::empty(dim)
+                } else {
+                    let (ix, vals) = scratch.take_sparse();
+                    SparseUpdate::from_dense_masked_in(delta, mask, ix, vals)
+                };
+                let top_scope: &BitMask = if regen {
+                    stats_excluded
+                } else {
+                    scope.copy_from(mask);
+                    scope.union_with(stats_excluded);
+                    scope
+                };
+                let (ix, vals) = scratch.take_sparse();
+                let idx = top_k_abs_masked_into(
+                    delta,
+                    unique_k,
+                    TopKScope::Outside(top_scope),
+                    &mut scratch.topk,
+                );
+                let unique = SparseUpdate::gather_in(delta, idx, ix, vals);
+                ec.record_sent_parts(id, delta, &[&shared, &unique], weight);
+                Ok(Upload::MaskSplit(
+                    gluefl_compress::mask_shift::ClientSplit { shared, unique },
+                ))
+            }
+        }
+    }
+}
+
+/// One real client: its data shard, model topology, training slot, and
+/// compression state, all derived from the shared [`SimConfig`].
+///
+/// Public so the hostile test battery can drive an honest node and then
+/// corrupt the bytes it produces.
+pub struct ClientNode {
+    cfg: SimConfig,
+    id: usize,
+    data: SyntheticFlDataset,
+    /// Built only for its layout/topology; the trained parameters come
+    /// from the server's broadcast every round.
+    model: Mlp,
+    stats_positions: Vec<usize>,
+    trainable_mask: BitMask,
+    stats_excluded: BitMask,
+    trainable: usize,
+    dim: usize,
+    compressor: ClientCompressor,
+    slot: TrainSlot,
+    scratch: ScratchPool,
+    /// The round's decoded global parameters.
+    global: Vec<f32>,
+    /// The round's decoded broadcast mask, if the strategy ships one.
+    round_mask: Option<BitMask>,
+    /// Reused trained-delta buffer.
+    delta: Vec<f32>,
+    /// Reused BN-statistic drift buffer.
+    stats_out: Vec<f32>,
+    /// The compressed upload awaiting a `GRANT` decision.
+    pending: Option<(u32, Upload)>,
+}
+
+impl ClientNode {
+    /// Builds the client for `id` from the run config. Dataset and model
+    /// layout derive from `cfg.seed` exactly as in
+    /// [`gluefl_core::Simulation::new`], so both sides agree on shards,
+    /// shapes, and BN-statistic positions.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the configured population.
+    #[must_use]
+    pub fn new(cfg: SimConfig, id: usize) -> Self {
+        let data =
+            SyntheticFlDataset::generate(cfg.dataset.clone(), derive_seed(cfg.seed, "data", 0));
+        assert!(id < data.num_clients(), "client id outside population");
+        let mut init_rng = seeded_rng(cfg.seed, "model-init", 0);
+        let model = cfg
+            .model
+            .build(data.feature_dim(), data.classes(), &mut init_rng);
+        let dim = model.num_params();
+        let layout = model.layout();
+        let trainable = layout.trainable_count();
+        let trainable_mask = layout.trainable_mask();
+        let stats_excluded = trainable_mask.not();
+        let stats_positions: Vec<usize> = stats_excluded.iter_ones().collect();
+        let n = data.num_clients();
+        let k = cfg.round_size;
+        let compressor = match &cfg.strategy {
+            StrategyConfig::FedAvg | StrategyConfig::MdFedAvg => ClientCompressor::Dense,
+            StrategyConfig::Stc { q } => ClientCompressor::Stc {
+                q: *q,
+                quantize: false,
+                ec: ErrorCompensator::new(CompensationMode::Raw, dim),
+            },
+            StrategyConfig::StcQuantized { q } => ClientCompressor::Stc {
+                q: *q,
+                quantize: true,
+                ec: ErrorCompensator::new(CompensationMode::Raw, dim),
+            },
+            StrategyConfig::Apf { .. } => ClientCompressor::Apf,
+            StrategyConfig::GlueFl(params) => ClientCompressor::GlueFl {
+                params: params.clone(),
+                own_weight: data.client_weights()[id],
+                n,
+                k,
+                ec: ErrorCompensator::new(params.compensation, dim),
+                scope: BitMask::zeros(dim),
+            },
+        };
+        Self {
+            cfg,
+            id,
+            data,
+            model,
+            stats_positions,
+            trainable_mask,
+            stats_excluded,
+            trainable,
+            dim,
+            compressor,
+            slot: TrainSlot::default(),
+            scratch: ScratchPool::new(),
+            global: Vec::new(),
+            round_mask: None,
+            delta: Vec::new(),
+            stats_out: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// This client's id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Decodes an `INVITE` payload (`[group u8]` + broadcast frames),
+    /// trains locally, compresses, and stages the upload. Returns the
+    /// offer pair `(analytic_bytes, wire_bytes)` — the exact values the
+    /// simulator predicts for this upload.
+    ///
+    /// # Errors
+    /// Typed errors on malformed broadcast frames.
+    pub fn handle_invite(
+        &mut self,
+        round: u32,
+        payload: &[u8],
+    ) -> Result<(u64, u64), TransportError> {
+        let (&group_byte, frames) = payload.split_first().ok_or(TransportError::EmptyInvite)?;
+        let group = match group_byte {
+            0 => Group::Fresh,
+            1 => Group::Sticky,
+            other => return Err(TransportError::BadGroup(other)),
+        };
+        // Broadcast frame 1: the dense F32 global model.
+        let (model_frame, rest) = decode_frame_prefix(frames)?;
+        if model_frame.kind != FrameKind::Dense || model_frame.dim != self.dim {
+            return Err(TransportError::BadBroadcast);
+        }
+        self.global.clear();
+        model_frame.values_into(&mut self.global);
+        // Broadcast frame 2 (optional): the strategy's round mask.
+        self.round_mask = if rest.is_empty() {
+            None
+        } else {
+            let (mask_frame, tail) = decode_frame_prefix(rest)?;
+            if mask_frame.kind != FrameKind::Mask || mask_frame.dim != self.dim || !tail.is_empty()
+            {
+                return Err(TransportError::BadBroadcast);
+            }
+            let mut mask = self.round_mask.take().unwrap_or_else(|| BitMask::zeros(0));
+            mask_frame.mask_into(&mut mask);
+            Some(mask)
+        };
+
+        // Local training — identical inputs to the simulator's worker.
+        let lr = self.cfg.lr_at_round(round);
+        self.delta.clear();
+        self.delta.resize(self.dim, 0.0);
+        self.stats_out.clear();
+        self.stats_out.resize(self.stats_positions.len(), 0.0);
+        let client_seed = derive_seed(
+            self.cfg.seed,
+            "local-train",
+            (u64::from(round) << 32) | self.id as u64,
+        );
+        local_train_into(
+            self.model.topology(),
+            &self.global,
+            &self.data,
+            self.id,
+            self.cfg.local_steps,
+            self.cfg.batch_size,
+            lr,
+            self.cfg.momentum,
+            client_seed,
+            &mut self.delta,
+            &self.stats_positions,
+            &mut self.stats_out,
+            &self.trainable_mask,
+            &mut self.slot,
+        );
+
+        // Compress and price the upload (discarding any stale pending
+        // upload from a round whose grant never arrived).
+        if let Some((_, stale)) = self.pending.take() {
+            self.scratch.reclaim_upload(stale);
+        }
+        let upload = self.compressor.compress(
+            round,
+            self.id,
+            group,
+            &mut self.delta,
+            self.round_mask.as_ref(),
+            self.trainable,
+            self.dim,
+            &self.stats_excluded,
+            &mut self.scratch,
+        )?;
+        let stats_len = self.stats_positions.len();
+        let codec = self.cfg.wire_codec;
+        let analytic = upload.bytes() + stats_len as u64 * 4 + HEADER_BYTES;
+        let wire = wire_link::encoded_len(&upload, codec)
+            + frame_len(FrameKind::KnownMask, codec, self.dim, stats_len);
+        self.pending = Some((round, upload));
+        Ok((analytic, wire))
+    }
+
+    /// Serializes the staged upload (frames + BN-statistics frame) into
+    /// `out` — the byte-exact payload the simulator stages in-process.
+    /// Consumes the pending upload.
+    ///
+    /// # Errors
+    /// [`TransportError::NoPendingUpload`] when no upload is staged for
+    /// `round`.
+    pub fn encode_granted(&mut self, round: u32, out: &mut Vec<u8>) -> Result<(), TransportError> {
+        match self.pending.take() {
+            Some((r, upload)) if r == round => {
+                let codec = self.cfg.wire_codec;
+                let key = (u64::from(round) << 32) | self.id as u64;
+                let _ = wire_link::encode_upload(
+                    &upload,
+                    round,
+                    codec,
+                    derive_seed(self.cfg.seed, "wire-quant", key),
+                    out,
+                );
+                let _ = encode_known_mask(
+                    out,
+                    round,
+                    codec,
+                    wire_link::rounding_for(
+                        codec,
+                        derive_seed(self.cfg.seed, "wire-quant-stats", key),
+                    ),
+                    self.dim,
+                    &self.stats_out,
+                );
+                self.scratch.reclaim_upload(upload);
+                Ok(())
+            }
+            Some((_, stale)) => {
+                self.scratch.reclaim_upload(stale);
+                Err(TransportError::NoPendingUpload)
+            }
+            None => Err(TransportError::NoPendingUpload),
+        }
+    }
+
+    /// Discards the staged upload after a negative grant (the client was
+    /// over-committed out of the keep set).
+    pub fn discard_pending(&mut self) {
+        if let Some((_, upload)) = self.pending.take() {
+            self.scratch.reclaim_upload(upload);
+        }
+    }
+}
+
+/// Connects to `addr` and runs the full client protocol until the server
+/// sends `FIN`: `HELLO` → `WELCOME`, then per round `INVITE` → `OFFER`,
+/// and on a positive `GRANT` the upload bytes.
+///
+/// # Errors
+/// Any socket or protocol failure; a clean `FIN` returns `Ok(())`.
+pub fn run_client(addr: &str, cfg: SimConfig, id: usize) -> Result<(), TransportError> {
+    let mut node = ClientNode::new(cfg, id);
+    let mut stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
+    stream.set_nodelay(true).map_err(ProtoError::Io)?;
+
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&PROTO_VERSION.to_le_bytes());
+    hello[4..].copy_from_slice(&(u32::try_from(id).expect("id fits u32")).to_le_bytes());
+    write_msg(&mut stream, MsgKind::Hello, 0, &hello)?;
+
+    let mut payload = Vec::new();
+    let env = read_msg_blocking(&mut stream, &mut payload)?;
+    if env.kind != MsgKind::Welcome {
+        return Err(TransportError::UnexpectedMessage(env.kind));
+    }
+
+    let mut out = Vec::new();
+    loop {
+        let env = read_msg_blocking(&mut stream, &mut payload)?;
+        match env.kind {
+            MsgKind::Invite => {
+                let (analytic, wire) = node.handle_invite(env.round, &payload)?;
+                let mut offer = [0u8; 16];
+                offer[..8].copy_from_slice(&analytic.to_le_bytes());
+                offer[8..].copy_from_slice(&wire.to_le_bytes());
+                write_msg(&mut stream, MsgKind::Offer, env.round, &offer)?;
+            }
+            MsgKind::Grant => {
+                if payload.first() == Some(&1) {
+                    out.clear();
+                    node.encode_granted(env.round, &mut out)?;
+                    write_msg(&mut stream, MsgKind::Upload, env.round, &out)?;
+                } else {
+                    node.discard_pending();
+                }
+            }
+            MsgKind::Fin => {
+                let _ = stream.flush();
+                return Ok(());
+            }
+            other => return Err(TransportError::UnexpectedMessage(other)),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Real-socket federated rounds: a TCP server/client pair speaking
+//! `gluefl-wire` frames, reproducing the in-process simulator bit-exactly.
+//!
+//! # Framing
+//!
+//! Every message on the wire is a 10-byte [`proto`] envelope —
+//! `[magic][kind][round u32][len u32]`, all little-endian — followed by
+//! `len` payload bytes. Model, mask, upload, and BN-statistic payloads
+//! are standard checksummed `gluefl-wire` frames, so corruption anywhere
+//! in a payload surfaces as a typed [`gluefl_wire::WireError`], never as
+//! a panic. The message sequence per connection is
+//!
+//! ```text
+//! client:  HELLO ─────────────► server
+//! client:  ◄───────────WELCOME  server
+//! repeat per round (only when invited):
+//! client:  ◄──────────── INVITE server   group tag + model/mask frames
+//! client:  OFFER ─────────────► server   predicted upload byte counts
+//! client:  ◄───────────── GRANT server   1 = send, 0 = discard
+//! client:  UPLOAD ────────────► server   only when granted
+//! finally: ◄─────────────── FIN server
+//! ```
+//!
+//! # Deadline state machine
+//!
+//! The server never blocks indefinitely on a client. Each phase arms a
+//! per-client wall-clock deadline via [`gluefl_net::timing::wall_deadline`]:
+//! a flat floor plus the client's *modeled* phase time scaled by
+//! `secs_per_modeled_sec`. Within a message, a connection that stops
+//! making byte progress for longer than the stall grace is cut off
+//! (slow-loris defense); between messages a connection may idle forever.
+//! A client that misses a deadline, disconnects, or sends hostile bytes
+//! is skipped — the streaming aggregator folds whoever remains and the
+//! round always completes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{run_client, ClientNode};
+pub use proto::{MsgKind, ProtoError, ENVELOPE_BYTES, PROTO_MAGIC, PROTO_VERSION};
+pub use server::{Server, ServerConfig, ServerReport};
+
+use gluefl_core::SimConfig;
+use gluefl_wire::WireError;
+
+/// Everything that can go wrong on a transport endpoint.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Envelope-level failure (socket error, bad magic, truncation, stall).
+    Proto(ProtoError),
+    /// A payload's wire frames failed to decode.
+    Wire(WireError),
+    /// A message kind arrived that the state machine does not expect here.
+    UnexpectedMessage(MsgKind),
+    /// An `INVITE` payload was empty (missing its group tag).
+    EmptyInvite,
+    /// An `INVITE` group tag was neither 0 (fresh) nor 1 (sticky).
+    BadGroup(u8),
+    /// The broadcast frames were not the dense model (+ optional mask)
+    /// this client expects.
+    BadBroadcast,
+    /// The strategy requires a broadcast mask but the `INVITE` carried none.
+    MissingBroadcastMask,
+    /// A `GRANT` arrived for a round with no staged upload.
+    NoPendingUpload,
+    /// Fewer clients than expected completed `HELLO` in time.
+    HandshakeTimeout {
+        /// Clients that finished the handshake.
+        connected: usize,
+        /// Clients the server was configured to wait for.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Proto(e) => write!(f, "protocol error: {e}"),
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::UnexpectedMessage(kind) => write!(f, "unexpected message kind {kind:?}"),
+            Self::EmptyInvite => write!(f, "INVITE payload is empty"),
+            Self::BadGroup(g) => write!(f, "INVITE group tag {g} is neither fresh nor sticky"),
+            Self::BadBroadcast => write!(f, "broadcast frames do not match the model"),
+            Self::MissingBroadcastMask => write!(f, "strategy requires a mask frame; none sent"),
+            Self::NoPendingUpload => write!(f, "GRANT for a round with no staged upload"),
+            Self::HandshakeTimeout {
+                connected,
+                expected,
+            } => {
+                write!(f, "only {connected}/{expected} clients completed HELLO")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Proto(e) => Some(e),
+            Self::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for TransportError {
+    fn from(e: ProtoError) -> Self {
+        Self::Proto(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// FNV-1a over the little-endian bit patterns of a parameter vector —
+/// a compact fingerprint for "same model, bit for bit" assertions
+/// across processes.
+#[must_use]
+pub fn fnv1a_f32_bits(values: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A small, fast [`SimConfig`] for transport smoke tests and the CLI
+/// binaries: `clients` participants, keep-4 rounds with 1.25×
+/// over-commitment, tiny model/dataset, no availability churn (every
+/// configured client must actually connect), eval on the final round.
+///
+/// `strategy_name` is one of `fedavg`, `md`, `stc`, `stc-quant`, `apf`,
+/// `gluefl`.
+///
+/// # Panics
+/// Panics on an unknown strategy name.
+#[must_use]
+pub fn smoke_config(strategy_name: &str, clients: usize, rounds: u32, seed: u64) -> SimConfig {
+    use gluefl_core::{GlueFlParams, StrategyConfig};
+    let strategy = match strategy_name {
+        "fedavg" => StrategyConfig::FedAvg,
+        "md" => StrategyConfig::MdFedAvg,
+        "stc" => StrategyConfig::Stc { q: 0.25 },
+        "stc-quant" => StrategyConfig::StcQuantized { q: 0.25 },
+        "apf" => StrategyConfig::Apf {
+            config: gluefl_compress::ApfConfig::default(),
+        },
+        "gluefl" => StrategyConfig::GlueFl(GlueFlParams {
+            q: 0.25,
+            q_shr: 0.2,
+            sticky_group: 6,
+            sticky_draw: 3,
+            regen_interval: Some(3),
+            compensation: gluefl_compress::CompensationMode::Rescaled,
+            equal_weights: false,
+        }),
+        other => panic!("unknown strategy {other:?}"),
+    };
+    let mut cfg = SimConfig::paper_setup(
+        gluefl_data::DatasetProfile::Femnist,
+        gluefl_ml::DatasetModel::ShuffleNet,
+        strategy,
+        0.02,
+        rounds,
+        seed,
+    );
+    cfg.dataset.clients = clients;
+    cfg.dataset.feature_dim = 12;
+    cfg.dataset.classes = 8;
+    cfg.dataset.test_samples = 128;
+    cfg.model.hidden = vec![16];
+    cfg.round_size = 4;
+    cfg.oc = 1.25;
+    cfg.local_steps = 2;
+    cfg.batch_size = 8;
+    cfg.availability = None;
+    cfg.eval_every = rounds;
+    cfg
+}

@@ -1,0 +1,452 @@
+//! The transport envelope: message framing on top of TCP.
+//!
+//! Every message is a 10-byte envelope header followed by `len` payload
+//! bytes:
+//!
+//! ```text
+//! [magic 0x9B] [kind u8] [round u32 LE] [len u32 LE] [payload ...]
+//! ```
+//!
+//! Payloads are opaque to this layer. `INVITE` and `UPLOAD` payloads are
+//! [`gluefl_wire`] frames (which carry their own checksums); the small
+//! control payloads (`HELLO`, `OFFER`, `GRANT`, `WELCOME`) are fixed-size
+//! little-endian structs documented on [`MsgKind`].
+//!
+//! # Reading under hostility
+//!
+//! [`read_exact_classified`] distinguishes the three ways a read can fail
+//! to complete, because a server must react differently to each:
+//!
+//! - **idle** — a quiet connection that has sent *no* byte of the next
+//!   envelope. Legitimate: an un-invited client says nothing for whole
+//!   rounds. The reader keeps waiting.
+//! - **stalled** — bytes of a message arrived and then progress stopped
+//!   for longer than the grace budget (a slow-loris partial header, a
+//!   disconnect-without-FIN mid-payload). The connection is declared
+//!   failed; the round completes without it.
+//! - **EOF** — the peer closed. Clean between messages, a truncation
+//!   error inside one.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Envelope magic byte (distinct from the wire-frame magic).
+pub const PROTO_MAGIC: u8 = 0x9B;
+/// Protocol version carried in `HELLO`.
+pub const PROTO_VERSION: u32 = 1;
+/// Envelope header length in bytes.
+pub const ENVELOPE_BYTES: usize = 10;
+/// Upper bound on a payload length; larger declared lengths are rejected
+/// before any allocation, so a hostile header cannot balloon memory.
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// Message kinds, with their payload layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Client → server, once per connection:
+    /// `[proto_version u32 LE][client_id u32 LE]`.
+    Hello,
+    /// Server → client, accepting a `HELLO`:
+    /// `[population u32 LE][rounds u32 LE]`.
+    Welcome,
+    /// Server → client, inviting the client into the envelope's round:
+    /// `[group u8]` (0 = fresh, 1 = sticky) followed by the broadcast —
+    /// one dense F32 model frame plus the strategy's mask frame, if any.
+    Invite,
+    /// Client → server, pricing the trained upload before sending it:
+    /// `[analytic_bytes u64 LE][wire_bytes u64 LE]`.
+    Offer,
+    /// Server → client, the keep decision: `[granted u8]` (1 = send the
+    /// upload, 0 = discard it — the over-committed remainder).
+    Grant,
+    /// Client → server: the upload frames followed by the BN-statistics
+    /// known-mask frame — exactly the payload
+    /// [`gluefl_core::wire_link::decode_upload_with_stats`] parses.
+    Upload,
+    /// Server → client: the run is over; close the connection.
+    Fin,
+}
+
+impl MsgKind {
+    /// Wire id of the kind.
+    #[must_use]
+    pub fn id(self) -> u8 {
+        match self {
+            MsgKind::Hello => 1,
+            MsgKind::Welcome => 2,
+            MsgKind::Invite => 3,
+            MsgKind::Offer => 4,
+            MsgKind::Grant => 5,
+            MsgKind::Upload => 6,
+            MsgKind::Fin => 7,
+        }
+    }
+
+    /// Parses a wire id.
+    #[must_use]
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            1 => MsgKind::Hello,
+            2 => MsgKind::Welcome,
+            3 => MsgKind::Invite,
+            4 => MsgKind::Offer,
+            5 => MsgKind::Grant,
+            6 => MsgKind::Upload,
+            7 => MsgKind::Fin,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed envelope header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Round the message belongs to (0 for connection-setup messages).
+    pub round: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// A typed envelope-layer failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket error (other than timeouts, which are
+    /// classified into [`ProtoError::Stalled`] or an idle outcome).
+    Io(io::Error),
+    /// First envelope byte was not [`PROTO_MAGIC`].
+    BadMagic(u8),
+    /// Unknown message-kind id.
+    BadKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared length.
+        len: u32,
+    },
+    /// The peer closed mid-message.
+    Truncated {
+        /// Bytes received of the current unit.
+        got: usize,
+        /// Bytes the unit needed.
+        needed: usize,
+    },
+    /// Bytes of a message arrived, then progress stopped past the grace
+    /// budget (slow-loris / silent death mid-message).
+    Stalled {
+        /// Bytes received of the current unit.
+        got: usize,
+        /// Bytes the unit needed.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::BadMagic(b) => write!(f, "bad envelope magic 0x{b:02X}"),
+            Self::BadKind(k) => write!(f, "unknown message kind {k}"),
+            Self::Oversized { len } => {
+                write!(f, "declared payload {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            Self::Truncated { got, needed } => {
+                write!(f, "peer closed mid-message ({got}/{needed} bytes)")
+            }
+            Self::Stalled { got, needed } => {
+                write!(f, "peer stalled mid-message ({got}/{needed} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// How a classified exact-read ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// Clean EOF before any byte of the unit (only when `allow_idle`).
+    Eof,
+}
+
+/// Writes one message (envelope + payload) and flushes.
+///
+/// # Errors
+/// [`ProtoError::Oversized`] if the payload exceeds [`MAX_PAYLOAD`];
+/// otherwise any socket error.
+pub fn write_msg(
+    w: &mut impl Write,
+    kind: MsgKind,
+    round: u32,
+    payload: &[u8],
+) -> Result<(), ProtoError> {
+    let len = u32::try_from(payload.len()).map_err(|_| ProtoError::Oversized { len: u32::MAX })?;
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized { len });
+    }
+    let mut header = [0u8; ENVELOPE_BYTES];
+    header[0] = PROTO_MAGIC;
+    header[1] = kind.id();
+    header[2..6].copy_from_slice(&round.to_le_bytes());
+    header[6..10].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses an envelope header from its 10 raw bytes.
+///
+/// # Errors
+/// [`ProtoError::BadMagic`], [`ProtoError::BadKind`], or
+/// [`ProtoError::Oversized`] on a malformed header.
+pub fn parse_envelope(header: &[u8; ENVELOPE_BYTES]) -> Result<Envelope, ProtoError> {
+    if header[0] != PROTO_MAGIC {
+        return Err(ProtoError::BadMagic(header[0]));
+    }
+    let kind = MsgKind::from_id(header[1]).ok_or(ProtoError::BadKind(header[1]))?;
+    let round = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized { len });
+    }
+    Ok(Envelope { kind, round, len })
+}
+
+/// Reads exactly `buf.len()` bytes, classifying the failure modes a
+/// hostile or dying peer can produce (see the module docs).
+///
+/// The stream's read timeout (if set) defines one *tick*. A tick that
+/// makes no progress while the unit is untouched and `allow_idle` holds
+/// is ignored — quiet connections wait forever. Once the first byte of
+/// the unit has arrived (or when `allow_idle` is false), each
+/// zero-progress tick spends one of `stall_ticks`; exhausting the budget
+/// is [`ProtoError::Stalled`].
+///
+/// # Errors
+/// [`ProtoError::Truncated`] on EOF inside the unit (or at its start
+/// when `allow_idle` is false), [`ProtoError::Stalled`] as above, and
+/// [`ProtoError::Io`] for any other socket error.
+pub fn read_exact_classified(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    allow_idle: bool,
+    stall_ticks: u32,
+) -> Result<ReadOutcome, ProtoError> {
+    let needed = buf.len();
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    while got < needed {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && allow_idle {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(ProtoError::Truncated { got, needed })
+                };
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 && allow_idle {
+                    continue;
+                }
+                stalls += 1;
+                if stalls >= stall_ticks.max(1) {
+                    return Err(ProtoError::Stalled { got, needed });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Reads one full message: envelope, then payload into `payload`
+/// (cleared and resized). `Ok(None)` is a clean close between messages.
+///
+/// `allow_idle`/`stall_ticks` follow [`read_exact_classified`]; the
+/// payload section never allows idling (its bytes were promised by the
+/// header).
+///
+/// # Errors
+/// Every [`ProtoError`]; a malformed header fails before any payload
+/// allocation.
+pub fn read_msg(
+    r: &mut impl Read,
+    payload: &mut Vec<u8>,
+    allow_idle: bool,
+    stall_ticks: u32,
+) -> Result<Option<Envelope>, ProtoError> {
+    let mut header = [0u8; ENVELOPE_BYTES];
+    match read_exact_classified(r, &mut header, allow_idle, stall_ticks)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let env = parse_envelope(&header)?;
+    payload.clear();
+    payload.resize(env.len as usize, 0);
+    read_exact_classified(r, payload, false, stall_ticks)?;
+    Ok(Some(env))
+}
+
+/// Convenience: a simple blocking read of one message with no timeout
+/// classification (client side, where the socket has no read timeout).
+///
+/// # Errors
+/// Every [`ProtoError`]; an EOF between messages is
+/// [`ProtoError::Truncated`] with `got == 0` (clients are always owed a
+/// next message until `FIN`).
+pub fn read_msg_blocking(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<Envelope, ProtoError> {
+    let mut header = [0u8; ENVELOPE_BYTES];
+    let mut got = 0usize;
+    while got < ENVELOPE_BYTES {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return Err(ProtoError::Truncated {
+                    got,
+                    needed: ENVELOPE_BYTES,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let env = parse_envelope(&header)?;
+    payload.clear();
+    payload.resize(env.len as usize, 0);
+    let mut got = 0usize;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ProtoError::Truncated {
+                    got,
+                    needed: env.len as usize,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(env)
+}
+
+/// Derives the per-tick stall budget from a grace duration and the
+/// socket's read-timeout tick.
+#[must_use]
+pub fn stall_ticks_for(grace: Duration, tick: Duration) -> u32 {
+    let t = tick.as_millis().max(1);
+    u32::try_from(grace.as_millis().div_ceil(t))
+        .unwrap_or(u32::MAX)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, MsgKind::Offer, 42, &[1, 2, 3]).unwrap();
+        assert_eq!(buf.len(), ENVELOPE_BYTES + 3);
+        let mut r = &buf[..];
+        let mut payload = Vec::new();
+        let env = read_msg_blocking(&mut r, &mut payload).unwrap();
+        assert_eq!(
+            env,
+            Envelope {
+                kind: MsgKind::Offer,
+                round: 42,
+                len: 3
+            }
+        );
+        assert_eq!(payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_headers_are_typed() {
+        let mut h = [0u8; ENVELOPE_BYTES];
+        assert!(matches!(parse_envelope(&h), Err(ProtoError::BadMagic(0))));
+        h[0] = PROTO_MAGIC;
+        h[1] = 99;
+        assert!(matches!(parse_envelope(&h), Err(ProtoError::BadKind(99))));
+        h[1] = MsgKind::Upload.id();
+        h[6..10].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            parse_envelope(&h),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_message_is_typed() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, MsgKind::Upload, 0, &[0xAB; 32]).unwrap();
+        for cut in [3usize, ENVELOPE_BYTES, ENVELOPE_BYTES + 10] {
+            let mut r = &buf[..cut];
+            let mut payload = Vec::new();
+            assert!(
+                matches!(
+                    read_msg_blocking(&mut r, &mut payload),
+                    Err(ProtoError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_its_id() {
+        for kind in [
+            MsgKind::Hello,
+            MsgKind::Welcome,
+            MsgKind::Invite,
+            MsgKind::Offer,
+            MsgKind::Grant,
+            MsgKind::Upload,
+            MsgKind::Fin,
+        ] {
+            assert_eq!(MsgKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(MsgKind::from_id(0), None);
+        assert_eq!(MsgKind::from_id(8), None);
+    }
+
+    #[test]
+    fn stall_budget_is_at_least_one_tick() {
+        assert_eq!(
+            stall_ticks_for(Duration::from_millis(0), Duration::from_millis(200)),
+            1
+        );
+        assert_eq!(
+            stall_ticks_for(Duration::from_millis(1000), Duration::from_millis(200)),
+            5
+        );
+    }
+}

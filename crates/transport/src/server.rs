@@ -1,0 +1,848 @@
+//! The orchestrating server: a real-socket round loop that reproduces
+//! [`gluefl_core::Simulation`] bit-exactly when every client behaves,
+//! and completes every round (skipping the offender) when one does not.
+//!
+//! # Round protocol
+//!
+//! Per round the server:
+//!
+//! 1. plans invitations through the strategy's `OnlineQuery` seam
+//!    (availability ∧ connection-alive);
+//! 2. serializes the broadcast once (dense F32 model frame + the
+//!    strategy's mask frame) and sends each invited client an `INVITE`
+//!    carrying its group tag plus that cached frame pair;
+//! 3. collects `OFFER`s — each client's predicted upload byte counts —
+//!    under per-client deadlines derived from the *modeled* download and
+//!    compute times ([`wall_deadline`]);
+//! 4. keeps the fastest offers per group (the modeled times use the same
+//!    [`fastest`] rule as the simulator) and `GRANT`s exactly the keep
+//!    set — the over-committed remainder is told to discard, so its
+//!    upload bytes never reach the decoder; a remainder client that
+//!    uploads anyway has its payload drained and dropped unread;
+//! 5. decodes each granted upload **as it arrives**
+//!    ([`wire_link::decode_upload_with_stats`]) and folds it immediately
+//!    through the [`StreamingAggregator`] — there is no
+//!    collect-then-aggregate staging; a hostile or dead client is
+//!    skipped (`gate.skip`) and the round completes without it;
+//! 6. applies the masked update, averages BN statistics (Appendix D),
+//!    evolves sticky state, and evaluates on schedule — all in the
+//!    simulator's exact order, so the per-round [`RoundRecord`]s match
+//!    the in-process run field for field.
+
+use crate::proto::{read_msg, stall_ticks_for, write_msg, MsgKind, ProtoError, PROTO_VERSION};
+use crate::TransportError;
+use gluefl_core::strategies::{build_strategy, Group, Strategy, Upload};
+use gluefl_core::stream::StreamingAggregator;
+use gluefl_core::{
+    wire_link, RoundRecord, ScratchPool, SimConfig, StalenessTracker, StrategyConfig,
+};
+use gluefl_data::SyntheticFlDataset;
+use gluefl_net::timing::{fastest, seconds_for_bytes, wall_deadline, ClientRoundTime};
+use gluefl_net::{LazyAvailability, LinkCache, SpeedCache};
+use gluefl_tensor::rng::{derive_seed, seeded_rng};
+use gluefl_wire::{Codec, Rounding};
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Modeled upload time assigned to an invited client that never offered:
+/// large enough to lose every [`fastest`] comparison, finite so the sort
+/// never sees a NaN/∞ ordering panic.
+const MISSING_OFFER_SECS: f64 = 1e30;
+
+/// Transport-level knobs of the server (the training run itself is fully
+/// described by the [`SimConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Expected number of connecting clients; `HELLO` ids must be unique
+    /// and below this.
+    pub clients: usize,
+    /// How long to wait for all clients to say `HELLO`.
+    pub hello_timeout: Duration,
+    /// Flat floor of every offer deadline.
+    pub offer_timeout: Duration,
+    /// Flat floor of every upload deadline.
+    pub upload_timeout: Duration,
+    /// Wall seconds of extra patience per *modeled* second
+    /// ([`wall_deadline`]'s `scale`); 0 keeps deadlines flat — right for
+    /// loopback, where modeled hours must not become real ones.
+    pub secs_per_modeled_sec: f64,
+    /// Grace budget for a connection that started a message and stopped
+    /// making progress (slow-loris kill threshold).
+    pub stall_grace: Duration,
+    /// Socket read-timeout tick of the per-connection reader threads.
+    pub read_tick: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults for a local run with `clients` participants.
+    #[must_use]
+    pub fn local(clients: usize) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            clients,
+            hello_timeout: Duration::from_secs(30),
+            offer_timeout: Duration::from_secs(30),
+            upload_timeout: Duration::from_secs(30),
+            secs_per_modeled_sec: 0.0,
+            stall_grace: Duration::from_secs(2),
+            read_tick: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What a run produced: the per-round records (comparable with
+/// `PartialEq` against a [`gluefl_core::Simulation`] run), plus
+/// robustness counters.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// One record per round, field-for-field what the simulator emits.
+    pub records: Vec<RoundRecord>,
+    /// The strategy's display name.
+    pub strategy: String,
+    /// FNV-1a over the final global parameters' bit patterns
+    /// ([`crate::fnv1a_f32_bits`]).
+    pub final_params_fnv: u64,
+    /// Kept uploads that were skipped (deadline, disconnect, or hostile
+    /// bytes). 0 in a failure-free run.
+    pub skipped_uploads: usize,
+    /// Connections declared dead during the run.
+    pub dead_clients: usize,
+}
+
+/// What a reader thread reports about its connection.
+enum ReaderEvent {
+    /// A complete message arrived.
+    Msg(crate::proto::Envelope, Vec<u8>),
+    /// The peer closed cleanly between messages.
+    Closed,
+    /// The connection failed (truncation, stall, garbage, socket error).
+    /// The cause is carried for debugging; the round loop treats every
+    /// failure the same way (kill + skip).
+    Failed(#[allow(dead_code)] ProtoError),
+}
+
+/// One registered client connection.
+struct Conn {
+    writer: TcpStream,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// Marks a connection dead: no further events are honored and the socket
+/// is shut down so its reader thread unblocks and exits.
+fn kill(id: usize, alive: &mut [bool], conns: &[Option<Conn>], dead: &mut usize) {
+    if alive[id] {
+        alive[id] = false;
+        *dead += 1;
+        if let Some(conn) = &conns[id] {
+            let _ = conn.writer.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] executes the full
+/// round loop and consumes it.
+pub struct Server {
+    listener: TcpListener,
+    sim: SimConfig,
+    net: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listen socket.
+    ///
+    /// # Errors
+    /// Socket errors from bind.
+    pub fn bind(sim: SimConfig, net: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&net.addr)?;
+        Ok(Self { listener, sim, net })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Panics
+    /// Panics if the socket cannot report its own address.
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound socket has an address")
+    }
+
+    /// Accepts all clients, runs every configured round, and reports.
+    ///
+    /// # Errors
+    /// [`TransportError::HandshakeTimeout`] when fewer than the expected
+    /// clients complete `HELLO` in time; socket errors from the
+    /// listener. Per-connection failures after the handshake are *not*
+    /// errors — the offender is skipped and the run completes.
+    ///
+    /// # Panics
+    /// Panics only on internal invariant violations (a kept slot left
+    /// unresolved), never on hostile input.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(self) -> Result<ServerReport, TransportError> {
+        let Server {
+            listener,
+            sim: cfg,
+            net,
+        } = self;
+        let stall_ticks = stall_ticks_for(net.stall_grace, net.read_tick);
+
+        // --- Training state, mirroring Simulation::new exactly. ---
+        let data =
+            SyntheticFlDataset::generate(cfg.dataset.clone(), derive_seed(cfg.seed, "data", 0));
+        let n = data.num_clients();
+        let mut init_rng = seeded_rng(cfg.seed, "model-init", 0);
+        let mut model = cfg
+            .model
+            .build(data.feature_dim(), data.classes(), &mut init_rng);
+        let dim = model.num_params();
+        let layout = model.layout();
+        let trainable = layout.trainable_count();
+        let trainable_mask = layout.trainable_mask();
+        let stats_excluded = trainable_mask.not();
+        let stats_positions: Vec<usize> = stats_excluded.iter_ones().collect();
+        let stats_len = stats_positions.len();
+        let mut strat_rng = seeded_rng(cfg.seed, "strategy", 0);
+        let mut strategy = build_strategy(
+            &cfg,
+            data.client_weights(),
+            trainable,
+            dim,
+            stats_excluded,
+            &mut strat_rng,
+        );
+        let mut links = LinkCache::new(cfg.network, derive_seed(cfg.seed, "network", 0));
+        let mut speeds = SpeedCache::new(cfg.device, derive_seed(cfg.seed, "devices", 0));
+        let mut availability = cfg.availability.map(|a| {
+            LazyAvailability::new(
+                n,
+                a.online_fraction,
+                a.mean_session_rounds,
+                derive_seed(cfg.seed, "availability", 0),
+            )
+        });
+        let mut staleness = StalenessTracker::new(dim, n);
+        let mut rng = seeded_rng(cfg.seed, "simulation", 0);
+        let (time_byte_factor, time_params) = if cfg.paper_time_model {
+            (
+                cfg.model.paper_scale_factor(dim),
+                cfg.model.reference_params as usize,
+            )
+        } else {
+            (1.0, dim)
+        };
+        let mut scratch = ScratchPool::new();
+
+        // --- Handshake phase. ---
+        let (tx, rx) = mpsc::channel::<(usize, ReaderEvent)>();
+        let mut conns: Vec<Option<Conn>> = (0..net.clients).map(|_| None).collect();
+        let mut alive = vec![false; net.clients.max(n)];
+        listener.set_nonblocking(true).map_err(ProtoError::Io)?;
+        let hello_deadline = Instant::now() + net.hello_timeout;
+        let mut connected = 0usize;
+        while connected < net.clients && Instant::now() < hello_deadline {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Some(id) = handshake(
+                        stream,
+                        &net,
+                        &alive,
+                        u32::try_from(n).unwrap_or(u32::MAX),
+                        cfg.rounds,
+                        stall_ticks,
+                        &tx,
+                        &mut conns,
+                    ) {
+                        alive[id] = true;
+                        connected += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(ProtoError::Io(e).into()),
+            }
+        }
+        if connected < net.clients {
+            return Err(TransportError::HandshakeTimeout {
+                connected,
+                expected: net.clients,
+            });
+        }
+
+        let mut dead_clients = 0usize;
+        let mut skipped_uploads = 0usize;
+
+        // Round-scoped buffers.
+        let mut records = Vec::with_capacity(cfg.rounds as usize);
+        let mut invited: Vec<(usize, Group)> = Vec::new();
+        let mut invited_ix = vec![usize::MAX; n];
+        let mut bbuf: Vec<u8> = Vec::new();
+        let mut invite_buf: Vec<u8> = Vec::new();
+        let mut stats_saved: Vec<f32> = Vec::new();
+        let mut changed: Vec<usize> = Vec::new();
+
+        for round in 0..cfg.rounds {
+            // --- Plan (strategy RNG + availability, alive-gated). ---
+            let plan = {
+                let alive = &alive;
+                match &mut availability {
+                    Some(av) => {
+                        let mut query = |id: usize| alive[id] && av.is_online(id, round);
+                        strategy.plan_round(round, &mut rng, &mut query)
+                    }
+                    None => {
+                        let mut query = |id: usize| alive[id];
+                        strategy.plan_round(round, &mut rng, &mut query)
+                    }
+                }
+            };
+            invited.clear();
+            invited.extend(plan.invited());
+            let mut rec = RoundRecord {
+                round,
+                invited: invited.len(),
+                ..Default::default()
+            };
+            if invited.is_empty() {
+                maybe_eval(&cfg, &data, &model, &mut scratch, round, &mut rec);
+                records.push(rec);
+                continue;
+            }
+            for (i, &(id, _)) in invited.iter().enumerate() {
+                invited_ix[id] = i;
+            }
+
+            // --- Download accounting (every invited client syncs). ---
+            let mask_bytes = strategy.mask_download_bytes(round);
+            let download_bytes: Vec<u64> = invited
+                .iter()
+                .map(|&(id, _)| staleness.download_bytes(id) + mask_bytes)
+                .collect();
+            for &(id, _) in &invited {
+                staleness.mark_synced(id);
+            }
+            rec.down_bytes = download_bytes.iter().sum();
+
+            // --- Serialize the broadcast once; INVITE every client. ---
+            bbuf.clear();
+            let _ = gluefl_wire::encode_dense(
+                &mut bbuf,
+                round,
+                Codec::F32,
+                Rounding::Nearest,
+                model.params(),
+            );
+            if let Some(mask) = strategy.round_mask(round) {
+                let _ = gluefl_wire::encode_mask(&mut bbuf, round, mask);
+            }
+            rec.wire_broadcast_bytes = bbuf.len() as u64;
+            for &(id, group) in &invited {
+                if !alive[id] {
+                    continue;
+                }
+                invite_buf.clear();
+                invite_buf.push(u8::from(group == Group::Sticky));
+                invite_buf.extend_from_slice(&bbuf);
+                let conn = conns[id].as_mut().expect("alive client has a connection");
+                if write_msg(&mut conn.writer, MsgKind::Invite, round, &invite_buf).is_err() {
+                    kill(id, &mut alive, &conns, &mut dead_clients);
+                }
+            }
+
+            // --- Offer phase: per-client deadlines from modeled times. ---
+            let phase_start = Instant::now();
+            let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
+            let mut deadlines: Vec<Instant> = Vec::with_capacity(invited.len());
+            for (i, &(id, _)) in invited.iter().enumerate() {
+                let link = links.get(id);
+                let t_down = (download_bytes[i] as f64 * time_byte_factor) as u64;
+                let download_secs = seconds_for_bytes(t_down, link.down_mbps);
+                let compute_secs =
+                    cfg.local_steps as f64 * cfg.device.step_seconds(time_params, speeds.get(id));
+                times.push(ClientRoundTime {
+                    download_secs,
+                    compute_secs,
+                    upload_secs: MISSING_OFFER_SECS,
+                });
+                deadlines.push(
+                    phase_start
+                        + wall_deadline(
+                            download_secs + compute_secs,
+                            net.offer_timeout,
+                            net.secs_per_modeled_sec,
+                        ),
+                );
+            }
+            let mut offers: Vec<Option<(u64, u64)>> = vec![None; invited.len()];
+            let mut resolved: Vec<bool> = invited.iter().map(|&(id, _)| !alive[id]).collect();
+            let mut pending = resolved.iter().filter(|&&r| !r).count();
+            while pending > 0 {
+                let now = Instant::now();
+                for i in 0..invited.len() {
+                    if !resolved[i] && now >= deadlines[i] {
+                        resolved[i] = true;
+                        pending -= 1;
+                        kill(invited[i].0, &mut alive, &conns, &mut dead_clients);
+                    }
+                }
+                if pending == 0 {
+                    break;
+                }
+                let next = deadlines
+                    .iter()
+                    .zip(resolved.iter())
+                    .filter(|&(_, &r)| !r)
+                    .map(|(d, _)| *d)
+                    .min()
+                    .expect("pending > 0 implies an unresolved deadline");
+                let timeout = next
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                let (id, event) = match rx.recv_timeout(timeout) {
+                    Ok(pair) => pair,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                if !alive[id] {
+                    continue;
+                }
+                let ix = if id < n { invited_ix[id] } else { usize::MAX };
+                match event {
+                    ReaderEvent::Msg(env, payload)
+                        if env.kind == MsgKind::Offer
+                            && env.round == round
+                            && ix != usize::MAX
+                            && !resolved[ix]
+                            && payload.len() == 16 =>
+                    {
+                        let analytic = u64::from_le_bytes(payload[..8].try_into().expect("8 B"));
+                        let wire = u64::from_le_bytes(payload[8..16].try_into().expect("8 B"));
+                        offers[ix] = Some((analytic, wire));
+                        resolved[ix] = true;
+                        pending -= 1;
+                    }
+                    _ => {
+                        // Closed, failed, or a protocol violation.
+                        kill(id, &mut alive, &conns, &mut dead_clients);
+                        if ix != usize::MAX && !resolved[ix] {
+                            resolved[ix] = true;
+                            pending -= 1;
+                        }
+                    }
+                }
+            }
+
+            // --- Price offers; account volume; finish modeled times. ---
+            for (i, &(id, _)) in invited.iter().enumerate() {
+                if let Some((analytic, wire)) = offers[i] {
+                    rec.up_bytes += analytic;
+                    rec.wire_up_bytes += wire;
+                    let link = links.get(id);
+                    let t_up = (wire as f64 * time_byte_factor) as u64;
+                    times[i].upload_secs = seconds_for_bytes(t_up, link.up_mbps);
+                }
+            }
+
+            // --- Keep the fastest per group (over-commitment, §5.6). ---
+            let sticky_n = plan.sticky_invites.len();
+            let (sticky_times, fresh_times) = times.split_at(sticky_n);
+            let kept_sticky_local = fastest(sticky_times, plan.keep_sticky);
+            let kept_fresh_local = fastest(fresh_times, plan.keep_fresh);
+            let kept_idx: Vec<usize> = kept_sticky_local
+                .iter()
+                .copied()
+                .chain(kept_fresh_local.iter().map(|&i| i + sticky_n))
+                .collect();
+            rec.kept = kept_idx.len();
+            let mut kept_slot = vec![usize::MAX; invited.len()];
+            for (j, &i) in kept_idx.iter().enumerate() {
+                kept_slot[i] = j;
+            }
+
+            // --- GRANT the keep set; dismiss the remainder. ---
+            for (i, &(id, _)) in invited.iter().enumerate() {
+                if !alive[id] || offers[i].is_none() {
+                    continue;
+                }
+                let conn = conns[id].as_mut().expect("alive client has a connection");
+                let granted = [u8::from(kept_slot[i] != usize::MAX)];
+                if write_msg(&mut conn.writer, MsgKind::Grant, round, &granted).is_err() {
+                    kill(id, &mut alive, &conns, &mut dead_clients);
+                }
+            }
+
+            // --- Upload phase: decode + fold each arrival immediately. ---
+            let kept_pairs: Vec<(usize, Group)> = kept_idx.iter().map(|&i| invited[i]).collect();
+            let mut gate =
+                StreamingAggregator::begin(round, &kept_pairs, &mut *strategy, &mut scratch);
+            stats_saved.clear();
+            stats_saved.resize(kept_idx.len() * stats_len, 0.0);
+            let mut delivered = vec![false; kept_idx.len()];
+            let mut up_resolved = vec![false; kept_idx.len()];
+            let phase_start = Instant::now();
+            let mut up_deadlines: Vec<Instant> = Vec::with_capacity(kept_idx.len());
+            let mut pending = 0usize;
+            for (j, &i) in kept_idx.iter().enumerate() {
+                let (id, _) = invited[i];
+                up_deadlines.push(
+                    phase_start
+                        + wall_deadline(
+                            times[i].upload_secs,
+                            net.upload_timeout,
+                            net.secs_per_modeled_sec,
+                        ),
+                );
+                if alive[id] && offers[i].is_some() {
+                    pending += 1;
+                } else {
+                    let _ = gate.skip(&mut *strategy, id, &mut scratch);
+                    skipped_uploads += 1;
+                    up_resolved[j] = true;
+                }
+            }
+            while pending > 0 {
+                let now = Instant::now();
+                for j in 0..kept_idx.len() {
+                    if !up_resolved[j] && now >= up_deadlines[j] {
+                        up_resolved[j] = true;
+                        pending -= 1;
+                        let id = invited[kept_idx[j]].0;
+                        let _ = gate.skip(&mut *strategy, id, &mut scratch);
+                        skipped_uploads += 1;
+                        kill(id, &mut alive, &conns, &mut dead_clients);
+                    }
+                }
+                if pending == 0 {
+                    break;
+                }
+                let next = up_deadlines
+                    .iter()
+                    .zip(up_resolved.iter())
+                    .filter(|&(_, &r)| !r)
+                    .map(|(d, _)| *d)
+                    .min()
+                    .expect("pending > 0 implies an unresolved deadline");
+                let timeout = next
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                let (id, event) = match rx.recv_timeout(timeout) {
+                    Ok(pair) => pair,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                if !alive[id] {
+                    continue;
+                }
+                let ix = if id < n { invited_ix[id] } else { usize::MAX };
+                let slot = if ix == usize::MAX {
+                    usize::MAX
+                } else {
+                    kept_slot[ix]
+                };
+                match event {
+                    ReaderEvent::Msg(env, payload)
+                        if env.kind == MsgKind::Upload && env.round == round =>
+                    {
+                        if slot == usize::MAX {
+                            // The over-committed remainder (or an
+                            // uninvited peer) sent bytes anyway: the
+                            // reader already drained them off the socket;
+                            // drop the payload without decoding a byte.
+                            drop(payload);
+                            continue;
+                        }
+                        if up_resolved[slot] {
+                            // Duplicate upload: protocol violation.
+                            kill(id, &mut alive, &conns, &mut dead_clients);
+                            continue;
+                        }
+                        let ok = accept_upload(
+                            &payload,
+                            round,
+                            &cfg.strategy,
+                            &mut *strategy,
+                            &mut gate,
+                            &mut scratch,
+                            id,
+                            dim,
+                            stats_len,
+                            &mut stats_saved[slot * stats_len..(slot + 1) * stats_len],
+                        );
+                        if ok {
+                            delivered[slot] = true;
+                        } else {
+                            let _ = gate.skip(&mut *strategy, id, &mut scratch);
+                            skipped_uploads += 1;
+                            kill(id, &mut alive, &conns, &mut dead_clients);
+                        }
+                        up_resolved[slot] = true;
+                        pending -= 1;
+                    }
+                    _ => {
+                        kill(id, &mut alive, &conns, &mut dead_clients);
+                        if slot != usize::MAX && !up_resolved[slot] {
+                            let _ = gate.skip(&mut *strategy, id, &mut scratch);
+                            skipped_uploads += 1;
+                            up_resolved[slot] = true;
+                            pending -= 1;
+                        }
+                    }
+                }
+            }
+            assert!(gate.complete(), "every kept slot must be resolved");
+            let update = gate.finish(&mut *strategy, &mut scratch);
+
+            // --- Apply the masked update; scan changed positions. ---
+            update.add_to(model.params_mut());
+            changed.clear();
+            update.for_each_nonzero(|j, _| {
+                debug_assert!(
+                    stats_positions.binary_search(&j).is_err(),
+                    "strategy update has a nonzero value at BN-statistic position {j}"
+                );
+                changed.push(j);
+            });
+
+            // --- BN statistics: plain mean over delivered stats frames
+            // (identical to the simulator's 1/K mean when none skipped). ---
+            let delivered_count = delivered.iter().filter(|&&d| d).count();
+            if delivered_count > 0 {
+                let inv_k = 1.0 / delivered_count as f32;
+                let params = model.params_mut();
+                for (j, &p) in stats_positions.iter().enumerate() {
+                    let mean: f32 = (0..kept_idx.len())
+                        .filter(|&kj| delivered[kj])
+                        .map(|kj| stats_saved[kj * stats_len + j])
+                        .sum::<f32>()
+                        * inv_k;
+                    params[p] += mean;
+                    if mean != 0.0 {
+                        changed.push(p);
+                    }
+                }
+            }
+            rec.changed_positions = changed.len();
+            staleness.record_update(changed.iter().copied());
+            scratch.put_update(update);
+
+            // --- Post-round bookkeeping (sticky rebalance). ---
+            let kept_sticky_ids: Vec<usize> =
+                kept_sticky_local.iter().map(|&i| invited[i].0).collect();
+            let kept_fresh_ids: Vec<usize> = kept_fresh_local
+                .iter()
+                .map(|&i| invited[i + sticky_n].0)
+                .collect();
+            strategy.finish_round(round, &mut rng, &kept_sticky_ids, &kept_fresh_ids);
+
+            // --- Timing metrics over kept clients. ---
+            let kept_times: Vec<ClientRoundTime> = kept_idx.iter().map(|&i| times[i]).collect();
+            rec.round_secs = kept_times
+                .iter()
+                .map(ClientRoundTime::total_secs)
+                .fold(0.0, f64::max);
+            rec.slowest_download_secs = kept_times
+                .iter()
+                .map(|t| t.download_secs)
+                .fold(0.0, f64::max);
+            rec.slowest_upload_secs = kept_times.iter().map(|t| t.upload_secs).fold(0.0, f64::max);
+            rec.slowest_compute_secs = kept_times
+                .iter()
+                .map(|t| t.compute_secs)
+                .fold(0.0, f64::max);
+            let kn = kept_times.len().max(1) as f64;
+            rec.mean_download_secs = kept_times.iter().map(|t| t.download_secs).sum::<f64>() / kn;
+            rec.mean_upload_secs = kept_times.iter().map(|t| t.upload_secs).sum::<f64>() / kn;
+            rec.mean_compute_secs = kept_times.iter().map(|t| t.compute_secs).sum::<f64>() / kn;
+
+            maybe_eval(&cfg, &data, &model, &mut scratch, round, &mut rec);
+            records.push(rec);
+
+            // Reset the invited-index map for the next round.
+            for &(id, _) in &invited {
+                invited_ix[id] = usize::MAX;
+            }
+        }
+
+        // --- FIN + teardown. ---
+        for (id, conn) in conns.iter_mut().enumerate() {
+            if let Some(conn) = conn {
+                if alive[id] {
+                    let _ = write_msg(&mut conn.writer, MsgKind::Fin, cfg.rounds, &[]);
+                }
+                let _ = conn.writer.shutdown(Shutdown::Both);
+            }
+        }
+        drop(rx);
+        for conn in conns.iter_mut().flatten() {
+            if let Some(handle) = conn.reader.take() {
+                let _ = handle.join();
+            }
+        }
+
+        Ok(ServerReport {
+            records,
+            strategy: strategy.name(),
+            final_params_fnv: crate::fnv1a_f32_bits(model.params()),
+            skipped_uploads,
+            dead_clients,
+        })
+    }
+}
+
+/// Validates and completes one `HELLO` handshake; returns the client id
+/// on success, `None` (connection dropped) otherwise.
+#[allow(clippy::too_many_arguments)]
+fn handshake(
+    mut stream: TcpStream,
+    net: &ServerConfig,
+    alive: &[bool],
+    population: u32,
+    rounds: u32,
+    stall_ticks: u32,
+    tx: &mpsc::Sender<(usize, ReaderEvent)>,
+    conns: &mut [Option<Conn>],
+) -> Option<usize> {
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(net.read_tick)).ok()?;
+    let mut payload = Vec::new();
+    let env = read_msg(&mut stream, &mut payload, false, stall_ticks).ok()??;
+    if env.kind != MsgKind::Hello || payload.len() != 8 {
+        return None;
+    }
+    let version = u32::from_le_bytes(payload[..4].try_into().expect("4 B"));
+    let id = u32::from_le_bytes(payload[4..].try_into().expect("4 B")) as usize;
+    if version != PROTO_VERSION || id >= net.clients || alive[id] {
+        return None;
+    }
+    let mut welcome = [0u8; 8];
+    welcome[..4].copy_from_slice(&population.to_le_bytes());
+    welcome[4..].copy_from_slice(&rounds.to_le_bytes());
+    write_msg(&mut stream, MsgKind::Welcome, 0, &welcome).ok()?;
+    let mut reader_stream = stream.try_clone().ok()?;
+    let reader_tx = tx.clone();
+    let reader = std::thread::spawn(move || {
+        let mut payload = Vec::new();
+        loop {
+            match read_msg(&mut reader_stream, &mut payload, true, stall_ticks) {
+                Ok(Some(env)) => {
+                    let body = std::mem::take(&mut payload);
+                    if reader_tx.send((id, ReaderEvent::Msg(env, body))).is_err() {
+                        return; // server gone
+                    }
+                }
+                Ok(None) => {
+                    let _ = reader_tx.send((id, ReaderEvent::Closed));
+                    return;
+                }
+                Err(e) => {
+                    let _ = reader_tx.send((id, ReaderEvent::Failed(e)));
+                    return;
+                }
+            }
+        }
+    });
+    conns[id] = Some(Conn {
+        writer: stream,
+        reader: Some(reader),
+    });
+    Some(id)
+}
+
+/// Decodes, validates, and folds one upload payload. Returns `false`
+/// (without panicking) for anything hostile: wire errors, a variant the
+/// strategy would reject, misaligned dimensions, unsorted or
+/// out-of-range indices, or a stats frame that disagrees with the model
+/// layout.
+#[allow(clippy::too_many_arguments)]
+fn accept_upload(
+    payload: &[u8],
+    round: u32,
+    strategy_cfg: &StrategyConfig,
+    strategy: &mut dyn Strategy,
+    gate: &mut StreamingAggregator,
+    scratch: &mut ScratchPool,
+    id: usize,
+    dim: usize,
+    stats_len: usize,
+    stats_out: &mut [f32],
+) -> bool {
+    let decoded = wire_link::decode_upload_with_stats(payload, strategy.round_mask(round), scratch);
+    let (upload, stats_frame) = match decoded {
+        Ok(pair) => pair,
+        Err(_) => return false,
+    };
+    let sane = upload_matches(strategy_cfg, &upload)
+        && upload.dim() == dim
+        && upload_indices_ok(&upload, dim)
+        && stats_frame.dim == dim
+        && stats_frame.nnz == stats_len;
+    if !sane {
+        scratch.reclaim_upload(upload);
+        return false;
+    }
+    let mut stats_back = scratch.take_cleared();
+    stats_frame.values_into(&mut stats_back);
+    stats_out.copy_from_slice(&stats_back);
+    scratch.put(stats_back);
+    gate.accept(strategy, id, upload, scratch).is_ok()
+}
+
+/// Whether the upload variant is the one the configured strategy's fold
+/// path accepts (anything else would panic inside the fold).
+fn upload_matches(strategy_cfg: &StrategyConfig, upload: &Upload) -> bool {
+    matches!(
+        (strategy_cfg, upload),
+        (
+            StrategyConfig::FedAvg | StrategyConfig::MdFedAvg,
+            Upload::Dense(_)
+        ) | (StrategyConfig::Stc { .. }, Upload::Sparse(_))
+            | (StrategyConfig::StcQuantized { .. }, Upload::Ternary(_))
+            | (StrategyConfig::Apf { .. }, Upload::KnownMask(_))
+            | (StrategyConfig::GlueFl(_), Upload::MaskSplit(_))
+    )
+}
+
+/// Explicit-position index lists must be strictly increasing and within
+/// the model dimension (the accumulation kernels index with them).
+fn indices_ok(indices: &[u32], dim: usize) -> bool {
+    indices.windows(2).all(|w| w[0] < w[1])
+        && indices.last().is_none_or(|&last| (last as usize) < dim)
+}
+
+/// Validates every explicit index list inside an upload.
+fn upload_indices_ok(upload: &Upload, dim: usize) -> bool {
+    match upload {
+        Upload::Dense(_) | Upload::KnownMask(_) => true,
+        Upload::Sparse(u) => indices_ok(u.indices(), dim),
+        Upload::Ternary(t) => indices_ok(&t.indices, dim),
+        Upload::MaskSplit(s) => indices_ok(s.unique.indices(), dim),
+    }
+}
+
+/// Shared tail of the round loop: evaluate on schedule, exactly like the
+/// simulator.
+fn maybe_eval(
+    cfg: &SimConfig,
+    data: &SyntheticFlDataset,
+    model: &gluefl_ml::Mlp,
+    scratch: &mut ScratchPool,
+    round: u32,
+    rec: &mut RoundRecord,
+) {
+    let every = cfg.eval_every.max(1);
+    if (round + 1).is_multiple_of(every) || round + 1 == cfg.rounds {
+        let mut slot = scratch.take_train_slot();
+        let (tx, ty) = data.test_set();
+        let m = model.evaluate_into(tx, ty, &mut slot.scratch);
+        scratch.put_train_slot(slot);
+        rec.accuracy = Some(if cfg.use_top5 { m.top5 } else { m.top1 });
+        rec.loss = Some(m.loss);
+    }
+}

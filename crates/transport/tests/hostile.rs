@@ -1,0 +1,333 @@
+//! Adversarial battery for the transport layer.
+//!
+//! Two fronts:
+//!
+//! 1. **Decoder fuzz** (no sockets): ≥4096 mutations of valid upload
+//!    payloads — truncation at *every* byte offset (which subsumes every
+//!    frame cut) and deterministic bit flips — must come back as typed
+//!    `Result`s, never a panic. Every strict prefix of a valid payload
+//!    must be an error (the grammar requires a complete stats frame).
+//! 2. **Socket adversaries**: a real server run where rogue clients
+//!    truncate mid-frame, flip checksummed bytes, slow-loris the
+//!    envelope, disconnect mid-upload, or send a mask frame as an
+//!    upload. The server must finish every round, the honest clients
+//!    must finish cleanly, and each rogue must show up as a skipped
+//!    upload or dead connection — never a panic or a stalled round.
+
+use gluefl_compress::mask_shift::client_split;
+use gluefl_compress::stc::{sparsify, TernaryUpdate};
+use gluefl_core::strategies::Upload;
+use gluefl_core::wire_link::{decode_upload_with_stats, encode_upload};
+use gluefl_core::ScratchPool;
+use gluefl_tensor::{BitMask, SparseUpdate};
+use gluefl_transport::proto::{write_msg, MsgKind, ENVELOPE_BYTES, PROTO_MAGIC, PROTO_VERSION};
+use gluefl_transport::{
+    run_client, smoke_config, ClientNode, Server, ServerConfig, TransportError,
+};
+use gluefl_wire::{encode_known_mask, encode_mask, frame_len_from_header, Codec, Rounding};
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// One valid wire payload (upload frames + stats frame) and the round
+/// mask its decode requires.
+struct Corpus {
+    payload: Vec<u8>,
+    mask: Option<BitMask>,
+}
+
+fn encode_entry(upload: &Upload, mask: Option<BitMask>, stats: &[f32], dim: usize) -> Corpus {
+    let mut payload = Vec::new();
+    let _ = encode_upload(upload, 3, Codec::F32, 0, &mut payload);
+    let _ = encode_known_mask(&mut payload, 3, Codec::F32, Rounding::Nearest, dim, stats);
+    Corpus { payload, mask }
+}
+
+fn corpus() -> Vec<Corpus> {
+    let stats = [0.25f32, -1.0, 3.5, 0.0, 7.25, -0.125];
+    let dense: Vec<f32> = (0..400).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+    let wide: Vec<f32> = (0..4000).map(|i| ((i * 31) % 7) as f32 - 3.0).collect();
+    let split_dense: Vec<f32> = (0..600).map(|i| ((i * 13) % 29) as f32 - 14.0).collect();
+    let km_mask = BitMask::from_indices(50, [3usize, 17, 40]);
+    let split_mask = BitMask::from_indices(600, (0..600).step_by(4));
+    vec![
+        encode_entry(
+            &Upload::Dense((0..130).map(|i| (i as f32).sin()).collect()),
+            None,
+            &stats,
+            130,
+        ),
+        encode_entry(&Upload::Sparse(sparsify(&dense, 0.05)), None, &stats, 400),
+        encode_entry(
+            &Upload::Ternary(TernaryUpdate::quantize(&sparsify(&wide, 0.01))),
+            None,
+            &stats,
+            4000,
+        ),
+        encode_entry(
+            &Upload::KnownMask(SparseUpdate::from_dense_masked(
+                &(0..50).map(|i| i as f32).collect::<Vec<_>>(),
+                &km_mask,
+            )),
+            Some(km_mask),
+            &stats,
+            50,
+        ),
+        encode_entry(
+            &Upload::MaskSplit(client_split(&split_dense, &split_mask, 30)),
+            Some(split_mask),
+            &stats,
+            600,
+        ),
+    ]
+}
+
+#[test]
+fn fuzz_mutated_payloads_yield_typed_errors_never_panics() {
+    let entries = corpus();
+    let mut scratch = ScratchPool::new();
+    let mut cases = 0usize;
+
+    for entry in &entries {
+        let full = &entry.payload;
+        let mask = entry.mask.as_ref();
+
+        // The untouched payload must decode (sanity for the corpus).
+        let (upload, _) = decode_upload_with_stats(full, mask, &mut scratch)
+            .expect("unmutated corpus entry decodes");
+        scratch.reclaim_upload(upload);
+
+        // Truncation at every offset — including every frame cut.
+        for cut in 0..full.len() {
+            match decode_upload_with_stats(&full[..cut], mask, &mut scratch) {
+                Ok(_) => panic!("strict prefix of length {cut} decoded as complete"),
+                Err(_) => cases += 1,
+            }
+        }
+
+        // Deterministic bit flips all over the checksummed frames.
+        let mut mutated = full.clone();
+        for i in 0..512usize {
+            let pos = (i * 7919) % full.len();
+            let bit = 1u8 << (i % 8);
+            mutated[pos] ^= bit;
+            // Typed result either way; a panic fails the test.
+            let _ = decode_upload_with_stats(&mutated, mask, &mut scratch).map(|(u, _)| {
+                scratch.reclaim_upload(u);
+            });
+            mutated[pos] ^= bit;
+            cases += 1;
+        }
+    }
+
+    // A mask frame arriving where an upload belongs is a typed error.
+    let mut mask_payload = Vec::new();
+    let _ = encode_mask(
+        &mut mask_payload,
+        3,
+        &BitMask::from_indices(64, [1usize, 5, 9]),
+    );
+    for cut in 0..=mask_payload.len() {
+        assert!(
+            decode_upload_with_stats(&mask_payload[..cut], None, &mut scratch).is_err(),
+            "mask frame (or a prefix) must never decode as an upload"
+        );
+        cases += 1;
+    }
+
+    assert!(cases >= 4096, "fuzz loop ran only {cases} cases");
+}
+
+/// How a rogue client misbehaves once granted its upload slot.
+#[derive(Clone, Copy, Debug)]
+enum Rogue {
+    /// Sends the envelope plus the payload only up to the first frame
+    /// cut, then closes: mid-stream truncation at a frame boundary.
+    TruncateAtFrameCut,
+    /// Flips one byte inside a checksummed frame and sends the rest
+    /// faithfully.
+    FlipByte,
+    /// Sends 4 bytes of the envelope header and goes silent past the
+    /// stall grace.
+    SlowLoris,
+    /// Disconnects abruptly halfway through the payload.
+    DisconnectMidUpload,
+    /// Sends a wire *mask* frame where an upload belongs.
+    MaskFrameAsUpload,
+}
+
+fn raw_envelope(kind: MsgKind, round: u32, len: usize) -> [u8; ENVELOPE_BYTES] {
+    let mut h = [0u8; ENVELOPE_BYTES];
+    h[0] = PROTO_MAGIC;
+    h[1] = kind.id();
+    h[2..6].copy_from_slice(&round.to_le_bytes());
+    h[6..10].copy_from_slice(&u32::try_from(len).expect("payload fits u32").to_le_bytes());
+    h
+}
+
+/// Plays the protocol honestly until the first granted upload, then
+/// executes `mode`. Returns once the corruption is delivered (or at FIN
+/// if never granted).
+fn run_rogue(addr: &str, cfg: gluefl_core::SimConfig, id: usize, mode: Rogue) {
+    let mut node = ClientNode::new(cfg, id);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&PROTO_VERSION.to_le_bytes());
+    hello[4..].copy_from_slice(&u32::try_from(id).expect("id fits u32").to_le_bytes());
+    write_msg(&mut stream, MsgKind::Hello, 0, &hello).expect("hello");
+    let mut payload = Vec::new();
+    let env =
+        gluefl_transport::proto::read_msg_blocking(&mut stream, &mut payload).expect("welcome");
+    assert_eq!(env.kind, MsgKind::Welcome);
+    let mut upload_buf = Vec::new();
+    loop {
+        let env = match gluefl_transport::proto::read_msg_blocking(&mut stream, &mut payload) {
+            Ok(env) => env,
+            // The server may cut us off right after the corruption lands.
+            Err(_) => return,
+        };
+        match env.kind {
+            MsgKind::Invite => {
+                let (analytic, wire) = node
+                    .handle_invite(env.round, &payload)
+                    .expect("rogue trains honestly");
+                let mut offer = [0u8; 16];
+                offer[..8].copy_from_slice(&analytic.to_le_bytes());
+                offer[8..].copy_from_slice(&wire.to_le_bytes());
+                if write_msg(&mut stream, MsgKind::Offer, env.round, &offer).is_err() {
+                    return;
+                }
+            }
+            MsgKind::Grant => {
+                if payload.first() != Some(&1) {
+                    node.discard_pending();
+                    continue;
+                }
+                upload_buf.clear();
+                node.encode_granted(env.round, &mut upload_buf)
+                    .expect("granted upload encodes");
+                match mode {
+                    Rogue::TruncateAtFrameCut => {
+                        let cut = usize::try_from(
+                            frame_len_from_header(&upload_buf).expect("valid first frame"),
+                        )
+                        .expect("frame length fits usize");
+                        let hdr = raw_envelope(MsgKind::Upload, env.round, upload_buf.len());
+                        let _ = stream.write_all(&hdr);
+                        let _ = stream.write_all(&upload_buf[..cut]);
+                        let _ = stream.flush();
+                        let _ = stream.shutdown(Shutdown::Write);
+                    }
+                    Rogue::FlipByte => {
+                        let mid = upload_buf.len() / 2;
+                        upload_buf[mid] ^= 0x40;
+                        let _ = write_msg(&mut stream, MsgKind::Upload, env.round, &upload_buf);
+                    }
+                    Rogue::SlowLoris => {
+                        let hdr = raw_envelope(MsgKind::Upload, env.round, upload_buf.len());
+                        let _ = stream.write_all(&hdr[..4]);
+                        let _ = stream.flush();
+                        std::thread::sleep(Duration::from_millis(1200));
+                    }
+                    Rogue::DisconnectMidUpload => {
+                        let hdr = raw_envelope(MsgKind::Upload, env.round, upload_buf.len());
+                        let _ = stream.write_all(&hdr);
+                        let _ = stream.write_all(&upload_buf[..upload_buf.len() / 2]);
+                        let _ = stream.flush();
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    Rogue::MaskFrameAsUpload => {
+                        let mut buf = Vec::new();
+                        let _ = encode_mask(
+                            &mut buf,
+                            env.round,
+                            &BitMask::from_indices(64, [1usize, 5, 9]),
+                        );
+                        let _ = write_msg(&mut stream, MsgKind::Upload, env.round, &buf);
+                    }
+                }
+                return;
+            }
+            MsgKind::Fin => return,
+            other => panic!("rogue got unexpected {other:?}"),
+        }
+    }
+}
+
+const MODES: [Rogue; 5] = [
+    Rogue::TruncateAtFrameCut,
+    Rogue::FlipByte,
+    Rogue::SlowLoris,
+    Rogue::DisconnectMidUpload,
+    Rogue::MaskFrameAsUpload,
+];
+
+/// Runs `clients` participants where the last `MODES.len()` are rogues,
+/// asserting the server completes all rounds and every honest client
+/// exits cleanly. Returns (skipped_uploads, dead_clients).
+fn run_adversarial(strategy: &str, clients: usize, rounds: u32, seed: u64) -> (usize, usize) {
+    let mut cfg = smoke_config(strategy, clients, rounds, seed);
+    // Invite exactly the keep set so every invited rogue is granted.
+    cfg.oc = 1.0;
+    let mut net = ServerConfig::local(clients);
+    net.offer_timeout = Duration::from_secs(10);
+    net.upload_timeout = Duration::from_secs(3);
+    net.stall_grace = Duration::from_millis(300);
+    net.read_tick = Duration::from_millis(50);
+    let server = Server::bind(cfg.clone(), net).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let honest_n = clients - MODES.len();
+    let honest: Vec<_> = (0..honest_n)
+        .map(|id| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_client(&addr, cfg, id))
+        })
+        .collect();
+    let rogues: Vec<_> = MODES
+        .iter()
+        .enumerate()
+        .map(|(k, &mode)| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            let id = honest_n + k;
+            std::thread::spawn(move || run_rogue(&addr, cfg, id, mode))
+        })
+        .collect();
+
+    let report = server.run().expect("server completes despite adversaries");
+    assert_eq!(
+        report.records.len(),
+        rounds as usize,
+        "every round must complete"
+    );
+    for (id, h) in honest.into_iter().enumerate() {
+        match h.join().expect("honest client must not panic") {
+            Ok(()) => {}
+            // An honest client can lose its FIN when the run ends while
+            // the socket is being torn down; any earlier failure is real.
+            Err(TransportError::Proto(_)) => {}
+            Err(e) => panic!("honest client {id} failed: {e}"),
+        }
+    }
+    for r in rogues {
+        r.join().expect("rogue thread must not panic");
+    }
+    (report.skipped_uploads, report.dead_clients)
+}
+
+#[test]
+fn socket_adversaries_cannot_stall_fedavg_rounds() {
+    let (skipped, dead) = run_adversarial("fedavg", 16, 4, 1234);
+    assert!(skipped >= 1, "no rogue upload was ever skipped");
+    assert!(dead >= 1, "no rogue connection was ever declared dead");
+}
+
+#[test]
+fn socket_adversaries_cannot_stall_gluefl_rounds() {
+    let (skipped, dead) = run_adversarial("gluefl", 16, 4, 77);
+    assert!(skipped >= 1, "no rogue upload was ever skipped");
+    assert!(dead >= 1, "no rogue connection was ever declared dead");
+}

@@ -1,0 +1,86 @@
+//! The headline acceptance gate: a real-socket run over loopback TCP
+//! must reproduce the in-process [`Simulation`] **bit-exactly** — same
+//! per-round invitations, keep sets, changed-position counts (mask
+//! identity), measured wire bytes, and eval metrics (aggregate
+//! identity), compared via `RoundRecord: PartialEq`, plus an FNV
+//! fingerprint over the final parameter bits.
+//!
+//! 25 clients, 6 rounds, eval every 2 — comfortably past the ≥20-client
+//! / ≥5-round bar — once per upload-variant family. MD-FedAvg is absent
+//! by design: multinomial sampling may invite the same client twice in
+//! one round, which the one-slot-per-connection wire protocol does not
+//! represent.
+
+use gluefl_core::Simulation;
+use gluefl_transport::{fnv1a_f32_bits, run_client, smoke_config, Server, ServerConfig};
+
+const CLIENTS: usize = 25;
+const ROUNDS: u32 = 6;
+
+fn assert_loopback_matches_simulator(strategy: &str, seed: u64) {
+    let mut cfg = smoke_config(strategy, CLIENTS, ROUNDS, seed);
+    cfg.eval_every = 2;
+
+    // In-process reference run.
+    let mut sim = Simulation::new(cfg.clone());
+    let expected: Vec<_> = (0..ROUNDS).map(|_| sim.step()).collect();
+    let expected_fnv = fnv1a_f32_bits(sim.model().params());
+
+    // The same run over real sockets.
+    let server = Server::bind(cfg.clone(), ServerConfig::local(CLIENTS)).expect("bind");
+    let addr = server.local_addr().to_string();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_client(&addr, cfg, id))
+        })
+        .collect();
+    let report = server.run().expect("server run completes");
+    for (id, handle) in clients.into_iter().enumerate() {
+        handle
+            .join()
+            .expect("client thread does not panic")
+            .unwrap_or_else(|e| panic!("client {id} failed: {e}"));
+    }
+
+    assert_eq!(report.dead_clients, 0, "no client may be declared dead");
+    assert_eq!(report.skipped_uploads, 0, "no upload may be skipped");
+    assert_eq!(report.records.len(), expected.len());
+    for (got, want) in report.records.iter().zip(expected.iter()) {
+        assert_eq!(
+            got, want,
+            "round {} diverged from the simulator",
+            want.round
+        );
+    }
+    assert_eq!(
+        report.final_params_fnv, expected_fnv,
+        "final global parameters diverged bit-wise"
+    );
+}
+
+#[test]
+fn loopback_matches_simulator_gluefl() {
+    assert_loopback_matches_simulator("gluefl", 42);
+}
+
+#[test]
+fn loopback_matches_simulator_fedavg() {
+    assert_loopback_matches_simulator("fedavg", 7);
+}
+
+#[test]
+fn loopback_matches_simulator_stc() {
+    assert_loopback_matches_simulator("stc", 11);
+}
+
+#[test]
+fn loopback_matches_simulator_stc_quantized() {
+    assert_loopback_matches_simulator("stc-quant", 13);
+}
+
+#[test]
+fn loopback_matches_simulator_apf() {
+    assert_loopback_matches_simulator("apf", 17);
+}

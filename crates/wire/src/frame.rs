@@ -333,6 +333,89 @@ pub struct Frame<'a> {
     values: &'a [u8],
 }
 
+/// Exact encoded length in bytes of a frame with the given header
+/// fields (header + positions + values). Frame lengths depend only on
+/// `(kind, codec, dim, nnz)` — never on the values themselves — which is
+/// what lets a sender (or a scheduler) price an upload *before* encoding
+/// it: [`encode_dense`], [`encode_sparse`], [`encode_known_mask`],
+/// [`encode_mask`], and [`encode_ternary`] all return exactly this
+/// number for matching fields.
+#[must_use]
+pub fn frame_len(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> u64 {
+    let (positions, values) = section_lens(kind, codec, dim, nnz);
+    HEADER_BYTES as u64 + positions + values
+}
+
+/// The position encoding [`encode_sparse`] picks for `(dim, nnz)`:
+/// bitmap when `ceil(dim/8) ≤ 4·nnz` (ties included — the
+/// [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule),
+/// index list otherwise.
+#[must_use]
+pub fn sparse_kind(dim: usize, nnz: usize) -> FrameKind {
+    if dim.div_ceil(8) <= 4 * nnz {
+        FrameKind::SparseBitmap
+    } else {
+        FrameKind::SparseIndex
+    }
+}
+
+/// The position encoding [`encode_ternary`] picks for `(dim, nnz)` —
+/// the same bitmap-vs-index rule as [`sparse_kind`].
+#[must_use]
+pub fn ternary_kind(dim: usize, nnz: usize) -> FrameKind {
+    if dim.div_ceil(8) <= 4 * nnz {
+        FrameKind::TernaryBitmap
+    } else {
+        FrameKind::TernaryIndex
+    }
+}
+
+/// Parses a 16-byte frame header and returns the full frame length it
+/// implies (header + payload) — the streaming-read primitive: a socket
+/// reader peeks the fixed-size header, learns exactly how many bytes the
+/// frame occupies, and reads the remainder without any scanning or
+/// buffering heuristics. Performs the same header validation as
+/// [`decode_frame_prefix`] up to (but not including) the checksum, which
+/// covers the payload and can only be verified once it has arrived.
+///
+/// # Errors
+/// [`WireError::Truncated`] when `header` is shorter than
+/// [`HEADER_BYTES`], plus any header malformation `decode_frame_prefix`
+/// would report (bad magic/version/kind/codec, `nnz > dim`, dense
+/// `nnz != dim`).
+pub fn frame_len_from_header(header: &[u8]) -> Result<u64, WireError> {
+    if header.len() < HEADER_BYTES {
+        return Err(WireError::Truncated {
+            needed: HEADER_BYTES,
+            got: header.len(),
+        });
+    }
+    if header[0] != MAGIC {
+        return Err(WireError::BadMagic(header[0]));
+    }
+    let packed = header[1];
+    if packed >> 6 != VERSION || packed & 1 != 0 {
+        return Err(WireError::BadVersion(packed));
+    }
+    let kind = FrameKind::from_id((packed >> 3) & 0x07)?;
+    let codec = Codec::from_id((packed >> 1) & 0x03)?;
+    if !kind.uses_value_codec() && codec != Codec::F32 {
+        return Err(WireError::BadCodec(codec.id()));
+    }
+    let dim = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    let nnz = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes")) as usize;
+    if nnz > dim {
+        return Err(WireError::NnzExceedsDim { nnz, dim });
+    }
+    if kind == FrameKind::Dense && nnz != dim {
+        return Err(WireError::NnzMismatch {
+            declared: nnz,
+            actual: dim,
+        });
+    }
+    Ok(frame_len(kind, codec, dim, nnz))
+}
+
 /// Expected `(positions, values)` section lengths for a parsed header.
 fn section_lens(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> (u64, u64) {
     let bitmap = (dim as u64).div_ceil(8);

@@ -70,5 +70,6 @@ pub use codec::{Codec, Rounding, QUANT_BLOCK};
 pub use error::WireError;
 pub use frame::{
     decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
-    encode_ternary, Frame, FrameKind, HEADER_BYTES, MAGIC, VERSION,
+    encode_ternary, frame_len, frame_len_from_header, sparse_kind, ternary_kind, Frame, FrameKind,
+    HEADER_BYTES, MAGIC, VERSION,
 };

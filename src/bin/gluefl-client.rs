@@ -1,0 +1,43 @@
+//! `gluefl-client`: one federated participant over TCP.
+//!
+//! ```text
+//! gluefl-client --addr 127.0.0.1:PORT --id N [--strategy gluefl]
+//!               [--clients 8] [--rounds 3] [--seed 42]
+//! ```
+//!
+//! The config flags must match the server's — both sides derive the
+//! dataset, model init, and training seeds from the same [`SimConfig`],
+//! which is what makes the run bit-identical to the in-process
+//! simulator.
+//!
+//! [`SimConfig`]: gluefl_suite::core::SimConfig
+
+use gluefl_suite::transport::{run_client, smoke_config};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: String = parse_flag(&args, "--addr", String::new());
+    let id: usize = parse_flag(&args, "--id", usize::MAX);
+    let strategy: String = parse_flag(&args, "--strategy", "gluefl".to_string());
+    let clients: usize = parse_flag(&args, "--clients", 8);
+    let rounds: u32 = parse_flag(&args, "--rounds", 3);
+    let seed: u64 = parse_flag(&args, "--seed", 42);
+    if addr.is_empty() || id == usize::MAX {
+        eprintln!("usage: gluefl-client --addr HOST:PORT --id N [--strategy S] [--clients N] [--rounds R] [--seed S]");
+        std::process::exit(2);
+    }
+    let cfg = smoke_config(&strategy, clients, rounds, seed);
+    if let Err(e) = run_client(&addr, cfg, id) {
+        eprintln!("client {id} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("client {id} done");
+}

@@ -1,0 +1,75 @@
+//! `gluefl-server`: orchestrate a real-socket federated run.
+//!
+//! ```text
+//! gluefl-server [--addr 127.0.0.1:0] [--strategy gluefl] [--clients 8]
+//!               [--rounds 3] [--seed 42] [--offer-timeout-secs 30]
+//!               [--upload-timeout-secs 30]
+//! ```
+//!
+//! Prints the bound address first (so scripts can launch clients against
+//! port 0), then one line per round, then the final parameter checksum.
+
+use gluefl_suite::transport::{smoke_config, Server, ServerConfig};
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: String = parse_flag(&args, "--addr", "127.0.0.1:0".to_string());
+    let strategy: String = parse_flag(&args, "--strategy", "gluefl".to_string());
+    let clients: usize = parse_flag(&args, "--clients", 8);
+    let rounds: u32 = parse_flag(&args, "--rounds", 3);
+    let seed: u64 = parse_flag(&args, "--seed", 42);
+    let offer_secs: u64 = parse_flag(&args, "--offer-timeout-secs", 30);
+    let upload_secs: u64 = parse_flag(&args, "--upload-timeout-secs", 30);
+
+    let cfg = smoke_config(&strategy, clients, rounds, seed);
+    let mut net = ServerConfig::local(clients);
+    net.addr = addr;
+    net.offer_timeout = Duration::from_secs(offer_secs);
+    net.upload_timeout = Duration::from_secs(upload_secs);
+
+    let server = match Server::bind(cfg, net) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // First line of output: the resolved address, for client launchers.
+    println!("listening {}", server.local_addr());
+    match server.run() {
+        Ok(report) => {
+            for rec in &report.records {
+                println!(
+                    "round {:>3}  invited {:>3}  kept {:>3}  up {:>9} B  wire_up {:>9} B  acc {}",
+                    rec.round,
+                    rec.invited,
+                    rec.kept,
+                    rec.up_bytes,
+                    rec.wire_up_bytes,
+                    rec.accuracy
+                        .map_or_else(|| "-".to_string(), |a| format!("{a:.4}")),
+                );
+            }
+            println!(
+                "done strategy={} params_fnv={:#018x} skipped={} dead={}",
+                report.strategy,
+                report.final_params_fnv,
+                report.skipped_uploads,
+                report.dead_clients
+            );
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

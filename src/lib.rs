@@ -12,6 +12,8 @@
 //! * [`gluefl_net`] — bandwidth, device, availability simulation.
 //! * [`gluefl_tensor`] — bitmasks, top-k, sparse updates.
 //! * [`gluefl_wire`] — framed binary wire codec for round messages.
+//! * [`gluefl_transport`] — real-socket client/server round loop with
+//!   streaming aggregation.
 
 #![forbid(unsafe_code)]
 
@@ -22,4 +24,5 @@ pub use gluefl_ml as ml;
 pub use gluefl_net as net;
 pub use gluefl_sampling as sampling;
 pub use gluefl_tensor as tensor;
+pub use gluefl_transport as transport;
 pub use gluefl_wire as wire;
