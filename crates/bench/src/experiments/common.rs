@@ -23,6 +23,9 @@ pub fn setup(
         SimConfig::paper_setup(dataset, model, strategy, opts.scale, opts.rounds, opts.seed);
     cfg.eval_every = 5;
     cfg.target_accuracy = None;
+    if let Some(wire) = opts.wire {
+        cfg.wire = wire;
+    }
     cfg
 }
 

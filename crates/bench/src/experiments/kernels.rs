@@ -27,13 +27,15 @@
 //! ([192, 96] hidden layers, batch 16, plus an eval-sized batch); each
 //! pair is asserted bit-identical before timing.
 //!
-//! The `wire_*` entries time the [`gluefl_wire`] sparse-frame codec (the
-//! per-client serialize/deserialize step of every round) against a
-//! first-cut twin — fresh allocations, per-element pushes, per-bit
+//! The `wire_*` entries time the [`gluefl_wire`] frame writer (the
+//! per-client serialize/deserialize step of every round) against
+//! first-cut twins — fresh allocations, per-element pushes, per-bit
 //! bitmap walks, and the definitional bit-at-a-time CRC-16 — at the
-//! paper's upload shape (q = 4% of d, bitmap positions). The encoder
-//! pair is asserted byte-identical and the decoder pair
-//! reconstruction-identical before timing.
+//! paper's upload shape (q = 4% of d): the legacy v1 layout (bitmap
+//! positions) and the v2 entropy layout (`wire_encode_varint`, the
+//! delta-varint position section). Every encoder pair is asserted
+//! byte-identical and the decoder pair reconstruction-identical before
+//! timing.
 //!
 //! The `stream_fold_sparse` entry times the round loop's aggregation
 //! phase end to end: the per-arrival streaming fold (the
@@ -208,6 +210,52 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
             baseline_ns,
             new_ns,
         });
+    }
+
+    // --- run-walk masked scatter (the `MaskedUpdate::add_to` inner loop). ---
+    // Baseline: the per-bit word walk `BitMask::scatter_add` (one scalar
+    // add per set bit). New: `BitMask::scatter_add_runs` — one contiguous
+    // AXPY per run, the kernel `add_to` now dispatches to. The shape is
+    // the run-structured case the apply path actually sees: a blocky
+    // shared mask (64-wide runs, 16% density, mirroring layer-clustered
+    // supports), where the run walk amortises the per-bit dispatch.
+    {
+        let rle_mask = BitMask::from_indices(d, (0..d).filter(|i| i % 400 < 64));
+        let rle_packed: Vec<f32> = (0..rle_mask.count_ones())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        // Inputs always consume `rng`, so filtered runs see the full
+        // run's data.
+        if opts.kernel_selected("masked_apply_rle") {
+            let params: Vec<f32> = values.clone();
+            let mut params_base = params.clone();
+            let mut params_new = params;
+            rle_mask.scatter_add(&mut params_base, &rle_packed, 1.0);
+            rle_mask.scatter_add_runs(&mut params_new, &rle_packed, 1.0);
+            assert!(
+                params_base
+                    .iter()
+                    .zip(&params_new)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "run-walk scatter diverged from the per-bit walk"
+            );
+            let (baseline_ns, new_ns) = time_pair_ns(
+                reps,
+                || {
+                    rle_mask.scatter_add(&mut params_base, &rle_packed, 1.0);
+                    rle_packed.len()
+                },
+                || {
+                    rle_mask.scatter_add_runs(&mut params_new, &rle_packed, 1.0);
+                    rle_packed.len()
+                },
+            );
+            entries.push(Entry {
+                name: "masked_apply_rle",
+                baseline_ns,
+                new_ns,
+            });
+        }
     }
 
     // --- local client training (the K × steps per-round inner loop). ---
@@ -555,21 +603,24 @@ fn run_wire_entries(
     dense: &[f32],
     entries: &mut Vec<Entry>,
 ) {
-    if !opts.kernel_selected("wire_encode_sparse") && !opts.kernel_selected("wire_decode_sparse") {
+    if !opts.kernel_selected("wire_encode_sparse")
+        && !opts.kernel_selected("wire_decode_sparse")
+        && !opts.kernel_selected("wire_encode_varint")
+    {
         return;
     }
-    use gluefl_wire::{encode_sparse, Codec, Rounding};
+    use gluefl_wire::{Codec, FrameWriter, Rounding, WirePolicy};
     let round = 11u32;
     let indices: Vec<u32> = (0..d as u32).step_by(25).collect();
     let values: Vec<f32> = indices.iter().map(|&i| dense[i as usize]).collect();
 
     // Equivalence gates: byte-identical frames, identical reconstruction.
+    let legacy_writer = FrameWriter::new(WirePolicy::legacy(Codec::F32));
     let baseline_frame = baseline_encode_sparse(round, d, &indices, &values);
     let mut frame_buf = Vec::new();
-    let n = encode_sparse(
+    let n = legacy_writer.sparse(
         &mut frame_buf,
         round,
-        Codec::F32,
         Rounding::Nearest,
         d,
         &indices,
@@ -598,15 +649,7 @@ fn run_wire_entries(
             || baseline_encode_sparse(round, d, &indices, &values).len(),
             || {
                 pooled.clear();
-                encode_sparse(
-                    &mut pooled,
-                    round,
-                    Codec::F32,
-                    Rounding::Nearest,
-                    d,
-                    &indices,
-                    &values,
-                )
+                legacy_writer.sparse(&mut pooled, round, Rounding::Nearest, d, &indices, &values)
             },
         );
         entries.push(Entry {
@@ -630,6 +673,45 @@ fn run_wire_entries(
         );
         entries.push(Entry {
             name: "wire_decode_sparse",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    // v2 entropy layout: the delta-varint position section on a *random*
+    // 4% support (irregular gaps, so the varints are genuinely
+    // variable-width), against a naive per-element delta+varint twin
+    // producing the identical SparseDelta frame.
+    if opts.kernel_selected("wire_encode_varint") {
+        let mut vrng = StdRng::seed_from_u64(opts.seed ^ 0x77a9);
+        let vix: Vec<u32> = (0..d as u32).filter(|_| vrng.gen::<f64>() < 0.04).collect();
+        let vvals: Vec<f32> = vix.iter().map(|&i| dense[i as usize]).collect();
+        let entropy_writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+
+        // Equivalence gate: byte-identical frames (which also pins the
+        // cost chooser to the delta layout at this density), plus a
+        // round-trip decode of the varint section.
+        let baseline_frame = baseline_encode_sparse_delta(round, d, &vix, &vvals);
+        let mut frame_buf = Vec::new();
+        let n = entropy_writer.sparse(&mut frame_buf, round, Rounding::Nearest, d, &vix, &vvals);
+        assert_eq!(n, frame_buf.len());
+        assert_eq!(baseline_frame, frame_buf, "varint encoders diverged");
+        let decoded = gluefl_wire::decode_frame(&frame_buf).expect("valid frame");
+        let mut got_ix = Vec::new();
+        decoded.indices_into(&mut got_ix);
+        assert_eq!(got_ix, vix, "varint round trip diverged");
+
+        let mut pooled = Vec::with_capacity(frame_buf.len());
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_encode_sparse_delta(round, d, &vix, &vvals).len(),
+            || {
+                pooled.clear();
+                entropy_writer.sparse(&mut pooled, round, Rounding::Nearest, d, &vix, &vvals)
+            },
+        );
+        entries.push(Entry {
+            name: "wire_encode_varint",
             baseline_ns,
             new_ns,
         });
@@ -998,6 +1080,60 @@ fn baseline_encode_sparse(round: u32, dim: usize, indices: &[u32], values: &[f32
     out
 }
 
+/// First-cut v2 entropy encoder: the same `SparseDelta` byte layout the
+/// [`gluefl_wire::FrameWriter`] emits under `WirePolicy::entropy`
+/// (asserted identical), written the naive way — fresh output buffer,
+/// one push per varint byte, a checksum-input copy, and the
+/// bit-at-a-time CRC.
+fn baseline_encode_sparse_delta(
+    round: u32,
+    dim: usize,
+    indices: &[u32],
+    values: &[f32],
+) -> Vec<u8> {
+    // Frame kind id 7 = SparseDelta (codec F32 = 0); version 2 spills the
+    // kind's fourth bit into the former reserved bit.
+    let kind: u8 = 7;
+    let mut out = Vec::new();
+    out.push(gluefl_wire::MAGIC);
+    out.push((gluefl_wire::VERSION_ENTROPY << 6) | ((kind & 0x07) << 3) | (kind >> 3));
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(dim).expect("dim fits u32").to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(indices.len())
+            .expect("nnz fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&[0, 0]);
+    let mut prev: Option<u32> = None;
+    for &i in indices {
+        // First index absolute, then gap − 1 (indices are strictly
+        // increasing); canonical LEB128.
+        let mut v = match prev {
+            None => u64::from(i),
+            Some(p) => u64::from(i - p - 1),
+        };
+        prev = Some(i);
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut check_input = out[..14].to_vec();
+    check_input.extend_from_slice(&out[16..]);
+    let crc = gluefl_wire::crc::crc16_bitwise(&check_input);
+    out[14..16].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
 /// First-cut sparse-frame decoder: checksum-input copy + bit-at-a-time
 /// CRC, per-bit bitmap walk over all `d` positions, per-element value
 /// reads into fresh vectors.
@@ -1210,6 +1346,7 @@ mod tests {
         assert!(json.contains("topk_outside_16pct_mask"));
         assert!(json.contains("aggregate_masked_30_clients"));
         assert!(json.contains("masked_apply_20pct"));
+        assert!(json.contains("masked_apply_rle"));
         assert!(json.contains("local_train_step"));
         assert!(json.contains("local_train_round"));
         assert!(json.contains("gemm_nn_b16"));
@@ -1218,6 +1355,7 @@ mod tests {
         assert!(json.contains("gemm_nn_eval_b1024"));
         assert!(json.contains("wire_encode_sparse"));
         assert!(json.contains("wire_decode_sparse"));
+        assert!(json.contains("wire_encode_varint"));
         assert!(json.contains("stream_fold_sparse"));
         assert!(json.contains("avail_advance_1m"));
         assert!(json.contains("plan_round_1m"));
@@ -1244,6 +1382,8 @@ mod tests {
         assert!(!json.contains("topk_outside_16pct_mask"));
         assert!(!json.contains("local_train_step"));
         assert!(!json.contains("wire_encode_sparse"));
+        assert!(!json.contains("wire_encode_varint"));
+        assert!(!json.contains("masked_apply_rle"));
         assert!(!json.contains("stream_fold_sparse"));
         // --check against the filtered output: the committed full ledger
         // covers the subset, so the gate passes…

@@ -26,6 +26,42 @@ pub struct ExptOpts {
     /// ledger entries whose name contains the substring are measured and
     /// emitted — the fast path for re-running one kernel while tuning.
     pub filter: Option<String>,
+    /// Wire policy override (`--wire SPEC`): applied to every experiment
+    /// configuration built through `setup`. `SPEC` is
+    /// `{legacy|entropy}-{f32|f16|quant-u8}[-no-ec]`, e.g.
+    /// `entropy-quant-u8` or `legacy-quant-u8-no-ec`. `None` keeps each
+    /// experiment's own default (the byte-identical legacy F32 policy, or
+    /// the sweep arms of `expt wire`).
+    pub wire: Option<gluefl_core::WirePolicy>,
+}
+
+/// Parses a `--wire` policy spec:
+/// `{legacy|entropy}-{f32|f16|quant-u8}[-no-ec]`.
+///
+/// # Errors
+/// Returns a message naming the malformed spec.
+pub fn parse_wire_policy(spec: &str) -> Result<gluefl_core::WirePolicy, String> {
+    use gluefl_core::{WireCodec, WirePolicy};
+    let (body, quant_ec) = match spec.strip_suffix("-no-ec") {
+        Some(body) => (body, false),
+        None => (spec, true),
+    };
+    let (layout, codec_name) = body
+        .split_once('-')
+        .ok_or_else(|| format!("--wire '{spec}': expected LAYOUT-CODEC[-no-ec]"))?;
+    let codec = match codec_name {
+        "f32" => WireCodec::F32,
+        "f16" => WireCodec::F16,
+        "quant-u8" => WireCodec::QuantU8,
+        other => return Err(format!("--wire '{spec}': unknown codec '{other}'")),
+    };
+    let mut policy = match layout {
+        "legacy" => WirePolicy::legacy(codec),
+        "entropy" => WirePolicy::entropy(codec),
+        other => return Err(format!("--wire '{spec}': unknown layout '{other}'")),
+    };
+    policy.quant_ec = quant_ec;
+    Ok(policy)
 }
 
 impl Default for ExptOpts {
@@ -39,13 +75,15 @@ impl Default for ExptOpts {
             quick: false,
             check: None,
             filter: None,
+            wire: None,
         }
     }
 }
 
 impl ExptOpts {
     /// Parses `--rounds N --scale F --seed N --out DIR --paper-scale
-    /// --quick --check FILE --filter KERNEL` from raw arguments.
+    /// --quick --check FILE --filter KERNEL --wire SPEC` from raw
+    /// arguments.
     ///
     /// # Errors
     /// Returns a message naming the offending flag or value.
@@ -78,6 +116,9 @@ impl ExptOpts {
                 }
                 "--filter" => {
                     opts.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
+                }
+                "--wire" => {
+                    opts.wire = Some(parse_wire_policy(it.next().ok_or("--wire needs a value")?)?);
                 }
                 "--quick" => {
                     opts.quick = true;
@@ -166,6 +207,32 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert!(o.kernel_selected("gemm_nn_b16"));
         assert!(o.kernel_selected("local_train_round"));
+    }
+
+    #[test]
+    fn parses_wire_policy_specs() {
+        use gluefl_core::{IndexLayout, WireCodec};
+        let o = parse(&["--wire", "entropy-quant-u8"]).unwrap();
+        let w = o.wire.unwrap();
+        assert_eq!(w.codec, WireCodec::QuantU8);
+        assert_eq!(w.index_layout, IndexLayout::Entropy);
+        assert!(w.rle);
+        assert!(w.quant_ec);
+
+        let w = parse(&["--wire", "legacy-f32"]).unwrap().wire.unwrap();
+        assert_eq!(w, gluefl_core::WirePolicy::default());
+
+        let w = parse(&["--wire", "legacy-quant-u8-no-ec"])
+            .unwrap()
+            .wire
+            .unwrap();
+        assert_eq!(w.codec, WireCodec::QuantU8);
+        assert!(!w.quant_ec);
+
+        assert!(parse(&["--wire", "f32"]).is_err());
+        assert!(parse(&["--wire", "entropy-f64"]).is_err());
+        assert!(parse(&["--wire", "modern-f32"]).is_err());
+        assert!(parse(&["--wire"]).is_err());
     }
 
     #[test]

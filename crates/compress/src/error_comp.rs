@@ -170,6 +170,40 @@ impl ErrorCompensator {
         }
     }
 
+    /// Folds the wire codec's loss into a client's residual bank after
+    /// its upload was serialized: `sent` is what the strategy handed the
+    /// encoder at `indices`, `shipped` is what a lossy codec actually
+    /// delivered to the receiver. The true residual of the round is
+    /// `Δ − shipped = (Δ − sent) + (sent − shipped)`; [`Self::record`] /
+    /// [`Self::record_sent_parts`] already stored the first term, so this
+    /// adds the second. No-op when compensation is off or the client has
+    /// no stored memory (nothing was recorded this round); the stored
+    /// weight is untouched — codec loss happened at the same reference
+    /// weight as the top-k loss.
+    ///
+    /// # Panics
+    /// Panics if the three slices disagree in length or an index is out
+    /// of range for the model dimension.
+    pub fn fold_shipped_error(
+        &mut self,
+        client: usize,
+        indices: &[u32],
+        sent: &[f32],
+        shipped: &[f32],
+    ) {
+        assert_eq!(indices.len(), sent.len());
+        assert_eq!(sent.len(), shipped.len());
+        if self.mode == CompensationMode::None {
+            return;
+        }
+        let Some(mem) = self.memory.get_mut(&client) else {
+            return;
+        };
+        for j in 0..indices.len() {
+            mem.residual[indices[j] as usize] += sent[j] - shipped[j];
+        }
+    }
+
     /// Returns the client's residual buffer (reused across rounds once a
     /// client has participated) with the stored weight updated.
     fn residual_slot(&mut self, client: usize, weight: f64) -> &mut [f32] {
@@ -288,6 +322,34 @@ mod tests {
             CompensationMode::Rescaled
         );
         assert!("x".parse::<CompensationMode>().is_err());
+    }
+
+    #[test]
+    fn fold_shipped_error_adds_codec_residual() {
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 4);
+        // Round: delta [1, -2, 0.5, 0], sent the first two coordinates.
+        ec.record(0, &[1.0, -2.0, 0.5, 0.0], &[1.0, -2.0, 0.0, 0.0], 1.0);
+        // Wire codec delivered [0.9, -2.1] instead of [1.0, -2.0].
+        ec.fold_shipped_error(0, &[0, 1], &[1.0, -2.0], &[0.9, -2.1]);
+        let mut probe = vec![0.0f32; 4];
+        ec.apply(0, &mut probe, 1.0);
+        // Residual = (Δ − sent) + (sent − shipped) = Δ − shipped.
+        assert!((probe[0] - 0.1).abs() < 1e-6);
+        assert!((probe[1] - 0.1).abs() < 1e-6);
+        assert_eq!(&probe[2..], &[0.5, 0.0]);
+    }
+
+    #[test]
+    fn fold_shipped_error_without_memory_or_mode_is_inert() {
+        // No memory stored: nothing to fold into.
+        let mut ec = ErrorCompensator::new(CompensationMode::Raw, 2);
+        ec.fold_shipped_error(7, &[0], &[1.0], &[0.5]);
+        assert_eq!(ec.tracked_clients(), 0);
+        // Mode None: inert even after a (no-op) record.
+        let mut off = ErrorCompensator::new(CompensationMode::None, 2);
+        off.record(0, &[1.0, 0.0], &[0.0, 0.0], 1.0);
+        off.fold_shipped_error(0, &[0], &[1.0], &[0.5]);
+        assert_eq!(off.tracked_clients(), 0);
     }
 
     #[test]

@@ -152,15 +152,24 @@ pub struct SimConfig {
     /// This keeps the time-domain results (DT/TT, Figure 9, Table 3)
     /// comparable to the paper even when the stand-in model is small.
     pub paper_time_model: bool,
-    /// Wire value codec for client uploads (and their BN-statistic
-    /// frames). `F32` — the default — is bit-exact and makes the measured
-    /// wire bytes equal the analytic `WireCost` model; `F16`/`QuantU8`
+    /// Wire encoding policy for round messages: the value codec for
+    /// client uploads (and their BN-statistic frames), whether the
+    /// entropy position layouts (delta-coded varint index lists,
+    /// run-length mask sections) may compete with the v1 bitmap/index
+    /// pair on exact byte cost, and whether lossy-codec residual feeds
+    /// back into error compensation. The default
+    /// ([`gluefl_wire::WirePolicy::default`]) reproduces the original
+    /// behaviour byte for byte: `F32` values, legacy layouts, measured
+    /// wire bytes equal to the analytic `WireCost` model. `F16`/`QuantU8`
     /// trade accuracy for upload bytes (quantization uses deterministic
     /// stochastic rounding seeded per `(round, client)`, so runs stay
-    /// reproducible and serial ≡ parallel). The model/mask broadcast is
-    /// always serialized at full `F32` precision — clients must train on
-    /// the exact global weights the analytic download model assumes.
-    pub wire_codec: gluefl_wire::Codec,
+    /// reproducible and serial ≡ parallel); with `quant_ec` on, the codec
+    /// residual of every kept upload is folded into the strategy's
+    /// error-compensation bank. Model weights in the broadcast are always
+    /// serialized at full `F32` precision — clients must train on the
+    /// exact global weights the analytic download model assumes — but the
+    /// mask broadcast may use the RLE layout when the policy admits it.
+    pub wire: gluefl_wire::WirePolicy,
     /// Evaluate the global model every this many rounds.
     pub eval_every: u32,
     /// Report top-5 instead of top-1 accuracy (OpenImage).
@@ -218,7 +227,7 @@ impl SimConfig {
                 mean_session_rounds: 40.0,
             }),
             paper_time_model: true,
-            wire_codec: gluefl_wire::Codec::F32,
+            wire: gluefl_wire::WirePolicy::default(),
             eval_every: 5,
             use_top5: dataset.uses_top5(),
             target_accuracy: Some(dataset.target_accuracy()),

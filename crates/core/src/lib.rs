@@ -63,6 +63,7 @@ pub mod wire_link;
 pub use config::{AvailabilityConfig, GlueFlParams, SimConfig, StrategyConfig};
 pub use gluefl_tensor::MaskedUpdate;
 pub use gluefl_wire::Codec as WireCodec;
+pub use gluefl_wire::{IndexLayout, WirePolicy};
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
 pub use scratch::{ScratchPool, TrainSlot};
 pub use simulator::{local_train_into, run_strategy, Simulation};

@@ -170,19 +170,25 @@ impl Simulation {
     }
 
     /// Serializes the round's reference broadcast — one dense full-model
-    /// frame plus the strategy's mask frame, always F32 — through a
-    /// pooled arena and returns the measured byte count.
+    /// frame plus the strategy's mask frame — through a pooled arena and
+    /// returns the measured byte count. Model weights always travel at
+    /// full F32 precision (clients must train on the exact global
+    /// weights the download accounting assumes); the mask frame may use
+    /// the RLE layout when the configured policy admits it.
     fn measure_broadcast(&mut self, round: u32) -> u64 {
+        let writer = gluefl_wire::FrameWriter::new(gluefl_wire::WirePolicy {
+            codec: gluefl_wire::Codec::F32,
+            ..self.cfg.wire
+        });
         let mut bbuf = self.scratch.take_bytes();
-        let mut measured = gluefl_wire::encode_dense(
+        let mut measured = writer.dense(
             &mut bbuf,
             round,
-            gluefl_wire::Codec::F32,
             gluefl_wire::Rounding::Nearest,
             self.model.params(),
         ) as u64;
         if let Some(mask) = self.strategy.round_mask(round) {
-            measured += gluefl_wire::encode_mask(&mut bbuf, round, mask) as u64;
+            measured += writer.mask(&mut bbuf, round, mask) as u64;
         }
         debug_assert!(gluefl_wire::decode_frame_prefix(&bbuf).is_ok());
         self.scratch.put_bytes(bbuf);
@@ -277,30 +283,38 @@ impl Simulation {
         // the strategy ships one), serialized through the real codec at
         // full F32 precision — clients must train on the exact global
         // weights the analytic per-client download accounting assumes.
-        // The frame lengths depend only on `dim` and the strategy's mask
-        // presence, so the measurement is performed once (and re-checked
-        // against the analytic model every round in debug builds) rather
-        // than paying an O(4d) serialize per round for a run constant.
-        rec.wire_broadcast_bytes = match self.wire_broadcast_len {
-            Some(cached) => {
-                debug_assert_eq!(
-                    cached,
-                    self.measure_broadcast(round),
-                    "broadcast frame length changed mid-run"
-                );
-                cached
+        // Under the legacy layouts the frame lengths depend only on `dim`
+        // and the strategy's mask presence, so the measurement is
+        // performed once (and re-checked against the analytic model every
+        // round in debug builds) rather than paying an O(4d) serialize
+        // per round for a run constant. With the entropy layouts the mask
+        // frame's length follows the mask's run structure — which changes
+        // every round under GlueFL's mask shifting — so it is measured
+        // per round.
+        rec.wire_broadcast_bytes = if self.cfg.wire.is_legacy() {
+            match self.wire_broadcast_len {
+                Some(cached) => {
+                    debug_assert_eq!(
+                        cached,
+                        self.measure_broadcast(round),
+                        "broadcast frame length changed mid-run"
+                    );
+                    cached
+                }
+                None => {
+                    let measured = self.measure_broadcast(round);
+                    debug_assert_eq!(
+                        measured,
+                        gluefl_tensor::WireCost::dense(self.model.num_params()).total_bytes()
+                            + mask_bytes,
+                        "measured broadcast diverged from the analytic download model"
+                    );
+                    self.wire_broadcast_len = Some(measured);
+                    measured
+                }
             }
-            None => {
-                let measured = self.measure_broadcast(round);
-                debug_assert_eq!(
-                    measured,
-                    gluefl_tensor::WireCost::dense(self.model.num_params()).total_bytes()
-                        + mask_bytes,
-                    "measured broadcast diverged from the analytic download model"
-                );
-                self.wire_broadcast_len = Some(measured);
-                measured
-            }
+        } else {
+            self.measure_broadcast(round)
         };
 
         // --- Local training (parallel, deterministic). ---
@@ -333,14 +347,19 @@ impl Simulation {
         // the information order of a real server, which learns offered
         // lengths before any upload bytes arrive. Dropped clients are
         // never serialized (let alone decoded); their pooled buffers go
-        // straight back. Under the default F32 codec the predicted bytes
-        // equal the analytic model (debug-asserted per client, pinned
-        // end-to-end by the `wire_roundtrip` suite); the lossy codecs
-        // shrink the measured bytes at a bounded accuracy cost.
+        // straight back. Under the default (legacy F32) policy the
+        // predicted bytes equal the analytic model (debug-asserted per
+        // client, pinned end-to-end by the `wire_roundtrip` suite); the
+        // lossy codecs and entropy layouts shrink the measured bytes —
+        // and the prediction stays exact for them too, because
+        // `encoded_len` prices the upload's actual index pattern.
         let stats_upload_bytes = stats_len as u64 * 4 + HEADER_BYTES;
-        let codec = self.cfg.wire_codec;
-        let stats_frame_len =
-            gluefl_wire::frame_len(gluefl_wire::FrameKind::KnownMask, codec, dim, stats_len);
+        let policy = self.cfg.wire;
+        let codec = policy.codec;
+        let writer = gluefl_wire::FrameWriter::new(policy);
+        // BN-statistic frames are mask-aligned (no position section), so
+        // their length is shape-only under every policy.
+        let stats_frame_len = writer.known_mask_len(stats_len);
         let mut uploads: Vec<Option<Upload>> = Vec::with_capacity(invited.len());
         let mut wire_lens: Vec<u64> = Vec::with_capacity(invited.len());
         let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
@@ -352,10 +371,10 @@ impl Simulation {
                 .strategy
                 .compress(round, id, group, delta, &mut self.scratch);
             let analytic_up = upload.bytes() + stats_upload_bytes;
-            let wire_up = wire_link::encoded_len(&upload, codec) + stats_frame_len;
+            let wire_up = wire_link::encoded_len(&upload, &policy) + stats_frame_len;
             debug_assert!(
-                codec != gluefl_wire::Codec::F32 || wire_up == analytic_up,
-                "F32 predicted bytes {wire_up} diverged from analytic {analytic_up}"
+                !(policy.is_legacy() && codec == gluefl_wire::Codec::F32) || wire_up == analytic_up,
+                "legacy-F32 predicted bytes {wire_up} diverged from analytic {analytic_up}"
             );
             uploads.push(Some(upload));
             wire_lens.push(wire_up);
@@ -419,17 +438,23 @@ impl Simulation {
             let upload = uploads[i].take().expect("kept indices are unique");
             let mut wbuf = self.scratch.take_bytes();
             let client_key = (u64::from(round) << 32) | id as u64;
-            let ulen = wire_link::encode_upload(
+            // Lossy codecs report what each frame actually shipped; the
+            // strategy folds the codec residual into the client's
+            // error-compensation bank. Only kept uploads — the only ones
+            // serialized — feed back, on both this driver and the real
+            // transport, so loopback runs stay bit-identical.
+            let strategy = &mut self.strategy;
+            let ulen = wire_link::encode_upload_with_feedback(
                 &upload,
                 round,
-                codec,
+                &policy,
                 derive_seed(self.cfg.seed, "wire-quant", client_key),
                 &mut wbuf,
+                &mut |ix, sent, shipped| strategy.fold_codec_error(id, ix, sent, shipped),
             );
-            let slen = gluefl_wire::encode_known_mask(
+            let slen = writer.known_mask(
                 &mut wbuf,
                 round,
-                codec,
                 wire_link::rounding_for(
                     codec,
                     derive_seed(self.cfg.seed, "wire-quant-stats", client_key),

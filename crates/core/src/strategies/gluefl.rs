@@ -246,6 +246,12 @@ impl Strategy for GlueFlStrategy {
         Upload::MaskSplit(ClientSplit { shared, unique })
     }
 
+    fn fold_codec_error(&mut self, id: ClientId, indices: &[u32], sent: &[f32], shipped: &[f32]) {
+        // Codec loss joins the top-k residual h in the client's bank, so
+        // the rescaled compensation of Equation 7 re-sends it next time.
+        self.ec.fold_shipped_error(id, indices, sent, shipped);
+    }
+
     fn aggregate(
         &mut self,
         round: u32,

@@ -281,6 +281,20 @@ pub trait Strategy: Send {
         scratch: &mut ScratchPool,
     ) -> Upload;
 
+    /// Reports the wire codec's loss on a client's serialized upload:
+    /// `sent` is what [`Strategy::compress`] handed the encoder at
+    /// `indices`, `shipped` is what the lossy codec actually delivered
+    /// (what the server will reconstruct). Fired by the drivers once per
+    /// value-bearing frame of a *kept* upload when the wire policy runs a
+    /// lossy codec with `quant_ec` on; never fired under `F32`.
+    /// Strategies with error-compensation memory fold `sent − shipped`
+    /// into the client's residual bank so codec loss re-enters the next
+    /// round; the default keeps the pre-existing behaviour of dropping
+    /// it.
+    fn fold_codec_error(&mut self, id: ClientId, indices: &[u32], sent: &[f32], shipped: &[f32]) {
+        let _ = (id, indices, sent, shipped);
+    }
+
     /// Aggregates the kept uploads into a [`MaskedUpdate`] over trainable
     /// positions and performs mask updates (see the trait-level
     /// `MaskedUpdate` contract).

@@ -143,6 +143,12 @@ impl Strategy for StcStrategy {
         }
     }
 
+    fn fold_codec_error(&mut self, id: ClientId, indices: &[u32], sent: &[f32], shipped: &[f32]) {
+        // Only the non-quantized (sparse f32) path ships value-bearing
+        // frames; ternary frames are exact given µ and never report.
+        self.ec.fold_shipped_error(id, indices, sent, shipped);
+    }
+
     fn aggregate(
         &mut self,
         _round: u32,

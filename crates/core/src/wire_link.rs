@@ -11,13 +11,23 @@
 //! them requires the round's mask
 //! ([`crate::strategies::Strategy::round_mask`]).
 //!
-//! With [`Codec::F32`] the round trip is bit-exact and every frame's
-//! length equals the analytic [`gluefl_tensor::WireCost`] total that
-//! [`Upload::bytes`] reports — the simulator debug-asserts this identity
-//! every round, and the `wire_roundtrip` integration suite pins it
-//! end-to-end. With the lossy codecs ([`Codec::F16`], [`Codec::QuantU8`])
-//! the decoded values differ within the codec's error envelope, which is
-//! exactly the accuracy-vs-bytes trade the bench harness sweeps.
+//! What travels is shaped by a [`WirePolicy`] (carried in
+//! `SimConfig::wire`): the value codec, and whether the entropy position
+//! layouts — delta-coded varint index lists and run-length sections —
+//! compete with the v1 bitmap/index pair on exact byte cost. Decoding is
+//! policy-free; frames self-describe their layout.
+//!
+//! With [`Codec::F32`] the round trip is bit-exact, and under the
+//! default (legacy) policy every frame's length equals the analytic
+//! [`gluefl_tensor::WireCost`] total that [`Upload::bytes`] reports —
+//! the simulator debug-asserts this identity every round, and the
+//! `wire_roundtrip` integration suite pins it end-to-end. With the lossy
+//! codecs ([`Codec::F16`], [`Codec::QuantU8`]) the decoded values differ
+//! within the codec's error envelope; when [`WirePolicy::quant_ec`] is
+//! on, [`encode_upload_with_feedback`] reports the *dequantized* values
+//! each frame actually shipped back to the sender, so strategies with
+//! error-compensation memory fold the codec residual into the next
+//! round alongside the top-k residual.
 
 use crate::scratch::ScratchPool;
 use crate::strategies::Upload;
@@ -25,8 +35,7 @@ use gluefl_compress::mask_shift::ClientSplit;
 use gluefl_compress::stc::TernaryUpdate;
 use gluefl_tensor::{BitMask, SparseUpdate};
 use gluefl_wire::{
-    decode_frame_prefix, encode_dense, encode_known_mask, encode_sparse, encode_ternary, frame_len,
-    sparse_kind, ternary_kind, Codec, Frame, FrameKind, Rounding, WireError,
+    decode_frame_prefix, Codec, Frame, FrameKind, FrameWriter, Rounding, WireError, WirePolicy,
 };
 
 /// The rounding mode a codec uses on the simulator's paths: quantization
@@ -42,90 +51,151 @@ pub fn rounding_for(codec: Codec, quant_seed: u64) -> Rounding {
 }
 
 /// The exact byte count [`encode_upload`] will produce for `upload`
-/// under `codec`, computed without encoding anything.
+/// under `policy`, computed without encoding anything.
 ///
-/// Frame lengths depend only on `(kind, codec, dim, nnz)` — never on the
-/// values — so an upload's wire size is known the moment its shape is.
-/// This is the seam that lets a scheduler (the simulator's keep
-/// selection, the server's deadline policy) price every invited client's
-/// upload *before* deciding whose bytes to encode, decode, or even
-/// receive: the over-committed remainder is never serialized at all. The
-/// simulator debug-asserts `encoded_len == encode_upload(..)` for every
-/// kept upload each round.
+/// Under the legacy menu frame lengths depend only on the upload's
+/// *shape* `(kind, codec, dim, nnz)`; the entropy layouts price the
+/// actual index pattern — but the upload carries its indices, so the
+/// prediction stays exact either way. This is the seam that lets a
+/// scheduler (the simulator's keep selection, the server's deadline
+/// policy) price every invited client's upload *before* deciding whose
+/// bytes to encode, decode, or even receive: the over-committed
+/// remainder is never serialized at all. The simulator debug-asserts
+/// `encoded_len == encode_upload(..)` for every kept upload each round.
 #[must_use]
-pub fn encoded_len(upload: &Upload, codec: Codec) -> u64 {
+pub fn encoded_len(upload: &Upload, policy: &WirePolicy) -> u64 {
+    let w = FrameWriter::new(*policy);
     match upload {
-        Upload::Dense(values) => frame_len(FrameKind::Dense, codec, values.len(), values.len()),
-        Upload::Sparse(u) => frame_len(sparse_kind(u.dim(), u.nnz()), codec, u.dim(), u.nnz()),
-        Upload::KnownMask(u) => frame_len(FrameKind::KnownMask, codec, u.dim(), u.nnz()),
-        // Ternary frames have a fixed sign/µ layout and always declare F32.
-        Upload::Ternary(t) => frame_len(
-            ternary_kind(t.dim(), t.indices.len()),
-            Codec::F32,
-            t.dim(),
-            t.indices.len(),
-        ),
+        Upload::Dense(values) => w.dense_len(values.len()),
+        Upload::Sparse(u) => w.sparse_len(u.dim(), u.indices()),
+        Upload::KnownMask(u) => w.known_mask_len(u.nnz()),
+        Upload::Ternary(t) => w.ternary_len(t.dim(), &t.indices),
         Upload::MaskSplit(split) => {
-            frame_len(
-                FrameKind::KnownMask,
-                codec,
-                split.shared.dim(),
-                split.shared.nnz(),
-            ) + frame_len(
-                sparse_kind(split.unique.dim(), split.unique.nnz()),
-                codec,
-                split.unique.dim(),
-                split.unique.nnz(),
-            )
+            w.known_mask_len(split.shared.nnz())
+                + w.sparse_len(split.unique.dim(), split.unique.indices())
         }
     }
 }
 
+/// Callback receiving `(indices, sent, shipped)` for each lossy
+/// value-bearing frame: the frame's coordinate indices, the values handed
+/// to the encoder, and the dequantized values a receiver reconstructs.
+pub type ShippedFeedback<'a> = dyn FnMut(&[u32], &[f32], &[f32]) + 'a;
+
 /// Serializes `upload` into wire frames appended to `out`, returning the
 /// encoded byte count. Ternary uploads are already 1-bit quantized and
-/// use their fixed sign/µ layout regardless of `codec`.
+/// use their fixed sign/µ layout regardless of the policy's codec.
 pub fn encode_upload(
     upload: &Upload,
     round: u32,
-    codec: Codec,
+    policy: &WirePolicy,
     quant_seed: u64,
     out: &mut Vec<u8>,
 ) -> usize {
-    let rounding = rounding_for(codec, quant_seed);
+    encode_upload_with_feedback(upload, round, policy, quant_seed, out, &mut |_, _, _| {})
+}
+
+/// Like [`encode_upload`], additionally reporting what each lossy
+/// value-bearing frame *actually shipped*: after writing a sparse or
+/// mask-aligned frame under a lossy codec (with [`WirePolicy::quant_ec`]
+/// on), `feedback(indices, sent, shipped)` receives the frame's
+/// coordinate indices, the values handed to the encoder, and the
+/// dequantized values a receiver will reconstruct. Strategies with
+/// error-compensation memory fold `sent − shipped` into their residual
+/// bank ([`crate::strategies::Strategy::fold_codec_error`]), so codec
+/// loss is carried into the next round instead of silently dropped.
+///
+/// The callback never fires under [`Codec::F32`] (shipped ≡ sent), for
+/// ternary frames (their fixed sign/µ layout is exact given `µ`), or
+/// for dense uploads (the dense strategies keep no residual bank).
+pub fn encode_upload_with_feedback(
+    upload: &Upload,
+    round: u32,
+    policy: &WirePolicy,
+    quant_seed: u64,
+    out: &mut Vec<u8>,
+    feedback: &mut ShippedFeedback<'_>,
+) -> usize {
+    let w = FrameWriter::new(*policy);
+    let rounding = rounding_for(policy.codec, quant_seed);
+    let lossy = policy.quant_ec && policy.codec != Codec::F32;
     match upload {
-        Upload::Dense(values) => encode_dense(out, round, codec, rounding, values),
-        Upload::Sparse(u) => encode_sparse(
-            out,
-            round,
-            codec,
-            rounding,
-            u.dim(),
-            u.indices(),
-            u.values(),
-        ),
-        Upload::KnownMask(u) => encode_known_mask(out, round, codec, rounding, u.dim(), u.values()),
-        Upload::Ternary(t) => encode_ternary(out, round, t.dim(), t.mu, &t.indices, &t.signs),
+        Upload::Dense(values) => w.dense(out, round, rounding, values),
+        Upload::Sparse(u) => {
+            let start = out.len();
+            let n = w.sparse(out, round, rounding, u.dim(), u.indices(), u.values());
+            if lossy {
+                report_shipped(out, start, u.indices(), u.values(), feedback);
+            }
+            n
+        }
+        Upload::KnownMask(u) => {
+            let start = out.len();
+            let n = w.known_mask(out, round, rounding, u.dim(), u.values());
+            if lossy {
+                report_shipped(out, start, u.indices(), u.values(), feedback);
+            }
+            n
+        }
+        Upload::Ternary(t) => w.ternary(out, round, t.dim(), t.mu, &t.indices, &t.signs),
         Upload::MaskSplit(split) => {
-            let shared = encode_known_mask(
+            let start = out.len();
+            let shared = w.known_mask(
                 out,
                 round,
-                codec,
                 rounding,
                 split.shared.dim(),
                 split.shared.values(),
             );
-            shared
-                + encode_sparse(
+            if lossy {
+                report_shipped(
                     out,
-                    round,
-                    codec,
-                    rounding,
-                    split.unique.dim(),
+                    start,
+                    split.shared.indices(),
+                    split.shared.values(),
+                    feedback,
+                );
+            }
+            let start = out.len();
+            let unique = w.sparse(
+                out,
+                round,
+                rounding,
+                split.unique.dim(),
+                split.unique.indices(),
+                split.unique.values(),
+            );
+            if lossy {
+                report_shipped(
+                    out,
+                    start,
                     split.unique.indices(),
                     split.unique.values(),
-                )
+                    feedback,
+                );
+            }
+            shared + unique
         }
     }
+}
+
+/// Decodes the frame just appended at `out[start..]` and hands its
+/// reconstructed (dequantized) values to `feedback` alongside the exact
+/// values the sender meant to ship.
+fn report_shipped(
+    out: &[u8],
+    start: usize,
+    indices: &[u32],
+    sent: &[f32],
+    feedback: &mut ShippedFeedback<'_>,
+) {
+    if sent.is_empty() {
+        return; // e.g. the empty shared part of a regeneration round
+    }
+    let (frame, _) = decode_frame_prefix(&out[start..]).expect("a just-encoded frame decodes");
+    let mut shipped = Vec::with_capacity(sent.len());
+    frame.values_into(&mut shipped);
+    feedback(indices, sent, &shipped);
 }
 
 /// Parses the wire frames in `buf` back into an [`Upload`], pooling all
@@ -155,13 +225,11 @@ pub fn decode_upload(
                 first.values_into(&mut values);
                 Upload::Dense(values)
             }
-            FrameKind::SparseBitmap | FrameKind::SparseIndex => {
-                Upload::Sparse(decode_sparse_frame(&first, scratch))
-            }
+            k if is_sparse_kind(k) => Upload::Sparse(decode_sparse_frame(&first, scratch)),
             FrameKind::KnownMask => {
                 Upload::KnownMask(decode_known_mask_frame(&first, round_mask, scratch)?)
             }
-            FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+            k if is_ternary_kind(k) => {
                 let (mut indices, spare_values) = scratch.take_sparse();
                 scratch.put(spare_values);
                 first.indices_into(&mut indices);
@@ -176,7 +244,7 @@ pub fn decode_upload(
             }
             // A mask broadcast is a download-direction message; as an
             // upload it is a protocol violation, not corruption.
-            FrameKind::Mask => return Err(WireError::UnexpectedKind(FrameKind::Mask.id())),
+            other => return Err(WireError::UnexpectedKind(other.id())),
         });
     }
     // Two concatenated frames: GlueFL's shared (known-mask) + unique
@@ -189,10 +257,7 @@ pub fn decode_upload(
         // A split upload must lead with the shared known-mask part.
         return Err(WireError::UnexpectedKind(first.kind.id()));
     }
-    if !matches!(
-        second.kind,
-        FrameKind::SparseBitmap | FrameKind::SparseIndex
-    ) {
+    if !is_sparse_kind(second.kind) {
         return Err(WireError::UnexpectedKind(second.kind.id()));
     }
     let shared = decode_known_mask_frame(&first, round_mask, scratch)?;
@@ -229,10 +294,8 @@ pub fn decode_upload_with_stats<'a>(
             first.values_into(&mut values);
             (Upload::Dense(values), rest)
         }
-        FrameKind::SparseBitmap | FrameKind::SparseIndex => {
-            (Upload::Sparse(decode_sparse_frame(&first, scratch)), rest)
-        }
-        FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+        k if is_sparse_kind(k) => (Upload::Sparse(decode_sparse_frame(&first, scratch)), rest),
+        k if is_ternary_kind(k) => {
             let (mut indices, spare_values) = scratch.take_sparse();
             scratch.put(spare_values);
             first.indices_into(&mut indices);
@@ -253,10 +316,7 @@ pub fn decode_upload_with_stats<'a>(
             // upload; anything else means the known-mask frame *is* the
             // upload and the successor is the stats frame.
             let (second, tail) = decode_frame_prefix(rest)?;
-            if matches!(
-                second.kind,
-                FrameKind::SparseBitmap | FrameKind::SparseIndex
-            ) {
+            if is_sparse_kind(second.kind) {
                 let shared = decode_known_mask_frame(&first, round_mask, scratch)?;
                 let unique = decode_sparse_frame(&second, scratch);
                 (Upload::MaskSplit(ClientSplit { shared, unique }), tail)
@@ -269,7 +329,7 @@ pub fn decode_upload_with_stats<'a>(
         }
         // A mask broadcast is a download-direction message; as an upload
         // it is a protocol violation, not corruption.
-        FrameKind::Mask => return Err(WireError::UnexpectedKind(FrameKind::Mask.id())),
+        other => return Err(WireError::UnexpectedKind(other.id())),
     };
     let (stats, tail) = decode_frame_prefix(rest)?;
     if stats.kind != FrameKind::KnownMask {
@@ -279,6 +339,28 @@ pub fn decode_upload_with_stats<'a>(
         return Err(WireError::TrailingBytes { extra: tail.len() });
     }
     Ok((upload, stats))
+}
+
+/// Every layout an explicit-position sparse upload may arrive in.
+fn is_sparse_kind(kind: FrameKind) -> bool {
+    matches!(
+        kind,
+        FrameKind::SparseBitmap
+            | FrameKind::SparseIndex
+            | FrameKind::SparseDelta
+            | FrameKind::SparseRle
+    )
+}
+
+/// Every layout a ternary upload may arrive in.
+fn is_ternary_kind(kind: FrameKind) -> bool {
+    matches!(
+        kind,
+        FrameKind::TernaryBitmap
+            | FrameKind::TernaryIndex
+            | FrameKind::TernaryDelta
+            | FrameKind::TernaryRle
+    )
 }
 
 /// Rebuilds a [`SparseUpdate`] from an explicit-position sparse frame.
@@ -329,11 +411,12 @@ fn decode_known_mask_frame(
 mod tests {
     use super::*;
     use gluefl_compress::stc::sparsify;
+    use gluefl_wire::IndexLayout;
 
     fn roundtrip(upload: &Upload, mask: Option<&BitMask>) -> (Upload, usize) {
         let mut scratch = ScratchPool::new();
         let mut buf = Vec::new();
-        let n = encode_upload(upload, 3, Codec::F32, 0, &mut buf);
+        let n = encode_upload(upload, 3, &WirePolicy::default(), 0, &mut buf);
         assert_eq!(n, buf.len());
         let decoded = decode_upload(&buf, mask, &mut scratch).expect("valid frames");
         (decoded, n)
@@ -405,7 +488,13 @@ mod tests {
         let upload = Upload::Sparse(sparsify(&dense, 0.1));
         let mut scratch = ScratchPool::new();
         let mut buf = Vec::new();
-        let n = encode_upload(&upload, 0, Codec::QuantU8, 42, &mut buf);
+        let n = encode_upload(
+            &upload,
+            0,
+            &WirePolicy::legacy(Codec::QuantU8),
+            42,
+            &mut buf,
+        );
         assert!((n as u64) < upload.bytes());
         let decoded = decode_upload(&buf, None, &mut scratch).unwrap();
         match (&upload, &decoded) {
@@ -418,7 +507,103 @@ mod tests {
     }
 
     #[test]
-    fn encoded_len_predicts_every_variant_and_codec() {
+    fn entropy_policy_round_trips_bit_exact_and_shrinks_bytes() {
+        // 4% density, scattered support: the entropy menu picks the
+        // delta-varint layout and F32 reconstruction stays bit-exact.
+        let dim = 100_000;
+        let pairs: Vec<(u32, f32)> = (0..4000u32)
+            .map(|i| (i * 25, (i as f32 * 0.13).sin()))
+            .collect();
+        let upload = Upload::Sparse(SparseUpdate::from_pairs(dim, pairs));
+        let legacy = encoded_len(&upload, &WirePolicy::default());
+        let entropy_policy = WirePolicy::entropy(Codec::F32);
+        let mut buf = Vec::new();
+        let n = encode_upload(&upload, 9, &entropy_policy, 0, &mut buf);
+        assert_eq!(n as u64, encoded_len(&upload, &entropy_policy));
+        assert!(
+            (n as u64) * 4 <= legacy * 3,
+            "entropy {n} not ≥25% below legacy {legacy}"
+        );
+        let mut scratch = ScratchPool::new();
+        let decoded = decode_upload(&buf, None, &mut scratch).unwrap();
+        assert_eq!(decoded, upload);
+    }
+
+    #[test]
+    fn feedback_reports_exact_codec_residual() {
+        // QuantU8 loss must be surfaced as sent − shipped per coordinate;
+        // F32 and ternary must stay silent.
+        let dense: Vec<f32> = (0..600).map(|i| ((i as f32) * 0.73).sin()).collect();
+        let mask = BitMask::from_indices(600, (0..600).step_by(5));
+        let split = Upload::MaskSplit(gluefl_compress::mask_shift::client_split(&dense, &mask, 20));
+        for layout in [IndexLayout::Legacy, IndexLayout::Entropy] {
+            let policy = WirePolicy {
+                codec: Codec::QuantU8,
+                index_layout: layout,
+                rle: layout == IndexLayout::Entropy,
+                quant_ec: true,
+            };
+            let mut calls: Vec<(Vec<u32>, Vec<f32>, Vec<f32>)> = Vec::new();
+            let mut buf = Vec::new();
+            let _ = encode_upload_with_feedback(
+                &split,
+                1,
+                &policy,
+                7,
+                &mut buf,
+                &mut |ix, sent, shipped| calls.push((ix.to_vec(), sent.to_vec(), shipped.to_vec())),
+            );
+            // Shared + unique parts both report.
+            assert_eq!(calls.len(), 2);
+            // What the callback says shipped is exactly what a receiver
+            // decodes.
+            let mut scratch = ScratchPool::new();
+            let decoded = decode_upload(&buf, Some(&mask), &mut scratch).unwrap();
+            let Upload::MaskSplit(back) = decoded else {
+                panic!("expected split")
+            };
+            assert_eq!(calls[0].2, back.shared.values());
+            assert_eq!(calls[1].2, back.unique.values());
+            assert!(calls
+                .iter()
+                .any(|(_, sent, shipped)| sent.iter().zip(shipped).any(|(a, b)| a != b)));
+        }
+        // F32: never fires.
+        let mut fired = false;
+        let mut buf = Vec::new();
+        let _ = encode_upload_with_feedback(
+            &split,
+            1,
+            &WirePolicy::default(),
+            7,
+            &mut buf,
+            &mut |_, _, _| fired = true,
+        );
+        assert!(!fired);
+        // quant_ec=false: never fires either.
+        let mut policy = WirePolicy::legacy(Codec::QuantU8);
+        policy.quant_ec = false;
+        let mut buf = Vec::new();
+        let _ = encode_upload_with_feedback(&split, 1, &policy, 7, &mut buf, &mut |_, _, _| {
+            fired = true
+        });
+        assert!(!fired);
+        // Ternary: fixed layout, no codec residual to report.
+        let ternary = Upload::Ternary(TernaryUpdate::quantize(&sparsify(&dense, 0.05)));
+        let mut buf = Vec::new();
+        let _ = encode_upload_with_feedback(
+            &ternary,
+            1,
+            &WirePolicy::legacy(Codec::QuantU8),
+            7,
+            &mut buf,
+            &mut |_, _, _| fired = true,
+        );
+        assert!(!fired);
+    }
+
+    #[test]
+    fn encoded_len_predicts_every_variant_codec_and_layout() {
         let mask = BitMask::from_indices(600, (0..600).step_by(4));
         let dense: Vec<f32> = (0..600).map(|i| ((i * 13) % 29) as f32 - 14.0).collect();
         let uploads = vec![
@@ -434,14 +619,16 @@ mod tests {
             }),
         ];
         for codec in [Codec::F32, Codec::F16, Codec::QuantU8] {
-            for upload in &uploads {
-                let mut buf = Vec::new();
-                let n = encode_upload(upload, 7, codec, 99, &mut buf);
-                assert_eq!(
-                    encoded_len(upload, codec),
-                    n as u64,
-                    "{upload:?} under {codec:?}"
-                );
+            for policy in [WirePolicy::legacy(codec), WirePolicy::entropy(codec)] {
+                for upload in &uploads {
+                    let mut buf = Vec::new();
+                    let n = encode_upload(upload, 7, &policy, 99, &mut buf);
+                    assert_eq!(
+                        encoded_len(upload, &policy),
+                        n as u64,
+                        "{upload:?} under {policy:?}"
+                    );
+                }
             }
         }
     }
@@ -452,6 +639,7 @@ mod tests {
         let mask = BitMask::from_indices(50, [3usize, 17, 40]);
         let dense: Vec<f32> = (0..50).map(|i| i as f32 - 25.0).collect();
         let stats = [0.25f32, -0.5, 1.5];
+        let writer = FrameWriter::new(WirePolicy::default());
         let cases: Vec<(Upload, Option<&BitMask>)> = vec![
             (Upload::Dense(dense.clone()), None),
             (Upload::Sparse(sparsify(&dense, 0.1)), None),
@@ -470,9 +658,9 @@ mod tests {
         ];
         for (upload, round_mask) in cases {
             let mut buf = Vec::new();
-            let n = encode_upload(&upload, 2, Codec::F32, 0, &mut buf);
-            let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
-            assert_eq!(n as u64, encoded_len(&upload, Codec::F32));
+            let n = encode_upload(&upload, 2, &WirePolicy::default(), 0, &mut buf);
+            let _ = writer.known_mask(&mut buf, 2, Rounding::Nearest, 50, &stats);
+            assert_eq!(n as u64, encoded_len(&upload, &WirePolicy::default()));
             let (decoded, stats_frame) =
                 decode_upload_with_stats(&buf, round_mask, &mut scratch).expect("valid payload");
             assert_eq!(decoded, upload);
@@ -482,27 +670,51 @@ mod tests {
             assert_eq!(got, stats);
         }
 
+        // The split-upload grammar holds under the entropy layouts too:
+        // a delta/RLE-positioned unique part still parses as the split's
+        // second frame.
+        let entropy = WirePolicy::entropy(Codec::F32);
+        let split = Upload::MaskSplit(gluefl_compress::mask_shift::client_split(&dense, &mask, 4));
+        let mut buf = Vec::new();
+        let _ = encode_upload(&split, 2, &entropy, 0, &mut buf);
+        let _ = FrameWriter::new(entropy).known_mask(&mut buf, 2, Rounding::Nearest, 50, &stats);
+        let (decoded, _) =
+            decode_upload_with_stats(&buf, Some(&mask), &mut scratch).expect("valid payload");
+        assert_eq!(decoded, split);
+
         // Hostile grammar: a mask broadcast in the upload slot, a stats
         // slot that is not known-mask, and trailing bytes — all typed.
         let mut buf = Vec::new();
-        let _ = gluefl_wire::encode_mask(&mut buf, 2, &mask);
-        let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
+        let _ = writer.mask(&mut buf, 2, &mask);
+        let _ = writer.known_mask(&mut buf, 2, Rounding::Nearest, 50, &stats);
         assert!(matches!(
             decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
             Err(WireError::UnexpectedKind(_))
         ));
 
         let mut buf = Vec::new();
-        let _ = encode_upload(&Upload::Dense(dense.clone()), 2, Codec::F32, 0, &mut buf);
-        let _ = gluefl_wire::encode_mask(&mut buf, 2, &mask);
+        let _ = encode_upload(
+            &Upload::Dense(dense.clone()),
+            2,
+            &WirePolicy::default(),
+            0,
+            &mut buf,
+        );
+        let _ = writer.mask(&mut buf, 2, &mask);
         assert!(matches!(
             decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
             Err(WireError::UnexpectedKind(_))
         ));
 
         let mut buf = Vec::new();
-        let _ = encode_upload(&Upload::Dense(dense), 2, Codec::F32, 0, &mut buf);
-        let _ = encode_known_mask(&mut buf, 2, Codec::F32, Rounding::Nearest, 50, &stats);
+        let _ = encode_upload(
+            &Upload::Dense(dense),
+            2,
+            &WirePolicy::default(),
+            0,
+            &mut buf,
+        );
+        let _ = writer.known_mask(&mut buf, 2, Rounding::Nearest, 50, &stats);
         buf.push(0xEE);
         assert!(matches!(
             decode_upload_with_stats(&buf, Some(&mask), &mut scratch),
@@ -514,7 +726,7 @@ mod tests {
     fn corrupt_upload_bytes_yield_typed_errors() {
         let upload = Upload::Dense(vec![1.0; 32]);
         let mut buf = Vec::new();
-        let _ = encode_upload(&upload, 0, Codec::F32, 0, &mut buf);
+        let _ = encode_upload(&upload, 0, &WirePolicy::default(), 0, &mut buf);
         buf[20] ^= 0x40;
         let mut scratch = ScratchPool::new();
         assert!(matches!(
@@ -531,22 +743,38 @@ mod tests {
     fn hostile_but_valid_frames_yield_typed_errors() {
         let mut scratch = ScratchPool::new();
         let mask = BitMask::from_indices(50, [3usize, 17, 40]);
+        let writer = FrameWriter::new(WirePolicy::default());
 
         // Mask broadcast as an upload.
         let mut buf = Vec::new();
-        let _ = gluefl_wire::encode_mask(&mut buf, 0, &mask);
+        let _ = writer.mask(&mut buf, 0, &mask);
         assert!(matches!(
             decode_upload(&buf, Some(&mask), &mut scratch),
             Err(WireError::UnexpectedKind(_))
         ));
 
+        // An RLE mask broadcast as an upload is equally inadmissible.
+        let blocky = BitMask::from_indices(4096, 0..2048usize);
+        let mut buf = Vec::new();
+        let _ = FrameWriter::new(WirePolicy::entropy(Codec::F32)).mask(&mut buf, 0, &blocky);
+        assert!(matches!(
+            decode_upload(&buf, Some(&blocky), &mut scratch),
+            Err(WireError::UnexpectedKind(_))
+        ));
+
         // Split upload led by a dense frame instead of known-mask.
         let mut buf = Vec::new();
-        let _ = encode_upload(&Upload::Dense(vec![1.0; 8]), 0, Codec::F32, 0, &mut buf);
+        let _ = encode_upload(
+            &Upload::Dense(vec![1.0; 8]),
+            0,
+            &WirePolicy::default(),
+            0,
+            &mut buf,
+        );
         let _ = encode_upload(
             &Upload::Sparse(SparseUpdate::from_pairs(1000, vec![(5, 1.0)])),
             0,
-            Codec::F32,
+            &WirePolicy::default(),
             0,
             &mut buf,
         );
@@ -559,7 +787,7 @@ mod tests {
         let dense: Vec<f32> = (0..50).map(|i| i as f32).collect();
         let km = Upload::KnownMask(SparseUpdate::from_dense_masked(&dense, &mask));
         let mut buf = Vec::new();
-        let _ = encode_upload(&km, 0, Codec::F32, 0, &mut buf);
+        let _ = encode_upload(&km, 0, &WirePolicy::default(), 0, &mut buf);
         assert!(matches!(
             decode_upload(&buf, None, &mut scratch),
             Err(WireError::UnexpectedKind(_))

@@ -9,6 +9,9 @@
 //! uploads in proptest-shuffled arrival orders, and compare the two
 //! aggregation paths round by round (state evolution included: a
 //! divergence in round `r`'s fold would shift every later round's masks).
+//! The entropy wire policy (delta-varint indices, RLE mask sections)
+//! rides through the same properties: the position layout changes the
+//! bytes, never the decoded uploads.
 //!
 //! The keep-K cutoff identity rides along: the over-committed remainder
 //! of each round's invites is dropped without ever being decoded or
@@ -24,7 +27,7 @@ use gluefl_ml::DatasetModel;
 use gluefl_sampling::AllOnline;
 use gluefl_tensor::rng::derive_seed;
 use gluefl_tensor::{BitMask, MaskedUpdate};
-use gluefl_wire::Codec;
+use gluefl_wire::{Codec, WirePolicy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,10 +112,10 @@ fn bits(u: &MaskedUpdate) -> Vec<u32> {
     u.values().iter().map(|v| v.to_bits()).collect()
 }
 
-/// Runs `ROUNDS` rounds of one strategy under one codec twice — batch
-/// aggregate vs streaming fold with `order` as the arrival shuffle — and
-/// asserts bit-identical updates every round.
-fn check_strategy(strategy_cfg: StrategyConfig, codec: Codec, seed: u64, order: &[u64]) {
+/// Runs `ROUNDS` rounds of one strategy under one wire policy twice —
+/// batch aggregate vs streaming fold with `order` as the arrival shuffle
+/// — and asserts bit-identical updates every round.
+fn check_strategy(strategy_cfg: StrategyConfig, policy: WirePolicy, seed: u64, order: &[u64]) {
     let cfg = cfg_for(strategy_cfg, seed);
     let weights = vec![1.0 / N as f64; N];
     let trainable = STATS_FROM;
@@ -171,11 +174,11 @@ fn check_strategy(strategy_cfg: StrategyConfig, codec: Codec, seed: u64, order: 
                     let ulen = wire_link::encode_upload(
                         upload,
                         round,
-                        codec,
+                        &policy,
                         derive_seed(seed, "wire-quant", key),
                         &mut buf,
                     );
-                    assert_eq!(ulen as u64, wire_link::encoded_len(upload, codec));
+                    assert_eq!(ulen as u64, wire_link::encoded_len(upload, &policy));
                     let dec = wire_link::decode_upload(&buf[..ulen], mask, &mut pool_a)
                         .expect("clean round-trip");
                     (*id, *group, dec)
@@ -246,7 +249,7 @@ proptest! {
         order in proptest::collection::vec(any::<u64>(), 16),
     ) {
         for strategy in all_strategy_configs() {
-            check_strategy(strategy, Codec::F32, seed, &order);
+            check_strategy(strategy, WirePolicy::legacy(Codec::F32), seed, &order);
         }
     }
 
@@ -258,7 +261,7 @@ proptest! {
         order in proptest::collection::vec(any::<u64>(), 16),
     ) {
         for strategy in all_strategy_configs() {
-            check_strategy(strategy, Codec::F16, seed, &order);
+            check_strategy(strategy, WirePolicy::legacy(Codec::F16), seed, &order);
         }
     }
 
@@ -269,7 +272,31 @@ proptest! {
         order in proptest::collection::vec(any::<u64>(), 16),
     ) {
         for strategy in all_strategy_configs() {
-            check_strategy(strategy, Codec::QuantU8, seed, &order);
+            check_strategy(strategy, WirePolicy::legacy(Codec::QuantU8), seed, &order);
+        }
+    }
+
+    /// Every strategy × the entropy layouts (delta-varint indices, RLE
+    /// sections), bit-exact F32 values: the position layout changes the
+    /// bytes, never the decoded uploads.
+    #[test]
+    fn fold_matches_batch_entropy_f32(
+        seed in 0u64..100_000,
+        order in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        for strategy in all_strategy_configs() {
+            check_strategy(strategy, WirePolicy::entropy(Codec::F32), seed, &order);
+        }
+    }
+
+    /// Every strategy × entropy layouts on top of QuantU8.
+    #[test]
+    fn fold_matches_batch_entropy_quant_u8(
+        seed in 0u64..100_000,
+        order in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        for strategy in all_strategy_configs() {
+            check_strategy(strategy, WirePolicy::entropy(Codec::QuantU8), seed, &order);
         }
     }
 }

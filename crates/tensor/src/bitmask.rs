@@ -290,6 +290,128 @@ impl BitMask {
         &self.words
     }
 
+    /// Calls `f(start, len)` for each maximal run of consecutive set
+    /// bits, in increasing order.
+    ///
+    /// Word-level: all-zero and all-ones words are consumed in one step,
+    /// so enumerating the runs of a block-structured mask costs
+    /// `O(d/64 + runs)` — this is the walk behind the wire protocol's
+    /// run-length mask sections and the run-aware scatter kernels.
+    ///
+    /// # Example
+    /// ```
+    /// let m = gluefl_tensor::BitMask::from_indices(10, [1usize, 2, 3, 7]);
+    /// let mut runs = Vec::new();
+    /// m.for_each_run(|start, len| runs.push((start, len)));
+    /// assert_eq!(runs, vec![(1, 3), (7, 1)]);
+    /// ```
+    pub fn for_each_run(&self, mut f: impl FnMut(usize, usize)) {
+        let mut open: Option<usize> = None; // start of the run in progress
+        for (wi, &word) in self.words.iter().enumerate() {
+            let base = wi * 64;
+            if word == 0 {
+                if let Some(start) = open.take() {
+                    f(start, base - start);
+                }
+                continue;
+            }
+            if word == u64::MAX {
+                if open.is_none() {
+                    open = Some(base);
+                }
+                continue;
+            }
+            let mut bit = 0usize;
+            while bit < 64 {
+                let rest = word >> bit;
+                if let Some(start) = open {
+                    let ones = rest.trailing_ones() as usize;
+                    if bit + ones >= 64 {
+                        break; // run continues into the next word
+                    }
+                    bit += ones;
+                    f(start, base + bit - start);
+                    open = None;
+                } else {
+                    let zeros = rest.trailing_zeros() as usize;
+                    if bit + zeros >= 64 {
+                        break; // no more set bits in this word
+                    }
+                    bit += zeros;
+                    open = Some(base + bit);
+                }
+            }
+        }
+        if let Some(start) = open {
+            f(start, self.len - start);
+        }
+    }
+
+    /// Sets the `count` bits starting at `start` (word-level: interior
+    /// whole words are filled in one store each).
+    ///
+    /// # Panics
+    /// Panics if `start + count > len`.
+    pub fn set_range(&mut self, start: usize, count: usize) {
+        assert!(
+            start + count <= self.len,
+            "range {start}+{count} out of bounds {}",
+            self.len
+        );
+        if count == 0 {
+            return;
+        }
+        let end = start + count; // exclusive
+        let (first_w, last_w) = (start / 64, (end - 1) / 64);
+        if first_w == last_w {
+            let width = count;
+            let bits = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << (start % 64)
+            };
+            self.words[first_w] |= bits;
+            return;
+        }
+        self.words[first_w] |= u64::MAX << (start % 64);
+        for w in &mut self.words[first_w + 1..last_w] {
+            *w = u64::MAX;
+        }
+        let tail = end % 64;
+        self.words[last_w] |= if tail == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail) - 1
+        };
+    }
+
+    /// Adds `scale × values[j]` to the `j`-th covered position of `dense`,
+    /// like [`BitMask::scatter_add`], but walking maximal runs of set
+    /// bits and running one contiguous AXPY per run instead of per-bit
+    /// scatter within mixed words.
+    ///
+    /// Bit-identical to `scatter_add` — every covered position receives
+    /// the same single `+= scale · v` — but when the mask has long runs
+    /// (shared masks regrown from top-k blocks, RLE-shipped masks) the
+    /// inner loop is the vectorized dense kernel.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != self.len()` or `values.len()` differs
+    /// from the number of set bits.
+    pub fn scatter_add_runs(&self, dense: &mut [f32], values: &[f32], scale: f32) {
+        assert_eq!(dense.len(), self.len, "mask/vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.count_ones(),
+            "values length must equal count_ones"
+        );
+        let mut j = 0usize;
+        self.for_each_run(|start, len| {
+            crate::vecops::axpy(&mut dense[start..start + len], scale, &values[j..j + len]);
+            j += len;
+        });
+    }
+
     /// Appends the mask's canonical byte serialization — exactly
     /// `ceil(len/8)` bytes, little-endian within each backing word, bit
     /// `i` of the mask at bit `i % 8` of byte `i / 8` — to `out`.
@@ -685,6 +807,90 @@ mod tests {
             }
         }
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn for_each_run_matches_per_bit_reference() {
+        let patterns: Vec<(usize, Vec<usize>)> = vec![
+            (0, vec![]),
+            (1, vec![0]),
+            (10, vec![1, 2, 3, 7]),
+            (64, (0..64).collect()),
+            (65, (0..65).collect()),
+            (130, vec![63, 64, 65, 127, 128]),
+            (200, (0..200).filter(|i| i % 3 != 0).collect()),
+            (256, (64..192).collect()),
+            (70, vec![69]),
+        ];
+        for (len, idx) in patterns {
+            let m = BitMask::from_indices(len, idx.iter().copied());
+            let mut runs = Vec::new();
+            m.for_each_run(|s, l| runs.push((s, l)));
+            // Reference: scan bits one by one.
+            let mut expected = Vec::new();
+            let mut open: Option<usize> = None;
+            for i in 0..len {
+                match (m.get(i), open) {
+                    (true, None) => open = Some(i),
+                    (false, Some(s)) => {
+                        expected.push((s, i - s));
+                        open = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = open {
+                expected.push((s, len - s));
+            }
+            assert_eq!(runs, expected, "len={len}");
+            let covered: usize = runs.iter().map(|&(_, l)| l).sum();
+            assert_eq!(covered, m.count_ones(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn set_range_matches_per_bit_sets() {
+        for (len, start, count) in [
+            (10usize, 2usize, 5usize),
+            (64, 0, 64),
+            (130, 60, 10),
+            (300, 0, 300),
+            (300, 63, 129),
+            (70, 69, 1),
+            (70, 5, 0),
+        ] {
+            let mut fast = BitMask::from_indices(len, [0usize]);
+            fast.set_range(start, count);
+            let mut slow = BitMask::from_indices(len, [0usize]);
+            for i in start..start + count {
+                slow.set(i, true);
+            }
+            assert_eq!(fast, slow, "len={len} start={start} count={count}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_range_rejects_overflow() {
+        BitMask::zeros(10).set_range(8, 3);
+    }
+
+    #[test]
+    fn scatter_add_runs_is_bit_identical_to_scatter_add() {
+        for len in [1usize, 63, 64, 65, 130, 200, 513] {
+            let m = BitMask::from_indices(len, (0..len).filter(|i| i % 7 < 4));
+            let values: Vec<f32> = (0..m.count_ones())
+                .map(|j| ((j as f32) * 0.37).sin())
+                .collect();
+            let mut a: Vec<f32> = (0..len).map(|i| i as f32 * 0.01).collect();
+            let mut b = a.clone();
+            m.scatter_add(&mut a, &values, 1.5);
+            m.scatter_add_runs(&mut b, &values, 1.5);
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "len={len}"
+            );
+        }
     }
 
     #[test]

@@ -110,10 +110,13 @@ impl MaskedUpdate {
     ///
     /// Full-mask updates route through [`vecops::masked_axpy`] (whose
     /// all-ones words run the dense AXPY kernel); sparse updates use the
-    /// word-level [`BitMask::scatter_add`]. Either way the per-position
-    /// arithmetic is a single `+=`, so the result is bit-identical to a
-    /// dense `add_assign` of [`MaskedUpdate::to_dense`] on the covered
-    /// positions.
+    /// run-walking [`BitMask::scatter_add_runs`], which performs one
+    /// contiguous AXPY per maximal run of covered positions — aggregate
+    /// masks regrown from top-k blocks are run-heavy, the same structure
+    /// the wire layer's RLE sections exploit. Either way the
+    /// per-position arithmetic is a single `+=`, so the result is
+    /// bit-identical to a dense `add_assign` of
+    /// [`MaskedUpdate::to_dense`] on the covered positions.
     ///
     /// # Panics
     /// Panics if `dense.len() != self.dim()`.
@@ -121,7 +124,7 @@ impl MaskedUpdate {
         if self.is_dense() {
             vecops::masked_axpy(dense, 1.0, &self.values, &self.mask);
         } else {
-            self.mask.scatter_add(dense, &self.values, 1.0);
+            self.mask.scatter_add_runs(dense, &self.values, 1.0);
         }
     }
 
@@ -193,6 +196,32 @@ mod tests {
             let mut reference = fast.clone();
             u.add_to(&mut fast);
             vecops::add_assign(&mut reference, &u.to_dense());
+            assert_eq!(fast, reference, "len={len}");
+        }
+    }
+
+    #[test]
+    fn add_to_run_walk_matches_per_bit_scatter() {
+        // Run-heavy, word-straddling, and singleton structures: the
+        // run-walking path must equal per-bit scatter_add to the bit.
+        for (len, picks) in [
+            (
+                200usize,
+                (0..200).filter(|i| i / 50 % 2 == 0).collect::<Vec<_>>(),
+            ),
+            (130, (60..70).collect()),
+            (64, vec![0, 63]),
+            (300, (0..300).step_by(7).collect()),
+        ] {
+            let mask = BitMask::from_indices(len, picks);
+            let values: Vec<f32> = (0..mask.count_ones())
+                .map(|j| j as f32 * 0.3 - 1.0)
+                .collect();
+            let u = MaskedUpdate::new(mask.clone(), values.clone());
+            let mut fast: Vec<f32> = (0..len).map(|i| (i as f32).cos()).collect();
+            let mut reference = fast.clone();
+            u.add_to(&mut fast);
+            mask.scatter_add(&mut reference, &values, 1.0);
             assert_eq!(fast, reference, "len={len}");
         }
     }

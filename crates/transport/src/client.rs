@@ -30,7 +30,7 @@ use gluefl_sampling::sticky_weights;
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
 use gluefl_tensor::wire::HEADER_BYTES;
 use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
-use gluefl_wire::{decode_frame_prefix, encode_known_mask, frame_len, FrameKind};
+use gluefl_wire::{decode_frame_prefix, FrameKind, FrameWriter};
 use std::io::Write as _;
 use std::net::TcpStream;
 
@@ -191,6 +191,21 @@ impl ClientCompressor {
             }
         }
     }
+
+    /// Mirror of [`gluefl_core::strategies::Strategy::fold_codec_error`]:
+    /// folds the wire codec's loss on a *granted* upload into the
+    /// client's own residual bank. Fired from `encode_granted` — the
+    /// moment the bytes are serialized, matching the simulator, which
+    /// only ever encodes kept uploads — so loopback runs stay
+    /// bit-identical.
+    fn fold_codec_error(&mut self, id: usize, indices: &[u32], sent: &[f32], shipped: &[f32]) {
+        match self {
+            ClientCompressor::Stc { ec, .. } | ClientCompressor::GlueFl { ec, .. } => {
+                ec.fold_shipped_error(id, indices, sent, shipped);
+            }
+            ClientCompressor::Dense | ClientCompressor::Apf => {}
+        }
+    }
 }
 
 /// One real client: its data shard, model topology, training slot, and
@@ -329,7 +344,9 @@ impl ClientNode {
             None
         } else {
             let (mask_frame, tail) = decode_frame_prefix(rest)?;
-            if mask_frame.kind != FrameKind::Mask || mask_frame.dim != self.dim || !tail.is_empty()
+            if !matches!(mask_frame.kind, FrameKind::Mask | FrameKind::MaskRle)
+                || mask_frame.dim != self.dim
+                || !tail.is_empty()
             {
                 return Err(TransportError::BadBroadcast);
             }
@@ -383,10 +400,10 @@ impl ClientNode {
             &mut self.scratch,
         )?;
         let stats_len = self.stats_positions.len();
-        let codec = self.cfg.wire_codec;
+        let policy = self.cfg.wire;
         let analytic = upload.bytes() + stats_len as u64 * 4 + HEADER_BYTES;
-        let wire = wire_link::encoded_len(&upload, codec)
-            + frame_len(FrameKind::KnownMask, codec, self.dim, stats_len);
+        let wire = wire_link::encoded_len(&upload, &policy)
+            + FrameWriter::new(policy).known_mask_len(stats_len);
         self.pending = Some((round, upload));
         Ok((analytic, wire))
     }
@@ -401,21 +418,27 @@ impl ClientNode {
     pub fn encode_granted(&mut self, round: u32, out: &mut Vec<u8>) -> Result<(), TransportError> {
         match self.pending.take() {
             Some((r, upload)) if r == round => {
-                let codec = self.cfg.wire_codec;
+                let policy = self.cfg.wire;
                 let key = (u64::from(round) << 32) | self.id as u64;
-                let _ = wire_link::encode_upload(
+                // A grant means this upload is kept: serialize it and
+                // fold any lossy-codec residual into the client's own
+                // error-compensation bank, exactly as the simulator's
+                // driver does for kept uploads.
+                let id = self.id;
+                let compressor = &mut self.compressor;
+                let _ = wire_link::encode_upload_with_feedback(
                     &upload,
                     round,
-                    codec,
+                    &policy,
                     derive_seed(self.cfg.seed, "wire-quant", key),
                     out,
+                    &mut |ix, sent, shipped| compressor.fold_codec_error(id, ix, sent, shipped),
                 );
-                let _ = encode_known_mask(
+                let _ = FrameWriter::new(policy).known_mask(
                     out,
                     round,
-                    codec,
                     wire_link::rounding_for(
-                        codec,
+                        policy.codec,
                         derive_seed(self.cfg.seed, "wire-quant-stats", key),
                     ),
                     self.dim,

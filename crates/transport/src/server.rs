@@ -331,16 +331,17 @@ impl Server {
             rec.down_bytes = download_bytes.iter().sum();
 
             // --- Serialize the broadcast once; INVITE every client. ---
+            // Model weights always travel at full F32 precision; the mask
+            // frame may take the RLE layout when the policy admits it —
+            // mirroring the simulator's `measure_broadcast`.
+            let broadcast_writer = gluefl_wire::FrameWriter::new(gluefl_wire::WirePolicy {
+                codec: Codec::F32,
+                ..cfg.wire
+            });
             bbuf.clear();
-            let _ = gluefl_wire::encode_dense(
-                &mut bbuf,
-                round,
-                Codec::F32,
-                Rounding::Nearest,
-                model.params(),
-            );
+            let _ = broadcast_writer.dense(&mut bbuf, round, Rounding::Nearest, model.params());
             if let Some(mask) = strategy.round_mask(round) {
-                let _ = gluefl_wire::encode_mask(&mut bbuf, round, mask);
+                let _ = broadcast_writer.mask(&mut bbuf, round, mask);
             }
             rec.wire_broadcast_bytes = bbuf.len() as u64;
             for &(id, group) in &invited {

@@ -24,7 +24,7 @@ use gluefl_transport::proto::{write_msg, MsgKind, ENVELOPE_BYTES, PROTO_MAGIC, P
 use gluefl_transport::{
     run_client, smoke_config, ClientNode, Server, ServerConfig, TransportError,
 };
-use gluefl_wire::{encode_known_mask, encode_mask, frame_len_from_header, Codec, Rounding};
+use gluefl_wire::{frame_len_from_header, Codec, FrameWriter, Rounding, WirePolicy};
 use std::io::Write as _;
 use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
@@ -37,9 +37,19 @@ struct Corpus {
 }
 
 fn encode_entry(upload: &Upload, mask: Option<BitMask>, stats: &[f32], dim: usize) -> Corpus {
+    encode_entry_with(upload, mask, stats, dim, WirePolicy::legacy(Codec::F32))
+}
+
+fn encode_entry_with(
+    upload: &Upload,
+    mask: Option<BitMask>,
+    stats: &[f32],
+    dim: usize,
+    policy: WirePolicy,
+) -> Corpus {
     let mut payload = Vec::new();
-    let _ = encode_upload(upload, 3, Codec::F32, 0, &mut payload);
-    let _ = encode_known_mask(&mut payload, 3, Codec::F32, Rounding::Nearest, dim, stats);
+    let _ = encode_upload(upload, 3, &policy, 0, &mut payload);
+    let _ = FrameWriter::new(policy).known_mask(&mut payload, 3, Rounding::Nearest, dim, stats);
     Corpus { payload, mask }
 }
 
@@ -75,9 +85,26 @@ fn corpus() -> Vec<Corpus> {
         ),
         encode_entry(
             &Upload::MaskSplit(client_split(&split_dense, &split_mask, 30)),
+            Some(split_mask.clone()),
+            &stats,
+            600,
+        ),
+        // The entropy layouts (delta-varint indices, RLE sections) face
+        // the same mutation battery: their self-delimiting sections are
+        // exactly where truncation and bit flips bite differently.
+        encode_entry_with(
+            &Upload::Sparse(sparsify(&wide, 0.04)),
+            None,
+            &stats,
+            4000,
+            WirePolicy::entropy(Codec::F32),
+        ),
+        encode_entry_with(
+            &Upload::MaskSplit(client_split(&split_dense, &split_mask, 30)),
             Some(split_mask),
             &stats,
             600,
+            WirePolicy::entropy(Codec::QuantU8),
         ),
     ]
 }
@@ -122,7 +149,7 @@ fn fuzz_mutated_payloads_yield_typed_errors_never_panics() {
 
     // A mask frame arriving where an upload belongs is a typed error.
     let mut mask_payload = Vec::new();
-    let _ = encode_mask(
+    let _ = FrameWriter::new(WirePolicy::default()).mask(
         &mut mask_payload,
         3,
         &BitMask::from_indices(64, [1usize, 5, 9]),
@@ -239,7 +266,7 @@ fn run_rogue(addr: &str, cfg: gluefl_core::SimConfig, id: usize, mode: Rogue) {
                     }
                     Rogue::MaskFrameAsUpload => {
                         let mut buf = Vec::new();
-                        let _ = encode_mask(
+                        let _ = FrameWriter::new(WirePolicy::default()).mask(
                             &mut buf,
                             env.round,
                             &BitMask::from_indices(64, [1usize, 5, 9]),

@@ -11,15 +11,21 @@
 //! one round, which the one-slot-per-connection wire protocol does not
 //! represent.
 
-use gluefl_core::Simulation;
+use gluefl_core::{Simulation, WirePolicy};
 use gluefl_transport::{fnv1a_f32_bits, run_client, smoke_config, Server, ServerConfig};
+use gluefl_wire::Codec;
 
 const CLIENTS: usize = 25;
 const ROUNDS: u32 = 6;
 
 fn assert_loopback_matches_simulator(strategy: &str, seed: u64) {
+    assert_loopback_matches_simulator_with(strategy, seed, WirePolicy::default());
+}
+
+fn assert_loopback_matches_simulator_with(strategy: &str, seed: u64, wire: WirePolicy) {
     let mut cfg = smoke_config(strategy, CLIENTS, ROUNDS, seed);
     cfg.eval_every = 2;
+    cfg.wire = wire;
 
     // In-process reference run.
     let mut sim = Simulation::new(cfg.clone());
@@ -83,4 +89,27 @@ fn loopback_matches_simulator_stc_quantized() {
 #[test]
 fn loopback_matches_simulator_apf() {
     assert_loopback_matches_simulator("apf", 17);
+}
+
+/// The entropy layouts (delta-varint indices, RLE mask sections) change
+/// the bytes on the wire — including the broadcast's mask frame — but
+/// the socket run must still pin the simulator bit-exactly, measured
+/// bytes included.
+#[test]
+fn loopback_matches_simulator_gluefl_entropy() {
+    assert_loopback_matches_simulator_with("gluefl", 23, WirePolicy::entropy(Codec::F32));
+}
+
+/// Quantized values + entropy layouts + codec-residual feedback into
+/// error compensation: the feedback fires only for granted uploads with
+/// seeds both drivers derive identically, so loopback stays bit-exact.
+#[test]
+fn loopback_matches_simulator_gluefl_entropy_quant() {
+    assert_loopback_matches_simulator_with("gluefl", 29, WirePolicy::entropy(Codec::QuantU8));
+}
+
+/// STC's sparse f32 path under QuantU8 with codec-residual feedback.
+#[test]
+fn loopback_matches_simulator_stc_quant_codec() {
+    assert_loopback_matches_simulator_with("stc", 31, WirePolicy::legacy(Codec::QuantU8));
 }

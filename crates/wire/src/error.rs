@@ -67,6 +67,19 @@ pub enum WireError {
     /// A position or sign bitmap has set bits beyond `dim` (resp. `nnz`)
     /// in its final byte — non-canonical padding.
     NonZeroPadding,
+    /// A varint in a delta or run-length position section is not the
+    /// canonical (shortest) encoding of its value.
+    OverlongVarint {
+        /// Byte offset of the varint within the decoded frame.
+        offset: usize,
+    },
+    /// A run-length position section contains a zero-length run where
+    /// only positive runs are canonical (every ones-run, and every
+    /// zeros-run after the first).
+    ZeroRun {
+        /// Byte offset of the offending run length within the frame.
+        offset: usize,
+    },
     /// A structurally valid frame whose kind is not admissible where it
     /// appeared (e.g. a mask broadcast arriving as an upload, or a split
     /// upload whose first frame is not the shared known-mask part).
@@ -113,6 +126,15 @@ impl std::fmt::Display for WireError {
                 write!(f, "indices not strictly increasing at position {position}")
             }
             Self::NonZeroPadding => write!(f, "non-zero padding bits in a bitmap tail"),
+            Self::OverlongVarint { offset } => {
+                write!(f, "non-canonical (overlong) varint at byte {offset}")
+            }
+            Self::ZeroRun { offset } => {
+                write!(
+                    f,
+                    "zero-length run at byte {offset} in a run-length section"
+                )
+            }
             Self::UnexpectedKind(k) => {
                 write!(f, "frame kind {k} is not admissible in this position")
             }
@@ -131,7 +153,7 @@ mod tests {
 
     #[test]
     fn display_names_the_defect() {
-        let cases: [(WireError, &str); 5] = [
+        let cases: [(WireError, &str); 7] = [
             (WireError::Truncated { needed: 20, got: 3 }, "truncated"),
             (WireError::BadMagic(0x00), "magic"),
             (
@@ -146,6 +168,8 @@ mod tests {
                 "out of range",
             ),
             (WireError::NonZeroPadding, "padding"),
+            (WireError::OverlongVarint { offset: 17 }, "overlong"),
+            (WireError::ZeroRun { offset: 21 }, "zero-length run"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -8,8 +8,8 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     1  magic (0xA7)
-//!      1     1  packed: [7:6] version = 1 · [5:3] kind · [2:1] codec ·
-//!               [0] reserved (0)
+//!      1     1  packed: [7:6] version · [5:3] kind[2:0] · [2:1] codec ·
+//!               [0] version 1: reserved (0) · version 2: kind[3]
 //!      2     4  round id (u32)
 //!      6     4  dim — parameter-vector dimension (u32)
 //!     10     4  nnz — encoded value count (u32)
@@ -18,39 +18,69 @@
 //!     16     …  payload: [positions][values], layouts per kind below
 //! ```
 //!
-//! | kind            | positions              | values                      |
-//! |-----------------|------------------------|-----------------------------|
-//! | `Dense`         | —                      | `dim` codec values          |
-//! | `SparseBitmap`  | `ceil(dim/8)` bitmap   | `nnz` codec values          |
-//! | `SparseIndex`   | `nnz` sorted `u32`s (`4·nnz` B) | `nnz` codec values |
-//! | `KnownMask`     | — (receiver holds `M`) | `nnz` codec values          |
-//! | `Mask`          | `ceil(dim/8)` bitmap   | —                           |
-//! | `TernaryBitmap` | `ceil(dim/8)` bitmap   | `f32 µ` + `ceil(nnz/8)` signs |
-//! | `TernaryIndex`  | `nnz` sorted `u32`s (`4·nnz` B) | `f32 µ` + `ceil(nnz/8)` signs |
+//! | kind            | id | positions              | values                      |
+//! |-----------------|----|------------------------|-----------------------------|
+//! | `Dense`         | 0  | —                      | `dim` codec values          |
+//! | `SparseBitmap`  | 1  | `ceil(dim/8)` bitmap   | `nnz` codec values          |
+//! | `SparseIndex`   | 2  | `nnz` sorted `u32`s (`4·nnz` B) | `nnz` codec values |
+//! | `KnownMask`     | 3  | — (receiver holds `M`) | `nnz` codec values          |
+//! | `Mask`          | 4  | `ceil(dim/8)` bitmap   | —                           |
+//! | `TernaryBitmap` | 5  | `ceil(dim/8)` bitmap   | `f32 µ` + `ceil(nnz/8)` signs |
+//! | `TernaryIndex`  | 6  | `nnz` sorted `u32`s (`4·nnz` B) | `f32 µ` + `ceil(nnz/8)` signs |
+//! | `SparseDelta`   | 7  | `nnz` delta varints    | `nnz` codec values          |
+//! | `MaskRle`       | 8  | run-length varints     | —                           |
+//! | `SparseRle`     | 9  | run-length varints     | `nnz` codec values          |
+//! | `TernaryDelta`  | 10 | `nnz` delta varints    | `f32 µ` + `ceil(nnz/8)` signs |
+//! | `TernaryRle`    | 11 | run-length varints     | `f32 µ` + `ceil(nnz/8)` signs |
 //!
-//! Sparse and ternary encoders pick bitmap vs. index-list positions by
-//! exactly the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule (`ceil(dim/8) ≤ 4·nnz` → bitmap,
+//! Kinds 0–6 are the original **version-1** layouts (reserved bit zero,
+//! byte-for-byte unchanged). Kinds 7–11 are the **version-2** entropy
+//! layouts: the version field reads 2 and the former reserved bit
+//! carries the kind's fourth bit, so every v1 decoder cleanly rejects
+//! them as [`WireError::BadVersion`] instead of mis-reading. A v2 frame
+//! declaring a v1 kind is non-canonical and also rejected.
+//!
+//! The two entropy position sections are *self-delimiting* (the decoder
+//! walks their canonical LEB128 varints to find the frame end — see
+//! [`FrameKind::SparseDelta`] and [`FrameKind::MaskRle`] for the exact
+//! grammar), which is why [`frame_len`] only prices v1 kinds and the
+//! [`FrameWriter`] length predictors take the actual indices.
+//!
+//! The legacy [`encode_sparse`]/[`encode_ternary`] free functions pick
+//! bitmap vs. index-list positions by exactly the
+//! [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule (`ceil(dim/8) ≤ 4·nnz` → bitmap,
 //! ties included), so with the [`Codec::F32`] value codec every frame's
 //! encoded length equals the corresponding analytic
 //! [`gluefl_tensor::wire::WireCost`] total — the property test suite
-//! pins this across adversarial `dim`/`nnz`.
+//! pins this across adversarial `dim`/`nnz`. The [`FrameWriter`]
+//! generalizes the rule: it prices every layout its
+//! [`WirePolicy`] admits in exact bytes and picks the
+//! cheapest (ties: bitmap ≻ index ≻ delta ≻ RLE), so a legacy policy
+//! reproduces the free functions bit for bit.
 //!
 //! Decoding borrows the payload (`&[u8]`, zero-copy) and validates
 //! eagerly: magic/version/kind/codec, the checksum, section lengths,
 //! `nnz`/`dim` consistency (dense frames, bitmap popcounts), strict index
-//! monotonicity and range, and canonical zero padding. Every failure is a
-//! typed [`WireError`]; untrusted input never panics.
+//! monotonicity and range, canonical zero padding, canonical varints, and
+//! positive run lengths. Every failure is a typed [`WireError`];
+//! untrusted input never panics.
 
 use crate::codec::{decode_values_into, encode_values, Codec, Rounding};
 use crate::crc::{crc16, crc16_update};
 use crate::error::WireError;
+use crate::policy::WirePolicy;
+use crate::varint::{push_varint, read_varint};
 use gluefl_tensor::BitMask;
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xA7;
 
-/// Protocol version carried in the packed header byte.
+/// Protocol version of the original fixed-layout kinds (0–6).
 pub const VERSION: u8 = 1;
+
+/// Protocol version of the entropy-layout kinds (7–11), whose packed
+/// header byte uses the former reserved bit as the kind's fourth bit.
+pub const VERSION_ENTROPY: u8 = 2;
 
 /// Fixed frame header length in bytes. Kept identical to the analytic
 /// cost model's [`gluefl_tensor::wire::HEADER_BYTES`] (pinned by a test)
@@ -77,6 +107,28 @@ pub enum FrameKind {
     TernaryBitmap,
     /// Ternary-quantized sparse values with explicit positions.
     TernaryIndex,
+    /// Sparse values with delta-coded varint positions (v2): the first
+    /// index, then each gap−1, as canonical LEB128 varints — strictly
+    /// increasing by construction, so only the running index needs a
+    /// range check. Empty section when `nnz = 0`.
+    SparseDelta,
+    /// A mask broadcast with a run-length position section (v2):
+    /// alternating zeros-run / ones-run varints starting with the
+    /// (possibly zero) leading zeros-run, ending with the ones-run that
+    /// brings the total set count to `nnz` — trailing zeros are implicit
+    /// and must be absent. Every ones-run, and every zeros-run after the
+    /// first, must be positive ([`WireError::ZeroRun`] otherwise). Empty
+    /// section when `nnz = 0`.
+    MaskRle,
+    /// Sparse values with run-length positions (v2) — the
+    /// [`FrameKind::MaskRle`] section grammar as a sparse frame's
+    /// position section.
+    SparseRle,
+    /// Ternary-quantized sparse values with delta-coded varint
+    /// positions (v2).
+    TernaryDelta,
+    /// Ternary-quantized sparse values with run-length positions (v2).
+    TernaryRle,
 }
 
 impl FrameKind {
@@ -93,6 +145,11 @@ impl FrameKind {
             FrameKind::Mask => 4,
             FrameKind::TernaryBitmap => 5,
             FrameKind::TernaryIndex => 6,
+            FrameKind::SparseDelta => 7,
+            FrameKind::MaskRle => 8,
+            FrameKind::SparseRle => 9,
+            FrameKind::TernaryDelta => 10,
+            FrameKind::TernaryRle => 11,
         }
     }
 
@@ -105,6 +162,11 @@ impl FrameKind {
             4 => Ok(FrameKind::Mask),
             5 => Ok(FrameKind::TernaryBitmap),
             6 => Ok(FrameKind::TernaryIndex),
+            7 => Ok(FrameKind::SparseDelta),
+            8 => Ok(FrameKind::MaskRle),
+            9 => Ok(FrameKind::SparseRle),
+            10 => Ok(FrameKind::TernaryDelta),
+            11 => Ok(FrameKind::TernaryRle),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -118,8 +180,66 @@ impl FrameKind {
                 | FrameKind::SparseBitmap
                 | FrameKind::SparseIndex
                 | FrameKind::KnownMask
+                | FrameKind::SparseDelta
+                | FrameKind::SparseRle
         )
     }
+
+    /// Whether this kind's position section is self-delimiting varints
+    /// (frame length depends on the data, not just the header).
+    fn is_entropy(self) -> bool {
+        self.id() > 6
+    }
+}
+
+/// The packed header byte for `(kind, codec)`: v1 kinds keep the
+/// original `[version=1 · kind · codec · 0]` layout; v2 kinds read
+/// version 2 and spill the kind's fourth bit into the former reserved
+/// bit.
+fn packed_byte(kind: FrameKind, codec: Codec) -> u8 {
+    let id = kind.id();
+    if id <= 6 {
+        (VERSION << 6) | (id << 3) | (codec.id() << 1)
+    } else {
+        (VERSION_ENTROPY << 6) | ((id & 0x07) << 3) | (codec.id() << 1) | (id >> 3)
+    }
+}
+
+/// Parses the packed header byte back into `(kind, codec)`.
+///
+/// A v1 byte with the reserved bit set, a v2 byte declaring a v1 kind
+/// (non-canonical), or any other version is [`WireError::BadVersion`].
+fn unpack_byte(packed: u8) -> Result<(FrameKind, Codec), WireError> {
+    let kind_id = match packed >> 6 {
+        VERSION => {
+            if packed & 1 != 0 {
+                return Err(WireError::BadVersion(packed));
+            }
+            let id = (packed >> 3) & 0x07;
+            if id > 6 {
+                // The 3-bit field's last value is only reachable through
+                // the v2 encoding.
+                return Err(WireError::BadKind(id));
+            }
+            id
+        }
+        VERSION_ENTROPY => {
+            let id = ((packed & 1) << 3) | ((packed >> 3) & 0x07);
+            if id <= 6 {
+                return Err(WireError::BadVersion(packed));
+            }
+            id
+        }
+        _ => return Err(WireError::BadVersion(packed)),
+    };
+    let kind = FrameKind::from_id(kind_id)?;
+    let codec = Codec::from_id((packed >> 1) & 0x03)?;
+    if !kind.uses_value_codec() && codec != Codec::F32 {
+        // Mask/ternary frames have fixed layouts; a non-zero codec field
+        // is non-canonical.
+        return Err(WireError::BadCodec(codec.id()));
+    }
+    Ok((kind, codec))
 }
 
 /// Writes the 16-byte header with a zeroed checksum; returns its offset.
@@ -137,7 +257,7 @@ fn begin_frame(
     let start = out.len();
     out.reserve(HEADER_BYTES);
     out.push(MAGIC);
-    out.push((VERSION << 6) | (kind.id() << 3) | (codec.id() << 1));
+    out.push(packed_byte(kind, codec));
     out.extend_from_slice(&round.to_le_bytes());
     out.extend_from_slice(&dim32.to_le_bytes());
     out.extend_from_slice(&nnz32.to_le_bytes());
@@ -152,11 +272,228 @@ fn finish_frame(out: &mut [u8], start: usize) -> usize {
     out.len() - start
 }
 
-/// Encodes a dense frame over all of `values` (e.g. a model broadcast).
-/// Returns the frame length in bytes (appended to `out`).
+/// The single encoding entry point: one method per round-message kind,
+/// with the position layout chosen per frame by the carried
+/// [`WirePolicy`]'s exact byte-cost rule.
+///
+/// The writer is a trivial `Copy` wrapper — construct one wherever a
+/// policy is in scope. Every `*_len` predictor returns *exactly* what
+/// the matching encode method will append (property-tested), so senders
+/// can price an upload before encoding it; the entropy layouts make
+/// lengths data-dependent, which is why the sparse/ternary predictors
+/// take the actual indices.
+///
+/// # Example
+///
+/// ```
+/// use gluefl_wire::{decode_frame, Codec, FrameKind, FrameWriter, Rounding, WirePolicy};
+///
+/// let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+/// let (indices, values) = ([7u32, 9, 400], [0.5f32, -1.0, 2.0]);
+/// let mut buf = Vec::new();
+/// let len = writer.sparse(&mut buf, 12, Rounding::Nearest, 100_000, &indices, &values);
+/// assert_eq!(len as u64, writer.sparse_len(100_000, &indices));
+///
+/// let frame = decode_frame(&buf).unwrap();
+/// assert_eq!(frame.kind, FrameKind::SparseDelta); // varints beat 4-byte indices
+/// let mut ix = Vec::new();
+/// frame.indices_into(&mut ix);
+/// assert_eq!(ix, indices);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FrameWriter {
+    policy: WirePolicy,
+}
+
+impl FrameWriter {
+    /// A writer emitting frames under `policy`.
+    #[must_use]
+    pub fn new(policy: WirePolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The policy this writer encodes under.
+    #[must_use]
+    pub fn policy(&self) -> WirePolicy {
+        self.policy
+    }
+
+    /// Encodes a dense frame over all of `values` (e.g. a model
+    /// broadcast). Returns the frame length in bytes (appended to `out`).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` exceeds `u32::MAX`.
+    pub fn dense(
+        &self,
+        out: &mut Vec<u8>,
+        round: u32,
+        rounding: Rounding,
+        values: &[f32],
+    ) -> usize {
+        let start = begin_frame(
+            out,
+            FrameKind::Dense,
+            self.policy.codec,
+            round,
+            values.len(),
+            values.len(),
+        );
+        encode_values(out, self.policy.codec, rounding, values);
+        finish_frame(out, start)
+    }
+
+    /// Encodes a sparse frame: `values[j]` lives at coordinate
+    /// `indices[j]` of a `dim`-vector, positions in the cheapest layout
+    /// the policy admits ([`WirePolicy::sparse_kind`]). Returns the frame
+    /// length in bytes.
+    ///
+    /// # Panics
+    /// Panics if the indices are unsorted, repeated, or `>= dim`, or if
+    /// `indices.len() != values.len()`.
+    pub fn sparse(
+        &self,
+        out: &mut Vec<u8>,
+        round: u32,
+        rounding: Rounding,
+        dim: usize,
+        indices: &[u32],
+        values: &[f32],
+    ) -> usize {
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_sorted_in_range(indices, dim);
+        let kind = self.policy.sparse_kind(dim, indices);
+        let start = begin_frame(out, kind, self.policy.codec, round, dim, indices.len());
+        extend_positions(out, kind, dim, indices);
+        encode_values(out, self.policy.codec, rounding, values);
+        finish_frame(out, start)
+    }
+
+    /// Encodes a known-mask frame: `values` aligned (in increasing
+    /// position order) to a mask the receiver already holds, so no
+    /// position bytes travel. Returns the frame length in bytes.
+    pub fn known_mask(
+        &self,
+        out: &mut Vec<u8>,
+        round: u32,
+        rounding: Rounding,
+        dim: usize,
+        values: &[f32],
+    ) -> usize {
+        let start = begin_frame(
+            out,
+            FrameKind::KnownMask,
+            self.policy.codec,
+            round,
+            dim,
+            values.len(),
+        );
+        encode_values(out, self.policy.codec, rounding, values);
+        finish_frame(out, start)
+    }
+
+    /// Encodes a mask broadcast frame (positions only): the v1 bitmap,
+    /// or a run-length section when the policy admits RLE and it is
+    /// strictly smaller ([`WirePolicy::mask_kind`]). Returns the frame
+    /// length in bytes.
+    pub fn mask(&self, out: &mut Vec<u8>, round: u32, mask: &BitMask) -> usize {
+        let kind = self.policy.mask_kind(mask);
+        let start = begin_frame(out, kind, Codec::F32, round, mask.len(), mask.count_ones());
+        match kind {
+            FrameKind::Mask => mask.extend_le_bytes(out),
+            FrameKind::MaskRle => extend_rle_from_mask(out, mask),
+            _ => unreachable!("mask_kind returns a mask kind"),
+        }
+        finish_frame(out, start)
+    }
+
+    /// Encodes a ternary-quantized sparse frame: one magnitude `mu` plus
+    /// a sign bit per kept coordinate (`true` = `+mu`), positions in the
+    /// cheapest admissible layout ([`WirePolicy::ternary_kind`]). Returns
+    /// the frame length in bytes.
+    ///
+    /// # Panics
+    /// Panics if the indices are unsorted, repeated, or `>= dim`, or if
+    /// `indices.len() != signs.len()`.
+    pub fn ternary(
+        &self,
+        out: &mut Vec<u8>,
+        round: u32,
+        dim: usize,
+        mu: f32,
+        indices: &[u32],
+        signs: &[bool],
+    ) -> usize {
+        assert_eq!(indices.len(), signs.len(), "indices/signs length mismatch");
+        assert_sorted_in_range(indices, dim);
+        let nnz = indices.len();
+        let kind = self.policy.ternary_kind(dim, indices);
+        let start = begin_frame(out, kind, Codec::F32, round, dim, nnz);
+        extend_positions(out, kind, dim, indices);
+        out.extend_from_slice(&mu.to_le_bytes());
+        let sign_start = out.len();
+        out.resize(sign_start + nnz.div_ceil(8), 0);
+        for (j, &positive) in signs.iter().enumerate() {
+            if positive {
+                out[sign_start + j / 8] |= 1 << (j % 8);
+            }
+        }
+        finish_frame(out, start)
+    }
+
+    /// Exact byte length [`FrameWriter::dense`] will emit for a
+    /// `dim`-vector.
+    #[must_use]
+    pub fn dense_len(&self, dim: usize) -> u64 {
+        HEADER_BYTES as u64 + self.policy.codec.value_section_len(dim) as u64
+    }
+
+    /// Exact byte length [`FrameWriter::sparse`] will emit for these
+    /// indices.
+    #[must_use]
+    pub fn sparse_len(&self, dim: usize, indices: &[u32]) -> u64 {
+        HEADER_BYTES as u64
+            + self.policy.position_section_len(dim, indices)
+            + self.policy.codec.value_section_len(indices.len()) as u64
+    }
+
+    /// Exact byte length [`FrameWriter::known_mask`] will emit for `nnz`
+    /// values.
+    #[must_use]
+    pub fn known_mask_len(&self, nnz: usize) -> u64 {
+        HEADER_BYTES as u64 + self.policy.codec.value_section_len(nnz) as u64
+    }
+
+    /// Exact byte length [`FrameWriter::mask`] will emit for `mask`.
+    #[must_use]
+    pub fn mask_len(&self, mask: &BitMask) -> u64 {
+        let positions = match self.policy.mask_kind(mask) {
+            FrameKind::MaskRle => crate::policy::rle_section_len(mask),
+            _ => mask.len().div_ceil(8) as u64,
+        };
+        HEADER_BYTES as u64 + positions
+    }
+
+    /// Exact byte length [`FrameWriter::ternary`] will emit for these
+    /// indices.
+    #[must_use]
+    pub fn ternary_len(&self, dim: usize, indices: &[u32]) -> u64 {
+        HEADER_BYTES as u64
+            + self.policy.position_section_len(dim, indices)
+            + 4
+            + (indices.len() as u64).div_ceil(8)
+    }
+}
+
+/// Encodes a dense frame over all of `values`. Returns the frame length
+/// in bytes (appended to `out`).
 ///
 /// # Panics
 /// Panics if `values.len()` exceeds `u32::MAX`.
+#[deprecated(since = "0.2.0", note = "use FrameWriter::dense")]
 pub fn encode_dense(
     out: &mut Vec<u8>,
     round: u32,
@@ -164,27 +501,18 @@ pub fn encode_dense(
     rounding: Rounding,
     values: &[f32],
 ) -> usize {
-    let start = begin_frame(
-        out,
-        FrameKind::Dense,
-        codec,
-        round,
-        values.len(),
-        values.len(),
-    );
-    encode_values(out, codec, rounding, values);
-    finish_frame(out, start)
+    FrameWriter::new(WirePolicy::legacy(codec)).dense(out, round, rounding, values)
 }
 
-/// Encodes a sparse frame: `values[j]` lives at coordinate `indices[j]`
-/// of a `dim`-vector. Positions travel as a bitmap or an index list,
-/// whichever is smaller (ties prefer bitmap — the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse)
+/// Encodes a sparse frame with bitmap or u32-index positions, whichever
+/// is smaller (ties prefer bitmap — the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse)
 /// rule, so F32 frame lengths match the analytic model exactly). Returns
 /// the frame length in bytes.
 ///
 /// # Panics
 /// Panics if the indices are unsorted, repeated, or `>= dim`, or if
 /// `indices.len() != values.len()`.
+#[deprecated(since = "0.2.0", note = "use FrameWriter::sparse")]
 pub fn encode_sparse(
     out: &mut Vec<u8>,
     round: u32,
@@ -194,30 +522,13 @@ pub fn encode_sparse(
     indices: &[u32],
     values: &[f32],
 ) -> usize {
-    assert_eq!(
-        indices.len(),
-        values.len(),
-        "indices/values length mismatch"
-    );
-    assert_sorted_in_range(indices, dim);
-    let nnz = indices.len();
-    let bitmap_len = dim.div_ceil(8);
-    let start = if bitmap_len <= 4 * nnz {
-        let start = begin_frame(out, FrameKind::SparseBitmap, codec, round, dim, nnz);
-        extend_bitmap_from_indices(out, bitmap_len, indices);
-        start
-    } else {
-        let start = begin_frame(out, FrameKind::SparseIndex, codec, round, dim, nnz);
-        extend_index_list(out, indices);
-        start
-    };
-    encode_values(out, codec, rounding, values);
-    finish_frame(out, start)
+    FrameWriter::new(WirePolicy::legacy(codec)).sparse(out, round, rounding, dim, indices, values)
 }
 
 /// Encodes a known-mask frame: `values` aligned (in increasing position
 /// order) to a mask the receiver already holds, so no position bytes
 /// travel. Returns the frame length in bytes.
+#[deprecated(since = "0.2.0", note = "use FrameWriter::known_mask")]
 pub fn encode_known_mask(
     out: &mut Vec<u8>,
     round: u32,
@@ -226,25 +537,15 @@ pub fn encode_known_mask(
     dim: usize,
     values: &[f32],
 ) -> usize {
-    let start = begin_frame(out, FrameKind::KnownMask, codec, round, dim, values.len());
-    encode_values(out, codec, rounding, values);
-    finish_frame(out, start)
+    FrameWriter::new(WirePolicy::legacy(codec)).known_mask(out, round, rounding, dim, values)
 }
 
 /// Encodes a mask broadcast frame (positions only). Returns the frame
 /// length in bytes — always `HEADER_BYTES + ceil(mask.len()/8)`, the
 /// analytic per-sync mask bitmap cost.
+#[deprecated(since = "0.2.0", note = "use FrameWriter::mask")]
 pub fn encode_mask(out: &mut Vec<u8>, round: u32, mask: &BitMask) -> usize {
-    let start = begin_frame(
-        out,
-        FrameKind::Mask,
-        Codec::F32,
-        round,
-        mask.len(),
-        mask.count_ones(),
-    );
-    mask.extend_le_bytes(out);
-    finish_frame(out, start)
+    FrameWriter::new(WirePolicy::legacy(Codec::F32)).mask(out, round, mask)
 }
 
 /// Encodes a ternary-quantized sparse frame: one magnitude `mu` plus a
@@ -255,6 +556,7 @@ pub fn encode_mask(out: &mut Vec<u8>, round: u32, mask: &BitMask) -> usize {
 /// # Panics
 /// Panics if the indices are unsorted, repeated, or `>= dim`, or if
 /// `indices.len() != signs.len()`.
+#[deprecated(since = "0.2.0", note = "use FrameWriter::ternary")]
 pub fn encode_ternary(
     out: &mut Vec<u8>,
     round: u32,
@@ -263,28 +565,7 @@ pub fn encode_ternary(
     indices: &[u32],
     signs: &[bool],
 ) -> usize {
-    assert_eq!(indices.len(), signs.len(), "indices/signs length mismatch");
-    assert_sorted_in_range(indices, dim);
-    let nnz = indices.len();
-    let bitmap_len = dim.div_ceil(8);
-    let start = if bitmap_len <= 4 * nnz {
-        let start = begin_frame(out, FrameKind::TernaryBitmap, Codec::F32, round, dim, nnz);
-        extend_bitmap_from_indices(out, bitmap_len, indices);
-        start
-    } else {
-        let start = begin_frame(out, FrameKind::TernaryIndex, Codec::F32, round, dim, nnz);
-        extend_index_list(out, indices);
-        start
-    };
-    out.extend_from_slice(&mu.to_le_bytes());
-    let sign_start = out.len();
-    out.resize(sign_start + nnz.div_ceil(8), 0);
-    for (j, &positive) in signs.iter().enumerate() {
-        if positive {
-            out[sign_start + j / 8] |= 1 << (j % 8);
-        }
-    }
-    finish_frame(out, start)
+    FrameWriter::new(WirePolicy::legacy(Codec::F32)).ternary(out, round, dim, mu, indices, signs)
 }
 
 fn assert_sorted_in_range(indices: &[u32], dim: usize) {
@@ -312,6 +593,59 @@ fn extend_index_list(out: &mut Vec<u8>, indices: &[u32]) {
     }
 }
 
+/// Writes the position section matching `kind` for sorted `indices`.
+fn extend_positions(out: &mut Vec<u8>, kind: FrameKind, dim: usize, indices: &[u32]) {
+    match kind {
+        FrameKind::SparseBitmap | FrameKind::TernaryBitmap => {
+            extend_bitmap_from_indices(out, dim.div_ceil(8), indices);
+        }
+        FrameKind::SparseIndex | FrameKind::TernaryIndex => extend_index_list(out, indices),
+        FrameKind::SparseDelta | FrameKind::TernaryDelta => {
+            extend_delta_from_indices(out, indices);
+        }
+        FrameKind::SparseRle | FrameKind::TernaryRle => extend_rle_from_indices(out, indices),
+        _ => unreachable!("{kind:?} has no sparse position section"),
+    }
+}
+
+fn extend_delta_from_indices(out: &mut Vec<u8>, indices: &[u32]) {
+    let mut prev: Option<u32> = None;
+    for &i in indices {
+        let v = match prev {
+            None => u64::from(i),
+            Some(p) => u64::from(i - p - 1),
+        };
+        push_varint(out, v);
+        prev = Some(i);
+    }
+}
+
+fn extend_rle_from_indices(out: &mut Vec<u8>, indices: &[u32]) {
+    let mut j = 0usize;
+    let mut pos = 0u64;
+    while j < indices.len() {
+        let start = u64::from(indices[j]);
+        let mut end = start + 1;
+        j += 1;
+        while j < indices.len() && u64::from(indices[j]) == end {
+            end += 1;
+            j += 1;
+        }
+        push_varint(out, start - pos);
+        push_varint(out, end - start);
+        pos = end;
+    }
+}
+
+fn extend_rle_from_mask(out: &mut Vec<u8>, mask: &BitMask) {
+    let mut pos = 0usize;
+    mask.for_each_run(|start, len| {
+        push_varint(out, (start - pos) as u64);
+        push_varint(out, len as u64);
+        pos = start + len;
+    });
+}
+
 /// A decoded frame: parsed header fields plus borrowed (zero-copy)
 /// position and value sections. Produced by [`decode_frame`] /
 /// [`decode_frame_prefix`], which validate everything up front — the
@@ -333,15 +667,25 @@ pub struct Frame<'a> {
     values: &'a [u8],
 }
 
-/// Exact encoded length in bytes of a frame with the given header
-/// fields (header + positions + values). Frame lengths depend only on
+/// Exact encoded length in bytes of a **v1** frame with the given header
+/// fields (header + positions + values). v1 frame lengths depend only on
 /// `(kind, codec, dim, nnz)` — never on the values themselves — which is
 /// what lets a sender (or a scheduler) price an upload *before* encoding
-/// it: [`encode_dense`], [`encode_sparse`], [`encode_known_mask`],
-/// [`encode_mask`], and [`encode_ternary`] all return exactly this
-/// number for matching fields.
+/// it. The v2 entropy kinds are data-dependent; price those with the
+/// [`FrameWriter`] predictors ([`FrameWriter::sparse_len`],
+/// [`FrameWriter::mask_len`], [`FrameWriter::ternary_len`]), which take
+/// the actual indices.
+///
+/// # Panics
+/// Panics for the entropy kinds (`SparseDelta`, `MaskRle`, `SparseRle`,
+/// `TernaryDelta`, `TernaryRle`), whose lengths the header does not
+/// determine.
 #[must_use]
 pub fn frame_len(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> u64 {
+    assert!(
+        !kind.is_entropy(),
+        "{kind:?} frame length is data-dependent; use the FrameWriter predictors"
+    );
     let (positions, values) = section_lens(kind, codec, dim, nnz);
     HEADER_BYTES as u64 + positions + values
 }
@@ -370,79 +714,43 @@ pub fn ternary_kind(dim: usize, nnz: usize) -> FrameKind {
     }
 }
 
-/// Parses a 16-byte frame header and returns the full frame length it
-/// implies (header + payload) — the streaming-read primitive: a socket
-/// reader peeks the fixed-size header, learns exactly how many bytes the
-/// frame occupies, and reads the remainder without any scanning or
-/// buffering heuristics. Performs the same header validation as
-/// [`decode_frame_prefix`] up to (but not including) the checksum, which
-/// covers the payload and can only be verified once it has arrived.
+/// Parses a frame header and returns the full frame length it implies
+/// (header + payload) — the streaming-read primitive: a socket reader
+/// peeks the fixed-size header, learns exactly how many bytes the frame
+/// occupies, and reads the remainder without any buffering heuristics.
+/// For the v2 entropy kinds the position section is self-delimiting, so
+/// the scan needs the section bytes too: pass whatever prefix has
+/// arrived and retry with more bytes on [`WireError::Truncated`].
+/// Performs the same validation as [`decode_frame_prefix`] up to (but
+/// not including) the checksum, which covers the payload and can only be
+/// verified once it has all arrived.
 ///
 /// # Errors
 /// [`WireError::Truncated`] when `header` is shorter than
-/// [`HEADER_BYTES`], plus any header malformation `decode_frame_prefix`
-/// would report (bad magic/version/kind/codec, `nnz > dim`, dense
-/// `nnz != dim`).
+/// [`HEADER_BYTES`] (or, for entropy kinds, than the position section),
+/// plus any header/position malformation `decode_frame_prefix` would
+/// report (bad magic/version/kind/codec, `nnz > dim`, dense `nnz != dim`,
+/// overlong varints, zero runs, out-of-range positions).
 pub fn frame_len_from_header(header: &[u8]) -> Result<u64, WireError> {
-    if header.len() < HEADER_BYTES {
-        return Err(WireError::Truncated {
-            needed: HEADER_BYTES,
-            got: header.len(),
-        });
-    }
-    if header[0] != MAGIC {
-        return Err(WireError::BadMagic(header[0]));
-    }
-    let packed = header[1];
-    if packed >> 6 != VERSION || packed & 1 != 0 {
-        return Err(WireError::BadVersion(packed));
-    }
-    let kind = FrameKind::from_id((packed >> 3) & 0x07)?;
-    let codec = Codec::from_id((packed >> 1) & 0x03)?;
-    if !kind.uses_value_codec() && codec != Codec::F32 {
-        return Err(WireError::BadCodec(codec.id()));
-    }
-    let dim = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
-    let nnz = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes")) as usize;
-    if nnz > dim {
-        return Err(WireError::NnzExceedsDim { nnz, dim });
-    }
-    if kind == FrameKind::Dense && nnz != dim {
-        return Err(WireError::NnzMismatch {
-            declared: nnz,
-            actual: dim,
-        });
-    }
-    Ok(frame_len(kind, codec, dim, nnz))
+    let parsed = parse_header(header)?;
+    let positions_len = positions_len(header, &parsed)?;
+    let values_len = values_len(parsed.kind, parsed.codec, parsed.dim, parsed.nnz);
+    Ok(HEADER_BYTES as u64 + positions_len as u64 + values_len)
 }
 
-/// Expected `(positions, values)` section lengths for a parsed header.
-fn section_lens(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> (u64, u64) {
-    let bitmap = (dim as u64).div_ceil(8);
-    let positions = match kind {
-        FrameKind::Dense | FrameKind::KnownMask => 0,
-        FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => bitmap,
-        FrameKind::SparseIndex | FrameKind::TernaryIndex => 4 * nnz as u64,
-    };
-    let values = match kind {
-        FrameKind::Dense => codec.value_section_len(dim) as u64,
-        FrameKind::SparseBitmap | FrameKind::SparseIndex | FrameKind::KnownMask => {
-            codec.value_section_len(nnz) as u64
-        }
-        FrameKind::Mask => 0,
-        FrameKind::TernaryBitmap | FrameKind::TernaryIndex => 4 + (nnz as u64).div_ceil(8),
-    };
-    (positions, values)
+/// The validated fixed header fields, before any payload inspection.
+struct ParsedHeader {
+    kind: FrameKind,
+    codec: Codec,
+    round: u32,
+    dim: usize,
+    nnz: usize,
+    stored_crc: u16,
 }
 
-/// Decodes the frame at the start of `buf`, returning it together with
-/// the unconsumed remainder — the streaming form for buffers holding
-/// several concatenated frames (e.g. GlueFL's shared + unique upload).
-///
-/// # Errors
-/// Any malformation yields a typed [`WireError`]; see the module docs
-/// for the validation performed.
-pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> {
+/// Validates the 16 fixed header bytes (everything `decode_frame_prefix`
+/// checks before looking at the payload).
+fn parse_header(buf: &[u8]) -> Result<ParsedHeader, WireError> {
     if buf.len() < HEADER_BYTES {
         return Err(WireError::Truncated {
             needed: HEADER_BYTES,
@@ -452,17 +760,7 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
     if buf[0] != MAGIC {
         return Err(WireError::BadMagic(buf[0]));
     }
-    let packed = buf[1];
-    if packed >> 6 != VERSION || packed & 1 != 0 {
-        return Err(WireError::BadVersion(packed));
-    }
-    let kind = FrameKind::from_id((packed >> 3) & 0x07)?;
-    let codec = Codec::from_id((packed >> 1) & 0x03)?;
-    if !kind.uses_value_codec() && codec != Codec::F32 {
-        // Mask/ternary frames have fixed layouts; a non-zero codec field
-        // is non-canonical.
-        return Err(WireError::BadCodec(codec.id()));
-    }
+    let (kind, codec) = unpack_byte(buf[1])?;
     let round = u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes"));
     let dim = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes")) as usize;
     let nnz = u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")) as usize;
@@ -476,8 +774,152 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
             actual: dim,
         });
     }
-    let (positions_len, values_len) = section_lens(kind, codec, dim, nnz);
-    let needed = HEADER_BYTES as u64 + positions_len + values_len;
+    Ok(ParsedHeader {
+        kind,
+        codec,
+        round,
+        dim,
+        nnz,
+        stored_crc,
+    })
+}
+
+/// Byte length of the position section: fixed for v1 kinds, discovered
+/// (and structurally validated) by scanning the self-delimiting varints
+/// for v2 kinds.
+fn positions_len(buf: &[u8], h: &ParsedHeader) -> Result<usize, WireError> {
+    match h.kind {
+        FrameKind::SparseDelta | FrameKind::TernaryDelta => {
+            scan_delta_section(buf, HEADER_BYTES, h.dim, h.nnz)
+        }
+        FrameKind::MaskRle | FrameKind::SparseRle | FrameKind::TernaryRle => {
+            scan_rle_section(buf, HEADER_BYTES, h.dim, h.nnz)
+        }
+        kind => {
+            let bitmap = h.dim.div_ceil(8);
+            Ok(match kind {
+                FrameKind::Dense | FrameKind::KnownMask => 0,
+                FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => bitmap,
+                FrameKind::SparseIndex | FrameKind::TernaryIndex => 4 * h.nnz,
+                _ => unreachable!("entropy kinds handled above"),
+            })
+        }
+    }
+}
+
+/// Byte length of the value section (fixed given the header fields).
+fn values_len(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> u64 {
+    match kind {
+        FrameKind::Dense => codec.value_section_len(dim) as u64,
+        FrameKind::SparseBitmap
+        | FrameKind::SparseIndex
+        | FrameKind::SparseDelta
+        | FrameKind::SparseRle
+        | FrameKind::KnownMask => codec.value_section_len(nnz) as u64,
+        FrameKind::Mask | FrameKind::MaskRle => 0,
+        FrameKind::TernaryBitmap
+        | FrameKind::TernaryIndex
+        | FrameKind::TernaryDelta
+        | FrameKind::TernaryRle => 4 + (nnz as u64).div_ceil(8),
+    }
+}
+
+/// Walks a delta-varint position section at `buf[start..]`, validating
+/// canonical varints and the running index range; returns its byte
+/// length.
+fn scan_delta_section(
+    buf: &[u8],
+    start: usize,
+    dim: usize,
+    nnz: usize,
+) -> Result<usize, WireError> {
+    let mut pos = start;
+    let mut idx: u64 = 0;
+    for j in 0..nnz {
+        let gap = read_varint(buf, &mut pos)?;
+        idx = if j == 0 { gap } else { idx + gap + 1 };
+        if idx >= dim as u64 {
+            return Err(WireError::IndexOutOfRange {
+                index: clamp_u32(idx),
+                dim,
+            });
+        }
+    }
+    Ok(pos - start)
+}
+
+/// Walks a run-length position section at `buf[start..]`, validating
+/// canonical varints, positive runs, the `dim` bound, and the exact
+/// `nnz` total; returns its byte length.
+fn scan_rle_section(buf: &[u8], start: usize, dim: usize, nnz: usize) -> Result<usize, WireError> {
+    let mut pos = start;
+    let mut covered: u64 = 0; // positions consumed so far
+    let mut ones: u64 = 0;
+    let mut first = true;
+    while ones < nnz as u64 {
+        let zeros_at = pos;
+        let zeros = read_varint(buf, &mut pos)?;
+        if !first && zeros == 0 {
+            return Err(WireError::ZeroRun { offset: zeros_at });
+        }
+        first = false;
+        let ones_at = pos;
+        let run = read_varint(buf, &mut pos)?;
+        if run == 0 {
+            return Err(WireError::ZeroRun { offset: ones_at });
+        }
+        covered += zeros + run;
+        ones += run;
+        if ones > nnz as u64 {
+            return Err(WireError::NnzMismatch {
+                declared: nnz,
+                actual: usize::try_from(ones).unwrap_or(usize::MAX),
+            });
+        }
+        if covered > dim as u64 {
+            return Err(WireError::IndexOutOfRange {
+                index: clamp_u32(covered - 1),
+                dim,
+            });
+        }
+    }
+    Ok(pos - start)
+}
+
+fn clamp_u32(v: u64) -> u32 {
+    u32::try_from(v.min(u64::from(u32::MAX))).expect("clamped to u32 range")
+}
+
+/// Expected `(positions, values)` section lengths for a parsed **v1**
+/// header (entropy-kind position lengths are data-dependent and found by
+/// scanning — see [`positions_len`]).
+fn section_lens(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> (u64, u64) {
+    let bitmap = (dim as u64).div_ceil(8);
+    let positions = match kind {
+        FrameKind::Dense | FrameKind::KnownMask => 0,
+        FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => bitmap,
+        FrameKind::SparseIndex | FrameKind::TernaryIndex => 4 * nnz as u64,
+        _ => unreachable!("{kind:?} position length is data-dependent"),
+    };
+    (positions, values_len(kind, codec, dim, nnz))
+}
+
+/// Decodes the frame at the start of `buf`, returning it together with
+/// the unconsumed remainder — the streaming form for buffers holding
+/// several concatenated frames (e.g. GlueFL's shared + unique upload).
+///
+/// # Errors
+/// Any malformation yields a typed [`WireError`]; see the module docs
+/// for the validation performed. For the entropy kinds the position
+/// section is scanned (and structurally validated) *before* the
+/// checksum can be verified — corruption inside a varint section may
+/// therefore surface as its structural error rather than
+/// [`WireError::ChecksumMismatch`].
+pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> {
+    let h = parse_header(buf)?;
+    let (kind, codec, dim, nnz) = (h.kind, h.codec, h.dim, h.nnz);
+    let positions_len = positions_len(buf, &h)?;
+    let needed = HEADER_BYTES as u64 + positions_len as u64 + values_len(kind, codec, dim, nnz);
     if (buf.len() as u64) < needed {
         return Err(WireError::Truncated {
             needed: usize::try_from(needed).unwrap_or(usize::MAX),
@@ -487,15 +929,16 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
     let frame_len = usize::try_from(needed).expect("frame fits the buffer");
     let payload = &buf[HEADER_BYTES..frame_len];
     let computed = crc16_update(crc16(&buf[..14]), payload);
-    if computed != stored_crc {
+    if computed != h.stored_crc {
         return Err(WireError::ChecksumMismatch {
-            stored: stored_crc,
+            stored: h.stored_crc,
             computed,
         });
     }
-    let (positions, values) = payload.split_at(positions_len as usize);
+    let (positions, values) = payload.split_at(positions_len);
 
-    // Structural validation of the position section.
+    // Structural validation of the position section (the entropy kinds
+    // were already validated by the scan that delimited them).
     match kind {
         FrameKind::SparseBitmap | FrameKind::Mask | FrameKind::TernaryBitmap => {
             if !dim.is_multiple_of(8) {
@@ -527,10 +970,16 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
                 prev = Some(i);
             }
         }
-        FrameKind::Dense | FrameKind::KnownMask => {}
+        _ => {}
     }
     // Ternary sign bitmaps must also pad with zeros beyond nnz.
-    if matches!(kind, FrameKind::TernaryBitmap | FrameKind::TernaryIndex) && !nnz.is_multiple_of(8)
+    if matches!(
+        kind,
+        FrameKind::TernaryBitmap
+            | FrameKind::TernaryIndex
+            | FrameKind::TernaryDelta
+            | FrameKind::TernaryRle
+    ) && !nnz.is_multiple_of(8)
     {
         let tail = values[values.len() - 1];
         if tail >> (nnz % 8) != 0 {
@@ -541,7 +990,7 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
         Frame {
             kind,
             codec,
-            round,
+            round: h.round,
             dim,
             nnz,
             positions,
@@ -571,11 +1020,18 @@ impl Frame<'_> {
     pub fn values_into(&self, out: &mut Vec<f32>) {
         match self.kind {
             FrameKind::Dense => decode_values_into(out, self.codec, self.values, self.dim),
-            FrameKind::SparseBitmap | FrameKind::SparseIndex | FrameKind::KnownMask => {
+            FrameKind::SparseBitmap
+            | FrameKind::SparseIndex
+            | FrameKind::SparseDelta
+            | FrameKind::SparseRle
+            | FrameKind::KnownMask => {
                 decode_values_into(out, self.codec, self.values, self.nnz);
             }
-            FrameKind::Mask => {}
-            FrameKind::TernaryBitmap | FrameKind::TernaryIndex => {
+            FrameKind::Mask | FrameKind::MaskRle => {}
+            FrameKind::TernaryBitmap
+            | FrameKind::TernaryIndex
+            | FrameKind::TernaryDelta
+            | FrameKind::TernaryRle => {
                 let mu = self.ternary_mu();
                 out.reserve(self.nnz);
                 for j in 0..self.nnz {
@@ -605,21 +1061,65 @@ impl Frame<'_> {
                     out.push(u32::try_from(i).expect("dim fits u32"));
                 });
             }
+            FrameKind::SparseDelta | FrameKind::TernaryDelta => {
+                out.reserve(self.nnz);
+                let mut pos = 0usize;
+                let mut idx = 0u32;
+                for j in 0..self.nnz {
+                    let gap = read_varint(self.positions, &mut pos)
+                        .expect("delta section validated at decode");
+                    let gap = u32::try_from(gap).expect("index fits u32");
+                    idx = if j == 0 { gap } else { idx + gap + 1 };
+                    out.push(idx);
+                }
+            }
+            FrameKind::SparseRle | FrameKind::TernaryRle => {
+                out.reserve(self.nnz);
+                self.for_each_rle_run(|start, len| {
+                    for i in start..start + len {
+                        out.push(u32::try_from(i).expect("dim fits u32"));
+                    }
+                });
+            }
             other => panic!("frame kind {other:?} has no explicit positions"),
         }
     }
 
-    /// Rebuilds the position bitmap into `mask` (reset to `dim` bits).
+    /// Rebuilds the position mask into `mask` (reset to `dim` bits).
     ///
     /// # Panics
-    /// Panics for kinds without a position bitmap.
+    /// Panics for kinds without a position bitmap or run-length section.
     pub fn mask_into(&self, mask: &mut BitMask) {
         match self.kind {
             FrameKind::Mask | FrameKind::SparseBitmap | FrameKind::TernaryBitmap => {
                 mask.reset(self.dim);
                 mask.fill_from_le_bytes(self.positions);
             }
-            other => panic!("frame kind {other:?} carries no bitmap"),
+            FrameKind::MaskRle | FrameKind::SparseRle | FrameKind::TernaryRle => {
+                mask.reset(self.dim);
+                self.for_each_rle_run(|start, len| mask.set_range(start, len));
+            }
+            other => panic!("frame kind {other:?} carries no mask section"),
+        }
+    }
+
+    /// Walks a run-length position section's ones-runs as
+    /// `(start, len)`, in increasing order.
+    fn for_each_rle_run(&self, mut f: impl FnMut(usize, usize)) {
+        let mut pos = 0usize;
+        let mut at = 0usize; // next uncovered position
+        let mut ones = 0usize;
+        while ones < self.nnz {
+            let zeros = read_varint(self.positions, &mut pos)
+                .expect("run-length section validated at decode");
+            let run = read_varint(self.positions, &mut pos)
+                .expect("run-length section validated at decode");
+            let zeros = usize::try_from(zeros).expect("run fits usize");
+            let run = usize::try_from(run).expect("run fits usize");
+            at += zeros;
+            f(at, run);
+            at += run;
+            ones += run;
         }
     }
 
@@ -632,7 +1132,10 @@ impl Frame<'_> {
         assert!(
             matches!(
                 self.kind,
-                FrameKind::TernaryBitmap | FrameKind::TernaryIndex
+                FrameKind::TernaryBitmap
+                    | FrameKind::TernaryIndex
+                    | FrameKind::TernaryDelta
+                    | FrameKind::TernaryRle
             ),
             "not a ternary frame"
         );
@@ -647,7 +1150,10 @@ impl Frame<'_> {
         assert!(
             matches!(
                 self.kind,
-                FrameKind::TernaryBitmap | FrameKind::TernaryIndex
+                FrameKind::TernaryBitmap
+                    | FrameKind::TernaryIndex
+                    | FrameKind::TernaryDelta
+                    | FrameKind::TernaryRle
             ),
             "not a ternary frame"
         );
@@ -674,13 +1180,218 @@ fn for_each_bitmap_one(bytes: &[u8], mut f: impl FnMut(usize)) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy encode_* shims stay covered until removal
 mod tests {
     use super::*;
+    use crate::policy::{delta_section_len, rle_section_len, rle_section_len_from_indices};
     use gluefl_tensor::wire::WireCost;
 
     #[test]
     fn header_bytes_match_analytic_model() {
         assert_eq!(HEADER_BYTES as u64, gluefl_tensor::wire::HEADER_BYTES);
+    }
+
+    #[test]
+    fn legacy_shims_match_framewriter_byte_for_byte() {
+        let dim = 3000;
+        let indices: Vec<u32> = (0..80u32).map(|i| i * 31).collect();
+        let values: Vec<f32> = (0..80).map(|i| (i as f32).cos()).collect();
+        for codec in [Codec::F32, Codec::F16, Codec::QuantU8] {
+            let writer = FrameWriter::new(WirePolicy::legacy(codec));
+            let mut a = Vec::new();
+            let _ = encode_sparse(&mut a, 5, codec, Rounding::Nearest, dim, &indices, &values);
+            let mut b = Vec::new();
+            let _ = writer.sparse(&mut b, 5, Rounding::Nearest, dim, &indices, &values);
+            assert_eq!(a, b, "codec {codec:?}");
+        }
+        let mask = BitMask::from_indices(500, (0..500).step_by(3));
+        let mut a = Vec::new();
+        let _ = encode_mask(&mut a, 1, &mask);
+        let mut b = Vec::new();
+        let _ = FrameWriter::new(WirePolicy::default()).mask(&mut b, 1, &mask);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_delta_round_trips_and_matches_section_cost() {
+        let dim = 100_000;
+        let indices: Vec<u32> = (0..4000u32).map(|i| i * 25).collect();
+        let values: Vec<f32> = (0..4000).map(|i| (i as f32 * 0.1).sin()).collect();
+        let writer = FrameWriter::new(WirePolicy {
+            rle: false,
+            ..WirePolicy::entropy(Codec::F32)
+        });
+        let mut buf = Vec::new();
+        let n = writer.sparse(&mut buf, 3, Rounding::Nearest, dim, &indices, &values);
+        assert_eq!(n, buf.len());
+        assert_eq!(n as u64, writer.sparse_len(dim, &indices));
+        assert_eq!(
+            n as u64,
+            HEADER_BYTES as u64 + delta_section_len(&indices) + 4 * indices.len() as u64
+        );
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::SparseDelta);
+        assert_eq!(frame.round, 3);
+        let (mut ix, mut vals) = (Vec::new(), Vec::new());
+        frame.indices_into(&mut ix);
+        frame.values_into(&mut vals);
+        assert_eq!(ix, indices);
+        assert!(values
+            .iter()
+            .zip(&vals)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn mask_rle_round_trips_and_matches_section_cost() {
+        let dim = 10_000;
+        let mask = BitMask::from_indices(dim, (0..dim).filter(|i| i / 400 % 3 == 0));
+        let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+        let mut buf = Vec::new();
+        let n = writer.mask(&mut buf, 9, &mask);
+        assert_eq!(n as u64, writer.mask_len(&mask));
+        assert_eq!(n as u64, HEADER_BYTES as u64 + rle_section_len(&mask));
+        assert!((n as u64) < HEADER_BYTES as u64 + dim.div_ceil(8) as u64);
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::MaskRle);
+        assert_eq!(frame.nnz, mask.count_ones());
+        let mut back = BitMask::zeros(1);
+        frame.mask_into(&mut back);
+        assert_eq!(back, mask);
+    }
+
+    #[test]
+    fn sparse_rle_round_trips_for_blocky_indices() {
+        let dim = 50_000;
+        // 40 blocks of 64 consecutive indices: RLE beats delta and both
+        // fixed layouts.
+        let indices: Vec<u32> = (0..40u32)
+            .flat_map(|b| (0..64u32).map(move |j| b * 1200 + j))
+            .collect();
+        let values: Vec<f32> = indices.iter().map(|&i| i as f32 * 1e-4).collect();
+        let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+        let mut buf = Vec::new();
+        let n = writer.sparse(&mut buf, 2, Rounding::Nearest, dim, &indices, &values);
+        assert_eq!(n as u64, writer.sparse_len(dim, &indices));
+        assert_eq!(
+            n as u64,
+            HEADER_BYTES as u64 + rle_section_len_from_indices(&indices) + 4 * indices.len() as u64
+        );
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::SparseRle);
+        let (mut ix, mut vals) = (Vec::new(), Vec::new());
+        frame.indices_into(&mut ix);
+        frame.values_into(&mut vals);
+        assert_eq!(ix, indices);
+        assert_eq!(vals, values);
+        // The mask view agrees with the index view.
+        let mut m = BitMask::zeros(1);
+        frame.mask_into(&mut m);
+        assert_eq!(m.iter_ones().map(|i| i as u32).collect::<Vec<_>>(), indices);
+    }
+
+    #[test]
+    fn ternary_delta_and_rle_round_trip() {
+        let dim = 80_000;
+        let scattered: Vec<u32> = (0..900u32).map(|i| i * 88).collect();
+        let blocky: Vec<u32> = (0..30u32)
+            .flat_map(|b| (0..32u32).map(move |j| b * 2000 + j))
+            .collect();
+        for (indices, want) in [
+            (scattered, FrameKind::TernaryDelta),
+            (blocky, FrameKind::TernaryRle),
+        ] {
+            let signs: Vec<bool> = (0..indices.len()).map(|i| i % 3 != 0).collect();
+            let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+            let mut buf = Vec::new();
+            let n = writer.ternary(&mut buf, 6, dim, 0.25, &indices, &signs);
+            assert_eq!(n as u64, writer.ternary_len(dim, &indices));
+            let frame = decode_frame(&buf).unwrap();
+            assert_eq!(frame.kind, want);
+            assert_eq!(frame.ternary_mu(), 0.25);
+            let (mut ix, mut s) = (Vec::new(), Vec::new());
+            frame.indices_into(&mut ix);
+            frame.ternary_signs_into(&mut s);
+            assert_eq!(ix, indices);
+            assert_eq!(s, signs);
+        }
+    }
+
+    #[test]
+    fn entropy_frames_are_self_delimiting_in_streams() {
+        let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+        let mut buf = Vec::new();
+        let _ = writer.sparse(
+            &mut buf,
+            1,
+            Rounding::Nearest,
+            100_000,
+            &[10, 400, 90_000],
+            &[1.0, 2.0, 3.0],
+        );
+        let mask = BitMask::from_indices(100_000, 5_000..6_000);
+        let _ = writer.mask(&mut buf, 1, &mask);
+        let _ = writer.known_mask(&mut buf, 1, Rounding::Nearest, 100_000, &[7.0]);
+        let (first, rest) = decode_frame_prefix(&buf).unwrap();
+        assert_eq!(first.kind, FrameKind::SparseDelta);
+        let (second, rest) = decode_frame_prefix(rest).unwrap();
+        assert_eq!(second.kind, FrameKind::MaskRle);
+        let (third, rest) = decode_frame_prefix(rest).unwrap();
+        assert_eq!(third.kind, FrameKind::KnownMask);
+        assert!(rest.is_empty());
+        // And the header-scan length agrees frame by frame.
+        assert_eq!(frame_len_from_header(&buf).unwrap(), {
+            let mut probe = Vec::new();
+            let _ = writer.sparse(
+                &mut probe,
+                1,
+                Rounding::Nearest,
+                100_000,
+                &[10, 400, 90_000],
+                &[1.0, 2.0, 3.0],
+            );
+            probe.len() as u64
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data-dependent")]
+    fn frame_len_rejects_entropy_kinds() {
+        let _ = frame_len(FrameKind::SparseDelta, Codec::F32, 100, 10);
+    }
+
+    #[test]
+    fn empty_entropy_sparse_frame_is_header_plus_values() {
+        // nnz = 0 under the entropy policy still picks the empty index
+        // list (precedence), identical to the legacy empty frame.
+        let writer = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+        let mut buf = Vec::new();
+        let n = writer.sparse(&mut buf, 0, Rounding::Nearest, 100, &[], &[]);
+        assert_eq!(n as u64, WireCost::sparse(100, 0).total_bytes());
+        let frame = decode_frame(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::SparseIndex);
+        assert_eq!(frame.nnz, 0);
+    }
+
+    #[test]
+    fn v2_byte_with_v1_kind_is_bad_version() {
+        // Encode a legacy sparse-index frame, then flip its packed byte
+        // to version 2 (kind bits unchanged) and restamp the CRC: the
+        // non-canonical version/kind pairing must be rejected.
+        let mut buf = Vec::new();
+        let _ = encode_sparse(
+            &mut buf,
+            0,
+            Codec::F32,
+            Rounding::Nearest,
+            1000,
+            &[5],
+            &[1.0],
+        );
+        buf[1] = (VERSION_ENTROPY << 6) | (buf[1] & 0x3f);
+        let crc = crc16_update(crc16(&buf[..14]), &buf[HEADER_BYTES..]);
+        buf[14..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode_frame(&buf), Err(WireError::BadVersion(_))));
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! CRC-16/CCITT-FALSE) followed by a payload whose length the header
 //! implies. See [`frame`] for the byte-level layout table.
 //!
+//! What travels is shaped by a [`WirePolicy`] — the value codec, the
+//! admissible position layouts, and (for lossy codecs) whether codec
+//! residual feeds back into error compensation — and written through a
+//! single [`FrameWriter`] entry point per message kind. The default
+//! policy reproduces the original v1 format byte for byte; opting into
+//! the **entropy layouts** ([`IndexLayout::Entropy`], RLE) lets the
+//! writer also price delta-coded varint index lists and run-length mask
+//! sections and pick the cheapest layout per frame in exact bytes.
+//!
 //! Three pluggable **value codecs** ([`Codec`]) decide how `f32`
 //! parameter values travel:
 //!
@@ -35,16 +44,20 @@
 //! # Example
 //!
 //! ```
-//! use gluefl_wire::{decode_frame, encode_sparse, Codec, Rounding};
+//! use gluefl_wire::{decode_frame, Codec, FrameWriter, Rounding, WirePolicy};
 //!
-//! // A sparse update: 3 of 1000 coordinates.
+//! // A sparse update: 3 of 1000 coordinates, legacy (v1) layouts.
+//! let writer = FrameWriter::new(WirePolicy::legacy(Codec::F32));
 //! let mut buf = Vec::new();
-//! let len = encode_sparse(
-//!     &mut buf, /* round */ 12, Codec::F32, Rounding::Nearest,
+//! let len = writer.sparse(
+//!     &mut buf, /* round */ 12, Rounding::Nearest,
 //!     1000, &[7, 400, 999], &[0.5, -1.0, 2.0],
 //! );
-//! // F32 frames match the analytic cost model exactly.
+//! // Legacy F32 frames match the analytic cost model exactly.
 //! assert_eq!(len as u64, gluefl_tensor::WireCost::sparse(1000, 3).total_bytes());
+//! // The entropy menu prices delta varints and RLE too, and only wins bytes.
+//! let entropy = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+//! assert!(entropy.sparse_len(1000, &[7, 400, 999]) <= len as u64);
 //!
 //! let frame = decode_frame(&buf).unwrap();
 //! let (mut ix, mut vals) = (Vec::new(), Vec::new());
@@ -65,11 +78,17 @@ pub mod codec;
 pub mod crc;
 pub mod error;
 pub mod frame;
+pub mod policy;
+mod varint;
 
 pub use codec::{Codec, Rounding, QUANT_BLOCK};
 pub use error::WireError;
+#[allow(deprecated)] // re-exported for one release alongside FrameWriter
 pub use frame::{
     decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
     encode_ternary, frame_len, frame_len_from_header, sparse_kind, ternary_kind, Frame, FrameKind,
-    HEADER_BYTES, MAGIC, VERSION,
+    FrameWriter, HEADER_BYTES, MAGIC, VERSION, VERSION_ENTROPY,
+};
+pub use policy::{
+    delta_section_len, rle_section_len, rle_section_len_from_indices, IndexLayout, WirePolicy,
 };

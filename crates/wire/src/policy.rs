@@ -1,0 +1,308 @@
+//! The encoding policy: which value codec and which position layouts a
+//! [`FrameWriter`](crate::FrameWriter) may use, and the exact byte-cost
+//! model it minimizes over.
+//!
+//! A [`WirePolicy`] names the *menu* of layouts; the writer prices every
+//! admissible layout for the frame at hand with the exact functions in
+//! this module ([`delta_section_len`], [`rle_section_len_from_indices`],
+//! [`rle_section_len`]) and picks the cheapest, with a deterministic
+//! tie-break (bitmap ≻ u32 index list ≻ delta varints ≻ run-length).
+//! Under [`WirePolicy::default`] the menu collapses to the original
+//! bitmap/index pair, so every byte stream is identical to the legacy
+//! `encode_*` functions — opting into the entropy layouts is always a
+//! config change, never a silent format change.
+
+use crate::codec::Codec;
+use crate::frame::FrameKind;
+use crate::varint::varint_len;
+use gluefl_tensor::BitMask;
+
+/// Which index-list layouts a sparse/ternary frame may use for its
+/// position section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexLayout {
+    /// Fixed 4-byte little-endian `u32` indices only — the original v1
+    /// layout; frame lengths match the analytic
+    /// [`WireCost`](gluefl_tensor::wire::WireCost) model exactly.
+    #[default]
+    Legacy,
+    /// Additionally consider delta-coded varint indices
+    /// ([`FrameKind::SparseDelta`] / [`FrameKind::TernaryDelta`]): the
+    /// first index, then each gap−1, as canonical LEB128 varints. Near
+    /// the paper's 4% density this is ≈1 byte per index instead of 4.
+    Entropy,
+}
+
+/// How round messages are encoded: value codec, admissible position
+/// layouts, and (for lossy codecs) whether the codec residual feeds back
+/// into error compensation.
+///
+/// Carried in `SimConfig::wire` and by the transport endpoints; both
+/// sides of a connection must agree on the codec (frames self-describe,
+/// so decoding never needs the policy — it only shapes what the encoder
+/// emits).
+///
+/// [`WirePolicy::default`] reproduces the original wire format byte for
+/// byte: F32 values, bitmap/u32-index positions, no run-length sections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePolicy {
+    /// Value codec for dense/sparse/known-mask payloads.
+    pub codec: Codec,
+    /// Index-list layouts admissible for sparse/ternary positions.
+    pub index_layout: IndexLayout,
+    /// Whether run-length sections ([`FrameKind::MaskRle`],
+    /// [`FrameKind::SparseRle`], [`FrameKind::TernaryRle`]) may be used
+    /// when they are strictly cheaper.
+    pub rle: bool,
+    /// With a lossy codec, hand each sender the *dequantized* values it
+    /// actually shipped so its error-compensation bank absorbs the codec
+    /// residual alongside the top-k residual. No effect under
+    /// [`Codec::F32`] (the shipped values are bit-exact).
+    pub quant_ec: bool,
+}
+
+impl Default for WirePolicy {
+    fn default() -> Self {
+        Self::legacy(Codec::F32)
+    }
+}
+
+impl WirePolicy {
+    /// The original v1 menu (bitmap / u32 index list, no RLE) with the
+    /// given value codec — what the deprecated `encode_*` free functions
+    /// emit.
+    #[must_use]
+    pub fn legacy(codec: Codec) -> Self {
+        Self {
+            codec,
+            index_layout: IndexLayout::Legacy,
+            rle: false,
+            quant_ec: true,
+        }
+    }
+
+    /// The full entropy menu (delta varints and run-length sections both
+    /// admissible) with the given value codec.
+    #[must_use]
+    pub fn entropy(codec: Codec) -> Self {
+        Self {
+            codec,
+            index_layout: IndexLayout::Entropy,
+            rle: true,
+            quant_ec: true,
+        }
+    }
+
+    /// `true` when only v1 layouts are admissible — frame lengths are
+    /// then data-independent (a pure `(kind, codec, dim, nnz)` function),
+    /// which is what lets callers cache or pre-price frames.
+    #[must_use]
+    pub fn is_legacy(&self) -> bool {
+        self.index_layout == IndexLayout::Legacy && !self.rle
+    }
+
+    /// The position layout the writer picks for a sparse frame over
+    /// `indices` (strictly increasing, `< dim`): the byte-cheapest
+    /// admissible kind, ties broken bitmap ≻ index ≻ delta ≻ RLE. Under
+    /// [`IndexLayout::Legacy`] without RLE this is exactly the
+    /// [`sparse_kind`](crate::sparse_kind) rule.
+    #[must_use]
+    pub fn sparse_kind(&self, dim: usize, indices: &[u32]) -> FrameKind {
+        match self.position_layout(dim, indices) {
+            PositionLayout::Bitmap => FrameKind::SparseBitmap,
+            PositionLayout::Index => FrameKind::SparseIndex,
+            PositionLayout::Delta => FrameKind::SparseDelta,
+            PositionLayout::Rle => FrameKind::SparseRle,
+        }
+    }
+
+    /// The position layout for a ternary frame — the same cost rule as
+    /// [`WirePolicy::sparse_kind`] mapped onto the ternary kinds.
+    #[must_use]
+    pub fn ternary_kind(&self, dim: usize, indices: &[u32]) -> FrameKind {
+        match self.position_layout(dim, indices) {
+            PositionLayout::Bitmap => FrameKind::TernaryBitmap,
+            PositionLayout::Index => FrameKind::TernaryIndex,
+            PositionLayout::Delta => FrameKind::TernaryDelta,
+            PositionLayout::Rle => FrameKind::TernaryRle,
+        }
+    }
+
+    /// The layout for a mask broadcast: the v1 bitmap [`FrameKind::Mask`],
+    /// or [`FrameKind::MaskRle`] when RLE is admissible and strictly
+    /// cheaper.
+    #[must_use]
+    pub fn mask_kind(&self, mask: &BitMask) -> FrameKind {
+        if self.rle && rle_section_len(mask) < mask.len().div_ceil(8) as u64 {
+            FrameKind::MaskRle
+        } else {
+            FrameKind::Mask
+        }
+    }
+
+    /// Exact position-section byte length for the sparse/ternary layout
+    /// [`WirePolicy::sparse_kind`] would pick.
+    #[must_use]
+    pub fn position_section_len(&self, dim: usize, indices: &[u32]) -> u64 {
+        match self.position_layout(dim, indices) {
+            PositionLayout::Bitmap => dim.div_ceil(8) as u64,
+            PositionLayout::Index => 4 * indices.len() as u64,
+            PositionLayout::Delta => delta_section_len(indices),
+            PositionLayout::Rle => rle_section_len_from_indices(indices),
+        }
+    }
+
+    fn position_layout(&self, dim: usize, indices: &[u32]) -> PositionLayout {
+        let mut best = PositionLayout::Bitmap;
+        let mut best_cost = dim.div_ceil(8) as u64;
+        let index_cost = 4 * indices.len() as u64;
+        if index_cost < best_cost {
+            (best, best_cost) = (PositionLayout::Index, index_cost);
+        }
+        if self.index_layout == IndexLayout::Entropy {
+            let delta_cost = delta_section_len(indices);
+            if delta_cost < best_cost {
+                (best, best_cost) = (PositionLayout::Delta, delta_cost);
+            }
+        }
+        if self.rle && rle_section_len_from_indices(indices) < best_cost {
+            best = PositionLayout::Rle;
+        }
+        best
+    }
+}
+
+/// A position-section layout, before mapping to sparse/ternary kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PositionLayout {
+    Bitmap,
+    Index,
+    Delta,
+    Rle,
+}
+
+/// Exact byte length of the delta-varint position section for `indices`
+/// (strictly increasing): `varint(ix[0])` then `varint(gap − 1)` per
+/// successor. Empty for zero indices.
+#[must_use]
+pub fn delta_section_len(indices: &[u32]) -> u64 {
+    let mut total = 0u64;
+    let mut prev: Option<u32> = None;
+    for &i in indices {
+        let v = match prev {
+            None => u64::from(i),
+            Some(p) => u64::from(i - p - 1),
+        };
+        total += varint_len(v) as u64;
+        prev = Some(i);
+    }
+    total
+}
+
+/// Exact byte length of the run-length position section for `indices`
+/// (strictly increasing): alternating zeros-run / ones-run varints,
+/// ending with the ones-run that reaches the final index (trailing zeros
+/// are implicit). Empty for zero indices.
+#[must_use]
+pub fn rle_section_len_from_indices(indices: &[u32]) -> u64 {
+    let mut total = 0u64;
+    let mut j = 0usize;
+    let mut pos = 0u64;
+    while j < indices.len() {
+        let start = u64::from(indices[j]);
+        let mut end = start + 1;
+        j += 1;
+        while j < indices.len() && u64::from(indices[j]) == end {
+            end += 1;
+            j += 1;
+        }
+        total += varint_len(start - pos) as u64;
+        total += varint_len(end - start) as u64;
+        pos = end;
+    }
+    total
+}
+
+/// Exact byte length of the run-length section serializing `mask` —
+/// the same layout as [`rle_section_len_from_indices`] over the mask's
+/// set positions.
+#[must_use]
+pub fn rle_section_len(mask: &BitMask) -> u64 {
+    let mut total = 0u64;
+    let mut pos = 0usize;
+    mask.for_each_run(|start, len| {
+        total += varint_len((start - pos) as u64) as u64;
+        total += varint_len(len as u64) as u64;
+        pos = start + len;
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_the_legacy_menu() {
+        let p = WirePolicy::default();
+        assert_eq!(p.codec, Codec::F32);
+        assert!(p.is_legacy());
+        assert!(p.quant_ec);
+        assert!(!WirePolicy::entropy(Codec::F32).is_legacy());
+    }
+
+    #[test]
+    fn legacy_policy_matches_the_v1_sparse_rule() {
+        let p = WirePolicy::default();
+        for (dim, nnz) in [(1000usize, 3usize), (1000, 400), (3200, 100), (3200, 99)] {
+            let step = (dim / nnz) as u32;
+            let indices: Vec<u32> = (0..nnz as u32).map(|i| i * step).collect();
+            assert_eq!(
+                p.sparse_kind(dim, &indices),
+                crate::frame::sparse_kind(dim, nnz),
+                "dim={dim} nnz={nnz}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_policy_picks_delta_for_scattered_sparse_indices() {
+        // 4% density, scattered: gaps ≈ 25 → 1-byte varints, far below
+        // both the bitmap (dim/8) and the 4-byte index list.
+        let dim = 100_000;
+        let indices: Vec<u32> = (0..4000u32).map(|i| i * 25).collect();
+        let p = WirePolicy::entropy(Codec::F32);
+        assert_eq!(p.sparse_kind(dim, &indices), FrameKind::SparseDelta);
+        let delta = delta_section_len(&indices);
+        assert!(delta < 4 * indices.len() as u64 / 2, "delta={delta}");
+    }
+
+    #[test]
+    fn rle_wins_for_blocky_masks_and_loses_for_scattered_ones() {
+        let dim = 10_000;
+        let blocky = BitMask::from_indices(dim, (0..dim).filter(|i| i / 500 % 2 == 0));
+        let scattered = BitMask::from_indices(dim, (0..dim).step_by(2));
+        let p = WirePolicy::entropy(Codec::F32);
+        assert_eq!(p.mask_kind(&blocky), FrameKind::MaskRle);
+        assert_eq!(p.mask_kind(&scattered), FrameKind::Mask);
+        assert_eq!(WirePolicy::default().mask_kind(&blocky), FrameKind::Mask);
+    }
+
+    #[test]
+    fn rle_lengths_agree_between_mask_and_index_forms() {
+        let dim = 4096;
+        let indices: Vec<u32> = (0..dim as u32).filter(|i| i % 37 < 11).collect();
+        let mask = BitMask::from_indices(dim, indices.iter().map(|&i| i as usize));
+        assert_eq!(
+            rle_section_len(&mask),
+            rle_section_len_from_indices(&indices)
+        );
+    }
+
+    #[test]
+    fn empty_sections_cost_nothing() {
+        assert_eq!(delta_section_len(&[]), 0);
+        assert_eq!(rle_section_len_from_indices(&[]), 0);
+        assert_eq!(rle_section_len(&BitMask::zeros(100)), 0);
+    }
+}

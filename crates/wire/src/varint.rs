@@ -1,0 +1,129 @@
+//! Canonical LEB128 varints for the entropy frame layouts.
+//!
+//! Values on the wire are all `< 2^32` (coordinate indices, index gaps,
+//! run lengths), so an encoder never emits more than 5 bytes. Decoding
+//! enforces the *canonical* (shortest) form: a multi-byte varint whose
+//! final byte is `0x00` encodes its value in more bytes than needed and
+//! is rejected as [`WireError::OverlongVarint`] — every value has exactly
+//! one valid encoding, so re-encoding a decoded frame is byte-identical.
+
+use crate::error::WireError;
+
+/// Longest admissible varint: 5 × 7 bits ≥ the 32-bit value range.
+const MAX_VARINT_BYTES: usize = 5;
+
+/// Appends the canonical LEB128 encoding of `v`.
+pub(crate) fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    debug_assert!(v >> 35 == 0, "varint value {v} exceeds 35 bits");
+    loop {
+        let b = u8::try_from(v & 0x7f).expect("masked to 7 bits");
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Byte length of the canonical LEB128 encoding of `v` (1–5 for the
+/// 32-bit value range).
+pub(crate) fn varint_len(v: u64) -> usize {
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Reads one canonical varint from `buf` at `*pos`, advancing `*pos`
+/// past it.
+///
+/// # Errors
+/// [`WireError::Truncated`] when the buffer ends mid-varint (`needed` is
+/// the minimal buffer length that could complete it),
+/// [`WireError::OverlongVarint`] for a non-canonical (padded) encoding
+/// or one longer than 5 bytes.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let start = *pos;
+    let mut v: u64 = 0;
+    for i in 0..MAX_VARINT_BYTES {
+        let Some(&b) = buf.get(start + i) else {
+            return Err(WireError::Truncated {
+                needed: start + i + 1,
+                got: buf.len(),
+            });
+        };
+        v |= u64::from(b & 0x7f) << (7 * i);
+        if b & 0x80 == 0 {
+            if i > 0 && b == 0 {
+                // A zero continuation tail means a shorter encoding
+                // exists — non-canonical.
+                return Err(WireError::OverlongVarint { offset: start });
+            }
+            *pos = start + i + 1;
+            return Ok(v);
+        }
+    }
+    Err(WireError::OverlongVarint { offset: start })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_lengths_agree() {
+        let cases: [u64; 12] = [
+            0,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            2_097_151,
+            2_097_152,
+            268_435_455,
+            268_435_456,
+            u64::from(u32::MAX),
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v, "v={v}");
+            assert_eq!(pos, buf.len(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn overlong_encodings_are_rejected() {
+        // 0 padded to two bytes; 1 padded to three.
+        for bytes in [&[0x80u8, 0x00][..], &[0x81, 0x80, 0x00][..]] {
+            let mut pos = 0;
+            assert_eq!(
+                read_varint(bytes, &mut pos),
+                Err(WireError::OverlongVarint { offset: 0 })
+            );
+        }
+        // Six continuation bytes exceed the 32-bit value range.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80; 6], &mut pos),
+            Err(WireError::OverlongVarint { offset: 0 })
+        );
+    }
+
+    #[test]
+    fn truncation_mid_varint_is_typed() {
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x80], &mut pos),
+            Err(WireError::Truncated { needed: 3, got: 2 })
+        );
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[], &mut pos),
+            Err(WireError::Truncated { needed: 1, got: 0 })
+        );
+    }
+}

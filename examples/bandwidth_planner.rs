@@ -13,7 +13,10 @@ use gluefl_sampling::analysis::{
 };
 use gluefl_tensor::wire::HEADER_BYTES;
 use gluefl_tensor::{BitMask, WireCost};
-use gluefl_wire::{Codec, Rounding};
+use gluefl_wire::{
+    decode_frame_prefix, delta_section_len, rle_section_len, Codec, FrameKind, FrameWriter,
+    Rounding, WirePolicy,
+};
 
 fn main() {
     let args: Vec<usize> = std::env::args()
@@ -104,23 +107,28 @@ fn main() {
         (
             "mask broadcast (bitmap)",
             (d as u64).div_ceil(8) + HEADER_BYTES,
-            &|buf, _| gluefl_wire::encode_mask(buf, 0, &mask),
+            &|buf, codec| FrameWriter::new(WirePolicy::legacy(codec)).mask(buf, 0, &mask),
         ),
         (
             "shared upload (aligned)",
             WireCost::known_mask(shared_vals.len()).total_bytes(),
             &|buf, codec| {
-                gluefl_wire::encode_known_mask(buf, 0, codec, Rounding::Nearest, d, &shared_vals)
+                FrameWriter::new(WirePolicy::legacy(codec)).known_mask(
+                    buf,
+                    0,
+                    Rounding::Nearest,
+                    d,
+                    &shared_vals,
+                )
             },
         ),
         (
             "unique upload (sparse)",
             WireCost::sparse(d, unique_ix.len()).total_bytes(),
             &|buf, codec| {
-                gluefl_wire::encode_sparse(
+                FrameWriter::new(WirePolicy::legacy(codec)).sparse(
                     buf,
                     0,
-                    codec,
                     Rounding::Nearest,
                     d,
                     &unique_ix,
@@ -142,5 +150,67 @@ fn main() {
         "(wire f32 equals the analytic column bit-for-bit; the quantized \
          columns shrink only the value sections — positions and framing \
          are codec-independent.)"
+    );
+
+    // --- Position layouts: fixed v1 sections vs v2 entropy sections. ---
+    // Same messages, F32 values pinned — now only the *position* encoding
+    // changes. `WirePolicy::entropy` prices every applicable section
+    // exactly (bitmap, u32 index list, delta-varint list, RLE runs) and
+    // emits the cheapest, so the measured frame is header + values +
+    // analytic section, byte for byte. Scattered supports keep the
+    // bitmap (one-bit runs make RLE *bigger*); layer-clustered supports
+    // are where RLE pays; sorted index lists nearly always shrink to
+    // delta varints.
+    let clustered = BitMask::from_indices(d, (0..d).filter(|i| i % 2048 < 328));
+    let legacy = FrameWriter::new(WirePolicy::legacy(Codec::F32));
+    let entropy = FrameWriter::new(WirePolicy::entropy(Codec::F32));
+    let layout_name = |buf: &[u8]| match decode_frame_prefix(buf).expect("valid frame").0.kind {
+        FrameKind::Mask | FrameKind::SparseBitmap => "bitmap",
+        FrameKind::SparseIndex => "u32 index",
+        FrameKind::SparseDelta => "delta-varint",
+        FrameKind::MaskRle | FrameKind::SparseRle => "rle",
+        _ => "other",
+    };
+    println!("\nposition layouts at the same d, F32 values pinned:");
+    println!(
+        "{:<28} {:>10} {:>10} {:>13} {:>17}",
+        "message", "v1 bytes", "v2 bytes", "v2 layout", "analytic section"
+    );
+    let shoot_out = |label: &str, v1: &[u8], v2: &[u8], section: u64| {
+        println!(
+            "{label:<28} {:>10} {:>10} {:>13} {:>17}",
+            v1.len(),
+            v2.len(),
+            layout_name(v2),
+            section
+        );
+        assert!(v2.len() <= v1.len(), "{label}: entropy layout regressed");
+    };
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    legacy.mask(&mut a, 0, &mask);
+    entropy.mask(&mut b, 0, &mask);
+    shoot_out("mask broadcast (scattered)", &a, &b, (d as u64).div_ceil(8));
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    legacy.mask(&mut a, 0, &clustered);
+    entropy.mask(&mut b, 0, &clustered);
+    let rle = rle_section_len(&clustered);
+    assert_eq!(b.len() as u64, HEADER_BYTES + rle, "rle frame ≠ analytic");
+    shoot_out("mask broadcast (clustered)", &a, &b, rle);
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    legacy.sparse(&mut a, 0, Rounding::Nearest, d, &unique_ix, &unique_vals);
+    entropy.sparse(&mut b, 0, Rounding::Nearest, d, &unique_ix, &unique_vals);
+    let delta = delta_section_len(&unique_ix);
+    assert_eq!(
+        b.len() as u64,
+        HEADER_BYTES + delta + 4 * unique_ix.len() as u64,
+        "delta frame ≠ analytic"
+    );
+    shoot_out("unique upload (sparse)", &a, &b, delta);
+    println!(
+        "(v2 frames stay self-describing — the decoder dispatches on the \
+         frame kind, so a v2 reader accepts both columns.)"
     );
 }

@@ -115,33 +115,56 @@ fn main() {
     );
     assert_eq!(cum_up_analytic, cum_up_wire);
 
-    // --- Accuracy vs bytes with a quantized wire codec. ---
-    // Switching `wire_codec` to QuantU8 serializes every upload (and its
-    // BN-statistic frame) at one byte per value plus a per-64-block
-    // scale, with deterministic stochastic rounding seeded per
-    // (round, client). Same data, sampling, and network randomness —
-    // only the wire representation changes.
+    // --- Accuracy vs bytes under different wire policies. ---
+    // `SimConfig::wire` carries the whole encoding policy: the value
+    // codec (F32 / F16 / QuantU8 — one byte per value plus a per-64-block
+    // scale, deterministic stochastic rounding seeded per round+client),
+    // the position-section layout (`legacy` pins the v1 bitmap/index
+    // sections; `entropy` lets the writer pick delta-varint or RLE
+    // sections when they are cheaper), and whether quantization residual
+    // feeds back into error compensation. Same data, sampling, and
+    // network randomness — only the wire representation changes.
     let compare_rounds = 20;
-    let run_with = |codec: gluefl_core::WireCodec| {
+    let run_with = |wire: gluefl_core::WirePolicy| {
         let mut c = sim.config().clone();
         c.rounds = compare_rounds;
         c.eval_every = compare_rounds;
-        c.wire_codec = codec;
+        // Keep every invited client (no over-commitment): measured frame
+        // lengths drive per-client upload times, so under keep-fastest a
+        // cheaper encoding can change which stragglers get dropped — a
+        // real effect, but here we want the policies compared on the
+        // same kept cohort so the F32 arms are bit-identical.
+        c.oc = 1.0;
+        c.wire = wire;
         let r = gluefl_core::Simulation::new(c).run();
         let up: u64 = r.rounds.iter().map(|x| x.wire_up_bytes).sum();
         (r.total.accuracy, up)
     };
-    let (acc_f32, up_f32) = run_with(gluefl_core::WireCodec::F32);
-    let (acc_q8, up_q8) = run_with(gluefl_core::WireCodec::QuantU8);
+    let (acc_f32, up_f32) = run_with(gluefl_core::WirePolicy::legacy(gluefl_core::WireCodec::F32));
+    let (acc_ent, up_ent) = run_with(gluefl_core::WirePolicy::entropy(
+        gluefl_core::WireCodec::F32,
+    ));
+    let (acc_q8, up_q8) = run_with(gluefl_core::WirePolicy::entropy(
+        gluefl_core::WireCodec::QuantU8,
+    ));
     println!(
-        "\nQuantU8 demo ({compare_rounds} rounds): f32 {:.1}% @ {:.2} MB up  |  \
-         quant-u8 {:.1}% @ {:.2} MB up ({:.0}% of the f32 bytes)",
+        "\nwire-policy demo ({compare_rounds} rounds): \
+         legacy f32 {:.1}% @ {:.2} MB up  |  \
+         entropy f32 {:.1}% @ {:.2} MB ({:.0}% of legacy)  |  \
+         entropy quant-u8 {:.1}% @ {:.2} MB ({:.0}%)",
         acc_f32 * 100.0,
         bytes_to_mb(up_f32),
+        acc_ent * 100.0,
+        bytes_to_mb(up_ent),
+        100.0 * up_ent as f64 / up_f32 as f64,
         acc_q8 * 100.0,
         bytes_to_mb(up_q8),
         100.0 * up_q8 as f64 / up_f32 as f64
     );
+    // Entropy layouts re-encode positions only; decoded values — and so
+    // the trajectory — are bit-identical to legacy F32.
+    assert_eq!(acc_f32.to_bits(), acc_ent.to_bits());
+    assert!(up_ent <= up_f32);
 
     // --- Under the hood: one client step through the public training API.
     //

@@ -14,7 +14,7 @@
 //!    feature's threaded training/aggregation (CI's parallel leg).
 
 use gluefl_compress::ApfConfig;
-use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig, WireCodec};
+use gluefl_core::{GlueFlParams, SimConfig, Simulation, StrategyConfig, WireCodec, WirePolicy};
 use gluefl_data::DatasetProfile;
 use gluefl_ml::DatasetModel;
 use gluefl_tensor::wire::HEADER_BYTES;
@@ -121,7 +121,7 @@ fn lossy_codecs_shrink_measured_bytes_and_still_train() {
             StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
             8,
         );
-        c.wire_codec = codec;
+        c.wire = WirePolicy::legacy(codec);
         let result = Simulation::new(c).run();
         for rec in &result.rounds {
             assert!(
@@ -136,6 +136,61 @@ fn lossy_codecs_shrink_measured_bytes_and_still_train() {
     }
 }
 
+/// The v2 entropy layouts (delta-varint indices, RLE mask sections) are
+/// pure re-encodings of the same positions: every decoded value is
+/// bit-identical, so the training trajectory — and therefore every
+/// accuracy sample — matches legacy F32 exactly, while the measured
+/// wire bytes only shrink (the writer keeps a v1 section whenever it is
+/// cheaper).
+///
+/// Over-commitment is pinned off (`oc = 1.0`, keep == invited): measured
+/// frame lengths deliberately drive per-client upload times, so under
+/// keep-fastest a cheaper encoding can legitimately change *which*
+/// stragglers get dropped — a real systems effect, not an encoding bug.
+/// With every invited client kept, bytes only reach the metrics, and
+/// trajectory invariance is exact rather than seed-lucky.
+#[test]
+fn entropy_layouts_keep_f32_trajectory_at_fewer_measured_bytes() {
+    let k = cfg(StrategyConfig::FedAvg, 1).round_size;
+    let run = |wire: WirePolicy| {
+        let mut c = cfg(
+            StrategyConfig::GlueFl(GlueFlParams::paper_default(k, DatasetModel::ShuffleNet)),
+            6,
+        );
+        c.oc = 1.0;
+        c.wire = wire;
+        let mut sim = Simulation::new(c);
+        (0..6).map(|_| sim.step()).collect::<Vec<_>>()
+    };
+    let legacy = run(WirePolicy::legacy(WireCodec::F32));
+    let entropy = run(WirePolicy::entropy(WireCodec::F32));
+    let mut shrunk = false;
+    for (l, e) in legacy.iter().zip(&entropy) {
+        assert_eq!(
+            l.accuracy.map(f64::to_bits),
+            e.accuracy.map(f64::to_bits),
+            "entropy layout perturbed the F32 trajectory at round {}",
+            l.round
+        );
+        assert_eq!(l.changed_positions, e.changed_positions);
+        assert_eq!(l.up_bytes, e.up_bytes, "analytic accounting must not move");
+        assert!(
+            e.wire_up_bytes <= l.wire_up_bytes,
+            "entropy upload grew at round {}: {} > {}",
+            l.round,
+            e.wire_up_bytes,
+            l.wire_up_bytes
+        );
+        assert!(
+            e.wire_broadcast_bytes <= l.wire_broadcast_bytes,
+            "entropy broadcast grew at round {}",
+            l.round
+        );
+        shrunk |= e.wire_up_bytes < l.wire_up_bytes;
+    }
+    assert!(shrunk, "entropy layouts never beat the v1 sections");
+}
+
 /// QuantU8's stochastic rounding must be a pure function of
 /// `(seed, round, client)`: two runs of the same quantized config agree
 /// bit for bit.
@@ -143,7 +198,7 @@ fn lossy_codecs_shrink_measured_bytes_and_still_train() {
 fn quantized_runs_are_reproducible() {
     let run = || {
         let mut c = cfg(StrategyConfig::Stc { q: 0.2 }, 6);
-        c.wire_codec = WireCodec::QuantU8;
+        c.wire = WirePolicy::legacy(WireCodec::QuantU8);
         let mut sim = Simulation::new(c);
         (0..6).map(|_| sim.step()).collect::<Vec<_>>()
     };
@@ -181,7 +236,7 @@ fn quantized_run_bit_identical_serial_vs_parallel() {
         set_parallel_enabled(parallel);
         let mut recs = Vec::new();
         for mut c in configs() {
-            c.wire_codec = WireCodec::QuantU8;
+            c.wire = WirePolicy::legacy(WireCodec::QuantU8);
             let mut sim = Simulation::new(c);
             for _ in 0..4 {
                 recs.push(sim.step());
