@@ -46,15 +46,21 @@
 
 use super::local_train_baseline::{baseline_local_train, pooled_local_train, BaselineMlp};
 use crate::ExptOpts;
-use gluefl_core::aggregate::{accumulate_sparse, accumulate_weighted_values};
+use gluefl_core::aggregate::{
+    accumulate_sparse, accumulate_sparse_packed, accumulate_weighted_values,
+};
+use gluefl_core::batch_local_train_into;
 use gluefl_core::ScratchPool;
 use gluefl_core::TrainSlot;
 use gluefl_data::{DatasetProfile, SyntheticFlDataset};
-use gluefl_ml::{Mlp, MlpConfig, Sgd, TrainScratch};
-use gluefl_tensor::gemm::{gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, gemm_tn, gemm_tn_ref};
+use gluefl_ml::{BatchTrainScratch, Mlp, MlpConfig, Sgd, TrainScratch};
+use gluefl_tensor::gemm::{
+    gemm_nn, gemm_nn_batch, gemm_nn_ref, gemm_nt, gemm_nt_ref, gemm_tn, gemm_tn_ref, BatchOperand,
+};
 use gluefl_tensor::rng::derive_seed;
 use gluefl_tensor::{
-    top_k_abs_masked_into, vecops, BitMask, MaskedUpdate, SparseUpdate, TopKScope, TopKScratch,
+    top_k_abs_masked_into, top_k_abs_packed_into, vecops, BitMask, MaskedUpdate, SparseUpdate,
+    TopKScope, TopKScratch,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,6 +115,30 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         });
     }
 
+    // --- pool-parallel top-k candidate pass (parallel builds only). ---
+    // The All-scope selection over the full 1M-dim vector routes its
+    // candidate pass through the work-stealing pool; the baseline is the
+    // same verbatim pre-refactor twin (an all-zeros Outside scope visits
+    // every position).
+    #[cfg(feature = "parallel")]
+    if opts.kernel_selected("topk_parallel") {
+        let zeros = BitMask::zeros(d);
+        let expected = baseline_top_k_outside(&values, k, &zeros);
+        let mut scratch = TopKScratch::with_capacity(d);
+        let got = top_k_abs_masked_into(&values, k, TopKScope::All, &mut scratch);
+        assert_eq!(got, expected.as_slice(), "parallel top-k diverged");
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || baseline_top_k_outside(&values, k, &zeros).len(),
+            || top_k_abs_masked_into(&values, k, TopKScope::All, &mut scratch).len(),
+        );
+        entries.push(Entry {
+            name: "topk_parallel",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
     // --- masked delta aggregation (Algorithm 3 lines 21–24). ---
     if opts.kernel_selected("aggregate_masked_30_clients") {
         let splits: Vec<(SparseUpdate, SparseUpdate)> = (0..clients)
@@ -149,6 +179,90 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
         );
         entries.push(Entry {
             name: "aggregate_masked_30_clients",
+            baseline_ns,
+            new_ns,
+        });
+    }
+
+    // --- packed unique aggregation + packed top-k (the O(q·d) GlueFL
+    // aggregate). Baseline: the dense-era staging — accumulate the 30
+    // clients' unique parts into a d-length buffer and run the dense
+    // top-k over it. New: accumulate straight into (support, packed)
+    // form and select over the packed pair, never touching O(d) floats.
+    // Both paths are gated for identical selections and bit-identical
+    // sums before timing. ---
+    if opts.kernel_selected("aggregate_packed_topk") {
+        let uniques: Vec<SparseUpdate> = (0..clients)
+            .map(|c| {
+                let mut crng = StdRng::seed_from_u64(opts.seed ^ 0x9a77 ^ ((c as u64) << 8));
+                let mut pairs = Vec::new();
+                for i in 0..d as u32 {
+                    if crng.gen::<f64>() < 0.04 {
+                        pairs.push((i, crng.gen_range(-1.0f32..1.0)));
+                    }
+                }
+                SparseUpdate::from_pairs(d, pairs)
+            })
+            .collect();
+        let weights: Vec<f32> = (0..clients).map(|c| 1.0 / (c + 1) as f32).collect();
+        let uentries: Vec<(f32, &SparseUpdate)> =
+            uniques.iter().zip(&weights).map(|(u, &w)| (w, u)).collect();
+        let mut pool = ScratchPool::new();
+        let mut dense_scratch = TopKScratch::with_capacity(d);
+        let mut packed_scratch = TopKScratch::new();
+        let mut support = BitMask::zeros(d);
+        let mut offsets = Vec::new();
+        let mut packed = Vec::new();
+        // Equivalence gate: same selection, bit-identical sums.
+        {
+            let dense = accumulate_sparse(&uentries, d, &mut pool);
+            let want =
+                top_k_abs_masked_into(&dense, k, TopKScope::Outside(&mask), &mut dense_scratch)
+                    .to_vec();
+            accumulate_sparse_packed(&uentries, d, &mut support, &mut offsets, &mut packed);
+            let got = top_k_abs_packed_into(
+                &support,
+                &packed,
+                k,
+                TopKScope::Outside(&mask),
+                &mut packed_scratch,
+            );
+            assert_eq!(got, want.as_slice(), "packed aggregate top-k diverged");
+            let mut r = 0usize;
+            support.for_each_one(|i| {
+                assert_eq!(
+                    packed[r].to_bits(),
+                    dense[i].to_bits(),
+                    "packed sum diverged at {i}"
+                );
+                r += 1;
+            });
+            pool.put(dense);
+        }
+        let (baseline_ns, new_ns) = time_pair_ns(
+            reps,
+            || {
+                let dense = accumulate_sparse(&uentries, d, &mut pool);
+                let n =
+                    top_k_abs_masked_into(&dense, k, TopKScope::Outside(&mask), &mut dense_scratch)
+                        .len();
+                pool.put(dense);
+                n
+            },
+            || {
+                accumulate_sparse_packed(&uentries, d, &mut support, &mut offsets, &mut packed);
+                top_k_abs_packed_into(
+                    &support,
+                    &packed,
+                    k,
+                    TopKScope::Outside(&mask),
+                    &mut packed_scratch,
+                )
+                .len()
+            },
+        );
+        entries.push(Entry {
+            name: "aggregate_packed_topk",
             baseline_ns,
             new_ns,
         });
@@ -372,19 +486,76 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
             });
         }
 
-        // Per-round: every client starts from the global weights (clone
-        // vs copy_from_slice), trains `steps` minibatches, and extracts
-        // its delta — the simulator's whole training phase.
+        // Per-round: every client starts from the global weights and
+        // trains `steps` minibatches — the simulator's whole training
+        // phase. Baseline: the clone-era per-client loop (deep model
+        // clone + fresh allocations per minibatch). New: the lockstep
+        // *batched* driver — all K clients stacked into batched GEMMs
+        // from one pooled `BatchTrainScratch`, exactly the arm
+        // `Simulation::train_invited` runs.
         if opts.kernel_selected("local_train_round") {
             let mut out_b = vec![0.0f32; dm];
             let mut stats_b = vec![0.0f32; stats_positions.len()];
-            let mut out_n = vec![0.0f32; dm];
-            let mut stats_n = vec![0.0f32; stats_positions.len()];
+            let ids: Vec<usize> = (0..clients).collect();
+            let seeds: Vec<u64> = ids
+                .iter()
+                .map(|&id| derive_seed(opts.seed, "bench-round", id as u64))
+                .collect();
+            let topo = model.topology();
+            let mut batch_scratch = BatchTrainScratch::default();
+            let mut outs: Vec<Vec<f32>> = (0..clients).map(|_| vec![0.0f32; dm]).collect();
+            let stats_len = stats_positions.len();
+            let mut stats_all = vec![0.0f32; clients * stats_len];
+            // Equivalence gate: the one-call batched driver reproduces
+            // the clone-era baseline bitwise for every client.
+            batch_local_train_into(
+                topo,
+                &global,
+                &data,
+                &ids,
+                &seeds,
+                steps,
+                batch,
+                lr,
+                momentum,
+                &mut outs,
+                &stats_positions,
+                &mut stats_all,
+                &trainable_mask,
+                &mut batch_scratch,
+            );
+            for id in 0..clients {
+                baseline_local_train(
+                    &proto,
+                    &global,
+                    &data.client(id),
+                    steps,
+                    batch,
+                    lr,
+                    momentum,
+                    seeds[id],
+                    &mut out_b,
+                    &stats_positions,
+                    &mut stats_b,
+                    &trainable_mask,
+                );
+                assert!(
+                    out_b
+                        .iter()
+                        .zip(&outs[id])
+                        .chain(
+                            stats_b
+                                .iter()
+                                .zip(&stats_all[id * stats_len..][..stats_len])
+                        )
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "batched round driver diverged for client {id}"
+                );
+            }
             let (baseline_ns, new_ns) = time_pair_ns(
                 reps,
                 || {
-                    for id in 0..clients {
-                        let seed = derive_seed(opts.seed, "bench-round", id as u64);
+                    for (id, &seed) in seeds.iter().enumerate().take(clients) {
                         baseline_local_train(
                             &proto,
                             &global,
@@ -403,25 +574,22 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
                     clients
                 },
                 || {
-                    for id in 0..clients {
-                        let seed = derive_seed(opts.seed, "bench-round", id as u64);
-                        pooled_local_train(
-                            &model,
-                            &global,
-                            &data,
-                            id,
-                            steps,
-                            batch,
-                            lr,
-                            momentum,
-                            seed,
-                            &mut out_n,
-                            &stats_positions,
-                            &mut stats_n,
-                            &trainable_mask,
-                            &mut slot,
-                        );
-                    }
+                    batch_local_train_into(
+                        topo,
+                        &global,
+                        &data,
+                        &ids,
+                        &seeds,
+                        steps,
+                        batch,
+                        lr,
+                        momentum,
+                        &mut outs,
+                        &stats_positions,
+                        &mut stats_all,
+                        &trainable_mask,
+                        &mut batch_scratch,
+                    );
                     clients
                 },
             );
@@ -583,6 +751,83 @@ fn run_gemm_entries(opts: &ExptOpts, reps: usize, entries: &mut Vec<Entry>) {
         };
         entries.push(Entry {
             name,
+            baseline_ns: batch_baseline_ns / inner as f64,
+            new_ns: batch_new_ns / inner as f64,
+        });
+    }
+
+    // Batched-client stacking: the round's 30 × (16 × 64 → 192) step-0
+    // forwards in one `gemm_nn_batch` call (shared weights → a single
+    // stacked GEMM, row-sharded across the pool under `parallel`) vs the
+    // per-client `gemm_nn` loop it replaced. Gated bit-identical.
+    if opts.kernel_selected("gemm_batch_clients") {
+        let (kclients, mb, n, kk, inner) = (30usize, 16usize, 192usize, 64usize, 8usize);
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xba7c);
+        let a: Vec<f32> = (0..kclients * mb * kk)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let w: Vec<f32> = (0..n * kk).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let bias: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut got = vec![0.0f32; kclients * mb * n];
+        let mut want = vec![0.0f32; kclients * mb * n];
+        gemm_nn_batch(
+            &a,
+            &BatchOperand::Shared(&w),
+            &BatchOperand::Shared(&bias),
+            kclients,
+            mb,
+            n,
+            kk,
+            &mut got,
+        );
+        for c in 0..kclients {
+            gemm_nn(
+                &a[c * mb * kk..][..mb * kk],
+                &w,
+                &bias,
+                mb,
+                n,
+                kk,
+                &mut want[c * mb * n..][..mb * n],
+            );
+        }
+        assert_bits_identical(&got, &want, "gemm_batch_clients");
+        let (batch_baseline_ns, batch_new_ns) = time_pair_ns(
+            reps,
+            || {
+                for _ in 0..inner {
+                    for c in 0..kclients {
+                        gemm_nn(
+                            &a[c * mb * kk..][..mb * kk],
+                            &w,
+                            &bias,
+                            mb,
+                            n,
+                            kk,
+                            &mut want[c * mb * n..][..mb * n],
+                        );
+                    }
+                }
+                want.len()
+            },
+            || {
+                for _ in 0..inner {
+                    gemm_nn_batch(
+                        &a,
+                        &BatchOperand::Shared(&w),
+                        &BatchOperand::Shared(&bias),
+                        kclients,
+                        mb,
+                        n,
+                        kk,
+                        &mut got,
+                    );
+                }
+                got.len()
+            },
+        );
+        entries.push(Entry {
+            name: "gemm_batch_clients",
             baseline_ns: batch_baseline_ns / inner as f64,
             new_ns: batch_new_ns / inner as f64,
         });
@@ -1043,7 +1288,7 @@ impl BaselineSticky {
 }
 
 /// First-cut sparse-frame encoder: the same byte layout as
-/// [`gluefl_wire::encode_sparse`] (asserted identical), written the
+/// a legacy-policy [`gluefl_wire::FrameWriter`] (asserted identical), written the
 /// naive way — fresh output and bitmap buffers each call, per-element
 /// pushes, a checksum-input copy, and the bit-at-a-time CRC.
 fn baseline_encode_sparse(round: u32, dim: usize, indices: &[u32], values: &[f32]) -> Vec<u8> {
@@ -1353,6 +1598,10 @@ mod tests {
         assert!(json.contains("gemm_tn_b16"));
         assert!(json.contains("gemm_nt_b16"));
         assert!(json.contains("gemm_nn_eval_b1024"));
+        assert!(json.contains("gemm_batch_clients"));
+        assert!(json.contains("aggregate_packed_topk"));
+        #[cfg(feature = "parallel")]
+        assert!(json.contains("topk_parallel"));
         assert!(json.contains("wire_encode_sparse"));
         assert!(json.contains("wire_decode_sparse"));
         assert!(json.contains("wire_encode_varint"));
@@ -1379,7 +1628,9 @@ mod tests {
         assert!(json.contains("gemm_tn_b16"));
         assert!(json.contains("gemm_nt_b16"));
         assert!(json.contains("gemm_nn_eval_b1024"));
+        assert!(json.contains("gemm_batch_clients"));
         assert!(!json.contains("topk_outside_16pct_mask"));
+        assert!(!json.contains("aggregate_packed_topk"));
         assert!(!json.contains("local_train_step"));
         assert!(!json.contains("wire_encode_sparse"));
         assert!(!json.contains("wire_encode_varint"));
@@ -1393,6 +1644,7 @@ mod tests {
             "{\"kernels\": [
     {\"name\": \"gemm_nn_b16\"}, {\"name\": \"gemm_tn_b16\"},
     {\"name\": \"gemm_nt_b16\"}, {\"name\": \"gemm_nn_eval_b1024\"},
+    {\"name\": \"gemm_batch_clients\"},
     {\"name\": \"topk_outside_16pct_mask\"}]}",
         )
         .unwrap();

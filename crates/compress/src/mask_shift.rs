@@ -16,7 +16,8 @@
 
 use crate::stc::keep_count;
 use gluefl_tensor::{
-    top_k_abs_masked, top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope, TopKScratch,
+    top_k_abs_masked, top_k_abs_masked_into, top_k_abs_packed_into, BitMask, SparseUpdate,
+    TopKScope, TopKScratch,
 };
 
 /// A client's two-part masked upload (Algorithm 3 lines 16–17).
@@ -125,6 +126,39 @@ pub fn shift_mask_into(
     }
 }
 
+/// [`shift_mask_into`] over a *packed* combined update: `support` holds
+/// the aggregate's support and `packed` its values at the set positions in
+/// ascending order (exact zeros everywhere else). Selects the same next
+/// mask as densifying and calling [`shift_mask_into`] — pinned bitwise by
+/// the tests here — while scanning only `O(|support| + d/64)` instead of
+/// `O(d)` keys.
+///
+/// # Panics
+/// Panics if `packed.len()` differs from the support popcount, `q_shr` is
+/// outside `[0, 1]`, or `eligible` has a different length.
+pub fn shift_mask_packed_into(
+    support: &BitMask,
+    packed: &[f32],
+    q_shr: f64,
+    eligible: Option<&BitMask>,
+    scratch: &mut TopKScratch,
+    out: &mut BitMask,
+) {
+    let dim = support.len();
+    let k = keep_count(dim, q_shr);
+    let idx = match eligible {
+        Some(e) => {
+            assert_eq!(e.len(), dim, "eligible mask length mismatch");
+            top_k_abs_packed_into(support, packed, k, TopKScope::Inside(e), scratch)
+        }
+        None => top_k_abs_packed_into(support, packed, k, TopKScope::All, scratch),
+    };
+    out.reset(dim);
+    for &i in idx {
+        out.set(i, true);
+    }
+}
+
 /// Mask regeneration (§3.3): rebuild the shared mask from the *unique*
 /// aggregate only, as if `q_shr = 0` that round — the mask is re-seeded
 /// from fresh locally-important coordinates rather than shifted.
@@ -213,6 +247,53 @@ mod tests {
         let mut out = BitMask::ones(3);
         shift_mask_into(&combined, 0.25, None, &mut scratch, &mut out);
         assert_eq!(out, shift_mask(&combined, 0.25, None));
+    }
+
+    /// The packed shift must select exactly the mask the dense shift
+    /// selects on the densified vector — across sparse supports, heavy
+    /// ties, zero fill-up (k larger than the support), and an eligibility
+    /// restriction.
+    #[test]
+    fn packed_shift_matches_dense_shift() {
+        let dim = 300;
+        let mut scratch = TopKScratch::new();
+        for (trial, q_shr) in [(0u64, 0.05), (1, 0.2), (2, 0.5), (3, 0.9)] {
+            // Deterministic pseudo-random support + values with ties.
+            let mut support = BitMask::zeros(dim);
+            let mut packed = Vec::new();
+            let mut dense = vec![0.0f32; dim];
+            for (i, slot) in dense.iter_mut().enumerate() {
+                let h = (i as u64).wrapping_mul(2654435761).wrapping_add(trial * 97);
+                if h.is_multiple_of(5) {
+                    let v = ((h % 13) as f32 - 6.0) / 4.0; // quantized → ties
+                    support.set(i, true);
+                    packed.push(v);
+                    *slot = v;
+                }
+            }
+            for eligible in [
+                None,
+                Some(BitMask::from_indices(dim, (0..dim).filter(|i| i % 3 != 0))),
+            ] {
+                let mut want = BitMask::zeros(dim);
+                shift_mask_into(&dense, q_shr, eligible.as_ref(), &mut scratch, &mut want);
+                let mut got = BitMask::ones(7); // dirty, wrong size
+                shift_mask_packed_into(
+                    &support,
+                    &packed,
+                    q_shr,
+                    eligible.as_ref(),
+                    &mut scratch,
+                    &mut got,
+                );
+                assert_eq!(
+                    got,
+                    want,
+                    "trial {trial} q_shr {q_shr} eligible {}",
+                    eligible.is_some()
+                );
+            }
+        }
     }
 
     #[test]

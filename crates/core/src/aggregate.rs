@@ -34,7 +34,7 @@
 
 use crate::scratch::ScratchPool;
 use crate::strategies::Upload;
-use gluefl_tensor::{vecops, SparseUpdate};
+use gluefl_tensor::{vecops, BitMask, SparseUpdate};
 
 /// Entry payloads the aggregation kernels can replay over a position
 /// range. Implementations must make `add_scaled_range(out, s, lo)`
@@ -113,6 +113,155 @@ pub fn accumulate_weighted_values(
     acc
 }
 
+/// Rebuilds `offsets` as the per-word packed-rank prefix of `support`
+/// (`offsets[w]` = number of set bits strictly before word `w`) and
+/// returns the total popcount. With it, [`packed_rank`] locates any set
+/// position's packed rank in O(1).
+fn build_rank_offsets(support: &BitMask, offsets: &mut Vec<u32>) -> usize {
+    let words = support.as_words();
+    offsets.clear();
+    offsets.reserve(words.len());
+    let mut rank = 0u32;
+    for &w in words {
+        offsets.push(rank);
+        rank += w.count_ones();
+    }
+    rank as usize
+}
+
+/// Packed rank of set position `i`: set bits before it in earlier words
+/// (the prefix) plus set bits below it inside its own word.
+#[inline]
+pub(crate) fn packed_rank(words: &[u64], offsets: &[u32], i: usize) -> usize {
+    (offsets[i >> 6] + (words[i >> 6] & ((1u64 << (i & 63)) - 1)).count_ones()) as usize
+}
+
+/// Accumulates `Σ wᵢ · sparseᵢ` directly in packed `(support, values)`
+/// form — `O(Σ nnzᵢ + d/64)` instead of the `O(d)` of staging through a
+/// dense buffer. `support` becomes the union of the entries' supports,
+/// `out[r]` the sum at the `r`-th set position, and `offsets` is left
+/// holding the support's rank prefix (callers can reuse it with
+/// [`BitMask::as_words`] for further O(1) rank lookups).
+///
+/// Bit-identical to densifying: every packed position receives its
+/// contributions as `+= w·v` in entry order starting from `+0.0`, exactly
+/// the adds [`accumulate_sparse`] performs at that position.
+///
+/// # Panics
+/// Panics if an entry holds a position at or above `dim`.
+pub fn accumulate_sparse_packed(
+    entries: &[(f32, &SparseUpdate)],
+    dim: usize,
+    support: &mut BitMask,
+    offsets: &mut Vec<u32>,
+    out: &mut Vec<f32>,
+) {
+    support.reset(dim);
+    for (_, u) in entries {
+        for &i in u.indices() {
+            support.set(i as usize, true);
+        }
+    }
+    let total = build_rank_offsets(support, offsets);
+    out.clear();
+    out.resize(total, 0.0);
+    let words = support.as_words();
+    if dim <= SHARD || entries.len() <= 1 {
+        for (w, u) in entries {
+            for (&i, &v) in u.indices().iter().zip(u.values()) {
+                out[packed_rank(words, offsets, i as usize)] += *w * v;
+            }
+        }
+        return;
+    }
+    // Shard by position range, like the dense driver below: each shard's
+    // accumulator window, mask words, and rank prefix stay cache-resident
+    // while every entry's in-range coordinates stream through — instead
+    // of each entry walking the whole packed accumulator in turn. An
+    // entry's indices are sorted, so one cursor per entry advances
+    // monotonically across shards. A position lives in exactly one shard
+    // and shards replay entries in order, so per position the adds still
+    // land in entry order: bit-identical to the plain loop.
+    let mut cursors = vec![0usize; entries.len()];
+    let mut lo = 0;
+    while lo < dim {
+        let hi = (lo + SHARD).min(dim);
+        for ((w, u), cur) in entries.iter().zip(&mut cursors) {
+            let idx = u.indices();
+            let vals = u.values();
+            while *cur < idx.len() && (idx[*cur] as usize) < hi {
+                out[packed_rank(words, offsets, idx[*cur] as usize)] += *w * vals[*cur];
+                *cur += 1;
+            }
+        }
+        lo = hi;
+    }
+}
+
+/// Streaming twin of [`accumulate_sparse_packed`]: scatters pre-weighted
+/// addends recorded as flat `(position, addend)` streams (entries
+/// concatenated in fold order) into packed form. Per packed position the
+/// adds replay in stream order from `+0.0`, so folding `w·v` pairs here is
+/// bit-identical to the dense `acc[i] += w·v` loop.
+///
+/// # Panics
+/// Panics if the streams' lengths differ or a position is at or above
+/// `dim`.
+pub fn scatter_add_packed(
+    indices: &[u32],
+    addends: &[f32],
+    dim: usize,
+    support: &mut BitMask,
+    offsets: &mut Vec<u32>,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(
+        indices.len(),
+        addends.len(),
+        "position/addend stream mismatch"
+    );
+    support.reset(dim);
+    for &i in indices {
+        support.set(i as usize, true);
+    }
+    let total = build_rank_offsets(support, offsets);
+    out.clear();
+    out.resize(total, 0.0);
+    let words = support.as_words();
+    if dim <= SHARD {
+        for (&i, &t) in indices.iter().zip(addends) {
+            out[packed_rank(words, offsets, i as usize)] += t;
+        }
+        return;
+    }
+    // The stream is a concatenation of strictly ascending runs (one per
+    // folded entry). Split it at the descents, then shard by position
+    // range exactly as in [`accumulate_sparse_packed`]: per shard the
+    // runs replay in stream order and a position occurs at most once per
+    // run, so every position's adds keep their stream order bit-for-bit.
+    // Two adjacent runs that happen to stay ascending across the seam
+    // merge harmlessly — the merged run is still strictly ascending.
+    let mut runs = vec![0usize];
+    for k in 1..indices.len() {
+        if indices[k] <= indices[k - 1] {
+            runs.push(k);
+        }
+    }
+    let mut cursors = runs.clone();
+    runs.push(indices.len());
+    let mut lo = 0;
+    while lo < dim {
+        let hi = (lo + SHARD).min(dim);
+        for (cur, &end) in cursors.iter_mut().zip(&runs[1..]) {
+            while *cur < end && (indices[*cur] as usize) < hi {
+                out[packed_rank(words, offsets, indices[*cur] as usize)] += addends[*cur];
+                *cur += 1;
+            }
+        }
+        lo = hi;
+    }
+}
+
 /// Positions per cache shard (16Ki × 4B = 64KiB of accumulator): small
 /// enough to stay cache-resident while every client's in-range entries
 /// are replayed over it.
@@ -140,7 +289,11 @@ pub fn accumulate_into<T: RangeAddable>(entries: &[(f32, T)], acc: &mut [f32]) {
     #[cfg(feature = "parallel")]
     {
         // The early return above already filtered accumulators of at most
-        // one shard, so anything here is large enough to thread.
+        // one shard, so anything here is large enough to thread. Each
+        // 64KiB shard is one pool job: the work-stealing deques balance
+        // shards whose sparse entry density differs, and since shards are
+        // disjoint and each replays entries in order, the schedule cannot
+        // change any position's contribution order.
         if parallel_enabled() {
             let threads = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -149,19 +302,11 @@ pub fn accumulate_into<T: RangeAddable>(entries: &[(f32, T)], acc: &mut [f32]) {
                 // exercised even on single-core machines; the result
                 // cannot depend on the worker count by construction.
                 .max(2);
-            let nshards = acc.len().div_ceil(SHARD);
-            let chunk = nshards.div_ceil(threads) * SHARD;
-            std::thread::scope(|s| {
-                for (t, slice) in acc.chunks_mut(chunk).enumerate() {
-                    let base = t * chunk;
-                    s.spawn(move || {
-                        for (i, out) in slice.chunks_mut(SHARD).enumerate() {
-                            let lo = base + i * SHARD;
-                            for (w, entry) in entries {
-                                entry.add_scaled_range(out, *w, lo);
-                            }
-                        }
-                    });
+            let jobs: Vec<(usize, &mut [f32])> = acc.chunks_mut(SHARD).enumerate().collect();
+            gluefl_pool::run(threads, jobs, |(t, out): (usize, &mut [f32])| {
+                let lo = t * SHARD;
+                for (w, entry) in entries {
+                    entry.add_scaled_range(out, *w, lo);
                 }
             });
             return;
@@ -298,6 +443,80 @@ mod tests {
         let serial = accumulate_uploads(&entries, dim, &mut pool);
         set_parallel_enabled(true);
         assert_eq!(threaded, serial);
+    }
+
+    /// The packed accumulation must equal the dense accumulation exactly:
+    /// same union support, and at every set position the same bits as the
+    /// dense accumulator (including cancellations to ±0.0).
+    #[test]
+    fn packed_accumulation_matches_dense_bitwise() {
+        let dim = 5000;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 9] {
+            let updates: Vec<SparseUpdate> = (0..n)
+                .map(|_| {
+                    let mut pairs: Vec<(u32, f32)> = Vec::new();
+                    for i in 0..dim as u32 {
+                        if rng.gen::<f64>() < 0.05 {
+                            pairs.push((i, rng.gen_range(-1.0..1.0)));
+                        }
+                    }
+                    SparseUpdate::from_pairs(dim, pairs)
+                })
+                .collect();
+            let entries: Vec<(f32, &SparseUpdate)> = updates
+                .iter()
+                .enumerate()
+                .map(|(i, u)| (((i + 1) as f32).sin(), u))
+                .collect();
+            let mut pool = ScratchPool::new();
+            let dense = accumulate_sparse(&entries, dim, &mut pool);
+
+            let mut support = BitMask::zeros(dim);
+            let mut offsets = Vec::new();
+            let mut packed = Vec::new();
+            accumulate_sparse_packed(&entries, dim, &mut support, &mut offsets, &mut packed);
+            assert_eq!(support.count_ones(), packed.len());
+            let mut r = 0;
+            for (i, &dv) in dense.iter().enumerate() {
+                if support.get(i) {
+                    assert_eq!(
+                        dv.to_bits(),
+                        packed[r].to_bits(),
+                        "bit mismatch at position {i} (n={n})"
+                    );
+                    r += 1;
+                } else {
+                    assert_eq!(dv.to_bits(), 0.0f32.to_bits(), "dense nonzero off-support");
+                }
+            }
+
+            // The streaming form over the concatenated (index, w·v) pairs
+            // must land on exactly the same packed sum.
+            let mut idx_stream: Vec<u32> = Vec::new();
+            let mut val_stream: Vec<f32> = Vec::new();
+            for (w, u) in &entries {
+                idx_stream.extend_from_slice(u.indices());
+                for &v in u.values() {
+                    val_stream.push(*w * v);
+                }
+            }
+            let mut support2 = BitMask::zeros(dim);
+            let mut packed2 = Vec::new();
+            scatter_add_packed(
+                &idx_stream,
+                &val_stream,
+                dim,
+                &mut support2,
+                &mut offsets,
+                &mut packed2,
+            );
+            assert_eq!(support2, support);
+            assert!(packed
+                .iter()
+                .zip(&packed2)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use gluefl_wire::Codec as WireCodec;
 pub use gluefl_wire::{IndexLayout, WirePolicy};
 pub use metrics::{CumulativeMetrics, RoundRecord, RunResult};
 pub use scratch::{ScratchPool, TrainSlot};
-pub use simulator::{local_train_into, run_strategy, Simulation};
+pub use simulator::{batch_local_train_into, local_train_into, run_strategy, Simulation};
 pub use staleness::StalenessTracker;

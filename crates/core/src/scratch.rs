@@ -33,7 +33,7 @@
 //! parallel sections take the buffers they need up front.
 
 use crate::strategies::Upload;
-use gluefl_ml::TrainScratch;
+use gluefl_ml::{BatchTrainScratch, TrainScratch};
 use gluefl_tensor::{BitMask, MaskedUpdate, TopKScratch};
 
 /// Upper bound on idle buffers kept per arena (the round working set is
@@ -67,6 +67,7 @@ pub struct ScratchPool {
     free_indices: Vec<Vec<u32>>,
     free_masks: Vec<BitMask>,
     free_train: Vec<TrainSlot>,
+    free_batch_train: Vec<BatchTrainScratch>,
     free_bytes: Vec<Vec<u8>>,
     free_signs: Vec<Vec<bool>>,
 }
@@ -242,6 +243,30 @@ impl ScratchPool {
         if self.free_train.len() < MAX_IDLE {
             self.free_train.push(slot);
         }
+    }
+
+    /// Hands out the lockstep batched-training workspace (stacked
+    /// per-client parameter/velocity/gradient blocks and activations; see
+    /// [`gluefl_ml::BatchTrainScratch`]), recycling a returned one when
+    /// available.
+    #[must_use]
+    pub fn take_batch_train(&mut self) -> BatchTrainScratch {
+        self.free_batch_train.pop().unwrap_or_default()
+    }
+
+    /// Returns a batched-training workspace to the pool for reuse.
+    pub fn put_batch_train(&mut self, scratch: BatchTrainScratch) {
+        if self.free_batch_train.len() < MAX_IDLE {
+            self.free_batch_train.push(scratch);
+        }
+    }
+
+    /// Largest capacity among the pooled idle `f32` value buffers. Lets
+    /// tests assert an aggregation path returned only `O(q·d)` staging to
+    /// the pool — i.e. never materialised a dense `d`-length buffer.
+    #[must_use]
+    pub fn max_idle_value_capacity(&self) -> usize {
+        self.free.iter().map(Vec::capacity).max().unwrap_or(0)
     }
 
     /// Number of idle training slots currently pooled.

@@ -28,9 +28,9 @@
 //! buffer + [`gluefl_ml::TrainScratch`]), so a client "clone" is a
 //! `copy_from_slice` and every minibatch step reuses warm activation,
 //! cache, gradient, and velocity buffers (see [`local_train_into`]).
-//! Under the `parallel` feature the client loop is sharded across
-//! `std::thread::scope` workers; results are bit-identical to serial
-//! execution because every client's RNG is derived from
+//! Under the `parallel` feature the client loop is sharded across the
+//! vendored [`gluefl_pool`] work-stealing pool; results are bit-identical
+//! to serial execution because every client's RNG is derived from
 //! `(seed, round, client)` rather than thread schedule.
 
 use crate::config::{SimConfig, StrategyConfig};
@@ -40,7 +40,7 @@ use crate::staleness::StalenessTracker;
 use crate::strategies::{build_strategy, Group, Strategy, Upload};
 use crate::wire_link;
 use gluefl_data::SyntheticFlDataset;
-use gluefl_ml::{Mlp, MlpTopology};
+use gluefl_ml::{BatchTrainScratch, Mlp, MlpTopology};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
 use gluefl_net::{LazyAvailability, LinkCache, SpeedCache};
 use gluefl_sampling::AllOnline;
@@ -606,13 +606,15 @@ impl Simulation {
         1
     }
 
-    /// Trains every invited client locally — sharded across worker
-    /// threads under the `parallel` feature, serial otherwise, with
-    /// bit-identical results either way — writing trainable deltas into
-    /// recycled buffers (invitation order) and the BN-statistic drift
-    /// into `stats_saved` (`invited × stats` flat). Each worker reuses
-    /// one pooled [`TrainSlot`], so steady-state training allocates
-    /// nothing per minibatch step.
+    /// Trains every invited client locally — client-sharded across worker
+    /// threads under the `parallel` feature, in lockstep through the
+    /// batched-client GEMM path ([`batch_local_train_into`]) otherwise,
+    /// with bit-identical results either way — writing trainable deltas
+    /// into recycled buffers (invitation order) and the BN-statistic
+    /// drift into `stats_saved` (`invited × stats` flat). Each worker
+    /// reuses one pooled [`TrainSlot`] (or the pooled
+    /// [`BatchTrainScratch`]), so steady-state training allocates nothing
+    /// per minibatch step.
     fn train_invited(
         &mut self,
         invited: &[(usize, Group)],
@@ -669,7 +671,34 @@ impl Simulation {
         // stats slices are carved by index — zipping with
         // `stats_saved.chunks_mut(..)` would silently yield zero
         // iterations for models without BN statistics (empty slice).
-        if threads <= 1 || invited.len() <= 1 {
+        if threads <= 1 && invited.len() > 1 {
+            // Lockstep batched path: one stacked GEMM per layer across all
+            // invited clients (shared weights at step 0, per-client tiles
+            // after), bit-identical to the per-client loop below.
+            let ids: Vec<usize> = invited.iter().map(|&(id, _)| id).collect();
+            let client_seeds: Vec<u64> = ids
+                .iter()
+                .map(|&id| derive_seed(seed, "local-train", (u64::from(round) << 32) | id as u64))
+                .collect();
+            let mut batch_scratch = self.scratch.take_batch_train();
+            batch_local_train_into(
+                topo,
+                global,
+                data,
+                &ids,
+                &client_seeds,
+                cfg.local_steps,
+                cfg.batch_size,
+                lr,
+                cfg.momentum,
+                &mut results,
+                stats_positions,
+                stats_saved,
+                trainable_mask,
+                &mut batch_scratch,
+            );
+            self.scratch.put_batch_train(batch_scratch);
+        } else if threads <= 1 || invited.len() <= 1 {
             let slot = slots.first_mut().expect("at least one train slot");
             for (i, (inv, out)) in invited.iter().zip(&mut results).enumerate() {
                 worker(
@@ -682,31 +711,42 @@ impl Simulation {
         } else {
             #[cfg(feature = "parallel")]
             {
+                // One job per (client chunk, train slot): each job owns
+                // its slot, so the pool's workers never share mutable
+                // training state, and every client is internally serial —
+                // bit-identical to the serial loop for any schedule.
                 let chunk = invited.len().div_ceil(threads);
-                std::thread::scope(|s| {
-                    let worker = &worker;
-                    let mut stats_rest: &mut [f32] = stats_saved;
-                    for ((res_chunk, inv_chunk), slot) in results
-                        .chunks_mut(chunk)
-                        .zip(invited.chunks(chunk))
-                        .zip(&mut slots)
-                    {
-                        let take = res_chunk.len() * stats_len;
-                        let (stats_chunk, rest) =
-                            std::mem::take(&mut stats_rest).split_at_mut(take);
-                        stats_rest = rest;
-                        s.spawn(move || {
-                            for (j, (out, inv)) in res_chunk.iter_mut().zip(inv_chunk).enumerate() {
-                                worker(
-                                    inv,
-                                    out,
-                                    &mut stats_chunk[j * stats_len..(j + 1) * stats_len],
-                                    slot,
-                                );
-                            }
-                        });
-                    }
-                });
+                let mut jobs = Vec::with_capacity(threads);
+                let mut stats_rest: &mut [f32] = stats_saved;
+                for ((res_chunk, inv_chunk), slot) in results
+                    .chunks_mut(chunk)
+                    .zip(invited.chunks(chunk))
+                    .zip(&mut slots)
+                {
+                    let take = res_chunk.len() * stats_len;
+                    let (stats_chunk, rest) = std::mem::take(&mut stats_rest).split_at_mut(take);
+                    stats_rest = rest;
+                    jobs.push((res_chunk, inv_chunk, stats_chunk, slot));
+                }
+                gluefl_pool::run(
+                    threads,
+                    jobs,
+                    |(res_chunk, inv_chunk, stats_chunk, slot): (
+                        &mut [Vec<f32>],
+                        _,
+                        &mut [f32],
+                        &mut TrainSlot,
+                    )| {
+                        for (j, (out, inv)) in res_chunk.iter_mut().zip(inv_chunk).enumerate() {
+                            worker(
+                                inv,
+                                out,
+                                &mut stats_chunk[j * stats_len..(j + 1) * stats_len],
+                                slot,
+                            );
+                        }
+                    },
+                );
             }
             #[cfg(not(feature = "parallel"))]
             unreachable!("train_threads() returns 1 without the parallel feature");
@@ -794,6 +834,143 @@ pub fn local_train_into(
         *s = params[p] - global[p];
     }
     vecops::masked_sub_into(out, params, global, trainable_mask);
+}
+
+/// Trains `ids.len()` clients in lockstep through the batched-client GEMM
+/// kernels, bit-identical to calling [`local_train_into`] once per client.
+///
+/// All invited clients of a round start from the same `global` parameters
+/// and run the same number of local steps, so their per-layer GEMMs can be
+/// stacked: step 0 runs one `(K·mb) × in_dim` multiply against the shared
+/// weight matrix, later steps read each client's weight tile from the
+/// stacked parameter block (see [`gluefl_ml::BatchTrainScratch`]). Each
+/// client's minibatch stream comes from its own RNG seeded with
+/// `seeds[c]`, so the samples — and therefore the whole trajectory — match
+/// the serial path draw for draw. Outputs are written exactly as the
+/// serial path writes them: `outs[c]` gets the trainable delta via the
+/// fused masked subtraction and `stats_saved` the flat `K × stats`
+/// BN-statistic drift.
+///
+/// Clients run in blocks of eight (`CLIENT_BLOCK`): each block finishes all its
+/// steps before the next begins, so one block's stacked
+/// parameter/velocity/gradient state stays cache-resident per step
+/// instead of the whole cohort's cycling through every step. Blocking
+/// cannot change any bits — clients never share an accumulator, and each
+/// block replays exactly the per-client work in the same order.
+///
+/// # Panics
+/// Panics if `ids`, `seeds`, and `outs` disagree in length, `ids` is
+/// empty, `lr <= 0`, `momentum` is outside `[0, 1)`, or
+/// `stats_saved.len() != ids.len() * stats_positions.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_local_train_into(
+    topo: &MlpTopology,
+    global: &[f32],
+    data: &SyntheticFlDataset,
+    ids: &[usize],
+    seeds: &[u64],
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    outs: &mut [Vec<f32>],
+    stats_positions: &[usize],
+    stats_saved: &mut [f32],
+    trainable_mask: &gluefl_tensor::BitMask,
+    scratch: &mut BatchTrainScratch,
+) {
+    assert!(lr > 0.0, "learning rate must be positive");
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+    assert!(!ids.is_empty(), "need at least one client");
+    assert_eq!(seeds.len(), ids.len(), "one seed per client");
+    assert_eq!(outs.len(), ids.len(), "one delta buffer per client");
+    let stats_len = stats_positions.len();
+    assert_eq!(
+        stats_saved.len(),
+        ids.len() * stats_len,
+        "stats buffer/positions length mismatch"
+    );
+    let mut outs = outs;
+    let mut stats_saved = stats_saved;
+    let mut at = 0;
+    while at < ids.len() {
+        let bl = (ids.len() - at).min(CLIENT_BLOCK);
+        let (out_block, outs_rest) = outs.split_at_mut(bl);
+        let (stats_block, stats_rest) = stats_saved.split_at_mut(bl * stats_len);
+        batch_train_block(
+            topo,
+            global,
+            data,
+            &ids[at..at + bl],
+            &seeds[at..at + bl],
+            steps,
+            batch,
+            lr,
+            momentum,
+            out_block,
+            stats_positions,
+            stats_block,
+            trainable_mask,
+            scratch,
+        );
+        outs = outs_rest;
+        stats_saved = stats_rest;
+        at += bl;
+    }
+}
+
+/// Clients per lockstep block of [`batch_local_train_into`]. Eight keeps
+/// a block's stacked parameter, velocity, and gradient state within a
+/// per-core cache footprint while still feeding the batched kernels
+/// enough rows to stack.
+const CLIENT_BLOCK: usize = 8;
+
+#[allow(clippy::too_many_arguments)]
+fn batch_train_block(
+    topo: &MlpTopology,
+    global: &[f32],
+    data: &SyntheticFlDataset,
+    ids: &[usize],
+    seeds: &[u64],
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    momentum: f32,
+    outs: &mut [Vec<f32>],
+    stats_positions: &[usize],
+    stats_saved: &mut [f32],
+    trainable_mask: &gluefl_tensor::BitMask,
+    scratch: &mut BatchTrainScratch,
+) {
+    let stats_len = stats_positions.len();
+    scratch.begin(topo, global, ids.len(), batch);
+    let row = batch * topo.config().input_dim;
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    // Materialise every client's local dataset once — `data.client` is a
+    // full synthesis pass, so calling it per step would dominate the
+    // round.
+    let datasets: Vec<_> = ids.iter().map(|&id| data.client(id)).collect();
+    // `sample_batch_into` clears its buffers, so each client samples into
+    // a reused staging pair that is then copied into the client's block of
+    // the stacked minibatch.
+    let mut bx: Vec<f32> = Vec::new();
+    let mut by: Vec<usize> = Vec::new();
+    for s in 0..steps {
+        for ((c, rng), ds) in rngs.iter_mut().enumerate().zip(&datasets) {
+            ds.sample_batch_into(rng, batch, &mut bx, &mut by);
+            scratch.batch_x[c * row..(c + 1) * row].copy_from_slice(&bx);
+            scratch.batch_y[c * batch..(c + 1) * batch].copy_from_slice(&by);
+        }
+        scratch.step(topo, s, lr, momentum);
+    }
+    for (c, out) in outs.iter_mut().enumerate() {
+        let params = scratch.client_params(topo, c);
+        let stats_out = &mut stats_saved[c * stats_len..(c + 1) * stats_len];
+        for (st, &p) in stats_out.iter_mut().zip(stats_positions) {
+            *st = params[p] - global[p];
+        }
+        vecops::masked_sub_into(out, params, global, trainable_mask);
+    }
 }
 
 /// Convenience: run one strategy under a config, returning its result.
@@ -1008,6 +1185,89 @@ mod tests {
         assert_eq!(reused.params.as_ptr(), params_ptr);
         assert_eq!(reused.scratch.batch_x.as_ptr(), batch_x_ptr);
         assert_eq!(reused.scratch.batch_y.as_ptr(), batch_y_ptr);
+    }
+
+    /// The lockstep batched-client driver must be bit-identical to one
+    /// [`local_train_into`] call per client — trainable deltas and
+    /// BN-statistic drift alike — for BN on and off, one client and many,
+    /// and across scratch reuse between rounds of different sizes.
+    #[test]
+    fn batched_round_driver_matches_per_client_serial_bitwise() {
+        use gluefl_tensor::rng::derive_seed;
+        let mut batch_scratch = BatchTrainScratch::new(); // reused across all shapes
+        for batch_norm in [false, true] {
+            let mut cfg = tiny_cfg(StrategyConfig::FedAvg);
+            cfg.model.batch_norm = batch_norm;
+            let sim = Simulation::new(cfg.clone());
+            let topo = sim.model().topology();
+            let dim = sim.model().num_params();
+            let global = sim.model().params().to_vec();
+            let mask = sim.model().layout().trainable_mask();
+            let stats: Vec<usize> = mask.not().iter_ones().collect();
+            for clients in [1usize, 3, 7] {
+                let ids: Vec<usize> = (0..clients).collect();
+                let seeds: Vec<u64> = ids
+                    .iter()
+                    .map(|&id| derive_seed(cfg.seed, "local-train", id as u64))
+                    .collect();
+                let mut slot = TrainSlot::default();
+                let mut want = Vec::new();
+                let mut want_stats = vec![0.0f32; clients * stats.len()];
+                for (c, (&id, &seed)) in ids.iter().zip(&seeds).enumerate() {
+                    let mut out = vec![0.0f32; dim];
+                    local_train_into(
+                        topo,
+                        &global,
+                        sim.data(),
+                        id,
+                        cfg.local_steps,
+                        cfg.batch_size,
+                        0.05,
+                        cfg.momentum,
+                        seed,
+                        &mut out,
+                        &stats,
+                        &mut want_stats[c * stats.len()..(c + 1) * stats.len()],
+                        &mask,
+                        &mut slot,
+                    );
+                    want.push(out);
+                }
+                let mut got: Vec<Vec<f32>> = (0..clients).map(|_| vec![0.0f32; dim]).collect();
+                let mut got_stats = vec![0.0f32; clients * stats.len()];
+                batch_local_train_into(
+                    topo,
+                    &global,
+                    sim.data(),
+                    &ids,
+                    &seeds,
+                    cfg.local_steps,
+                    cfg.batch_size,
+                    0.05,
+                    cfg.momentum,
+                    &mut got,
+                    &stats,
+                    &mut got_stats,
+                    &mask,
+                    &mut batch_scratch,
+                );
+                for (c, (w, g)) in want.iter().zip(&got).enumerate() {
+                    assert!(
+                        w.iter()
+                            .zip(g.iter())
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "delta diverged for client {c} (bn={batch_norm}, K={clients})"
+                    );
+                }
+                assert!(
+                    want_stats
+                        .iter()
+                        .zip(&got_stats)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "BN statistic drift diverged (bn={batch_norm}, K={clients})"
+                );
+            }
+        }
     }
 
     #[test]

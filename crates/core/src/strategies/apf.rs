@@ -158,6 +158,7 @@ impl Strategy for ApfStrategy {
         FoldAcc {
             dense: None,
             packed: Some(scratch.take_zeroed(self.active.count_ones())),
+            indices: None,
             count: 0,
         }
     }

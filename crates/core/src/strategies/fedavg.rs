@@ -97,6 +97,7 @@ impl Strategy for FedAvgStrategy {
         FoldAcc {
             dense: Some(scratch.take_zeroed(self.dim)),
             packed: None,
+            indices: None,
             count: 0,
         }
     }

@@ -1,15 +1,20 @@
 //! GlueFL: sticky sampling + mask shifting (Algorithm 3).
 
 use super::{bitmap_bytes, FoldAcc, Group, RoundPlan, Strategy, Upload};
-use crate::aggregate::{accumulate_into, accumulate_sparse, accumulate_weighted_values};
+use crate::aggregate::{
+    accumulate_into, accumulate_sparse_packed, accumulate_weighted_values, packed_rank,
+    scatter_add_packed,
+};
 use crate::config::GlueFlParams;
 use crate::scratch::ScratchPool;
-use gluefl_compress::mask_shift::{shift_mask_into, ClientSplit};
+use gluefl_compress::mask_shift::{shift_mask_packed_into, ClientSplit};
 use gluefl_compress::stc::keep_count;
 use gluefl_compress::ErrorCompensator;
 use gluefl_sampling::overcommit::{plan as oc_plan, OcStrategy};
 use gluefl_sampling::{sticky_weights, ClientId, OnlineQuery, StickySampler};
-use gluefl_tensor::{top_k_abs_masked_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope};
+use gluefl_tensor::{
+    top_k_abs_masked_into, top_k_abs_packed_into, BitMask, MaskedUpdate, SparseUpdate, TopKScope,
+};
 use rand::rngs::StdRng;
 
 /// The paper's framework: sticky sampling (§3.1) for client selection,
@@ -143,6 +148,79 @@ impl GlueFlStrategy {
         } else {
             keep_count(self.trainable, self.params.q - self.params.q_shr)
         }
+    }
+
+    /// Finishing steps shared by [`Strategy::aggregate`] and
+    /// [`Strategy::fold_finish`], entirely in packed space — `O(q·d)`
+    /// values touched, no dense `d`-length staging:
+    ///
+    /// 1. Δ̃_uni = top `q−q_shr` of the packed unique aggregate (line 23),
+    ///    selected by the packed top-k (positions off `uni_support` are
+    ///    exact zeros, so the selection equals the dense kernel's);
+    /// 2. Δ̃ = Δ̃_shr + Δ̃_uni (line 24) emitted directly as
+    ///    `(mask, values)`: the shared and unique supports are disjoint by
+    ///    construction (clients pick unique coordinates outside
+    ///    `M_t ∪ stats`), so each combined value is a plain copy — and a
+    ///    zero-fill-up selection (top-k ran out of nonzeros) lands as an
+    ///    exact `0.0`, just as the dense staging held. Copying is bitwise
+    ///    what the dense path computed: a sum started at `+0.0` is never
+    ///    `-0.0`, so the old `0.0 + x·1.0` add reproduced `x` exactly;
+    /// 3. the shared mask shifts to the top `q_shr` of the packed combined
+    ///    update (line 26), regeneration rounds re-seeding it from the
+    ///    unique part alone (§3.3).
+    fn finish_packed(
+        &mut self,
+        round: u32,
+        shr_vals: &[f32],
+        uni_support: &BitMask,
+        uni_offsets: &[u32],
+        uni_vals: &[f32],
+        scratch: &mut ScratchPool,
+    ) -> MaskedUpdate {
+        let regen = self.is_regen_round(round);
+        let unique_k = self.unique_keep(round);
+        let mut mask = scratch.take_mask(self.dim);
+        if !regen {
+            mask.copy_from(&self.shared_mask);
+        }
+        {
+            let idx = top_k_abs_packed_into(
+                uni_support,
+                uni_vals,
+                unique_k,
+                TopKScope::Outside(&self.stats_excluded),
+                &mut scratch.topk,
+            );
+            for &i in idx {
+                mask.set(i, true);
+            }
+        }
+        let mut values = scratch.take_cleared();
+        let uwords = uni_support.as_words();
+        let mut sp = 0usize;
+        mask.for_each_one(|i| {
+            if !regen && self.shared_mask.get(i) {
+                values.push(shr_vals[sp]);
+                sp += 1;
+            } else if uni_support.get(i) {
+                values.push(uni_vals[packed_rank(uwords, uni_offsets, i)]);
+            } else {
+                values.push(0.0);
+            }
+        });
+
+        let mut next_mask = scratch.take_mask(self.dim);
+        shift_mask_packed_into(
+            &mask,
+            &values,
+            self.params.q_shr,
+            Some(&self.eligible),
+            &mut scratch.topk,
+            &mut next_mask,
+        );
+        let old = self.set_shared_mask(next_mask);
+        scratch.put_mask(old);
+        MaskedUpdate::new(mask, values)
     }
 }
 
@@ -282,63 +360,43 @@ impl Strategy for GlueFlStrategy {
         // as contiguous value arrays (no per-element index indirection) —
         // the shards already emit the masked (packed) layout.
         let shr_vals = accumulate_weighted_values(&shared_entries, self.shared_nnz, scratch);
-        let uni_acc = accumulate_sparse(&unique_entries, self.dim, scratch);
-
-        // Combined update Δ̃ = Δ̃_shr + Δ̃_uni (line 24), staged densely so
-        // the mask shift's top-k can scan it; the staging buffer stays
-        // server-internal — what leaves this function is the packed
-        // MaskedUpdate. On regeneration rounds the shared parts are
-        // empty, so the combined update is exactly the selected unique
-        // aggregate — which is also what the §3.3 regeneration rule
-        // shifts the mask from.
-        let mut combined = scratch.take_zeroed(self.dim);
-        let mut mask = scratch.take_mask(self.dim);
-        if !regen {
-            self.shared_mask.scatter_add(&mut combined, &shr_vals, 1.0);
-            mask.copy_from(&self.shared_mask);
-        }
-        // Δ̃_uni = top_{q−q_shr} of the weighted unique aggregate (line 23).
-        let unique_k = self.unique_keep(round);
-        {
-            let idx = top_k_abs_masked_into(
-                &uni_acc,
-                unique_k,
-                TopKScope::Outside(&self.stats_excluded),
-                &mut scratch.topk,
-            );
-            for &i in idx {
-                combined[i] += uni_acc[i];
-                mask.set(i, true);
-            }
-        }
-        // Pack the combined update over its support M_t ∪ uni-top-k.
-        let mut values = scratch.take_cleared();
-        mask.for_each_one(|i| values.push(combined[i]));
-
-        // Mask update (line 26 / §3.3 regeneration), into a pooled mask;
-        // the outgoing shared mask is recycled.
-        let mut next_mask = scratch.take_mask(self.dim);
-        shift_mask_into(
-            &combined,
-            self.params.q_shr,
-            Some(&self.eligible),
-            &mut scratch.topk,
-            &mut next_mask,
+        // Unique aggregate directly in packed (support, values) form —
+        // O(Σ nnz + d/64) work, no dense d-length staging anywhere on the
+        // aggregate path.
+        let mut uni_support = scratch.take_mask(self.dim);
+        let (mut uni_offsets, mut uni_vals) = scratch.take_sparse();
+        accumulate_sparse_packed(
+            &unique_entries,
+            self.dim,
+            &mut uni_support,
+            &mut uni_offsets,
+            &mut uni_vals,
         );
-        let old = self.set_shared_mask(next_mask);
-        scratch.put_mask(old);
+        let update = self.finish_packed(
+            round,
+            &shr_vals,
+            &uni_support,
+            &uni_offsets,
+            &uni_vals,
+            scratch,
+        );
         scratch.put(shr_vals);
-        scratch.put(uni_acc);
-        scratch.put(combined);
-        MaskedUpdate::new(mask, values)
+        scratch.put_mask(uni_support);
+        scratch.put_sparse(uni_offsets, uni_vals);
+        update
     }
 
     fn fold_begin(&mut self, _round: u32, scratch: &mut ScratchPool) -> FoldAcc {
-        // Two partial sums: the packed shared part (aligned to M_t) and
-        // the dense unique aggregate the finishing top-k scans.
+        // The packed shared sum (aligned to M_t) plus the deferred unique
+        // stream: positions in `indices`, weighted values in `dense` —
+        // the union support and packed unique sum are built once at
+        // fold_finish, so the streaming path stages no d-length buffer
+        // either.
+        let (stream_idx, stream_vals) = scratch.take_sparse();
         FoldAcc {
-            dense: Some(scratch.take_zeroed(self.dim)),
+            dense: Some(stream_vals),
             packed: Some(scratch.take_zeroed(self.shared_nnz)),
+            indices: Some(stream_idx),
             count: 0,
         }
     }
@@ -354,12 +412,16 @@ impl Strategy for GlueFlStrategy {
     ) {
         let regen = self.is_regen_round(round);
         let w = self.client_weight(id, group) as f32;
-        let uni_acc = acc
+        let stream_vals = acc
             .dense
             .as_mut()
             .expect("fold_begin allocates the accumulator");
         let shr_acc = acc
             .packed
+            .as_mut()
+            .expect("fold_begin allocates the accumulator");
+        let stream_idx = acc
+            .indices
             .as_mut()
             .expect("fold_begin allocates the accumulator");
         match upload {
@@ -372,7 +434,12 @@ impl Strategy for GlueFlStrategy {
                     );
                     accumulate_into(&[(w, split.shared.values())], shr_acc);
                 }
-                accumulate_into(&[(w, &split.unique)], uni_acc);
+                // Defer the unique part as a flat (position, w·v) stream;
+                // the fold_finish scatter replays these adds in exactly
+                // this order, so the packed sum is bit-identical to the
+                // dense per-upload `acc[i] += w·v` fold.
+                stream_idx.extend_from_slice(split.unique.indices());
+                stream_vals.extend(split.unique.values().iter().map(|&v| w * v));
             }
             other => panic!("GlueFL aggregate received non-split upload {other:?}"),
         }
@@ -380,47 +447,32 @@ impl Strategy for GlueFlStrategy {
     }
 
     fn fold_finish(&mut self, round: u32, acc: FoldAcc, scratch: &mut ScratchPool) -> MaskedUpdate {
-        let regen = self.is_regen_round(round);
         let shr_vals = acc.packed.expect("fold_begin allocates the accumulator");
-        let uni_acc = acc.dense.expect("fold_begin allocates the accumulator");
-        // Identical finishing steps to `aggregate`: combine, select the
-        // unique top-k, pack, and shift the mask.
-        let mut combined = scratch.take_zeroed(self.dim);
-        let mut mask = scratch.take_mask(self.dim);
-        if !regen {
-            self.shared_mask.scatter_add(&mut combined, &shr_vals, 1.0);
-            mask.copy_from(&self.shared_mask);
-        }
-        let unique_k = self.unique_keep(round);
-        {
-            let idx = top_k_abs_masked_into(
-                &uni_acc,
-                unique_k,
-                TopKScope::Outside(&self.stats_excluded),
-                &mut scratch.topk,
-            );
-            for &i in idx {
-                combined[i] += uni_acc[i];
-                mask.set(i, true);
-            }
-        }
-        let mut values = scratch.take_cleared();
-        mask.for_each_one(|i| values.push(combined[i]));
-
-        let mut next_mask = scratch.take_mask(self.dim);
-        shift_mask_into(
-            &combined,
-            self.params.q_shr,
-            Some(&self.eligible),
-            &mut scratch.topk,
-            &mut next_mask,
+        let stream_vals = acc.dense.expect("fold_begin allocates the accumulator");
+        let stream_idx = acc.indices.expect("fold_begin allocates the accumulator");
+        let mut uni_support = scratch.take_mask(self.dim);
+        let (mut uni_offsets, mut uni_vals) = scratch.take_sparse();
+        scatter_add_packed(
+            &stream_idx,
+            &stream_vals,
+            self.dim,
+            &mut uni_support,
+            &mut uni_offsets,
+            &mut uni_vals,
         );
-        let old = self.set_shared_mask(next_mask);
-        scratch.put_mask(old);
+        let update = self.finish_packed(
+            round,
+            &shr_vals,
+            &uni_support,
+            &uni_offsets,
+            &uni_vals,
+            scratch,
+        );
         scratch.put(shr_vals);
-        scratch.put(uni_acc);
-        scratch.put(combined);
-        MaskedUpdate::new(mask, values)
+        scratch.put_mask(uni_support);
+        scratch.put_sparse(uni_offsets, uni_vals);
+        scratch.put_sparse(stream_idx, stream_vals);
+        update
     }
 
     fn finish_round(
@@ -618,6 +670,81 @@ mod tests {
             }
             prev_support = Some(support);
         }
+    }
+
+    /// The aggregate is O(q·d) in memory as well as time: at d = 100 000
+    /// with sparse clients, no pooled staging buffer ever reaches d/2
+    /// floats — the dense combined/unique accumulators of the old
+    /// implementation are gone. Both the one-shot and the streaming fold
+    /// paths are checked, against a pool that has never seen a dense
+    /// buffer.
+    #[test]
+    fn aggregate_stages_no_dense_buffer() {
+        let dim = 100_000;
+        let mut p = params();
+        p.q = 0.01;
+        p.q_shr = 0.005;
+        let mk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            GlueFlStrategy::new(
+                20,
+                4,
+                1.0,
+                OcStrategy::Proportional,
+                vec![0.05; 20],
+                p.clone(),
+                dim,
+                dim,
+                BitMask::zeros(dim),
+                &mut rng,
+            )
+        };
+        let mut compress_pool = ScratchPool::new();
+        let make_kept =
+            |s: &mut GlueFlStrategy, pool: &mut ScratchPool| -> Vec<(ClientId, Group, Upload)> {
+                (0..3)
+                    .map(|id| {
+                        let mut delta: Vec<f32> = (0..dim)
+                            .map(|i| ((i * 7 + id * 13) % 101) as f32 / 50.0 - 1.0)
+                            .collect();
+                        let up = s.compress(1, id, Group::Sticky, &mut delta, pool);
+                        (id, Group::Sticky, up)
+                    })
+                    .collect()
+            };
+
+        let mut s = mk(21);
+        let kept = make_kept(&mut s, &mut compress_pool);
+        let mut agg_pool = ScratchPool::new();
+        let update = s.aggregate(1, &kept, &mut agg_pool);
+        assert!(update.mask().count_ones() > 0);
+        assert!(
+            agg_pool.max_idle_value_capacity() < dim / 2,
+            "aggregate staged a near-dense buffer: {} floats",
+            agg_pool.max_idle_value_capacity()
+        );
+
+        // Streaming fold path, fresh pool: same bound.
+        let mut s2 = mk(21);
+        let kept2 = make_kept(&mut s2, &mut compress_pool);
+        let mut fold_pool = ScratchPool::new();
+        let mut acc = s2.fold_begin(1, &mut fold_pool);
+        for (id, group, up) in &kept2 {
+            s2.fold_upload(1, &mut acc, *id, *group, up, &mut fold_pool);
+        }
+        let folded = s2.fold_finish(1, acc, &mut fold_pool);
+        assert!(
+            fold_pool.max_idle_value_capacity() < dim / 2,
+            "fold staged a near-dense buffer: {} floats",
+            fold_pool.max_idle_value_capacity()
+        );
+        // And the two paths agree bitwise, as everywhere else.
+        assert_eq!(folded.mask(), update.mask());
+        assert!(folded
+            .values()
+            .iter()
+            .zip(update.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

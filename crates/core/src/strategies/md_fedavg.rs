@@ -138,6 +138,7 @@ impl Strategy for MdFedAvgStrategy {
         FoldAcc {
             dense: Some(scratch.take_zeroed(self.dim)),
             packed: None,
+            indices: None,
             count: 0,
         }
     }

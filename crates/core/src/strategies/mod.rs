@@ -160,20 +160,26 @@ impl Upload {
 /// In-flight state of an incremental aggregation between
 /// [`Strategy::fold_begin`] and [`Strategy::fold_finish`].
 ///
-/// The accumulators are pooled `Vec<f32>` buffers whose meaning is
-/// strategy-defined: dense strategies stage a full `dim`-length partial
-/// sum in `dense`; APF stages a packed active-mask-aligned sum in
-/// `packed`; GlueFL uses both (`packed` for the shared part, `dense` for
-/// the unique part). Callers treat the struct as opaque and hand it back
-/// to the same strategy that produced it — `fold_finish` returns the
-/// buffers to the [`ScratchPool`].
+/// The accumulators are pooled buffers whose meaning is strategy-defined:
+/// dense strategies stage a full `dim`-length partial sum in `dense`; APF
+/// stages a packed active-mask-aligned sum in `packed`; GlueFL stages the
+/// mask-aligned shared sum in `packed` and defers its unique parts as a
+/// flat `(position, weighted value)` stream in `indices`/`dense` — the
+/// union support and packed sum are built once at `fold_finish`
+/// ([`crate::aggregate::scatter_add_packed`]), so no `dim`-length buffer
+/// is ever staged. Callers treat the struct as opaque and hand it back to
+/// the same strategy that produced it — `fold_finish` returns the buffers
+/// to the [`ScratchPool`].
 #[derive(Debug, Default)]
 pub struct FoldAcc {
-    /// Dense position-space partial sum (length = model `dim`), when the
-    /// strategy stages one.
+    /// Dense position-space partial sum (length = model `dim`) — or, for
+    /// strategies that defer, the value half of a sparse entry stream.
     pub(crate) dense: Option<Vec<f32>>,
     /// Packed mask-aligned partial sum, when the strategy stages one.
     pub(crate) packed: Option<Vec<f32>>,
+    /// Position half of a deferred sparse entry stream, when the strategy
+    /// folds without densifying.
+    pub(crate) indices: Option<Vec<u32>>,
     /// Uploads folded so far.
     pub(crate) count: usize,
 }

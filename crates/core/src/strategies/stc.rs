@@ -185,6 +185,7 @@ impl Strategy for StcStrategy {
         FoldAcc {
             dense: Some(scratch.take_zeroed(self.dim)),
             packed: None,
+            indices: None,
             count: 0,
         }
     }

@@ -1,0 +1,638 @@
+//! Lockstep batched-client training: K clients, one stacked GEMM per
+//! layer, bit-identical to K independent serial clients.
+//!
+//! A federated round trains many clients from the same `global`
+//! parameters with the same step count. Per-client training wastes the
+//! structure: at step 0 every client's weights are *identical*, so the K
+//! layer GEMMs of shape `mb × in_dim` collapse into one
+//! `(K·mb) × in_dim` GEMM against the shared weight matrix — and after
+//! the clients' weights diverge (step 1 onwards), the batched kernels
+//! keep the stacked activation layout and read each client's weight tile
+//! in place from the stacked parameter block
+//! ([`gluefl_tensor::gemm::BatchOperand::PerClient`]).
+//!
+//! Bit-exactness is structural, not numerical luck:
+//!
+//! * the batched GEMMs ([`gluefl_tensor::gemm::gemm_nn_batch`] /
+//!   [`gluefl_tensor::gemm::gemm_tn_batch`]) are pinned bit-exact
+//!   against the per-client serial kernels — no output element's
+//!   reduction is reassociated by stacking;
+//! * everything that is per-client math (BatchNorm statistics, loss,
+//!   weight gradients, SGD, running-statistic updates) *calls the same
+//!   helper kernels as the serial path* on each client's slice of the
+//!   stacked buffers, in client order;
+//! * elementwise stages (ReLU and its backward) run over the stacked
+//!   buffer, which touches each element exactly once with the same
+//!   expression — there is no reduction to reassociate.
+//!
+//! The equivalence is pinned by the tests here (batched step vs.
+//! [`crate::MlpTopology::loss_and_grad_into`] + SGD per client, bitwise)
+//! and end-to-end by `gluefl-core`'s batched-training parity suite.
+
+use crate::mlp::{bn_backward_into, bn_forward_into, LinearSpec, MlpTopology, Mode};
+use crate::optimizer::sgd_momentum_step;
+use crate::scratch::{reserve_total, size_to};
+use gluefl_tensor::gemm::{gemm_nn_batch, gemm_nt, gemm_tn_batch, BatchOperand};
+
+/// Per-hidden-layer stacked caches (client-major: client `c`'s rows are
+/// the contiguous block `c·mb .. (c+1)·mb`).
+#[derive(Debug, Default, Clone)]
+struct BatchLayer {
+    /// Pre-BatchNorm linear output, `(K·mb) × h`.
+    z: Vec<f32>,
+    /// Post-(BN+)ReLU activations, `(K·mb) × h`.
+    act: Vec<f32>,
+    /// ReLU pass-through mask, `(K·mb) × h`.
+    relu_mask: Vec<bool>,
+    /// Per-client BN batch means, `K × h`.
+    mu: Vec<f32>,
+    /// Per-client BN batch variances, `K × h`.
+    var: Vec<f32>,
+    /// Per-client BN `1/√(var+ε)`, `K × h`.
+    inv_std: Vec<f32>,
+    /// BN normalised activations, `(K·mb) × h`.
+    x_hat: Vec<f32>,
+}
+
+/// Reusable workspace for lockstep batched-client training.
+///
+/// Owns the stacked per-client parameter, velocity, and gradient blocks
+/// (`K × d` each) plus stacked activations; after [`BatchTrainScratch::begin`]
+/// has sized the buffers once, a steady-state [`BatchTrainScratch::step`]
+/// performs no heap allocation. One scratch serves rounds of different
+/// client counts and batch sizes (buffers only grow).
+#[derive(Debug, Default, Clone)]
+pub struct BatchTrainScratch {
+    clients: usize,
+    batch: usize,
+    /// Stacked per-client parameters, `K × d`.
+    params: Vec<f32>,
+    /// Stacked per-client SGD velocity, `K × d`.
+    velocity: Vec<f32>,
+    /// Stacked per-client gradients, `K × d`.
+    grads: Vec<f32>,
+    layers: Vec<BatchLayer>,
+    /// Raw logits → log-probabilities (in place), `(K·mb) × classes`.
+    logits: Vec<f32>,
+    /// Loss gradient w.r.t. the logits, `(K·mb) × classes`.
+    d_logits: Vec<f32>,
+    /// Rotating stacked activation-gradient buffers.
+    d_bufs: [Vec<f32>; 3],
+    /// BN backward per-feature reduction `Σ dy` (reused client by client).
+    sum_dy: Vec<f32>,
+    /// BN backward per-feature reduction `Σ dy·x̂`.
+    sum_dy_xhat: Vec<f32>,
+    /// Stacked minibatch features, `(K·mb) × input_dim`; client `c`'s
+    /// minibatch occupies rows `c·mb .. (c+1)·mb`.
+    pub batch_x: Vec<f32>,
+    /// Stacked minibatch labels, `K·mb`.
+    pub batch_y: Vec<usize>,
+}
+
+impl BatchTrainScratch {
+    /// Creates an empty scratch; buffers are sized by
+    /// [`BatchTrainScratch::begin`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients of the round in progress.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Starts a round: sizes every buffer for `(topology, clients, batch)`,
+    /// copies `global` into each client's parameter block, and zeroes the
+    /// stacked velocity (each client starts the round like a fresh
+    /// optimizer, exactly as the serial path's per-client
+    /// `reset_velocity`).
+    ///
+    /// # Panics
+    /// Panics if `global.len()` differs from the topology's parameter
+    /// count, or if `clients` or `batch` is zero.
+    pub fn begin(&mut self, topo: &MlpTopology, global: &[f32], clients: usize, batch: usize) {
+        let p = topo.num_params();
+        assert_eq!(global.len(), p, "parameter length mismatch");
+        assert!(clients > 0, "need at least one client");
+        assert!(batch > 0, "need a positive batch size");
+        self.clients = clients;
+        self.batch = batch;
+        let cfg = topo.config();
+        let rows = clients * batch;
+        size_to(&mut self.params, clients * p);
+        size_to(&mut self.velocity, clients * p);
+        size_to(&mut self.grads, clients * p);
+        if self.layers.len() != cfg.hidden.len() {
+            self.layers.clear();
+            self.layers.resize(cfg.hidden.len(), BatchLayer::default());
+        }
+        let mut max_width = cfg.input_dim;
+        for (ls, &h) in self.layers.iter_mut().zip(&cfg.hidden) {
+            size_to(&mut ls.z, rows * h);
+            size_to(&mut ls.act, rows * h);
+            if ls.relu_mask.len() != rows * h {
+                ls.relu_mask.clear();
+                ls.relu_mask.resize(rows * h, false);
+            }
+            size_to(&mut ls.mu, clients * h);
+            size_to(&mut ls.var, clients * h);
+            size_to(&mut ls.inv_std, clients * h);
+            size_to(&mut ls.x_hat, rows * h);
+            max_width = max_width.max(h);
+        }
+        size_to(&mut self.logits, rows * cfg.classes);
+        size_to(&mut self.d_logits, rows * cfg.classes);
+        for d in &mut self.d_bufs {
+            reserve_total(d, rows * max_width.max(cfg.classes));
+        }
+        let max_h = cfg.hidden.iter().copied().max().unwrap_or(0);
+        reserve_total(&mut self.sum_dy, max_h);
+        reserve_total(&mut self.sum_dy_xhat, max_h);
+        size_to(&mut self.batch_x, rows * cfg.input_dim);
+        if self.batch_y.len() != rows {
+            self.batch_y.clear();
+            self.batch_y.resize(rows, 0);
+        }
+        for block in self.params.chunks_mut(p) {
+            block.copy_from_slice(global);
+        }
+        self.velocity.fill(0.0);
+    }
+
+    /// Client `c`'s current parameter block.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range for the round begun last.
+    #[must_use]
+    pub fn client_params(&self, topo: &MlpTopology, c: usize) -> &[f32] {
+        assert!(c < self.clients, "client index out of range");
+        let p = topo.num_params();
+        &self.params[c * p..(c + 1) * p]
+    }
+
+    /// One lockstep SGD-with-momentum step for every client from the
+    /// staged minibatches in [`BatchTrainScratch::batch_x`] /
+    /// [`BatchTrainScratch::batch_y`].
+    ///
+    /// `step_idx` selects the weight view: step 0 reads the shared
+    /// (still-identical) parameters of client 0 for every GEMM; later
+    /// steps read each client's own tile from the stacked block. Both are
+    /// bit-identical to per-client serial training.
+    ///
+    /// # Panics
+    /// Panics if [`BatchTrainScratch::begin`] has not sized the scratch,
+    /// or a staged label is out of range.
+    pub fn step(&mut self, topo: &MlpTopology, step_idx: usize, lr: f32, momentum: f32) {
+        let clients = self.clients;
+        let mb = self.batch;
+        assert!(clients > 0 && mb > 0, "begin() must run before step()");
+        let p = topo.num_params();
+        let cfg = topo.config();
+        let classes = cfg.classes;
+        let n_hidden = cfg.hidden.len();
+        let rows = clients * mb;
+        assert_eq!(self.batch_x.len(), rows * cfg.input_dim, "batch_x shape");
+        assert_eq!(self.batch_y.len(), rows, "batch_y shape");
+
+        // ---- Forward ----
+        for i in 0..n_hidden {
+            let lin = topo.linears[i];
+            let h = lin.out_dim;
+            let (done, rest) = self.layers.split_at_mut(i);
+            let ls = &mut rest[0];
+            let input: &[f32] = if i == 0 {
+                &self.batch_x
+            } else {
+                &done[i - 1].act
+            };
+            let (w_op, b_op) = weight_operands(&self.params, p, lin, step_idx);
+            gemm_nn_batch(input, &w_op, &b_op, clients, mb, h, lin.in_dim, &mut ls.z);
+            match topo.bns[i] {
+                Some(bn) => {
+                    for c in 0..clients {
+                        bn_forward_into(
+                            &self.params[c * p..(c + 1) * p],
+                            bn,
+                            &ls.z[c * mb * h..(c + 1) * mb * h],
+                            mb,
+                            Mode::Train { update_stats: true },
+                            &mut ls.mu[c * h..(c + 1) * h],
+                            &mut ls.var[c * h..(c + 1) * h],
+                            &mut ls.inv_std[c * h..(c + 1) * h],
+                            &mut ls.x_hat[c * mb * h..(c + 1) * mb * h],
+                            &mut ls.act[c * mb * h..(c + 1) * mb * h],
+                        );
+                    }
+                }
+                None => ls.act.copy_from_slice(&ls.z),
+            }
+            // ReLU over the stacked activations (elementwise — identical
+            // to the per-client loop).
+            for (v, m) in ls.act.iter_mut().zip(ls.relu_mask.iter_mut()) {
+                *m = *v > 0.0;
+                if !*m {
+                    *v = 0.0;
+                }
+            }
+        }
+        let out_lin = *topo.linears.last().expect("output layer exists");
+        {
+            let input: &[f32] = if n_hidden == 0 {
+                &self.batch_x
+            } else {
+                &self.layers[n_hidden - 1].act
+            };
+            let (w_op, b_op) = weight_operands(&self.params, p, out_lin, step_idx);
+            gemm_nn_batch(
+                input,
+                &w_op,
+                &b_op,
+                clients,
+                mb,
+                classes,
+                out_lin.in_dim,
+                &mut self.logits,
+            );
+        }
+
+        // ---- Loss ----
+        // log-softmax is row-independent; the per-client nll keeps each
+        // client's 1/mb mean-loss scaling of d_logits.
+        crate::loss::log_softmax_rows(&mut self.logits, rows, classes);
+        for c in 0..clients {
+            let r = c * mb * classes..(c + 1) * mb * classes;
+            let _ = crate::loss::nll_and_grad(
+                &self.logits[r.clone()],
+                &self.batch_y[c * mb..(c + 1) * mb],
+                classes,
+                &mut self.d_logits[r],
+            );
+        }
+
+        // ---- Backward ----
+        self.grads.fill(0.0);
+        {
+            let [buf_a, buf_b, buf_c] = &mut self.d_bufs;
+            let input: &[f32] = if n_hidden == 0 {
+                &self.batch_x
+            } else {
+                &self.layers[n_hidden - 1].act
+            };
+            linear_backward_batch(
+                &self.params,
+                p,
+                out_lin,
+                input,
+                clients,
+                mb,
+                &self.d_logits,
+                &mut self.grads,
+                buf_a,
+                step_idx,
+            );
+            let mut d_cur: &mut Vec<f32> = buf_a;
+            let mut d_bn: &mut Vec<f32> = buf_b;
+            let mut d_next: &mut Vec<f32> = buf_c;
+            for i in (0..n_hidden).rev() {
+                let ls = &self.layers[i];
+                let h = topo.linears[i].out_dim;
+                // ReLU backward (stacked, elementwise).
+                for (d, &m) in d_cur.iter_mut().zip(&ls.relu_mask) {
+                    if !m {
+                        *d = 0.0;
+                    }
+                }
+                // BatchNorm backward, client by client with the serial
+                // kernel on each client's slices.
+                let d_pre: &[f32] = match topo.bns[i] {
+                    Some(bn) => {
+                        d_bn.clear();
+                        d_bn.resize(rows * h, 0.0);
+                        for c in 0..clients {
+                            bn_backward_into(
+                                &self.params[c * p..(c + 1) * p],
+                                bn,
+                                &ls.x_hat[c * mb * h..(c + 1) * mb * h],
+                                &ls.inv_std[c * h..(c + 1) * h],
+                                mb,
+                                &d_cur[c * mb * h..(c + 1) * mb * h],
+                                &mut self.grads[c * p..(c + 1) * p],
+                                &mut self.sum_dy,
+                                &mut self.sum_dy_xhat,
+                                &mut d_bn[c * mb * h..(c + 1) * mb * h],
+                            );
+                        }
+                        d_bn
+                    }
+                    None => d_cur,
+                };
+                let input: &[f32] = if i == 0 {
+                    &self.batch_x
+                } else {
+                    &self.layers[i - 1].act
+                };
+                linear_backward_batch(
+                    &self.params,
+                    p,
+                    topo.linears[i],
+                    input,
+                    clients,
+                    mb,
+                    d_pre,
+                    &mut self.grads,
+                    d_next,
+                    step_idx,
+                );
+                let freed = d_cur;
+                d_cur = d_next;
+                d_next = d_bn;
+                d_bn = freed;
+            }
+        }
+
+        // ---- Deferred BN running-statistics updates, client by client
+        // (same arithmetic and order as the serial path's
+        // `apply_bn_stat_updates`). ----
+        let unbias = if mb > 1 {
+            mb as f32 / (mb as f32 - 1.0)
+        } else {
+            1.0
+        };
+        for c in 0..clients {
+            let cp = &mut self.params[c * p..(c + 1) * p];
+            for (bn, ls) in topo.bns.iter().zip(&self.layers) {
+                let Some(bn) = bn else { continue };
+                let m = bn.momentum;
+                let h = bn.dim;
+                for o in 0..h {
+                    let rm = &mut cp[bn.mean_off + o];
+                    *rm = (1.0 - m) * *rm + m * ls.mu[c * h + o];
+                    let rv = &mut cp[bn.var_off + o];
+                    *rv = (1.0 - m) * *rv + m * ls.var[c * h + o] * unbias;
+                }
+                cp[bn.count_off] += 1.0;
+            }
+        }
+
+        // ---- SGD, client by client on disjoint blocks. ----
+        for ((cp, cg), cv) in self
+            .params
+            .chunks_mut(p)
+            .zip(self.grads.chunks(p))
+            .zip(self.velocity.chunks_mut(p))
+        {
+            sgd_momentum_step(cp, cg, cv, lr, momentum);
+        }
+    }
+}
+
+/// Weight/bias views for one layer: shared (client 0's still-identical
+/// block) at step 0, per-client tiles inside the stacked block afterwards.
+fn weight_operands<'a>(
+    params: &'a [f32],
+    p: usize,
+    lin: LinearSpec,
+    step_idx: usize,
+) -> (BatchOperand<'a>, BatchOperand<'a>) {
+    let wl = lin.in_dim * lin.out_dim;
+    if step_idx == 0 {
+        (
+            BatchOperand::Shared(&params[lin.w_off..lin.w_off + wl]),
+            BatchOperand::Shared(&params[lin.b_off..lin.b_off + lin.out_dim]),
+        )
+    } else {
+        (
+            BatchOperand::PerClient {
+                base: params,
+                stride: p,
+                off: lin.w_off,
+            },
+            BatchOperand::PerClient {
+                base: params,
+                stride: p,
+                off: lin.b_off,
+            },
+        )
+    }
+}
+
+/// Batched linear backward: per-client bias reduction and accumulating
+/// weight-gradient GEMM (disjoint gradient blocks, serial-kernel calls in
+/// client order), then one batched backward-data GEMM for the stacked
+/// input gradient.
+#[allow(clippy::too_many_arguments)]
+fn linear_backward_batch(
+    params: &[f32],
+    p: usize,
+    lin: LinearSpec,
+    input: &[f32],
+    clients: usize,
+    mb: usize,
+    d_out: &[f32],
+    grads: &mut [f32],
+    d_in: &mut Vec<f32>,
+    step_idx: usize,
+) {
+    let h = lin.out_dim;
+    let wl = lin.in_dim * h;
+    for c in 0..clients {
+        let grad = &mut grads[c * p..(c + 1) * p];
+        let d_block = &d_out[c * mb * h..(c + 1) * mb * h];
+        let in_block = &input[c * mb * lin.in_dim..(c + 1) * mb * lin.in_dim];
+        let gb = &mut grad[lin.b_off..lin.b_off + h];
+        for drow in d_block.chunks_exact(h) {
+            for (g, &d) in gb.iter_mut().zip(drow) {
+                *g += d;
+            }
+        }
+        let gw = &mut grad[lin.w_off..lin.w_off + wl];
+        gemm_nt(d_block, in_block, mb, h, lin.in_dim, gw);
+    }
+    d_in.clear();
+    d_in.resize(clients * mb * lin.in_dim, 0.0);
+    let (w_op, _) = weight_operands(params, p, lin, step_idx);
+    gemm_tn_batch(d_out, &w_op, clients, mb, h, lin.in_dim, d_in);
+}
+
+/// Trains `clients` lockstep SGD rounds and pins every client's final
+/// parameters bitwise against the serial per-client path — the in-crate
+/// twin of gluefl-core's end-to-end parity suite.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::TrainScratch;
+    use crate::{Mlp, MlpConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy(batch_norm: bool, hidden: Vec<usize>, seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(
+            MlpConfig {
+                input_dim: 6,
+                hidden,
+                classes: 5,
+                batch_norm,
+            },
+            &mut rng,
+        )
+    }
+
+    /// Per-client serial reference: `loss_and_grad_into` + `sgd_step`,
+    /// the exact path `local_train_into` uses.
+    fn serial_train(
+        model: &Mlp,
+        client_batches: &[(Vec<f32>, Vec<usize>)],
+        steps: usize,
+        lr: f32,
+        momentum: f32,
+    ) -> Vec<Vec<f32>> {
+        let topo = model.topology();
+        let mut scratch = TrainScratch::new();
+        client_batches
+            .iter()
+            .map(|(x, y)| {
+                let mut params = model.params().to_vec();
+                scratch.ensure(topo, y.len() / steps);
+                scratch.reset_velocity();
+                let mb = y.len() / steps;
+                for s in 0..steps {
+                    let xs = &x[s * mb * 6..(s + 1) * mb * 6];
+                    let ys = &y[s * mb..(s + 1) * mb];
+                    let _ = topo.loss_and_grad_into(&mut params, xs, ys, &mut scratch);
+                    scratch.sgd_step(&mut params, lr, momentum);
+                }
+                params
+            })
+            .collect()
+    }
+
+    fn batched_train(
+        model: &Mlp,
+        client_batches: &[(Vec<f32>, Vec<usize>)],
+        steps: usize,
+        lr: f32,
+        momentum: f32,
+        scratch: &mut BatchTrainScratch,
+    ) -> Vec<Vec<f32>> {
+        let topo = model.topology();
+        let clients = client_batches.len();
+        let mb = client_batches[0].1.len() / steps;
+        scratch.begin(topo, model.params(), clients, mb);
+        for s in 0..steps {
+            for (c, (x, y)) in client_batches.iter().enumerate() {
+                scratch.batch_x[c * mb * 6..(c + 1) * mb * 6]
+                    .copy_from_slice(&x[s * mb * 6..(s + 1) * mb * 6]);
+                scratch.batch_y[c * mb..(c + 1) * mb].copy_from_slice(&y[s * mb..(s + 1) * mb]);
+            }
+            scratch.step(topo, s, lr, momentum);
+        }
+        (0..clients)
+            .map(|c| scratch.client_params(topo, c).to_vec())
+            .collect()
+    }
+
+    fn random_batches(
+        clients: usize,
+        steps: usize,
+        mb: usize,
+        seed: u64,
+    ) -> Vec<(Vec<f32>, Vec<usize>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..clients)
+            .map(|_| {
+                let x: Vec<f32> = (0..steps * mb * 6)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                let y: Vec<usize> = (0..steps * mb).map(|_| rng.gen_range(0..5)).collect();
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_matches_per_client_serial_bitwise() {
+        let mut scratch = BatchTrainScratch::new();
+        for batch_norm in [false, true] {
+            // Client counts straddle tile boundaries (1, off-tile 3,
+            // multi-tile 9) and shapes cover deep and shallow models.
+            for (clients, hidden) in [(1usize, vec![8, 7]), (3, vec![8]), (9, vec![8, 7])] {
+                let model = toy(batch_norm, hidden.clone(), 11 + clients as u64);
+                let batches = random_batches(clients, 4, 5, 90 + clients as u64);
+                let want = serial_train(&model, &batches, 4, 0.07, 0.9);
+                let got = batched_train(&model, &batches, 4, 0.07, 0.9, &mut scratch);
+                for (c, (a, b)) in want.iter().zip(&got).enumerate() {
+                    assert!(
+                        a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "client {c} diverged (bn={batch_norm}, clients={clients}, hidden={hidden:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_regression_no_hidden_layers() {
+        let mut scratch = BatchTrainScratch::new();
+        let model = toy(false, vec![], 5);
+        let batches = random_batches(4, 3, 6, 55);
+        let want = serial_train(&model, &batches, 3, 0.1, 0.0);
+        let got = batched_train(&model, &batches, 3, 0.1, 0.0, &mut scratch);
+        assert_eq!(want, got);
+    }
+
+    /// A reused scratch across rounds of different shapes must not leak
+    /// state between rounds (velocity, params, activations).
+    #[test]
+    fn scratch_reuse_across_rounds_is_clean() {
+        let mut scratch = BatchTrainScratch::new();
+        let model = toy(true, vec![8], 21);
+        let batches = random_batches(5, 2, 4, 77);
+        let first = batched_train(&model, &batches, 2, 0.05, 0.9, &mut scratch);
+        // Interleave a differently-shaped round, then repeat the first.
+        let other = random_batches(2, 3, 7, 78);
+        let _ = batched_train(&model, &other, 3, 0.02, 0.5, &mut scratch);
+        let again = batched_train(&model, &batches, 2, 0.05, 0.9, &mut scratch);
+        assert_eq!(first, again);
+    }
+
+    /// Steady-state lockstep steps must not reallocate stacked buffers.
+    #[test]
+    fn steps_are_allocation_free_in_steady_state() {
+        let model = toy(true, vec![8, 7], 31);
+        let topo = model.topology();
+        let mut scratch = BatchTrainScratch::new();
+        let batches = random_batches(6, 3, 4, 99);
+        let _ = batched_train(&model, &batches, 3, 0.05, 0.9, &mut scratch);
+        scratch.begin(topo, model.params(), 6, 4);
+        let ptrs = (
+            scratch.params.as_ptr(),
+            scratch.grads.as_ptr(),
+            scratch.velocity.as_ptr(),
+            scratch.logits.as_ptr(),
+            scratch.layers[0].z.as_ptr(),
+            scratch.d_bufs[0].as_ptr(),
+        );
+        for s in 0..3 {
+            for (c, (x, y)) in batches.iter().enumerate() {
+                scratch.batch_x[c * 4 * 6..(c + 1) * 4 * 6]
+                    .copy_from_slice(&x[s * 4 * 6..(s + 1) * 4 * 6]);
+                scratch.batch_y[c * 4..(c + 1) * 4].copy_from_slice(&y[s * 4..(s + 1) * 4]);
+            }
+            scratch.step(topo, s, 0.05, 0.9);
+        }
+        assert_eq!(
+            ptrs,
+            (
+                scratch.params.as_ptr(),
+                scratch.grads.as_ptr(),
+                scratch.velocity.as_ptr(),
+                scratch.logits.as_ptr(),
+                scratch.layers[0].z.as_ptr(),
+                scratch.d_bufs[0].as_ptr(),
+            )
+        );
+    }
+}

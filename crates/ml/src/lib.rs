@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod init;
 mod layout;
 pub mod loss;
@@ -74,6 +75,7 @@ mod optimizer;
 mod profiles;
 mod scratch;
 
+pub use batch::BatchTrainScratch;
 pub use layout::{ParamKind, ParamLayout, ParamLayoutBuilder, Segment};
 pub use mlp::{BatchNorm, EvalMetrics, Mlp, MlpConfig, MlpTopology};
 pub use optimizer::{sgd_momentum_step, step_decay_lr, Sgd};

@@ -38,13 +38,13 @@ pub struct MlpConfig {
 
 /// Offsets of one linear layer inside the flat parameter vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LinearSpec {
-    in_dim: usize,
-    out_dim: usize,
+pub(crate) struct LinearSpec {
+    pub(crate) in_dim: usize,
+    pub(crate) out_dim: usize,
     /// Weight matrix `[out_dim × in_dim]`, row-major.
-    w_off: usize,
+    pub(crate) w_off: usize,
     /// Bias vector `[out_dim]`.
-    b_off: usize,
+    pub(crate) b_off: usize,
 }
 
 /// Offsets and hyper-parameters of one BatchNorm layer.
@@ -55,12 +55,12 @@ struct LinearSpec {
 /// `num_batches_tracked` (stored as a single f32 count).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchNorm {
-    dim: usize,
-    gamma_off: usize,
-    beta_off: usize,
-    mean_off: usize,
-    var_off: usize,
-    count_off: usize,
+    pub(crate) dim: usize,
+    pub(crate) gamma_off: usize,
+    pub(crate) beta_off: usize,
+    pub(crate) mean_off: usize,
+    pub(crate) var_off: usize,
+    pub(crate) count_off: usize,
     /// Running-statistics update rate (PyTorch default 0.1).
     pub momentum: f32,
     /// Variance epsilon (PyTorch default 1e-5).
@@ -68,7 +68,7 @@ pub struct BatchNorm {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
+pub(crate) enum Mode {
     /// Batch statistics; optionally update running statistics afterwards.
     Train { update_stats: bool },
     /// Running statistics; no side effects.
@@ -98,8 +98,8 @@ pub struct EvalMetrics {
 pub struct MlpTopology {
     cfg: MlpConfig,
     layout: ParamLayout,
-    linears: Vec<LinearSpec>,
-    bns: Vec<Option<BatchNorm>>,
+    pub(crate) linears: Vec<LinearSpec>,
+    pub(crate) bns: Vec<Option<BatchNorm>>,
 }
 
 /// A multi-layer perceptron over one flat `Vec<f32>` parameter vector.
@@ -432,6 +432,8 @@ impl MlpTopology {
             // BatchNorm backward.
             let d_pre: &[f32] = match self.bns[i] {
                 Some(bn) => {
+                    d_bn.clear();
+                    d_bn.resize(batch * bn.dim, 0.0);
                     bn_backward_into(
                         params,
                         bn,
@@ -541,7 +543,7 @@ fn linear_backward_into(
 /// batch statistics are left in `mu`/`var` for the caller's deferred
 /// running-statistics update; `params` is only read.
 #[allow(clippy::too_many_arguments)]
-fn bn_forward_into(
+pub(crate) fn bn_forward_into(
     params: &[f32],
     bn: BatchNorm,
     z: &[f32],
@@ -591,9 +593,10 @@ fn bn_forward_into(
 }
 
 /// BatchNorm backward (training mode, batch statistics). Accumulates
-/// dγ, dβ into `grad` and writes d(pre-BN input) into `d_in`.
+/// dγ, dβ into `grad` and writes d(pre-BN input) into the pre-sized
+/// `d_in` slice (`batch × dim`, fully overwritten).
 #[allow(clippy::too_many_arguments)]
-fn bn_backward_into(
+pub(crate) fn bn_backward_into(
     params: &[f32],
     bn: BatchNorm,
     x_hat: &[f32],
@@ -603,7 +606,7 @@ fn bn_backward_into(
     grad: &mut [f32],
     sum_dy: &mut Vec<f32>,
     sum_dy_xhat: &mut Vec<f32>,
-    d_in: &mut Vec<f32>,
+    d_in: &mut [f32],
 ) {
     let dim = bn.dim;
     let gamma = &params[bn.gamma_off..bn.gamma_off + dim];
@@ -624,8 +627,7 @@ fn bn_backward_into(
         grad[bn.gamma_off + o] += sum_dy_xhat[o];
         grad[bn.beta_off + o] += sum_dy[o];
     }
-    d_in.clear();
-    d_in.resize(batch * dim, 0.0);
+    assert_eq!(d_in.len(), batch * dim, "BN backward d_in shape mismatch");
     for r in 0..batch {
         for o in 0..dim {
             let dy = d_out[r * dim + o];

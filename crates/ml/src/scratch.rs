@@ -73,7 +73,7 @@ pub struct TrainScratch {
 
 /// Resizes `buf` to exactly `len` without shrinking capacity; contents are
 /// unspecified afterwards (callers fully overwrite or explicitly zero).
-fn size_to(buf: &mut Vec<f32>, len: usize) {
+pub(crate) fn size_to(buf: &mut Vec<f32>, len: usize) {
     if buf.len() != len {
         buf.clear();
         buf.resize(len, 0.0);
@@ -83,7 +83,7 @@ fn size_to(buf: &mut Vec<f32>, len: usize) {
 /// Grows `buf`'s *total* capacity to at least `cap` (unlike
 /// [`Vec::reserve`], which reserves on top of the current length and
 /// would re-allocate a warm buffer on every call).
-fn reserve_total(buf: &mut Vec<f32>, cap: usize) {
+pub(crate) fn reserve_total(buf: &mut Vec<f32>, cap: usize) {
     if buf.capacity() < cap {
         buf.reserve(cap - buf.len());
     }

@@ -30,10 +30,25 @@
 //!
 //! * serial and `--features parallel` builds produce identical bits: the
 //!   parallel path only shards **disjoint row blocks** of `out` across
-//!   `std::thread::scope` workers, each running the serial kernel;
+//!   the vendored `gluefl_pool` work-stealing pool, each job running
+//!   the serial kernel;
 //! * training/eval trajectories upstream stay bit-identical to the
 //!   pre-GEMM per-element loops (the `local_train_*` ledger gates remain
 //!   bit-exact).
+//!
+//! # Batched-client kernels
+//!
+//! Local federated training runs K clients at minibatch 16, which caps
+//! the register tile at m = 16 per GEMM. [`gemm_nn_batch`] /
+//! [`gemm_tn_batch`] stack the K clients' minibatches into one
+//! `(K·16) × in_dim` call: on step 0 of a round every client still holds
+//! the global weights ([`BatchOperand::Shared`] — one big GEMM), and
+//! from step 1 each client multiplies its own packed weight tile viewed
+//! in place inside its flat parameter vector
+//! ([`BatchOperand::PerClient`] — clients become pool jobs). Stacking is
+//! bit-exact against the per-client calls because an output element's
+//! reduction chain depends only on `k` and the tile constants, never on
+//! the row count of the call.
 //!
 //! # Example
 //!
@@ -53,20 +68,23 @@
 
 /// Rows of `a` per register tile in [`gemm_nn`].
 const NN_MR: usize = 4;
-/// Rows of `b` (output columns) per register tile in [`gemm_nn`].
-const NN_NR: usize = 4;
-/// k-reduction cache tile in [`gemm_nn`]: `NN_MR + NN_NR` operand rows of
-/// this many `f32`s (16 KiB) stay L1-resident while the register tile
-/// walks them.
+/// Rows of `b` (output columns) per register tile in [`gemm_nn`] — wide
+/// enough that the inner loop is whole SIMD vectors (one AVX-512 or two
+/// AVX2 lanes of independent output columns).
+const NN_NR: usize = 16;
+/// k-reduction cache tile in [`gemm_nn`]: one packed `NN_NR`-wide `b`
+/// panel of this many rows (32 KiB) stays L1-resident while the register
+/// tile walks every `a` row past it.
 const NN_KC: usize = 512;
 
-/// Output columns per register tile in [`gemm_tn`] / [`gemm_nt`] — eight
-/// consecutive `f32`s, one AVX vector.
-const JB: usize = 8;
+/// Output columns per register tile in [`gemm_tn`] / [`gemm_nt`] —
+/// sixteen consecutive `f32`s, one AVX-512 (or two AVX2) vector of
+/// independent accumulator chains.
+const JB: usize = 16;
 /// Rows of `a` per register tile in [`gemm_tn`].
-const TN_MR: usize = 2;
+const TN_MR: usize = 4;
 /// Rows of `out` per register tile in [`gemm_nt`].
-const NT_OR: usize = 2;
+const NT_OR: usize = 4;
 /// Reduction cache tile in [`gemm_tn`] / [`gemm_nt`].
 const RED_C: usize = 512;
 
@@ -114,8 +132,9 @@ pub fn gemm_nn(a: &[f32], b: &[f32], bias: &[f32], m: usize, n: usize, k: usize,
     gemm_nn_serial(a, b, bias, m, n, k, out);
 }
 
-/// Row-sharded [`gemm_nn`]: each worker runs the serial kernel on a
-/// disjoint row block, so the output bits cannot depend on the schedule.
+/// Row-sharded [`gemm_nn`]: each [`gluefl_pool`] job runs the serial
+/// kernel on a disjoint row block, so the output bits cannot depend on
+/// the schedule.
 #[cfg(feature = "parallel")]
 fn gemm_nn_sharded(
     a: &[f32],
@@ -131,12 +150,10 @@ fn gemm_nn_sharded(
         .unwrap_or(1)
         .min(m);
     let rows = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (a_block, out_block) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
-            s.spawn(move || {
-                gemm_nn_serial(a_block, b, bias, out_block.len() / n, n, k, out_block);
-            });
-        }
+    let jobs: Vec<(&[f32], &mut [f32])> =
+        a.chunks(rows * k).zip(out.chunks_mut(rows * n)).collect();
+    gluefl_pool::run(threads, jobs, |(a_block, out_block)| {
+        gemm_nn_serial(a_block, b, bias, out_block.len() / n, n, k, out_block);
     });
 }
 
@@ -155,63 +172,71 @@ fn gemm_nn_serial(
     }
     // …and k-tiles continue it in ascending-t order, so the chain is the
     // naive `acc = bias[o]; for t { acc += a[r][t]·b[o][t] }` exactly.
+    //
+    // `b` rows are k-contiguous, so a dot-product inner loop would put
+    // the reduction in the vector lanes — where bit-exactness forbids
+    // vectorizing. Instead each NN_NR-wide column panel is repacked
+    // t-major once per k-tile; the microkernel then broadcasts `a` and
+    // runs whole vectors of independent output columns. Packing only
+    // relocates operands, so every chain's order is untouched.
+    let mut bp = [0.0f32; NN_KC * NN_NR];
     let mut k0 = 0;
     while k0 < k {
         let kt = (k - k0).min(NN_KC);
-        let mut i0 = 0;
-        while i0 < m {
-            let mt = (m - i0).min(NN_MR);
-            let mut o0 = 0;
-            while o0 < n {
-                let nt = (n - o0).min(NN_NR);
-                if mt == NN_MR && nt == NN_NR {
-                    let ar = [
-                        &a[i0 * k + k0..][..kt],
-                        &a[(i0 + 1) * k + k0..][..kt],
-                        &a[(i0 + 2) * k + k0..][..kt],
-                        &a[(i0 + 3) * k + k0..][..kt],
-                    ];
-                    let br = [
-                        &b[o0 * k + k0..][..kt],
-                        &b[(o0 + 1) * k + k0..][..kt],
-                        &b[(o0 + 2) * k + k0..][..kt],
-                        &b[(o0 + 3) * k + k0..][..kt],
-                    ];
-                    nn_micro(ar, br, n, i0, o0, out);
-                } else {
-                    nn_edge(a, b, m, n, k, i0, mt, o0, nt, k0, kt, out);
+        let mut o0 = 0;
+        while o0 < n {
+            let nt = (n - o0).min(NN_NR);
+            if nt == NN_NR {
+                for j in 0..NN_NR {
+                    for (t, &w) in b[(o0 + j) * k + k0..][..kt].iter().enumerate() {
+                        bp[t * NN_NR + j] = w;
+                    }
                 }
-                o0 += nt;
+                let panel = &bp[..kt * NN_NR];
+                let mut i0 = 0;
+                while i0 < m {
+                    let mt = (m - i0).min(NN_MR);
+                    if mt == NN_MR {
+                        let ar = [
+                            &a[i0 * k + k0..][..kt],
+                            &a[(i0 + 1) * k + k0..][..kt],
+                            &a[(i0 + 2) * k + k0..][..kt],
+                            &a[(i0 + 3) * k + k0..][..kt],
+                        ];
+                        nn_micro(ar, panel, n, i0, o0, out);
+                    } else {
+                        nn_edge(a, b, m, n, k, i0, mt, o0, NN_NR, k0, kt, out);
+                    }
+                    i0 += mt;
+                }
+            } else {
+                nn_edge(a, b, m, n, k, 0, m, o0, nt, k0, kt, out);
             }
-            i0 += mt;
+            o0 += nt;
         }
         k0 += kt;
     }
 }
 
-/// Full `NN_MR × NN_NR` register tile: 16 independent accumulator chains
-/// hide the FMA latency a single naive dot product serializes on.
+/// Full `NN_MR × NN_NR` register tile over a t-major packed `b` panel:
+/// 64 independent accumulator chains, vectorized across output columns
+/// (never across `t`, which would reassociate the reduction).
 #[inline]
-fn nn_micro(
-    ar: [&[f32]; NN_MR],
-    br: [&[f32]; NN_NR],
-    n: usize,
-    i0: usize,
-    o0: usize,
-    out: &mut [f32],
-) {
+fn nn_micro(ar: [&[f32]; NN_MR], panel: &[f32], n: usize, i0: usize, o0: usize, out: &mut [f32]) {
     let kt = ar[0].len();
     let mut acc = [[0.0f32; NN_NR]; NN_MR];
     for (i, row) in acc.iter_mut().enumerate() {
         row.copy_from_slice(&out[(i0 + i) * n + o0..][..NN_NR]);
     }
-    for t in 0..kt {
-        let av = [ar[0][t], ar[1][t], ar[2][t], ar[3][t]];
-        let bv = [br[0][t], br[1][t], br[2][t], br[3][t]];
-        for (accr, &x) in acc.iter_mut().zip(&av) {
-            for (c, &w) in accr.iter_mut().zip(&bv) {
-                *c += x * w;
-            }
+    let [acc0, acc1, acc2, acc3] = &mut acc;
+    for (t, bv) in panel.chunks_exact(NN_NR).take(kt).enumerate() {
+        let (x0, x1, x2, x3) = (ar[0][t], ar[1][t], ar[2][t], ar[3][t]);
+        // Rows hand-jammed into one flat column loop — see [`nt_micro`].
+        for (j, &w) in bv.iter().enumerate() {
+            acc0[j] += x0 * w;
+            acc1[j] += x1 * w;
+            acc2[j] += x2 * w;
+            acc3[j] += x3 * w;
         }
     }
     for (i, row) in acc.iter().enumerate() {
@@ -315,8 +340,9 @@ pub fn gemm_tn(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f3
     }
 }
 
-/// Full `TN_MR × JB` register tile: two output rows share every streamed
-/// `b` row, and the eight-wide column block is one vector FMA per row.
+/// Full `TN_MR × JB` register tile: four output rows share every
+/// streamed `b` row, and the sixteen-wide column block vectorizes across
+/// independent output columns (never across `o`, the reduction).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn tn_micro(
@@ -330,21 +356,33 @@ fn tn_micro(
     j0: usize,
     out: &mut [f32],
 ) {
-    let a0 = &a[i0 * p + o0..][..ot];
-    let a1 = &a[(i0 + 1) * p + o0..][..ot];
-    let mut acc0: [f32; JB] = out[i0 * n + j0..][..JB].try_into().expect("JB block");
-    let mut acc1: [f32; JB] = out[(i0 + 1) * n + j0..][..JB].try_into().expect("JB block");
-    for (o_rel, (&x0, &x1)) in a0.iter().zip(a1).enumerate() {
+    let ar: [&[f32]; TN_MR] = [
+        &a[i0 * p + o0..][..ot],
+        &a[(i0 + 1) * p + o0..][..ot],
+        &a[(i0 + 2) * p + o0..][..ot],
+        &a[(i0 + 3) * p + o0..][..ot],
+    ];
+    let mut acc = [[0.0f32; JB]; TN_MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&out[(i0 + i) * n + j0..][..JB]);
+    }
+    let [acc0, acc1, acc2, acc3] = &mut acc;
+    for o_rel in 0..ot {
         let br: &[f32; JB] = b[(o0 + o_rel) * n + j0..][..JB]
             .try_into()
             .expect("JB block");
-        for ((c0, c1), &w) in acc0.iter_mut().zip(&mut acc1).zip(br) {
-            *c0 += x0 * w;
-            *c1 += x1 * w;
+        let (x0, x1, x2, x3) = (ar[0][o_rel], ar[1][o_rel], ar[2][o_rel], ar[3][o_rel]);
+        // Rows hand-jammed into one flat column loop — see [`nt_micro`].
+        for (j, &w) in br.iter().enumerate() {
+            acc0[j] += x0 * w;
+            acc1[j] += x1 * w;
+            acc2[j] += x2 * w;
+            acc3[j] += x3 * w;
         }
     }
-    out[i0 * n + j0..][..JB].copy_from_slice(&acc0);
-    out[(i0 + 1) * n + j0..][..JB].copy_from_slice(&acc1);
+    for (i, row) in acc.iter().enumerate() {
+        out[(i0 + i) * n + j0..][..JB].copy_from_slice(row);
+    }
 }
 
 /// Remainder tile of [`gemm_tn`]: per-element chains in the same
@@ -432,8 +470,10 @@ pub fn gemm_nt(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut [f3
     }
 }
 
-/// Full `NT_OR × JB` register tile: two gradient rows share every
-/// streamed `b` row while the batch dimension reduces in registers.
+/// Full `NT_OR × JB` register tile: four gradient rows share every
+/// streamed `b` row while the batch dimension reduces in registers; the
+/// sixteen-wide column block vectorizes across independent gradient
+/// columns (never across `r`, the reduction).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn nt_micro(
@@ -447,19 +487,28 @@ fn nt_micro(
     j0: usize,
     out: &mut [f32],
 ) {
-    let mut acc0: [f32; JB] = out[o0 * n + j0..][..JB].try_into().expect("JB block");
-    let mut acc1: [f32; JB] = out[(o0 + 1) * n + j0..][..JB].try_into().expect("JB block");
+    let mut acc = [[0.0f32; JB]; NT_OR];
+    for (o, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&out[(o0 + o) * n + j0..][..JB]);
+    }
+    let [acc0, acc1, acc2, acc3] = &mut acc;
     for r in r0..r0 + rt {
-        let x0 = a[r * p + o0];
-        let x1 = a[r * p + o0 + 1];
+        let av: &[f32; NT_OR] = a[r * p + o0..][..NT_OR].try_into().expect("NT_OR block");
         let br: &[f32; JB] = b[r * n + j0..][..JB].try_into().expect("JB block");
-        for ((c0, c1), &w) in acc0.iter_mut().zip(&mut acc1).zip(br) {
-            *c0 += x0 * w;
-            *c1 += x1 * w;
+        // One flat loop over columns with the rows hand-jammed: the only
+        // dimension the vectorizer can widen is `j`. (A nested
+        // rows-within-columns loop lets it interleave across rows
+        // instead, which runs several times slower.)
+        for (j, &w) in br.iter().enumerate() {
+            acc0[j] += av[0] * w;
+            acc1[j] += av[1] * w;
+            acc2[j] += av[2] * w;
+            acc3[j] += av[3] * w;
         }
     }
-    out[o0 * n + j0..][..JB].copy_from_slice(&acc0);
-    out[(o0 + 1) * n + j0..][..JB].copy_from_slice(&acc1);
+    for (o, row) in acc.iter().enumerate() {
+        out[(o0 + o) * n + j0..][..JB].copy_from_slice(row);
+    }
 }
 
 /// Remainder tile of [`gemm_nt`]: per-element chains in the same
@@ -503,6 +552,207 @@ pub fn gemm_nt_ref(a: &[f32], b: &[f32], m: usize, p: usize, n: usize, out: &mut
                 acc += a[r * p + o] * b[r * n + j];
             }
             out[o * n + j] = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched-client kernels: K clients' minibatches in one call.
+// ---------------------------------------------------------------------------
+
+/// One weight/bias operand of a batched-client GEMM.
+///
+/// On step 0 of a round every client still holds the global weights, so
+/// the whole batch multiplies against **one** shared matrix
+/// ([`BatchOperand::Shared`]) and the kernel degenerates to a single
+/// stacked `(K·mb) × n` GEMM — the shape that finally exceeds the m = 16
+/// register-tile cap per client. From step 1 on, the clients' weights
+/// have diverged; [`BatchOperand::PerClient`] views client `c`'s packed
+/// tile at `base[c·stride + off ..]` — for the ml crate that is the
+/// contiguous `W`/`bias` segment inside client `c`'s flat parameter
+/// vector (stride = the parameter count), so no copy is ever made.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchOperand<'a> {
+    /// One operand matrix shared by every client.
+    Shared(&'a [f32]),
+    /// Per-client packed tiles: client `c`'s operand is
+    /// `base[c·stride + off ..][..len]`.
+    PerClient {
+        /// Backing buffer holding every client's tile.
+        base: &'a [f32],
+        /// Distance between consecutive clients' tiles.
+        stride: usize,
+        /// Offset of the tile inside each client's stride.
+        off: usize,
+    },
+}
+
+impl<'a> BatchOperand<'a> {
+    /// Client `c`'s `len`-element tile.
+    #[inline]
+    fn tile(&self, c: usize, len: usize) -> &'a [f32] {
+        match *self {
+            Self::Shared(s) => &s[..len],
+            Self::PerClient { base, stride, off } => &base[c * stride + off..][..len],
+        }
+    }
+
+    /// Validates that every client's tile of `len` elements is in bounds.
+    fn check(&self, clients: usize, len: usize, what: &str) {
+        match *self {
+            Self::Shared(s) => assert_eq!(s.len(), len, "gemm batch: `{what}` shape mismatch"),
+            Self::PerClient { base, stride, off } => {
+                if clients > 0 {
+                    assert!(
+                        (clients - 1) * stride + off + len <= base.len(),
+                        "gemm batch: `{what}` tiles out of bounds"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Batched-client forward matmul: client `c` occupies rows
+/// `[c·mb, (c+1)·mb)` of the stacked `a` (`(clients·mb) × k`) and `out`
+/// (`(clients·mb) × n`), and multiplies against its own `n × k` weight
+/// tile and `n`-long bias tile from `w`/`bias`.
+///
+/// **Bit-exact against per-client [`gemm_nn`] calls on the same rows**:
+/// each output element's reduction chain depends only on `k` and the
+/// tile constants, never on how many rows the call carries, so stacking
+/// clients cannot reassociate anything. With both operands
+/// [`BatchOperand::Shared`] the call collapses to one stacked
+/// [`gemm_nn`] (which row-shards across the `gluefl_pool` workers under the
+/// `parallel` feature); otherwise clients become pool jobs.
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(clients, mb, n, k)`.
+#[allow(clippy::too_many_arguments)] // mirrors the (a, w, bias, dims..., out) GEMM signature family
+pub fn gemm_nn_batch(
+    a: &[f32],
+    w: &BatchOperand<'_>,
+    bias: &BatchOperand<'_>,
+    clients: usize,
+    mb: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), clients * mb * k, "gemm batch: `a` shape mismatch");
+    assert_eq!(
+        out.len(),
+        clients * mb * n,
+        "gemm batch: `out` shape mismatch"
+    );
+    w.check(clients, n * k, "w");
+    bias.check(clients, n, "bias");
+    if clients == 0 || mb == 0 || n == 0 {
+        return;
+    }
+    if let (BatchOperand::Shared(wv), BatchOperand::Shared(bv)) = (w, bias) {
+        // Step-0 shape: one big GEMM over the stacked batch.
+        gemm_nn(a, wv, bv, clients * mb, n, k, out);
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if clients > 1 && clients * mb * n * k >= PAR_MIN_MULS {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(clients);
+        if threads > 1 {
+            let jobs: Vec<(usize, &mut [f32])> = out.chunks_mut(mb * n).enumerate().collect();
+            gluefl_pool::run(threads, jobs, |(c, out_block)| {
+                gemm_nn_serial(
+                    &a[c * mb * k..][..mb * k],
+                    w.tile(c, n * k),
+                    bias.tile(c, n),
+                    mb,
+                    n,
+                    k,
+                    out_block,
+                );
+            });
+            return;
+        }
+    }
+    for (c, out_block) in out.chunks_mut(mb * n).enumerate() {
+        gemm_nn_serial(
+            &a[c * mb * k..][..mb * k],
+            w.tile(c, n * k),
+            bias.tile(c, n),
+            mb,
+            n,
+            k,
+            out_block,
+        );
+    }
+}
+
+/// Batched-client backward-data matmul: client `c` occupies rows
+/// `[c·mb, (c+1)·mb)` of the stacked `a` (`(clients·mb) × p`) and `out`
+/// (`(clients·mb) × n`), multiplying against its own `p × n` tile of
+/// `b`. Bit-exact against per-client [`gemm_tn`] calls on the same rows
+/// (rows never share an accumulator). With a shared operand the call is
+/// one stacked [`gemm_tn`], client-block-sharded across the
+/// `gluefl_pool` workers under the `parallel` feature.
+///
+/// # Panics
+/// Panics if any slice length disagrees with `(clients, mb, p, n)`.
+pub fn gemm_tn_batch(
+    a: &[f32],
+    b: &BatchOperand<'_>,
+    clients: usize,
+    mb: usize,
+    p: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), clients * mb * p, "gemm batch: `a` shape mismatch");
+    assert_eq!(
+        out.len(),
+        clients * mb * n,
+        "gemm batch: `out` shape mismatch"
+    );
+    b.check(clients, p * n, "b");
+    if clients == 0 || mb == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if clients > 1 && clients * mb * p * n >= PAR_MIN_MULS {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(clients);
+        if threads > 1 {
+            let jobs: Vec<(usize, &mut [f32])> = out.chunks_mut(mb * n).enumerate().collect();
+            gluefl_pool::run(threads, jobs, |(c, out_block)| {
+                gemm_tn(
+                    &a[c * mb * p..][..mb * p],
+                    b.tile(c, p * n),
+                    mb,
+                    p,
+                    n,
+                    out_block,
+                );
+            });
+            return;
+        }
+    }
+    match b {
+        BatchOperand::Shared(bv) => gemm_tn(a, bv, clients * mb, p, n, out),
+        BatchOperand::PerClient { .. } => {
+            for (c, out_block) in out.chunks_mut(mb * n).enumerate() {
+                gemm_tn(
+                    &a[c * mb * p..][..mb * p],
+                    b.tile(c, p * n),
+                    mb,
+                    p,
+                    n,
+                    out_block,
+                );
+            }
         }
     }
 }
@@ -606,6 +856,120 @@ mod tests {
     fn shape_mismatch_panics() {
         let mut out = [0.0f32; 4];
         gemm_nn(&[0.0; 3], &[0.0; 4], &[0.0; 2], 2, 2, 2, &mut out);
+    }
+
+    /// Batched-client calls must reproduce the per-client kernels bit
+    /// for bit — shared step-0 weights and diverged per-client tiles,
+    /// on-tile and off-tile client counts and minibatch sizes alike.
+    fn check_batch(clients: usize, mb: usize, n: usize, k: usize, seed: u64, shared: bool) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, clients * mb * k);
+        // Per-client tiles live inside a padded per-client "params"
+        // stride, mimicking the ml crate's flat parameter vectors.
+        let stride = n * k + n + 3;
+        let params = fill(&mut rng, clients.max(1) * stride);
+        let shared_w = fill(&mut rng, n * k);
+        let shared_b = fill(&mut rng, n);
+        let (w, bias) = if shared {
+            (
+                BatchOperand::Shared(&shared_w),
+                BatchOperand::Shared(&shared_b),
+            )
+        } else {
+            (
+                BatchOperand::PerClient {
+                    base: &params,
+                    stride,
+                    off: 0,
+                },
+                BatchOperand::PerClient {
+                    base: &params,
+                    stride,
+                    off: n * k,
+                },
+            )
+        };
+        let mut got = vec![0.0f32; clients * mb * n];
+        gemm_nn_batch(&a, &w, &bias, clients, mb, n, k, &mut got);
+        let mut want = vec![0.0f32; clients * mb * n];
+        for c in 0..clients {
+            let (wc, bc) = if shared {
+                (&shared_w[..], &shared_b[..])
+            } else {
+                (
+                    &params[c * stride..][..n * k],
+                    &params[c * stride + n * k..][..n],
+                )
+            };
+            gemm_nn(
+                &a[c * mb * k..][..mb * k],
+                wc,
+                bc,
+                mb,
+                n,
+                k,
+                &mut want[c * mb * n..][..mb * n],
+            );
+        }
+        assert_bits_eq(&got, &want, "nn batch");
+        // TN: stacked d_out is (clients·mb) × n against n × k tiles.
+        let d_out = fill(&mut rng, clients * mb * n);
+        let b_op = if shared {
+            BatchOperand::Shared(&shared_w)
+        } else {
+            BatchOperand::PerClient {
+                base: &params,
+                stride,
+                off: 0,
+            }
+        };
+        let mut got = vec![0.0f32; clients * mb * k];
+        gemm_tn_batch(&d_out, &b_op, clients, mb, n, k, &mut got);
+        let mut want = vec![0.0f32; clients * mb * k];
+        for c in 0..clients {
+            let bc = if shared {
+                &shared_w[..]
+            } else {
+                &params[c * stride..][..n * k]
+            };
+            gemm_tn(
+                &d_out[c * mb * n..][..mb * n],
+                bc,
+                mb,
+                n,
+                k,
+                &mut want[c * mb * k..][..mb * k],
+            );
+        }
+        assert_bits_eq(&got, &want, "tn batch");
+    }
+
+    #[test]
+    fn batched_clients_match_per_client_calls_bitwise() {
+        for (i, &(clients, mb)) in [(1, 16), (30, 16), (3, 5), (7, 1), (2, 16)]
+            .iter()
+            .enumerate()
+        {
+            check_batch(clients, mb, 96, 192, 40 + i as u64, true);
+            check_batch(clients, mb, 96, 192, 60 + i as u64, false);
+            check_batch(clients, mb, 7, 9, 80 + i as u64, false);
+        }
+    }
+
+    #[test]
+    fn batched_zero_clients_is_a_no_op() {
+        let w = [0.5f32; 6];
+        let b = [0.1f32; 2];
+        gemm_nn_batch(
+            &[],
+            &BatchOperand::Shared(&w),
+            &BatchOperand::Shared(&b),
+            0,
+            4,
+            2,
+            3,
+            &mut [],
+        );
     }
 
     /// Under the `parallel` feature, a batch large enough to trigger row

@@ -84,5 +84,8 @@ pub mod wire;
 pub use bitmask::{BitMask, SetBits, ZeroBits};
 pub use masked::MaskedUpdate;
 pub use sparse::SparseUpdate;
-pub use topk::{top_k_abs, top_k_abs_masked, top_k_abs_masked_into, TopKScope, TopKScratch};
+pub use topk::{
+    top_k_abs, top_k_abs_masked, top_k_abs_masked_into, top_k_abs_packed_into, TopKScope,
+    TopKScratch,
+};
 pub use wire::{WireCost, WireEncoding, BYTES_PER_VALUE};

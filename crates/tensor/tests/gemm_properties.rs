@@ -140,3 +140,119 @@ fn parallel_forward_matches_reference_bitwise() {
     gemm_nn_ref(&a, &b, &bias, m, n, k, &mut want);
     assert!(bits_eq(&got, &want), "sharded forward diverged");
 }
+
+// ---------------------------------------------------------------------------
+// Batched-client kernels: stacking K clients into one call must be
+// bit-exact against K per-client calls on the same rows — whether the
+// operand is shared (step 0: identical weights) or per-client packed
+// tiles (later steps: diverged weights), and for any K including 1 and
+// counts that don't divide the worker count.
+// ---------------------------------------------------------------------------
+
+use gluefl_tensor::gemm::{gemm_nn_batch, gemm_tn_batch, BatchOperand};
+
+proptest! {
+    /// Forward batched layout vs per-client [`gemm_nn`] twin.
+    #[test]
+    fn nn_batch_is_bit_exact_vs_per_client(
+        clients in 1usize..7,
+        mb in 1usize..18,
+        n in dim(),
+        k in dim(),
+        pad in 0usize..5,
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, clients * mb * k);
+        // Per-client tiles live in a padded stride to exercise the
+        // PerClient offset arithmetic; shared uses one tile for all.
+        let wstride = n * k + pad;
+        let bstride = n + pad;
+        let wbase = fill(&mut rng, clients * wstride + pad);
+        let bbase = fill(&mut rng, clients * bstride + pad);
+        let (w, bias) = if shared {
+            (
+                BatchOperand::Shared(&wbase[..n * k]),
+                BatchOperand::Shared(&bbase[..n]),
+            )
+        } else {
+            (
+                BatchOperand::PerClient { base: &wbase, stride: wstride, off: pad },
+                BatchOperand::PerClient { base: &bbase, stride: bstride, off: pad },
+            )
+        };
+        let mut got = vec![0.0f32; clients * mb * n];
+        gemm_nn_batch(&a, &w, &bias, clients, mb, n, k, &mut got);
+        let mut want = vec![0.0f32; clients * mb * n];
+        for c in 0..clients {
+            let (wt, bt) = if shared {
+                (&wbase[..n * k], &bbase[..n])
+            } else {
+                (
+                    &wbase[c * wstride + pad..][..n * k],
+                    &bbase[c * bstride + pad..][..n],
+                )
+            };
+            gemm_nn(
+                &a[c * mb * k..][..mb * k],
+                wt,
+                bt,
+                mb,
+                n,
+                k,
+                &mut want[c * mb * n..][..mb * n],
+            );
+        }
+        prop_assert!(
+            bits_eq(&got, &want),
+            "nn batch diverged at clients={} mb={} n={} k={} shared={}",
+            clients, mb, n, k, shared
+        );
+    }
+
+    /// Backward-data batched layout vs per-client [`gemm_tn`] twin.
+    #[test]
+    fn tn_batch_is_bit_exact_vs_per_client(
+        clients in 1usize..7,
+        mb in 1usize..18,
+        p in dim(),
+        n in dim(),
+        pad in 0usize..5,
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, clients * mb * p);
+        let stride = p * n + pad;
+        let base = fill(&mut rng, clients * stride + pad);
+        let b = if shared {
+            BatchOperand::Shared(&base[..p * n])
+        } else {
+            BatchOperand::PerClient { base: &base, stride, off: pad }
+        };
+        let mut got = vec![0.0f32; clients * mb * n];
+        gemm_tn_batch(&a, &b, clients, mb, p, n, &mut got);
+        let mut want = vec![0.0f32; clients * mb * n];
+        for c in 0..clients {
+            let bt = if shared {
+                &base[..p * n]
+            } else {
+                &base[c * stride + pad..][..p * n]
+            };
+            gemm_tn(
+                &a[c * mb * p..][..mb * p],
+                bt,
+                mb,
+                p,
+                n,
+                &mut want[c * mb * n..][..mb * n],
+            );
+        }
+        prop_assert!(
+            bits_eq(&got, &want),
+            "tn batch diverged at clients={} mb={} p={} n={} shared={}",
+            clients, mb, p, n, shared
+        );
+    }
+}

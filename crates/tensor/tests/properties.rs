@@ -272,3 +272,61 @@ proptest! {
         prop_assert_eq!(full, sharded);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Packed top-k: selecting over `(support, packed values)` pairs must be
+// indistinguishable from densifying first — packed values at the set
+// positions, exact `0.0` elsewhere — for every scope.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// [`top_k_abs_packed_into`] equals [`top_k_abs_masked_into`] on the
+    /// virtual dense vector, including the zero fill-up selections that
+    /// land outside the support.
+    #[test]
+    fn packed_top_k_matches_dense_twin(
+        dim in 1usize..400,
+        pairs in proptest::collection::btree_map(0u32..400, -4.0f32..4.0, 0..120),
+        k in 0usize..150,
+        scope_sel in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        use gluefl_tensor::{top_k_abs_masked_into, top_k_abs_packed_into, TopKScratch};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut support = BitMask::zeros(dim);
+        let mut packed = Vec::new();
+        for (&i, &v) in &pairs {
+            if (i as usize) < dim {
+                support.set(i as usize, true);
+                packed.push(v);
+            }
+        }
+        let mut dense = vec![0.0f32; dim];
+        {
+            let mut r = 0;
+            support.for_each_one(|i| {
+                dense[i] = packed[r];
+                r += 1;
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scope_mask =
+            BitMask::from_indices(dim, (0..dim).filter(|_| rng.gen_bool(0.5)));
+        let scope = match scope_sel {
+            0 => TopKScope::All,
+            1 => TopKScope::Inside(&scope_mask),
+            _ => TopKScope::Outside(&scope_mask),
+        };
+        let mut s1 = TopKScratch::new();
+        let mut s2 = TopKScratch::new();
+        let got = top_k_abs_packed_into(&support, &packed, k, scope, &mut s1).to_vec();
+        let scope = match scope_sel {
+            0 => TopKScope::All,
+            1 => TopKScope::Inside(&scope_mask),
+            _ => TopKScope::Outside(&scope_mask),
+        };
+        let want = top_k_abs_masked_into(&dense, k, scope, &mut s2).to_vec();
+        prop_assert_eq!(got, want, "dim={} k={} scope={}", dim, k, scope_sel);
+    }
+}

@@ -46,8 +46,8 @@
 //! grammar), which is why [`frame_len`] only prices v1 kinds and the
 //! [`FrameWriter`] length predictors take the actual indices.
 //!
-//! The legacy [`encode_sparse`]/[`encode_ternary`] free functions pick
-//! bitmap vs. index-list positions by exactly the
+//! A [`WirePolicy::legacy`] writer picks bitmap vs. index-list
+//! positions by exactly the
 //! [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule (`ceil(dim/8) ≤ 4·nnz` → bitmap,
 //! ties included), so with the [`Codec::F32`] value codec every frame's
 //! encoded length equals the corresponding analytic
@@ -55,8 +55,7 @@
 //! pins this across adversarial `dim`/`nnz`. The [`FrameWriter`]
 //! generalizes the rule: it prices every layout its
 //! [`WirePolicy`] admits in exact bytes and picks the
-//! cheapest (ties: bitmap ≻ index ≻ delta ≻ RLE), so a legacy policy
-//! reproduces the free functions bit for bit.
+//! cheapest (ties: bitmap ≻ index ≻ delta ≻ RLE).
 //!
 //! Decoding borrows the payload (`&[u8]`, zero-copy) and validates
 //! eagerly: magic/version/kind/codec, the checksum, section lengths,
@@ -488,86 +487,6 @@ impl FrameWriter {
     }
 }
 
-/// Encodes a dense frame over all of `values`. Returns the frame length
-/// in bytes (appended to `out`).
-///
-/// # Panics
-/// Panics if `values.len()` exceeds `u32::MAX`.
-#[deprecated(since = "0.2.0", note = "use FrameWriter::dense")]
-pub fn encode_dense(
-    out: &mut Vec<u8>,
-    round: u32,
-    codec: Codec,
-    rounding: Rounding,
-    values: &[f32],
-) -> usize {
-    FrameWriter::new(WirePolicy::legacy(codec)).dense(out, round, rounding, values)
-}
-
-/// Encodes a sparse frame with bitmap or u32-index positions, whichever
-/// is smaller (ties prefer bitmap — the [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse)
-/// rule, so F32 frame lengths match the analytic model exactly). Returns
-/// the frame length in bytes.
-///
-/// # Panics
-/// Panics if the indices are unsorted, repeated, or `>= dim`, or if
-/// `indices.len() != values.len()`.
-#[deprecated(since = "0.2.0", note = "use FrameWriter::sparse")]
-pub fn encode_sparse(
-    out: &mut Vec<u8>,
-    round: u32,
-    codec: Codec,
-    rounding: Rounding,
-    dim: usize,
-    indices: &[u32],
-    values: &[f32],
-) -> usize {
-    FrameWriter::new(WirePolicy::legacy(codec)).sparse(out, round, rounding, dim, indices, values)
-}
-
-/// Encodes a known-mask frame: `values` aligned (in increasing position
-/// order) to a mask the receiver already holds, so no position bytes
-/// travel. Returns the frame length in bytes.
-#[deprecated(since = "0.2.0", note = "use FrameWriter::known_mask")]
-pub fn encode_known_mask(
-    out: &mut Vec<u8>,
-    round: u32,
-    codec: Codec,
-    rounding: Rounding,
-    dim: usize,
-    values: &[f32],
-) -> usize {
-    FrameWriter::new(WirePolicy::legacy(codec)).known_mask(out, round, rounding, dim, values)
-}
-
-/// Encodes a mask broadcast frame (positions only). Returns the frame
-/// length in bytes — always `HEADER_BYTES + ceil(mask.len()/8)`, the
-/// analytic per-sync mask bitmap cost.
-#[deprecated(since = "0.2.0", note = "use FrameWriter::mask")]
-pub fn encode_mask(out: &mut Vec<u8>, round: u32, mask: &BitMask) -> usize {
-    FrameWriter::new(WirePolicy::legacy(Codec::F32)).mask(out, round, mask)
-}
-
-/// Encodes a ternary-quantized sparse frame: one magnitude `mu` plus a
-/// sign bit per kept coordinate (`true` = `+mu`). Positions travel as
-/// bitmap or index list, whichever is smaller. Returns the frame length
-/// in bytes.
-///
-/// # Panics
-/// Panics if the indices are unsorted, repeated, or `>= dim`, or if
-/// `indices.len() != signs.len()`.
-#[deprecated(since = "0.2.0", note = "use FrameWriter::ternary")]
-pub fn encode_ternary(
-    out: &mut Vec<u8>,
-    round: u32,
-    dim: usize,
-    mu: f32,
-    indices: &[u32],
-    signs: &[bool],
-) -> usize {
-    FrameWriter::new(WirePolicy::legacy(Codec::F32)).ternary(out, round, dim, mu, indices, signs)
-}
-
 fn assert_sorted_in_range(indices: &[u32], dim: usize) {
     for (j, &i) in indices.iter().enumerate() {
         assert!((i as usize) < dim, "index {i} out of range {dim}");
@@ -690,7 +609,8 @@ pub fn frame_len(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> u64 {
     HEADER_BYTES as u64 + positions + values
 }
 
-/// The position encoding [`encode_sparse`] picks for `(dim, nnz)`:
+/// The position encoding a [`WirePolicy::legacy`] writer picks for
+/// `(dim, nnz)`:
 /// bitmap when `ceil(dim/8) ≤ 4·nnz` (ties included — the
 /// [`WireCost::sparse`](gluefl_tensor::wire::WireCost::sparse) rule),
 /// index list otherwise.
@@ -703,8 +623,9 @@ pub fn sparse_kind(dim: usize, nnz: usize) -> FrameKind {
     }
 }
 
-/// The position encoding [`encode_ternary`] picks for `(dim, nnz)` —
-/// the same bitmap-vs-index rule as [`sparse_kind`].
+/// The position encoding a [`WirePolicy::legacy`] writer picks for a
+/// ternary frame over `(dim, nnz)` — the same bitmap-vs-index rule as
+/// [`sparse_kind`].
 #[must_use]
 pub fn ternary_kind(dim: usize, nnz: usize) -> FrameKind {
     if dim.div_ceil(8) <= 4 * nnz {
@@ -1180,11 +1101,16 @@ fn for_each_bitmap_one(bytes: &[u8], mut f: impl FnMut(usize)) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy encode_* shims stay covered until removal
 mod tests {
     use super::*;
     use crate::policy::{delta_section_len, rle_section_len, rle_section_len_from_indices};
     use gluefl_tensor::wire::WireCost;
+
+    /// Writer reproducing the v1 legacy frame layouts the analytic
+    /// [`WireCost`] model prices.
+    fn legacy(codec: Codec) -> FrameWriter {
+        FrameWriter::new(WirePolicy::legacy(codec))
+    }
 
     #[test]
     fn header_bytes_match_analytic_model() {
@@ -1192,21 +1118,12 @@ mod tests {
     }
 
     #[test]
-    fn legacy_shims_match_framewriter_byte_for_byte() {
-        let dim = 3000;
-        let indices: Vec<u32> = (0..80u32).map(|i| i * 31).collect();
-        let values: Vec<f32> = (0..80).map(|i| (i as f32).cos()).collect();
-        for codec in [Codec::F32, Codec::F16, Codec::QuantU8] {
-            let writer = FrameWriter::new(WirePolicy::legacy(codec));
-            let mut a = Vec::new();
-            let _ = encode_sparse(&mut a, 5, codec, Rounding::Nearest, dim, &indices, &values);
-            let mut b = Vec::new();
-            let _ = writer.sparse(&mut b, 5, Rounding::Nearest, dim, &indices, &values);
-            assert_eq!(a, b, "codec {codec:?}");
-        }
+    fn mask_frames_are_policy_independent() {
+        // Mask frames carry no value section, so the legacy and the
+        // default (entropy-enabled) policies emit identical bytes.
         let mask = BitMask::from_indices(500, (0..500).step_by(3));
         let mut a = Vec::new();
-        let _ = encode_mask(&mut a, 1, &mask);
+        let _ = legacy(Codec::F32).mask(&mut a, 1, &mask);
         let mut b = Vec::new();
         let _ = FrameWriter::new(WirePolicy::default()).mask(&mut b, 1, &mask);
         assert_eq!(a, b);
@@ -1379,15 +1296,7 @@ mod tests {
         // to version 2 (kind bits unchanged) and restamp the CRC: the
         // non-canonical version/kind pairing must be rejected.
         let mut buf = Vec::new();
-        let _ = encode_sparse(
-            &mut buf,
-            0,
-            Codec::F32,
-            Rounding::Nearest,
-            1000,
-            &[5],
-            &[1.0],
-        );
+        let _ = legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, 1000, &[5], &[1.0]);
         buf[1] = (VERSION_ENTROPY << 6) | (buf[1] & 0x3f);
         let crc = crc16_update(crc16(&buf[..14]), &buf[HEADER_BYTES..]);
         buf[14..16].copy_from_slice(&crc.to_le_bytes());
@@ -1398,7 +1307,7 @@ mod tests {
     fn dense_round_trip_bit_exact() {
         let values: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
         let mut buf = Vec::new();
-        let n = encode_dense(&mut buf, 7, Codec::F32, Rounding::Nearest, &values);
+        let n = legacy(Codec::F32).dense(&mut buf, 7, Rounding::Nearest, &values);
         assert_eq!(n, buf.len());
         assert_eq!(n as u64, WireCost::dense(values.len()).total_bytes());
         let frame = decode_frame(&buf).unwrap();
@@ -1422,15 +1331,8 @@ mod tests {
                 .collect();
             let values: Vec<f32> = (0..nnz).map(|i| i as f32 - 2.0).collect();
             let mut buf = Vec::new();
-            let n = encode_sparse(
-                &mut buf,
-                0,
-                Codec::F32,
-                Rounding::Nearest,
-                dim,
-                &indices,
-                &values,
-            );
+            let n =
+                legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, dim, &indices, &values);
             assert_eq!(
                 n as u64,
                 WireCost::sparse(dim, nnz).total_bytes(),
@@ -1450,7 +1352,7 @@ mod tests {
     fn known_mask_frame_has_no_position_bytes() {
         let values = vec![1.0f32, -2.0, 3.0];
         let mut buf = Vec::new();
-        let n = encode_known_mask(&mut buf, 3, Codec::F32, Rounding::Nearest, 100, &values);
+        let n = legacy(Codec::F32).known_mask(&mut buf, 3, Rounding::Nearest, 100, &values);
         assert_eq!(n as u64, WireCost::known_mask(3).total_bytes());
         let frame = decode_frame(&buf).unwrap();
         assert_eq!(frame.kind, FrameKind::KnownMask);
@@ -1464,7 +1366,7 @@ mod tests {
     fn mask_frame_round_trips_and_costs_the_bitmap() {
         let mask = BitMask::from_indices(77, [0usize, 13, 64, 76]);
         let mut buf = Vec::new();
-        let n = encode_mask(&mut buf, 9, &mask);
+        let n = legacy(Codec::F32).mask(&mut buf, 9, &mask);
         assert_eq!(n, HEADER_BYTES + 77usize.div_ceil(8));
         let frame = decode_frame(&buf).unwrap();
         assert_eq!(frame.kind, FrameKind::Mask);
@@ -1480,7 +1382,7 @@ mod tests {
         let indices: Vec<u32> = (0..500).map(|i| i * 17).collect();
         let signs: Vec<bool> = (0..500).map(|i| i % 3 != 0).collect();
         let mut buf = Vec::new();
-        let n = encode_ternary(&mut buf, 4, dim, 0.125, &indices, &signs);
+        let n = legacy(Codec::F32).ternary(&mut buf, 4, dim, 0.125, &indices, &signs);
         // Analytic: positions min(bitmap, 4·nnz) + (ceil(nnz/8) + 4) + header.
         let positions = WireCost::sparse(dim, indices.len()).position_bytes;
         assert_eq!(n as u64, positions + 500u64.div_ceil(8) + 4 + 16);
@@ -1503,16 +1405,9 @@ mod tests {
     #[test]
     fn prefix_decoding_streams_concatenated_frames() {
         let mut buf = Vec::new();
-        encode_known_mask(&mut buf, 1, Codec::F32, Rounding::Nearest, 10, &[1.0, 2.0]);
-        encode_sparse(
-            &mut buf,
-            1,
-            Codec::F32,
-            Rounding::Nearest,
-            1000,
-            &[5, 9],
-            &[-1.0, 4.0],
-        );
+        let writer = legacy(Codec::F32);
+        writer.known_mask(&mut buf, 1, Rounding::Nearest, 10, &[1.0, 2.0]);
+        writer.sparse(&mut buf, 1, Rounding::Nearest, 1000, &[5, 9], &[-1.0, 4.0]);
         let (first, rest) = decode_frame_prefix(&buf).unwrap();
         assert_eq!(first.kind, FrameKind::KnownMask);
         let (second, rest) = decode_frame_prefix(rest).unwrap();
@@ -1530,7 +1425,7 @@ mod tests {
         // nnz = 0: index list costs 0 < bitmap, so positions are empty —
         // same as WireCost::sparse(d, 0).
         let mut buf = Vec::new();
-        let n = encode_sparse(&mut buf, 0, Codec::F32, Rounding::Nearest, 100, &[], &[]);
+        let n = legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, 100, &[], &[]);
         assert_eq!(n as u64, WireCost::sparse(100, 0).total_bytes());
         let frame = decode_frame(&buf).unwrap();
         assert_eq!(frame.nnz, 0);
@@ -1540,11 +1435,11 @@ mod tests {
     fn quantized_frames_are_smaller_and_decode() {
         let values: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.71).sin()).collect();
         let mut f32_buf = Vec::new();
-        encode_dense(&mut f32_buf, 0, Codec::F32, Rounding::Nearest, &values);
+        legacy(Codec::F32).dense(&mut f32_buf, 0, Rounding::Nearest, &values);
         let mut q_buf = Vec::new();
-        encode_dense(&mut q_buf, 0, Codec::QuantU8, Rounding::Nearest, &values);
+        legacy(Codec::QuantU8).dense(&mut q_buf, 0, Rounding::Nearest, &values);
         let mut h_buf = Vec::new();
-        encode_dense(&mut h_buf, 0, Codec::F16, Rounding::Nearest, &values);
+        legacy(Codec::F16).dense(&mut h_buf, 0, Rounding::Nearest, &values);
         assert!(q_buf.len() < h_buf.len() && h_buf.len() < f32_buf.len());
         let frame = decode_frame(&q_buf).unwrap();
         assert_eq!(frame.codec, Codec::QuantU8);
@@ -1558,16 +1453,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "strictly increasing")]
-    fn encode_sparse_rejects_unsorted_indices() {
+    fn sparse_writer_rejects_unsorted_indices() {
         let mut buf = Vec::new();
-        let _ = encode_sparse(
-            &mut buf,
-            0,
-            Codec::F32,
-            Rounding::Nearest,
-            10,
-            &[3, 1],
-            &[1.0, 2.0],
-        );
+        let _ = legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, 10, &[3, 1], &[1.0, 2.0]);
     }
 }

@@ -83,11 +83,9 @@ mod varint;
 
 pub use codec::{Codec, Rounding, QUANT_BLOCK};
 pub use error::WireError;
-#[allow(deprecated)] // re-exported for one release alongside FrameWriter
 pub use frame::{
-    decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
-    encode_ternary, frame_len, frame_len_from_header, sparse_kind, ternary_kind, Frame, FrameKind,
-    FrameWriter, HEADER_BYTES, MAGIC, VERSION, VERSION_ENTROPY,
+    decode_frame, decode_frame_prefix, frame_len, frame_len_from_header, sparse_kind, ternary_kind,
+    Frame, FrameKind, FrameWriter, HEADER_BYTES, MAGIC, VERSION, VERSION_ENTROPY,
 };
 pub use policy::{
     delta_section_len, rle_section_len, rle_section_len_from_indices, IndexLayout, WirePolicy,

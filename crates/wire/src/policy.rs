@@ -69,8 +69,8 @@ impl Default for WirePolicy {
 
 impl WirePolicy {
     /// The original v1 menu (bitmap / u32 index list, no RLE) with the
-    /// given value codec — what the deprecated `encode_*` free functions
-    /// emit.
+    /// given value codec — the layout every pre-entropy frame on disk
+    /// and on the wire was written in.
     #[must_use]
     pub fn legacy(codec: Codec) -> Self {
         Self {

@@ -5,18 +5,20 @@
 //! bits, …) are re-stamped with a valid checksum so the structural check
 //! itself is exercised rather than the CRC.
 
-// The legacy shims stay covered until their removal.
-#![allow(deprecated)]
-
 use gluefl_tensor::BitMask;
 use gluefl_wire::crc::{crc16, crc16_update};
 use gluefl_wire::{
-    decode_frame, decode_frame_prefix, encode_dense, encode_known_mask, encode_mask, encode_sparse,
-    encode_ternary, Codec, FrameKind, FrameWriter, Rounding, WireError, WirePolicy, HEADER_BYTES,
-    MAGIC, VERSION_ENTROPY,
+    decode_frame, decode_frame_prefix, Codec, FrameKind, FrameWriter, Rounding, WireError,
+    WirePolicy, HEADER_BYTES, MAGIC, VERSION_ENTROPY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Writer producing the v1 (legacy-layout) frames these corruption
+/// suites poke at byte-by-byte.
+fn legacy(codec: Codec) -> FrameWriter {
+    FrameWriter::new(WirePolicy::legacy(codec))
+}
 
 /// Recomputes a (single-frame) buffer's checksum after a deliberate
 /// structural mutation.
@@ -28,10 +30,9 @@ fn restamp(buf: &mut [u8]) {
 fn sample_sparse_index() -> Vec<u8> {
     // 4 of 1000 coordinates → index-list positions.
     let mut buf = Vec::new();
-    let _ = encode_sparse(
+    let _ = legacy(Codec::F32).sparse(
         &mut buf,
         5,
-        Codec::F32,
         Rounding::Nearest,
         1000,
         &[10, 20, 300, 999],
@@ -45,15 +46,7 @@ fn sample_sparse_bitmap() -> Vec<u8> {
     let indices: Vec<u32> = (0..60).map(|i| i + (i / 3)).collect();
     let values: Vec<f32> = indices.iter().map(|&i| i as f32).collect();
     let mut buf = Vec::new();
-    let _ = encode_sparse(
-        &mut buf,
-        5,
-        Codec::F32,
-        Rounding::Nearest,
-        100,
-        &indices,
-        &values,
-    );
+    let _ = legacy(Codec::F32).sparse(&mut buf, 5, Rounding::Nearest, 100, &indices, &values);
     buf
 }
 
@@ -110,7 +103,7 @@ fn truncation_at_every_length_is_a_typed_error() {
         sample_mask_rle(),
         {
             let mut b = Vec::new();
-            let _ = encode_dense(&mut b, 0, Codec::QuantU8, Rounding::Nearest, &[1.0; 100]);
+            let _ = legacy(Codec::QuantU8).dense(&mut b, 0, Rounding::Nearest, &[1.0; 100]);
             b
         },
     ] {
@@ -188,7 +181,7 @@ fn bad_kind_and_codec_are_typed() {
     assert_eq!(decode_frame(&bad).unwrap_err(), WireError::BadCodec(3));
     // Mask frames are codec-free: a declared F16 codec is non-canonical.
     let mut mask_buf = Vec::new();
-    let _ = encode_mask(&mut mask_buf, 0, &BitMask::from_indices(40, [1usize, 7]));
+    let _ = legacy(Codec::F32).mask(&mut mask_buf, 0, &BitMask::from_indices(40, [1usize, 7]));
     mask_buf[1] = (mask_buf[1] & !(0x03 << 1)) | (Codec::F16.id() << 1);
     restamp(&mut mask_buf);
     assert_eq!(decode_frame(&mask_buf).unwrap_err(), WireError::BadCodec(1));
@@ -209,7 +202,7 @@ fn nnz_dim_mismatches_are_typed() {
     );
     // Dense frame whose nnz disagrees with dim.
     let mut dense = Vec::new();
-    let _ = encode_dense(&mut dense, 0, Codec::F32, Rounding::Nearest, &[1.0; 10]);
+    let _ = legacy(Codec::F32).dense(&mut dense, 0, Rounding::Nearest, &[1.0; 10]);
     dense[10..14].copy_from_slice(&9u32.to_le_bytes());
     restamp(&mut dense);
     assert_eq!(
@@ -357,7 +350,7 @@ fn zero_length_runs_are_typed() {
 #[test]
 fn ternary_sign_padding_must_be_zero() {
     let mut buf = Vec::new();
-    let _ = encode_ternary(&mut buf, 0, 500, 0.25, &[1, 2, 3], &[true, false, true]);
+    let _ = legacy(Codec::F32).ternary(&mut buf, 0, 500, 0.25, &[1, 2, 3], &[true, false, true]);
     // Sign byte is the last payload byte (3 signs → 5 padding bits).
     let last = buf.len() - 1;
     buf[last] |= 1 << 5;
@@ -381,7 +374,7 @@ fn trailing_bytes_are_typed_but_prefix_decoding_streams() {
 #[test]
 fn known_mask_nnz_is_bounded_by_dim() {
     let mut buf = Vec::new();
-    let _ = encode_known_mask(&mut buf, 0, Codec::F32, Rounding::Nearest, 8, &[1.0; 8]);
+    let _ = legacy(Codec::F32).known_mask(&mut buf, 0, Rounding::Nearest, 8, &[1.0; 8]);
     buf[10..14].copy_from_slice(&9u32.to_le_bytes());
     restamp(&mut buf);
     assert_eq!(

@@ -15,17 +15,19 @@
 //!   ([`delta_section_len`] / [`rle_section_len`]), never exceeds the
 //!   legacy layout, and the round trip stays bit-exact.
 
-// The legacy shims stay covered until their removal.
-#![allow(deprecated)]
-
 use gluefl_tensor::wire::{WireCost, HEADER_BYTES};
 use gluefl_tensor::BitMask;
 use gluefl_wire::{
-    decode_frame, delta_section_len, encode_dense, encode_known_mask, encode_mask, encode_sparse,
-    encode_ternary, rle_section_len, rle_section_len_from_indices, Codec, FrameKind, FrameWriter,
-    Rounding, WirePolicy, QUANT_BLOCK,
+    decode_frame, delta_section_len, rle_section_len, rle_section_len_from_indices, Codec,
+    FrameKind, FrameWriter, Rounding, WirePolicy, QUANT_BLOCK,
 };
 use proptest::prelude::*;
+
+/// Writer producing the v1 (legacy-layout) frames the analytic length
+/// laws are stated over.
+fn legacy(codec: Codec) -> FrameWriter {
+    FrameWriter::new(WirePolicy::legacy(codec))
+}
 
 /// Sorted unique indices: a subset of `0..dim` drawn from per-position
 /// coin flips, so nnz spans empty → full.
@@ -44,7 +46,7 @@ proptest! {
     fn dense_f32_length_matches_analytic(dim in 0usize..3000) {
         let values: Vec<f32> = (0..dim).map(|i| i as f32 - 7.5).collect();
         let mut buf = Vec::new();
-        let n = encode_dense(&mut buf, 1, Codec::F32, Rounding::Nearest, &values);
+        let n = legacy(Codec::F32).dense(&mut buf, 1, Rounding::Nearest, &values);
         prop_assert_eq!(n as u64, WireCost::dense(dim).total_bytes());
         prop_assert_eq!(n, buf.len());
     }
@@ -60,12 +62,12 @@ proptest! {
         let (indices, values) = sparse_case(dim, &ones);
         let nnz = indices.len();
         let mut buf = Vec::new();
-        let n = encode_sparse(&mut buf, 0, Codec::F32, Rounding::Nearest, dim, &indices, &values);
+        let n = legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, dim, &indices, &values);
         prop_assert_eq!(n as u64, WireCost::sparse(dim, nnz).total_bytes(),
             "dim={} nnz={}", dim, nnz);
 
         let mut kbuf = Vec::new();
-        let k = encode_known_mask(&mut kbuf, 0, Codec::F32, Rounding::Nearest, dim, &values);
+        let k = legacy(Codec::F32).known_mask(&mut kbuf, 0, Rounding::Nearest, dim, &values);
         prop_assert_eq!(k as u64, WireCost::known_mask(nnz).total_bytes());
     }
 
@@ -75,7 +77,7 @@ proptest! {
     fn mask_length_matches_analytic(dim in 1usize..4000, stride in 1usize..50) {
         let mask = BitMask::from_indices(dim, (0..dim).step_by(stride));
         let mut buf = Vec::new();
-        let n = encode_mask(&mut buf, 0, &mask);
+        let n = legacy(Codec::F32).mask(&mut buf, 0, &mask);
         prop_assert_eq!(n as u64, (dim as u64).div_ceil(8) + HEADER_BYTES);
     }
 
@@ -90,7 +92,7 @@ proptest! {
         let nnz = indices.len();
         let signs: Vec<bool> = (0..nnz).map(|j| j % 2 == 0).collect();
         let mut buf = Vec::new();
-        let n = encode_ternary(&mut buf, 0, dim, 0.5, &indices, &signs);
+        let n = legacy(Codec::F32).ternary(&mut buf, 0, dim, 0.5, &indices, &signs);
         let analytic = WireCost {
             value_bytes: (nnz as u64).div_ceil(8) + 4,
             position_bytes: WireCost::sparse(dim, nnz).position_bytes,
@@ -107,7 +109,7 @@ proptest! {
     ) {
         let (indices, values) = sparse_case(dim, &ones);
         let mut buf = Vec::new();
-        let _ = encode_sparse(&mut buf, 3, Codec::F32, Rounding::Nearest, dim, &indices, &values);
+        let _ = legacy(Codec::F32).sparse(&mut buf, 3, Rounding::Nearest, dim, &indices, &values);
         let frame = decode_frame(&buf).unwrap();
         prop_assert_eq!(frame.round, 3);
         prop_assert_eq!(frame.dim, dim);
@@ -129,7 +131,7 @@ proptest! {
             .collect();
         // F16.
         let mut hbuf = Vec::new();
-        let _ = encode_dense(&mut hbuf, 0, Codec::F16, Rounding::Nearest, &values);
+        let _ = legacy(Codec::F16).dense(&mut hbuf, 0, Rounding::Nearest, &values);
         let mut back = Vec::new();
         decode_frame(&hbuf).unwrap().values_into(&mut back);
         let min_normal = 2.0f32.powi(-14); // smallest normal f16
@@ -143,7 +145,7 @@ proptest! {
             (Rounding::Stochastic { seed }, 1.0f32),
         ] {
             let mut qbuf = Vec::new();
-            let _ = encode_dense(&mut qbuf, 0, Codec::QuantU8, rounding, &values);
+            let _ = legacy(Codec::QuantU8).dense(&mut qbuf, 0, rounding, &values);
             let mut back = Vec::new();
             decode_frame(&qbuf).unwrap().values_into(&mut back);
             for (block, decoded) in values.chunks(QUANT_BLOCK).zip(back.chunks(QUANT_BLOCK)) {
@@ -244,7 +246,7 @@ proptest! {
         let values: Vec<f32> = (0..300).map(|i| (i as f32 * 0.913).cos()).collect();
         let enc = |s: u64| {
             let mut buf = Vec::new();
-            let _ = encode_dense(&mut buf, 0, Codec::QuantU8, Rounding::Stochastic { seed: s }, &values);
+            let _ = legacy(Codec::QuantU8).dense(&mut buf, 0, Rounding::Stochastic { seed: s }, &values);
             buf
         };
         prop_assert_eq!(enc(seed), enc(seed));
@@ -273,15 +275,7 @@ fn adversarial_corner_shapes_match_analytic() {
             .collect();
         let values: Vec<f32> = indices.iter().map(|&i| i as f32).collect();
         let mut buf = Vec::new();
-        let n = encode_sparse(
-            &mut buf,
-            0,
-            Codec::F32,
-            Rounding::Nearest,
-            dim,
-            &indices,
-            &values,
-        );
+        let n = legacy(Codec::F32).sparse(&mut buf, 0, Rounding::Nearest, dim, &indices, &values);
         assert_eq!(
             n as u64,
             WireCost::sparse(dim, nnz).total_bytes(),

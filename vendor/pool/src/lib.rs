@@ -1,0 +1,206 @@
+//! Minimal work-stealing thread pool — the offline stand-in for rayon.
+//!
+//! The build environment cannot fetch crates.io, so this vendored crate
+//! implements exactly the parallel-execution surface the workspace uses:
+//! [`run`], a scoped parallel-for over an owned job list. Each invocation
+//! spawns its workers inside [`std::thread::scope`], so jobs may borrow
+//! stack data (the callers all hand out disjoint `&mut` chunks of one
+//! buffer), and the pool needs no `unsafe` lifetime laundering — the
+//! whole crate is `#![forbid(unsafe_code)]`.
+//!
+//! # Scheduling
+//!
+//! Jobs are dealt round-robin into one deque per worker. A worker pops
+//! from the *back* of its own deque (LIFO, cache-warm) and, when empty,
+//! steals from the *front* of a victim's deque (FIFO, the classic
+//! work-stealing split that minimises owner/thief contention). Deques are
+//! `Mutex<VecDeque>`s rather than lock-free Chase–Lev arrays: every job
+//! this workspace submits is coarse (a GEMM row block, a client's
+//! training step, a 64 KiB accumulator shard), so one uncontended lock
+//! per job is noise — and it keeps the crate free of `unsafe`.
+//!
+//! # Determinism
+//!
+//! The pool makes **no ordering guarantees** between jobs. Callers get
+//! bit-exact results the same way they did with scoped threads: every
+//! job owns a disjoint output region and is internally serial, so the
+//! schedule cannot reassociate any reduction. Jobs cannot submit further
+//! jobs (the API has no handle to do so), which is what makes the
+//! empty-deques exit condition sound.
+//!
+//! ```
+//! let mut out = vec![0u64; 64];
+//! let jobs: Vec<(usize, &mut [u64])> = out.chunks_mut(8).enumerate().collect();
+//! gluefl_pool::run(4, jobs, |(i, chunk)| {
+//!     for (j, v) in chunk.iter_mut().enumerate() {
+//!         *v = (i * 8 + j) as u64;
+//!     }
+//! });
+//! assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs every job in `jobs` across at most `threads` workers with
+/// work-stealing deques, returning once all jobs have finished.
+///
+/// The worker count is clamped to the job count (never spawning an idle
+/// thread) and to a minimum of one; with a single worker the jobs run
+/// inline on the calling thread in submission order, so the serial and
+/// `threads = 1` paths are literally the same loop. The calling thread
+/// always participates as worker 0.
+///
+/// # Panics
+/// A panic inside `f` propagates to the caller once the scope joins
+/// (matching `std::thread::scope` semantics).
+pub fn run<J, F>(threads: usize, jobs: Vec<J>, f: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    let workers = threads.min(jobs.len()).max(1);
+    if workers == 1 {
+        for job in jobs {
+            f(job);
+        }
+        return;
+    }
+    // Deal jobs round-robin so every worker starts with a share of the
+    // tail (chunked callers submit roughly equal-cost jobs; round-robin
+    // also spreads any cost gradient across workers).
+    let mut deques: Vec<VecDeque<J>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % workers].push_back(job);
+    }
+    let deques: Vec<Mutex<VecDeque<J>>> = deques.into_iter().map(Mutex::new).collect();
+    let deques = &deques;
+    let f = &f;
+    std::thread::scope(|s| {
+        for me in 1..workers {
+            s.spawn(move || worker(me, deques, f));
+        }
+        worker(0, deques, f);
+    });
+}
+
+/// One worker loop: drain the own deque from the back, then steal from
+/// the next non-empty victim's front; exit when every deque is empty.
+fn worker<J, F>(me: usize, deques: &[Mutex<VecDeque<J>>], f: &F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    loop {
+        let own = deques[me].lock().expect("pool deque poisoned").pop_back();
+        if let Some(job) = own {
+            f(job);
+            continue;
+        }
+        let mut stolen = None;
+        for step in 1..deques.len() {
+            let victim = (me + step) % deques.len();
+            let job = deques[victim]
+                .lock()
+                .expect("pool deque poisoned")
+                .pop_front();
+            if job.is_some() {
+                stolen = job;
+                break;
+            }
+        }
+        match stolen {
+            Some(job) => f(job),
+            // All deques empty: jobs cannot spawn jobs, so no new work
+            // can appear — safe to exit.
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let mut out = vec![0u32; 1000];
+        let jobs: Vec<(usize, &mut u32)> = out.iter_mut().enumerate().collect();
+        super::run(8, jobs, |(i, slot)| *slot += i as u32 + 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let order = Mutex::new(Vec::new());
+        super::run(1, (0..16).collect(), |i: usize| {
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        super::run(4, Vec::<usize>::new(), |_| panic!("no jobs to run"));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_spawns_no_idle_worker() {
+        // 64 requested workers, 3 jobs: must still run all three.
+        let counter = AtomicUsize::new(0);
+        super::run(64, vec![(); 3], |()| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn uneven_job_costs_are_stolen() {
+        // One deque gets all the slow jobs (round-robin dealt, so make
+        // the slow ones share an index class); the total still completes
+        // and every slot is written.
+        let mut out = vec![0u8; 256];
+        let jobs: Vec<(usize, &mut u8)> = out.iter_mut().enumerate().collect();
+        super::run(4, jobs, |(i, slot)| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            *slot = 1;
+        });
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    /// Oversubscription stress: far more workers than cores, far more
+    /// jobs than workers, with disjoint mutable outputs — the pool must
+    /// complete every job exactly once and the scope must join cleanly.
+    #[test]
+    fn oversubscription_stress() {
+        let mut out = vec![0u64; 10_000];
+        let jobs: Vec<(usize, &mut u64)> = out.iter_mut().enumerate().collect();
+        super::run(128, jobs, |(i, slot)| {
+            // A little real work so threads genuinely interleave.
+            let mut acc = i as u64;
+            for _ in 0..32 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            *slot = acc | 1;
+        });
+        assert!(out.iter().all(|&v| v != 0));
+    }
+
+    // The panic surfaces either directly (worker 0) or as the scope's
+    // "a scoped thread panicked" re-panic, so no message is asserted.
+    #[test]
+    #[should_panic]
+    fn job_panic_propagates_to_caller() {
+        super::run(4, (0..8).collect(), |i: usize| {
+            if i == 5 {
+                panic!("job panic propagates");
+            }
+        });
+    }
+}
