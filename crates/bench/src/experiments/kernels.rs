@@ -523,6 +523,7 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
                 &mut stats_all,
                 &trainable_mask,
                 &mut batch_scratch,
+                None,
             );
             for id in 0..clients {
                 baseline_local_train(
@@ -589,6 +590,7 @@ pub fn run(opts: &ExptOpts) -> Result<(), String> {
                         &mut stats_all,
                         &trainable_mask,
                         &mut batch_scratch,
+                        None,
                     );
                     clients
                 },

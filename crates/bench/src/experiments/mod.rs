@@ -16,6 +16,7 @@ pub mod prop12;
 pub mod scale;
 pub mod table2;
 pub mod table3;
+pub mod trace;
 pub mod wire;
 
 use crate::ExptOpts;
@@ -23,7 +24,7 @@ use crate::ExptOpts;
 /// All experiment ids, in the paper's order.
 pub const ALL: &[&str] = &[
     "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table3a",
-    "table3b", "prop12", "wire", "kernels", "scale",
+    "table3b", "prop12", "wire", "kernels", "scale", "trace",
 ];
 
 /// Dispatches an experiment by id.
@@ -48,6 +49,7 @@ pub fn run(id: &str, opts: &ExptOpts) -> Result<(), String> {
         "wire" => wire::run(opts),
         "kernels" => kernels::run(opts),
         "scale" => scale::run(opts),
+        "trace" => trace::run(opts),
         "all" => {
             for id in ALL {
                 println!("\n================ {id} ================");

@@ -1,7 +1,18 @@
 //! Per-round and per-run metrics, mirroring the paper's Table 2 columns.
 
+use gluefl_telemetry::{Phase, PHASE_COUNT};
+
 /// One round's measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// # Equality
+///
+/// `PartialEq` compares the *modelled* round — bytes, analytic times,
+/// accuracy, counts — and deliberately ignores the measured wall-time
+/// fields ([`RoundRecord::phase_nanos`], [`RoundRecord::step_nanos`]):
+/// the loopback suite pins socket rounds bit-exact against simulator
+/// rounds by record equality, and wall-clock nanoseconds are the one
+/// thing two bit-identical executions legitimately disagree on.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: u32,
@@ -49,6 +60,79 @@ pub struct RoundRecord {
     pub kept: usize,
     /// Positions changed by this round's aggregate update.
     pub changed_positions: usize,
+    /// *Measured* wall-clock nanoseconds spent in each [`Phase`]
+    /// (indexed by [`Phase::index`]), recorded only when a
+    /// [`gluefl_telemetry::Telemetry`] recorder is attached to the
+    /// simulation — all zeros otherwise. Unlike the analytic
+    /// `*_secs` columns (which model the *clients'* network/compute
+    /// time), these measure where this process actually spent the
+    /// round.
+    pub phase_nanos: [u64; PHASE_COUNT],
+    /// *Measured* wall-clock nanoseconds of the whole round step,
+    /// excluding evaluation; zero without an attached recorder. The
+    /// per-phase spans above account for within 5% of this (pinned by
+    /// `expt trace` and the simulator tests).
+    pub step_nanos: u64,
+}
+
+impl RoundRecord {
+    /// Measured nanoseconds of one phase this round.
+    #[must_use]
+    pub fn phase_nanos_of(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// Sum of all measured per-phase nanoseconds this round.
+    #[must_use]
+    pub fn measured_phase_total(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+}
+
+impl PartialEq for RoundRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Destructure so adding a field forces a decision here; the two
+        // measured wall-time fields are the only ones ignored (see the
+        // struct docs).
+        let Self {
+            round,
+            down_bytes,
+            up_bytes,
+            wire_up_bytes,
+            wire_broadcast_bytes,
+            round_secs,
+            slowest_download_secs,
+            slowest_upload_secs,
+            slowest_compute_secs,
+            mean_download_secs,
+            mean_upload_secs,
+            mean_compute_secs,
+            accuracy,
+            loss,
+            invited,
+            kept,
+            changed_positions,
+            phase_nanos: _,
+            step_nanos: _,
+        } = self;
+        *round == other.round
+            && *down_bytes == other.down_bytes
+            && *up_bytes == other.up_bytes
+            && *wire_up_bytes == other.wire_up_bytes
+            && *wire_broadcast_bytes == other.wire_broadcast_bytes
+            && *round_secs == other.round_secs
+            && *slowest_download_secs == other.slowest_download_secs
+            && *slowest_upload_secs == other.slowest_upload_secs
+            && *slowest_compute_secs == other.slowest_compute_secs
+            && *mean_download_secs == other.mean_download_secs
+            && *mean_upload_secs == other.mean_upload_secs
+            && *mean_compute_secs == other.mean_compute_secs
+            && *accuracy == other.accuracy
+            && *loss == other.loss
+            && *invited == other.invited
+            && *kept == other.kept
+            && *changed_positions == other.changed_positions
+    }
 }
 
 /// Accumulated results of one training run.
@@ -174,17 +258,24 @@ impl RunResult {
         out
     }
 
-    /// Writes the per-round records as CSV (header + one line per round).
+    /// Writes the per-round records as CSV (header + one line per
+    /// round). The analytic columns come first; the measured per-phase
+    /// wall-time columns (`step_ns` plus one `<phase>_ns` per
+    /// [`Phase`], all zeros without an attached recorder) follow them.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
             "round,down_bytes,up_bytes,wire_up_bytes,wire_broadcast_bytes,round_secs,\
              slowest_download_secs,slowest_upload_secs,slowest_compute_secs,accuracy,loss,\
-             invited,kept,changed\n",
+             invited,kept,changed,step_ns",
         );
+        for p in Phase::ALL {
+            s.push_str(&format!(",{}_ns", p.name()));
+        }
+        s.push('\n');
         for r in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{}",
                 r.round,
                 r.down_bytes,
                 r.up_bytes,
@@ -199,7 +290,12 @@ impl RunResult {
                 r.invited,
                 r.kept,
                 r.changed_positions,
+                r.step_nanos,
             ));
+            for n in r.phase_nanos {
+                s.push_str(&format!(",{n}"));
+            }
+            s.push('\n');
         }
         s
     }
@@ -293,6 +389,38 @@ mod tests {
             None,
         );
         assert_eq!(r.accuracy_curve(), vec![(12, 0.3), (14, 0.5)]);
+    }
+
+    #[test]
+    fn equality_ignores_measured_wall_time() {
+        let a = record(0, 1, 2, None);
+        let mut b = a;
+        b.phase_nanos[Phase::Train.index()] = 99;
+        b.step_nanos = 1_234;
+        assert_eq!(a, b, "wall-time fields must not affect equality");
+        assert_eq!(b.measured_phase_total(), 99);
+        assert_eq!(b.phase_nanos_of(Phase::Train), 99);
+        b.kept = 5;
+        assert_ne!(a, b, "modelled fields must still affect equality");
+    }
+
+    #[test]
+    fn csv_includes_measured_phase_columns() {
+        let mut r0 = record(0, 1, 2, None);
+        r0.step_nanos = 10;
+        r0.phase_nanos[Phase::Draw.index()] = 4;
+        let r = RunResult::from_rounds("t", vec![r0], None);
+        let csv = r.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with(
+            "step_ns,draw_ns,broadcast_ns,train_ns,encode_ns,decode_ns,\
+             fold_ns,topk_ns,apply_ns,rebalance_ns"
+        ));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with(",10,4,0,0,0,0,0,0,0,0"));
     }
 
     #[test]

@@ -44,11 +44,60 @@ use gluefl_ml::{BatchTrainScratch, Mlp, MlpTopology};
 use gluefl_net::timing::{fastest, seconds_for_bytes, ClientRoundTime};
 use gluefl_net::{LazyAvailability, LinkCache, SpeedCache};
 use gluefl_sampling::AllOnline;
+use gluefl_telemetry::{EventKind, Phase, Telemetry, PHASE_COUNT};
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
 use gluefl_tensor::vecops;
 use gluefl_tensor::wire::HEADER_BYTES;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The attached recorder plus the instrument handles the round hot
+/// path records through — pre-registered at attach time so the per-round
+/// loop never touches the recorder's registry lock.
+#[derive(Clone)]
+struct SimRecorder {
+    hub: Arc<Telemetry>,
+    /// Per-upload measured wire bytes (upload + BN-statistic frames).
+    wire_up_bytes: gluefl_telemetry::Histogram,
+    /// Per-client update ℓ2 norm, in thousandths (the per-client
+    /// statistic Optimal Client Sampling–style importance sampling
+    /// needs each round).
+    update_norm_milli: gluefl_telemetry::Histogram,
+}
+
+/// Reads the recorder clock, or 0 with no recorder attached — the
+/// entire cost of disabled instrumentation is this one untaken branch
+/// per phase boundary.
+#[inline]
+fn tick(tel: &Option<SimRecorder>) -> u64 {
+    match tel {
+        Some(t) => t.hub.now_nanos(),
+        None => 0,
+    }
+}
+
+/// Commits a finished round's measured phases to the recorder: one
+/// span per non-[`Phase::Train`] phase (training spans are emitted by
+/// the training paths themselves, block by block) plus a
+/// round-done journal event.
+fn commit_phases(tel: &Option<SimRecorder>, round: u32, rec: &RoundRecord) {
+    if let Some(t) = tel {
+        for p in Phase::ALL {
+            let n = rec.phase_nanos[p.index()];
+            if n > 0 && p != Phase::Train {
+                t.hub.record_phase(p, n, round, -1);
+            }
+        }
+        t.hub.event(
+            round,
+            -1,
+            EventKind::RoundDone {
+                kept: rec.kept as u32,
+            },
+        );
+    }
+}
 
 /// A configured, running federated-learning simulation.
 pub struct Simulation {
@@ -92,6 +141,9 @@ pub struct Simulation {
     /// Cached measured length of the reference broadcast frames (dense
     /// model + mask bitmap) — a run constant, measured on first use.
     wire_broadcast_len: Option<u64>,
+    /// Attached recorder; `None` (the default) records nothing and
+    /// costs one untaken branch per phase boundary.
+    tel: Option<SimRecorder>,
 }
 
 impl Simulation {
@@ -166,7 +218,34 @@ impl Simulation {
             stats_saved: Vec::new(),
             changed_buf: Vec::new(),
             wire_broadcast_len: None,
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry recorder: every subsequent [`Simulation::step`]
+    /// measures its phases into [`RoundRecord::phase_nanos`], records
+    /// them on the recorder's per-phase span table, and journals span
+    /// and round events. Without a recorder all of that is skipped and
+    /// the measured fields stay zero.
+    pub fn set_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.tel = Some(SimRecorder {
+            wire_up_bytes: tel.histogram("gluefl_wire_up_bytes", &[]),
+            update_norm_milli: tel.histogram("gluefl_client_update_norm_milli", &[]),
+            hub: tel,
+        });
+    }
+
+    /// Builder-style [`Simulation::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.set_telemetry(tel);
+        self
+    }
+
+    /// The attached recorder, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.tel.as_ref().map(|t| &t.hub)
     }
 
     /// Serializes the round's reference broadcast — one dense full-model
@@ -241,6 +320,14 @@ impl Simulation {
     pub fn step(&mut self) -> RoundRecord {
         let round = self.round;
         self.round += 1;
+        // Phase measurement: `tick` reads the recorder clock (or 0 when
+        // none is attached), phase boundaries accumulate into a local
+        // table, and `commit_phases` publishes the finished round. The
+        // recorder handle is cloned out of `self` (three `Arc` bumps)
+        // so measurement never fights the `&mut self` borrows below.
+        let tel = self.tel.clone();
+        let step_start = tick(&tel);
+        let mut phase_ns = [0u64; PHASE_COUNT];
         // Plan through the lazy availability process: the strategy asks
         // about exactly the candidates it considers, each answered by
         // advancing that client's private session trajectory to `round`.
@@ -257,6 +344,7 @@ impl Simulation {
         let mut invited = std::mem::take(&mut self.invited_buf);
         invited.clear();
         invited.extend(plan.invited());
+        phase_ns[Phase::Draw.index()] = tick(&tel).saturating_sub(step_start);
         let mut rec = RoundRecord {
             round,
             invited: invited.len(),
@@ -264,11 +352,15 @@ impl Simulation {
         };
         if invited.is_empty() {
             self.invited_buf = invited;
+            rec.phase_nanos = phase_ns;
+            rec.step_nanos = tick(&tel).saturating_sub(step_start);
+            commit_phases(&tel, round, &rec);
             self.maybe_eval(round, &mut rec);
             return rec;
         }
 
         // --- Download accounting (every invited client syncs). ---
+        let broadcast_start = tick(&tel);
         let mask_bytes = self.strategy.mask_download_bytes(round);
         let download_bytes: Vec<u64> = invited
             .iter()
@@ -316,6 +408,7 @@ impl Simulation {
         } else {
             self.measure_broadcast(round)
         };
+        phase_ns[Phase::Broadcast.index()] = tick(&tel).saturating_sub(broadcast_start);
 
         // --- Local training (parallel, deterministic). ---
         // Training writes two things per client: the trainable delta
@@ -331,7 +424,9 @@ impl Simulation {
         global.clear();
         global.extend_from_slice(self.model.params());
         let mut stats_saved = std::mem::take(&mut self.stats_saved);
+        let train_start = tick(&tel);
         let mut deltas = self.train_invited(&invited, &global, lr, round, &mut stats_saved);
+        phase_ns[Phase::Train.index()] = tick(&tel).saturating_sub(train_start);
         self.stats_saved = stats_saved;
         self.global_buf = global;
 
@@ -365,8 +460,16 @@ impl Simulation {
         let mut times: Vec<ClientRoundTime> = Vec::with_capacity(invited.len());
         let mut up_bytes_total = 0u64;
         let mut wire_up_total = 0u64;
+        let compress_start = tick(&tel);
         for (i, &(id, group)) in invited.iter().enumerate() {
             let delta = &mut deltas[i];
+            if let Some(t) = &tel {
+                // The per-client update-norm statistic importance
+                // sampling needs (Chen et al.) — measured on the raw
+                // delta before compression consumes it.
+                let norm2: f64 = delta.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+                t.update_norm_milli.observe((norm2.sqrt() * 1e3) as u64);
+            }
             let upload = self
                 .strategy
                 .compress(round, id, group, delta, &mut self.scratch);
@@ -376,6 +479,9 @@ impl Simulation {
                 !(policy.is_legacy() && codec == gluefl_wire::Codec::F32) || wire_up == analytic_up,
                 "legacy-F32 predicted bytes {wire_up} diverged from analytic {analytic_up}"
             );
+            if let Some(t) = &tel {
+                t.wire_up_bytes.observe(wire_up);
+            }
             uploads.push(Some(upload));
             wire_lens.push(wire_up);
 
@@ -394,6 +500,7 @@ impl Simulation {
                 upload_secs: seconds_for_bytes(t_up, link.up_mbps),
             });
         }
+        phase_ns[Phase::Encode.index()] += tick(&tel).saturating_sub(compress_start);
         rec.down_bytes = download_bytes.iter().sum();
         rec.up_bytes = up_bytes_total;
         rec.wire_up_bytes = wire_up_total;
@@ -436,6 +543,7 @@ impl Simulation {
         for &i in &kept_idx {
             let (id, _) = invited[i];
             let upload = uploads[i].take().expect("kept indices are unique");
+            let encode_start = tick(&tel);
             let mut wbuf = self.scratch.take_bytes();
             let client_key = (u64::from(round) << 32) | id as u64;
             // Lossy codecs report what each frame actually shipped; the
@@ -468,6 +576,7 @@ impl Simulation {
                 "encoded frame bytes diverged from the predicted length"
             );
             self.scratch.reclaim_upload(upload);
+            let decode_start = tick(&tel);
             let (decoded, stats_frame) = wire_link::decode_upload_with_stats(
                 &wbuf,
                 self.strategy.round_mask(round),
@@ -478,11 +587,18 @@ impl Simulation {
             stats_frame.values_into(&mut stats_back);
             self.stats_saved[i * stats_len..(i + 1) * stats_len].copy_from_slice(&stats_back);
             self.scratch.put(stats_back);
+            let fold_start = tick(&tel);
             gate.accept(&mut *self.strategy, id, decoded, &mut self.scratch)
                 .expect("keep set admits each kept client exactly once");
+            let fold_end = tick(&tel);
+            phase_ns[Phase::Encode.index()] += decode_start.saturating_sub(encode_start);
+            phase_ns[Phase::Decode.index()] += fold_start.saturating_sub(decode_start);
+            phase_ns[Phase::Fold.index()] += fold_end.saturating_sub(fold_start);
             self.scratch.put_bytes(wbuf);
         }
+        let topk_start = tick(&tel);
         let update = gate.finish(&mut *self.strategy, &mut self.scratch);
+        phase_ns[Phase::TopK.index()] = tick(&tel).saturating_sub(topk_start);
 
         // Dropped clients' uploads were measured (predicted) above but
         // never encoded; recycle their pooled buffers.
@@ -496,6 +612,7 @@ impl Simulation {
         // changed-position scan walks the mask instead of the dense
         // vector. Per covered position the arithmetic is the same single
         // `+=` as the old dense walk — bit-identical trajectories.
+        let apply_start = tick(&tel);
         update.add_to(self.model.params_mut());
         let mut changed = std::mem::take(&mut self.changed_buf);
         changed.clear();
@@ -533,8 +650,10 @@ impl Simulation {
         self.staleness.record_update(changed.iter().copied());
         self.changed_buf = changed;
         self.scratch.put_update(update);
+        phase_ns[Phase::Apply.index()] = tick(&tel).saturating_sub(apply_start);
 
         // --- Post-round bookkeeping (sticky rebalance). ---
+        let rebalance_start = tick(&tel);
         let kept_sticky_ids: Vec<usize> = kept_sticky_local.iter().map(|&i| invited[i].0).collect();
         let kept_fresh_ids: Vec<usize> = kept_fresh_local
             .iter()
@@ -542,6 +661,7 @@ impl Simulation {
             .collect();
         self.strategy
             .finish_round(round, &mut self.rng, &kept_sticky_ids, &kept_fresh_ids);
+        phase_ns[Phase::Rebalance.index()] = tick(&tel).saturating_sub(rebalance_start);
 
         // --- Recycle the per-round buffers. ---
         debug_assert!(deltas.iter().all(|d| d.len() == dim));
@@ -568,6 +688,9 @@ impl Simulation {
         rec.mean_upload_secs = kept_times.iter().map(|t| t.upload_secs).sum::<f64>() / kn;
         rec.mean_compute_secs = kept_times.iter().map(|t| t.compute_secs).sum::<f64>() / kn;
 
+        rec.phase_nanos = phase_ns;
+        rec.step_nanos = tick(&tel).saturating_sub(step_start);
+        commit_phases(&tel, round, &rec);
         self.maybe_eval(round, &mut rec);
         rec
     }
@@ -626,6 +749,7 @@ impl Simulation {
         let dim = self.model.num_params();
         let stats_len = self.stats_positions.len();
         assert_eq!(stats_saved.len(), invited.len() * stats_len);
+        let tel = self.tel.clone();
         let threads = self.train_threads(invited.len());
         let mut slots: Vec<TrainSlot> = (0..threads)
             .map(|_| self.scratch.take_train_slot())
@@ -696,9 +820,11 @@ impl Simulation {
                 stats_saved,
                 trainable_mask,
                 &mut batch_scratch,
+                tel.as_ref().map(|t| (&*t.hub, round)),
             );
             self.scratch.put_batch_train(batch_scratch);
         } else if threads <= 1 || invited.len() <= 1 {
+            let train_start = tick(&tel);
             let slot = slots.first_mut().expect("at least one train slot");
             for (i, (inv, out)) in invited.iter().zip(&mut results).enumerate() {
                 worker(
@@ -708,9 +834,18 @@ impl Simulation {
                     slot,
                 );
             }
+            if let Some(t) = &tel {
+                t.hub.record_phase(
+                    Phase::Train,
+                    tick(&tel).saturating_sub(train_start),
+                    round,
+                    -1,
+                );
+            }
         } else {
             #[cfg(feature = "parallel")]
             {
+                let train_start = tick(&tel);
                 // One job per (client chunk, train slot): each job owns
                 // its slot, so the pool's workers never share mutable
                 // training state, and every client is internally serial —
@@ -747,6 +882,14 @@ impl Simulation {
                         }
                     },
                 );
+                if let Some(t) = &tel {
+                    t.hub.record_phase(
+                        Phase::Train,
+                        tick(&tel).saturating_sub(train_start),
+                        round,
+                        -1,
+                    );
+                }
             }
             #[cfg(not(feature = "parallel"))]
             unreachable!("train_threads() returns 1 without the parallel feature");
@@ -858,6 +1001,11 @@ pub fn local_train_into(
 /// cannot change any bits — clients never share an accumulator, and each
 /// block replays exactly the per-client work in the same order.
 ///
+/// When `trace` carries a recorder and a round number, every client
+/// block emits one [`Phase::Train`] span; `None` (the ledger baseline
+/// and the parity tests) measures nothing and costs one untaken branch
+/// per block.
+///
 /// # Panics
 /// Panics if `ids`, `seeds`, and `outs` disagree in length, `ids` is
 /// empty, `lr <= 0`, `momentum` is outside `[0, 1)`, or
@@ -878,6 +1026,7 @@ pub fn batch_local_train_into(
     stats_saved: &mut [f32],
     trainable_mask: &gluefl_tensor::BitMask,
     scratch: &mut BatchTrainScratch,
+    trace: Option<(&Telemetry, u32)>,
 ) {
     assert!(lr > 0.0, "learning rate must be positive");
     assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
@@ -897,6 +1046,7 @@ pub fn batch_local_train_into(
         let bl = (ids.len() - at).min(CLIENT_BLOCK);
         let (out_block, outs_rest) = outs.split_at_mut(bl);
         let (stats_block, stats_rest) = stats_saved.split_at_mut(bl * stats_len);
+        let block_start = trace.map(|(t, _)| t.now_nanos());
         batch_train_block(
             topo,
             global,
@@ -913,6 +1063,9 @@ pub fn batch_local_train_into(
             trainable_mask,
             scratch,
         );
+        if let (Some((t, round)), Some(start)) = (trace, block_start) {
+            t.record_phase(Phase::Train, t.now_nanos().saturating_sub(start), round, -1);
+        }
         outs = outs_rest;
         stats_saved = stats_rest;
         at += bl;
@@ -1250,6 +1403,7 @@ mod tests {
                     &mut got_stats,
                     &mask,
                     &mut batch_scratch,
+                    None,
                 );
                 for (c, (w, g)) in want.iter().zip(&got).enumerate() {
                     assert!(
@@ -1268,6 +1422,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn telemetry_measures_phases_that_cover_the_step() {
+        let mut cfg = tiny_cfg(StrategyConfig::GlueFl(tiny_gluefl_params(7)));
+        cfg.rounds = 3;
+        cfg.eval_every = 100; // keep evaluation out of the measured window
+        let tel = Arc::new(Telemetry::new());
+        let mut sim = Simulation::new(cfg).with_telemetry(Arc::clone(&tel));
+        for round in 0..3 {
+            let rec = sim.step();
+            assert!(
+                rec.step_nanos > 0,
+                "round {round}: step wall time not measured"
+            );
+            let covered = rec.measured_phase_total();
+            assert!(covered > 0, "round {round}: no phase wall time recorded");
+            assert!(
+                covered <= rec.step_nanos,
+                "round {round}: phases ({covered} ns) exceed the step ({} ns)",
+                rec.step_nanos
+            );
+            // Phases are disjoint sub-intervals of the step; only
+            // bookkeeping between them (keep-fastest selection, cost
+            // metrics) is unmeasured. The 5% acceptance bound is pinned
+            // on the realistic `expt trace` config; this tiny model
+            // leaves more headroom for clock granularity and noise.
+            assert!(
+                covered as f64 >= rec.step_nanos as f64 * 0.5,
+                "round {round}: phases cover only {covered} of {} ns",
+                rec.step_nanos
+            );
+            assert!(
+                rec.phase_nanos_of(Phase::Train) > 0,
+                "train phase unmeasured"
+            );
+        }
+        // The hub aggregated the same spans (Train is recorded by the
+        // training driver itself; the rest by `commit_phases`).
+        assert!(tel.phase_nanos(Phase::Train) > 0);
+        assert!(tel.phase_nanos(Phase::Encode) > 0);
+        let snap = tel.snapshot();
+        assert!(
+            snap.value("gluefl_phase_spans_total", &[("phase", "train")])
+                .unwrap()
+                > 0.0
+        );
+        assert!(snap.value("gluefl_wire_up_bytes_count", &[]).unwrap() > 0.0);
+        assert!(
+            snap.value("gluefl_client_update_norm_milli_count", &[])
+                .unwrap()
+                > 0.0
+        );
+        // Round-trips through the text exposition parser.
+        let parsed = gluefl_telemetry::Snapshot::parse_text(&snap.render_text()).unwrap();
+        assert_eq!(parsed, snap);
+        // The journal saw one RoundDone per round.
+        let done = tel
+            .journal()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RoundDone { .. }))
+            .count();
+        assert_eq!(done, 3);
+    }
+
+    #[test]
+    fn telemetry_off_leaves_measured_fields_zero() {
+        let cfg = tiny_cfg(StrategyConfig::FedAvg);
+        let mut sim = Simulation::new(cfg);
+        let rec = sim.step();
+        assert_eq!(rec.step_nanos, 0);
+        assert_eq!(rec.phase_nanos, [0; PHASE_COUNT]);
+        assert!(sim.telemetry().is_none());
     }
 
     #[test]

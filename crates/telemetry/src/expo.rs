@@ -1,0 +1,251 @@
+//! Prometheus-style text exposition: render and (for tests and tools)
+//! parse it back losslessly.
+
+use std::fmt::Write as _;
+
+/// One exported metric value: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// The value. Rendered with Rust's shortest-round-trip `f64`
+    /// formatting, so `parse_text(render_text(s)) == s` exactly.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Convenience constructor from borrowed label pairs.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)], value: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        }
+    }
+}
+
+/// A point-in-time set of [`Sample`]s.
+///
+/// Snapshots from [`crate::Telemetry::snapshot`] are sorted by
+/// `(name, labels)`, making them independent of registration and merge
+/// order; external sources (pool stats, wire stats) can be appended
+/// with [`Snapshot::push`] and re-sorted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The samples, in render order.
+    pub samples: Vec<Sample>,
+}
+
+fn escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Appends a sample built from borrowed label pairs.
+    pub fn push(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.samples.push(Sample::new(name, labels, value));
+    }
+
+    /// Sorts samples by `(name, labels)` for stable output.
+    pub fn sort(&mut self) {
+        self.samples
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// The value of `name` with exactly the given labels, if present.
+    #[must_use]
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), &(lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Renders the snapshot as text exposition: one
+    /// `name{key="value",...} value` line per sample (no `{}` when a
+    /// sample has no labels). Label values are escaped (`\\`, `\"`,
+    /// `\n`); values use shortest-round-trip `f64` formatting.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"");
+                    escape_into(&mut out, v);
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", s.value);
+        }
+        out
+    }
+
+    /// Parses text exposition produced by [`Snapshot::render_text`]
+    /// (or any Prometheus-style exposition without type/help
+    /// metadata). Blank lines and `#` comment lines are skipped.
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed line.
+    pub fn parse_text(text: &str) -> Result<Self, String> {
+        let mut samples = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
+            let (name, rest) = match line.find(['{', ' ']) {
+                Some(i) => (line[..i].to_string(), &line[i..]),
+                None => return Err(err("missing value")),
+            };
+            if name.is_empty() {
+                return Err(err("missing metric name"));
+            }
+            let mut labels = Vec::new();
+            let rest = if let Some(body) = rest.strip_prefix('{') {
+                let mut chars = body.char_indices();
+                let after: String;
+                'outer: loop {
+                    // Key up to '='.
+                    let mut key = String::new();
+                    for (_, c) in chars.by_ref() {
+                        match c {
+                            '=' => break,
+                            '}' if key.is_empty() => {
+                                // `{}` or trailing comma tolerance not needed:
+                                // render never emits either, so treat as done.
+                                after = String::new();
+                                break 'outer;
+                            }
+                            _ => key.push(c),
+                        }
+                    }
+                    match chars.next() {
+                        Some((_, '"')) => {}
+                        _ => return Err(err("label value must be quoted")),
+                    }
+                    let mut value = String::new();
+                    let mut closed = false;
+                    while let Some((_, c)) = chars.next() {
+                        match c {
+                            '\\' => match chars.next() {
+                                Some((_, '\\')) => value.push('\\'),
+                                Some((_, '"')) => value.push('"'),
+                                Some((_, 'n')) => value.push('\n'),
+                                _ => return Err(err("bad escape in label value")),
+                            },
+                            '"' => {
+                                closed = true;
+                                break;
+                            }
+                            _ => value.push(c),
+                        }
+                    }
+                    if !closed {
+                        return Err(err("unterminated label value"));
+                    }
+                    labels.push((key, value));
+                    match chars.next() {
+                        Some((_, ',')) => {}
+                        Some((i, '}')) => {
+                            after = body[i + 1..].to_string();
+                            break;
+                        }
+                        _ => return Err(err("expected ',' or '}' after label")),
+                    }
+                }
+                after
+            } else {
+                rest.to_string()
+            };
+            let value_str = rest.trim();
+            if value_str.is_empty() {
+                return Err(err("missing value"));
+            }
+            let value: f64 = value_str
+                .parse()
+                .map_err(|_| err("value is not a number"))?;
+            samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Self { samples })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trips() {
+        let mut snap = Snapshot::default();
+        snap.push("plain", &[], 3.0);
+        snap.push(
+            "labeled_total",
+            &[("kind", "upload"), ("codec", "f32")],
+            12.0,
+        );
+        snap.push("fractional", &[], 0.125);
+        snap.push("huge", &[], 9.007199254740992e15);
+        snap.push("tricky", &[("msg", "a \"b\"\\n\nc")], 1.0);
+        snap.sort();
+        let text = snap.render_text();
+        let parsed = Snapshot::parse_text(&text).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blanks() {
+        let text = "# HELP x whatever\n\nx 4\n";
+        let snap = Snapshot::parse_text(text).unwrap();
+        assert_eq!(snap.samples.len(), 1);
+        assert_eq!(snap.value("x", &[]), Some(4.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Snapshot::parse_text("just_a_name\n").is_err());
+        assert!(Snapshot::parse_text("m{k=unquoted} 1\n").is_err());
+        assert!(Snapshot::parse_text("m{k=\"open} 1\n").is_err());
+        assert!(Snapshot::parse_text("m notanumber\n").is_err());
+    }
+
+    #[test]
+    fn value_lookup_matches_exact_labels() {
+        let mut snap = Snapshot::default();
+        snap.push("m", &[("a", "1")], 5.0);
+        assert_eq!(snap.value("m", &[("a", "1")]), Some(5.0));
+        assert_eq!(snap.value("m", &[]), None);
+        assert_eq!(snap.value("m", &[("a", "2")]), None);
+    }
+}

@@ -1,0 +1,677 @@
+//! The recorder hub: counters, gauges, histograms, per-phase span
+//! tables, and the per-thread [`LocalCells`] they merge from.
+
+use crate::clock::Clock;
+use crate::expo::{Sample, Snapshot};
+use crate::journal::{Event, EventKind, Journal};
+use crate::phase::{Phase, PHASE_COUNT};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets. Bucket `k` counts values
+/// whose bit length is `k` (i.e. `v == 0` lands in bucket 0, `v` in
+/// `[2^(k-1), 2^k)` lands in bucket `k`); everything of 2³⁰ and above
+/// collapses into the last bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Shared cells of one histogram: bucket counts plus count/sum/min/max.
+struct HistCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCells {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning is cheap (an [`Arc`] bump); increments are single relaxed
+/// atomic adds, safe from any thread. For contention-free recording in
+/// tight worker loops, pair the handle with [`LocalCells::add`] and
+/// merge once per worker.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    id: usize,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Registry id — the index [`LocalCells`] records under.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+/// A last-write-wins gauge handle.
+///
+/// Gauges are instantaneous values (queue depth, live connections), so
+/// unlike counters and histograms they have no order-independent merge
+/// — handles write straight to the shared cell (still lock-free) and
+/// are deliberately absent from [`LocalCells`].
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Stores an absolute value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A power-of-two-bucket histogram handle (see [`HIST_BUCKETS`]).
+#[derive(Clone)]
+pub struct Histogram {
+    cells: Arc<HistCells>,
+    id: usize,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.cells.observe(v);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    /// Registry id — the index [`LocalCells`] records under.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+struct CounterEntry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cell: Arc<AtomicU64>,
+}
+
+struct GaugeEntry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cell: Arc<AtomicU64>,
+}
+
+struct HistEntry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cells: Arc<HistCells>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<CounterEntry>,
+    gauges: Vec<GaugeEntry>,
+    hists: Vec<HistEntry>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Plain (non-atomic) per-thread metric cells.
+///
+/// A worker creates one with [`Telemetry::local`], records into it with
+/// zero synchronisation, and merges it back with [`Telemetry::merge`]
+/// (which drains the cells, so one `LocalCells` can be reused across
+/// batches). Counter and histogram merges are pure sums and min/max
+/// folds — all commutative and associative — so **any merge order
+/// yields the same snapshot**; `tests/merge_props.rs` pins this.
+#[derive(Debug, Clone, Default)]
+pub struct LocalCells {
+    phase_nanos: [u64; PHASE_COUNT],
+    phase_spans: [u64; PHASE_COUNT],
+    counters: Vec<u64>,
+    hists: Vec<LocalHist>,
+}
+
+#[derive(Debug, Clone)]
+struct LocalHist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LocalCells {
+    /// Adds `n` to the local cell of `counter`.
+    pub fn add(&mut self, counter: &Counter, n: u64) {
+        let id = counter.id();
+        if id >= self.counters.len() {
+            self.counters.resize(id + 1, 0);
+        }
+        self.counters[id] += n;
+    }
+
+    /// Adds one to the local cell of `counter`.
+    pub fn inc(&mut self, counter: &Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Records one observation into the local cells of `hist`.
+    pub fn observe(&mut self, hist: &Histogram, v: u64) {
+        let id = hist.id();
+        if id >= self.hists.len() {
+            self.hists.resize(id + 1, LocalHist::default());
+        }
+        let h = &mut self.hists[id];
+        h.buckets[bucket_of(v)] += 1;
+        h.count += 1;
+        h.sum += v;
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    /// Accumulates one span of `dur_nanos` under `phase`.
+    pub fn span_add(&mut self, phase: Phase, dur_nanos: u64) {
+        self.phase_nanos[phase.index()] += dur_nanos;
+        self.phase_spans[phase.index()] += 1;
+    }
+
+    /// True if nothing has been recorded since creation or last merge.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phase_spans.iter().all(|&c| c == 0)
+            && self.phase_nanos.iter().all(|&c| c == 0)
+            && self.counters.iter().all(|&c| c == 0)
+            && self.hists.iter().all(|h| h.count == 0)
+    }
+}
+
+/// The recorder hub. See the [crate docs](crate) for the full picture.
+///
+/// All recording methods take `&self` and are safe from any thread;
+/// share one hub with `Arc<Telemetry>`. Instrumented code holds an
+/// `Option` of it and skips everything when `None`.
+pub struct Telemetry {
+    clock: Clock,
+    phase_nanos: [AtomicU64; PHASE_COUNT],
+    phase_spans: [AtomicU64; PHASE_COUNT],
+    registry: Mutex<Registry>,
+    journal: Journal,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry").finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A hub on the real monotonic clock with the default journal
+    /// capacity ([`Journal::DEFAULT_CAPACITY`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_clock(Clock::monotonic())
+    }
+
+    /// A hub on an injected clock (use [`Clock::manual`] in tests).
+    #[must_use]
+    pub fn with_clock(clock: Clock) -> Self {
+        Self {
+            clock,
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_spans: std::array::from_fn(|_| AtomicU64::new(0)),
+            registry: Mutex::new(Registry::default()),
+            journal: Journal::new(Journal::DEFAULT_CAPACITY),
+        }
+    }
+
+    /// The hub's clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current time on the hub's clock, nanoseconds.
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// The hub's event journal.
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Registers (or finds) the counter `name{labels}` and returns a
+    /// handle. Repeated calls with the same name and labels return
+    /// handles to the same cell.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let labels = owned_labels(labels);
+        let mut reg = self.registry.lock().unwrap();
+        if let Some((id, e)) = reg
+            .counters
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.name == name && e.labels == labels)
+        {
+            return Counter {
+                cell: Arc::clone(&e.cell),
+                id,
+            };
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        let id = reg.counters.len();
+        reg.counters.push(CounterEntry {
+            name: name.to_string(),
+            labels,
+            cell: Arc::clone(&cell),
+        });
+        Counter { cell, id }
+    }
+
+    /// Registers (or finds) the gauge `name{labels}`.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let labels = owned_labels(labels);
+        let mut reg = self.registry.lock().unwrap();
+        if let Some(e) = reg
+            .gauges
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return Gauge {
+                cell: Arc::clone(&e.cell),
+            };
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        reg.gauges.push(GaugeEntry {
+            name: name.to_string(),
+            labels,
+            cell: Arc::clone(&cell),
+        });
+        Gauge { cell }
+    }
+
+    /// Registers (or finds) the histogram `name{labels}`.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let labels = owned_labels(labels);
+        let mut reg = self.registry.lock().unwrap();
+        if let Some((id, e)) = reg
+            .hists
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.name == name && e.labels == labels)
+        {
+            return Histogram {
+                cells: Arc::clone(&e.cells),
+                id,
+            };
+        }
+        let cells = Arc::new(HistCells::new());
+        let id = reg.hists.len();
+        reg.hists.push(HistEntry {
+            name: name.to_string(),
+            labels,
+            cells: Arc::clone(&cells),
+        });
+        Histogram { cells, id }
+    }
+
+    /// Fresh per-thread cells for contention-free recording.
+    #[must_use]
+    pub fn local(&self) -> LocalCells {
+        LocalCells::default()
+    }
+
+    /// Merges (and drains) per-thread cells into the hub.
+    ///
+    /// Merging is commutative: any order of merges across any number of
+    /// `LocalCells` produces the same totals.
+    pub fn merge(&self, cells: &mut LocalCells) {
+        for (i, n) in cells.phase_nanos.iter_mut().enumerate() {
+            if *n > 0 {
+                self.phase_nanos[i].fetch_add(*n, Ordering::Relaxed);
+                *n = 0;
+            }
+        }
+        for (i, n) in cells.phase_spans.iter_mut().enumerate() {
+            if *n > 0 {
+                self.phase_spans[i].fetch_add(*n, Ordering::Relaxed);
+                *n = 0;
+            }
+        }
+        let reg = self.registry.lock().unwrap();
+        for (id, n) in cells.counters.iter_mut().enumerate() {
+            if *n > 0 {
+                if let Some(e) = reg.counters.get(id) {
+                    e.cell.fetch_add(*n, Ordering::Relaxed);
+                }
+                *n = 0;
+            }
+        }
+        for (id, h) in cells.hists.iter_mut().enumerate() {
+            if h.count > 0 {
+                if let Some(e) = reg.hists.get(id) {
+                    for (b, &c) in e.cells.buckets.iter().zip(&h.buckets) {
+                        if c > 0 {
+                            b.fetch_add(c, Ordering::Relaxed);
+                        }
+                    }
+                    e.cells.count.fetch_add(h.count, Ordering::Relaxed);
+                    e.cells.sum.fetch_add(h.sum, Ordering::Relaxed);
+                    e.cells.min.fetch_min(h.min, Ordering::Relaxed);
+                    e.cells.max.fetch_max(h.max, Ordering::Relaxed);
+                }
+                *h = LocalHist::default();
+            }
+        }
+    }
+
+    /// Adds one finished span of `dur_nanos` under `phase` and journals
+    /// it. `client` is the client id, or `-1` when the span is not
+    /// client-scoped.
+    pub fn record_phase(&self, phase: Phase, dur_nanos: u64, round: u32, client: i64) {
+        self.phase_nanos[phase.index()].fetch_add(dur_nanos, Ordering::Relaxed);
+        self.phase_spans[phase.index()].fetch_add(1, Ordering::Relaxed);
+        self.event(round, client, EventKind::Span { phase, dur_nanos });
+    }
+
+    /// Starts a span; its duration records under `phase` when the guard
+    /// drops.
+    pub fn span(&self, phase: Phase, round: u32) -> Span<'_> {
+        Span {
+            tel: self,
+            phase,
+            round,
+            start: self.now_nanos(),
+        }
+    }
+
+    /// Total nanoseconds recorded under `phase` so far.
+    #[must_use]
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of spans recorded under `phase` so far.
+    #[must_use]
+    pub fn phase_spans(&self, phase: Phase) -> u64 {
+        self.phase_spans[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Stamps `kind` with the hub clock and appends it to the journal.
+    pub fn event(&self, round: u32, client: i64, kind: EventKind) {
+        self.journal.record(Event {
+            nanos: self.now_nanos(),
+            round,
+            client,
+            kind,
+        });
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// `(name, labels)` so it is independent of registration and merge
+    /// order.
+    ///
+    /// Values are exported as `f64`; counters above 2⁵³ would lose
+    /// precision there, which no counter in this workspace approaches.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut samples = Vec::new();
+        for p in Phase::ALL {
+            samples.push(Sample::new(
+                "gluefl_phase_nanos_total",
+                &[("phase", p.name())],
+                self.phase_nanos(p) as f64,
+            ));
+            samples.push(Sample::new(
+                "gluefl_phase_spans_total",
+                &[("phase", p.name())],
+                self.phase_spans(p) as f64,
+            ));
+        }
+        let reg = self.registry.lock().unwrap();
+        for e in &reg.counters {
+            samples.push(Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: e.cell.load(Ordering::Relaxed) as f64,
+            });
+        }
+        for e in &reg.gauges {
+            samples.push(Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: e.cell.load(Ordering::Relaxed) as f64,
+            });
+        }
+        for e in &reg.hists {
+            let count = e.cells.count.load(Ordering::Relaxed);
+            for (k, b) in e.cells.buckets.iter().enumerate() {
+                let c = b.load(Ordering::Relaxed);
+                if c > 0 {
+                    let mut labels = e.labels.clone();
+                    labels.push(("pow2".to_string(), k.to_string()));
+                    samples.push(Sample {
+                        name: format!("{}_bucket", e.name),
+                        labels,
+                        value: c as f64,
+                    });
+                }
+            }
+            samples.push(Sample {
+                name: format!("{}_count", e.name),
+                labels: e.labels.clone(),
+                value: count as f64,
+            });
+            samples.push(Sample {
+                name: format!("{}_sum", e.name),
+                labels: e.labels.clone(),
+                value: e.cells.sum.load(Ordering::Relaxed) as f64,
+            });
+            if count > 0 {
+                samples.push(Sample {
+                    name: format!("{}_min", e.name),
+                    labels: e.labels.clone(),
+                    value: e.cells.min.load(Ordering::Relaxed) as f64,
+                });
+                samples.push(Sample {
+                    name: format!("{}_max", e.name),
+                    labels: e.labels.clone(),
+                    value: e.cells.max.load(Ordering::Relaxed) as f64,
+                });
+            }
+        }
+        drop(reg);
+        samples.push(Sample::new(
+            "gluefl_journal_events_total",
+            &[],
+            self.journal.recorded() as f64,
+        ));
+        samples.push(Sample::new(
+            "gluefl_journal_dropped_total",
+            &[],
+            self.journal.dropped() as f64,
+        ));
+        let mut snap = Snapshot { samples };
+        snap.sort();
+        snap
+    }
+}
+
+/// A live span; records its duration when dropped.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span<'a> {
+    tel: &'a Telemetry,
+    phase: Phase,
+    round: u32,
+    start: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur = self.tel.now_nanos().saturating_sub(self.start);
+        self.tel.record_phase(self.phase, dur, self.round, -1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_dedup_by_name_and_labels() {
+        let tel = Telemetry::new();
+        let a = tel.counter("x_total", &[("k", "v")]);
+        let b = tel.counter("x_total", &[("k", "v")]);
+        let c = tel.counter("x_total", &[("k", "w")]);
+        a.add(2);
+        b.add(3);
+        c.inc();
+        assert_eq!(a.get(), 5);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn local_cells_drain_on_merge() {
+        let tel = Telemetry::new();
+        let n = tel.counter("n_total", &[]);
+        let h = tel.histogram("h", &[]);
+        let mut cells = tel.local();
+        cells.add(&n, 7);
+        cells.observe(&h, 100);
+        cells.span_add(Phase::Train, 50);
+        assert!(!cells.is_empty());
+        tel.merge(&mut cells);
+        assert!(cells.is_empty());
+        tel.merge(&mut cells); // idempotent once drained
+        assert_eq!(n.get(), 7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(tel.phase_nanos(Phase::Train), 50);
+        assert_eq!(tel.phase_spans(Phase::Train), 1);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let (clock, handle) = Clock::manual();
+        let tel = Telemetry::with_clock(clock);
+        {
+            let _s = tel.span(Phase::Fold, 3);
+            handle.advance(250);
+        }
+        assert_eq!(tel.phase_nanos(Phase::Fold), 250);
+        assert_eq!(tel.phase_spans(Phase::Fold), 1);
+        let events = tel.journal().events();
+        assert_eq!(events.len(), 1);
+        match events[0].kind {
+            EventKind::Span { phase, dur_nanos } => {
+                assert_eq!(phase, Phase::Fold);
+                assert_eq!(dur_nanos, 250);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("depth", &[]);
+        g.set(9);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+    }
+}

@@ -27,12 +27,14 @@ use gluefl_core::{local_train_into, wire_link, ScratchPool, SimConfig, StrategyC
 use gluefl_data::SyntheticFlDataset;
 use gluefl_ml::Mlp;
 use gluefl_sampling::sticky_weights;
+use gluefl_telemetry::{Counter, Phase, Telemetry};
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
 use gluefl_tensor::wire::HEADER_BYTES;
 use gluefl_tensor::{top_k_abs_masked_into, BitMask, SparseUpdate, TopKScope};
 use gluefl_wire::{decode_frame_prefix, FrameKind, FrameWriter};
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// The client-side mirror of one strategy's `compress` path.
 ///
@@ -464,6 +466,47 @@ impl ClientNode {
     }
 }
 
+/// The client's pre-registered telemetry handles: per-kind byte
+/// counters plus the hub for the Train/Encode phase spans.
+struct ClientRecorder {
+    hub: Arc<Telemetry>,
+    /// Bytes sent to / received from the server, indexed by
+    /// `MsgKind::id() - 1`.
+    bytes_up: Vec<Counter>,
+    bytes_down: Vec<Counter>,
+}
+
+impl ClientRecorder {
+    fn new(hub: Arc<Telemetry>) -> Self {
+        let dir_counters = |dir: &'static str| -> Vec<Counter> {
+            MsgKind::ALL
+                .iter()
+                .map(|k| {
+                    hub.counter(
+                        "gluefl_client_bytes_total",
+                        &[("dir", dir), ("frame", k.name())],
+                    )
+                })
+                .collect()
+        };
+        Self {
+            bytes_up: dir_counters("up"),
+            bytes_down: dir_counters("down"),
+            hub,
+        }
+    }
+
+    fn sent(&self, kind: MsgKind, payload_len: usize) {
+        self.bytes_up[kind.id() as usize - 1]
+            .add((crate::proto::ENVELOPE_BYTES + payload_len) as u64);
+    }
+
+    fn received(&self, kind: MsgKind, payload_len: usize) {
+        self.bytes_down[kind.id() as usize - 1]
+            .add((crate::proto::ENVELOPE_BYTES + payload_len) as u64);
+    }
+}
+
 /// Connects to `addr` and runs the full client protocol until the server
 /// sends `FIN`: `HELLO` → `WELCOME`, then per round `INVITE` → `OFFER`,
 /// and on a positive `GRANT` the upload bytes.
@@ -471,6 +514,25 @@ impl ClientNode {
 /// # Errors
 /// Any socket or protocol failure; a clean `FIN` returns `Ok(())`.
 pub fn run_client(addr: &str, cfg: SimConfig, id: usize) -> Result<(), TransportError> {
+    run_client_traced(addr, cfg, id, None)
+}
+
+/// [`run_client`] with an optional telemetry hub: per-kind byte
+/// counters (`gluefl_client_bytes_total{dir,frame}`), a
+/// [`Phase::Train`] span around each invite's local training and
+/// compression, and a [`Phase::Encode`] span around each granted
+/// upload's serialization. `tel: None` is the zero-overhead path
+/// [`run_client`] takes.
+///
+/// # Errors
+/// Any socket or protocol failure; a clean `FIN` returns `Ok(())`.
+pub fn run_client_traced(
+    addr: &str,
+    cfg: SimConfig,
+    id: usize,
+    tel: Option<Arc<Telemetry>>,
+) -> Result<(), TransportError> {
+    let tel = tel.map(ClientRecorder::new);
     let mut node = ClientNode::new(cfg, id);
     let mut stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
     stream.set_nodelay(true).map_err(ProtoError::Io)?;
@@ -479,29 +541,48 @@ pub fn run_client(addr: &str, cfg: SimConfig, id: usize) -> Result<(), Transport
     hello[..4].copy_from_slice(&PROTO_VERSION.to_le_bytes());
     hello[4..].copy_from_slice(&(u32::try_from(id).expect("id fits u32")).to_le_bytes());
     write_msg(&mut stream, MsgKind::Hello, 0, &hello)?;
+    if let Some(t) = &tel {
+        t.sent(MsgKind::Hello, hello.len());
+    }
 
     let mut payload = Vec::new();
     let env = read_msg_blocking(&mut stream, &mut payload)?;
     if env.kind != MsgKind::Welcome {
         return Err(TransportError::UnexpectedMessage(env.kind));
     }
+    if let Some(t) = &tel {
+        t.received(MsgKind::Welcome, payload.len());
+    }
 
     let mut out = Vec::new();
     loop {
         let env = read_msg_blocking(&mut stream, &mut payload)?;
+        if let Some(t) = &tel {
+            t.received(env.kind, payload.len());
+        }
         match env.kind {
             MsgKind::Invite => {
+                let span = tel.as_ref().map(|t| t.hub.span(Phase::Train, env.round));
                 let (analytic, wire) = node.handle_invite(env.round, &payload)?;
+                drop(span);
                 let mut offer = [0u8; 16];
                 offer[..8].copy_from_slice(&analytic.to_le_bytes());
                 offer[8..].copy_from_slice(&wire.to_le_bytes());
                 write_msg(&mut stream, MsgKind::Offer, env.round, &offer)?;
+                if let Some(t) = &tel {
+                    t.sent(MsgKind::Offer, offer.len());
+                }
             }
             MsgKind::Grant => {
                 if payload.first() == Some(&1) {
                     out.clear();
+                    let span = tel.as_ref().map(|t| t.hub.span(Phase::Encode, env.round));
                     node.encode_granted(env.round, &mut out)?;
+                    drop(span);
                     write_msg(&mut stream, MsgKind::Upload, env.round, &out)?;
+                    if let Some(t) = &tel {
+                        t.sent(MsgKind::Upload, out.len());
+                    }
                 } else {
                     node.discard_pending();
                 }

@@ -40,7 +40,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{run_client, ClientNode};
+pub use client::{run_client, run_client_traced, ClientNode};
 pub use proto::{MsgKind, ProtoError, ENVELOPE_BYTES, PROTO_MAGIC, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerReport};
 

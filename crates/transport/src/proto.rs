@@ -68,6 +68,33 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
+    /// Every kind, in wire-id order — iterated when pre-registering one
+    /// byte counter per message kind.
+    pub const ALL: [MsgKind; 7] = [
+        MsgKind::Hello,
+        MsgKind::Welcome,
+        MsgKind::Invite,
+        MsgKind::Offer,
+        MsgKind::Grant,
+        MsgKind::Upload,
+        MsgKind::Fin,
+    ];
+
+    /// A stable snake_case name, used as the metric label value in
+    /// exported per-message byte counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Hello => "hello",
+            MsgKind::Welcome => "welcome",
+            MsgKind::Invite => "invite",
+            MsgKind::Offer => "offer",
+            MsgKind::Grant => "grant",
+            MsgKind::Upload => "upload",
+            MsgKind::Fin => "fin",
+        }
+    }
+
     /// Wire id of the kind.
     #[must_use]
     pub fn id(self) -> u8 {

@@ -39,11 +39,13 @@ use gluefl_core::{
 use gluefl_data::SyntheticFlDataset;
 use gluefl_net::timing::{fastest, seconds_for_bytes, wall_deadline, ClientRoundTime};
 use gluefl_net::{LazyAvailability, LinkCache, SpeedCache};
+use gluefl_telemetry::{Counter, Dir, EventKind, Telemetry};
 use gluefl_tensor::rng::{derive_seed, seeded_rng};
 use gluefl_wire::{Codec, Rounding};
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -76,6 +78,12 @@ pub struct ServerConfig {
     pub stall_grace: Duration,
     /// Socket read-timeout tick of the per-connection reader threads.
     pub read_tick: Duration,
+    /// Telemetry hub the run reports into: per-round / per-connection
+    /// journal events (offers granted, expired deadlines, mid-message
+    /// stalls, skips and kills) and counters, including measured bytes
+    /// up and down by envelope message kind. `None` (the default) skips
+    /// every recording branch.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ServerConfig {
@@ -91,7 +99,108 @@ impl ServerConfig {
             secs_per_modeled_sec: 0.0,
             stall_grace: Duration::from_secs(2),
             read_tick: Duration::from_millis(50),
+            telemetry: None,
         }
+    }
+}
+
+/// The server's pre-registered counter handles plus the hub, so the hot
+/// round loop records through plain atomics — the registry mutex is
+/// only touched at construction and on the rare decode-error path.
+struct NetRecorder {
+    hub: Arc<Telemetry>,
+    offers_granted: Counter,
+    offer_deadlines: Counter,
+    upload_deadlines: Counter,
+    stalls: Counter,
+    skips: Counter,
+    kills: Counter,
+    /// Bytes received / sent, indexed by `MsgKind::id() - 1`.
+    bytes_up: Vec<Counter>,
+    bytes_down: Vec<Counter>,
+}
+
+impl NetRecorder {
+    fn new(hub: Arc<Telemetry>) -> Self {
+        let dir_counters = |dir: &'static str| -> Vec<Counter> {
+            MsgKind::ALL
+                .iter()
+                .map(|k| {
+                    hub.counter(
+                        "gluefl_server_bytes_total",
+                        &[("dir", dir), ("frame", k.name())],
+                    )
+                })
+                .collect()
+        };
+        Self {
+            offers_granted: hub.counter("gluefl_server_offers_granted_total", &[]),
+            offer_deadlines: hub.counter(
+                "gluefl_server_deadlines_expired_total",
+                &[("phase", "offer")],
+            ),
+            upload_deadlines: hub.counter(
+                "gluefl_server_deadlines_expired_total",
+                &[("phase", "upload")],
+            ),
+            stalls: hub.counter("gluefl_server_stalls_total", &[]),
+            skips: hub.counter("gluefl_server_uploads_skipped_total", &[]),
+            kills: hub.counter("gluefl_server_clients_killed_total", &[]),
+            bytes_up: dir_counters("up"),
+            bytes_down: dir_counters("down"),
+            hub,
+        }
+    }
+
+    /// Records one sent message's measured bytes (envelope + payload).
+    fn sent(&self, kind: MsgKind, payload_len: usize) {
+        self.bytes_down[kind.id() as usize - 1]
+            .add((crate::proto::ENVELOPE_BYTES + payload_len) as u64);
+    }
+
+    /// Records one received message's measured bytes, journaling the
+    /// big ones (uploads) per client.
+    fn received(&self, round: u32, id: usize, kind: MsgKind, payload_len: usize) {
+        let bytes = (crate::proto::ENVELOPE_BYTES + payload_len) as u64;
+        self.bytes_up[kind.id() as usize - 1].add(bytes);
+        if kind == MsgKind::Upload {
+            self.hub.event(
+                round,
+                id as i64,
+                EventKind::Bytes {
+                    dir: Dir::Up,
+                    frame: kind.name(),
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Inspects every reader event once, on receipt: byte accounting
+    /// for complete messages, the stall counter for mid-message stalls.
+    fn reader_event(&self, round: u32, id: usize, event: &ReaderEvent) {
+        match event {
+            ReaderEvent::Msg(env, payload) => self.received(round, id, env.kind, payload.len()),
+            ReaderEvent::Failed(ProtoError::Stalled { .. }) => {
+                self.stalls.inc();
+                self.hub.event(round, id as i64, EventKind::Stall);
+            }
+            ReaderEvent::Closed | ReaderEvent::Failed(_) => {}
+        }
+    }
+
+    fn skip(&self, round: u32, id: usize) {
+        self.skips.inc();
+        self.hub.event(round, id as i64, EventKind::UploadSkipped);
+    }
+
+    fn decode_error(&self, round: u32, id: usize, err: &gluefl_wire::WireError) {
+        let kind = err.stat_name();
+        self.hub
+            .counter("gluefl_server_decode_errors_total", &[("kind", kind)])
+            .inc();
+        self.hub
+            .event(round, id as i64, EventKind::DecodeError { kind });
     }
 }
 
@@ -121,9 +230,9 @@ enum ReaderEvent {
     /// The peer closed cleanly between messages.
     Closed,
     /// The connection failed (truncation, stall, garbage, socket error).
-    /// The cause is carried for debugging; the round loop treats every
-    /// failure the same way (kill + skip).
-    Failed(#[allow(dead_code)] ProtoError),
+    /// The round loop treats every failure the same way (kill + skip);
+    /// telemetry distinguishes mid-message stalls for the stall counter.
+    Failed(ProtoError),
 }
 
 /// One registered client connection.
@@ -133,11 +242,24 @@ struct Conn {
 }
 
 /// Marks a connection dead: no further events are honored and the socket
-/// is shut down so its reader thread unblocks and exits.
-fn kill(id: usize, alive: &mut [bool], conns: &[Option<Conn>], dead: &mut usize) {
+/// is shut down so its reader thread unblocks and exits. The kill
+/// counter and journal event fire on the same `alive` transition the
+/// [`ServerReport::dead_clients`] count uses, so the two always agree.
+fn kill(
+    id: usize,
+    alive: &mut [bool],
+    conns: &[Option<Conn>],
+    dead: &mut usize,
+    tel: &Option<NetRecorder>,
+    round: u32,
+) {
     if alive[id] {
         alive[id] = false;
         *dead += 1;
+        if let Some(t) = tel {
+            t.kills.inc();
+            t.hub.event(round, id as i64, EventKind::ClientKilled);
+        }
         if let Some(conn) = &conns[id] {
             let _ = conn.writer.shutdown(Shutdown::Both);
         }
@@ -192,6 +314,7 @@ impl Server {
             net,
         } = self;
         let stall_ticks = stall_ticks_for(net.stall_grace, net.read_tick);
+        let tel = net.telemetry.clone().map(NetRecorder::new);
 
         // --- Training state, mirroring Simulation::new exactly. ---
         let data =
@@ -258,6 +381,7 @@ impl Server {
                         stall_ticks,
                         &tx,
                         &mut conns,
+                        &tel,
                     ) {
                         alive[id] = true;
                         connected += 1;
@@ -353,7 +477,9 @@ impl Server {
                 invite_buf.extend_from_slice(&bbuf);
                 let conn = conns[id].as_mut().expect("alive client has a connection");
                 if write_msg(&mut conn.writer, MsgKind::Invite, round, &invite_buf).is_err() {
-                    kill(id, &mut alive, &conns, &mut dead_clients);
+                    kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
+                } else if let Some(t) = &tel {
+                    t.sent(MsgKind::Invite, invite_buf.len());
                 }
             }
 
@@ -390,7 +516,22 @@ impl Server {
                     if !resolved[i] && now >= deadlines[i] {
                         resolved[i] = true;
                         pending -= 1;
-                        kill(invited[i].0, &mut alive, &conns, &mut dead_clients);
+                        if let Some(t) = &tel {
+                            t.offer_deadlines.inc();
+                            t.hub.event(
+                                round,
+                                invited[i].0 as i64,
+                                EventKind::DeadlineExpired { which: "offer" },
+                            );
+                        }
+                        kill(
+                            invited[i].0,
+                            &mut alive,
+                            &conns,
+                            &mut dead_clients,
+                            &tel,
+                            round,
+                        );
                     }
                 }
                 if pending == 0 {
@@ -411,6 +552,9 @@ impl Server {
                     Err(mpsc::RecvTimeoutError::Timeout) => continue,
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 };
+                if let Some(t) = &tel {
+                    t.reader_event(round, id, &event);
+                }
                 if !alive[id] {
                     continue;
                 }
@@ -431,7 +575,7 @@ impl Server {
                     }
                     _ => {
                         // Closed, failed, or a protocol violation.
-                        kill(id, &mut alive, &conns, &mut dead_clients);
+                        kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
                         if ix != usize::MAX && !resolved[ix] {
                             resolved[ix] = true;
                             pending -= 1;
@@ -475,7 +619,13 @@ impl Server {
                 let conn = conns[id].as_mut().expect("alive client has a connection");
                 let granted = [u8::from(kept_slot[i] != usize::MAX)];
                 if write_msg(&mut conn.writer, MsgKind::Grant, round, &granted).is_err() {
-                    kill(id, &mut alive, &conns, &mut dead_clients);
+                    kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
+                } else if let Some(t) = &tel {
+                    t.sent(MsgKind::Grant, granted.len());
+                    if granted[0] == 1 {
+                        t.offers_granted.inc();
+                        t.hub.event(round, id as i64, EventKind::OfferGranted);
+                    }
                 }
             }
 
@@ -505,6 +655,9 @@ impl Server {
                 } else {
                     let _ = gate.skip(&mut *strategy, id, &mut scratch);
                     skipped_uploads += 1;
+                    if let Some(t) = &tel {
+                        t.skip(round, id);
+                    }
                     up_resolved[j] = true;
                 }
             }
@@ -517,7 +670,16 @@ impl Server {
                         let id = invited[kept_idx[j]].0;
                         let _ = gate.skip(&mut *strategy, id, &mut scratch);
                         skipped_uploads += 1;
-                        kill(id, &mut alive, &conns, &mut dead_clients);
+                        if let Some(t) = &tel {
+                            t.upload_deadlines.inc();
+                            t.hub.event(
+                                round,
+                                id as i64,
+                                EventKind::DeadlineExpired { which: "upload" },
+                            );
+                            t.skip(round, id);
+                        }
+                        kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
                     }
                 }
                 if pending == 0 {
@@ -538,6 +700,9 @@ impl Server {
                     Err(mpsc::RecvTimeoutError::Timeout) => continue,
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 };
+                if let Some(t) = &tel {
+                    t.reader_event(round, id, &event);
+                }
                 if !alive[id] {
                     continue;
                 }
@@ -561,7 +726,7 @@ impl Server {
                         }
                         if up_resolved[slot] {
                             // Duplicate upload: protocol violation.
-                            kill(id, &mut alive, &conns, &mut dead_clients);
+                            kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
                             continue;
                         }
                         let ok = accept_upload(
@@ -575,22 +740,29 @@ impl Server {
                             dim,
                             stats_len,
                             &mut stats_saved[slot * stats_len..(slot + 1) * stats_len],
+                            &tel,
                         );
                         if ok {
                             delivered[slot] = true;
                         } else {
                             let _ = gate.skip(&mut *strategy, id, &mut scratch);
                             skipped_uploads += 1;
-                            kill(id, &mut alive, &conns, &mut dead_clients);
+                            if let Some(t) = &tel {
+                                t.skip(round, id);
+                            }
+                            kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
                         }
                         up_resolved[slot] = true;
                         pending -= 1;
                     }
                     _ => {
-                        kill(id, &mut alive, &conns, &mut dead_clients);
+                        kill(id, &mut alive, &conns, &mut dead_clients, &tel, round);
                         if slot != usize::MAX && !up_resolved[slot] {
                             let _ = gate.skip(&mut *strategy, id, &mut scratch);
                             skipped_uploads += 1;
+                            if let Some(t) = &tel {
+                                t.skip(round, id);
+                            }
                             up_resolved[slot] = true;
                             pending -= 1;
                         }
@@ -664,6 +836,15 @@ impl Server {
 
             maybe_eval(&cfg, &data, &model, &mut scratch, round, &mut rec);
             records.push(rec);
+            if let Some(t) = &tel {
+                t.hub.event(
+                    round,
+                    -1,
+                    EventKind::RoundDone {
+                        kept: u32::try_from(delivered_count).unwrap_or(u32::MAX),
+                    },
+                );
+            }
 
             // Reset the invited-index map for the next round.
             for &(id, _) in &invited {
@@ -674,8 +855,10 @@ impl Server {
         // --- FIN + teardown. ---
         for (id, conn) in conns.iter_mut().enumerate() {
             if let Some(conn) = conn {
-                if alive[id] {
-                    let _ = write_msg(&mut conn.writer, MsgKind::Fin, cfg.rounds, &[]);
+                if alive[id] && write_msg(&mut conn.writer, MsgKind::Fin, cfg.rounds, &[]).is_ok() {
+                    if let Some(t) = &tel {
+                        t.sent(MsgKind::Fin, 0);
+                    }
                 }
                 let _ = conn.writer.shutdown(Shutdown::Both);
             }
@@ -709,6 +892,7 @@ fn handshake(
     stall_ticks: u32,
     tx: &mpsc::Sender<(usize, ReaderEvent)>,
     conns: &mut [Option<Conn>],
+    tel: &Option<NetRecorder>,
 ) -> Option<usize> {
     stream.set_nodelay(true).ok()?;
     stream.set_read_timeout(Some(net.read_tick)).ok()?;
@@ -722,10 +906,16 @@ fn handshake(
     if version != PROTO_VERSION || id >= net.clients || alive[id] {
         return None;
     }
+    if let Some(t) = tel {
+        t.received(0, id, MsgKind::Hello, payload.len());
+    }
     let mut welcome = [0u8; 8];
     welcome[..4].copy_from_slice(&population.to_le_bytes());
     welcome[4..].copy_from_slice(&rounds.to_le_bytes());
     write_msg(&mut stream, MsgKind::Welcome, 0, &welcome).ok()?;
+    if let Some(t) = tel {
+        t.sent(MsgKind::Welcome, welcome.len());
+    }
     let mut reader_stream = stream.try_clone().ok()?;
     let reader_tx = tx.clone();
     let reader = std::thread::spawn(move || {
@@ -773,11 +963,17 @@ fn accept_upload(
     dim: usize,
     stats_len: usize,
     stats_out: &mut [f32],
+    tel: &Option<NetRecorder>,
 ) -> bool {
     let decoded = wire_link::decode_upload_with_stats(payload, strategy.round_mask(round), scratch);
     let (upload, stats_frame) = match decoded {
         Ok(pair) => pair,
-        Err(_) => return false,
+        Err(e) => {
+            if let Some(t) = tel {
+                t.decode_error(round, id, &e);
+            }
+            return false;
+        }
     };
     let sane = upload_matches(strategy_cfg, &upload)
         && upload.dim() == dim
@@ -785,6 +981,24 @@ fn accept_upload(
         && stats_frame.dim == dim
         && stats_frame.nnz == stats_len;
     if !sane {
+        // The frames decoded but the receiver can't use them: fold the
+        // rejection into the same typed-error table the wire layer uses.
+        if let Some(t) = tel {
+            let e = if upload.dim() != dim || stats_frame.dim != dim {
+                gluefl_wire::WireError::DimMismatch {
+                    declared: if upload.dim() != dim {
+                        upload.dim()
+                    } else {
+                        stats_frame.dim
+                    },
+                    expected: dim,
+                }
+            } else {
+                gluefl_wire::WireError::UnexpectedKind(0)
+            };
+            gluefl_wire::stats::record_decode_error(&e);
+            t.decode_error(round, id, &e);
+        }
         scratch.reclaim_upload(upload);
         return false;
     }

@@ -19,6 +19,7 @@ use gluefl_compress::stc::{sparsify, TernaryUpdate};
 use gluefl_core::strategies::Upload;
 use gluefl_core::wire_link::{decode_upload_with_stats, encode_upload};
 use gluefl_core::ScratchPool;
+use gluefl_telemetry::Telemetry;
 use gluefl_tensor::{BitMask, SparseUpdate};
 use gluefl_transport::proto::{write_msg, MsgKind, ENVELOPE_BYTES, PROTO_MAGIC, PROTO_VERSION};
 use gluefl_transport::{
@@ -27,6 +28,7 @@ use gluefl_transport::{
 use gluefl_wire::{frame_len_from_header, Codec, FrameWriter, Rounding, WirePolicy};
 use std::io::Write as _;
 use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One valid wire payload (upload frames + stats frame) and the round
@@ -297,11 +299,13 @@ fn run_adversarial(strategy: &str, clients: usize, rounds: u32, seed: u64) -> (u
     let mut cfg = smoke_config(strategy, clients, rounds, seed);
     // Invite exactly the keep set so every invited rogue is granted.
     cfg.oc = 1.0;
+    let tel = Arc::new(Telemetry::new());
     let mut net = ServerConfig::local(clients);
     net.offer_timeout = Duration::from_secs(10);
     net.upload_timeout = Duration::from_secs(3);
     net.stall_grace = Duration::from_millis(300);
     net.read_tick = Duration::from_millis(50);
+    net.telemetry = Some(Arc::clone(&tel));
     let server = Server::bind(cfg.clone(), net).expect("bind");
     let addr = server.local_addr().to_string();
 
@@ -342,7 +346,113 @@ fn run_adversarial(strategy: &str, clients: usize, rounds: u32, seed: u64) -> (u
     for r in rogues {
         r.join().expect("rogue thread must not panic");
     }
+
+    // The emitted counters must agree exactly with the report: skip and
+    // kill events fire at the same program points that bump the
+    // report's fields, so any drift between the two is a bug.
+    let snap = tel.snapshot();
+    let counter = |name: &str| {
+        snap.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum::<f64>()
+    };
+    assert_eq!(
+        counter("gluefl_server_uploads_skipped_total") as usize,
+        report.skipped_uploads,
+        "skip counter must match the report"
+    );
+    assert_eq!(
+        counter("gluefl_server_clients_killed_total") as usize,
+        report.dead_clients,
+        "kill counter must match the report"
+    );
+    // Which rogues fire depends on the round draws, so the typed
+    // decode-error and stall counts are bounded, not pinned: every
+    // decode error skips exactly one upload, and every stall kills one
+    // connection. (The single-rogue tests below pin exact counts.)
+    assert!(
+        counter("gluefl_server_decode_errors_total") <= report.skipped_uploads as f64,
+        "more decode errors than skipped uploads"
+    );
+    assert!(
+        counter("gluefl_server_stalls_total") <= report.dead_clients as f64,
+        "more stalls than dead connections"
+    );
+
     (report.skipped_uploads, report.dead_clients)
+}
+
+/// Runs one honest client and one rogue with `round_size == clients`,
+/// so the rogue is granted deterministically in round 0. Returns the
+/// final metrics snapshot for exact counter assertions.
+fn run_single_rogue(mode: Rogue, seed: u64) -> gluefl_telemetry::Snapshot {
+    let mut cfg = smoke_config("fedavg", 2, 2, seed);
+    cfg.round_size = 2;
+    cfg.oc = 1.0;
+    let tel = Arc::new(Telemetry::new());
+    let mut net = ServerConfig::local(2);
+    net.offer_timeout = Duration::from_secs(10);
+    net.upload_timeout = Duration::from_secs(3);
+    net.stall_grace = Duration::from_millis(300);
+    net.read_tick = Duration::from_millis(50);
+    net.telemetry = Some(Arc::clone(&tel));
+    let server = Server::bind(cfg.clone(), net).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let honest = {
+        let (addr, cfg) = (addr.clone(), cfg.clone());
+        std::thread::spawn(move || run_client(&addr, cfg, 0))
+    };
+    let rogue = std::thread::spawn(move || run_rogue(&addr, cfg, 1, mode));
+
+    let report = server.run().expect("server completes");
+    assert_eq!(report.records.len(), 2, "both rounds must complete");
+    match honest.join().expect("honest client must not panic") {
+        Ok(()) | Err(TransportError::Proto(_)) => {}
+        Err(e) => panic!("honest client failed: {e}"),
+    }
+    rogue.join().expect("rogue thread must not panic");
+    tel.snapshot()
+}
+
+#[test]
+fn granted_mask_frame_counts_one_unexpected_kind_decode_error() {
+    let snap = run_single_rogue(Rogue::MaskFrameAsUpload, 42);
+    assert_eq!(
+        snap.value(
+            "gluefl_server_decode_errors_total",
+            &[("kind", "unexpected_kind")],
+        ),
+        Some(1.0),
+        "the mask-as-upload rogue must count exactly one unexpected_kind"
+    );
+}
+
+#[test]
+fn granted_byte_flip_counts_one_typed_decode_error() {
+    let snap = run_single_rogue(Rogue::FlipByte, 43);
+    let total: f64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "gluefl_server_decode_errors_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        total, 1.0,
+        "one corrupted upload must count exactly one typed decode error"
+    );
+}
+
+#[test]
+fn slow_loris_counts_one_stall() {
+    let snap = run_single_rogue(Rogue::SlowLoris, 44);
+    assert_eq!(
+        snap.value("gluefl_server_stalls_total", &[]),
+        Some(1.0),
+        "the mid-envelope stall must register exactly once"
+    );
 }
 
 #[test]

@@ -12,8 +12,12 @@
 //! represent.
 
 use gluefl_core::{Simulation, WirePolicy};
-use gluefl_transport::{fnv1a_f32_bits, run_client, smoke_config, Server, ServerConfig};
+use gluefl_telemetry::Telemetry;
+use gluefl_transport::{
+    fnv1a_f32_bits, run_client, run_client_traced, smoke_config, Server, ServerConfig,
+};
 use gluefl_wire::Codec;
+use std::sync::Arc;
 
 const CLIENTS: usize = 25;
 const ROUNDS: u32 = 6;
@@ -112,4 +116,62 @@ fn loopback_matches_simulator_gluefl_entropy_quant() {
 #[test]
 fn loopback_matches_simulator_stc_quant_codec() {
     assert_loopback_matches_simulator_with("stc", 31, WirePolicy::legacy(Codec::QuantU8));
+}
+
+/// Telemetry on BOTH sides — the simulator's phase spans and the
+/// server's/clients' network recorders — must not perturb the
+/// computation: the socket run still pins the simulator bit-exactly.
+/// (`RoundRecord`'s equality deliberately ignores the measured timing
+/// fields; everything else must still match to the bit.) The recorders
+/// must also have actually recorded: every round carries phase spans
+/// and the server saw upload bytes.
+#[test]
+fn loopback_matches_simulator_with_telemetry_enabled() {
+    let mut cfg = smoke_config("gluefl", CLIENTS, ROUNDS, 37);
+    cfg.eval_every = 2;
+
+    let sim_tel = Arc::new(Telemetry::new());
+    let mut sim = Simulation::new(cfg.clone()).with_telemetry(Arc::clone(&sim_tel));
+    let expected: Vec<_> = (0..ROUNDS).map(|_| sim.step()).collect();
+    let expected_fnv = fnv1a_f32_bits(sim.model().params());
+
+    let srv_tel = Arc::new(Telemetry::new());
+    let mut net = ServerConfig::local(CLIENTS);
+    net.telemetry = Some(Arc::clone(&srv_tel));
+    let server = Server::bind(cfg.clone(), net).expect("bind");
+    let addr = server.local_addr().to_string();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            let tel = Arc::new(Telemetry::new());
+            std::thread::spawn(move || run_client_traced(&addr, cfg, id, Some(tel)))
+        })
+        .collect();
+    let report = server.run().expect("server run completes");
+    for (id, handle) in clients.into_iter().enumerate() {
+        handle
+            .join()
+            .expect("client thread does not panic")
+            .unwrap_or_else(|e| panic!("client {id} failed: {e}"));
+    }
+
+    assert_eq!(report.dead_clients, 0);
+    assert_eq!(report.skipped_uploads, 0);
+    assert_eq!(report.records.len(), expected.len());
+    for (got, want) in report.records.iter().zip(expected.iter()) {
+        assert_eq!(got, want, "round {} diverged under telemetry", want.round);
+    }
+    assert_eq!(report.final_params_fnv, expected_fnv);
+
+    use gluefl_telemetry::Phase;
+    assert!(sim_tel.phase_nanos(Phase::Train) > 0, "simulator recorded");
+    let snap = srv_tel.snapshot();
+    let upload_bytes = snap
+        .value(
+            "gluefl_server_bytes_total",
+            &[("dir", "up"), ("frame", "upload")],
+        )
+        .unwrap_or(0.0);
+    assert!(upload_bytes > 0.0, "server recorded upload bytes");
 }

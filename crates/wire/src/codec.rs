@@ -43,6 +43,17 @@ pub enum Codec {
 }
 
 impl Codec {
+    /// A stable snake_case name, used as the metric label value in
+    /// exported frame counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::F32 => "f32",
+            Codec::F16 => "f16",
+            Codec::QuantU8 => "quant_u8",
+        }
+    }
+
     /// The wire id stored in the frame header.
     #[must_use]
     pub fn id(self) -> u8 {

@@ -95,6 +95,68 @@ pub enum WireError {
     },
 }
 
+impl WireError {
+    /// Number of distinct variants — the size of the typed
+    /// decode-error table in [`crate::stats`].
+    pub const STAT_KINDS: usize = 16;
+
+    /// This variant's slot in the [`crate::stats`] decode-error table.
+    #[must_use]
+    pub fn stat_index(&self) -> usize {
+        match self {
+            Self::Truncated { .. } => 0,
+            Self::BadMagic(_) => 1,
+            Self::BadVersion(_) => 2,
+            Self::BadKind(_) => 3,
+            Self::BadCodec(_) => 4,
+            Self::ChecksumMismatch { .. } => 5,
+            Self::NnzExceedsDim { .. } => 6,
+            Self::NnzMismatch { .. } => 7,
+            Self::TrailingBytes { .. } => 8,
+            Self::IndexOutOfRange { .. } => 9,
+            Self::IndicesNotIncreasing { .. } => 10,
+            Self::NonZeroPadding => 11,
+            Self::OverlongVarint { .. } => 12,
+            Self::ZeroRun { .. } => 13,
+            Self::UnexpectedKind(_) => 14,
+            Self::DimMismatch { .. } => 15,
+        }
+    }
+
+    /// A stable snake_case name for this variant, used as the metric
+    /// label value in exported decode-error counters.
+    #[must_use]
+    pub fn stat_name(&self) -> &'static str {
+        Self::stat_name_of(self.stat_index())
+    }
+
+    /// The variant name for a [`WireError::stat_index`] slot.
+    ///
+    /// # Panics
+    /// Panics if `index >= STAT_KINDS`.
+    #[must_use]
+    pub fn stat_name_of(index: usize) -> &'static str {
+        [
+            "truncated",
+            "bad_magic",
+            "bad_version",
+            "bad_kind",
+            "bad_codec",
+            "checksum_mismatch",
+            "nnz_exceeds_dim",
+            "nnz_mismatch",
+            "trailing_bytes",
+            "index_out_of_range",
+            "indices_not_increasing",
+            "non_zero_padding",
+            "overlong_varint",
+            "zero_run",
+            "unexpected_kind",
+            "dim_mismatch",
+        ][index]
+    }
+}
+
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -152,7 +152,7 @@ impl FrameKind {
         }
     }
 
-    fn from_id(id: u8) -> Result<Self, WireError> {
+    pub(crate) fn from_id(id: u8) -> Result<Self, WireError> {
         match id {
             0 => Ok(FrameKind::Dense),
             1 => Ok(FrameKind::SparseBitmap),
@@ -188,6 +188,37 @@ impl FrameKind {
     /// (frame length depends on the data, not just the header).
     fn is_entropy(self) -> bool {
         self.id() > 6
+    }
+
+    /// A stable snake_case name, used as the metric label value in
+    /// exported frame counters ([`crate::stats`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Dense => "dense",
+            FrameKind::SparseBitmap => "sparse_bitmap",
+            FrameKind::SparseIndex => "sparse_index",
+            FrameKind::KnownMask => "known_mask",
+            FrameKind::Mask => "mask",
+            FrameKind::TernaryBitmap => "ternary_bitmap",
+            FrameKind::TernaryIndex => "ternary_index",
+            FrameKind::SparseDelta => "sparse_delta",
+            FrameKind::MaskRle => "mask_rle",
+            FrameKind::SparseRle => "sparse_rle",
+            FrameKind::TernaryDelta => "ternary_delta",
+            FrameKind::TernaryRle => "ternary_rle",
+        }
+    }
+
+    /// The wire version this kind travels under (`"v1"` for the
+    /// original fixed layouts, `"v2"` for the entropy layouts).
+    #[must_use]
+    pub fn version_name(self) -> &'static str {
+        if self.is_entropy() {
+            "v2"
+        } else {
+            "v1"
+        }
     }
 }
 
@@ -253,6 +284,7 @@ fn begin_frame(
     let dim32 = u32::try_from(dim).expect("dim exceeds u32 range");
     let nnz32 = u32::try_from(nnz).expect("nnz exceeds u32 range");
     assert!(nnz <= dim, "nnz {nnz} exceeds dim {dim}");
+    crate::stats::record_encoded(kind, codec);
     let start = out.len();
     out.reserve(HEADER_BYTES);
     out.push(MAGIC);
@@ -837,6 +869,19 @@ fn section_lens(kind: FrameKind, codec: Codec, dim: usize, nnz: usize) -> (u64, 
 /// therefore surface as its structural error rather than
 /// [`WireError::ChecksumMismatch`].
 pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> {
+    match decode_frame_prefix_inner(buf) {
+        Ok(ok) => {
+            crate::stats::record_decoded(ok.0.kind, ok.0.codec);
+            Ok(ok)
+        }
+        Err(e) => {
+            crate::stats::record_decode_error(&e);
+            Err(e)
+        }
+    }
+}
+
+fn decode_frame_prefix_inner(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> {
     let h = parse_header(buf)?;
     let (kind, codec, dim, nnz) = (h.kind, h.codec, h.dim, h.nnz);
     let positions_len = positions_len(buf, &h)?;
@@ -929,7 +974,9 @@ pub fn decode_frame_prefix(buf: &[u8]) -> Result<(Frame<'_>, &[u8]), WireError> 
 pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, WireError> {
     let (frame, rest) = decode_frame_prefix(buf)?;
     if !rest.is_empty() {
-        return Err(WireError::TrailingBytes { extra: rest.len() });
+        let e = WireError::TrailingBytes { extra: rest.len() };
+        crate::stats::record_decode_error(&e);
+        return Err(e);
     }
     Ok(frame)
 }

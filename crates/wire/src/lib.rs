@@ -79,6 +79,7 @@ pub mod crc;
 pub mod error;
 pub mod frame;
 pub mod policy;
+pub mod stats;
 mod varint;
 
 pub use codec::{Codec, Rounding, QUANT_BLOCK};

@@ -1,0 +1,153 @@
+//! Process-wide frame counters: frames encoded and decoded by
+//! `(kind, version, codec)`, and decode failures by typed
+//! [`WireError`] variant.
+//!
+//! The counters are relaxed global atomics bumped once per *frame* at
+//! the two choke points every frame passes through (`begin_frame` on
+//! encode, [`crate::decode_frame_prefix`] on decode) — never per
+//! element, so the cost is invisible next to the payload work. They
+//! exist so the observability layer can export wire traffic without
+//! the wire crate depending on the telemetry crate: callers drain
+//! [`encoded_frames`] / [`decoded_frames`] / [`decode_errors`] into
+//! whatever exposition format they serve.
+//!
+//! Counters are process-wide and monotonic; concurrent tests therefore
+//! assert on *deltas*, not absolute values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::Codec;
+use crate::error::WireError;
+use crate::frame::FrameKind;
+
+const KINDS: usize = 12;
+const CODECS: usize = 3;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; CODECS] = [ZERO; CODECS];
+
+static ENCODED: [[AtomicU64; CODECS]; KINDS] = [ZERO_ROW; KINDS];
+static DECODED: [[AtomicU64; CODECS]; KINDS] = [ZERO_ROW; KINDS];
+static ERRORS: [AtomicU64; WireError::STAT_KINDS] = [ZERO; WireError::STAT_KINDS];
+
+pub(crate) fn record_encoded(kind: FrameKind, codec: Codec) {
+    ENCODED[kind.id() as usize][codec.id() as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_decoded(kind: FrameKind, codec: Codec) {
+    DECODED[kind.id() as usize][codec.id() as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts `err` in the typed decode-error table.
+///
+/// The decode entry points ([`crate::decode_frame`],
+/// [`crate::decode_frame_prefix`]) call this themselves; it is public
+/// so receivers that *reject* a structurally valid frame with a typed
+/// [`WireError`] of their own (an inadmissible kind, a dimension
+/// mismatch against local state) can fold those into the same table.
+pub fn record_decode_error(err: &WireError) {
+    ERRORS[err.stat_index()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// One row of a per-`(kind, codec)` frame-counter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCount {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The value codec the frame declared.
+    pub codec: Codec,
+    /// Frames counted so far (process lifetime).
+    pub count: u64,
+}
+
+fn drain(table: &[[AtomicU64; CODECS]; KINDS]) -> Vec<FrameCount> {
+    let mut out = Vec::new();
+    for kind_id in 0..KINDS as u8 {
+        let kind = FrameKind::from_id(kind_id).expect("table is indexed by valid ids");
+        for codec_id in 0..CODECS as u8 {
+            let count = table[kind_id as usize][codec_id as usize].load(Ordering::Relaxed);
+            if count > 0 {
+                let codec = Codec::from_id(codec_id).expect("table is indexed by valid ids");
+                out.push(FrameCount { kind, codec, count });
+            }
+        }
+    }
+    out
+}
+
+/// Frames encoded since process start, by `(kind, codec)`; zero rows
+/// are omitted. The wire version is implied by the kind
+/// ([`FrameKind::version_name`]).
+#[must_use]
+pub fn encoded_frames() -> Vec<FrameCount> {
+    drain(&ENCODED)
+}
+
+/// Frames successfully decoded since process start, by `(kind, codec)`;
+/// zero rows are omitted.
+#[must_use]
+pub fn decoded_frames() -> Vec<FrameCount> {
+    drain(&DECODED)
+}
+
+/// Decode failures since process start as `(variant name, count)`
+/// pairs, zero rows omitted. Names are [`WireError::stat_name`]s.
+#[must_use]
+pub fn decode_errors() -> Vec<(&'static str, u64)> {
+    (0..WireError::STAT_KINDS)
+        .filter_map(|i| {
+            let count = ERRORS[i].load(Ordering::Relaxed);
+            (count > 0).then(|| (WireError::stat_name_of(i), count))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_frame, FrameWriter, Rounding, WirePolicy};
+
+    fn count_of(rows: &[FrameCount], kind: FrameKind, codec: Codec) -> u64 {
+        rows.iter()
+            .find(|r| r.kind == kind && r.codec == codec)
+            .map_or(0, |r| r.count)
+    }
+
+    #[test]
+    fn encode_and_decode_bump_the_matching_row() {
+        let writer = FrameWriter::new(WirePolicy::legacy(Codec::F32));
+        let enc0 = count_of(&encoded_frames(), FrameKind::Dense, Codec::F32);
+        let dec0 = count_of(&decoded_frames(), FrameKind::Dense, Codec::F32);
+        let mut buf = Vec::new();
+        writer.dense(&mut buf, 3, Rounding::Nearest, &[1.0, 2.0]);
+        decode_frame(&buf).unwrap();
+        // Deltas, not absolutes: the tables are process-wide and other
+        // tests encode frames concurrently.
+        assert!(count_of(&encoded_frames(), FrameKind::Dense, Codec::F32) > enc0);
+        assert!(count_of(&decoded_frames(), FrameKind::Dense, Codec::F32) > dec0);
+    }
+
+    #[test]
+    fn decode_failures_land_in_the_typed_table() {
+        let writer = FrameWriter::new(WirePolicy::legacy(Codec::F32));
+        let mut buf = Vec::new();
+        writer.dense(&mut buf, 3, Rounding::Nearest, &[1.0, 2.0]);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let before: u64 = decode_errors()
+            .iter()
+            .find(|(n, _)| *n == "checksum_mismatch")
+            .map_or(0, |&(_, c)| c);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+        let after: u64 = decode_errors()
+            .iter()
+            .find(|(n, _)| *n == "checksum_mismatch")
+            .map_or(0, |&(_, c)| c);
+        assert!(after > before);
+    }
+}

@@ -4,12 +4,22 @@
 //! gluefl-server [--addr 127.0.0.1:0] [--strategy gluefl] [--clients 8]
 //!               [--rounds 3] [--seed 42] [--offer-timeout-secs 30]
 //!               [--upload-timeout-secs 30]
+//!               [--log-format text|json] [--log-level info]
+//!               [--metrics-addr 127.0.0.1:0] [--metrics-out FILE]
 //! ```
 //!
 //! Prints the bound address first (so scripts can launch clients against
-//! port 0), then one line per round, then the final parameter checksum.
+//! port 0), then one structured log line per round, then the final
+//! parameter checksum. `--metrics-addr` serves the Prometheus-style text
+//! exposition over HTTP for the duration of the run; `--metrics-out`
+//! dumps the final snapshot to a file. Either flag enables telemetry;
+//! without them the round loop runs with telemetry compiled out of the
+//! hot path entirely.
 
+use gluefl_suite::telemetry::{Field, Level, LogFormat, Logger, Telemetry};
 use gluefl_suite::transport::{smoke_config, Server, ServerConfig};
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -18,6 +28,29 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Serves `GET /metrics` (or any request) with the hub's current text
+/// exposition until the process exits. Returns the bound address.
+fn serve_metrics(addr: &str, tel: Arc<Telemetry>) -> std::io::Result<String> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?.to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain the request line; the response is the same either way.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = tel.snapshot().render_text();
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+        }
+    });
+    Ok(bound)
 }
 
 fn main() {
@@ -29,46 +62,95 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed", 42);
     let offer_secs: u64 = parse_flag(&args, "--offer-timeout-secs", 30);
     let upload_secs: u64 = parse_flag(&args, "--upload-timeout-secs", 30);
+    let format: LogFormat = parse_flag(&args, "--log-format", LogFormat::Text);
+    let level: Level = parse_flag(&args, "--log-level", Level::Info);
+    let metrics_addr: String = parse_flag(&args, "--metrics-addr", String::new());
+    let metrics_out: String = parse_flag(&args, "--metrics-out", String::new());
+    let log = Logger::stdout(level, format);
+
+    // Telemetry costs one untaken branch per phase boundary when off;
+    // the metrics flags are the opt-in.
+    let tel =
+        (!metrics_addr.is_empty() || !metrics_out.is_empty()).then(|| Arc::new(Telemetry::new()));
 
     let cfg = smoke_config(&strategy, clients, rounds, seed);
     let mut net = ServerConfig::local(clients);
     net.addr = addr;
     net.offer_timeout = Duration::from_secs(offer_secs);
     net.upload_timeout = Duration::from_secs(upload_secs);
+    net.telemetry = tel.clone();
 
     let server = match Server::bind(cfg, net) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("bind failed: {e}");
+            log.error("bind failed", &[("error", Field::Str(&e.to_string()))]);
             std::process::exit(1);
         }
     };
     // First line of output: the resolved address, for client launchers.
+    // This line is a plain-format contract (scripts grep `^listening `),
+    // so it bypasses the structured logger.
     println!("listening {}", server.local_addr());
+    if let Some(tel) = &tel {
+        if !metrics_addr.is_empty() {
+            match serve_metrics(&metrics_addr, Arc::clone(tel)) {
+                Ok(bound) => log.info("metrics", &[("addr", Field::Str(&bound))]),
+                Err(e) => {
+                    log.error(
+                        "metrics bind failed",
+                        &[("error", Field::Str(&e.to_string()))],
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     match server.run() {
         Ok(report) => {
             for rec in &report.records {
-                println!(
-                    "round {:>3}  invited {:>3}  kept {:>3}  up {:>9} B  wire_up {:>9} B  acc {}",
-                    rec.round,
-                    rec.invited,
-                    rec.kept,
-                    rec.up_bytes,
-                    rec.wire_up_bytes,
-                    rec.accuracy
-                        .map_or_else(|| "-".to_string(), |a| format!("{a:.4}")),
+                let acc = rec
+                    .accuracy
+                    .map_or_else(|| "-".to_string(), |a| format!("{a:.4}"));
+                log.info(
+                    "round",
+                    &[
+                        ("round", Field::U64(u64::from(rec.round))),
+                        ("invited", Field::U64(rec.invited as u64)),
+                        ("kept", Field::U64(rec.kept as u64)),
+                        ("up_bytes", Field::U64(rec.up_bytes)),
+                        ("wire_up_bytes", Field::U64(rec.wire_up_bytes)),
+                        ("acc", Field::Str(&acc)),
+                    ],
                 );
             }
-            println!(
-                "done strategy={} params_fnv={:#018x} skipped={} dead={}",
-                report.strategy,
-                report.final_params_fnv,
-                report.skipped_uploads,
-                report.dead_clients
+            log.info(
+                "done",
+                &[
+                    ("strategy", Field::Str(&report.strategy)),
+                    ("params_fnv", Field::Hex(report.final_params_fnv)),
+                    ("skipped", Field::U64(report.skipped_uploads as u64)),
+                    ("dead", Field::U64(report.dead_clients as u64)),
+                ],
             );
+            if let Some(tel) = &tel {
+                if !metrics_out.is_empty() {
+                    let text = tel.snapshot().render_text();
+                    if let Err(e) = std::fs::write(&metrics_out, text) {
+                        log.error(
+                            "metrics write failed",
+                            &[
+                                ("path", Field::Str(&metrics_out)),
+                                ("error", Field::Str(&e.to_string())),
+                            ],
+                        );
+                        std::process::exit(1);
+                    }
+                    log.info("metrics written", &[("path", Field::Str(&metrics_out))]);
+                }
+            }
         }
         Err(e) => {
-            eprintln!("server failed: {e}");
+            log.error("server failed", &[("error", Field::Str(&e.to_string()))]);
             std::process::exit(1);
         }
     }

@@ -11,6 +11,8 @@
 //! * [`gluefl_sampling`] — uniform/MD/sticky samplers.
 //! * [`gluefl_net`] — bandwidth, device, availability simulation.
 //! * [`gluefl_tensor`] — bitmasks, top-k, sparse updates.
+//! * [`gluefl_telemetry`] — clocks, counters, phase spans, journal,
+//!   text exposition, structured logging.
 //! * [`gluefl_wire`] — framed binary wire codec for round messages.
 //! * [`gluefl_transport`] — real-socket client/server round loop with
 //!   streaming aggregation.
@@ -23,6 +25,7 @@ pub use gluefl_data as data;
 pub use gluefl_ml as ml;
 pub use gluefl_net as net;
 pub use gluefl_sampling as sampling;
+pub use gluefl_telemetry as telemetry;
 pub use gluefl_tensor as tensor;
 pub use gluefl_transport as transport;
 pub use gluefl_wire as wire;

@@ -43,7 +43,45 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static IDLE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide scheduling counters (see [`stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Completed [`run`] invocations.
+    pub runs: u64,
+    /// Jobs executed (every job counts once, stolen or not).
+    pub jobs: u64,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Total nanoseconds workers spent looking for work after their own
+    /// deque drained (the steal search, successful or not).
+    pub idle_nanos: u64,
+}
+
+/// A snapshot of the pool's scheduling counters since process start.
+///
+/// Workers keep the counts in plain per-worker locals and fold them
+/// into the process-wide atomics once per worker exit, so the hot loop
+/// pays one integer increment per job — nothing per steal probe beyond
+/// the clock read that times the idle window. Counters are monotonic
+/// and shared by every pool in the process; observers export deltas.
+#[must_use]
+pub fn stats() -> PoolStats {
+    PoolStats {
+        runs: RUNS.load(Ordering::Relaxed),
+        jobs: JOBS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        idle_nanos: IDLE_NANOS.load(Ordering::Relaxed),
+    }
+}
 
 /// Runs every job in `jobs` across at most `threads` workers with
 /// work-stealing deques, returning once all jobs have finished.
@@ -64,9 +102,12 @@ where
 {
     let workers = threads.min(jobs.len()).max(1);
     if workers == 1 {
+        let n = jobs.len() as u64;
         for job in jobs {
             f(job);
         }
+        JOBS.fetch_add(n, Ordering::Relaxed);
+        RUNS.fetch_add(1, Ordering::Relaxed);
         return;
     }
     // Deal jobs round-robin so every worker starts with a share of the
@@ -85,21 +126,29 @@ where
         }
         worker(0, deques, f);
     });
+    RUNS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// One worker loop: drain the own deque from the back, then steal from
 /// the next non-empty victim's front; exit when every deque is empty.
+///
+/// Scheduling counters (jobs run, steals, idle nanoseconds spent in the
+/// steal search) accumulate in plain locals and fold into the global
+/// [`stats`] atomics once, on exit.
 fn worker<J, F>(me: usize, deques: &[Mutex<VecDeque<J>>], f: &F)
 where
     J: Send,
     F: Fn(J) + Sync,
 {
+    let (mut jobs, mut steals, mut idle_nanos) = (0u64, 0u64, 0u64);
     loop {
         let own = deques[me].lock().expect("pool deque poisoned").pop_back();
         if let Some(job) = own {
             f(job);
+            jobs += 1;
             continue;
         }
+        let idle_from = Instant::now();
         let mut stolen = None;
         for step in 1..deques.len() {
             let victim = (me + step) % deques.len();
@@ -112,13 +161,21 @@ where
                 break;
             }
         }
+        idle_nanos += u64::try_from(idle_from.elapsed().as_nanos()).unwrap_or(u64::MAX);
         match stolen {
-            Some(job) => f(job),
+            Some(job) => {
+                f(job);
+                jobs += 1;
+                steals += 1;
+            }
             // All deques empty: jobs cannot spawn jobs, so no new work
             // can appear — safe to exit.
-            None => return,
+            None => break,
         }
     }
+    JOBS.fetch_add(jobs, Ordering::Relaxed);
+    STEALS.fetch_add(steals, Ordering::Relaxed);
+    IDLE_NANOS.fetch_add(idle_nanos, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -190,6 +247,21 @@ mod tests {
             *slot = acc | 1;
         });
         assert!(out.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn stats_count_every_job_exactly_once() {
+        let before = super::stats();
+        super::run(4, (0..777u64).collect(), |_| {});
+        super::run(1, (0..23u64).collect(), |_| {});
+        let after = super::stats();
+        // Deltas, not absolutes: the counters are process-wide and other
+        // tests run pools concurrently — so ≥, and exact only for the
+        // serial-path contribution we can isolate by the run count.
+        assert!(after.jobs - before.jobs >= 800);
+        assert!(after.runs - before.runs >= 2);
+        assert!(after.steals >= before.steals);
+        assert!(after.idle_nanos >= before.idle_nanos);
     }
 
     // The panic surfaces either directly (worker 0) or as the scope's
